@@ -1,0 +1,31 @@
+# Developer entry points. The offline environment lacks the `wheel`
+# package, so `install` uses the legacy setuptools path.
+
+.PHONY: install test bench examples figures all clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		python $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran cleanly"
+
+figures:
+	python -m repro.cli figure1
+	python -m repro.cli figure2
+	python -m repro.cli stats
+
+all: test bench
+
+clean:
+	rm -rf build repro.egg-info benchmarks/output .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,51 @@
+"""A1 — ablation: the alpha parameter and the significance function.
+
+DESIGN.md design-choice 1: the exponential rule ``alpha ** (c - l)`` is
+the paper's pick; this sweep measures detection AUROC (two months after
+the onset, the paper's headline point) across alphas and against the
+frequency-ratio and linear alternatives.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_artifact
+from repro.eval.ablations import alpha_sweep, significance_function_sweep
+from repro.eval.reporting import render_ablation
+
+
+def test_alpha_sweep(benchmark, bench_dataset, output_dir):
+    points = benchmark.pedantic(
+        alpha_sweep,
+        kwargs={
+            "bundle": bench_dataset.bundle,
+            "alphas": (1.1, 1.5, 2.0, 3.0, 4.0, 8.0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = render_ablation("A1 — detection AUROC at onset+2 months vs alpha", points)
+    save_artifact(output_dir, "ablation_alpha.txt", text)
+
+    by_label = {p.label: p.auroc for p in points}
+    assert all(0.5 < v <= 1.0 for v in by_label.values())
+    # The paper's alpha=2 must be competitive with the best alpha.
+    assert by_label["alpha=2"] > max(by_label.values()) - 0.1
+
+
+def test_significance_function_sweep(benchmark, bench_dataset, output_dir):
+    points = benchmark.pedantic(
+        significance_function_sweep,
+        kwargs={"bundle": bench_dataset.bundle},
+        rounds=1,
+        iterations=1,
+    )
+    text = render_ablation(
+        "A1b — detection AUROC at onset+2 months by significance function", points
+    )
+    save_artifact(output_dir, "ablation_significance.txt", text)
+
+    by_label = {p.label: p.auroc for p in points}
+    assert by_label["exponential"] > 0.6
+    # All scoring rules beat chance; exponential must be competitive.
+    assert all(v > 0.5 for v in by_label.values())
+    assert by_label["exponential"] > max(by_label.values()) - 0.1

@@ -1,0 +1,32 @@
+"""A2 — ablation: the window span ``w``.
+
+DESIGN.md design-choice 2: short windows react faster but see fewer
+shopping cycles per window (noisier significance); long windows smooth but
+delay detection.  The sweep measures detection AUROC at the first window
+ending at or after onset+2 months for each span.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_artifact
+from repro.eval.ablations import window_sweep
+from repro.eval.reporting import render_ablation
+
+
+def test_window_sweep(benchmark, bench_dataset, output_dir):
+    points = benchmark.pedantic(
+        window_sweep,
+        kwargs={
+            "bundle": bench_dataset.bundle,
+            "window_months_list": (1, 2, 3, 4),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = render_ablation("A2 — detection AUROC vs window span", points)
+    save_artifact(output_dir, "ablation_window.txt", text)
+
+    by_label = {p.label: p.auroc for p in points}
+    assert all(v > 0.5 for v in by_label.values())
+    # The paper's 2-month window must be competitive with the best span.
+    assert by_label["w=2mo"] > max(by_label.values()) - 0.1

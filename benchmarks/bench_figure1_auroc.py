@@ -1,0 +1,35 @@
+"""E1 — regenerate Figure 1: AUROC vs months, stability vs RFM.
+
+Paper reference points (6M-customer proprietary dataset):
+
+* both models near chance before the onset at month 18;
+* stability AUROC ~0.79 two months after the onset (month 20);
+* RFM "similar performances", both rising through month 24.
+
+The benchmark times one full Figure 1 run (stability fit + per-window RFM
+training + AUROC sweep) at benchmark scale.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_artifact
+from repro.eval.figure1 import run_figure1
+from repro.eval.reporting import render_figure1
+
+
+def test_figure1_regeneration(benchmark, bench_dataset, output_dir):
+    result = benchmark.pedantic(
+        run_figure1,
+        kwargs={"bundle": bench_dataset.bundle, "seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+    save_artifact(output_dir, "figure1.txt", render_figure1(result))
+
+    # Shape assertions against the paper's curve.
+    assert result.months() == [12, 14, 16, 18, 20, 22, 24]
+    for month in (12, 14, 16):  # pre-onset: chance level
+        assert abs(result.stability.at_month(month) - 0.5) < 0.2
+    assert result.stability.at_month(20) > 0.7  # paper: 0.79 at month 20
+    assert result.stability.at_month(24) > 0.85
+    assert result.rfm.at_month(24) > 0.7  # RFM detects too, a beat later

@@ -1,0 +1,33 @@
+"""E2 — regenerate Figure 2: the individual stability trajectory.
+
+Paper reference: the customer "is loyal in the first months, and defecting
+starting from month 20"; the month-20 decrease is a **coffee** loss, the
+sharper month-22 decrease is a **milk, sponge and cheese** loss.
+
+The benchmark times one full case-study run (trajectory + explanations).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_artifact
+from repro.eval.figure2 import run_figure2
+from repro.eval.reporting import render_figure2
+
+
+def test_figure2_regeneration(benchmark, bench_case_study, output_dir):
+    result = benchmark.pedantic(
+        run_figure2,
+        kwargs={"case": bench_case_study},
+        rounds=5,
+        iterations=1,
+    )
+    save_artifact(output_dir, "figure2.txt", render_figure2(result))
+
+    by_month = dict(zip(result.months, result.stability))
+    # Loyal before the onset, first drop at 20, sharper drop at 22.
+    assert all(by_month[m] > 0.9 for m in (12, 14, 16, 18))
+    assert by_month[20] < by_month[18]
+    assert (by_month[20] - by_month[22]) > (by_month[18] - by_month[20])
+    # The paper's annotations, recovered from the model's explanations.
+    assert result.explained_names(20, top_k=1) == ["Coffee"]
+    assert set(result.explained_names(22, top_k=3)) == {"Milk", "Sponges", "Cheese"}

@@ -1,0 +1,56 @@
+"""A5 — all implemented models, head to head, at campaign budgets.
+
+Extends Figure 1's two-model comparison to the full roster: stability
+(the paper), RFM (the paper's baseline), extended behavioural features
+(Buckinx & Van den Poel's full battery), first/last-sequence features
+(Miguéis et al., the paper's reference [2]), and the naive anchors.
+AUROC plus lift at a 10% targeting budget, per evaluation month.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_artifact
+from repro.eval.campaign import compare_models
+from repro.eval.reporting import format_table
+
+MONTHS = (20, 22, 24)
+
+
+def test_model_comparison(benchmark, bench_dataset, output_dir):
+    comparison = benchmark.pedantic(
+        compare_models,
+        kwargs={
+            "bundle": bench_dataset.bundle,
+            "months": MONTHS,
+            "budgets": (0.1,),
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for model, by_month in comparison.auroc_table():
+        lift = comparison.at(model, 24).lift[0.1]
+        rows.append(
+            (
+                model,
+                *(f"{by_month[m]:.3f}" for m in MONTHS),
+                f"{lift:.2f}x",
+            )
+        )
+    text = "\n".join(
+        [
+            "A5 — model comparison: AUROC by month, lift@10% at month 24",
+            format_table(("model", *(f"m{m}" for m in MONTHS), "lift@10%"), rows),
+        ]
+    )
+    save_artifact(output_dir, "model_comparison.txt", text)
+
+    random_24 = comparison.at("random", 24).auroc
+    for serious in ("stability", "rfm", "behavioral", "sequence"):
+        assert comparison.at(serious, 24).auroc > random_24 + 0.15
+    # The paper's model must stay competitive with every baseline.
+    best_24 = max(comparison.at(m, 24).auroc for m in comparison.models())
+    assert comparison.at("stability", 24).auroc > best_24 - 0.1
+    # And its 10%-budget campaign must comfortably beat random mailing.
+    assert comparison.at("stability", 24).lift[0.1] > 1.4

@@ -1,0 +1,65 @@
+"""S1 — scaling: runtime of the stability model vs population size.
+
+The paper's dataset has 6M customers; this laptop-scale bench verifies the
+implementation scales linearly in the number of customers (the per-customer
+work is independent), which is what makes the 6M-scale deployment
+plausible.  Timed stages: dataset generation, stability fit, scoring.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import save_artifact
+from repro.core.model import StabilityModel
+from repro.eval.reporting import format_table
+from repro.synth import ScenarioConfig, generate_dataset
+
+
+def _fit_stability(dataset):
+    model = StabilityModel(dataset.calendar, window_months=2, alpha=2.0)
+    model.fit(dataset.log)
+    return model
+
+
+def test_stability_fit_scaling(benchmark, output_dir):
+    sizes = (25, 50, 100, 200)
+    rows = []
+    datasets = {}
+    for size in sizes:
+        config = ScenarioConfig(n_loyal=size, n_churners=size, seed=13)
+        start = time.perf_counter()
+        datasets[size] = generate_dataset(config)
+        gen_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        model = _fit_stability(datasets[size])
+        fit_seconds = time.perf_counter() - start
+        rows.append(
+            (
+                2 * size,
+                datasets[size].log.n_baskets,
+                f"{gen_seconds:.3f}",
+                f"{fit_seconds:.3f}",
+                f"{fit_seconds / (2 * size) * 1e3:.2f}",
+            )
+        )
+        del model
+    text = "\n".join(
+        [
+            "S1 — stability model scaling (fit time vs customers)",
+            format_table(
+                ("customers", "receipts", "generate s", "fit s", "fit ms/cust"),
+                rows,
+            ),
+        ]
+    )
+    save_artifact(output_dir, "scaling.txt", text)
+
+    # The timed benchmark: fitting the largest population.
+    benchmark.pedantic(
+        _fit_stability, args=(datasets[sizes[-1]],), rounds=3, iterations=1
+    )
+
+    # Linearity: per-customer cost must not blow up with population size.
+    per_customer = [float(row[4]) for row in rows]
+    assert per_customer[-1] < per_customer[0] * 3 + 1.0

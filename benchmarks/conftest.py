@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one paper artifact (table or figure), prints
+it, saves the rendered text under ``benchmarks/output/`` and times the
+computation with pytest-benchmark.  The dataset is generated once per
+session at a scale that keeps the full harness under a couple of minutes
+while leaving enough customers for stable AUROC estimates.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.synth import ScenarioConfig, figure2_case_study, generate_dataset
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Scale of the benchmark dataset (paper: 6M customers; see DESIGN.md for
+#: the substitution rationale — the code path is identical).
+BENCH_LOYAL = 150
+BENCH_CHURNERS = 150
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """The Figure 1 population at benchmark scale."""
+    return generate_dataset(
+        ScenarioConfig(n_loyal=BENCH_LOYAL, n_churners=BENCH_CHURNERS, seed=BENCH_SEED)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_case_study():
+    """The Figure 2 case-study fixture."""
+    return figure2_case_study(seed=11)
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def save_artifact(output_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered artifact and echo it to stdout."""
+    (output_dir / name).write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")

@@ -1,0 +1,46 @@
+"""Baseline attrition models the paper compares against.
+
+The headline comparator is the RFM model (logistic regression on recency,
+frequency and monetary predictors, after Buckinx & Van den Poel 2005);
+:mod:`repro.baselines.rules` adds naive one-variable rules that anchor the
+evaluation.
+"""
+
+from repro.baselines.behavioral import (
+    BEHAVIORAL_FEATURE_NAMES,
+    BehavioralFeatures,
+    BehavioralModel,
+    extract_behavioral,
+)
+from repro.baselines.ensemble import RankAverageEnsemble, StabilityMember, rank_normalise
+from repro.baselines.rfm import FEATURE_NAMES, RFMFeatures, extract_rfm, rfm_matrix
+from repro.baselines.rfm_model import RFMModel
+from repro.baselines.rules import FrequencyDropRule, RandomBaseline, RecencyRule
+from repro.baselines.sequences import (
+    SEQUENCE_FEATURE_NAMES,
+    SequenceFeatures,
+    SequenceModel,
+    extract_sequence_features,
+)
+
+__all__ = [
+    "BEHAVIORAL_FEATURE_NAMES",
+    "BehavioralFeatures",
+    "BehavioralModel",
+    "FEATURE_NAMES",
+    "FrequencyDropRule",
+    "RFMFeatures",
+    "RFMModel",
+    "RandomBaseline",
+    "RankAverageEnsemble",
+    "RecencyRule",
+    "StabilityMember",
+    "rank_normalise",
+    "SEQUENCE_FEATURE_NAMES",
+    "SequenceFeatures",
+    "SequenceModel",
+    "extract_behavioral",
+    "extract_rfm",
+    "extract_sequence_features",
+    "rfm_matrix",
+]

@@ -1,0 +1,100 @@
+"""Naive attrition baselines.
+
+These rules bracket the serious models: any useful churn model must beat
+:class:`RandomBaseline` (AUROC 0.5) and should beat the one-variable
+heuristics retailers actually run (:class:`RecencyRule`,
+:class:`FrequencyDropRule`).  They are used in the ablation benchmarks to
+anchor the AUROC curves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.baselines.rfm import extract_rfm
+from repro.core.windowing import WindowGrid
+from repro.data.transactions import TransactionLog
+from repro.errors import ConfigError
+
+__all__ = ["RecencyRule", "FrequencyDropRule", "RandomBaseline"]
+
+
+class RecencyRule:
+    """Score = days since last purchase (normalised by elapsed span).
+
+    The simplest actionable churn heuristic: the longer a customer has
+    been silent, the more likely they are gone.
+    """
+
+    name = "recency"
+
+    def __init__(self, grid: WindowGrid) -> None:
+        self.grid = grid
+
+    def churn_scores(
+        self, log: TransactionLog, customers: Iterable[int], window_index: int
+    ) -> dict[int, float]:
+        begin, end = self.grid.bounds(window_index)
+        del begin
+        elapsed = float(end - self.grid.boundaries[0])
+        scores: dict[int, float] = {}
+        for customer_id in customers:
+            features = extract_rfm(
+                customer_id, log.history(customer_id), self.grid, window_index
+            )
+            scores[customer_id] = features.recency_days / elapsed
+        return scores
+
+
+class FrequencyDropRule:
+    """Score = relative drop of trip frequency in the evaluation window.
+
+    Compares trips inside the window against the customer's historical
+    per-window average; a customer shopping far below their own baseline
+    scores high.
+    """
+
+    name = "frequency-drop"
+
+    def __init__(self, grid: WindowGrid) -> None:
+        self.grid = grid
+
+    def churn_scores(
+        self, log: TransactionLog, customers: Iterable[int], window_index: int
+    ) -> dict[int, float]:
+        if window_index == 0:
+            raise ConfigError("frequency-drop needs at least one prior window")
+        scores: dict[int, float] = {}
+        for customer_id in customers:
+            history = log.history(customer_id)
+            begin, end = self.grid.bounds(window_index)
+            prior_trips = sum(
+                1 for b in history if self.grid.boundaries[0] <= b.day < begin
+            )
+            window_trips = sum(1 for b in history if begin <= b.day < end)
+            baseline = prior_trips / window_index  # mean trips per prior window
+            if baseline == 0.0:
+                scores[customer_id] = 0.5  # no history: neutral
+            else:
+                drop = 1.0 - window_trips / baseline
+                scores[customer_id] = float(np.clip(drop, 0.0, 1.0))
+        return scores
+
+
+class RandomBaseline:
+    """Uniform random scores — the AUROC 0.5 sanity anchor."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def churn_scores(
+        self, log: TransactionLog, customers: Iterable[int], window_index: int
+    ) -> dict[int, float]:
+        del log
+        rng = np.random.default_rng((self.seed, window_index))
+        ids = list(customers)
+        return dict(zip(ids, rng.random(len(ids)).tolist()))

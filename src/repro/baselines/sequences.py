@@ -1,0 +1,204 @@
+"""Sequence-based churn baseline, after Miguéis et al. (ESWA 2012).
+
+The paper's related work cites "models using first and last sequences of
+purchased products" [2] as the previous improvement over RFM.  This module
+implements that idea in the same per-window evaluation shape as the RFM
+baseline: for each customer, features are derived from the *first* and
+*last* sequences of product-category purchases observed up to the
+evaluation window, and a logistic regression separates churners from loyal
+customers.
+
+Features (all computed on history strictly before the window end):
+
+* similarity (Jaccard) between the categories of the first-q and last-q
+  baskets — churners drift away from their original repertoire;
+* number of distinct categories in the last-q baskets relative to the
+  first-q — shrinking repertoires signal partial defection;
+* length of the last purchase sequence inside the recent horizon;
+* mean basket size in the last-q baskets over mean in the first-q.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.windowing import WindowGrid
+from repro.data.basket import Basket
+from repro.data.calendar import StudyCalendar
+from repro.data.cohorts import CohortLabels
+from repro.data.transactions import TransactionLog
+from repro.errors import ConfigError, NotFittedError
+from repro.ml.logistic import LogisticRegression
+from repro.ml.preprocess import StandardScaler, impute_finite
+
+__all__ = ["SequenceFeatures", "extract_sequence_features", "SequenceModel"]
+
+SEQUENCE_FEATURE_NAMES = (
+    "first_last_jaccard",
+    "repertoire_ratio",
+    "recent_trip_count",
+    "basket_size_ratio",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SequenceFeatures:
+    """First/last-sequence features of one customer at one window."""
+
+    customer_id: int
+    first_last_jaccard: float
+    repertoire_ratio: float
+    recent_trip_count: float
+    basket_size_ratio: float
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(
+            [
+                self.first_last_jaccard,
+                self.repertoire_ratio,
+                self.recent_trip_count,
+                self.basket_size_ratio,
+            ],
+            dtype=np.float64,
+        )
+
+
+def _category_union(baskets: Sequence[Basket]) -> frozenset[int]:
+    union: set[int] = set()
+    for basket in baskets:
+        union |= basket.items
+    return frozenset(union)
+
+
+def extract_sequence_features(
+    customer_id: int,
+    history: Sequence[Basket],
+    grid: WindowGrid,
+    window_index: int,
+    q: int = 10,
+) -> SequenceFeatures:
+    """First/last-sequence features at the end of ``window_index``.
+
+    ``q`` is the sequence length (number of baskets) taken from each end
+    of the observed history, following the first/last-sequence design of
+    Miguéis et al.
+    """
+    if q <= 0:
+        raise ConfigError(f"q must be positive, got {q}")
+    begin, end = grid.bounds(window_index)
+    observed = [b for b in history if b.day < end]
+    if not observed:
+        return SequenceFeatures(
+            customer_id=customer_id,
+            first_last_jaccard=0.0,
+            repertoire_ratio=0.0,
+            recent_trip_count=0.0,
+            basket_size_ratio=0.0,
+        )
+    first = observed[:q]
+    last = observed[-q:]
+    first_cats = _category_union(first)
+    last_cats = _category_union(last)
+    union = first_cats | last_cats
+    jaccard = len(first_cats & last_cats) / len(union) if union else 0.0
+    repertoire = len(last_cats) / len(first_cats) if first_cats else 0.0
+    recent = [b for b in observed if b.day >= begin]
+    first_size = float(np.mean([b.size for b in first]))
+    last_size = float(np.mean([b.size for b in last]))
+    size_ratio = last_size / first_size if first_size else 0.0
+    return SequenceFeatures(
+        customer_id=customer_id,
+        first_last_jaccard=jaccard,
+        repertoire_ratio=repertoire,
+        recent_trip_count=float(len(recent)),
+        basket_size_ratio=size_ratio,
+    )
+
+
+class SequenceModel:
+    """Logistic regression on first/last-sequence features.
+
+    Mirrors the :class:`~repro.baselines.rfm_model.RFMModel` interface so
+    the evaluation protocol can drive both identically.
+    """
+
+    def __init__(
+        self,
+        calendar: StudyCalendar,
+        window_months: int = 2,
+        q: int = 10,
+        l2: float = 1e-2,
+    ) -> None:
+        if window_months <= 0:
+            raise ConfigError(f"window_months must be positive, got {window_months}")
+        if q <= 0:
+            raise ConfigError(f"q must be positive, got {q}")
+        self.calendar = calendar
+        self.window_months = int(window_months)
+        self.grid = WindowGrid.monthly(calendar, self.window_months)
+        self.q = int(q)
+        self.l2 = float(l2)
+        self._scaler: StandardScaler | None = None
+        self._classifier: LogisticRegression | None = None
+        self._fitted_window: int | None = None
+
+    @property
+    def n_windows(self) -> int:
+        return self.grid.n_windows
+
+    def window_month(self, window_index: int) -> int:
+        return self.grid.end_month(window_index, self.calendar)
+
+    def _matrix(
+        self, log: TransactionLog, customers: Iterable[int], window_index: int
+    ) -> tuple[list[int], np.ndarray]:
+        ids = list(customers)
+        rows = [
+            extract_sequence_features(
+                customer, log.history(customer), self.grid, window_index, q=self.q
+            ).as_array()
+            for customer in ids
+        ]
+        matrix = (
+            np.vstack(rows) if rows else np.empty((0, len(SEQUENCE_FEATURE_NAMES)))
+        )
+        return ids, matrix
+
+    def fit(
+        self,
+        log: TransactionLog,
+        cohorts: CohortLabels,
+        window_index: int,
+        customers: Iterable[int] | None = None,
+    ) -> "SequenceModel":
+        """Train at one evaluation window (protocol-compatible)."""
+        train_ids = (
+            list(customers) if customers is not None else cohorts.all_customers()
+        )
+        ids, features = self._matrix(log, train_ids, window_index)
+        labels = cohorts.label_vector(ids)
+        features = impute_finite(features)
+        self._scaler = StandardScaler().fit(features)
+        self._classifier = LogisticRegression(l2=self.l2).fit(
+            self._scaler.transform(features), labels
+        )
+        self._fitted_window = window_index
+        return self
+
+    def churn_scores(
+        self,
+        log: TransactionLog,
+        customers: Iterable[int],
+        window_index: int | None = None,
+    ) -> dict[int, float]:
+        """Defection probability per customer at the fitted window."""
+        if self._classifier is None or self._scaler is None or self._fitted_window is None:
+            raise NotFittedError("SequenceModel used before fit")
+        index = self._fitted_window if window_index is None else window_index
+        ids, features = self._matrix(log, customers, index)
+        features = impute_finite(features)
+        probabilities = self._classifier.predict_proba(self._scaler.transform(features))
+        return dict(zip(ids, (float(p) for p in probabilities)))

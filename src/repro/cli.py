@@ -1,0 +1,326 @@
+"""Command-line interface.
+
+Subcommands
+-----------
+``generate``   Generate a synthetic dataset and write it to disk.
+``figure1``    Run the Figure 1 experiment (AUROC curves) and print it.
+``figure2``    Run the Figure 2 case study and print it.
+``stats``      Print the dataset-statistics table (E3).
+``tune``       Run the 5-fold CV parameter search (E4).
+``explain``    Explain one customer's stability at one window.
+
+Run ``python -m repro.cli <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.model import StabilityModel
+from repro.core.tuning import tune_stability_model
+from repro.data.io import write_cohorts_json, write_log_csv
+from repro.eval.figure1 import run_figure1
+from repro.eval.figure2 import run_figure2
+from repro.eval.reporting import (
+    format_table,
+    render_dataset_stats,
+    render_figure1,
+    render_figure2,
+)
+from repro.eval.tables import dataset_stats
+from repro.synth.scenarios import paper_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-attrition",
+        description=(
+            "Reproduction of the EDBT 2016 customer-stability attrition model"
+        ),
+    )
+    parser.add_argument(
+        "--loyal", type=int, default=150, help="loyal customers to simulate"
+    )
+    parser.add_argument(
+        "--churners", type=int, default=150, help="defecting customers to simulate"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="dataset seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument(
+        "--out", type=Path, required=True, help="output directory"
+    )
+
+    figure1 = sub.add_parser("figure1", help="run the Figure 1 experiment")
+    figure1.add_argument("--window-months", type=int, default=2)
+    figure1.add_argument("--alpha", type=float, default=2.0)
+
+    sub.add_parser("figure2", help="run the Figure 2 case study")
+    sub.add_parser("stats", help="print dataset statistics (E3)")
+
+    tune = sub.add_parser("tune", help="run the CV parameter search (E4)")
+    tune.add_argument("--folds", type=int, default=5)
+
+    explain = sub.add_parser("explain", help="explain one customer at one window")
+    explain.add_argument("--customer", type=int, required=True)
+    explain.add_argument("--window", type=int, required=True)
+    explain.add_argument("--top-k", type=int, default=5)
+
+    delay = sub.add_parser(
+        "delay", help="detection-delay analysis at a false-alarm budget"
+    )
+    delay.add_argument(
+        "--far", type=float, default=0.1, help="target loyal false-alarm rate"
+    )
+
+    compare = sub.add_parser(
+        "compare", help="compare all models (AUROC + lift) at key months"
+    )
+    compare.add_argument(
+        "--months", type=int, nargs="+", default=[20, 22, 24]
+    )
+
+    losses = sub.add_parser(
+        "losses", help="population loss characterization (paper's future work)"
+    )
+    losses.add_argument("--min-share", type=float, default=0.03)
+    losses.add_argument("--top", type=int, default=10)
+
+    report = sub.add_parser("report", help="full dossier for one customer")
+    report.add_argument("--customer", type=int, required=True)
+    report.add_argument("--top-k", type=int, default=3)
+
+    quality = sub.add_parser("quality", help="profile a transaction CSV")
+    quality.add_argument("--log", type=Path, help="CSV to profile (default: generated)")
+
+    export = sub.add_parser("export", help="export Figure 1 series to CSV/JSON")
+    export.add_argument("--out", type=Path, required=True, help="output file (.csv or .json)")
+    return parser
+
+
+def _dataset(args: argparse.Namespace):
+    return paper_scenario(
+        n_loyal=args.loyal, n_churners=args.churners, seed=args.seed
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = _dataset(args)
+    args.out.mkdir(parents=True, exist_ok=True)
+    write_log_csv(dataset.log, args.out / "transactions.csv")
+    write_cohorts_json(dataset.cohorts, args.out / "cohorts.json")
+    from repro.data.io import write_catalog_jsonl
+
+    write_catalog_jsonl(dataset.catalog, args.out / "catalog.jsonl")
+    print(f"wrote {dataset.log.n_baskets} receipts for "
+          f"{dataset.log.n_customers} customers to {args.out}")
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    dataset = _dataset(args)
+    result = run_figure1(
+        dataset.bundle, window_months=args.window_months, alpha=args.alpha
+    )
+    print(render_figure1(result))
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    del args
+    print(render_figure2(run_figure2()))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = _dataset(args)
+    print(render_dataset_stats(dataset_stats(dataset.bundle)))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    dataset = _dataset(args)
+    outcome = tune_stability_model(
+        dataset.log, dataset.cohorts, dataset.calendar, n_splits=args.folds
+    )
+    rows = [
+        (
+            f"w={p['window_months']}mo alpha={p['alpha']:g}",
+            f"{score:.3f}",
+        )
+        for p, score, _ in sorted(
+            outcome.search.table, key=lambda e: -e[1]
+        )
+    ]
+    print(format_table(("configuration", "mean CV AUROC"), rows))
+    print(
+        f"\nselected: window={outcome.best_window_months} months, "
+        f"alpha={outcome.best_alpha:g} (AUROC {outcome.best_score:.3f}); "
+        f"paper selected window=2, alpha=2"
+    )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    dataset = _dataset(args)
+    if args.customer not in dataset.log:
+        print(f"customer {args.customer} not in the dataset", file=sys.stderr)
+        return 1
+    model = StabilityModel(dataset.calendar).fit(dataset.log, [args.customer])
+    explanation = model.explain(args.customer, args.window, top_k=args.top_k)
+    print(
+        f"customer {args.customer}, window {args.window} "
+        f"(ends month {model.window_month(args.window)}): "
+        f"stability={explanation.stability:.3f}"
+    )
+    rows = [
+        (
+            dataset.catalog.segment(item.item).name,
+            f"{item.significance:.3f}",
+            f"{item.share:.1%}",
+        )
+        for item in explanation.missing
+    ]
+    if rows:
+        print(format_table(("missing segment", "significance", "share"), rows))
+    else:
+        print("no significant segment is missing in this window")
+    return 0
+
+
+def _cmd_delay(args: argparse.Namespace) -> int:
+    from repro.eval.delay import detection_delay
+    from repro.eval.reporting import render_delay
+
+    dataset = _dataset(args)
+    analysis = detection_delay(dataset.bundle, target_false_alarm_rate=args.far)
+    print(render_delay(analysis))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.eval.campaign import compare_models
+    from repro.eval.reporting import render_campaign
+
+    dataset = _dataset(args)
+    comparison = compare_models(
+        dataset.bundle, months=tuple(args.months), budgets=(0.1,)
+    )
+    print(render_campaign(comparison, args.months, budget=0.1))
+    return 0
+
+
+def _cmd_losses(args: argparse.Namespace) -> int:
+    from repro.core.characterization import profile_population
+
+    dataset = _dataset(args)
+    churners = sorted(dataset.cohorts.churners)
+    model = StabilityModel(dataset.calendar).fit(dataset.log, churners)
+    profile = profile_population(
+        (model.trajectory(c) for c in churners), min_share=args.min_share
+    )
+    rows = [
+        (
+            dataset.catalog.segment(s.item).name,
+            s.n_losses,
+            f"{s.abrupt_rate:.0%}",
+            f"{s.recovery_rate:.0%}",
+            f"{s.mean_share:.1%}",
+        )
+        for s in profile.top_lost(args.top)
+    ]
+    print(f"{profile.n_events} loss events across {profile.n_customers} churners\n")
+    print(
+        format_table(
+            ("segment", "losses", "abrupt", "recovered", "mean share"), rows
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.customer_report import build_customer_report, render_customer_report
+
+    dataset = _dataset(args)
+    if args.customer not in dataset.log:
+        print(f"customer {args.customer} not in the dataset", file=sys.stderr)
+        return 1
+    model = StabilityModel(dataset.calendar).fit(dataset.log, [args.customer])
+    report = build_customer_report(model, dataset.log, args.customer)
+    print(render_customer_report(report, dataset.catalog, top_k=args.top_k))
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    from repro.data.io import read_log_csv
+    from repro.data.quality import profile_log, render_quality_report
+
+    if args.log is not None:
+        log = read_log_csv(args.log)
+        calendar = None
+    else:
+        dataset = _dataset(args)
+        log = dataset.log
+        calendar = dataset.calendar
+    print(render_quality_report(profile_log(log, calendar=calendar)))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.viz.export import write_series_csv, write_series_json
+
+    dataset = _dataset(args)
+    result = run_figure1(dataset.bundle)
+    months = result.months()
+    series = {
+        "stability_auroc": result.stability.values(),
+        "rfm_auroc": result.rfm.values(),
+    }
+    if args.out.suffix == ".json":
+        write_series_json(
+            args.out,
+            months,
+            series,
+            x_name="month",
+            metadata={
+                "onset_month": result.onset_month,
+                "window_months": result.window_months,
+                "alpha": result.alpha,
+            },
+        )
+    else:
+        write_series_csv(args.out, months, series, x_name="month")
+    print(f"wrote Figure 1 series to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "report": _cmd_report,
+    "quality": _cmd_quality,
+    "export": _cmd_export,
+    "figure1": _cmd_figure1,
+    "figure2": _cmd_figure2,
+    "stats": _cmd_stats,
+    "tune": _cmd_tune,
+    "explain": _cmd_explain,
+    "delay": _cmd_delay,
+    "compare": _cmd_compare,
+    "losses": _cmd_losses,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

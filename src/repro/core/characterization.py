@@ -1,0 +1,208 @@
+"""Characterizing lost significant products (the paper's future work).
+
+The paper closes with: "In the future, we plan to deepen the study of the
+characterization of significant products that can explain customer
+defection."  This module implements that study:
+
+* :func:`loss_events` — turn a stability trajectory into discrete *loss
+  events*: (item, window it went missing, its significance then, and
+  whether the customer later *recovered* it);
+* :func:`classify_loss` — label each loss as ``abrupt`` (an item at full
+  presence streak vanishes) or ``fading`` (the item's presence had already
+  been decaying);
+* :class:`PopulationLossProfile` — aggregate loss events across a customer
+  base: which segments are lost most, at what significance, how often they
+  are recovered, and the department-level rollup through the taxonomy.
+
+These are the statistics a retailer's category managers would act on: a
+segment that churners abruptly abandon at high significance is a retention
+lever; one that fades everywhere may be a ranging/assortment problem.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stability import StabilityTrajectory
+from repro.data.items import Catalog
+from repro.errors import ConfigError
+
+__all__ = [
+    "LossEvent",
+    "loss_events",
+    "classify_loss",
+    "SegmentLossSummary",
+    "PopulationLossProfile",
+    "profile_population",
+]
+
+#: Loss kinds assigned by :func:`classify_loss`.
+LOSS_KINDS = ("abrupt", "fading")
+
+
+@dataclass(frozen=True, slots=True)
+class LossEvent:
+    """One item going missing from a customer's basket stream.
+
+    Attributes
+    ----------
+    customer_id:
+        The customer losing the item.
+    item:
+        The lost item (segment id at the paper's abstraction level).
+    window_index:
+        First window in which the item is missing after a presence.
+    significance:
+        ``S(item, k)`` at the loss window — how much of a habit was broken.
+    share:
+        Fraction of the customer's total significance mass this item held.
+    kind:
+        ``"abrupt"`` or ``"fading"`` (see :func:`classify_loss`).
+    recovered_window:
+        First later window where the item reappears, or ``None`` if the
+        loss is permanent within the observed horizon.
+    """
+
+    customer_id: int
+    item: int
+    window_index: int
+    significance: float
+    share: float
+    kind: str
+    recovered_window: int | None
+
+
+def classify_loss(presence_history: list[bool], loss_position: int) -> str:
+    """Classify a loss from the item's presence pattern before it.
+
+    ``presence_history`` is the per-window presence of the item up to (not
+    including) the loss window; ``loss_position`` is its length.  The loss
+    is ``abrupt`` when the item was present in every one of the three
+    windows preceding the loss (a clean habit break), otherwise
+    ``fading``.
+    """
+    if loss_position <= 0:
+        raise ConfigError("loss_position must be positive")
+    lookback = presence_history[max(0, loss_position - 3) : loss_position]
+    return "abrupt" if all(lookback) else "fading"
+
+
+def loss_events(
+    trajectory: StabilityTrajectory,
+    min_share: float = 0.01,
+) -> list[LossEvent]:
+    """Extract loss events from one customer's trajectory.
+
+    An item generates a loss event at window ``k`` when it was present in
+    window ``k - 1`` but missing in ``k`` while carrying at least
+    ``min_share`` of the customer's significance mass.  Recovery is the
+    first later window where it reappears.
+    """
+    if not 0.0 <= min_share <= 1.0:
+        raise ConfigError(f"min_share must be in [0, 1], got {min_share}")
+    windows = [record.window.items for record in trajectory.records]
+    events: list[LossEvent] = []
+    seen_items = set().union(*windows) if windows else set()
+    for item in sorted(seen_items):
+        presence = [item in items for items in windows]
+        for k in range(1, len(windows)):
+            if not (presence[k - 1] and not presence[k]):
+                continue
+            record = trajectory.at(k)
+            significance = record.significances.get(item, 0.0)
+            share = (
+                significance / record.total_mass if record.total_mass > 0 else 0.0
+            )
+            if share < min_share:
+                continue
+            recovered = next(
+                (j for j in range(k + 1, len(windows)) if presence[j]), None
+            )
+            events.append(
+                LossEvent(
+                    customer_id=trajectory.customer_id,
+                    item=item,
+                    window_index=k,
+                    significance=significance,
+                    share=share,
+                    kind=classify_loss(presence, k),
+                    recovered_window=recovered,
+                )
+            )
+    events.sort(key=lambda e: (e.window_index, -e.significance, e.item))
+    return events
+
+
+@dataclass(frozen=True)
+class SegmentLossSummary:
+    """Aggregate loss statistics of one segment across a population."""
+
+    item: int
+    n_losses: int
+    n_abrupt: int
+    n_recovered: int
+    mean_share: float
+
+    @property
+    def recovery_rate(self) -> float:
+        return self.n_recovered / self.n_losses if self.n_losses else 0.0
+
+    @property
+    def abrupt_rate(self) -> float:
+        return self.n_abrupt / self.n_losses if self.n_losses else 0.0
+
+
+@dataclass(frozen=True)
+class PopulationLossProfile:
+    """Loss characterization of a whole customer base."""
+
+    segments: dict[int, SegmentLossSummary]
+    n_customers: int
+    n_events: int
+
+    def top_lost(self, k: int = 10) -> list[SegmentLossSummary]:
+        """Segments ranked by number of losses (ties: higher share first)."""
+        return sorted(
+            self.segments.values(),
+            key=lambda s: (-s.n_losses, -s.mean_share, s.item),
+        )[:k]
+
+    def department_rollup(self, catalog: Catalog) -> dict[str, int]:
+        """Loss counts aggregated to departments via the catalog."""
+        rollup: Counter[str] = Counter()
+        for summary in self.segments.values():
+            department = catalog.segment(summary.item).department
+            rollup[department] += summary.n_losses
+        return dict(rollup)
+
+
+def profile_population(
+    trajectories: Iterable[StabilityTrajectory],
+    min_share: float = 0.01,
+) -> PopulationLossProfile:
+    """Aggregate loss events across many customers' trajectories."""
+    losses_by_item: dict[int, list[LossEvent]] = defaultdict(list)
+    n_customers = 0
+    n_events = 0
+    for trajectory in trajectories:
+        n_customers += 1
+        for event in loss_events(trajectory, min_share=min_share):
+            losses_by_item[event.item].append(event)
+            n_events += 1
+    segments = {
+        item: SegmentLossSummary(
+            item=item,
+            n_losses=len(events),
+            n_abrupt=sum(1 for e in events if e.kind == "abrupt"),
+            n_recovered=sum(1 for e in events if e.recovered_window is not None),
+            mean_share=float(np.mean([e.share for e in events])),
+        )
+        for item, events in losses_by_item.items()
+    }
+    return PopulationLossProfile(
+        segments=segments, n_customers=n_customers, n_events=n_events
+    )

@@ -1,0 +1,89 @@
+"""Threshold-based attrition detection.
+
+Section 3.1 of the paper: "The points on these curves are obtained using
+different thresholds beta for the customer stability.  If
+``Stability_i^k > beta`` the customer is considered loyal.  Otherwise, the
+customer is considered as defecting on window k."
+
+:class:`ThresholdDetector` implements that decision rule; for ROC analysis
+the continuous churn score ``1 - stability`` is used directly (sweeping
+``beta`` over [0, 1] traces the same curve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stability import StabilityTrajectory
+from repro.errors import ConfigError
+
+__all__ = ["ThresholdDetector", "Alarm"]
+
+
+@dataclass(frozen=True, slots=True)
+class Alarm:
+    """A defection alarm raised for a customer at a window."""
+
+    customer_id: int
+    window_index: int
+    stability: float
+
+
+@dataclass(frozen=True)
+class ThresholdDetector:
+    """Flags a customer as defecting when stability drops to ``beta`` or below.
+
+    Parameters
+    ----------
+    beta:
+        Stability threshold in [0, 1].  The paper's rule is strict:
+        stability strictly above ``beta`` means loyal.
+    """
+
+    beta: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.beta <= 1.0:
+            raise ConfigError(f"beta must be in [0, 1], got {self.beta}")
+
+    def is_defecting(self, trajectory: StabilityTrajectory, window_index: int) -> bool:
+        """Paper's decision rule at one window.
+
+        Undefined stability (no purchase history yet) is treated as
+        *loyal*: there is no evidence of defection.
+        """
+        record = trajectory.at(window_index)
+        if not record.defined:
+            return False
+        return record.stability <= self.beta
+
+    def alarms(
+        self, trajectory: StabilityTrajectory, first_window: int = 0
+    ) -> list[Alarm]:
+        """All windows at or after ``first_window`` where the rule fires.
+
+        ``first_window`` implements a burn-in: in the first windows the
+        significance counts are small and stability is noisy, so a
+        deployment monitors only once enough history has accumulated (the
+        paper's own evaluation starts at month 12 of a 28-month study).
+        """
+        if first_window < 0:
+            raise ConfigError(f"first_window must be >= 0, got {first_window}")
+        return [
+            Alarm(
+                customer_id=trajectory.customer_id,
+                window_index=record.window.index,
+                stability=record.stability,
+            )
+            for record in trajectory.records
+            if record.window.index >= first_window
+            and record.defined
+            and record.stability <= self.beta
+        ]
+
+    def first_alarm(
+        self, trajectory: StabilityTrajectory, first_window: int = 0
+    ) -> Alarm | None:
+        """Earliest alarm, or ``None`` if the customer never trips the rule."""
+        fired = self.alarms(trajectory, first_window=first_window)
+        return fired[0] if fired else None

@@ -1,0 +1,202 @@
+"""The public facade of the paper's contribution: :class:`StabilityModel`.
+
+The model binds together a window grid, a significance rule and the
+stability/explanation machinery, and exposes the operations the
+evaluation protocol and a retailer's application code need:
+
+* ``fit(log)`` — compute the stability trajectory of every customer;
+* ``trajectory(customer)`` — inspect one customer;
+* ``churn_scores(window)`` — continuous churn score per customer at an
+  evaluation window, ready for ROC analysis or campaign ranking;
+* ``explain(customer, window, k)`` — the paper's argmax-missing-item
+  explanation, extended to top-K.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.detector import Alarm, ThresholdDetector
+from repro.core.explanation import DropExplanation, explain_window
+from repro.core.significance import ExponentialSignificance, SignificanceFunction
+from repro.core.stability import StabilityTrajectory, stability_trajectory
+from repro.core.windowing import WindowGrid, windowed_history
+from repro.data.calendar import StudyCalendar
+from repro.data.transactions import TransactionLog
+from repro.errors import ConfigError, DataError, NotFittedError
+
+__all__ = ["StabilityModel"]
+
+
+class StabilityModel:
+    """Customer-stability attrition model (Gautrais et al., EDBT 2016).
+
+    Parameters
+    ----------
+    calendar:
+        Study calendar the transaction log's day offsets refer to.
+    window_months:
+        Window span ``w`` in whole months (the paper uses 2).
+    alpha:
+        Base of the exponential significance rule (the paper uses 2).
+        Ignored when ``significance`` is given explicitly.
+    significance:
+        Custom significance rule; overrides ``alpha``.
+    counting:
+        Absence-counting scheme, see
+        :class:`~repro.core.significance.SignificanceTracker`.
+    item_weights:
+        Optional per-item weights (e.g. segment prices) producing
+        revenue-weighted stability; see
+        :func:`~repro.core.stability.stability_trajectory`.
+
+    Examples
+    --------
+    >>> from repro.data import Basket, StudyCalendar, TransactionLog
+    >>> calendar = StudyCalendar.paper()
+    >>> log = TransactionLog()
+    >>> for month in range(6):
+    ...     day = calendar.month_start_day(month)
+    ...     log.add(Basket.of(customer_id=7, day=day, items=[1, 2]))
+    >>> model = StabilityModel(calendar, window_months=2, alpha=2).fit(log)
+    >>> model.trajectory(7).at(2).stability
+    1.0
+    """
+
+    def __init__(
+        self,
+        calendar: StudyCalendar,
+        window_months: int = 2,
+        alpha: float = 2.0,
+        significance: SignificanceFunction | None = None,
+        counting: str = "paper",
+        item_weights: dict[int, float] | None = None,
+    ) -> None:
+        if window_months <= 0:
+            raise ConfigError(f"window_months must be positive, got {window_months}")
+        self.calendar = calendar
+        self.window_months = int(window_months)
+        self.significance = (
+            significance if significance is not None else ExponentialSignificance(alpha)
+        )
+        self.counting = counting
+        self.item_weights = dict(item_weights) if item_weights is not None else None
+        self.grid = WindowGrid.monthly(calendar, self.window_months)
+        self._trajectories: dict[int, StabilityTrajectory] | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, log: TransactionLog, customers: Iterable[int] | None = None) -> "StabilityModel":
+        """Compute stability trajectories for customers in the log.
+
+        Parameters
+        ----------
+        log:
+            Segment-level transaction log.
+        customers:
+            Restrict to these customers (default: everyone in the log).
+        """
+        selected = list(customers) if customers is not None else log.customers()
+        trajectories: dict[int, StabilityTrajectory] = {}
+        for customer_id in selected:
+            windows = windowed_history(log.history(customer_id), self.grid)
+            trajectories[customer_id] = stability_trajectory(
+                customer_id,
+                windows,
+                significance=self.significance,
+                counting=self.counting,
+                item_weights=self.item_weights,
+            )
+        self._trajectories = trajectories
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._trajectories is not None
+
+    def _fitted(self) -> dict[int, StabilityTrajectory]:
+        if self._trajectories is None:
+            raise NotFittedError("StabilityModel used before fit")
+        return self._trajectories
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_windows(self) -> int:
+        """Number of windows on the model's grid."""
+        return self.grid.n_windows
+
+    def customers(self) -> list[int]:
+        """Sorted customers with a fitted trajectory."""
+        return sorted(self._fitted())
+
+    def trajectory(self, customer_id: int) -> StabilityTrajectory:
+        """Stability trajectory of one fitted customer."""
+        trajectories = self._fitted()
+        try:
+            return trajectories[customer_id]
+        except KeyError:
+            raise DataError(f"customer {customer_id} was not fitted") from None
+
+    def stability_at(self, customer_id: int, window_index: int) -> float:
+        """``Stability_i^k`` (``nan`` when undefined)."""
+        return self.trajectory(customer_id).at(window_index).stability
+
+    def churn_scores(
+        self, window_index: int, customers: Iterable[int] | None = None
+    ) -> dict[int, float]:
+        """Churn score (``1 - stability``) per customer at a window.
+
+        Higher means more likely defecting; undefined stability maps to a
+        neutral 0.5 (see :meth:`StabilityTrajectory.churn_score`).
+        """
+        selected = list(customers) if customers is not None else self.customers()
+        return {
+            customer_id: self.trajectory(customer_id).churn_score(window_index)
+            for customer_id in selected
+        }
+
+    def explain(
+        self, customer_id: int, window_index: int, top_k: int = 5
+    ) -> DropExplanation:
+        """Top-K most significant items the customer stopped buying."""
+        explanation = explain_window(self.trajectory(customer_id), window_index)
+        return DropExplanation(
+            customer_id=explanation.customer_id,
+            window_index=explanation.window_index,
+            stability=explanation.stability,
+            missing=explanation.top_items(top_k),
+            newly_missing=explanation.newly_missing[:top_k],
+        )
+
+    def detect(self, beta: float, first_month: int = 12) -> list[Alarm]:
+        """First alarm per customer under the paper's threshold rule.
+
+        ``first_month`` is the burn-in: windows ending before it are not
+        monitored (stability is noisy while significance counts are
+        small).  The default matches the start of the paper's evaluation
+        axis.
+        """
+        detector = ThresholdDetector(beta)
+        first_window = next(
+            (
+                k
+                for k in range(self.n_windows)
+                if self.window_month(k) >= first_month
+            ),
+            self.n_windows,
+        )
+        alarms = []
+        for customer_id in self.customers():
+            alarm = detector.first_alarm(
+                self.trajectory(customer_id), first_window=first_window
+            )
+            if alarm is not None:
+                alarms.append(alarm)
+        return alarms
+
+    def window_month(self, window_index: int) -> int:
+        """Months elapsed at the end of a window (Figure 1's x axis)."""
+        return self.grid.end_month(window_index, self.calendar)

@@ -1,0 +1,272 @@
+"""Online (streaming) stability monitoring.
+
+The batch :class:`~repro.core.model.StabilityModel` recomputes trajectories
+from a full log; a deployed system instead sees receipts arrive one by one
+and must re-score customers at every window close.  This module provides
+that deployment shape:
+
+* :class:`CustomerState` — the per-customer incremental state: the
+  significance tracker plus the current window's accumulating item set;
+* :class:`StabilityMonitor` — ingests baskets in timestamp order, closes
+  windows as the clock advances, emits :class:`~repro.core.detector.Alarm`
+  objects for customers whose stability fell to the threshold, and keeps
+  the evidence needed to explain each alarm.
+
+Memory is O(customers x items-ever-bought), independent of history length —
+the property that makes the 6M-customer deployment of the paper's retailer
+feasible.
+
+Equivalence with the batch model is pinned by tests: feeding a log through
+the monitor produces exactly the same stability values as
+``StabilityModel.fit`` on that log.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.detector import Alarm
+from repro.core.significance import ExponentialSignificance, SignificanceFunction, SignificanceTracker
+from repro.core.windowing import WindowGrid
+from repro.data.basket import Basket
+from repro.errors import ConfigError, DataError
+
+__all__ = ["CustomerState", "WindowCloseReport", "StabilityMonitor"]
+
+
+@dataclass
+class CustomerState:
+    """Incremental per-customer state held by the monitor."""
+
+    customer_id: int
+    tracker: SignificanceTracker
+    current_items: set[int] = field(default_factory=set)
+    last_stability: float = math.nan
+
+    def significance_snapshot(self) -> dict[int, float]:
+        """``S(p, k)`` for the window currently being accumulated."""
+        return self.tracker.significance_snapshot()
+
+
+@dataclass(frozen=True)
+class WindowCloseReport:
+    """What the monitor observed when it closed one window.
+
+    Attributes
+    ----------
+    window_index:
+        The closed window ``k``.
+    stabilities:
+        Stability of every monitored customer at ``k`` (``nan`` when
+        undefined).
+    alarms:
+        Customers whose stability fell to the threshold or below.
+    """
+
+    window_index: int
+    stabilities: dict[int, float]
+    alarms: tuple[Alarm, ...]
+
+
+class StabilityMonitor:
+    """Online stability scoring over a stream of timestamped baskets.
+
+    Parameters
+    ----------
+    grid:
+        The shared window grid (same construction as the batch model).
+    beta:
+        Alarm threshold: a customer alarms when ``stability <= beta``.
+    significance:
+        Scoring rule; defaults to the paper's exponential rule.
+    counting:
+        Absence-counting scheme (see
+        :class:`~repro.core.significance.SignificanceTracker`).
+    first_alarm_window:
+        Burn-in: windows before this index never alarm.
+
+    Usage
+    -----
+    Feed baskets in non-decreasing day order via :meth:`ingest`; it
+    returns a :class:`WindowCloseReport` for every window that closed
+    because time advanced past it.  Call :meth:`finish` at end of stream
+    to close the remaining windows.
+    """
+
+    def __init__(
+        self,
+        grid: WindowGrid,
+        beta: float = 0.5,
+        significance: SignificanceFunction | None = None,
+        counting: str = "paper",
+        first_alarm_window: int = 0,
+    ) -> None:
+        if not 0.0 <= beta <= 1.0:
+            raise ConfigError(f"beta must be in [0, 1], got {beta}")
+        if first_alarm_window < 0:
+            raise ConfigError(
+                f"first_alarm_window must be >= 0, got {first_alarm_window}"
+            )
+        self.grid = grid
+        self.beta = float(beta)
+        self.significance = (
+            significance if significance is not None else ExponentialSignificance()
+        )
+        self.counting = counting
+        self.first_alarm_window = int(first_alarm_window)
+        self._states: dict[int, CustomerState] = {}
+        self._current_window = 0
+        self._last_day_seen = -1
+        self._finished = False
+        # Evidence from the most recently closed window, per customer:
+        # {item: significance} of items that were missing in it.
+        self._last_missing: dict[int, dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def current_window(self) -> int:
+        """Index of the window currently accumulating baskets."""
+        return self._current_window
+
+    def customers(self) -> list[int]:
+        """Sorted ids of customers seen so far."""
+        return sorted(self._states)
+
+    def state_of(self, customer_id: int) -> CustomerState:
+        """The incremental state of one customer.
+
+        Raises
+        ------
+        DataError
+            If the customer has never appeared in the stream.
+        """
+        try:
+            return self._states[customer_id]
+        except KeyError:
+            raise DataError(f"customer {customer_id} not in the stream") from None
+
+    def register(self, customer_id: int) -> None:
+        """Pre-register a customer so silent ones are scored from window 0.
+
+        Customers only seen mid-stream are tracked from their first
+        basket; registering the known customer base up front makes a
+        fully silent customer produce empty windows (and eventually
+        alarms) instead of being invisible.
+        """
+        if customer_id not in self._states:
+            self._states[customer_id] = CustomerState(
+                customer_id=customer_id,
+                tracker=SignificanceTracker(self.significance, counting=self.counting),
+            )
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def ingest(self, basket: Basket) -> list[WindowCloseReport]:
+        """Feed one basket; returns reports for any windows this closes.
+
+        Raises
+        ------
+        DataError
+            If baskets arrive out of order, past the grid, or after
+            :meth:`finish`.
+        """
+        if self._finished:
+            raise DataError("monitor already finished")
+        if basket.day < self._last_day_seen:
+            raise DataError(
+                f"baskets must arrive in day order: got day {basket.day} "
+                f"after day {self._last_day_seen}"
+            )
+        window = self.grid.window_of_day(basket.day)
+        if window is None:
+            raise DataError(
+                f"basket day {basket.day} is outside the monitor's grid"
+            )
+        self._last_day_seen = basket.day
+
+        reports = []
+        while self._current_window < window:
+            reports.append(self._close_current_window())
+        self.register(basket.customer_id)
+        self._states[basket.customer_id].current_items |= basket.items
+        return reports
+
+    def ingest_many(self, baskets: Iterable[Basket]) -> list[WindowCloseReport]:
+        """Feed a day-ordered iterable of baskets."""
+        reports: list[WindowCloseReport] = []
+        for basket in baskets:
+            reports.extend(self.ingest(basket))
+        return reports
+
+    def finish(self) -> list[WindowCloseReport]:
+        """Close every remaining window and end the stream."""
+        if self._finished:
+            return []
+        reports = []
+        while self._current_window < self.grid.n_windows:
+            reports.append(self._close_current_window())
+        self._finished = True
+        return reports
+
+    # ------------------------------------------------------------------
+    # Explanation
+    # ------------------------------------------------------------------
+    def explain_alarm(self, customer_id: int, top_k: int = 5) -> list[tuple[int, float]]:
+        """Most significant items missing from the customer's last closed
+        window, as ``(item, significance)`` pairs.
+
+        The monitor keeps one window of evidence, so this explains the most
+        recent :class:`WindowCloseReport` (where the alarm fired).
+        """
+        self.state_of(customer_id)  # validate the id
+        ranked = sorted(
+            self._last_missing.get(customer_id, {}).items(),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked[:top_k]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _close_current_window(self) -> WindowCloseReport:
+        window_index = self._current_window
+        stabilities: dict[int, float] = {}
+        alarms: list[Alarm] = []
+        for customer_id in sorted(self._states):
+            state = self._states[customer_id]
+            snapshot = state.tracker.significance_snapshot()
+            total = sum(snapshot.values())
+            kept = sum(snapshot.get(item, 0.0) for item in state.current_items)
+            stability = kept / total if total > 0 else math.nan
+            stabilities[customer_id] = stability
+            state.last_stability = stability
+            self._last_missing[customer_id] = {
+                item: sig
+                for item, sig in snapshot.items()
+                if item not in state.current_items and sig > 0.0
+            }
+            if (
+                window_index >= self.first_alarm_window
+                and not math.isnan(stability)
+                and stability <= self.beta
+            ):
+                alarms.append(
+                    Alarm(
+                        customer_id=customer_id,
+                        window_index=window_index,
+                        stability=stability,
+                    )
+                )
+            state.tracker.observe_window(state.current_items)
+            state.current_items = set()
+        self._current_window += 1
+        return WindowCloseReport(
+            window_index=window_index,
+            stabilities=stabilities,
+            alarms=tuple(alarms),
+        )

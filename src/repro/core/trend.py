@@ -1,0 +1,149 @@
+"""Forecasting defection from the stability trend.
+
+The abstract promises a model "able to identify customers that are likely
+to defect in the **future** months" — detection *ahead of* the threshold
+crossing.  This module implements the natural forecaster on top of the
+stability series: fit a robust linear trend to a customer's recent
+stability values and extrapolate
+
+* the predicted stability over the next windows, and
+* the number of windows until the trajectory crosses a threshold
+  ``beta`` (``horizon``), with ``None`` meaning "no crossing predicted".
+
+A ranking by imminence (:func:`rank_by_risk`) gives the retailer a
+forward-looking call list: customers who are still above threshold today
+but heading below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stability import StabilityTrajectory
+from repro.errors import ConfigError
+
+__all__ = ["TrendForecast", "forecast_stability", "rank_by_risk"]
+
+
+@dataclass(frozen=True)
+class TrendForecast:
+    """Linear-trend extrapolation of one customer's stability.
+
+    Attributes
+    ----------
+    customer_id:
+        The customer forecast.
+    last_window:
+        Index of the latest window the fit used.
+    level:
+        Fitted stability at ``last_window``.
+    slope:
+        Fitted change in stability per window (negative = declining).
+    windows_to_threshold:
+        Predicted number of windows from ``last_window`` until stability
+        reaches ``beta`` (0 if already at/below); ``None`` when the trend
+        never crosses (flat or rising).
+    n_points:
+        Number of stability values the fit used.
+    """
+
+    customer_id: int
+    last_window: int
+    level: float
+    slope: float
+    windows_to_threshold: float | None
+    n_points: int
+
+    def predicted_stability(self, windows_ahead: int) -> float:
+        """Extrapolated stability ``windows_ahead`` windows past the fit,
+        clipped into [0, 1]."""
+        if windows_ahead < 0:
+            raise ConfigError(f"windows_ahead must be >= 0, got {windows_ahead}")
+        return float(np.clip(self.level + self.slope * windows_ahead, 0.0, 1.0))
+
+
+def forecast_stability(
+    trajectory: StabilityTrajectory,
+    beta: float = 0.5,
+    lookback: int = 4,
+    upto_window: int | None = None,
+) -> TrendForecast:
+    """Fit a linear trend to the last ``lookback`` defined stability values.
+
+    Parameters
+    ----------
+    trajectory:
+        The customer's stability trajectory.
+    beta:
+        Defection threshold the horizon is measured against.
+    lookback:
+        Number of most recent *defined* windows to fit (>= 2).
+    upto_window:
+        Fit only windows up to this index inclusive (default: all) — used
+        to backtest forecasts against later actuals.
+
+    Raises
+    ------
+    ConfigError
+        If fewer than two defined stability values are available.
+    """
+    if lookback < 2:
+        raise ConfigError(f"lookback must be >= 2, got {lookback}")
+    if not 0.0 <= beta <= 1.0:
+        raise ConfigError(f"beta must be in [0, 1], got {beta}")
+    last = len(trajectory) - 1 if upto_window is None else upto_window
+    points = [
+        (record.window.index, record.stability)
+        for record in trajectory.records
+        if record.window.index <= last and record.defined
+    ]
+    if len(points) < 2:
+        raise ConfigError(
+            f"customer {trajectory.customer_id} has {len(points)} defined "
+            f"stability values; need at least 2 to fit a trend"
+        )
+    points = points[-lookback:]
+    xs = np.asarray([p[0] for p in points], dtype=np.float64)
+    ys = np.asarray([p[1] for p in points], dtype=np.float64)
+    x_centred = xs - xs.mean()
+    denominator = float((x_centred**2).sum())
+    slope = float((x_centred * (ys - ys.mean())).sum() / denominator)
+    last_window = int(xs[-1])
+    level = float(ys.mean() + slope * (last_window - xs.mean()))
+
+    if level <= beta:
+        horizon: float | None = 0.0
+    elif slope >= 0.0:
+        horizon = None
+    else:
+        horizon = (beta - level) / slope
+    return TrendForecast(
+        customer_id=trajectory.customer_id,
+        last_window=last_window,
+        level=level,
+        slope=slope,
+        windows_to_threshold=horizon,
+        n_points=len(points),
+    )
+
+
+def rank_by_risk(
+    forecasts: list[TrendForecast], max_horizon: float | None = None
+) -> list[TrendForecast]:
+    """Sort forecasts by imminence of the predicted threshold crossing.
+
+    Customers predicted to cross soonest come first; customers with no
+    predicted crossing come last (ordered by slope, steepest decline
+    first).  ``max_horizon`` drops forecasts whose crossing is further
+    than that many windows away.
+    """
+    crossing = [f for f in forecasts if f.windows_to_threshold is not None]
+    stable = [f for f in forecasts if f.windows_to_threshold is None]
+    if max_horizon is not None:
+        crossing = [f for f in crossing if f.windows_to_threshold <= max_horizon]
+        stable = []
+    crossing.sort(key=lambda f: (f.windows_to_threshold, f.level, f.customer_id))
+    stable.sort(key=lambda f: (f.slope, f.customer_id))
+    return crossing + stable

@@ -1,0 +1,122 @@
+"""Vectorised stability computation.
+
+A second, independent implementation of the paper's stability model built
+on numpy matrices instead of per-window Python sets.  For one customer:
+
+* build the boolean **presence matrix** ``P`` of shape
+  ``(n_items, n_windows)`` (``P[i, k]`` = item ``i`` in window ``k``);
+* prior-presence counts: ``C[:, k] = sum_{v < k} P[:, v]`` (a shifted
+  cumulative sum), and with the paper's counting scheme ``L = k - C``;
+* significance ``S = alpha ** (C - L)`` masked to 0 where ``C == 0``
+  (computed in log space with the same saturation cap as
+  :class:`~repro.core.significance.ExponentialSignificance`);
+* stability per window: ``(P * S).sum(axis=0) / S.sum(axis=0)`` with 0/0
+  mapped to NaN.
+
+The module exists for two reasons:
+
+1. **speed** — scoring a large customer base is ~an order of magnitude
+   faster than the incremental engine;
+2. **differential testing** — two independent implementations of the same
+   definition cross-check each other; the test suite asserts exact
+   agreement on random inputs.
+
+Only the exponential significance and the ``"paper"`` counting scheme are
+supported; the flexible engine remains :mod:`repro.core.stability`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.stability import StabilityTrajectory, stability_trajectory
+from repro.core.windowing import Window, WindowGrid, windowed_history
+from repro.data.transactions import TransactionLog
+from repro.errors import ConfigError
+
+__all__ = ["vectorized_stability", "vectorized_churn_scores"]
+
+#: Saturation cap matching ExponentialSignificance._MAX_LOG.
+_MAX_LOG = 700.0
+
+
+def vectorized_stability(
+    windows: Sequence[Window], alpha: float = 2.0
+) -> np.ndarray:
+    """Stability values of one customer's windowed history.
+
+    Returns an array of length ``len(windows)`` with NaN where stability
+    is undefined (no prior significance mass).  Exact agreement with
+    :func:`~repro.core.stability.stability_trajectory` under the paper's
+    counting scheme is guaranteed (and tested).
+    """
+    if alpha <= 0:
+        raise ConfigError(f"alpha must be positive, got {alpha}")
+    n_windows = len(windows)
+    if n_windows == 0:
+        return np.empty(0, dtype=np.float64)
+    items = sorted({item for window in windows for item in window.items})
+    if not items:
+        return np.full(n_windows, np.nan)
+    index_of = {item: i for i, item in enumerate(items)}
+    presence = np.zeros((len(items), n_windows), dtype=np.float64)
+    for k, window in enumerate(windows):
+        for item in window.items:
+            presence[index_of[item], k] = 1.0
+
+    # C[:, k] = presences strictly before window k; L = k - C (paper scheme).
+    cumulative = np.cumsum(presence, axis=1)
+    prior = np.zeros_like(presence)
+    prior[:, 1:] = cumulative[:, :-1]
+    window_index = np.arange(n_windows, dtype=np.float64)
+    margin = 2.0 * prior - window_index  # C - L = C - (k - C)
+
+    log_alpha = math.log(alpha)
+    significance = np.exp(np.minimum(margin * log_alpha, _MAX_LOG))
+    significance[prior == 0.0] = 0.0
+
+    total = significance.sum(axis=0)
+    kept = (significance * presence).sum(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        stability = np.where(total > 0.0, kept / total, np.nan)
+    return stability
+
+
+def vectorized_churn_scores(
+    log: TransactionLog,
+    grid: WindowGrid,
+    window_index: int,
+    customers: Iterable[int] | None = None,
+    alpha: float = 2.0,
+) -> dict[int, float]:
+    """Churn scores (``1 - stability``) for many customers at one window.
+
+    Drop-in fast path for
+    :meth:`repro.core.model.StabilityModel.churn_scores` with default
+    settings; undefined stability maps to the same neutral 0.5.
+    """
+    if not 0 <= window_index < grid.n_windows:
+        raise ConfigError(
+            f"window index {window_index} out of range [0, {grid.n_windows})"
+        )
+    selected = list(customers) if customers is not None else log.customers()
+    scores: dict[int, float] = {}
+    for customer_id in selected:
+        windows = windowed_history(log.history(customer_id), grid)
+        stability = vectorized_stability(windows, alpha=alpha)[window_index]
+        scores[customer_id] = 0.5 if math.isnan(stability) else 1.0 - float(stability)
+    return scores
+
+
+def reference_stability(
+    windows: Sequence[Window], alpha: float = 2.0
+) -> StabilityTrajectory:
+    """The incremental engine on the same inputs (testing convenience)."""
+    from repro.core.significance import ExponentialSignificance
+
+    return stability_trajectory(
+        0, windows, significance=ExponentialSignificance(alpha)
+    )

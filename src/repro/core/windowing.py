@@ -1,0 +1,171 @@
+"""Windowed databases: splitting purchase histories into fixed windows.
+
+Section 2 of the paper: given a window span ``w``, the customer database
+``D_i`` is divided "in consecutive non overlapping windows of time span w"
+to obtain the windowed database ``D_i^w``, an ordered list of tuples
+``(t^B_k, t^E_k, u_k)`` where ``u_k`` is the set of all products bought
+during window ``k``.
+
+Windows here are anchored on the **study calendar** (all customers share
+the same window grid), expressed in whole months — the paper's evaluation
+uses 2-month windows over a 28-month study and indexes results by month.
+Day-span windows are also supported for datasets without calendar
+structure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.data.basket import Basket
+from repro.data.calendar import StudyCalendar
+from repro.errors import ConfigError
+
+__all__ = ["Window", "WindowGrid", "windowed_history"]
+
+
+@dataclass(frozen=True, slots=True)
+class Window:
+    """One window of a windowed database.
+
+    Attributes
+    ----------
+    index:
+        Window number ``k`` (0-based, chronological).
+    begin_day, end_day:
+        Half-open day-offset interval ``[begin_day, end_day)``.
+    items:
+        ``u_k``: the union of items bought in the window (empty when the
+        customer made no purchase).
+    n_baskets:
+        Number of receipts in the window.
+    monetary:
+        Total spend in the window.
+    """
+
+    index: int
+    begin_day: int
+    end_day: int
+    items: frozenset[int]
+    n_baskets: int = 0
+    monetary: float = 0.0
+
+    @property
+    def span_days(self) -> int:
+        return self.end_day - self.begin_day
+
+
+@dataclass(frozen=True)
+class WindowGrid:
+    """A shared grid of consecutive non-overlapping windows.
+
+    Built either from whole months on a :class:`StudyCalendar`
+    (:meth:`monthly`) or from a fixed day span (:meth:`daily`).
+    """
+
+    boundaries: tuple[int, ...]  # day offsets; window k = [b[k], b[k+1])
+    months_per_window: int | None = None  # set when built from a calendar
+
+    def __post_init__(self) -> None:
+        if len(self.boundaries) < 2:
+            raise ConfigError("a window grid needs at least one window")
+        if any(b >= e for b, e in zip(self.boundaries, self.boundaries[1:])):
+            raise ConfigError("window boundaries must be strictly increasing")
+
+    @classmethod
+    def monthly(cls, calendar: StudyCalendar, months_per_window: int) -> "WindowGrid":
+        """Grid of ``months_per_window``-month windows covering the study.
+
+        A trailing partial window (when the study length is not a
+        multiple of the window span) is dropped, matching the paper's
+        "consecutive non overlapping windows of time span w".
+        """
+        if months_per_window <= 0:
+            raise ConfigError(f"months_per_window must be positive, got {months_per_window}")
+        n_windows = calendar.n_months // months_per_window
+        if n_windows == 0:
+            raise ConfigError(
+                f"window of {months_per_window} months does not fit in a "
+                f"{calendar.n_months}-month study"
+            )
+        boundaries = tuple(
+            calendar.month_start_day(k * months_per_window) for k in range(n_windows)
+        ) + (calendar.month_start_day(n_windows * months_per_window),)
+        return cls(boundaries=boundaries, months_per_window=months_per_window)
+
+    @classmethod
+    def daily(cls, total_days: int, days_per_window: int) -> "WindowGrid":
+        """Grid of fixed ``days_per_window`` windows over ``total_days`` days."""
+        if days_per_window <= 0:
+            raise ConfigError(f"days_per_window must be positive, got {days_per_window}")
+        n_windows = total_days // days_per_window
+        if n_windows == 0:
+            raise ConfigError(
+                f"window of {days_per_window} days does not fit in {total_days} days"
+            )
+        boundaries = tuple(k * days_per_window for k in range(n_windows + 1))
+        return cls(boundaries=boundaries)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_windows(self) -> int:
+        return len(self.boundaries) - 1
+
+    def bounds(self, index: int) -> tuple[int, int]:
+        """``(begin_day, end_day)`` of window ``index``."""
+        if not 0 <= index < self.n_windows:
+            raise ConfigError(f"window index {index} out of range [0, {self.n_windows})")
+        return self.boundaries[index], self.boundaries[index + 1]
+
+    def window_of_day(self, day: int) -> int | None:
+        """Index of the window containing ``day`` (``None`` if outside the grid)."""
+        if day < self.boundaries[0] or day >= self.boundaries[-1]:
+            return None
+        # Linear scan is fine: grids have at most a few dozen windows.
+        for index in range(self.n_windows):
+            if self.boundaries[index] <= day < self.boundaries[index + 1]:
+                return index
+        return None  # pragma: no cover - unreachable by construction
+
+    def end_month(self, index: int, calendar: StudyCalendar) -> int:
+        """Study month in which window ``index`` ends (inclusive month index).
+
+        Used to place a window on the paper's "number of months" axis: a
+        2-month window k covers months ``2k`` and ``2k+1`` and is plotted
+        at month ``2(k+1)`` (months elapsed at its end).
+        """
+        begin, end = self.bounds(index)
+        del begin
+        return calendar.month_of_day(end - 1) + 1
+
+
+def windowed_history(baskets: Sequence[Basket], grid: WindowGrid) -> list[Window]:
+    """Build the windowed database ``D_i^w`` of one customer.
+
+    Every grid window is materialised, including empty ones — a window
+    with no purchases is exactly the signal the stability model reacts
+    to, so it must not be silently dropped.  Baskets outside the grid are
+    ignored.
+    """
+    per_window_items: list[set[int]] = [set() for _ in range(grid.n_windows)]
+    per_window_counts = [0] * grid.n_windows
+    per_window_monetary = [0.0] * grid.n_windows
+    for basket in baskets:
+        index = grid.window_of_day(basket.day)
+        if index is None:
+            continue
+        per_window_items[index] |= basket.items
+        per_window_counts[index] += 1
+        per_window_monetary[index] += basket.monetary
+    return [
+        Window(
+            index=k,
+            begin_day=grid.boundaries[k],
+            end_day=grid.boundaries[k + 1],
+            items=frozenset(per_window_items[k]),
+            n_baskets=per_window_counts[k],
+            monetary=per_window_monetary[k],
+        )
+        for k in range(grid.n_windows)
+    ]

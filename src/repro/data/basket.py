@@ -1,0 +1,84 @@
+"""Baskets: single timestamped receipts.
+
+A basket corresponds to one receipt in the paper's dataset: a customer id,
+a timestamp, the set of items bought and the monetary value of the receipt.
+Item ids may be product ids or segment ids depending on the abstraction
+level of the log holding the basket; the stability model is agnostic, it
+only requires that the ids are consistent within a log.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import DataError
+
+__all__ = ["Basket"]
+
+
+@dataclass(frozen=True, slots=True)
+class Basket:
+    """One receipt: a customer's purchase at a point in time.
+
+    Attributes
+    ----------
+    customer_id:
+        Identifier of the purchasing customer.
+    day:
+        Integer day offset from the study start (see
+        :class:`~repro.data.calendar.StudyCalendar`).
+    items:
+        Set of item ids bought in this receipt.  Quantities are not
+        modelled (the stability model is set-based).
+    monetary:
+        Total monetary value of the receipt, used by the RFM baseline.
+    """
+
+    customer_id: int
+    day: int
+    items: frozenset[int]
+    monetary: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise DataError(f"basket day offset must be >= 0, got {self.day}")
+        if self.monetary < 0:
+            raise DataError(f"basket monetary value must be >= 0, got {self.monetary}")
+        if not isinstance(self.items, frozenset):
+            object.__setattr__(self, "items", frozenset(self.items))
+
+    @classmethod
+    def of(
+        cls,
+        customer_id: int,
+        day: int,
+        items: Iterable[int],
+        monetary: float = 0.0,
+    ) -> "Basket":
+        """Convenience constructor accepting any iterable of item ids."""
+        return cls(
+            customer_id=customer_id,
+            day=day,
+            items=frozenset(items),
+            monetary=monetary,
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of distinct items in the basket."""
+        return len(self.items)
+
+    def abstracted(self, mapping) -> "Basket":
+        """Return a copy with each item id mapped through ``mapping``.
+
+        ``mapping`` is a callable ``item_id -> item_id`` (typically
+        product id -> segment id).  Distinct products mapping to the same
+        segment collapse into one item, matching the paper's abstraction.
+        """
+        return Basket(
+            customer_id=self.customer_id,
+            day=self.day,
+            items=frozenset(mapping(item) for item in self.items),
+            monetary=self.monetary,
+        )

@@ -1,0 +1,143 @@
+"""Study-calendar arithmetic.
+
+The paper's dataset spans May 2012 to August 2014 and all of its evaluation
+is indexed in *months since the start of the study* (Figure 1 and Figure 2
+have "Number of months" on the x axis).  This module provides a small,
+explicit calendar abstraction so the rest of the code can work with month
+indices and day offsets without scattering ``datetime`` arithmetic
+everywhere.
+
+The unit of raw event time throughout the library is an integer **day
+offset** from the study start (day 0 = first day of the study).  A
+:class:`StudyCalendar` converts between day offsets, month indices and real
+dates.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["StudyCalendar", "month_span_days", "PAPER_STUDY_START", "PAPER_STUDY_MONTHS"]
+
+#: Start of the paper's study period (May 2012).
+PAPER_STUDY_START = _dt.date(2012, 5, 1)
+
+#: Number of whole months covered by the paper's dataset (May 2012 .. Aug 2014).
+PAPER_STUDY_MONTHS = 28
+
+
+def _add_months(day: _dt.date, months: int) -> _dt.date:
+    """Return ``day`` shifted forward by ``months`` whole months.
+
+    The day-of-month is clamped to the last valid day of the target month,
+    which only matters for start dates after the 28th.
+    """
+    month_index = day.month - 1 + months
+    year = day.year + month_index // 12
+    month = month_index % 12 + 1
+    # Clamp the day-of-month to the target month's last valid day (at
+    # most 3 steps down, and day 28 always exists).
+    day_of_month = day.day
+    while day_of_month > 28:
+        try:
+            return _dt.date(year, month, day_of_month)
+        except ValueError:
+            day_of_month -= 1
+    return _dt.date(year, month, day_of_month)
+
+
+def month_span_days(start: _dt.date, months: int) -> int:
+    """Number of days covered by ``months`` whole months from ``start``."""
+    return (_add_months(start, months) - start).days
+
+
+@dataclass(frozen=True)
+class StudyCalendar:
+    """Calendar for a study period, converting days <-> months <-> dates.
+
+    Parameters
+    ----------
+    start:
+        First day of the study (day offset 0).
+    n_months:
+        Total number of whole months in the study period.
+
+    Examples
+    --------
+    >>> cal = StudyCalendar.paper()
+    >>> cal.month_of_day(0)
+    0
+    >>> cal.date_of_day(0)
+    datetime.date(2012, 5, 1)
+    """
+
+    start: _dt.date = PAPER_STUDY_START
+    n_months: int = PAPER_STUDY_MONTHS
+
+    def __post_init__(self) -> None:
+        if self.n_months <= 0:
+            raise ConfigError(f"n_months must be positive, got {self.n_months}")
+
+    @classmethod
+    def paper(cls) -> "StudyCalendar":
+        """The calendar of the paper's dataset: May 2012, 28 months."""
+        return cls(start=PAPER_STUDY_START, n_months=PAPER_STUDY_MONTHS)
+
+    # ------------------------------------------------------------------
+    # Day <-> date
+    # ------------------------------------------------------------------
+    @property
+    def n_days(self) -> int:
+        """Total number of days in the study period."""
+        return month_span_days(self.start, self.n_months)
+
+    @property
+    def end(self) -> _dt.date:
+        """First day *after* the study period."""
+        return _add_months(self.start, self.n_months)
+
+    def date_of_day(self, day: int) -> _dt.date:
+        """Calendar date for a day offset."""
+        return self.start + _dt.timedelta(days=int(day))
+
+    def day_of_date(self, date: _dt.date) -> int:
+        """Day offset of a calendar date (may be negative / past the end)."""
+        return (date - self.start).days
+
+    # ------------------------------------------------------------------
+    # Day <-> month index
+    # ------------------------------------------------------------------
+    def month_start_day(self, month: int) -> int:
+        """Day offset of the first day of study month ``month``."""
+        if month < 0:
+            raise ConfigError(f"month index must be >= 0, got {month}")
+        return month_span_days(self.start, month)
+
+    def month_of_day(self, day: int) -> int:
+        """Study-month index containing day offset ``day``.
+
+        Days past the end of the study map onto the month they would fall
+        in if the study were extended.
+        """
+        if day < 0:
+            raise ConfigError(f"day offset must be >= 0, got {day}")
+        date = self.date_of_day(day)
+        return (date.year - self.start.year) * 12 + (date.month - self.start.month) - (
+            1 if date.day < self.start.day else 0
+        )
+
+    def month_bounds_days(self, month: int) -> tuple[int, int]:
+        """Half-open day-offset interval ``[begin, end)`` of a study month."""
+        return self.month_start_day(month), self.month_start_day(month + 1)
+
+    def contains_day(self, day: int) -> bool:
+        """Whether a day offset falls inside the study period."""
+        return 0 <= day < self.n_days
+
+    def month_label(self, month: int) -> str:
+        """Human-readable label like ``'2013-09'`` for a study month."""
+        date = _add_months(self.start, month)
+        return f"{date.year:04d}-{date.month:02d}"

@@ -1,0 +1,127 @@
+"""Cohort labels: loyal customers vs. customers that defected.
+
+In the paper, the retailer provided the ids of *loyal* customers and of
+*loyal customers that defected in the last 6 months*, together with the
+month the defection began (month 18 on Figure 1).  :class:`CohortLabels`
+carries exactly that information, plus (for synthetic data) the
+ground-truth defection onset per churner which the ablations use to score
+explanation quality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataError
+
+__all__ = ["CohortLabels"]
+
+
+@dataclass(frozen=True)
+class CohortLabels:
+    """Loyal / defecting cohort membership.
+
+    Attributes
+    ----------
+    loyal:
+        Ids of customers labelled loyal (negative class).
+    churners:
+        Ids of customers labelled as defected (positive class).
+    onset_month:
+        Study-month index at which defection begins for the churner
+        cohort as a whole (the vertical line in Figure 1).
+    churner_onsets:
+        Optional per-customer ground-truth onset months (synthetic data
+        only); falls back to ``onset_month`` when a customer is absent.
+    """
+
+    loyal: frozenset[int]
+    churners: frozenset[int]
+    onset_month: int
+    churner_onsets: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "loyal", frozenset(self.loyal))
+        object.__setattr__(self, "churners", frozenset(self.churners))
+        overlap = self.loyal & self.churners
+        if overlap:
+            raise DataError(f"customers in both cohorts: {sorted(overlap)[:5]}...")
+        if self.onset_month < 0:
+            raise DataError(f"onset_month must be >= 0, got {self.onset_month}")
+        unknown = set(self.churner_onsets) - set(self.churners)
+        if unknown:
+            raise DataError(
+                f"churner_onsets refers to non-churners: {sorted(unknown)[:5]}..."
+            )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def n_loyal(self) -> int:
+        return len(self.loyal)
+
+    @property
+    def n_churners(self) -> int:
+        return len(self.churners)
+
+    def all_customers(self) -> list[int]:
+        """Sorted ids of every labelled customer."""
+        return sorted(self.loyal | self.churners)
+
+    def onset_of(self, customer_id: int) -> int:
+        """Ground-truth defection onset month for a churner.
+
+        Raises
+        ------
+        DataError
+            If the customer is not in the churner cohort.
+        """
+        if customer_id not in self.churners:
+            raise DataError(f"customer {customer_id} is not a churner")
+        return self.churner_onsets.get(customer_id, self.onset_month)
+
+    def is_churner(self, customer_id: int) -> bool:
+        """Whether a labelled customer is in the churner cohort.
+
+        Raises
+        ------
+        DataError
+            If the customer is not labelled at all.
+        """
+        if customer_id in self.churners:
+            return True
+        if customer_id in self.loyal:
+            return False
+        raise DataError(f"customer {customer_id} has no cohort label")
+
+    def label_vector(self, customer_ids: Iterable[int]) -> np.ndarray:
+        """Binary labels (1 = churner) for the given customers, in order."""
+        return np.asarray(
+            [1 if self.is_churner(c) else 0 for c in customer_ids], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    # Manipulation
+    # ------------------------------------------------------------------
+    def restricted_to(self, customer_ids: Iterable[int]) -> "CohortLabels":
+        """Labels restricted to a subset of customers (for CV folds)."""
+        keep = set(customer_ids)
+        churners = self.churners & keep
+        return CohortLabels(
+            loyal=self.loyal & keep,
+            churners=churners,
+            onset_month=self.onset_month,
+            churner_onsets={
+                c: m for c, m in self.churner_onsets.items() if c in churners
+            },
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"CohortLabels(n_loyal={self.n_loyal}, n_churners={self.n_churners}, "
+            f"onset_month={self.onset_month})"
+        )

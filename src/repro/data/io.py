@@ -1,0 +1,198 @@
+"""Serialisation of transaction logs, catalogs and cohorts.
+
+Two formats are supported:
+
+* **CSV** for transaction logs — one row per receipt with a
+  space-separated item list, the common interchange shape for retail
+  basket datasets (and the shape public datasets like Instacart or
+  dunnhumby reduce to).
+* **JSONL** for catalogs and cohort labels — one JSON object per line.
+
+All writers produce deterministic output (sorted ids) so files can be
+diffed across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.data.basket import Basket
+from repro.data.cohorts import CohortLabels
+from repro.data.items import Catalog
+from repro.data.transactions import TransactionLog
+from repro.errors import SchemaError
+
+__all__ = [
+    "write_log_csv",
+    "read_log_csv",
+    "write_catalog_jsonl",
+    "read_catalog_jsonl",
+    "write_cohorts_json",
+    "read_cohorts_json",
+]
+
+_LOG_HEADER = ["customer_id", "day", "items", "monetary"]
+
+
+# ----------------------------------------------------------------------
+# Transaction logs (CSV)
+# ----------------------------------------------------------------------
+def write_log_csv(log: TransactionLog, path: str | Path) -> None:
+    """Write a transaction log as CSV, one row per receipt."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_LOG_HEADER)
+        for basket in log:
+            writer.writerow(
+                [
+                    basket.customer_id,
+                    basket.day,
+                    " ".join(str(i) for i in sorted(basket.items)),
+                    f"{basket.monetary:.2f}",
+                ]
+            )
+
+
+def read_log_csv(path: str | Path) -> TransactionLog:
+    """Read a transaction log written by :func:`write_log_csv`.
+
+    Raises
+    ------
+    SchemaError
+        If the header or any row does not match the expected schema.
+    """
+    path = Path(path)
+    log = TransactionLog()
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _LOG_HEADER:
+            raise SchemaError(f"unexpected CSV header in {path}: {header}")
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(_LOG_HEADER):
+                raise SchemaError(f"{path}:{line_no}: expected {len(_LOG_HEADER)} fields")
+            try:
+                items = [int(token) for token in row[2].split()] if row[2] else []
+                basket = Basket.of(
+                    customer_id=int(row[0]),
+                    day=int(row[1]),
+                    items=items,
+                    monetary=float(row[3]),
+                )
+            except ValueError as exc:
+                raise SchemaError(f"{path}:{line_no}: {exc}") from exc
+            log.add(basket)
+    return log
+
+
+# ----------------------------------------------------------------------
+# Catalogs (JSONL)
+# ----------------------------------------------------------------------
+def write_catalog_jsonl(catalog: Catalog, path: str | Path) -> None:
+    """Write a catalog as JSONL: segment records then product records."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for segment in catalog.segments():
+            handle.write(
+                json.dumps(
+                    {
+                        "kind": "segment",
+                        "segment_id": segment.segment_id,
+                        "name": segment.name,
+                        "department": segment.department,
+                    }
+                )
+                + "\n"
+            )
+        for product in catalog.products():
+            handle.write(
+                json.dumps(
+                    {
+                        "kind": "product",
+                        "product_id": product.product_id,
+                        "name": product.name,
+                        "segment_id": product.segment_id,
+                        "unit_price": product.unit_price,
+                    }
+                )
+                + "\n"
+            )
+
+
+def read_catalog_jsonl(path: str | Path) -> Catalog:
+    """Read a catalog written by :func:`write_catalog_jsonl`.
+
+    Ids are re-assigned densely in file order; files produced by the
+    writer round-trip exactly because the writer emits records in id
+    order.
+    """
+    path = Path(path)
+    catalog = Catalog()
+    segment_remap: dict[int, int] = {}
+    with path.open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"{path}:{line_no}: invalid JSON") from exc
+            kind = record.get("kind")
+            if kind == "segment":
+                segment = catalog.add_segment(
+                    record["name"], department=record.get("department", "Unknown")
+                )
+                segment_remap[int(record["segment_id"])] = segment.segment_id
+            elif kind == "product":
+                original = int(record["segment_id"])
+                if original not in segment_remap:
+                    raise SchemaError(
+                        f"{path}:{line_no}: product references unknown segment {original}"
+                    )
+                catalog.add_product(
+                    record["name"],
+                    segment_remap[original],
+                    unit_price=float(record.get("unit_price", 1.0)),
+                )
+            else:
+                raise SchemaError(f"{path}:{line_no}: unknown record kind {kind!r}")
+    return catalog
+
+
+# ----------------------------------------------------------------------
+# Cohorts (JSON)
+# ----------------------------------------------------------------------
+def write_cohorts_json(cohorts: CohortLabels, path: str | Path) -> None:
+    """Write cohort labels as a single JSON document."""
+    path = Path(path)
+    payload = {
+        "loyal": sorted(cohorts.loyal),
+        "churners": sorted(cohorts.churners),
+        "onset_month": cohorts.onset_month,
+        "churner_onsets": {str(k): v for k, v in sorted(cohorts.churner_onsets.items())},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def read_cohorts_json(path: str | Path) -> CohortLabels:
+    """Read cohort labels written by :func:`write_cohorts_json`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: invalid JSON") from exc
+    for key in ("loyal", "churners", "onset_month"):
+        if key not in payload:
+            raise SchemaError(f"{path}: missing key {key!r}")
+    return CohortLabels(
+        loyal=frozenset(int(c) for c in payload["loyal"]),
+        churners=frozenset(int(c) for c in payload["churners"]),
+        onset_month=int(payload["onset_month"]),
+        churner_onsets={
+            int(k): int(v) for k, v in payload.get("churner_onsets", {}).items()
+        },
+    )

@@ -1,0 +1,183 @@
+"""Products, segments and the retail catalog.
+
+The paper's dataset contains ~4 million *products* grouped by a taxonomy
+into 3,388 *segments* ("Milk", "Coffee", ...).  The stability model is
+applied at the segment level (the explanations in Figure 2 name segments),
+so the catalog keeps both granularities and knows how to abstract one into
+the other.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import DataError
+
+__all__ = ["Product", "Segment", "Catalog"]
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A product segment (the abstraction level used by the model).
+
+    Attributes
+    ----------
+    segment_id:
+        Dense integer identifier, unique within a catalog.
+    name:
+        Human-readable segment name (e.g. ``"Coffee"``).
+    department:
+        Name of the department the segment belongs to (taxonomy level
+        above segments, e.g. ``"Beverages"``).
+    """
+
+    segment_id: int
+    name: str
+    department: str = "Unknown"
+
+
+@dataclass(frozen=True, slots=True)
+class Product:
+    """A single sellable product (SKU).
+
+    Attributes
+    ----------
+    product_id:
+        Dense integer identifier, unique within a catalog.
+    name:
+        Human-readable product name.
+    segment_id:
+        Identifier of the segment this product belongs to.
+    unit_price:
+        Reference unit price, used by the synthetic generator to derive
+        monetary values for baskets.
+    """
+
+    product_id: int
+    name: str
+    segment_id: int
+    unit_price: float = 1.0
+
+
+@dataclass
+class Catalog:
+    """The set of products and segments of a retailer.
+
+    A catalog guarantees referential integrity: every product's
+    ``segment_id`` must identify a registered segment.
+
+    Examples
+    --------
+    >>> catalog = Catalog()
+    >>> coffee = catalog.add_segment("Coffee", department="Beverages")
+    >>> arabica = catalog.add_product("Arabica 250g", coffee.segment_id, unit_price=4.5)
+    >>> catalog.segment_of(arabica.product_id).name
+    'Coffee'
+    """
+
+    _segments: dict[int, Segment] = field(default_factory=dict)
+    _products: dict[int, Product] = field(default_factory=dict)
+    _segment_names: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_segment(self, name: str, department: str = "Unknown") -> Segment:
+        """Register a new segment and return it.
+
+        Raises
+        ------
+        DataError
+            If a segment with the same name already exists.
+        """
+        if name in self._segment_names:
+            raise DataError(f"duplicate segment name: {name!r}")
+        segment = Segment(segment_id=len(self._segments), name=name, department=department)
+        self._segments[segment.segment_id] = segment
+        self._segment_names[name] = segment.segment_id
+        return segment
+
+    def add_product(self, name: str, segment_id: int, unit_price: float = 1.0) -> Product:
+        """Register a new product under an existing segment and return it.
+
+        Raises
+        ------
+        DataError
+            If ``segment_id`` is unknown or ``unit_price`` is not positive.
+        """
+        if segment_id not in self._segments:
+            raise DataError(f"unknown segment_id: {segment_id}")
+        if unit_price <= 0:
+            raise DataError(f"unit_price must be positive, got {unit_price}")
+        product = Product(
+            product_id=len(self._products),
+            name=name,
+            segment_id=segment_id,
+            unit_price=unit_price,
+        )
+        self._products[product.product_id] = product
+        return product
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def n_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def n_products(self) -> int:
+        return len(self._products)
+
+    def segment(self, segment_id: int) -> Segment:
+        """Segment by id. Raises :class:`DataError` if unknown."""
+        try:
+            return self._segments[segment_id]
+        except KeyError:
+            raise DataError(f"unknown segment_id: {segment_id}") from None
+
+    def product(self, product_id: int) -> Product:
+        """Product by id. Raises :class:`DataError` if unknown."""
+        try:
+            return self._products[product_id]
+        except KeyError:
+            raise DataError(f"unknown product_id: {product_id}") from None
+
+    def segment_by_name(self, name: str) -> Segment:
+        """Segment by its (unique) name. Raises :class:`DataError` if unknown."""
+        try:
+            return self._segments[self._segment_names[name]]
+        except KeyError:
+            raise DataError(f"unknown segment name: {name!r}") from None
+
+    def segment_of(self, product_id: int) -> Segment:
+        """Segment that a product belongs to."""
+        return self.segment(self.product(product_id).segment_id)
+
+    def segments(self) -> Iterator[Segment]:
+        """Iterate over segments in id order."""
+        return iter(sorted(self._segments.values(), key=lambda s: s.segment_id))
+
+    def products(self) -> Iterator[Product]:
+        """Iterate over products in id order."""
+        return iter(sorted(self._products.values(), key=lambda p: p.product_id))
+
+    def products_in_segment(self, segment_id: int) -> list[Product]:
+        """All products belonging to a segment (validates the id)."""
+        self.segment(segment_id)
+        return [p for p in self.products() if p.segment_id == segment_id]
+
+    def abstract_items(self, product_ids: Iterable[int]) -> frozenset[int]:
+        """Map a collection of product ids to the set of their segment ids.
+
+        This is the taxonomy abstraction the paper applies before running
+        the stability model: basket contents expressed as segments.
+        """
+        return frozenset(self.product(pid).segment_id for pid in product_ids)
+
+    def __contains__(self, product_id: object) -> bool:
+        return product_id in self._products
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Catalog(n_products={self.n_products}, n_segments={self.n_segments})"

@@ -1,0 +1,192 @@
+"""Behavioural cohort construction for unlabeled transaction logs.
+
+In the paper the retailer *provided* the ids of loyal customers and of
+loyal customers that defected in the last 6 months.  Public retail
+datasets come without those labels, so applying the pipeline to them
+needs the labels derived from behaviour.  This module implements the
+standard construction (after Buckinx & Van den Poel's "behaviourally
+loyal" selection):
+
+1. :func:`select_loyal` — customers who shopped steadily through an
+   *observation period* (minimum trips per month, minimum active months):
+   the behaviourally loyal base.
+2. :func:`label_partial_defection` — among those, compare each customer's
+   trip rate in the *outcome period* (e.g. the last 6 months) with their
+   own observation-period rate; customers whose ratio falls below a
+   drop threshold are labelled churners, the rest loyal.
+
+The output is a regular :class:`~repro.data.cohorts.CohortLabels`, so the
+whole evaluation harness runs unchanged on a label-free log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.calendar import StudyCalendar
+from repro.data.cohorts import CohortLabels
+from repro.data.transactions import TransactionLog
+from repro.errors import ConfigError, DataError
+
+__all__ = ["LoyaltyCriteria", "select_loyal", "label_partial_defection", "build_cohorts"]
+
+
+@dataclass(frozen=True)
+class LoyaltyCriteria:
+    """Thresholds defining a behaviourally loyal customer.
+
+    Attributes
+    ----------
+    min_trips_per_month:
+        Minimum average shopping trips per observation month.
+    min_active_months:
+        Minimum number of distinct observation months with at least one
+        trip.
+    """
+
+    min_trips_per_month: float = 1.0
+    min_active_months: int = 9
+
+    def __post_init__(self) -> None:
+        if self.min_trips_per_month <= 0:
+            raise ConfigError(
+                f"min_trips_per_month must be positive, got {self.min_trips_per_month}"
+            )
+        if self.min_active_months <= 0:
+            raise ConfigError(
+                f"min_active_months must be positive, got {self.min_active_months}"
+            )
+
+
+def _monthly_trip_counts(
+    log: TransactionLog, calendar: StudyCalendar, customer_id: int,
+    first_month: int, last_month: int,
+) -> dict[int, int]:
+    """Trips per study month in the inclusive month range."""
+    counts: dict[int, int] = {}
+    for basket in log.history(customer_id):
+        month = calendar.month_of_day(basket.day)
+        if first_month <= month <= last_month:
+            counts[month] = counts.get(month, 0) + 1
+    return counts
+
+
+def select_loyal(
+    log: TransactionLog,
+    calendar: StudyCalendar,
+    observation_end_month: int,
+    criteria: LoyaltyCriteria | None = None,
+) -> list[int]:
+    """Customers behaviourally loyal during months ``[0, observation_end_month)``.
+
+    Raises
+    ------
+    ConfigError
+        If the observation period is empty or exceeds the study.
+    """
+    criteria = criteria if criteria is not None else LoyaltyCriteria()
+    if not 0 < observation_end_month <= calendar.n_months:
+        raise ConfigError(
+            f"observation_end_month must be in (0, {calendar.n_months}], "
+            f"got {observation_end_month}"
+        )
+    loyal: list[int] = []
+    n_months = observation_end_month
+    for customer_id in log.customers():
+        counts = _monthly_trip_counts(
+            log, calendar, customer_id, 0, observation_end_month - 1
+        )
+        total_trips = sum(counts.values())
+        if (
+            len(counts) >= criteria.min_active_months
+            and total_trips / n_months >= criteria.min_trips_per_month
+        ):
+            loyal.append(customer_id)
+    return loyal
+
+
+def label_partial_defection(
+    log: TransactionLog,
+    calendar: StudyCalendar,
+    customers: list[int],
+    outcome_start_month: int,
+    drop_threshold: float = 0.5,
+) -> tuple[frozenset[int], frozenset[int]]:
+    """Split loyal customers into (still loyal, partially defected).
+
+    A customer is a churner when their outcome-period trip rate falls
+    below ``drop_threshold`` times their observation-period rate — the
+    behavioural definition of *partial* defection (they still shop, just
+    much less).
+
+    Returns
+    -------
+    (loyal, churners)
+        Two disjoint frozen sets covering ``customers``.
+    """
+    if not 0 < outcome_start_month < calendar.n_months:
+        raise ConfigError(
+            f"outcome_start_month must be in (0, {calendar.n_months}), "
+            f"got {outcome_start_month}"
+        )
+    if not 0.0 < drop_threshold < 1.0:
+        raise ConfigError(
+            f"drop_threshold must be in (0, 1), got {drop_threshold}"
+        )
+    if not customers:
+        raise DataError("no customers to label")
+    observation_months = outcome_start_month
+    outcome_months = calendar.n_months - outcome_start_month
+    loyal: set[int] = set()
+    churners: set[int] = set()
+    for customer_id in customers:
+        observation = _monthly_trip_counts(
+            log, calendar, customer_id, 0, outcome_start_month - 1
+        )
+        outcome = _monthly_trip_counts(
+            log, calendar, customer_id, outcome_start_month, calendar.n_months - 1
+        )
+        observation_rate = sum(observation.values()) / observation_months
+        outcome_rate = sum(outcome.values()) / outcome_months
+        if observation_rate == 0.0:
+            # Never shopped in the observation period: cannot be said to
+            # have defected from anything; treat as loyal-by-default.
+            loyal.add(customer_id)
+        elif outcome_rate < drop_threshold * observation_rate:
+            churners.add(customer_id)
+        else:
+            loyal.add(customer_id)
+    return frozenset(loyal), frozenset(churners)
+
+
+def build_cohorts(
+    log: TransactionLog,
+    calendar: StudyCalendar,
+    outcome_start_month: int,
+    criteria: LoyaltyCriteria | None = None,
+    drop_threshold: float = 0.5,
+) -> CohortLabels:
+    """The full label-free pipeline: select loyal, then label defection.
+
+    Mirrors the retailer's process in the paper: the loyal base is
+    defined on the observation period, and the churner cohort is the
+    subset that (partially) defected in the outcome period starting at
+    ``outcome_start_month``.
+    """
+    base = select_loyal(
+        log, calendar, observation_end_month=outcome_start_month, criteria=criteria
+    )
+    if not base:
+        raise DataError(
+            "no behaviourally loyal customers found; relax the criteria"
+        )
+    loyal, churners = label_partial_defection(
+        log,
+        calendar,
+        base,
+        outcome_start_month=outcome_start_month,
+        drop_threshold=drop_threshold,
+    )
+    return CohortLabels(
+        loyal=loyal, churners=churners, onset_month=outcome_start_month
+    )

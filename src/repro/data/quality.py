@@ -1,0 +1,166 @@
+"""Data-quality profiling for incoming transaction logs.
+
+Before fitting models on a new retailer export, a pipeline should check
+the data itself.  :func:`profile_log` computes the health report:
+
+* coverage: customers, receipts, date span, receipts per active month;
+* anomalies: duplicate receipts (same customer, day and items), empty
+  baskets, monetary outliers (robust z-score on log-spend), calendar
+  gaps (months with zero receipts overall);
+* distributions: basket-size and inter-purchase quantiles.
+
+The report is plain data (no side effects); :func:`render_quality_report`
+turns it into text.  The checks raise nothing — data quality is a
+*report*, not a gate (gates live in :mod:`repro.data.validation`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.calendar import StudyCalendar
+from repro.data.transactions import TransactionLog
+
+__all__ = ["QualityReport", "profile_log", "render_quality_report"]
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """The health report of one transaction log."""
+
+    n_customers: int
+    n_receipts: int
+    day_span: tuple[int, int] | None
+    receipts_per_customer_quantiles: dict[str, float]
+    basket_size_quantiles: dict[str, float]
+    interpurchase_days_quantiles: dict[str, float]
+    n_duplicate_receipts: int
+    n_empty_baskets: int
+    n_monetary_outliers: int
+    empty_months: list[int]
+
+    @property
+    def is_clean(self) -> bool:
+        """No duplicates, empties, outliers or silent months."""
+        return (
+            self.n_duplicate_receipts == 0
+            and self.n_empty_baskets == 0
+            and self.n_monetary_outliers == 0
+            and not self.empty_months
+        )
+
+
+def _quantiles(values: list[float]) -> dict[str, float]:
+    if not values:
+        return {"p10": 0.0, "p50": 0.0, "p90": 0.0}
+    array = np.asarray(values, dtype=np.float64)
+    p10, p50, p90 = np.quantile(array, [0.1, 0.5, 0.9])
+    return {"p10": float(p10), "p50": float(p50), "p90": float(p90)}
+
+
+def profile_log(
+    log: TransactionLog,
+    calendar: StudyCalendar | None = None,
+    outlier_z: float = 4.0,
+) -> QualityReport:
+    """Profile a transaction log.
+
+    Parameters
+    ----------
+    log:
+        The log to profile (may be empty).
+    calendar:
+        When given, months with zero receipts across the whole log are
+        reported as ``empty_months`` (a sign of missing extract files).
+    outlier_z:
+        Robust z-score (median/MAD on log1p-spend) beyond which a
+        receipt's monetary value counts as an outlier.
+    """
+    receipts_per_customer: list[float] = []
+    basket_sizes: list[float] = []
+    gaps: list[float] = []
+    monetary: list[float] = []
+    duplicates = 0
+    empties = 0
+    month_counts: Counter[int] = Counter()
+
+    for customer in log.customers():
+        history = log.history(customer)
+        receipts_per_customer.append(float(len(history)))
+        seen: set[tuple[int, frozenset[int]]] = set()
+        previous_day: int | None = None
+        for basket in history:
+            basket_sizes.append(float(basket.size))
+            monetary.append(basket.monetary)
+            if basket.size == 0:
+                empties += 1
+            key = (basket.day, basket.items)
+            if key in seen:
+                duplicates += 1
+            seen.add(key)
+            if previous_day is not None:
+                gaps.append(float(basket.day - previous_day))
+            previous_day = basket.day
+            if calendar is not None:
+                month_counts[calendar.month_of_day(basket.day)] += 1
+
+    n_outliers = 0
+    if monetary:
+        logged = np.log1p(np.asarray(monetary, dtype=np.float64))
+        median = np.median(logged)
+        mad = np.median(np.abs(logged - median))
+        if mad > 0:
+            robust_z = 0.6745 * (logged - median) / mad
+            n_outliers = int(np.sum(np.abs(robust_z) > outlier_z))
+
+    empty_months: list[int] = []
+    if calendar is not None and log.n_baskets:
+        empty_months = [
+            month for month in range(calendar.n_months) if month_counts[month] == 0
+        ]
+
+    return QualityReport(
+        n_customers=log.n_customers,
+        n_receipts=log.n_baskets,
+        day_span=log.day_range() if log.n_baskets else None,
+        receipts_per_customer_quantiles=_quantiles(receipts_per_customer),
+        basket_size_quantiles=_quantiles(basket_sizes),
+        interpurchase_days_quantiles=_quantiles(gaps),
+        n_duplicate_receipts=duplicates,
+        n_empty_baskets=empties,
+        n_monetary_outliers=n_outliers,
+        empty_months=empty_months,
+    )
+
+
+def render_quality_report(report: QualityReport) -> str:
+    """Render a quality report as plain text."""
+
+    def q(values: dict[str, float]) -> str:
+        return (
+            f"p10 {values['p10']:.1f} / p50 {values['p50']:.1f} / "
+            f"p90 {values['p90']:.1f}"
+        )
+
+    span = (
+        f"days {report.day_span[0]}..{report.day_span[1]}"
+        if report.day_span
+        else "(empty log)"
+    )
+    lines = [
+        f"customers: {report.n_customers:,}   receipts: {report.n_receipts:,}   {span}",
+        f"receipts/customer: {q(report.receipts_per_customer_quantiles)}",
+        f"basket size:       {q(report.basket_size_quantiles)}",
+        f"days between trips:{q(report.interpurchase_days_quantiles)}",
+        "",
+        f"duplicate receipts: {report.n_duplicate_receipts}",
+        f"empty baskets:      {report.n_empty_baskets}",
+        f"monetary outliers:  {report.n_monetary_outliers}",
+    ]
+    if report.empty_months:
+        lines.append(f"months with NO receipts: {report.empty_months}")
+    lines.append("verdict: " + ("CLEAN" if report.is_clean else "NEEDS REVIEW"))
+    return "\n".join(lines)

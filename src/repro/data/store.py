@@ -1,0 +1,206 @@
+"""Columnar event store backed by numpy.
+
+The :class:`EventStore` is the database-style representation of a
+transaction log: one row per ``(receipt, item)`` event, stored as parallel
+numpy arrays.  It is the efficient interchange format for bulk operations
+(vectorised filtering, aggregation for RFM features) and converts losslessly
+to and from :class:`~repro.data.transactions.TransactionLog`.
+
+Columns
+-------
+``customer_id``  int64 — purchasing customer
+``receipt_id``   int64 — receipt the event belongs to (unique per basket)
+``day``          int64 — day offset from study start
+``item_id``      int64 — item bought
+``monetary``     float64 — monetary value of the *receipt*, replicated on
+                 each of its rows (use :meth:`receipt_table` to deduplicate)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.basket import Basket
+from repro.data.transactions import TransactionLog
+from repro.errors import DataError
+
+__all__ = ["EventStore"]
+
+
+@dataclass(frozen=True)
+class EventStore:
+    """Immutable columnar table of purchase events."""
+
+    customer_id: np.ndarray
+    receipt_id: np.ndarray
+    day: np.ndarray
+    item_id: np.ndarray
+    monetary: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.customer_id),
+            len(self.receipt_id),
+            len(self.day),
+            len(self.item_id),
+            len(self.monetary),
+        }
+        if len(lengths) != 1:
+            raise DataError(f"EventStore columns have mismatched lengths: {lengths}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "EventStore":
+        """An event store with zero rows."""
+        return cls(
+            customer_id=np.empty(0, dtype=np.int64),
+            receipt_id=np.empty(0, dtype=np.int64),
+            day=np.empty(0, dtype=np.int64),
+            item_id=np.empty(0, dtype=np.int64),
+            monetary=np.empty(0, dtype=np.float64),
+        )
+
+    @classmethod
+    def from_log(cls, log: TransactionLog) -> "EventStore":
+        """Flatten a transaction log into columnar events.
+
+        Receipt ids are assigned densely in (customer, day) iteration
+        order, so the conversion is deterministic.
+        """
+        customers: list[int] = []
+        receipts: list[int] = []
+        days: list[int] = []
+        items: list[int] = []
+        monetary: list[float] = []
+        receipt_id = 0
+        for basket in log:
+            for item in sorted(basket.items):
+                customers.append(basket.customer_id)
+                receipts.append(receipt_id)
+                days.append(basket.day)
+                items.append(item)
+                monetary.append(basket.monetary)
+            receipt_id += 1
+        return cls(
+            customer_id=np.asarray(customers, dtype=np.int64),
+            receipt_id=np.asarray(receipts, dtype=np.int64),
+            day=np.asarray(days, dtype=np.int64),
+            item_id=np.asarray(items, dtype=np.int64),
+            monetary=np.asarray(monetary, dtype=np.float64),
+        )
+
+    def to_log(self) -> TransactionLog:
+        """Reassemble a transaction log (inverse of :meth:`from_log`)."""
+        log = TransactionLog()
+        for _, rows in self._group_rows_by(self.receipt_id):
+            log.add(
+                Basket.of(
+                    customer_id=int(self.customer_id[rows[0]]),
+                    day=int(self.day[rows[0]]),
+                    items=(int(i) for i in self.item_id[rows]),
+                    monetary=float(self.monetary[rows[0]]),
+                )
+            )
+        return log
+
+    # ------------------------------------------------------------------
+    # Shape / aggregate queries
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self.customer_id)
+
+    @property
+    def n_receipts(self) -> int:
+        return len(np.unique(self.receipt_id))
+
+    @property
+    def n_customers(self) -> int:
+        return len(np.unique(self.customer_id))
+
+    @property
+    def n_items(self) -> int:
+        return len(np.unique(self.item_id))
+
+    def day_range(self) -> tuple[int, int]:
+        """``(min_day, max_day)`` over all events."""
+        if not self.n_rows:
+            raise DataError("event store is empty")
+        return int(self.day.min()), int(self.day.max())
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+    def _masked(self, mask: np.ndarray) -> "EventStore":
+        return EventStore(
+            customer_id=self.customer_id[mask],
+            receipt_id=self.receipt_id[mask],
+            day=self.day[mask],
+            item_id=self.item_id[mask],
+            monetary=self.monetary[mask],
+        )
+
+    def filter_days(self, begin: int, end: int) -> "EventStore":
+        """Rows whose day falls in the half-open interval ``[begin, end)``."""
+        if end < begin:
+            raise DataError(f"invalid day interval: [{begin}, {end})")
+        return self._masked((self.day >= begin) & (self.day < end))
+
+    def filter_customers(self, customer_ids) -> "EventStore":
+        """Rows belonging to the given customers."""
+        wanted = np.asarray(sorted(set(int(c) for c in customer_ids)), dtype=np.int64)
+        return self._masked(np.isin(self.customer_id, wanted))
+
+    # ------------------------------------------------------------------
+    # Group-by helpers
+    # ------------------------------------------------------------------
+    def _group_rows_by(self, keys: np.ndarray) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(key, row_indices)`` pairs grouped by ``keys``, key-sorted."""
+        if not self.n_rows:
+            return
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+        for rows in np.split(order, boundaries):
+            yield int(keys[rows[0]]), rows
+
+    def by_customer(self) -> Iterator[tuple[int, "EventStore"]]:
+        """Iterate ``(customer_id, sub_store)`` in customer-id order."""
+        for customer, rows in self._group_rows_by(self.customer_id):
+            yield customer, self._masked(rows)
+
+    def receipt_table(self) -> dict[str, np.ndarray]:
+        """One row per receipt: ids, customer, day, basket size, monetary.
+
+        Returns a dict of parallel arrays keyed by column name — the
+        aggregation the RFM feature extractor runs on.
+        """
+        receipt_ids: list[int] = []
+        customers: list[int] = []
+        days: list[int] = []
+        sizes: list[int] = []
+        monetary: list[float] = []
+        for receipt, rows in self._group_rows_by(self.receipt_id):
+            receipt_ids.append(receipt)
+            customers.append(int(self.customer_id[rows[0]]))
+            days.append(int(self.day[rows[0]]))
+            sizes.append(len(rows))
+            monetary.append(float(self.monetary[rows[0]]))
+        return {
+            "receipt_id": np.asarray(receipt_ids, dtype=np.int64),
+            "customer_id": np.asarray(customers, dtype=np.int64),
+            "day": np.asarray(days, dtype=np.int64),
+            "basket_size": np.asarray(sizes, dtype=np.int64),
+            "monetary": np.asarray(monetary, dtype=np.float64),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"EventStore(n_rows={self.n_rows}, n_receipts={self.n_receipts}, "
+            f"n_customers={self.n_customers})"
+        )

@@ -1,0 +1,232 @@
+"""Product taxonomy: a rooted tree over departments, segments and products.
+
+The paper mentions that "a taxonomy is also provided that enables
+abstracting products in segments".  We model the taxonomy explicitly as a
+rooted tree (backed by :mod:`networkx`) with four levels::
+
+    root -> department -> segment -> product
+
+The tree is the source of truth for abstraction: given a product node the
+taxonomy can return its ancestor at any level.  A :class:`Taxonomy` can be
+built directly from a :class:`~repro.data.items.Catalog`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.data.items import Catalog
+from repro.errors import TaxonomyError
+
+__all__ = ["Taxonomy", "TaxonomyNode", "LEVELS"]
+
+#: Taxonomy levels from root to leaf.
+LEVELS = ("root", "department", "segment", "product")
+
+
+@dataclass(frozen=True, slots=True)
+class TaxonomyNode:
+    """A node in the taxonomy tree.
+
+    ``key`` is globally unique within the taxonomy; ``ref_id`` is the id of
+    the underlying catalog entity for segment/product nodes (``None`` for
+    the root and departments, which exist only in the taxonomy).
+    """
+
+    key: str
+    level: str
+    name: str
+    ref_id: int | None = None
+
+
+class Taxonomy:
+    """Rooted tree over departments, segments and products.
+
+    Examples
+    --------
+    >>> from repro.data.items import Catalog
+    >>> catalog = Catalog()
+    >>> seg = catalog.add_segment("Coffee", department="Beverages")
+    >>> prod = catalog.add_product("Arabica", seg.segment_id)
+    >>> tax = Taxonomy.from_catalog(catalog)
+    >>> tax.segment_of_product(prod.product_id)
+    0
+    """
+
+    ROOT_KEY = "root"
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        root = TaxonomyNode(key=self.ROOT_KEY, level="root", name="root")
+        self._graph.add_node(root.key, node=root)
+        self._product_keys: dict[int, str] = {}
+        self._segment_keys: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _department_key(name: str) -> str:
+        return f"dept:{name}"
+
+    @staticmethod
+    def _segment_key(segment_id: int) -> str:
+        return f"seg:{segment_id}"
+
+    @staticmethod
+    def _product_key(product_id: int) -> str:
+        return f"prod:{product_id}"
+
+    def add_department(self, name: str) -> TaxonomyNode:
+        """Add a department under the root (idempotent per name)."""
+        key = self._department_key(name)
+        if key in self._graph:
+            return self.node(key)
+        node = TaxonomyNode(key=key, level="department", name=name)
+        self._graph.add_node(key, node=node)
+        self._graph.add_edge(self.ROOT_KEY, key)
+        return node
+
+    def add_segment(self, segment_id: int, name: str, department: str) -> TaxonomyNode:
+        """Add a segment under a department (creating the department)."""
+        key = self._segment_key(segment_id)
+        if key in self._graph:
+            raise TaxonomyError(f"duplicate segment node: {segment_id}")
+        dept = self.add_department(department)
+        node = TaxonomyNode(key=key, level="segment", name=name, ref_id=segment_id)
+        self._graph.add_node(key, node=node)
+        self._graph.add_edge(dept.key, key)
+        self._segment_keys[segment_id] = key
+        return node
+
+    def add_product(self, product_id: int, name: str, segment_id: int) -> TaxonomyNode:
+        """Add a product under an existing segment."""
+        key = self._product_key(product_id)
+        if key in self._graph:
+            raise TaxonomyError(f"duplicate product node: {product_id}")
+        seg_key = self._segment_keys.get(segment_id)
+        if seg_key is None:
+            raise TaxonomyError(f"segment {segment_id} not in taxonomy")
+        node = TaxonomyNode(key=key, level="product", name=name, ref_id=product_id)
+        self._graph.add_node(key, node=node)
+        self._graph.add_edge(seg_key, key)
+        self._product_keys[product_id] = key
+        return node
+
+    @classmethod
+    def from_catalog(cls, catalog: Catalog) -> "Taxonomy":
+        """Build the full taxonomy tree of a catalog."""
+        taxonomy = cls()
+        for segment in catalog.segments():
+            taxonomy.add_segment(segment.segment_id, segment.name, segment.department)
+        for product in catalog.products():
+            taxonomy.add_product(product.product_id, product.name, product.segment_id)
+        taxonomy.validate()
+        return taxonomy
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node(self, key: str) -> TaxonomyNode:
+        """Node by key. Raises :class:`TaxonomyError` if unknown."""
+        try:
+            return self._graph.nodes[key]["node"]
+        except KeyError:
+            raise TaxonomyError(f"unknown taxonomy node: {key!r}") from None
+
+    def parent(self, key: str) -> TaxonomyNode | None:
+        """Parent node, or ``None`` for the root."""
+        preds = list(self._graph.predecessors(key))
+        if not preds:
+            return None
+        return self.node(preds[0])
+
+    def ancestors(self, key: str) -> list[TaxonomyNode]:
+        """Ancestors from immediate parent up to the root."""
+        chain: list[TaxonomyNode] = []
+        current = self.parent(key)
+        while current is not None:
+            chain.append(current)
+            current = self.parent(current.key)
+        return chain
+
+    def children(self, key: str) -> list[TaxonomyNode]:
+        """Child nodes, sorted by key for determinism."""
+        return [self.node(k) for k in sorted(self._graph.successors(key))]
+
+    def ancestor_at_level(self, key: str, level: str) -> TaxonomyNode:
+        """Ancestor of ``key`` at the requested level (may be ``key`` itself)."""
+        if level not in LEVELS:
+            raise TaxonomyError(f"unknown taxonomy level: {level!r}")
+        node = self.node(key)
+        if node.level == level:
+            return node
+        for anc in self.ancestors(key):
+            if anc.level == level:
+                return anc
+        raise TaxonomyError(f"node {key!r} has no ancestor at level {level!r}")
+
+    def segment_of_product(self, product_id: int) -> int:
+        """Segment id of a product, resolved through the tree."""
+        key = self._product_keys.get(product_id)
+        if key is None:
+            raise TaxonomyError(f"product {product_id} not in taxonomy")
+        seg_node = self.ancestor_at_level(key, "segment")
+        assert seg_node.ref_id is not None
+        return seg_node.ref_id
+
+    def products_under(self, key: str) -> list[int]:
+        """Product ids in the subtree rooted at ``key``."""
+        self.node(key)
+        return sorted(
+            self._graph.nodes[desc]["node"].ref_id
+            for desc in nx.descendants(self._graph, key) | {key}
+            if self._graph.nodes[desc]["node"].level == "product"
+        )
+
+    def iter_nodes(self) -> Iterator[TaxonomyNode]:
+        """Iterate over all nodes (root first, then breadth-first order)."""
+        for key in nx.bfs_tree(self._graph, self.ROOT_KEY):
+            yield self.node(key)
+
+    @property
+    def n_departments(self) -> int:
+        return sum(1 for n in self.iter_nodes() if n.level == "department")
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._segment_keys)
+
+    @property
+    def n_products(self) -> int:
+        return len(self._product_keys)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the taxonomy is a rooted tree with valid level edges.
+
+        Raises
+        ------
+        TaxonomyError
+            On cycles, disconnected nodes, multiple parents, or an edge
+            that skips a taxonomy level.
+        """
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise TaxonomyError("taxonomy contains a cycle")
+        for key in self._graph.nodes:
+            if key == self.ROOT_KEY:
+                continue
+            preds = list(self._graph.predecessors(key))
+            if len(preds) != 1:
+                raise TaxonomyError(f"node {key!r} has {len(preds)} parents, expected 1")
+            child_level = LEVELS.index(self.node(key).level)
+            parent_level = LEVELS.index(self.node(preds[0]).level)
+            if child_level != parent_level + 1:
+                raise TaxonomyError(
+                    f"edge {preds[0]!r} -> {key!r} skips a taxonomy level"
+                )

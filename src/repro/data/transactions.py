@@ -1,0 +1,177 @@
+"""Transaction logs: per-customer chronological purchase histories.
+
+A :class:`TransactionLog` is the in-memory form of the paper's database
+``D_i = <(b_1, t_1), ..., (b_N, t_N)>`` for every customer ``i``.  It keeps
+baskets grouped by customer and sorted by day, and offers the filtering and
+abstraction operations the evaluation pipeline needs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.data.basket import Basket
+from repro.errors import DataError
+
+__all__ = ["TransactionLog"]
+
+
+class TransactionLog:
+    """Chronologically ordered purchase histories, grouped by customer.
+
+    Baskets may be added in any order; each customer's history is kept
+    sorted by day offset (stable for same-day baskets, in insertion
+    order).
+
+    Examples
+    --------
+    >>> log = TransactionLog()
+    >>> log.add(Basket.of(customer_id=1, day=3, items=[10, 11]))
+    >>> log.add(Basket.of(customer_id=1, day=0, items=[10]))
+    >>> [b.day for b in log.history(1)]
+    [0, 3]
+    """
+
+    def __init__(self, baskets: Iterable[Basket] = ()) -> None:
+        self._histories: dict[int, list[Basket]] = {}
+        self._n_baskets = 0
+        for basket in baskets:
+            self.add(basket)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, basket: Basket) -> None:
+        """Insert a basket, keeping the customer's history day-sorted."""
+        history = self._histories.setdefault(basket.customer_id, [])
+        # bisect on the day key keeps insertion O(log n) search + O(n) shift;
+        # histories are short (hundreds of trips) so this is fine.
+        days = [b.day for b in history]
+        index = bisect.bisect_right(days, basket.day)
+        history.insert(index, basket)
+        self._n_baskets += 1
+
+    def extend(self, baskets: Iterable[Basket]) -> None:
+        """Insert many baskets."""
+        for basket in baskets:
+            self.add(basket)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def n_baskets(self) -> int:
+        """Total number of baskets across all customers."""
+        return self._n_baskets
+
+    @property
+    def n_customers(self) -> int:
+        """Number of distinct customers with at least one basket."""
+        return len(self._histories)
+
+    def customers(self) -> list[int]:
+        """Sorted list of customer ids present in the log."""
+        return sorted(self._histories)
+
+    def history(self, customer_id: int) -> list[Basket]:
+        """Chronological baskets of one customer.
+
+        Raises
+        ------
+        DataError
+            If the customer has no baskets in this log.
+        """
+        try:
+            return list(self._histories[customer_id])
+        except KeyError:
+            raise DataError(f"unknown customer_id: {customer_id}") from None
+
+    def __contains__(self, customer_id: object) -> bool:
+        return customer_id in self._histories
+
+    def __iter__(self) -> Iterator[Basket]:
+        """Iterate all baskets, customer by customer, chronologically."""
+        for customer_id in self.customers():
+            yield from self._histories[customer_id]
+
+    def __len__(self) -> int:
+        return self._n_baskets
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+    def day_range(self) -> tuple[int, int]:
+        """``(min_day, max_day)`` over all baskets.
+
+        Raises
+        ------
+        DataError
+            If the log is empty.
+        """
+        if not self._n_baskets:
+            raise DataError("transaction log is empty")
+        mins = (h[0].day for h in self._histories.values())
+        maxs = (h[-1].day for h in self._histories.values())
+        return min(mins), max(maxs)
+
+    def item_universe(self) -> frozenset[int]:
+        """All distinct item ids appearing anywhere in the log."""
+        universe: set[int] = set()
+        for history in self._histories.values():
+            for basket in history:
+                universe |= basket.items
+        return frozenset(universe)
+
+    def total_monetary(self) -> float:
+        """Sum of monetary values over all baskets."""
+        return sum(b.monetary for b in self)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def filter_customers(self, customer_ids: Iterable[int]) -> "TransactionLog":
+        """New log restricted to the given customers (missing ids ignored)."""
+        selected = TransactionLog()
+        for customer_id in customer_ids:
+            history = self._histories.get(customer_id)
+            if history:
+                selected._histories[customer_id] = list(history)
+                selected._n_baskets += len(history)
+        return selected
+
+    def filter_days(self, begin: int, end: int) -> "TransactionLog":
+        """New log with baskets in the half-open day interval ``[begin, end)``."""
+        if end < begin:
+            raise DataError(f"invalid day interval: [{begin}, {end})")
+        clipped = TransactionLog()
+        for customer_id, history in self._histories.items():
+            kept = [b for b in history if begin <= b.day < end]
+            if kept:
+                clipped._histories[customer_id] = kept
+                clipped._n_baskets += len(kept)
+        return clipped
+
+    def abstracted(self, mapping: Callable[[int], int]) -> "TransactionLog":
+        """New log with every basket's items mapped through ``mapping``.
+
+        Typically used with ``catalog.segment_of`` composition to lift a
+        product-level log to the segment level before modelling.
+        """
+        lifted = TransactionLog()
+        for customer_id, history in self._histories.items():
+            lifted._histories[customer_id] = [b.abstracted(mapping) for b in history]
+            lifted._n_baskets += len(history)
+        return lifted
+
+    def merged_with(self, other: "TransactionLog") -> "TransactionLog":
+        """New log with the union of both logs' baskets."""
+        merged = TransactionLog(self)
+        merged.extend(other)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"TransactionLog(n_customers={self.n_customers}, "
+            f"n_baskets={self.n_baskets})"
+        )

@@ -1,0 +1,99 @@
+"""Consistency checks between logs, catalogs, calendars and cohorts.
+
+These validators run at pipeline boundaries (after loading a dataset, or
+after synthetic generation) and raise :class:`~repro.errors.DataError`
+with an actionable message on the first inconsistency found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.calendar import StudyCalendar
+from repro.data.cohorts import CohortLabels
+from repro.data.items import Catalog
+from repro.data.transactions import TransactionLog
+from repro.errors import DataError
+
+__all__ = ["DatasetBundle", "validate_log_items", "validate_log_calendar", "validate_bundle"]
+
+
+def validate_log_items(log: TransactionLog, catalog: Catalog, level: str = "segment") -> None:
+    """Check every item id in the log exists in the catalog at ``level``.
+
+    ``level`` is ``"segment"`` or ``"product"`` depending on the
+    abstraction level of the log.
+    """
+    if level not in ("segment", "product"):
+        raise DataError(f"unknown abstraction level: {level!r}")
+    if level == "segment":
+        known = {s.segment_id for s in catalog.segments()}
+    else:
+        known = {p.product_id for p in catalog.products()}
+    unknown = log.item_universe() - known
+    if unknown:
+        raise DataError(
+            f"log contains {len(unknown)} item ids unknown to the catalog at "
+            f"level {level!r}, e.g. {sorted(unknown)[:5]}"
+        )
+
+
+def validate_log_calendar(log: TransactionLog, calendar: StudyCalendar) -> None:
+    """Check every basket's day offset falls within the study period."""
+    if log.n_baskets == 0:
+        return
+    lo, hi = log.day_range()
+    if lo < 0 or hi >= calendar.n_days:
+        raise DataError(
+            f"log day range [{lo}, {hi}] exceeds study period of "
+            f"{calendar.n_days} days"
+        )
+
+
+def validate_cohort_coverage(log: TransactionLog, cohorts: CohortLabels) -> None:
+    """Check every labelled customer has at least one basket."""
+    missing = [c for c in cohorts.all_customers() if c not in log]
+    if missing:
+        raise DataError(
+            f"{len(missing)} labelled customers have no baskets, "
+            f"e.g. {missing[:5]}"
+        )
+
+
+@dataclass(frozen=True)
+class DatasetBundle:
+    """A complete dataset: log (segment-level), catalog, calendar, cohorts.
+
+    This is the unit the evaluation harness consumes; :func:`validate_bundle`
+    is run on construction via :meth:`checked`.
+    """
+
+    log: TransactionLog
+    catalog: Catalog
+    calendar: StudyCalendar
+    cohorts: CohortLabels
+
+    @classmethod
+    def checked(
+        cls,
+        log: TransactionLog,
+        catalog: Catalog,
+        calendar: StudyCalendar,
+        cohorts: CohortLabels,
+    ) -> "DatasetBundle":
+        """Construct after running all cross-validation checks."""
+        bundle = cls(log=log, catalog=catalog, calendar=calendar, cohorts=cohorts)
+        validate_bundle(bundle)
+        return bundle
+
+
+def validate_bundle(bundle: DatasetBundle) -> None:
+    """Run every cross-consistency check on a dataset bundle."""
+    validate_log_items(bundle.log, bundle.catalog, level="segment")
+    validate_log_calendar(bundle.log, bundle.calendar)
+    validate_cohort_coverage(bundle.log, bundle.cohorts)
+    if bundle.cohorts.onset_month >= bundle.calendar.n_months:
+        raise DataError(
+            f"defection onset month {bundle.cohorts.onset_month} is outside the "
+            f"{bundle.calendar.n_months}-month study period"
+        )

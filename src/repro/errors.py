@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while still being
+able to discriminate failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid (bad parameter, bad combination)."""
+
+
+class DataError(ReproError):
+    """Input data is malformed or inconsistent."""
+
+
+class SchemaError(DataError):
+    """A serialized record does not match the expected schema."""
+
+
+class TaxonomyError(DataError):
+    """The product taxonomy is malformed (cycle, orphan, duplicate id)."""
+
+
+class NotFittedError(ReproError):
+    """A model method requiring a prior ``fit`` was called before fitting."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation protocol could not be carried out on the given data."""

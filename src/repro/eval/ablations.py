@@ -1,0 +1,219 @@
+"""Ablation studies of the stability model's design choices (DESIGN.md A1-A3).
+
+* :func:`alpha_sweep` — sensitivity of detection AUROC to the ``alpha``
+  parameter of the exponential significance, plus the non-exponential
+  scoring alternatives.
+* :func:`window_sweep` — sensitivity to the window span ``w``.
+* :func:`explanation_quality` — do the paper's argmax / top-K
+  explanations recover the segments the generator actually removed?
+  Reported as precision@K and recall@K against the injected ground
+  truth.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.model import StabilityModel
+from repro.core.significance import (
+    ExponentialSignificance,
+    FrequencyRatioSignificance,
+    LinearSignificance,
+    SignificanceFunction,
+)
+from repro.data.validation import DatasetBundle
+from repro.errors import EvaluationError
+from repro.eval.protocol import EvaluationProtocol
+from repro.synth.generator import SyntheticDataset
+
+__all__ = [
+    "AblationPoint",
+    "alpha_sweep",
+    "window_sweep",
+    "significance_function_sweep",
+    "ExplanationQuality",
+    "explanation_quality",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AblationPoint:
+    """One configuration of an ablation sweep and its AUROC."""
+
+    label: str
+    auroc: float
+
+
+def _auroc_at_month(
+    bundle: DatasetBundle,
+    model: StabilityModel,
+    eval_month: int,
+    customers: Sequence[int],
+) -> float:
+    protocol = EvaluationProtocol(
+        bundle,
+        window_months=model.window_months,
+        first_month=eval_month,
+        last_month=eval_month + model.window_months,
+    )
+    series = protocol.evaluate_stability_model(model, customers)
+    return series.points[0].auroc
+
+
+def alpha_sweep(
+    bundle: DatasetBundle,
+    alphas: Sequence[float] = (1.1, 1.5, 2.0, 3.0, 4.0, 8.0),
+    window_months: int = 2,
+    eval_month: int | None = None,
+) -> list[AblationPoint]:
+    """Detection AUROC at the reference month for a range of ``alpha``."""
+    eval_month = (
+        bundle.cohorts.onset_month + 2 if eval_month is None else eval_month
+    )
+    customers = bundle.cohorts.all_customers()
+    points = []
+    for alpha in alphas:
+        model = StabilityModel(
+            bundle.calendar, window_months=window_months, alpha=alpha
+        ).fit(bundle.log, customers)
+        points.append(
+            AblationPoint(
+                label=f"alpha={alpha:g}",
+                auroc=_auroc_at_month(bundle, model, eval_month, customers),
+            )
+        )
+    return points
+
+
+def window_sweep(
+    bundle: DatasetBundle,
+    window_months_list: Sequence[int] = (1, 2, 3, 4),
+    alpha: float = 2.0,
+    eval_month: int | None = None,
+) -> list[AblationPoint]:
+    """Detection AUROC for a range of window spans.
+
+    The evaluation month is aligned to the first window ending at or
+    after the reference month, so spans that do not divide it remain
+    comparable.
+    """
+    reference = bundle.cohorts.onset_month + 2 if eval_month is None else eval_month
+    customers = bundle.cohorts.all_customers()
+    points = []
+    for window_months in window_months_list:
+        model = StabilityModel(
+            bundle.calendar, window_months=window_months, alpha=alpha
+        ).fit(bundle.log, customers)
+        month = next(
+            (
+                model.window_month(k)
+                for k in range(model.n_windows)
+                if model.window_month(k) >= reference
+            ),
+            None,
+        )
+        if month is None:
+            raise EvaluationError(
+                f"no {window_months}-month window ends at or after month {reference}"
+            )
+        points.append(
+            AblationPoint(
+                label=f"w={window_months}mo",
+                auroc=_auroc_at_month(bundle, model, month, customers),
+            )
+        )
+    return points
+
+
+def significance_function_sweep(
+    bundle: DatasetBundle,
+    window_months: int = 2,
+    eval_month: int | None = None,
+) -> list[AblationPoint]:
+    """Compare the paper's exponential rule against the alternatives."""
+    eval_month = (
+        bundle.cohorts.onset_month + 2 if eval_month is None else eval_month
+    )
+    customers = bundle.cohorts.all_customers()
+    functions: list[SignificanceFunction] = [
+        ExponentialSignificance(alpha=2.0),
+        FrequencyRatioSignificance(),
+        LinearSignificance(),
+    ]
+    points = []
+    for function in functions:
+        model = StabilityModel(
+            bundle.calendar, window_months=window_months, significance=function
+        ).fit(bundle.log, customers)
+        points.append(
+            AblationPoint(
+                label=function.name,
+                auroc=_auroc_at_month(bundle, model, eval_month, customers),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class ExplanationQuality:
+    """Precision/recall of top-K explanations against injected ground truth.
+
+    For each churner and each window after their onset, the model's top-K
+    newly-missing segments are compared with the segments the generator
+    dropped during that window.
+    """
+
+    top_k: int
+    precision: float
+    recall: float
+    n_evaluated: int
+
+
+def explanation_quality(
+    dataset: SyntheticDataset,
+    window_months: int = 2,
+    alpha: float = 2.0,
+    top_k: int = 3,
+) -> ExplanationQuality:
+    """Score the paper's explanations against the generator's ground truth."""
+    bundle = dataset.bundle
+    churners = sorted(bundle.cohorts.churners)
+    model = StabilityModel(
+        bundle.calendar, window_months=window_months, alpha=alpha
+    ).fit(bundle.log, churners)
+
+    hits = 0
+    predicted_total = 0
+    actual_total = 0
+    n_evaluated = 0
+    for customer_id in churners:
+        schedule = dataset.schedules[customer_id]
+        trajectory = model.trajectory(customer_id)
+        for k in range(model.n_windows):
+            begin, end = model.grid.bounds(k)
+            first_month = bundle.calendar.month_of_day(begin)
+            last_month = bundle.calendar.month_of_day(end - 1)
+            actual = {
+                segment
+                for segment, month in schedule.drop_month.items()
+                if first_month <= month <= last_month
+            }
+            if not actual:
+                continue
+            explanation = model.explain(customer_id, k, top_k=top_k)
+            predicted = {item.item for item in explanation.newly_missing[:top_k]}
+            if not predicted:
+                predicted = {item.item for item in explanation.missing[:top_k]}
+            hits += len(predicted & actual)
+            predicted_total += len(predicted)
+            actual_total += len(actual)
+            n_evaluated += 1
+    precision = hits / predicted_total if predicted_total else 0.0
+    recall = hits / actual_total if actual_total else 0.0
+    return ExplanationQuality(
+        top_k=top_k,
+        precision=precision,
+        recall=recall,
+        n_evaluated=n_evaluated,
+    )

@@ -1,0 +1,151 @@
+"""Per-customer dossiers: everything the model knows about one customer.
+
+The paper's pitch is *individual-level* understanding; this module renders
+it.  A :class:`CustomerReport` gathers, for one customer:
+
+* the stability trajectory (with an ASCII chart);
+* every detected drop, each with its top missing-segment explanations;
+* the current trend forecast (windows until the threshold crossing);
+* the RFM profile at the latest window, for context.
+
+:func:`build_customer_report` computes the dossier;
+:func:`render_customer_report` renders it as plain text (used by the
+``report`` CLI subcommand).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.rfm import RFMFeatures, extract_rfm
+from repro.core.explanation import DropExplanation, explain_window
+from repro.core.model import StabilityModel
+from repro.core.trend import TrendForecast, forecast_stability
+from repro.data.items import Catalog
+from repro.data.transactions import TransactionLog
+from repro.errors import ConfigError
+from repro.viz.ascii import line_chart
+
+__all__ = ["CustomerReport", "build_customer_report", "render_customer_report"]
+
+
+@dataclass(frozen=True)
+class CustomerReport:
+    """The assembled dossier of one customer."""
+
+    customer_id: int
+    months: list[int]
+    stability: list[float]
+    drops: dict[int, DropExplanation]  # month -> explanation
+    forecast: TrendForecast | None
+    rfm: RFMFeatures
+    n_receipts: int
+    total_spend: float
+
+
+def build_customer_report(
+    model: StabilityModel,
+    log: TransactionLog,
+    customer_id: int,
+    drop_threshold: float = 0.1,
+    beta: float = 0.5,
+) -> CustomerReport:
+    """Assemble the dossier for one fitted customer.
+
+    Raises
+    ------
+    ConfigError
+        On an invalid drop threshold.
+    DataError
+        If the customer was not fitted or has no baskets.
+    """
+    if not 0.0 < drop_threshold <= 1.0:
+        raise ConfigError(f"drop_threshold must be in (0, 1], got {drop_threshold}")
+    trajectory = model.trajectory(customer_id)
+    months = [model.window_month(k) for k in range(model.n_windows)]
+    stability = trajectory.values()
+
+    drops = {
+        model.window_month(k): explain_window(trajectory, k)
+        for k in trajectory.drops(drop_threshold)
+    }
+    try:
+        forecast = forecast_stability(trajectory, beta=beta)
+    except ConfigError:
+        forecast = None  # fewer than two defined stability values
+
+    history = log.history(customer_id)
+    rfm = extract_rfm(customer_id, history, model.grid, model.n_windows - 1)
+    return CustomerReport(
+        customer_id=customer_id,
+        months=months,
+        stability=stability,
+        drops=drops,
+        forecast=forecast,
+        rfm=rfm,
+        n_receipts=len(history),
+        total_spend=sum(b.monetary for b in history),
+    )
+
+
+def render_customer_report(
+    report: CustomerReport, catalog: Catalog, top_k: int = 3
+) -> str:
+    """Render a dossier as plain text."""
+    lines = [
+        f"customer {report.customer_id} — {report.n_receipts} receipts, "
+        f"total spend {report.total_spend:,.2f}",
+        "",
+    ]
+    plotted = [v if not math.isnan(v) else 0.0 for v in report.stability]
+    lines.append(
+        line_chart(
+            x=report.months,
+            series={"stability": plotted},
+            title="stability trajectory",
+            y_range=(0.0, 1.0),
+            height=10,
+        )
+    )
+    lines.append("")
+
+    if report.drops:
+        lines.append("detected drops:")
+        for month in sorted(report.drops):
+            explanation = report.drops[month]
+            ranked = explanation.newly_missing or explanation.missing
+            names = ", ".join(
+                catalog.segment(item.item).name for item in ranked[:top_k]
+            )
+            lines.append(
+                f"  month {month:>2}: stability {explanation.stability:.2f} "
+                f"— stopped buying {names or '(nothing attributable)'}"
+            )
+    else:
+        lines.append("no stability drops detected")
+
+    if report.forecast is not None:
+        forecast = report.forecast
+        if forecast.windows_to_threshold == 0.0:
+            outlook = "already at/below the defection threshold"
+        elif forecast.windows_to_threshold is not None:
+            outlook = (
+                f"predicted to cross the threshold in "
+                f"{forecast.windows_to_threshold:.1f} windows"
+            )
+        elif forecast.slope < 0:
+            outlook = "declining, but no crossing predicted"
+        else:
+            outlook = "stable or improving"
+        lines.append(
+            f"trend: level {forecast.level:.2f}, slope {forecast.slope:+.3f} "
+            f"per window — {outlook}"
+        )
+
+    lines.append(
+        f"RFM at latest window: recency {report.rfm.recency_days:.0f}d, "
+        f"{report.rfm.frequency_total:.0f} trips total, "
+        f"{report.rfm.monetary_per_trip:.2f}/trip"
+    )
+    return "\n".join(lines)

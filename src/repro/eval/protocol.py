@@ -1,0 +1,233 @@
+"""The evaluation protocol shared by Figure 1 and the ablations.
+
+Section 3.1 of the paper: at each evaluation window, both models produce a
+churn score per customer; the AUROC of those scores against the
+loyal/churner cohort labels measures discrimination ability.  The paper
+plots AUROC against "number of months" from month 12 to month 24 with
+2-month windows — i.e. at every window whose end falls in that range.
+
+:class:`EvaluationProtocol` fixes the window grid, the evaluation months
+and the customer split, and evaluates any scorer implementing the small
+``churn_scores`` duck type.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.cohorts import CohortLabels
+from repro.data.validation import DatasetBundle
+from repro.errors import ConfigError, EvaluationError
+from repro.ml.metrics import auroc
+
+__all__ = ["MonthScore", "ScoreSeries", "EvaluationProtocol"]
+
+
+@dataclass(frozen=True, slots=True)
+class MonthScore:
+    """AUROC of one scorer at one evaluation month."""
+
+    month: int
+    window_index: int
+    auroc: float
+
+
+@dataclass(frozen=True)
+class ScoreSeries:
+    """AUROC series of one scorer across the evaluation months."""
+
+    name: str
+    points: tuple[MonthScore, ...]
+
+    def months(self) -> list[int]:
+        return [p.month for p in self.points]
+
+    def values(self) -> list[float]:
+        return [p.auroc for p in self.points]
+
+    def at_month(self, month: int) -> float:
+        """AUROC at a specific month.
+
+        Raises
+        ------
+        EvaluationError
+            If the series has no point at that month.
+        """
+        for point in self.points:
+            if point.month == month:
+                return point.auroc
+        raise EvaluationError(f"series {self.name!r} has no point at month {month}")
+
+
+class EvaluationProtocol:
+    """Month-indexed AUROC evaluation of churn scorers.
+
+    Parameters
+    ----------
+    bundle:
+        The dataset (log, calendar, cohorts) under evaluation.
+    window_months:
+        Span of the shared evaluation windows (paper: 2).
+    first_month, last_month:
+        Inclusive month range of the x axis (paper: 12 to 24).  Only
+        windows whose *end* month falls inside the range are evaluated.
+    """
+
+    def __init__(
+        self,
+        bundle: DatasetBundle,
+        window_months: int = 2,
+        first_month: int = 12,
+        last_month: int = 24,
+    ) -> None:
+        if first_month > last_month:
+            raise ConfigError(
+                f"first_month {first_month} > last_month {last_month}"
+            )
+        self.bundle = bundle
+        self.window_months = int(window_months)
+        self.first_month = int(first_month)
+        self.last_month = int(last_month)
+
+    # ------------------------------------------------------------------
+    def evaluation_windows(self, scorer) -> list[tuple[int, int]]:
+        """``(window_index, end_month)`` pairs inside the month range.
+
+        ``scorer`` must expose ``n_windows`` and ``window_month`` (both
+        the stability and RFM models share one grid shape, but the
+        protocol asks the scorer so mismatched grids fail loudly).
+        """
+        pairs = [
+            (k, scorer.window_month(k))
+            for k in range(scorer.n_windows)
+            if self.first_month <= scorer.window_month(k) <= self.last_month
+        ]
+        if not pairs:
+            raise EvaluationError(
+                f"no evaluation window ends within months "
+                f"[{self.first_month}, {self.last_month}]"
+            )
+        return pairs
+
+    def auroc_of_scores(
+        self, scores: dict[int, float], customers: Sequence[int] | None = None
+    ) -> float:
+        """AUROC of a score dict against the bundle's cohort labels."""
+        cohorts: CohortLabels = self.bundle.cohorts
+        ids = sorted(scores) if customers is None else list(customers)
+        y_true = cohorts.label_vector(ids)
+        y_score = np.asarray([scores[c] for c in ids], dtype=np.float64)
+        return auroc(y_true, y_score)
+
+    def evaluate_stability_model(
+        self, model, customers: Iterable[int] | None = None
+    ) -> ScoreSeries:
+        """AUROC series of a fitted :class:`~repro.core.model.StabilityModel`."""
+        ids = (
+            sorted(customers)
+            if customers is not None
+            else self.bundle.cohorts.all_customers()
+        )
+        points = []
+        for window_index, month in self.evaluation_windows(model):
+            scores = model.churn_scores(window_index, ids)
+            points.append(
+                MonthScore(
+                    month=month,
+                    window_index=window_index,
+                    auroc=self.auroc_of_scores(scores, ids),
+                )
+            )
+        return ScoreSeries(name="stability", points=tuple(points))
+
+    def evaluate_window_scorer(
+        self,
+        scorer,
+        name: str,
+        train_customers: Sequence[int],
+        test_customers: Sequence[int],
+    ) -> ScoreSeries:
+        """AUROC series of a trainable per-window scorer (e.g. the RFM model).
+
+        The scorer must expose ``fit(log, cohorts, window_index, customers)``
+        and ``churn_scores(log, customers, window_index)`` plus the grid
+        duck type; it is re-fitted at every evaluation window on
+        ``train_customers`` and scored on ``test_customers``.
+        """
+        log = self.bundle.log
+        cohorts = self.bundle.cohorts
+        points = []
+        for window_index, month in self.evaluation_windows(scorer):
+            scorer.fit(log, cohorts, window_index, train_customers)
+            scores = scorer.churn_scores(log, test_customers, window_index)
+            points.append(
+                MonthScore(
+                    month=month,
+                    window_index=window_index,
+                    auroc=self.auroc_of_scores(scores, list(test_customers)),
+                )
+            )
+        return ScoreSeries(name=name, points=tuple(points))
+
+    def evaluate_rule(
+        self, rule, name: str, customers: Sequence[int] | None = None
+    ) -> ScoreSeries:
+        """AUROC series of an untrained rule baseline.
+
+        The rule must expose ``churn_scores(log, customers, window_index)``;
+        the window axis is taken from the protocol's own grid (rules carry
+        a grid but no ``window_month``).
+        """
+        from repro.core.windowing import WindowGrid  # local: avoid cycle at import
+
+        grid = WindowGrid.monthly(self.bundle.calendar, self.window_months)
+        ids = (
+            list(customers)
+            if customers is not None
+            else self.bundle.cohorts.all_customers()
+        )
+        points = []
+        for window_index in range(grid.n_windows):
+            month = grid.end_month(window_index, self.bundle.calendar)
+            if not self.first_month <= month <= self.last_month:
+                continue
+            scores = rule.churn_scores(self.bundle.log, ids, window_index)
+            points.append(
+                MonthScore(
+                    month=month,
+                    window_index=window_index,
+                    auroc=self.auroc_of_scores(scores, ids),
+                )
+            )
+        if not points:
+            raise EvaluationError(
+                f"no evaluation window ends within months "
+                f"[{self.first_month}, {self.last_month}]"
+            )
+        return ScoreSeries(name=name, points=tuple(points))
+
+    def train_test_split(
+        self, test_fraction: float = 0.5, seed: int = 0
+    ) -> tuple[list[int], list[int]]:
+        """Stratified customer split for trainable scorers.
+
+        Keeps the loyal/churner ratio identical on both sides so AUROC is
+        defined everywhere.
+        """
+        if not 0.0 < test_fraction < 1.0:
+            raise ConfigError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        rng = np.random.default_rng(seed)
+        cohorts = self.bundle.cohorts
+        train: list[int] = []
+        test: list[int] = []
+        for group in (sorted(cohorts.loyal), sorted(cohorts.churners)):
+            indices = np.asarray(group)
+            rng.shuffle(indices)
+            cut = int(round(len(indices) * test_fraction))
+            cut = min(max(cut, 1), len(indices) - 1)
+            test.extend(int(c) for c in indices[:cut])
+            train.extend(int(c) for c in indices[cut:])
+        return sorted(train), sorted(test)

@@ -1,0 +1,159 @@
+"""Robustness studies: churn mechanisms and vacation gaps.
+
+Two questions the paper's single-dataset evaluation cannot answer, but a
+synthetic substrate can:
+
+1. **Mechanism crossover** (:func:`mechanism_crossover`) — the stability
+   model reads basket *content*; RFM reads shopping *volume*.  When churn
+   is pure item loss, stability should dominate; when churn is pure
+   trip-rate decay (same repertoire, fewer trips), RFM should catch up or
+   win.  The study runs both models on each mechanism preset and reports
+   the AUROC grid — locating the crossover the Figure 1 comparison hints
+   at.
+2. **Vacation sensitivity** (:func:`vacation_sensitivity`) — a loyal
+   customer on a long holiday produces an empty window, which any
+   windowed model reads as defection.  The study sweeps the fraction of
+   vacationing customers and measures AUROC degradation and the loyal
+   false-alarm rate at a fixed beta.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.baselines.rfm_model import RFMModel
+from repro.core.detector import ThresholdDetector
+from repro.core.model import StabilityModel
+from repro.eval.protocol import EvaluationProtocol
+from repro.synth.generator import ScenarioConfig, generate_dataset
+from repro.synth.scenarios import ATTRITION_MECHANISMS, mechanism_scenario
+
+__all__ = [
+    "MechanismResult",
+    "mechanism_crossover",
+    "VacationPoint",
+    "vacation_sensitivity",
+]
+
+
+@dataclass(frozen=True)
+class MechanismResult:
+    """AUROC of both models under one churn mechanism."""
+
+    mechanism: str
+    stability_auroc: dict[int, float]  # month -> auroc
+    rfm_auroc: dict[int, float]
+
+    def stability_wins_at(self, month: int) -> bool:
+        return self.stability_auroc[month] > self.rfm_auroc[month]
+
+
+def mechanism_crossover(
+    n_loyal: int = 100,
+    n_churners: int = 100,
+    months: Sequence[int] = (20, 22, 24),
+    window_months: int = 2,
+    alpha: float = 2.0,
+    seed: int = 7,
+) -> list[MechanismResult]:
+    """Run stability vs RFM on every churn-mechanism preset."""
+    results = []
+    for mechanism in sorted(ATTRITION_MECHANISMS):
+        dataset = mechanism_scenario(
+            mechanism, n_loyal=n_loyal, n_churners=n_churners, seed=seed
+        )
+        protocol = EvaluationProtocol(
+            dataset.bundle,
+            window_months=window_months,
+            first_month=min(months),
+            last_month=max(months),
+        )
+        train, test = protocol.train_test_split(seed=seed)
+        stability = StabilityModel(
+            dataset.calendar, window_months=window_months, alpha=alpha
+        ).fit(dataset.log, test)
+        stability_series = protocol.evaluate_stability_model(stability, test)
+        rfm = RFMModel(dataset.calendar, window_months=window_months)
+        rfm_series = protocol.evaluate_window_scorer(rfm, "rfm", train, test)
+        results.append(
+            MechanismResult(
+                mechanism=mechanism,
+                stability_auroc={
+                    m: stability_series.at_month(m) for m in months
+                },
+                rfm_auroc={m: rfm_series.at_month(m) for m in months},
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class VacationPoint:
+    """Model health at one vacation prevalence level."""
+
+    vacation_prob: float
+    auroc: float
+    loyal_false_alarm_rate: float
+
+
+def vacation_sensitivity(
+    vacation_probs: Sequence[float] = (0.0, 0.2, 0.4, 0.6),
+    n_loyal: int = 80,
+    n_churners: int = 80,
+    eval_month: int = 22,
+    beta: float = 0.5,
+    window_months: int = 2,
+    seed: int = 7,
+    vacation_duration_days: tuple[int, int] = (45, 75),
+) -> list[VacationPoint]:
+    """Sweep the fraction of customers taking a long vacation.
+
+    The default duration range (45–75 days) guarantees some vacations
+    span an entire 2-month window — the worst case for a windowed model:
+    an empty window scores stability 0 and must trip any threshold.
+    AUROC is measured at ``eval_month``; the false-alarm rate is the
+    fraction of loyal customers tripping the fixed-``beta`` detector at
+    any window from month 12 on.
+    """
+    points = []
+    for prob in vacation_probs:
+        dataset = generate_dataset(
+            ScenarioConfig(
+                n_loyal=n_loyal,
+                n_churners=n_churners,
+                seed=seed,
+                vacation_prob=prob,
+                vacation_duration_days=vacation_duration_days,
+            )
+        )
+        customers = dataset.cohorts.all_customers()
+        model = StabilityModel(
+            dataset.calendar, window_months=window_months
+        ).fit(dataset.log, customers)
+        protocol = EvaluationProtocol(
+            dataset.bundle,
+            window_months=window_months,
+            first_month=eval_month,
+            last_month=eval_month,
+        )
+        series = protocol.evaluate_stability_model(model, customers)
+        detector = ThresholdDetector(beta)
+        first_window = next(
+            k for k in range(model.n_windows) if model.window_month(k) >= 12
+        )
+        loyal = sorted(dataset.cohorts.loyal)
+        false_alarms = sum(
+            1
+            for customer in loyal
+            if detector.first_alarm(model.trajectory(customer), first_window)
+            is not None
+        )
+        points.append(
+            VacationPoint(
+                vacation_prob=float(prob),
+                auroc=series.at_month(eval_month),
+                loyal_false_alarm_rate=false_alarms / len(loyal),
+            )
+        )
+    return points

@@ -1,0 +1,88 @@
+"""Experiment E3 — the Section 3 dataset-statistics table.
+
+The paper describes its dataset in prose: receipts of 6M customers from
+May 2012 to August 2014, 4M products grouped into 3,388 segments, plus the
+loyal and defected-in-the-last-6-months cohorts.  This module computes the
+same inventory for any dataset bundle so the reproduction's scale can be
+reported next to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.validation import DatasetBundle
+
+__all__ = ["DatasetStats", "dataset_stats"]
+
+#: The paper's reported dataset statistics, for side-by-side reporting.
+PAPER_STATS = {
+    "n_customers": 6_000_000,
+    "n_products": 4_000_000,
+    "n_segments": 3_388,
+    "n_months": 28,
+}
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Descriptive statistics of a dataset bundle."""
+
+    n_customers: int
+    n_loyal: int
+    n_churners: int
+    n_receipts: int
+    n_products: int
+    n_segments: int
+    n_segments_bought: int
+    n_months: int
+    onset_month: int
+    receipts_per_customer_mean: float
+    basket_size_mean: float
+    monetary_per_receipt_mean: float
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        """``(statistic, paper value, this dataset)`` rows for reporting."""
+        fmt = "{:,}".format
+        return [
+            ("customers", fmt(PAPER_STATS["n_customers"]), fmt(self.n_customers)),
+            ("  loyal cohort", "(provided by retailer)", fmt(self.n_loyal)),
+            ("  churner cohort", "(provided by retailer)", fmt(self.n_churners)),
+            ("products", fmt(PAPER_STATS["n_products"]), fmt(self.n_products)),
+            ("segments", fmt(PAPER_STATS["n_segments"]), fmt(self.n_segments)),
+            ("segments bought", "-", fmt(self.n_segments_bought)),
+            ("study months", fmt(PAPER_STATS["n_months"]), fmt(self.n_months)),
+            ("defection onset month", "18", fmt(self.onset_month)),
+            ("receipts", "-", fmt(self.n_receipts)),
+            (
+                "receipts / customer (mean)",
+                "-",
+                f"{self.receipts_per_customer_mean:.1f}",
+            ),
+            ("basket size (mean segments)", "-", f"{self.basket_size_mean:.1f}"),
+            ("monetary / receipt (mean)", "-", f"{self.monetary_per_receipt_mean:.2f}"),
+        ]
+
+
+def dataset_stats(bundle: DatasetBundle) -> DatasetStats:
+    """Compute the E3 statistics of a bundle."""
+    log = bundle.log
+    sizes = [basket.size for basket in log]
+    monetary = [basket.monetary for basket in log]
+    per_customer = [len(log.history(c)) for c in log.customers()]
+    return DatasetStats(
+        n_customers=log.n_customers,
+        n_loyal=bundle.cohorts.n_loyal,
+        n_churners=bundle.cohorts.n_churners,
+        n_receipts=log.n_baskets,
+        n_products=bundle.catalog.n_products,
+        n_segments=bundle.catalog.n_segments,
+        n_segments_bought=len(log.item_universe()),
+        n_months=bundle.calendar.n_months,
+        onset_month=bundle.cohorts.onset_month,
+        receipts_per_customer_mean=float(np.mean(per_customer)) if per_customer else 0.0,
+        basket_size_mean=float(np.mean(sizes)) if sizes else 0.0,
+        monetary_per_receipt_mean=float(np.mean(monetary)) if monetary else 0.0,
+    )

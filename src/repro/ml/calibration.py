@@ -1,0 +1,141 @@
+"""Probability calibration: reliability curves, ECE, Platt scaling.
+
+AUROC measures ranking; a retention *budget* needs probabilities ("mail
+everyone above 60% churn risk") that mean what they say.  This module
+provides:
+
+* :func:`reliability_curve` — predicted-probability bins vs observed
+  churn frequency (the reliability diagram's data);
+* :func:`expected_calibration_error` — the standard weighted |gap| summary;
+* :class:`PlattCalibrator` — one-dimensional logistic recalibration of any
+  churn score (the stability model's ``1 - stability`` is a ranking score,
+  not a probability — Platt turns it into one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, DataError, NotFittedError
+from repro.ml.logistic import LogisticRegression
+
+__all__ = [
+    "ReliabilityBin",
+    "reliability_curve",
+    "expected_calibration_error",
+    "PlattCalibrator",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ReliabilityBin:
+    """One bin of a reliability diagram."""
+
+    low: float
+    high: float
+    mean_predicted: float
+    observed_rate: float
+    count: int
+
+    @property
+    def gap(self) -> float:
+        """Absolute calibration gap of this bin."""
+        return abs(self.mean_predicted - self.observed_rate)
+
+
+def _validate(y_true: np.ndarray, probs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.int64)
+    probs = np.asarray(probs, dtype=np.float64)
+    if y_true.ndim != 1 or y_true.shape != probs.shape:
+        raise DataError(
+            f"labels and probabilities must be 1-D and aligned, got "
+            f"{y_true.shape} vs {probs.shape}"
+        )
+    if not set(np.unique(y_true).tolist()) <= {0, 1}:
+        raise DataError("labels must be 0/1")
+    if ((probs < 0) | (probs > 1)).any() or not np.isfinite(probs).all():
+        raise DataError("probabilities must be finite and within [0, 1]")
+    return y_true, probs
+
+
+def reliability_curve(
+    y_true: np.ndarray, probs: np.ndarray, n_bins: int = 10
+) -> list[ReliabilityBin]:
+    """Equal-width reliability bins over [0, 1] (empty bins are skipped)."""
+    if n_bins <= 0:
+        raise ConfigError(f"n_bins must be positive, got {n_bins}")
+    y_true, probs = _validate(y_true, probs)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins: list[ReliabilityBin] = []
+    for i in range(n_bins):
+        if i == n_bins - 1:
+            mask = (probs >= edges[i]) & (probs <= edges[i + 1])
+        else:
+            mask = (probs >= edges[i]) & (probs < edges[i + 1])
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        bins.append(
+            ReliabilityBin(
+                low=float(edges[i]),
+                high=float(edges[i + 1]),
+                mean_predicted=float(probs[mask].mean()),
+                observed_rate=float(y_true[mask].mean()),
+                count=count,
+            )
+        )
+    return bins
+
+
+def expected_calibration_error(
+    y_true: np.ndarray, probs: np.ndarray, n_bins: int = 10
+) -> float:
+    """ECE: count-weighted mean absolute gap over the reliability bins."""
+    bins = reliability_curve(y_true, probs, n_bins=n_bins)
+    total = sum(b.count for b in bins)
+    if total == 0:
+        raise DataError("no samples to compute calibration error on")
+    return float(sum(b.count * b.gap for b in bins) / total)
+
+
+class PlattCalibrator:
+    """Logistic recalibration of a one-dimensional churn score.
+
+    Fits ``P(churn | score) = sigmoid(a * score + b)`` on held-out
+    labelled scores, then maps any score to a calibrated probability.
+    The mapping is monotone (``a`` is positive for any score that ranks
+    churners higher), so AUROC is preserved exactly.
+    """
+
+    def __init__(self, l2: float = 1e-6) -> None:
+        self._model = LogisticRegression(l2=l2)
+        self._fitted = False
+
+    def fit(self, scores: np.ndarray, y_true: np.ndarray) -> "PlattCalibrator":
+        """Learn the score -> probability mapping."""
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 1:
+            raise DataError(f"scores must be 1-D, got ndim={scores.ndim}")
+        self._model.fit(scores.reshape(-1, 1), np.asarray(y_true))
+        self._fitted = True
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Calibrated probabilities for raw scores."""
+        if not self._fitted:
+            raise NotFittedError("PlattCalibrator used before fit")
+        scores = np.asarray(scores, dtype=np.float64)
+        return self._model.predict_proba(scores.reshape(-1, 1))
+
+    def fit_transform(self, scores: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+        """Fit then transform the same scores."""
+        return self.fit(scores, y_true).transform(scores)
+
+    @property
+    def slope(self) -> float:
+        """The fitted ``a`` (positive = score orientation preserved)."""
+        if not self._fitted or self._model.coef_ is None:
+            raise NotFittedError("PlattCalibrator used before fit")
+        return float(self._model.coef_[0])

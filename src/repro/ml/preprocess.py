@@ -1,0 +1,92 @@
+"""Feature preprocessing: standardisation and imputation.
+
+The RFM baseline feeds raw behavioural variables (days, counts, currency)
+into a logistic regression; standardising them is required for the
+regulariser to penalise coefficients comparably.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError, NotFittedError
+
+__all__ = ["StandardScaler", "impute_finite"]
+
+
+def impute_finite(matrix: np.ndarray, fill: float | None = None) -> np.ndarray:
+    """Replace non-finite entries column-wise.
+
+    Non-finite values (NaN, +/-inf) are replaced by the column mean of the
+    finite entries, or by ``fill`` when given (or when a column has no
+    finite entry at all, in which case ``fill`` defaults to 0).
+    """
+    matrix = np.array(matrix, dtype=np.float64, copy=True)
+    if matrix.ndim != 2:
+        raise DataError(f"expected a 2-D feature matrix, got ndim={matrix.ndim}")
+    for col in range(matrix.shape[1]):
+        column = matrix[:, col]
+        bad = ~np.isfinite(column)
+        if not bad.any():
+            continue
+        if fill is not None:
+            replacement = fill
+        else:
+            finite = column[~bad]
+            replacement = float(finite.mean()) if finite.size else 0.0
+        column[bad] = replacement
+    return matrix
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling.
+
+    Columns with zero variance are left centred but unscaled (divisor 1),
+    so constant features do not produce NaNs.
+
+    Examples
+    --------
+    >>> scaler = StandardScaler()
+    >>> scaled = scaler.fit_transform(np.array([[0.0], [2.0]]))
+    >>> scaled.ravel().tolist()
+    [-1.0, 1.0]
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, matrix: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise DataError(f"expected a 2-D feature matrix, got ndim={matrix.ndim}")
+        if matrix.shape[0] == 0:
+            raise DataError("cannot fit a scaler on an empty matrix")
+        self.mean_ = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.transform called before fit")
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.mean_.shape[0]:
+            raise DataError(
+                f"matrix shape {matrix.shape} does not match fitted "
+                f"n_features={self.mean_.shape[0]}"
+            )
+        return (matrix - self.mean_) / self.scale_
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(matrix).transform(matrix)
+
+    def inverse_transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Undo the scaling."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.inverse_transform called before fit")
+        return np.asarray(matrix, dtype=np.float64) * self.scale_ + self.mean_

@@ -1,0 +1,47 @@
+"""Synthetic grocery-retailer substrate.
+
+Replaces the proprietary dataset of the paper (receipts of 6M customers of
+a major French retailer, May 2012 – Aug 2014) with a configurable,
+reproducible generator that preserves the mechanisms the stability model
+exploits: habitual repeat purchasing, a product→segment taxonomy, partial
+(progressive) defection, and retailer-provided cohort labels.  See
+DESIGN.md for the substitution rationale.
+"""
+
+from repro.synth.attrition import AttritionSchedule, sample_schedule
+from repro.synth.catalog import NAMED_SEGMENTS, build_catalog
+from repro.synth.customers import ARCHETYPES, Archetype, CustomerProfile, sample_profile
+from repro.synth.generator import ScenarioConfig, SyntheticDataset, generate_dataset
+from repro.synth.scenarios import (
+    ATTRITION_MECHANISMS,
+    FIGURE2_FIRST_LOSS,
+    FIGURE2_SECOND_LOSS,
+    CaseStudy,
+    figure2_case_study,
+    mechanism_scenario,
+    paper_scenario,
+)
+from repro.synth.shopping import segment_prices, simulate_customer
+
+__all__ = [
+    "ARCHETYPES",
+    "ATTRITION_MECHANISMS",
+    "Archetype",
+    "mechanism_scenario",
+    "AttritionSchedule",
+    "CaseStudy",
+    "CustomerProfile",
+    "FIGURE2_FIRST_LOSS",
+    "FIGURE2_SECOND_LOSS",
+    "NAMED_SEGMENTS",
+    "ScenarioConfig",
+    "SyntheticDataset",
+    "build_catalog",
+    "figure2_case_study",
+    "generate_dataset",
+    "paper_scenario",
+    "sample_profile",
+    "sample_schedule",
+    "segment_prices",
+    "simulate_customer",
+]

@@ -1,0 +1,127 @@
+"""Partial-attrition injection.
+
+The defining property of grocery churn (Section 1 of the paper) is that
+"customer defection is partial: a customer will usually lower his
+purchases, instead of totally leaving the store".  An
+:class:`AttritionSchedule` implements exactly that: starting from an onset
+month, the customer *progressively* loses habitual segments (a few per
+month, in a sampled order) and their trip rate decays — they keep
+shopping, just less and for less of their routine.
+
+The schedule records which segment is dropped at which month; that ground
+truth is what the explanation-quality ablation (DESIGN.md A3) scores the
+model's explanations against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.synth.customers import CustomerProfile
+from repro.errors import ConfigError
+
+__all__ = ["AttritionSchedule", "sample_schedule"]
+
+
+@dataclass(frozen=True)
+class AttritionSchedule:
+    """A churner's defection plan.
+
+    Attributes
+    ----------
+    customer_id:
+        The defecting customer.
+    onset_month:
+        Study month at which defection begins.
+    drop_month:
+        ``{segment_id: month}`` — the month each habitual segment stops
+        being bought (ground truth for explanations).
+    trip_decay_per_month:
+        Multiplicative decay of the trip rate applied for every month
+        past the onset (1.0 = no decay).
+    """
+
+    customer_id: int
+    onset_month: int
+    drop_month: dict[int, int] = field(default_factory=dict)
+    trip_decay_per_month: float = 0.92
+
+    def __post_init__(self) -> None:
+        if self.onset_month < 0:
+            raise ConfigError(f"onset_month must be >= 0, got {self.onset_month}")
+        if not 0.0 < self.trip_decay_per_month <= 1.0:
+            raise ConfigError(
+                f"trip_decay_per_month must be in (0, 1], got {self.trip_decay_per_month}"
+            )
+        early = {s: m for s, m in self.drop_month.items() if m < self.onset_month}
+        if early:
+            raise ConfigError(f"segments dropped before onset: {early}")
+
+    def active_segments(self, profile: CustomerProfile, month: int) -> list[int]:
+        """Habitual segments the customer still buys at ``month``."""
+        return [
+            segment
+            for segment in profile.habitual_segments
+            if self.drop_month.get(segment, month + 1) > month
+        ]
+
+    def trip_interval_at(self, profile: CustomerProfile, month: int) -> float:
+        """Mean days between trips at ``month`` (grows as the rate decays)."""
+        if month < self.onset_month:
+            return profile.trip_interval_days
+        months_past = month - self.onset_month
+        rate_multiplier = self.trip_decay_per_month**months_past
+        return profile.trip_interval_days / rate_multiplier
+
+    def dropped_by(self, month: int) -> frozenset[int]:
+        """Segments dropped at or before ``month``."""
+        return frozenset(s for s, m in self.drop_month.items() if m <= month)
+
+
+def sample_schedule(
+    profile: CustomerProfile,
+    onset_month: int,
+    n_months: int,
+    rng: np.random.Generator,
+    drops_per_month: float = 1.5,
+    trip_decay_per_month: float = 0.92,
+) -> AttritionSchedule:
+    """Sample a progressive-defection schedule for one customer.
+
+    Each month from ``onset_month`` to the study end drops a
+    Poisson(``drops_per_month``) number of the remaining habitual
+    segments (at least one in the onset month, so defection visibly
+    starts when labelled).  Customers may run out of habitual segments
+    before the end — full defection, the limiting case of partial
+    defection.
+
+    ``drops_per_month = 0`` produces a **pure trip-decay** schedule (no
+    segment is ever dropped; defection shows only as a slowing trip
+    rate) — the robustness scenario where RFM-style models should hold
+    the advantage.
+    """
+    if not 0 <= onset_month < n_months:
+        raise ConfigError(
+            f"onset_month {onset_month} outside study of {n_months} months"
+        )
+    if drops_per_month < 0:
+        raise ConfigError(f"drops_per_month must be >= 0, got {drops_per_month}")
+    remaining = list(profile.habitual_segments)
+    rng.shuffle(remaining)
+    drop_month: dict[int, int] = {}
+    for month in range(onset_month, n_months):
+        if not remaining or drops_per_month == 0:
+            break
+        n_drops = int(rng.poisson(drops_per_month))
+        if month == onset_month:
+            n_drops = max(n_drops, 1)
+        for _ in range(min(n_drops, len(remaining))):
+            drop_month[remaining.pop()] = month
+    return AttritionSchedule(
+        customer_id=profile.customer_id,
+        onset_month=onset_month,
+        drop_month=drop_month,
+        trip_decay_per_month=trip_decay_per_month,
+    )

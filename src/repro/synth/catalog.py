@@ -1,0 +1,141 @@
+"""Synthetic grocery catalog generation.
+
+The paper's catalog has 4M products grouped into 3,388 segments via a
+taxonomy.  The generator builds a scaled-down catalog with the same
+structure: departments -> segments -> products.  A fixed roster of named
+grocery segments is always present — it includes the four segments the
+Figure 2 case study names (coffee, milk, cheese, sponges) — and filler
+segments are generated on top to reach the requested size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.items import Catalog
+from repro.errors import ConfigError
+
+__all__ = ["NAMED_SEGMENTS", "build_catalog"]
+
+#: (segment name, department, typical unit price) — the named core of the
+#: catalog. Coffee, Milk, Cheese and Sponges are required by the Figure 2
+#: case study.
+NAMED_SEGMENTS: tuple[tuple[str, str, float], ...] = (
+    ("Coffee", "Beverages", 4.5),
+    ("Tea", "Beverages", 3.0),
+    ("Juice", "Beverages", 2.5),
+    ("Soda", "Beverages", 1.8),
+    ("Water", "Beverages", 0.8),
+    ("Milk", "Dairy", 1.2),
+    ("Cheese", "Dairy", 3.5),
+    ("Yogurt", "Dairy", 2.0),
+    ("Butter", "Dairy", 2.4),
+    ("Eggs", "Dairy", 2.8),
+    ("Bread", "Bakery", 1.5),
+    ("Pastries", "Bakery", 3.2),
+    ("Biscuits", "Bakery", 2.1),
+    ("Beef", "Meat", 8.0),
+    ("Poultry", "Meat", 6.5),
+    ("Pork", "Meat", 7.0),
+    ("Fish", "Seafood", 9.0),
+    ("Shrimp", "Seafood", 11.0),
+    ("Apples", "Produce", 2.2),
+    ("Bananas", "Produce", 1.4),
+    ("Tomatoes", "Produce", 2.6),
+    ("Salad", "Produce", 1.9),
+    ("Potatoes", "Produce", 1.6),
+    ("Onions", "Produce", 1.3),
+    ("Pasta", "Pantry", 1.7),
+    ("Rice", "Pantry", 2.3),
+    ("Flour", "Pantry", 1.1),
+    ("Sugar", "Pantry", 1.2),
+    ("Olive oil", "Pantry", 5.5),
+    ("Canned tomatoes", "Pantry", 1.4),
+    ("Cereal", "Pantry", 3.4),
+    ("Chocolate", "Snacks", 2.7),
+    ("Chips", "Snacks", 2.2),
+    ("Nuts", "Snacks", 4.1),
+    ("Ice cream", "Frozen", 3.8),
+    ("Frozen vegetables", "Frozen", 2.5),
+    ("Pizza", "Frozen", 4.2),
+    ("Sponges", "Household", 1.9),
+    ("Detergent", "Household", 6.0),
+    ("Paper towels", "Household", 3.1),
+    ("Dish soap", "Household", 2.3),
+    ("Trash bags", "Household", 3.7),
+    ("Shampoo", "Personal care", 4.4),
+    ("Toothpaste", "Personal care", 2.9),
+    ("Soap", "Personal care", 1.8),
+    ("Diapers", "Baby", 9.5),
+    ("Baby food", "Baby", 3.3),
+    ("Cat food", "Pets", 5.2),
+    ("Dog food", "Pets", 6.8),
+    ("Wine", "Alcohol", 7.5),
+    ("Beer", "Alcohol", 5.0),
+)
+
+_FILLER_DEPARTMENTS = (
+    "Beverages",
+    "Dairy",
+    "Bakery",
+    "Meat",
+    "Produce",
+    "Pantry",
+    "Snacks",
+    "Frozen",
+    "Household",
+    "Personal care",
+)
+
+
+def build_catalog(
+    n_segments: int = 120,
+    products_per_segment: int = 8,
+    seed: int = 0,
+) -> Catalog:
+    """Build a synthetic catalog with at least the named grocery segments.
+
+    Parameters
+    ----------
+    n_segments:
+        Total number of segments; must be at least the size of the named
+        roster (currently 51).
+    products_per_segment:
+        SKUs generated under each segment, with unit prices jittered
+        around the segment's typical price.
+    seed:
+        RNG seed for price jitter (catalog structure itself is
+        deterministic).
+
+    Raises
+    ------
+    ConfigError
+        If ``n_segments`` is smaller than the named roster or
+        ``products_per_segment`` is not positive.
+    """
+    if n_segments < len(NAMED_SEGMENTS):
+        raise ConfigError(
+            f"n_segments must be >= {len(NAMED_SEGMENTS)} (the named roster), "
+            f"got {n_segments}"
+        )
+    if products_per_segment <= 0:
+        raise ConfigError(
+            f"products_per_segment must be positive, got {products_per_segment}"
+        )
+    rng = np.random.default_rng(seed)
+    catalog = Catalog()
+    specs = list(NAMED_SEGMENTS)
+    for i in range(n_segments - len(NAMED_SEGMENTS)):
+        department = _FILLER_DEPARTMENTS[i % len(_FILLER_DEPARTMENTS)]
+        price = float(np.round(rng.uniform(0.8, 9.0), 2))
+        specs.append((f"{department} segment {i:04d}", department, price))
+    for name, department, price in specs:
+        segment = catalog.add_segment(name, department=department)
+        for j in range(products_per_segment):
+            jitter = float(rng.uniform(0.7, 1.3))
+            catalog.add_product(
+                f"{name} SKU {j}",
+                segment.segment_id,
+                unit_price=round(max(price * jitter, 0.2), 2),
+            )
+    return catalog

@@ -1,0 +1,184 @@
+"""Customer archetypes and per-customer shopping profiles.
+
+A :class:`CustomerProfile` encodes a customer's *habits* — the structure
+the stability model exploits: a set of habitual segments the customer
+re-buys at segment-specific rates, a trip frequency, and a taste for
+novelty (noise segments sampled outside the habitual set).
+
+Archetypes give the population realistic heterogeneity: a "family"
+customer shops often with large habitual sets, a "minimal" customer has a
+thin routine.  All draws are made from an explicit numpy generator so
+datasets are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.items import Catalog
+from repro.errors import ConfigError
+
+__all__ = ["Archetype", "ARCHETYPES", "CustomerProfile", "sample_profile"]
+
+
+@dataclass(frozen=True)
+class Archetype:
+    """Population-level template for sampling customer profiles.
+
+    Attributes
+    ----------
+    name:
+        Archetype label (diagnostic only).
+    weight:
+        Relative prevalence in the population.
+    habitual_range:
+        ``(low, high)`` bounds for the habitual-set size (inclusive).
+    trip_interval_days:
+        ``(low, high)`` bounds of the mean days between shopping trips.
+    inclusion_range:
+        ``(low, high)`` bounds of the per-trip probability that a due
+        habitual segment lands in the basket.
+    noise_rate:
+        Expected number of non-habitual segments per trip.
+    """
+
+    name: str
+    weight: float
+    habitual_range: tuple[int, int]
+    trip_interval_days: tuple[float, float]
+    inclusion_range: tuple[float, float]
+    noise_rate: float
+
+
+#: The population mix used by the default scenarios.
+ARCHETYPES: tuple[Archetype, ...] = (
+    Archetype(
+        name="family",
+        weight=0.35,
+        habitual_range=(14, 22),
+        trip_interval_days=(4.0, 7.0),
+        inclusion_range=(0.45, 0.7),
+        noise_rate=1.5,
+    ),
+    Archetype(
+        name="couple",
+        weight=0.3,
+        habitual_range=(9, 15),
+        trip_interval_days=(6.0, 10.0),
+        inclusion_range=(0.4, 0.65),
+        noise_rate=1.0,
+    ),
+    Archetype(
+        name="single",
+        weight=0.25,
+        habitual_range=(6, 10),
+        trip_interval_days=(8.0, 14.0),
+        inclusion_range=(0.35, 0.6),
+        noise_rate=0.8,
+    ),
+    Archetype(
+        name="minimal",
+        weight=0.1,
+        habitual_range=(4, 7),
+        trip_interval_days=(12.0, 20.0),
+        inclusion_range=(0.3, 0.55),
+        noise_rate=0.5,
+    ),
+)
+
+
+@dataclass
+class CustomerProfile:
+    """Sampled shopping behaviour of one customer.
+
+    Attributes
+    ----------
+    customer_id:
+        The customer's id.
+    archetype:
+        Name of the archetype the profile was sampled from.
+    habitual_segments:
+        Segment ids the customer re-buys routinely.
+    inclusion_prob:
+        Per-trip probability that each habitual segment is bought,
+        per segment (aligned with ``habitual_segments``).
+    trip_interval_days:
+        Mean days between shopping trips (exponential inter-arrivals).
+    noise_rate:
+        Poisson rate of non-habitual segments added per trip.
+    basket_multiplier:
+        Multiplies unit prices into per-basket monetary value, modelling
+        quantity differences across customers.
+    """
+
+    customer_id: int
+    archetype: str
+    habitual_segments: list[int]
+    inclusion_prob: dict[int, float] = field(default_factory=dict)
+    trip_interval_days: float = 7.0
+    noise_rate: float = 1.0
+    basket_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.habitual_segments:
+            raise ConfigError("a customer profile needs at least one habitual segment")
+        if self.trip_interval_days <= 0:
+            raise ConfigError(
+                f"trip_interval_days must be positive, got {self.trip_interval_days}"
+            )
+        missing = [s for s in self.habitual_segments if s not in self.inclusion_prob]
+        if missing:
+            raise ConfigError(f"habitual segments without inclusion_prob: {missing[:5]}")
+
+
+def sample_profile(
+    customer_id: int,
+    catalog: Catalog,
+    rng: np.random.Generator,
+    archetypes: tuple[Archetype, ...] = ARCHETYPES,
+    pinned_segments: tuple[int, ...] = (),
+) -> CustomerProfile:
+    """Sample one customer profile from the archetype mix.
+
+    Parameters
+    ----------
+    customer_id:
+        Id assigned to the sampled customer.
+    catalog:
+        Catalog whose segments the profile draws from.
+    rng:
+        Explicit generator (callers own the seeding discipline).
+    archetypes:
+        Archetype mix to sample from.
+    pinned_segments:
+        Segment ids guaranteed to be part of the habitual set (used by
+        the Figure 2 case study to pin coffee/milk/cheese/sponges).
+    """
+    if not archetypes:
+        raise ConfigError("archetypes must be non-empty")
+    weights = np.asarray([a.weight for a in archetypes], dtype=np.float64)
+    archetype = archetypes[rng.choice(len(archetypes), p=weights / weights.sum())]
+
+    lo, hi = archetype.habitual_range
+    target_size = int(rng.integers(lo, hi + 1))
+    all_segments = np.arange(catalog.n_segments)
+    pinned = [s for s in pinned_segments if 0 <= s < catalog.n_segments]
+    pool = np.setdiff1d(all_segments, np.asarray(pinned, dtype=np.int64))
+    extra = max(target_size - len(pinned), 0)
+    chosen = rng.choice(pool, size=min(extra, len(pool)), replace=False)
+    habitual = sorted(pinned + [int(s) for s in chosen])
+
+    inc_lo, inc_hi = archetype.inclusion_range
+    inclusion = {s: float(rng.uniform(inc_lo, inc_hi)) for s in habitual}
+    t_lo, t_hi = archetype.trip_interval_days
+    return CustomerProfile(
+        customer_id=customer_id,
+        archetype=archetype.name,
+        habitual_segments=habitual,
+        inclusion_prob=inclusion,
+        trip_interval_days=float(rng.uniform(t_lo, t_hi)),
+        noise_rate=archetype.noise_rate,
+        basket_multiplier=float(rng.lognormal(mean=0.0, sigma=0.3)),
+    )

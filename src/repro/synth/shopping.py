@@ -1,0 +1,171 @@
+"""The shopping-trip simulator: turns profiles into timestamped baskets.
+
+For one customer the simulator draws a sequence of shopping trips over the
+study period (exponential inter-arrival times, whose mean can grow after a
+defection onset) and composes a basket at each trip:
+
+* every *active* habitual segment joins with its per-trip inclusion
+  probability (an :class:`~repro.synth.attrition.AttritionSchedule`
+  removes segments once they are dropped);
+* a Poisson number of noise segments joins from outside the habitual set,
+  modulated by a mild annual seasonality;
+* the basket's monetary value is derived from the catalog's segment
+  prices and the customer's basket multiplier.
+
+Baskets can be emitted at segment level (default — the level the model
+consumes) or at product level (a random SKU per segment), which exercises
+the taxonomy-abstraction code path.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.basket import Basket
+from repro.data.calendar import StudyCalendar
+from repro.data.items import Catalog
+from repro.errors import ConfigError
+from repro.synth.attrition import AttritionSchedule
+from repro.synth.customers import CustomerProfile
+
+__all__ = ["simulate_customer", "segment_prices"]
+
+
+def segment_prices(catalog: Catalog) -> dict[int, float]:
+    """Mean product price per segment (price proxy for segment-level baskets)."""
+    totals: dict[int, list[float]] = {}
+    for product in catalog.products():
+        totals.setdefault(product.segment_id, []).append(product.unit_price)
+    return {
+        segment.segment_id: (
+            float(np.mean(totals[segment.segment_id]))
+            if segment.segment_id in totals
+            else 1.0
+        )
+        for segment in catalog.segments()
+    }
+
+
+def _seasonality(day: int, amplitude: float = 0.15) -> float:
+    """Annual multiplicative modulation of discretionary purchases."""
+    return 1.0 + amplitude * math.sin(2.0 * math.pi * day / 365.25)
+
+
+def simulate_customer(
+    profile: CustomerProfile,
+    calendar: StudyCalendar,
+    catalog: Catalog,
+    rng: np.random.Generator,
+    schedule: AttritionSchedule | None = None,
+    product_level: bool = False,
+    absences: tuple[tuple[int, int], ...] = (),
+) -> list[Basket]:
+    """Simulate the full purchase history of one customer.
+
+    Parameters
+    ----------
+    profile:
+        The customer's shopping behaviour.
+    calendar:
+        Study period the trips must fall in.
+    catalog:
+        Catalog providing segment prices (and SKUs in product mode).
+    rng:
+        Explicit generator; one customer's draws are independent of
+        other customers' when callers spawn child generators.
+    schedule:
+        Defection plan; ``None`` simulates a loyal customer.
+    product_level:
+        Emit product ids (random SKU per segment) instead of segment ids.
+    absences:
+        Half-open day intervals ``[begin, end)`` during which the
+        customer makes no trips (vacations) — used by the robustness
+        study: a long gap looks like defection to window-based models.
+
+    Returns
+    -------
+    list[Basket]
+        Chronological baskets (possibly empty list for customers whose
+        first trip falls past the study end).
+    """
+    for begin, end in absences:
+        if end < begin:
+            raise ConfigError(f"invalid absence interval: [{begin}, {end})")
+    prices = segment_prices(catalog)
+    n_segments = catalog.n_segments
+    habitual_set = set(profile.habitual_segments)
+    noise_pool = np.asarray(
+        [s for s in range(n_segments) if s not in habitual_set], dtype=np.int64
+    )
+    products_by_segment: dict[int, list[int]] = {}
+    if product_level:
+        for product in catalog.products():
+            products_by_segment.setdefault(product.segment_id, []).append(
+                product.product_id
+            )
+        empty_segments = [s for s in range(n_segments) if s not in products_by_segment]
+        if empty_segments:
+            raise ConfigError(
+                f"product-level simulation needs SKUs in every segment; "
+                f"missing in {empty_segments[:5]}"
+            )
+
+    baskets: list[Basket] = []
+    day = float(rng.uniform(0, profile.trip_interval_days))
+    while day < calendar.n_days:
+        day_int = int(day)
+        absence = next(
+            (interval for interval in absences if interval[0] <= day_int < interval[1]),
+            None,
+        )
+        if absence is not None:
+            # On vacation: no trip; resume shopping when the absence ends.
+            day = float(absence[1]) + rng.exponential(profile.trip_interval_days)
+            continue
+        month = calendar.month_of_day(day_int)
+
+        if schedule is not None:
+            active = schedule.active_segments(profile, month)
+            interval = schedule.trip_interval_at(profile, month)
+        else:
+            active = profile.habitual_segments
+            interval = profile.trip_interval_days
+
+        chosen: set[int] = {
+            segment
+            for segment in active
+            if rng.random() < profile.inclusion_prob[segment]
+        }
+        season = _seasonality(day_int)
+        n_noise = int(rng.poisson(profile.noise_rate * season))
+        if n_noise and len(noise_pool):
+            noise = rng.choice(noise_pool, size=min(n_noise, len(noise_pool)), replace=False)
+            chosen.update(int(s) for s in noise)
+        if not chosen and active:
+            # A trip with an empty basket is not a receipt; buy the single
+            # most habitual item instead (the customer came for something).
+            chosen.add(max(active, key=lambda s: profile.inclusion_prob[s]))
+
+        if chosen:
+            monetary = profile.basket_multiplier * sum(
+                prices[s] * float(rng.uniform(0.8, 1.5)) for s in chosen
+            )
+            if product_level:
+                items = frozenset(
+                    int(rng.choice(products_by_segment[s])) for s in chosen
+                )
+            else:
+                items = frozenset(chosen)
+            baskets.append(
+                Basket(
+                    customer_id=profile.customer_id,
+                    day=day_int,
+                    items=items,
+                    monetary=round(monetary, 2),
+                )
+            )
+
+        day += rng.exponential(interval)
+    return baskets

@@ -1,0 +1,6 @@
+"""Terminal visualisation and series export."""
+
+from repro.viz.ascii import histogram, line_chart
+from repro.viz.export import write_series_csv, write_series_json
+
+__all__ = ["histogram", "line_chart", "write_series_csv", "write_series_json"]

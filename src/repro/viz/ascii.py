@@ -1,0 +1,165 @@
+"""ASCII line charts for terminal-rendered figures.
+
+No plotting library is available offline, so the benchmark harness renders
+the paper's figures as fixed-grid ASCII charts: one plot character per
+series, a y axis with tick labels, and an x axis labelled with the series'
+x values.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["line_chart", "histogram"]
+
+_MARKERS = "*o+x#@"
+
+
+def _scale(value: float, lo: float, hi: float, height: int) -> int | None:
+    """Row index (0 = bottom) for a value, or ``None`` when not plottable."""
+    if math.isnan(value):
+        return None
+    clamped = min(max(value, lo), hi)
+    return int(round((clamped - lo) / (hi - lo) * (height - 1)))
+
+
+def line_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Render one or more series as an ASCII chart.
+
+    Parameters
+    ----------
+    x:
+        Shared x values (used for the axis labels).
+    series:
+        Mapping from series name to y values (``nan`` values are skipped).
+    title:
+        Optional title line.
+    width, height:
+        Plot area size in characters.
+    y_range:
+        Fixed ``(lo, hi)`` for the y axis; inferred from the data when
+        omitted.
+
+    Raises
+    ------
+    ConfigError
+        On empty input or mismatched series lengths.
+    """
+    if not series:
+        raise ConfigError("line_chart needs at least one series")
+    if height < 2 or width < 2:
+        raise ConfigError(f"chart area too small: {width}x{height}")
+    n = len(x)
+    if n == 0:
+        raise ConfigError("line_chart needs at least one x value")
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ConfigError(
+                f"series {name!r} has {len(ys)} values for {n} x values"
+            )
+
+    if y_range is None:
+        finite = [
+            v for ys in series.values() for v in ys if not math.isnan(v)
+        ]
+        if not finite:
+            raise ConfigError("all series values are NaN")
+        lo, hi = min(finite), max(finite)
+        if lo == hi:
+            lo, hi = lo - 0.5, hi + 0.5
+    else:
+        lo, hi = y_range
+        if hi <= lo:
+            raise ConfigError(f"invalid y_range: {y_range}")
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for i, value in enumerate(ys):
+            row = _scale(float(value), lo, hi, height)
+            if row is None:
+                continue
+            col = int(round(i / max(n - 1, 1) * (width - 1)))
+            grid[height - 1 - row][col] = marker
+
+    label_width = max(len(f"{hi:.2f}"), len(f"{lo:.2f}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{hi:.2f}"
+        elif row_index == height - 1:
+            label = f"{lo:.2f}"
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    first_label = f"{x[0]:g}"
+    last_label = f"{x[-1]:g}"
+    padding = width - len(first_label) - len(last_label)
+    lines.append(
+        " " * (label_width + 2) + first_label + " " * max(padding, 1) + last_label
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    n_bins: int = 10,
+    width: int = 40,
+    title: str = "",
+    value_format: str = "{:.1f}",
+) -> str:
+    """Horizontal ASCII histogram of a sample.
+
+    Each line is one bin: its range, a bar proportional to the count, and
+    the count itself.  Used to render delay distributions in the
+    benchmark artifacts.
+
+    Raises
+    ------
+    ConfigError
+        On empty input or non-positive bin/width settings.
+    """
+    if not values:
+        raise ConfigError("histogram needs at least one value")
+    if n_bins <= 0 or width <= 0:
+        raise ConfigError(f"invalid histogram shape: {n_bins} bins, width {width}")
+    finite = [float(v) for v in values if not math.isnan(float(v))]
+    if not finite:
+        raise ConfigError("all histogram values are NaN")
+    lo, hi = min(finite), max(finite)
+    if lo == hi:
+        hi = lo + 1.0
+    counts = [0] * n_bins
+    span = hi - lo
+    for value in finite:
+        index = min(int((value - lo) / span * n_bins), n_bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    edges = [lo + span * i / n_bins for i in range(n_bins + 1)]
+    label_pairs = [
+        f"[{value_format.format(edges[i])}, {value_format.format(edges[i + 1])})"
+        for i in range(n_bins)
+    ]
+    label_width = max(len(label) for label in label_pairs)
+    lines = [title] if title else []
+    for label, count in zip(label_pairs, counts):
+        bar = "#" * (round(count / peak * width) if peak else 0)
+        lines.append(f"{label.rjust(label_width)} |{bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Export of experiment series to CSV/JSON for external plotting."""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+__all__ = ["write_series_csv", "write_series_json"]
+
+
+def _validate(x: Sequence[float], series: Mapping[str, Sequence[float]]) -> None:
+    if not series:
+        raise ConfigError("need at least one series to export")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ConfigError(
+                f"series {name!r} has {len(ys)} values for {len(x)} x values"
+            )
+
+
+def write_series_csv(
+    path: str | Path,
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    x_name: str = "x",
+) -> None:
+    """Write ``x`` plus one column per series to a CSV file."""
+    _validate(x, series)
+    path = Path(path)
+    names = list(series)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_name, *names])
+        for i, x_value in enumerate(x):
+            writer.writerow([x_value, *(series[name][i] for name in names)])
+
+
+def write_series_json(
+    path: str | Path,
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    x_name: str = "x",
+    metadata: Mapping[str, object] | None = None,
+) -> None:
+    """Write the series plus optional metadata as a JSON document."""
+    _validate(x, series)
+    payload = {
+        x_name: list(x),
+        "series": {name: list(ys) for name, ys in series.items()},
+    }
+    if metadata:
+        payload["metadata"] = dict(metadata)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,116 @@
+"""Tests for repro.baselines.behavioral (extended Buckinx features)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.behavioral import (
+    BEHAVIORAL_FEATURE_NAMES,
+    BehavioralModel,
+    extract_behavioral,
+)
+from repro.core.windowing import WindowGrid
+from repro.data.basket import Basket
+from repro.errors import ConfigError, NotFittedError
+from repro.ml.metrics import auroc
+
+
+@pytest.fixture()
+def grid() -> WindowGrid:
+    return WindowGrid.daily(total_days=100, days_per_window=20)
+
+
+def _history(specs) -> list[Basket]:
+    return [
+        Basket.of(customer_id=1, day=day, items=items, monetary=m)
+        for day, items, m in specs
+    ]
+
+
+class TestExtractBehavioral:
+    def test_vector_width(self, grid):
+        features = extract_behavioral(1, [], grid, 4)
+        assert features.as_array().shape == (len(BEHAVIORAL_FEATURE_NAMES),)
+
+    def test_includes_rfm_prefix(self, grid):
+        history = _history([(0, [1], 3.0), (30, [1], 7.0)])
+        features = extract_behavioral(1, history, grid, 4)
+        values = dict(zip(BEHAVIORAL_FEATURE_NAMES, features.as_array()))
+        assert values["monetary_total"] == 10.0
+        assert values["frequency_total"] == 2.0
+
+    def test_regular_shopper_low_cv(self, grid):
+        regular = _history([(d, [1], 1.0) for d in range(0, 80, 10)])
+        erratic = _history(
+            [(0, [1], 1.0), (2, [1], 1.0), (40, [1], 1.0), (44, [1], 1.0), (78, [1], 1.0)]
+        )
+        cv_index = BEHAVIORAL_FEATURE_NAMES.index("interpurchase_cv")
+        cv_regular = extract_behavioral(1, regular, grid, 4).as_array()[cv_index]
+        cv_erratic = extract_behavioral(1, erratic, grid, 4).as_array()[cv_index]
+        assert cv_regular < cv_erratic
+
+    def test_breadth_shrinks_for_churner(self, grid):
+        churner = _history(
+            [(d, [1, 2, 3, 4], 4.0) for d in range(0, 40, 10)]
+            + [(d, [1], 1.0) for d in range(40, 80, 10)]
+        )
+        loyal = _history([(d, [1, 2, 3, 4], 4.0) for d in range(0, 80, 10)])
+        breadth_index = BEHAVIORAL_FEATURE_NAMES.index("breadth_ratio")
+        b_churner = extract_behavioral(1, churner, grid, 4, trend_trips=4).as_array()[
+            breadth_index
+        ]
+        b_loyal = extract_behavioral(1, loyal, grid, 4, trend_trips=4).as_array()[
+            breadth_index
+        ]
+        assert b_churner < b_loyal
+
+    def test_declining_basket_negative_trend(self, grid):
+        declining = _history(
+            [(d, list(range(10 - d // 10)), 5.0) for d in range(0, 80, 10)]
+        )
+        trend_index = BEHAVIORAL_FEATURE_NAMES.index("basket_size_trend")
+        trend = extract_behavioral(1, declining, grid, 4).as_array()[trend_index]
+        assert trend < 0
+
+    def test_invalid_trend_trips(self, grid):
+        with pytest.raises(ConfigError):
+            extract_behavioral(1, [], grid, 4, trend_trips=1)
+
+
+class TestBehavioralModel:
+    def test_unfitted_raises(self, small_dataset):
+        with pytest.raises(NotFittedError):
+            BehavioralModel(small_dataset.calendar).churn_scores(
+                small_dataset.log, [0]
+            )
+
+    def test_invalid_window(self, small_dataset):
+        with pytest.raises(ConfigError):
+            BehavioralModel(small_dataset.calendar, window_months=0)
+
+    def test_detects_churners_post_onset(self, small_dataset):
+        model = BehavioralModel(small_dataset.calendar)
+        model.fit(small_dataset.log, small_dataset.cohorts, 10)
+        customers = small_dataset.cohorts.all_customers()
+        scores = model.churn_scores(small_dataset.log, customers)
+        y = small_dataset.cohorts.label_vector(customers)
+        s = np.asarray([scores[c] for c in customers])
+        assert auroc(y, s) > 0.6
+
+    def test_extended_features_beat_plain_rfm_in_sample(self, small_dataset):
+        """The extra behavioural predictors must not hurt (same data, superset)."""
+        from repro.baselines.rfm_model import RFMModel
+
+        window = 10
+        customers = small_dataset.cohorts.all_customers()
+        y = small_dataset.cohorts.label_vector(customers)
+
+        def in_sample_auroc(model):
+            model.fit(small_dataset.log, small_dataset.cohorts, window)
+            scores = model.churn_scores(small_dataset.log, customers)
+            return auroc(y, np.asarray([scores[c] for c in customers]))
+
+        extended = in_sample_auroc(BehavioralModel(small_dataset.calendar))
+        plain = in_sample_auroc(RFMModel(small_dataset.calendar))
+        assert extended >= plain - 0.05

@@ -1,0 +1,116 @@
+"""Tests for repro.baselines.rfm (feature extraction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.rfm import FEATURE_NAMES, extract_rfm, rfm_matrix
+from repro.core.windowing import WindowGrid
+from repro.data.basket import Basket
+from repro.data.transactions import TransactionLog
+from repro.errors import ConfigError, DataError
+
+
+@pytest.fixture()
+def grid() -> WindowGrid:
+    return WindowGrid.daily(total_days=100, days_per_window=20)
+
+
+def _history(days_and_monetary) -> list[Basket]:
+    return [
+        Basket.of(customer_id=1, day=day, items=[1], monetary=m)
+        for day, m in days_and_monetary
+    ]
+
+
+class TestExtractRfm:
+    def test_recency(self, grid):
+        history = _history([(0, 1.0), (35, 2.0)])
+        features = extract_rfm(1, history, grid, window_index=2)
+        # Window 2 ends at day 60; last purchase day 35.
+        assert features.recency_days == 25.0
+
+    def test_frequency(self, grid):
+        history = _history([(0, 1.0), (10, 1.0), (35, 1.0), (90, 1.0)])
+        features = extract_rfm(1, history, grid, window_index=2)
+        assert features.frequency_total == 3.0  # day-90 basket is in the future
+        assert features.frequency_window == 0.0
+
+    def test_frequency_window_counts_in_window_trips(self, grid):
+        history = _history([(45, 1.0), (50, 1.0)])
+        features = extract_rfm(1, history, grid, window_index=2)
+        assert features.frequency_window == 2.0
+
+    def test_monetary(self, grid):
+        history = _history([(0, 3.0), (45, 7.0)])
+        features = extract_rfm(1, history, grid, window_index=2)
+        assert features.monetary_total == 10.0
+        assert features.monetary_window == 7.0
+        assert features.monetary_per_trip == 5.0
+
+    def test_interpurchase_mean(self, grid):
+        history = _history([(0, 1.0), (10, 1.0), (30, 1.0)])
+        features = extract_rfm(1, history, grid, window_index=2)
+        assert features.interpurchase_mean_days == pytest.approx(15.0)
+
+    def test_single_purchase_interpurchase_falls_back_to_elapsed(self, grid):
+        history = _history([(5, 1.0)])
+        features = extract_rfm(1, history, grid, window_index=2)
+        assert features.interpurchase_mean_days == 60.0
+
+    def test_no_history_pessimistic_defaults(self, grid):
+        features = extract_rfm(1, [], grid, window_index=2)
+        assert features.recency_days == 60.0
+        assert features.frequency_total == 0.0
+        assert features.monetary_total == 0.0
+        assert features.monetary_per_trip == 0.0
+
+    def test_future_baskets_never_leak(self, grid):
+        early = _history([(10, 5.0)])
+        with_future = early + _history([(70, 100.0)])
+        a = extract_rfm(1, early, grid, window_index=2)
+        b = extract_rfm(1, with_future, grid, window_index=2)
+        assert a == b
+
+    def test_as_array_order(self, grid):
+        features = extract_rfm(1, _history([(0, 2.0)]), grid, window_index=1)
+        array = features.as_array()
+        assert array.shape == (len(FEATURE_NAMES),)
+        assert array[FEATURE_NAMES.index("monetary_total")] == 2.0
+
+
+class TestRfmMatrix:
+    def test_matrix_shape_and_order(self, grid):
+        log = TransactionLog(
+            [
+                Basket.of(customer_id=1, day=0, items=[1], monetary=1.0),
+                Basket.of(customer_id=2, day=5, items=[1], monetary=2.0),
+            ]
+        )
+        ids, matrix = rfm_matrix(log, [2, 1], grid, window_index=1)
+        assert ids == [2, 1]
+        assert matrix.shape == (2, len(FEATURE_NAMES))
+        assert matrix[0, FEATURE_NAMES.index("monetary_total")] == 2.0
+
+    def test_missing_customer_fails_loudly(self, grid):
+        log = TransactionLog([Basket.of(customer_id=1, day=0, items=[1])])
+        with pytest.raises(DataError):
+            rfm_matrix(log, [1, 99], grid, window_index=1)
+
+    def test_duplicate_ids_rejected(self, grid):
+        log = TransactionLog([Basket.of(customer_id=1, day=0, items=[1])])
+        with pytest.raises(ConfigError, match="duplicate"):
+            rfm_matrix(log, [1, 1], grid, window_index=1)
+
+    def test_empty_customer_list(self, grid):
+        log = TransactionLog([Basket.of(customer_id=1, day=0, items=[1])])
+        ids, matrix = rfm_matrix(log, [], grid, window_index=1)
+        assert ids == []
+        assert matrix.shape == (0, len(FEATURE_NAMES))
+
+    def test_all_features_finite(self, grid, small_dataset):
+        customers = small_dataset.log.customers()[:10]
+        __, matrix = rfm_matrix(small_dataset.log, customers, WindowGrid.monthly(
+            small_dataset.calendar, 2), window_index=9)
+        assert np.isfinite(matrix).all()

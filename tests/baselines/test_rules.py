@@ -1,0 +1,81 @@
+"""Tests for repro.baselines.rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.rules import FrequencyDropRule, RandomBaseline, RecencyRule
+from repro.core.windowing import WindowGrid
+from repro.data.basket import Basket
+from repro.data.transactions import TransactionLog
+from repro.errors import ConfigError
+from repro.ml.metrics import auroc
+
+
+@pytest.fixture()
+def grid() -> WindowGrid:
+    return WindowGrid.daily(total_days=100, days_per_window=20)
+
+
+@pytest.fixture()
+def log() -> TransactionLog:
+    log = TransactionLog()
+    # Customer 1 shops steadily; customer 2 goes silent after day 30.
+    for day in range(0, 100, 10):
+        log.add(Basket.of(customer_id=1, day=day, items=[1]))
+    for day in range(0, 30, 10):
+        log.add(Basket.of(customer_id=2, day=day, items=[1]))
+    return log
+
+
+class TestRecencyRule:
+    def test_silent_customer_scores_higher(self, grid, log):
+        scores = RecencyRule(grid).churn_scores(log, [1, 2], window_index=4)
+        assert scores[2] > scores[1]
+
+    def test_scores_normalised(self, grid, log):
+        scores = RecencyRule(grid).churn_scores(log, [1, 2], window_index=4)
+        assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+
+class TestFrequencyDropRule:
+    def test_silent_customer_scores_higher(self, grid, log):
+        scores = FrequencyDropRule(grid).churn_scores(log, [1, 2], window_index=4)
+        assert scores[2] > scores[1]
+
+    def test_window_zero_rejected(self, grid, log):
+        with pytest.raises(ConfigError, match="prior window"):
+            FrequencyDropRule(grid).churn_scores(log, [1], window_index=0)
+
+    def test_no_history_neutral(self, grid):
+        log = TransactionLog(
+            [Basket.of(customer_id=3, day=90, items=[1])]
+        )
+        scores = FrequencyDropRule(grid).churn_scores(log, [3], window_index=2)
+        assert scores[3] == 0.5
+
+    def test_scores_clipped(self, grid, log):
+        scores = FrequencyDropRule(grid).churn_scores(log, [1, 2], window_index=4)
+        assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+
+class TestRandomBaseline:
+    def test_deterministic_per_seed_and_window(self, grid, log):
+        a = RandomBaseline(seed=1).churn_scores(log, [1, 2], window_index=3)
+        b = RandomBaseline(seed=1).churn_scores(log, [1, 2], window_index=3)
+        assert a == b
+
+    def test_different_windows_differ(self, grid, log):
+        a = RandomBaseline(seed=1).churn_scores(log, [1, 2], window_index=3)
+        b = RandomBaseline(seed=1).churn_scores(log, [1, 2], window_index=4)
+        assert a != b
+
+    def test_chance_auroc_on_synthetic_cohorts(self, small_dataset):
+        customers = small_dataset.cohorts.all_customers()
+        scores = RandomBaseline(seed=0).churn_scores(
+            small_dataset.log, customers, window_index=10
+        )
+        y = small_dataset.cohorts.label_vector(customers)
+        s = np.asarray([scores[c] for c in customers])
+        assert 0.3 < auroc(y, s) < 0.7

@@ -1,0 +1,97 @@
+"""Tests for repro.baselines.sequences (Miguéis-style baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sequences import (
+    SequenceModel,
+    extract_sequence_features,
+)
+from repro.core.windowing import WindowGrid
+from repro.data.basket import Basket
+from repro.errors import ConfigError, NotFittedError
+from repro.ml.metrics import auroc
+
+
+@pytest.fixture()
+def grid() -> WindowGrid:
+    return WindowGrid.daily(total_days=100, days_per_window=20)
+
+
+def _history(specs) -> list[Basket]:
+    return [Basket.of(customer_id=1, day=day, items=items) for day, items in specs]
+
+
+class TestExtractSequenceFeatures:
+    def test_stable_repertoire_full_jaccard(self, grid):
+        history = _history([(d, [1, 2]) for d in range(0, 80, 10)])
+        features = extract_sequence_features(1, history, grid, 4, q=3)
+        assert features.first_last_jaccard == 1.0
+        assert features.repertoire_ratio == 1.0
+
+    def test_shrinking_repertoire(self, grid):
+        history = _history(
+            [(d, [1, 2, 3, 4]) for d in range(0, 40, 10)]
+            + [(d, [1]) for d in range(40, 80, 10)]
+        )
+        features = extract_sequence_features(1, history, grid, 4, q=4)
+        assert features.first_last_jaccard == pytest.approx(0.25)
+        assert features.repertoire_ratio == pytest.approx(0.25)
+        assert features.basket_size_ratio == pytest.approx(0.25)
+
+    def test_no_history_zeros(self, grid):
+        features = extract_sequence_features(1, [], grid, 4)
+        assert features.first_last_jaccard == 0.0
+        assert features.recent_trip_count == 0.0
+
+    def test_future_baskets_excluded(self, grid):
+        early = _history([(10, [1, 2])])
+        late = early + _history([(95, [9])])
+        a = extract_sequence_features(1, early, grid, 2)
+        b = extract_sequence_features(1, late, grid, 2)
+        assert a == b
+
+    def test_recent_trip_count(self, grid):
+        history = _history([(45, [1]), (50, [1]), (70, [1])])
+        features = extract_sequence_features(1, history, grid, 2)
+        assert features.recent_trip_count == 2.0
+
+    def test_invalid_q(self, grid):
+        with pytest.raises(ConfigError):
+            extract_sequence_features(1, [], grid, 0, q=0)
+
+
+class TestSequenceModel:
+    def test_interface_matches_protocol(self, small_dataset):
+        model = SequenceModel(small_dataset.calendar, window_months=2)
+        assert model.n_windows == 14
+        assert model.window_month(9) == 20
+
+    def test_unfitted_raises(self, small_dataset):
+        model = SequenceModel(small_dataset.calendar)
+        with pytest.raises(NotFittedError):
+            model.churn_scores(small_dataset.log, [0])
+
+    def test_invalid_params(self, small_dataset):
+        with pytest.raises(ConfigError):
+            SequenceModel(small_dataset.calendar, window_months=0)
+        with pytest.raises(ConfigError):
+            SequenceModel(small_dataset.calendar, q=0)
+
+    def test_detects_churners_post_onset(self, small_dataset):
+        model = SequenceModel(small_dataset.calendar)
+        window = 10  # ends month 22
+        model.fit(small_dataset.log, small_dataset.cohorts, window)
+        customers = small_dataset.cohorts.all_customers()
+        scores = model.churn_scores(small_dataset.log, customers)
+        y = small_dataset.cohorts.label_vector(customers)
+        s = np.asarray([scores[c] for c in customers])
+        assert auroc(y, s) > 0.7  # repertoire shrinkage is its home turf
+
+    def test_scores_are_probabilities(self, small_dataset):
+        model = SequenceModel(small_dataset.calendar)
+        model.fit(small_dataset.log, small_dataset.cohorts, 10)
+        scores = model.churn_scores(small_dataset.log, [0, 1, 2])
+        assert all(0.0 <= v <= 1.0 for v in scores.values())

@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Expensive fixtures (synthetic datasets, the case study) are session-scoped
+so the suite builds them once; they are treated as immutable by tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Basket, StudyCalendar, TransactionLog
+from repro.synth import ScenarioConfig, figure2_case_study, generate_dataset
+
+
+@pytest.fixture(scope="session")
+def calendar() -> StudyCalendar:
+    """The paper's 28-month study calendar."""
+    return StudyCalendar.paper()
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small but fully-featured synthetic dataset (40 + 40 customers)."""
+    return generate_dataset(
+        ScenarioConfig(n_loyal=40, n_churners=40, seed=3)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A minimal dataset for fast protocol tests (12 + 12 customers)."""
+    return generate_dataset(
+        ScenarioConfig(n_loyal=12, n_churners=12, seed=5)
+    )
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The Figure 2 case-study fixture."""
+    return figure2_case_study(seed=11)
+
+
+@pytest.fixture()
+def regular_log(calendar: StudyCalendar) -> TransactionLog:
+    """Customer 1 buys items {1, 2, 3} near the start of every month."""
+    log = TransactionLog()
+    for month in range(calendar.n_months):
+        day = calendar.month_start_day(month) + 2
+        log.add(Basket.of(customer_id=1, day=day, items=[1, 2, 3], monetary=10.0))
+    return log

@@ -1,0 +1,134 @@
+"""Tests for repro.core.model (StabilityModel facade)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.model import StabilityModel
+from repro.core.significance import FrequencyRatioSignificance
+from repro.data.basket import Basket
+from repro.data.calendar import StudyCalendar
+from repro.data.transactions import TransactionLog
+from repro.errors import ConfigError, DataError, NotFittedError
+
+
+@pytest.fixture()
+def model(calendar, regular_log) -> StabilityModel:
+    return StabilityModel(calendar, window_months=2, alpha=2).fit(regular_log)
+
+
+class TestConstruction:
+    def test_grid_matches_calendar(self, calendar):
+        model = StabilityModel(calendar, window_months=2)
+        assert model.n_windows == 14
+
+    def test_invalid_window_rejected(self, calendar):
+        with pytest.raises(ConfigError):
+            StabilityModel(calendar, window_months=0)
+
+    def test_custom_significance_overrides_alpha(self, calendar):
+        model = StabilityModel(
+            calendar, alpha=5.0, significance=FrequencyRatioSignificance()
+        )
+        assert model.significance.name == "frequency-ratio"
+
+    def test_default_alpha_two(self, calendar):
+        model = StabilityModel(calendar)
+        assert model.significance.alpha == 2.0  # type: ignore[attr-defined]
+
+
+class TestFit:
+    def test_unfitted_access_raises(self, calendar):
+        model = StabilityModel(calendar)
+        assert not model.is_fitted
+        with pytest.raises(NotFittedError):
+            model.customers()
+
+    def test_fit_all_customers(self, model):
+        assert model.is_fitted
+        assert model.customers() == [1]
+
+    def test_fit_subset(self, calendar, regular_log):
+        log = TransactionLog(regular_log)
+        log.add(Basket.of(customer_id=2, day=0, items=[9]))
+        model = StabilityModel(calendar).fit(log, customers=[2])
+        assert model.customers() == [2]
+        with pytest.raises(DataError, match="not fitted"):
+            model.trajectory(1)
+
+    def test_unknown_customer_in_fit_raises(self, calendar, regular_log):
+        with pytest.raises(DataError, match="unknown customer"):
+            StabilityModel(calendar).fit(regular_log, customers=[999])
+
+    def test_refit_replaces_state(self, calendar, regular_log):
+        model = StabilityModel(calendar).fit(regular_log)
+        log2 = TransactionLog([Basket.of(customer_id=8, day=0, items=[1])])
+        model.fit(log2)
+        assert model.customers() == [8]
+
+
+class TestQueries:
+    def test_regular_customer_is_fully_stable(self, model):
+        trajectory = model.trajectory(1)
+        assert math.isnan(trajectory.at(0).stability)
+        for k in range(1, model.n_windows):
+            assert trajectory.at(k).stability == 1.0
+
+    def test_stability_at(self, model):
+        assert model.stability_at(1, 3) == 1.0
+
+    def test_churn_scores_all_customers(self, model):
+        scores = model.churn_scores(window_index=3)
+        assert scores == {1: 0.0}
+
+    def test_churn_scores_subset(self, model):
+        assert model.churn_scores(3, customers=[1]) == {1: 0.0}
+
+    def test_window_month(self, model):
+        assert model.window_month(0) == 2
+        assert model.window_month(13) == 28
+
+    def test_explain_top_k_truncates(self, calendar):
+        log = TransactionLog()
+        for month in range(6):
+            day = calendar.month_start_day(month)
+            items = [1, 2, 3] if month < 4 else [1]
+            log.add(Basket.of(customer_id=1, day=day, items=items))
+        model = StabilityModel(calendar, window_months=2).fit(log)
+        explanation = model.explain(1, 2, top_k=1)
+        assert len(explanation.missing) == 1
+
+    def test_detect_returns_first_alarms(self, calendar):
+        log = TransactionLog()
+        for month in range(28):
+            day = calendar.month_start_day(month)
+            items = [1, 2] if month < 18 else [1]
+            log.add(Basket.of(customer_id=1, day=day, items=items))
+        model = StabilityModel(calendar, window_months=2).fit(log)
+        alarms = model.detect(beta=0.7)
+        assert len(alarms) == 1
+        assert model.window_month(alarms[0].window_index) == 20
+
+    def test_detect_no_alarms_for_stable(self, model):
+        assert model.detect(beta=0.5) == []
+
+
+class TestEndToEndDrop:
+    def test_dropping_an_item_lowers_stability_and_names_it(self, calendar):
+        log = TransactionLog()
+        for month in range(28):
+            day = calendar.month_start_day(month) + 1
+            items = [1, 2, 3] if month < 20 else [2, 3]
+            log.add(Basket.of(customer_id=4, day=day, items=items))
+        model = StabilityModel(calendar, window_months=2).fit(log)
+        # Item 1 vanishes from calendar month 20 => window [20,22) ends at 22.
+        k = next(
+            k for k in range(model.n_windows) if model.window_month(k) == 22
+        )
+        assert model.stability_at(4, k) < 1.0
+        assert model.stability_at(4, k - 1) == 1.0
+        explanation = model.explain(4, k)
+        assert explanation.top_item is not None
+        assert explanation.top_item.item == 1

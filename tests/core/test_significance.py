@@ -1,0 +1,217 @@
+"""Tests for repro.core.significance — the paper's S(p, k)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.significance import (
+    COUNTING_SCHEMES,
+    ExponentialSignificance,
+    FrequencyRatioSignificance,
+    ItemCounts,
+    LinearSignificance,
+    SignificanceTracker,
+)
+from repro.errors import ConfigError
+
+
+class TestExponentialSignificance:
+    def test_paper_formula(self):
+        sig = ExponentialSignificance(alpha=2.0)
+        assert sig(c=3, l=1) == 4.0  # 2 ** (3 - 1)
+        assert sig(c=1, l=3) == 0.25  # 2 ** (1 - 3)
+
+    def test_zero_when_never_seen(self):
+        sig = ExponentialSignificance(alpha=2.0)
+        assert sig(c=0, l=5) == 0.0
+
+    def test_alpha_one_is_flat(self):
+        sig = ExponentialSignificance(alpha=1.0)
+        assert sig(c=5, l=0) == 1.0
+        assert sig(c=1, l=4) == 1.0
+
+    def test_nonpositive_alpha_rejected(self):
+        with pytest.raises(ConfigError):
+            ExponentialSignificance(alpha=0.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            ExponentialSignificance()(c=-1, l=0)
+
+    @given(
+        c=st.integers(min_value=1, max_value=20),
+        l=st.integers(min_value=0, max_value=20),
+    )
+    def test_monotone_in_c(self, c: int, l: int):
+        sig = ExponentialSignificance(alpha=2.0)
+        assert sig(c + 1, l) > sig(c, l)
+
+    @given(
+        c=st.integers(min_value=1, max_value=20),
+        l=st.integers(min_value=0, max_value=20),
+    )
+    def test_antitone_in_l(self, c: int, l: int):
+        sig = ExponentialSignificance(alpha=2.0)
+        assert sig(c, l + 1) < sig(c, l)
+
+    def test_name(self):
+        assert ExponentialSignificance().name == "exponential"
+
+    def test_long_history_saturates_instead_of_overflowing(self):
+        # 8 ** 400 overflows a double; the score must saturate, not crash.
+        sig = ExponentialSignificance(alpha=8.0)
+        import math
+
+        value = sig(c=400, l=0)
+        assert math.isfinite(value)
+        assert value > 1e300
+
+    def test_deep_negative_margin_underflows_to_zero(self):
+        sig = ExponentialSignificance(alpha=8.0)
+        assert sig(c=1, l=500) == 0.0
+
+    def test_saturation_preserves_small_margins_exactly(self):
+        sig = ExponentialSignificance(alpha=2.0)
+        assert sig(c=10, l=3) == pytest.approx(2.0**7)
+
+
+class TestAlternativeFunctions:
+    def test_frequency_ratio(self):
+        sig = FrequencyRatioSignificance()
+        assert sig(c=3, l=1) == 0.75
+        assert sig(c=0, l=5) == 0.0
+
+    def test_frequency_ratio_bounded(self):
+        sig = FrequencyRatioSignificance()
+        assert 0.0 < sig(c=1, l=100) <= 1.0
+
+    def test_linear(self):
+        sig = LinearSignificance()
+        assert sig(c=5, l=2) == 3.0
+        assert sig(c=1, l=4) == 0.0  # clipped at zero
+
+    def test_all_share_zero_when_unseen(self):
+        for sig in (
+            ExponentialSignificance(),
+            FrequencyRatioSignificance(),
+            LinearSignificance(),
+        ):
+            assert sig(c=0, l=3) == 0.0
+
+
+class TestTrackerPaperScheme:
+    def test_counts_sum_to_window_index(self):
+        # Paper semantics: c(k) + l(k) = k for every item ever seen.
+        tracker = SignificanceTracker()
+        tracker.observe_window({1})
+        tracker.observe_window(set())
+        tracker.observe_window({1, 2})
+        counts_1 = tracker.counts_of(1)
+        counts_2 = tracker.counts_of(2)
+        assert (counts_1.c, counts_1.l) == (2, 1)
+        # Item 2 first appears at window 2 but prior windows count as misses.
+        assert (counts_2.c, counts_2.l) == (1, 2)
+
+    def test_significance_before_first_observation_is_zero(self):
+        tracker = SignificanceTracker()
+        assert tracker.significance_of(1) == 0.0
+        assert tracker.significance_snapshot() == {}
+
+    def test_docstring_example(self):
+        tracker = SignificanceTracker(ExponentialSignificance(alpha=2))
+        tracker.observe_window({1, 2})
+        assert tracker.significance_of(1) == 2.0
+        tracker.observe_window({1})
+        assert tracker.significance_of(2) == 1.0  # c=1, l=1
+        assert tracker.significance_of(1) == 4.0  # c=2, l=0
+
+    def test_known_items(self):
+        tracker = SignificanceTracker()
+        tracker.observe_window({1, 2})
+        tracker.observe_window({3})
+        assert tracker.known_items() == frozenset({1, 2, 3})
+
+    def test_unseen_item_counts(self):
+        tracker = SignificanceTracker()
+        tracker.observe_window({1})
+        counts = tracker.counts_of(99)
+        assert counts.c == 0
+        assert counts.l == 1  # paper scheme: all prior windows are misses
+
+    def test_n_windows_observed(self):
+        tracker = SignificanceTracker()
+        assert tracker.n_windows_observed == 0
+        tracker.observe_window(set())
+        assert tracker.n_windows_observed == 1
+
+    def test_duplicate_items_in_window_count_once(self):
+        tracker = SignificanceTracker()
+        tracker.observe_window([1, 1, 1])
+        assert tracker.counts_of(1).c == 1
+
+
+class TestTrackerSinceFirstSeenScheme:
+    def test_prior_absences_not_counted(self):
+        tracker = SignificanceTracker(counting="since-first-seen")
+        tracker.observe_window(set())
+        tracker.observe_window(set())
+        tracker.observe_window({1})
+        counts = tracker.counts_of(1)
+        assert (counts.c, counts.l) == (1, 0)
+
+    def test_absences_after_first_seen_counted(self):
+        tracker = SignificanceTracker(counting="since-first-seen")
+        tracker.observe_window({1})
+        tracker.observe_window(set())
+        tracker.observe_window(set())
+        counts = tracker.counts_of(1)
+        assert (counts.c, counts.l) == (1, 2)
+
+    def test_unseen_item_has_zero_l(self):
+        tracker = SignificanceTracker(counting="since-first-seen")
+        tracker.observe_window({1})
+        assert tracker.counts_of(99) == ItemCounts(c=0, l=0)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError, match="counting scheme"):
+            SignificanceTracker(counting="bogus")
+
+    def test_schemes_constant(self):
+        assert COUNTING_SCHEMES == ("paper", "since-first-seen")
+
+
+class TestTrackerProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        windows=st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=5), max_size=4),
+            max_size=10,
+        )
+    )
+    def test_paper_scheme_counts_invariant(self, windows):
+        tracker = SignificanceTracker()
+        for window in windows:
+            tracker.observe_window(window)
+        for item in tracker.known_items():
+            counts = tracker.counts_of(item)
+            assert counts.c + counts.l == len(windows)
+            assert counts.c == sum(1 for w in windows if item in w)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        windows=st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=5), max_size=4),
+            max_size=10,
+        )
+    )
+    def test_snapshot_matches_significance_of(self, windows):
+        tracker = SignificanceTracker()
+        for window in windows:
+            tracker.observe_window(window)
+        snapshot = tracker.significance_snapshot()
+        for item, sig in snapshot.items():
+            assert sig == tracker.significance_of(item)
+        # Snapshot covers exactly the items seen at least once.
+        assert set(snapshot) == set(tracker.known_items())

@@ -1,0 +1,83 @@
+"""Tests for repro.core.tuning (the paper's 5-fold CV parameter search)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tuning import TuningOutcome, tune_stability_model
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def outcome(request) -> TuningOutcome:
+    dataset = request.getfixturevalue("tiny_dataset")
+    return tune_stability_model(
+        dataset.log,
+        dataset.cohorts,
+        dataset.calendar,
+        window_grid=(1, 2),
+        alpha_grid=(1.5, 2.0),
+        n_splits=3,
+        seed=0,
+    )
+
+
+class TestTuning:
+    def test_grid_is_fully_explored(self, outcome: TuningOutcome):
+        assert len(outcome.search.table) == 4
+        labels = {
+            (p["window_months"], p["alpha"]) for p, __, __ in outcome.search.table
+        }
+        assert labels == {(1, 1.5), (1, 2.0), (2, 1.5), (2, 2.0)}
+
+    def test_best_is_argmax_of_table(self, outcome: TuningOutcome):
+        best = max(outcome.search.table, key=lambda entry: entry[1])
+        assert outcome.best_score == best[1]
+        assert outcome.best_window_months == best[0]["window_months"]
+        assert outcome.best_alpha == best[0]["alpha"]
+
+    def test_scores_are_valid_aurocs(self, outcome: TuningOutcome):
+        for __, mean_score, fold_scores in outcome.search.table:
+            assert 0.0 <= mean_score <= 1.0
+            assert all(0.0 <= s <= 1.0 for s in fold_scores)
+            assert len(fold_scores) == 3
+
+    def test_detection_is_better_than_chance(self, outcome: TuningOutcome):
+        # On synthetic data with injected defection, the best configuration
+        # must comfortably separate churners from loyal customers.
+        assert outcome.best_score > 0.6
+
+    def test_deterministic(self, tiny_dataset, outcome: TuningOutcome):
+        again = tune_stability_model(
+            tiny_dataset.log,
+            tiny_dataset.cohorts,
+            tiny_dataset.calendar,
+            window_grid=(1, 2),
+            alpha_grid=(1.5, 2.0),
+            n_splits=3,
+            seed=0,
+        )
+        assert again.best_score == outcome.best_score
+        assert again.best_window_months == outcome.best_window_months
+
+    def test_empty_grid_rejected(self, tiny_dataset):
+        with pytest.raises(ConfigError):
+            tune_stability_model(
+                tiny_dataset.log,
+                tiny_dataset.cohorts,
+                tiny_dataset.calendar,
+                window_grid=(),
+            )
+
+    def test_explicit_eval_months(self, tiny_dataset):
+        outcome = tune_stability_model(
+            tiny_dataset.log,
+            tiny_dataset.cohorts,
+            tiny_dataset.calendar,
+            window_grid=(2,),
+            alpha_grid=(2.0,),
+            eval_months=(19, 24),
+            n_splits=2,
+        )
+        assert outcome.best_window_months == 2
+        assert outcome.best_alpha == 2.0

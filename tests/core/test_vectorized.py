@@ -1,0 +1,124 @@
+"""Tests for repro.core.vectorized — differential testing vs the
+incremental engine."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.vectorized import (
+    reference_stability,
+    vectorized_churn_scores,
+    vectorized_stability,
+)
+from repro.core.windowing import Window, WindowGrid
+from repro.data.basket import Basket
+from repro.data.transactions import TransactionLog
+from repro.errors import ConfigError
+
+
+def _windows(item_sets) -> list[Window]:
+    return [
+        Window(index=k, begin_day=k * 10, end_day=(k + 1) * 10, items=frozenset(items))
+        for k, items in enumerate(item_sets)
+    ]
+
+
+def _assert_same(vectorized: np.ndarray, reference_values: list[float]) -> None:
+    assert len(vectorized) == len(reference_values)
+    for fast, slow in zip(vectorized, reference_values):
+        if math.isnan(slow):
+            assert math.isnan(fast)
+        else:
+            assert fast == pytest.approx(slow, abs=1e-12)
+
+
+class TestAgainstReference:
+    def test_hand_example(self):
+        windows = _windows([{1, 2}, {1}, {1}])
+        _assert_same(
+            vectorized_stability(windows, alpha=2.0),
+            reference_stability(windows, alpha=2.0).values(),
+        )
+
+    def test_empty_windows(self):
+        windows = _windows([set(), {1}, set(), {1}])
+        _assert_same(
+            vectorized_stability(windows),
+            reference_stability(windows).values(),
+        )
+
+    def test_no_windows(self):
+        assert vectorized_stability([]).shape == (0,)
+
+    def test_all_empty_windows(self):
+        values = vectorized_stability(_windows([set(), set()]))
+        assert all(math.isnan(v) for v in values)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigError):
+            vectorized_stability(_windows([{1}]), alpha=0.0)
+
+    def test_long_history_saturation_matches(self):
+        windows = _windows([{1, 2}] * 1200 + [{1}])
+        fast = vectorized_stability(windows, alpha=8.0)
+        assert fast[-1] == pytest.approx(0.5)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        item_sets=st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=6), max_size=5),
+            min_size=1,
+            max_size=14,
+        ),
+        alpha=st.sampled_from([1.5, 2.0, 3.0]),
+    )
+    def test_differential_random_histories(self, item_sets, alpha):
+        """Two independent implementations must agree everywhere."""
+        windows = _windows(item_sets)
+        _assert_same(
+            vectorized_stability(windows, alpha=alpha),
+            reference_stability(windows, alpha=alpha).values(),
+        )
+
+
+class TestChurnScores:
+    @pytest.fixture()
+    def log(self) -> TransactionLog:
+        log = TransactionLog()
+        for customer in (1, 2):
+            for day in range(0, 50, 5):
+                items = [1, 2] if customer == 1 or day < 30 else [1]
+                log.add(Basket.of(customer, day, items=items))
+        return log
+
+    def test_matches_trajectory_engine(self, log):
+        from repro.core.stability import stability_trajectory
+        from repro.core.windowing import windowed_history
+
+        grid = WindowGrid.daily(total_days=50, days_per_window=10)
+        fast = vectorized_churn_scores(log, grid, window_index=4)
+        for customer in (1, 2):
+            trajectory = stability_trajectory(
+                customer, windowed_history(log.history(customer), grid)
+            )
+            assert fast[customer] == pytest.approx(trajectory.churn_score(4))
+
+    def test_undefined_maps_to_neutral(self, log):
+        grid = WindowGrid.daily(total_days=50, days_per_window=10)
+        scores = vectorized_churn_scores(log, grid, window_index=0)
+        assert scores[1] == 0.5
+
+    def test_bad_window_rejected(self, log):
+        grid = WindowGrid.daily(total_days=50, days_per_window=10)
+        with pytest.raises(ConfigError):
+            vectorized_churn_scores(log, grid, window_index=99)
+
+    def test_customer_subset(self, log):
+        grid = WindowGrid.daily(total_days=50, days_per_window=10)
+        scores = vectorized_churn_scores(log, grid, 4, customers=[2])
+        assert set(scores) == {2}

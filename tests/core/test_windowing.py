@@ -1,0 +1,148 @@
+"""Tests for repro.core.windowing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windowing import Window, WindowGrid, windowed_history
+from repro.data.basket import Basket
+from repro.data.calendar import StudyCalendar
+from repro.errors import ConfigError
+
+
+class TestMonthlyGrid:
+    def test_paper_grid_has_14_windows(self):
+        grid = WindowGrid.monthly(StudyCalendar.paper(), 2)
+        assert grid.n_windows == 14
+        assert grid.months_per_window == 2
+
+    def test_boundaries_cover_study(self):
+        cal = StudyCalendar.paper()
+        grid = WindowGrid.monthly(cal, 2)
+        assert grid.boundaries[0] == 0
+        assert grid.boundaries[-1] == cal.n_days
+
+    def test_trailing_partial_window_dropped(self):
+        cal = StudyCalendar(n_months=7)
+        grid = WindowGrid.monthly(cal, 3)
+        assert grid.n_windows == 2
+        assert grid.boundaries[-1] == cal.month_start_day(6)
+
+    def test_end_months_are_multiples_of_span(self):
+        cal = StudyCalendar.paper()
+        grid = WindowGrid.monthly(cal, 2)
+        assert [grid.end_month(k, cal) for k in range(grid.n_windows)] == list(
+            range(2, 29, 2)
+        )
+
+    def test_window_too_large_rejected(self):
+        with pytest.raises(ConfigError, match="does not fit"):
+            WindowGrid.monthly(StudyCalendar(n_months=2), 3)
+
+    def test_nonpositive_span_rejected(self):
+        with pytest.raises(ConfigError):
+            WindowGrid.monthly(StudyCalendar.paper(), 0)
+
+
+class TestDailyGrid:
+    def test_fixed_spans(self):
+        grid = WindowGrid.daily(total_days=100, days_per_window=30)
+        assert grid.n_windows == 3
+        assert grid.bounds(1) == (30, 60)
+
+    def test_does_not_fit_rejected(self):
+        with pytest.raises(ConfigError):
+            WindowGrid.daily(total_days=5, days_per_window=10)
+
+
+class TestGridQueries:
+    def test_bounds_out_of_range(self):
+        grid = WindowGrid.daily(100, 50)
+        with pytest.raises(ConfigError, match="out of range"):
+            grid.bounds(2)
+
+    def test_window_of_day(self):
+        grid = WindowGrid.daily(100, 25)
+        assert grid.window_of_day(0) == 0
+        assert grid.window_of_day(24) == 0
+        assert grid.window_of_day(25) == 1
+        assert grid.window_of_day(99) == 3
+
+    def test_window_of_day_outside(self):
+        grid = WindowGrid.daily(100, 25)
+        assert grid.window_of_day(-1) is None
+        assert grid.window_of_day(100) is None
+
+    def test_single_window_minimum(self):
+        with pytest.raises(ConfigError):
+            WindowGrid(boundaries=(0,))
+
+    def test_non_increasing_boundaries_rejected(self):
+        with pytest.raises(ConfigError, match="strictly increasing"):
+            WindowGrid(boundaries=(0, 10, 10))
+
+
+class TestWindowedHistory:
+    @pytest.fixture()
+    def grid(self) -> WindowGrid:
+        return WindowGrid.daily(total_days=30, days_per_window=10)
+
+    def test_union_of_basket_items(self, grid: WindowGrid):
+        baskets = [
+            Basket.of(customer_id=1, day=0, items=[1, 2], monetary=2.0),
+            Basket.of(customer_id=1, day=5, items=[2, 3], monetary=3.0),
+        ]
+        windows = windowed_history(baskets, grid)
+        assert windows[0].items == frozenset({1, 2, 3})
+        assert windows[0].n_baskets == 2
+        assert windows[0].monetary == pytest.approx(5.0)
+
+    def test_empty_windows_materialised(self, grid: WindowGrid):
+        baskets = [Basket.of(customer_id=1, day=25, items=[1])]
+        windows = windowed_history(baskets, grid)
+        assert len(windows) == 3
+        assert windows[0].items == frozenset()
+        assert windows[1].items == frozenset()
+        assert windows[2].items == frozenset({1})
+
+    def test_baskets_outside_grid_ignored(self, grid: WindowGrid):
+        baskets = [Basket.of(customer_id=1, day=99, items=[1])]
+        windows = windowed_history(baskets, grid)
+        assert all(w.items == frozenset() for w in windows)
+
+    def test_no_baskets(self, grid: WindowGrid):
+        windows = windowed_history([], grid)
+        assert len(windows) == 3
+        assert all(w.n_baskets == 0 for w in windows)
+
+    def test_window_metadata(self, grid: WindowGrid):
+        windows = windowed_history([], grid)
+        assert [w.index for w in windows] == [0, 1, 2]
+        assert windows[1].begin_day == 10
+        assert windows[1].end_day == 20
+        assert windows[1].span_days == 10
+
+    def test_boundary_day_goes_to_later_window(self, grid: WindowGrid):
+        baskets = [Basket.of(customer_id=1, day=10, items=[7])]
+        windows = windowed_history(baskets, grid)
+        assert 7 not in windows[0].items
+        assert 7 in windows[1].items
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        days=st.lists(st.integers(min_value=0, max_value=29), max_size=20),
+    )
+    def test_total_baskets_preserved(self, days: list[int]):
+        grid = WindowGrid.daily(total_days=30, days_per_window=10)
+        baskets = [Basket.of(customer_id=1, day=d, items=[1]) for d in days]
+        windows = windowed_history(baskets, grid)
+        assert sum(w.n_baskets for w in windows) == len(days)
+
+
+class TestWindowDataclass:
+    def test_frozen(self):
+        window = Window(index=0, begin_day=0, end_day=10, items=frozenset())
+        with pytest.raises(AttributeError):
+            window.index = 1  # type: ignore[misc]

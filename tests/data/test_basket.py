@@ -1,0 +1,64 @@
+"""Tests for repro.data.basket."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.basket import Basket
+from repro.errors import DataError
+
+
+class TestConstruction:
+    def test_of_accepts_any_iterable(self):
+        basket = Basket.of(customer_id=1, day=0, items=iter([3, 1, 2]))
+        assert basket.items == frozenset({1, 2, 3})
+
+    def test_items_coerced_to_frozenset(self):
+        basket = Basket(customer_id=1, day=0, items={1, 2})  # type: ignore[arg-type]
+        assert isinstance(basket.items, frozenset)
+
+    def test_negative_day_rejected(self):
+        with pytest.raises(DataError, match="day offset"):
+            Basket.of(customer_id=1, day=-1, items=[1])
+
+    def test_negative_monetary_rejected(self):
+        with pytest.raises(DataError, match="monetary"):
+            Basket.of(customer_id=1, day=0, items=[1], monetary=-0.5)
+
+    def test_empty_basket_allowed(self):
+        # Empty windows matter to the model; empty baskets are legal too.
+        assert Basket.of(customer_id=1, day=0, items=[]).size == 0
+
+    def test_is_hashable_and_frozen(self):
+        basket = Basket.of(customer_id=1, day=0, items=[1])
+        assert hash(basket) == hash(Basket.of(customer_id=1, day=0, items=[1]))
+        with pytest.raises(AttributeError):
+            basket.day = 5  # type: ignore[misc]
+
+
+class TestSize:
+    def test_size_counts_distinct_items(self):
+        assert Basket.of(customer_id=1, day=0, items=[1, 1, 2]).size == 2
+
+
+class TestAbstracted:
+    def test_mapping_applied(self):
+        basket = Basket.of(customer_id=1, day=3, items=[10, 11, 20], monetary=5.0)
+        lifted = basket.abstracted(lambda i: i // 10)
+        assert lifted.items == frozenset({1, 2})
+        assert lifted.day == 3
+        assert lifted.monetary == 5.0
+        assert lifted.customer_id == 1
+
+    def test_original_unchanged(self):
+        basket = Basket.of(customer_id=1, day=3, items=[10, 11])
+        basket.abstracted(lambda i: 0)
+        assert basket.items == frozenset({10, 11})
+
+    @given(items=st.frozensets(st.integers(min_value=0, max_value=1000), max_size=20))
+    def test_abstraction_never_grows_item_count(self, items):
+        basket = Basket.of(customer_id=1, day=0, items=items)
+        lifted = basket.abstracted(lambda i: i % 7)
+        assert lifted.size <= basket.size

@@ -1,0 +1,134 @@
+"""Tests for repro.data.calendar."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.calendar import (
+    PAPER_STUDY_MONTHS,
+    PAPER_STUDY_START,
+    StudyCalendar,
+    month_span_days,
+)
+from repro.errors import ConfigError
+
+
+class TestStudyCalendar:
+    def test_paper_calendar_spans_may_2012_to_aug_2014(self):
+        cal = StudyCalendar.paper()
+        assert cal.start == dt.date(2012, 5, 1)
+        assert cal.n_months == 28
+        assert cal.end == dt.date(2014, 9, 1)
+
+    def test_paper_constants(self):
+        assert PAPER_STUDY_START == dt.date(2012, 5, 1)
+        assert PAPER_STUDY_MONTHS == 28
+
+    def test_n_days_matches_date_difference(self):
+        cal = StudyCalendar.paper()
+        assert cal.n_days == (dt.date(2014, 9, 1) - dt.date(2012, 5, 1)).days
+
+    def test_day_zero_is_start(self):
+        cal = StudyCalendar.paper()
+        assert cal.date_of_day(0) == cal.start
+        assert cal.day_of_date(cal.start) == 0
+
+    def test_day_date_round_trip(self):
+        cal = StudyCalendar.paper()
+        for day in (0, 1, 30, 365, cal.n_days - 1):
+            assert cal.day_of_date(cal.date_of_day(day)) == day
+
+    def test_month_start_days_are_increasing(self):
+        cal = StudyCalendar.paper()
+        starts = [cal.month_start_day(m) for m in range(cal.n_months + 1)]
+        assert starts[0] == 0
+        assert all(b < a for b, a in zip(starts, starts[1:]))
+
+    def test_month_of_day_at_boundaries(self):
+        cal = StudyCalendar.paper()
+        for month in range(cal.n_months):
+            begin, end = cal.month_bounds_days(month)
+            assert cal.month_of_day(begin) == month
+            assert cal.month_of_day(end - 1) == month
+
+    def test_month_of_day_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            StudyCalendar.paper().month_of_day(-1)
+
+    def test_month_start_day_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            StudyCalendar.paper().month_start_day(-1)
+
+    def test_invalid_n_months(self):
+        with pytest.raises(ConfigError):
+            StudyCalendar(n_months=0)
+
+    def test_contains_day(self):
+        cal = StudyCalendar(n_months=2)
+        assert cal.contains_day(0)
+        assert cal.contains_day(cal.n_days - 1)
+        assert not cal.contains_day(cal.n_days)
+        assert not cal.contains_day(-1)
+
+    def test_month_label(self):
+        cal = StudyCalendar.paper()
+        assert cal.month_label(0) == "2012-05"
+        assert cal.month_label(8) == "2013-01"
+        assert cal.month_label(27) == "2014-08"
+
+    def test_non_first_day_start(self):
+        cal = StudyCalendar(start=dt.date(2020, 1, 15), n_months=3)
+        # Feb 10 is still in study month 0 (Jan 15 .. Feb 14).
+        assert cal.month_of_day(cal.day_of_date(dt.date(2020, 2, 10))) == 0
+        assert cal.month_of_day(cal.day_of_date(dt.date(2020, 2, 15))) == 1
+
+    def test_month_end_clamping_january_31_start(self):
+        # Jan 31 + 1 month must clamp to Feb 29 (2020 is a leap year).
+        assert month_span_days(dt.date(2020, 1, 31), 1) == 29
+
+
+class TestMonthSpanDays:
+    def test_zero_months(self):
+        assert month_span_days(dt.date(2012, 5, 1), 0) == 0
+
+    def test_one_month_may(self):
+        assert month_span_days(dt.date(2012, 5, 1), 1) == 31
+
+    def test_full_year(self):
+        assert month_span_days(dt.date(2013, 1, 1), 12) == 365
+
+    def test_leap_year(self):
+        assert month_span_days(dt.date(2012, 1, 1), 12) == 366
+
+    @given(months=st.integers(min_value=0, max_value=60))
+    def test_additivity(self, months: int):
+        start = dt.date(2012, 5, 1)
+        total = month_span_days(start, months)
+        split = month_span_days(start, months // 2)
+        mid = start + dt.timedelta(days=split)
+        assert split + month_span_days(mid, months - months // 2) == total
+
+    @given(months=st.integers(min_value=1, max_value=120))
+    def test_span_bounds(self, months: int):
+        days = month_span_days(dt.date(2012, 5, 1), months)
+        assert 28 * months <= days <= 31 * months
+
+
+class TestMonthOfDayProperties:
+    @given(day=st.integers(min_value=0, max_value=852))
+    def test_month_consistent_with_bounds(self, day: int):
+        cal = StudyCalendar.paper()
+        month = cal.month_of_day(day)
+        begin, end = cal.month_bounds_days(month)
+        assert begin <= day < end
+
+    @given(month=st.integers(min_value=0, max_value=27))
+    def test_bounds_are_contiguous(self, month: int):
+        cal = StudyCalendar.paper()
+        __, end = cal.month_bounds_days(month)
+        begin_next, __ = cal.month_bounds_days(month + 1)
+        assert end == begin_next

@@ -1,0 +1,89 @@
+"""Tests for repro.data.cohorts (CohortLabels)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.cohorts import CohortLabels
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def cohorts() -> CohortLabels:
+    return CohortLabels(
+        loyal=frozenset({1, 2, 3}),
+        churners=frozenset({10, 11}),
+        onset_month=18,
+        churner_onsets={10: 17},
+    )
+
+
+class TestConstruction:
+    def test_counts(self, cohorts: CohortLabels):
+        assert cohorts.n_loyal == 3
+        assert cohorts.n_churners == 2
+
+    def test_overlap_rejected(self):
+        with pytest.raises(DataError, match="both cohorts"):
+            CohortLabels(loyal=frozenset({1}), churners=frozenset({1}), onset_month=18)
+
+    def test_negative_onset_rejected(self):
+        with pytest.raises(DataError, match="onset_month"):
+            CohortLabels(loyal=frozenset({1}), churners=frozenset({2}), onset_month=-1)
+
+    def test_onsets_for_non_churners_rejected(self):
+        with pytest.raises(DataError, match="non-churners"):
+            CohortLabels(
+                loyal=frozenset({1}),
+                churners=frozenset({2}),
+                onset_month=18,
+                churner_onsets={1: 17},
+            )
+
+    def test_sets_coerced_to_frozensets(self):
+        labels = CohortLabels(loyal={1}, churners={2}, onset_month=0)  # type: ignore[arg-type]
+        assert isinstance(labels.loyal, frozenset)
+
+
+class TestQueries:
+    def test_all_customers_sorted(self, cohorts: CohortLabels):
+        assert cohorts.all_customers() == [1, 2, 3, 10, 11]
+
+    def test_is_churner(self, cohorts: CohortLabels):
+        assert cohorts.is_churner(10)
+        assert not cohorts.is_churner(1)
+
+    def test_is_churner_unlabelled_raises(self, cohorts: CohortLabels):
+        with pytest.raises(DataError, match="no cohort label"):
+            cohorts.is_churner(99)
+
+    def test_onset_with_override(self, cohorts: CohortLabels):
+        assert cohorts.onset_of(10) == 17
+
+    def test_onset_falls_back_to_cohort_onset(self, cohorts: CohortLabels):
+        assert cohorts.onset_of(11) == 18
+
+    def test_onset_of_loyal_raises(self, cohorts: CohortLabels):
+        with pytest.raises(DataError, match="not a churner"):
+            cohorts.onset_of(1)
+
+    def test_label_vector(self, cohorts: CohortLabels):
+        labels = cohorts.label_vector([1, 10, 2, 11])
+        assert labels.tolist() == [0, 1, 0, 1]
+        assert labels.dtype == np.int64
+
+
+class TestRestriction:
+    def test_restricted_to(self, cohorts: CohortLabels):
+        sub = cohorts.restricted_to([1, 10])
+        assert sub.loyal == frozenset({1})
+        assert sub.churners == frozenset({10})
+        assert sub.churner_onsets == {10: 17}
+
+    def test_restriction_drops_foreign_onsets(self, cohorts: CohortLabels):
+        sub = cohorts.restricted_to([1, 11])
+        assert sub.churner_onsets == {}
+
+    def test_restriction_keeps_onset_month(self, cohorts: CohortLabels):
+        assert cohorts.restricted_to([1, 10]).onset_month == 18

@@ -1,0 +1,139 @@
+"""Tests for repro.data.io (CSV/JSONL serialisation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.basket import Basket
+from repro.data.cohorts import CohortLabels
+from repro.data.io import (
+    read_catalog_jsonl,
+    read_cohorts_json,
+    read_log_csv,
+    write_catalog_jsonl,
+    write_cohorts_json,
+    write_log_csv,
+)
+from repro.data.items import Catalog
+from repro.data.transactions import TransactionLog
+from repro.errors import SchemaError
+
+
+@pytest.fixture()
+def log() -> TransactionLog:
+    log = TransactionLog()
+    log.add(Basket.of(customer_id=1, day=0, items=[3, 1], monetary=4.2))
+    log.add(Basket.of(customer_id=1, day=9, items=[2], monetary=1.0))
+    log.add(Basket.of(customer_id=5, day=4, items=[], monetary=0.0))
+    return log
+
+
+@pytest.fixture()
+def catalog() -> Catalog:
+    cat = Catalog()
+    seg = cat.add_segment("Coffee", department="Beverages")
+    cat.add_product("Arabica", seg.segment_id, unit_price=4.5)
+    return cat
+
+
+class TestLogCsv:
+    def test_round_trip(self, log: TransactionLog, tmp_path):
+        path = tmp_path / "log.csv"
+        write_log_csv(log, path)
+        back = read_log_csv(path)
+        assert back.n_baskets == log.n_baskets
+        for customer in log.customers():
+            original = [(b.day, b.items, b.monetary) for b in log.history(customer)]
+            restored = [(b.day, b.items, b.monetary) for b in back.history(customer)]
+            assert original == restored
+
+    def test_deterministic_output(self, log: TransactionLog, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        write_log_csv(log, a)
+        write_log_csv(log, b)
+        assert a.read_text() == b.read_text()
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(SchemaError, match="header"):
+            read_log_csv(path)
+
+    def test_bad_field_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("customer_id,day,items,monetary\n1,2\n")
+        with pytest.raises(SchemaError, match="expected 4 fields"):
+            read_log_csv(path)
+
+    def test_non_numeric_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("customer_id,day,items,monetary\nx,0,1,1.0\n")
+        with pytest.raises(SchemaError, match=":2:"):
+            read_log_csv(path)
+
+    def test_empty_items_round_trip(self, log: TransactionLog, tmp_path):
+        path = tmp_path / "log.csv"
+        write_log_csv(log, path)
+        back = read_log_csv(path)
+        assert back.history(5)[0].items == frozenset()
+
+
+class TestCatalogJsonl:
+    def test_round_trip(self, catalog: Catalog, tmp_path):
+        path = tmp_path / "catalog.jsonl"
+        write_catalog_jsonl(catalog, path)
+        back = read_catalog_jsonl(path)
+        assert back.n_segments == catalog.n_segments
+        assert back.n_products == catalog.n_products
+        assert back.segment_by_name("Coffee").department == "Beverages"
+        assert back.product(0).unit_price == 4.5
+
+    def test_product_before_segment_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "product", "product_id": 0, "name": "x", "segment_id": 0}\n')
+        with pytest.raises(SchemaError, match="unknown segment"):
+            read_catalog_jsonl(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "aisle"}\n')
+        with pytest.raises(SchemaError, match="unknown record kind"):
+            read_catalog_jsonl(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{nope\n")
+        with pytest.raises(SchemaError, match="invalid JSON"):
+            read_catalog_jsonl(path)
+
+    def test_blank_lines_ignored(self, catalog: Catalog, tmp_path):
+        path = tmp_path / "catalog.jsonl"
+        write_catalog_jsonl(catalog, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert read_catalog_jsonl(path).n_products == 1
+
+
+class TestCohortsJson:
+    def test_round_trip(self, tmp_path):
+        cohorts = CohortLabels(
+            loyal=frozenset({1, 2}),
+            churners=frozenset({7}),
+            onset_month=18,
+            churner_onsets={7: 19},
+        )
+        path = tmp_path / "cohorts.json"
+        write_cohorts_json(cohorts, path)
+        back = read_cohorts_json(path)
+        assert back == cohorts
+
+    def test_missing_key_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"loyal": []}')
+        with pytest.raises(SchemaError, match="missing key"):
+            read_cohorts_json(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{")
+        with pytest.raises(SchemaError, match="invalid JSON"):
+            read_cohorts_json(path)

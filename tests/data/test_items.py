@@ -1,0 +1,91 @@
+"""Tests for repro.data.items (Catalog, Product, Segment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.items import Catalog
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def catalog() -> Catalog:
+    cat = Catalog()
+    coffee = cat.add_segment("Coffee", department="Beverages")
+    milk = cat.add_segment("Milk", department="Dairy")
+    cat.add_product("Arabica 250g", coffee.segment_id, unit_price=4.5)
+    cat.add_product("Robusta 500g", coffee.segment_id, unit_price=3.9)
+    cat.add_product("Whole milk 1L", milk.segment_id, unit_price=1.2)
+    return cat
+
+
+class TestSegments:
+    def test_ids_are_dense(self, catalog: Catalog):
+        assert [s.segment_id for s in catalog.segments()] == [0, 1]
+
+    def test_lookup_by_name(self, catalog: Catalog):
+        assert catalog.segment_by_name("Coffee").department == "Beverages"
+
+    def test_unknown_name_raises(self, catalog: Catalog):
+        with pytest.raises(DataError, match="unknown segment name"):
+            catalog.segment_by_name("Tea")
+
+    def test_duplicate_name_rejected(self, catalog: Catalog):
+        with pytest.raises(DataError, match="duplicate segment name"):
+            catalog.add_segment("Coffee")
+
+    def test_unknown_id_raises(self, catalog: Catalog):
+        with pytest.raises(DataError, match="unknown segment_id"):
+            catalog.segment(99)
+
+    def test_counts(self, catalog: Catalog):
+        assert catalog.n_segments == 2
+        assert catalog.n_products == 3
+
+
+class TestProducts:
+    def test_ids_are_dense(self, catalog: Catalog):
+        assert [p.product_id for p in catalog.products()] == [0, 1, 2]
+
+    def test_segment_of(self, catalog: Catalog):
+        assert catalog.segment_of(0).name == "Coffee"
+        assert catalog.segment_of(2).name == "Milk"
+
+    def test_product_under_unknown_segment_rejected(self, catalog: Catalog):
+        with pytest.raises(DataError, match="unknown segment_id"):
+            catalog.add_product("Orphan", 42)
+
+    def test_nonpositive_price_rejected(self, catalog: Catalog):
+        with pytest.raises(DataError, match="unit_price"):
+            catalog.add_product("Free", 0, unit_price=0.0)
+
+    def test_unknown_product_raises(self, catalog: Catalog):
+        with pytest.raises(DataError, match="unknown product_id"):
+            catalog.product(99)
+
+    def test_contains(self, catalog: Catalog):
+        assert 0 in catalog
+        assert 99 not in catalog
+
+    def test_products_in_segment(self, catalog: Catalog):
+        coffee_products = catalog.products_in_segment(0)
+        assert [p.name for p in coffee_products] == ["Arabica 250g", "Robusta 500g"]
+
+    def test_products_in_unknown_segment_raises(self, catalog: Catalog):
+        with pytest.raises(DataError):
+            catalog.products_in_segment(42)
+
+
+class TestAbstraction:
+    def test_abstract_items_collapses_same_segment(self, catalog: Catalog):
+        assert catalog.abstract_items([0, 1]) == frozenset({0})
+
+    def test_abstract_items_mixed(self, catalog: Catalog):
+        assert catalog.abstract_items([0, 2]) == frozenset({0, 1})
+
+    def test_abstract_items_empty(self, catalog: Catalog):
+        assert catalog.abstract_items([]) == frozenset()
+
+    def test_abstract_items_unknown_product_raises(self, catalog: Catalog):
+        with pytest.raises(DataError):
+            catalog.abstract_items([7])

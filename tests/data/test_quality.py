@@ -1,0 +1,108 @@
+"""Tests for repro.data.quality (log profiling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.basket import Basket
+from repro.data.calendar import StudyCalendar
+from repro.data.quality import profile_log, render_quality_report
+from repro.data.transactions import TransactionLog
+
+
+@pytest.fixture()
+def clean_log() -> TransactionLog:
+    log = TransactionLog()
+    for customer in (1, 2):
+        for day in range(0, 56, 7):
+            log.add(
+                Basket.of(customer, day + customer, items=[1, 2], monetary=10.0)
+            )
+    return log
+
+
+class TestProfileLog:
+    def test_clean_log_is_clean(self, clean_log):
+        report = profile_log(clean_log)
+        assert report.is_clean
+        assert report.n_customers == 2
+        assert report.n_receipts == 16
+        assert report.n_duplicate_receipts == 0
+
+    def test_quantiles(self, clean_log):
+        report = profile_log(clean_log)
+        assert report.interpurchase_days_quantiles["p50"] == 7.0
+        assert report.basket_size_quantiles["p50"] == 2.0
+        assert report.receipts_per_customer_quantiles["p50"] == 8.0
+
+    def test_duplicates_detected(self):
+        log = TransactionLog()
+        log.add(Basket.of(1, 5, items=[1, 2]))
+        log.add(Basket.of(1, 5, items=[1, 2]))
+        report = profile_log(log)
+        assert report.n_duplicate_receipts == 1
+        assert not report.is_clean
+
+    def test_same_day_different_items_not_duplicate(self):
+        log = TransactionLog()
+        log.add(Basket.of(1, 5, items=[1]))
+        log.add(Basket.of(1, 5, items=[2]))
+        assert profile_log(log).n_duplicate_receipts == 0
+
+    def test_empty_baskets_counted(self):
+        log = TransactionLog([Basket.of(1, 0, items=[])])
+        report = profile_log(log)
+        assert report.n_empty_baskets == 1
+
+    def test_monetary_outlier_detected(self):
+        log = TransactionLog()
+        for day in range(0, 100, 2):
+            log.add(Basket.of(1, day, items=[1], monetary=10.0 + (day % 5)))
+        log.add(Basket.of(1, 101, items=[1], monetary=100_000.0))
+        report = profile_log(log)
+        assert report.n_monetary_outliers >= 1
+
+    def test_empty_months_flagged(self):
+        calendar = StudyCalendar(n_months=3)
+        log = TransactionLog([Basket.of(1, 0, items=[1])])
+        report = profile_log(log, calendar=calendar)
+        assert report.empty_months == [1, 2]
+
+    def test_no_calendar_no_month_check(self, clean_log):
+        assert profile_log(clean_log).empty_months == []
+
+    def test_empty_log(self):
+        report = profile_log(TransactionLog())
+        assert report.n_customers == 0
+        assert report.day_span is None
+        assert report.is_clean
+
+    def test_generated_dataset_is_clean(self, tiny_dataset):
+        report = profile_log(tiny_dataset.log, calendar=tiny_dataset.calendar)
+        assert report.n_duplicate_receipts == 0
+        assert report.n_empty_baskets == 0
+        assert report.empty_months == []
+
+
+class TestRenderQualityReport:
+    def test_clean_verdict(self, clean_log):
+        text = render_quality_report(profile_log(clean_log))
+        assert "verdict: CLEAN" in text
+        assert "customers: 2" in text
+
+    def test_dirty_verdict(self):
+        log = TransactionLog()
+        log.add(Basket.of(1, 5, items=[1]))
+        log.add(Basket.of(1, 5, items=[1]))
+        text = render_quality_report(profile_log(log))
+        assert "NEEDS REVIEW" in text
+
+    def test_empty_months_rendered(self):
+        calendar = StudyCalendar(n_months=2)
+        log = TransactionLog([Basket.of(1, 0, items=[1])])
+        text = render_quality_report(profile_log(log, calendar=calendar))
+        assert "months with NO receipts" in text
+
+    def test_empty_log_rendered(self):
+        text = render_quality_report(profile_log(TransactionLog()))
+        assert "(empty log)" in text

@@ -1,0 +1,97 @@
+"""Tests for repro.data.store (EventStore)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.basket import Basket
+from repro.data.store import EventStore
+from repro.data.transactions import TransactionLog
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def log() -> TransactionLog:
+    log = TransactionLog()
+    log.add(Basket.of(customer_id=1, day=0, items=[10, 11], monetary=5.0))
+    log.add(Basket.of(customer_id=1, day=4, items=[10], monetary=2.0))
+    log.add(Basket.of(customer_id=2, day=2, items=[11, 12, 13], monetary=7.5))
+    return log
+
+
+@pytest.fixture()
+def store(log: TransactionLog) -> EventStore:
+    return EventStore.from_log(log)
+
+
+class TestConversion:
+    def test_row_count_is_total_items(self, store: EventStore):
+        assert store.n_rows == 2 + 1 + 3
+
+    def test_shape_counts(self, store: EventStore):
+        assert store.n_receipts == 3
+        assert store.n_customers == 2
+        assert store.n_items == 4
+
+    def test_round_trip(self, log: TransactionLog, store: EventStore):
+        back = store.to_log()
+        assert back.n_baskets == log.n_baskets
+        for customer in log.customers():
+            original = [(b.day, b.items, b.monetary) for b in log.history(customer)]
+            restored = [(b.day, b.items, b.monetary) for b in back.history(customer)]
+            assert original == restored
+
+    def test_empty_store(self):
+        empty = EventStore.empty()
+        assert empty.n_rows == 0
+        assert empty.to_log().n_baskets == 0
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(DataError, match="mismatched"):
+            EventStore(
+                customer_id=np.zeros(2, dtype=np.int64),
+                receipt_id=np.zeros(2, dtype=np.int64),
+                day=np.zeros(3, dtype=np.int64),
+                item_id=np.zeros(2, dtype=np.int64),
+                monetary=np.zeros(2),
+            )
+
+
+class TestFiltering:
+    def test_filter_days(self, store: EventStore):
+        sub = store.filter_days(0, 3)
+        assert set(sub.day.tolist()) == {0, 2}
+
+    def test_filter_days_invalid(self, store: EventStore):
+        with pytest.raises(DataError, match="invalid day interval"):
+            store.filter_days(3, 0)
+
+    def test_filter_customers(self, store: EventStore):
+        sub = store.filter_customers([2])
+        assert sub.n_customers == 1
+        assert sub.n_rows == 3
+
+    def test_day_range(self, store: EventStore):
+        assert store.day_range() == (0, 4)
+
+    def test_day_range_empty_raises(self):
+        with pytest.raises(DataError, match="empty"):
+            EventStore.empty().day_range()
+
+
+class TestGrouping:
+    def test_by_customer_order(self, store: EventStore):
+        groups = list(store.by_customer())
+        assert [customer for customer, __ in groups] == [1, 2]
+        assert groups[0][1].n_rows == 3
+
+    def test_receipt_table(self, store: EventStore):
+        table = store.receipt_table()
+        assert table["basket_size"].tolist() == [2, 1, 3]
+        assert table["monetary"].tolist() == [5.0, 2.0, 7.5]
+        assert table["customer_id"].tolist() == [1, 1, 2]
+
+    def test_receipt_table_empty(self):
+        table = EventStore.empty().receipt_table()
+        assert table["receipt_id"].size == 0

@@ -1,0 +1,141 @@
+"""Tests for repro.data.taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.items import Catalog
+from repro.data.taxonomy import LEVELS, Taxonomy
+from repro.errors import TaxonomyError
+
+
+@pytest.fixture()
+def catalog() -> Catalog:
+    cat = Catalog()
+    coffee = cat.add_segment("Coffee", department="Beverages")
+    tea = cat.add_segment("Tea", department="Beverages")
+    milk = cat.add_segment("Milk", department="Dairy")
+    cat.add_product("Arabica", coffee.segment_id)
+    cat.add_product("Robusta", coffee.segment_id)
+    cat.add_product("Green tea", tea.segment_id)
+    cat.add_product("Whole milk", milk.segment_id)
+    return cat
+
+
+@pytest.fixture()
+def taxonomy(catalog: Catalog) -> Taxonomy:
+    return Taxonomy.from_catalog(catalog)
+
+
+class TestConstruction:
+    def test_levels_constant(self):
+        assert LEVELS == ("root", "department", "segment", "product")
+
+    def test_counts(self, taxonomy: Taxonomy):
+        assert taxonomy.n_departments == 2
+        assert taxonomy.n_segments == 3
+        assert taxonomy.n_products == 4
+
+    def test_department_idempotent(self):
+        tax = Taxonomy()
+        first = tax.add_department("Dairy")
+        second = tax.add_department("Dairy")
+        assert first == second
+        assert tax.n_departments == 1
+
+    def test_duplicate_segment_rejected(self, taxonomy: Taxonomy):
+        with pytest.raises(TaxonomyError, match="duplicate segment"):
+            taxonomy.add_segment(0, "Coffee again", "Beverages")
+
+    def test_duplicate_product_rejected(self, taxonomy: Taxonomy):
+        with pytest.raises(TaxonomyError, match="duplicate product"):
+            taxonomy.add_product(0, "Arabica again", 0)
+
+    def test_product_under_unknown_segment_rejected(self):
+        tax = Taxonomy()
+        with pytest.raises(TaxonomyError, match="not in taxonomy"):
+            tax.add_product(0, "Orphan", 5)
+
+
+class TestNavigation:
+    def test_parent_of_root_is_none(self, taxonomy: Taxonomy):
+        assert taxonomy.parent(Taxonomy.ROOT_KEY) is None
+
+    def test_parent_chain(self, taxonomy: Taxonomy):
+        ancestors = taxonomy.ancestors("prod:0")
+        assert [a.level for a in ancestors] == ["segment", "department", "root"]
+
+    def test_children_sorted(self, taxonomy: Taxonomy):
+        root_children = taxonomy.children(Taxonomy.ROOT_KEY)
+        assert [c.name for c in root_children] == ["Beverages", "Dairy"]
+
+    def test_ancestor_at_level(self, taxonomy: Taxonomy):
+        dept = taxonomy.ancestor_at_level("prod:3", "department")
+        assert dept.name == "Dairy"
+
+    def test_ancestor_at_same_level_is_self(self, taxonomy: Taxonomy):
+        node = taxonomy.ancestor_at_level("seg:0", "segment")
+        assert node.key == "seg:0"
+
+    def test_ancestor_at_unknown_level_raises(self, taxonomy: Taxonomy):
+        with pytest.raises(TaxonomyError, match="unknown taxonomy level"):
+            taxonomy.ancestor_at_level("prod:0", "aisle")
+
+    def test_ancestor_below_raises(self, taxonomy: Taxonomy):
+        with pytest.raises(TaxonomyError, match="no ancestor"):
+            taxonomy.ancestor_at_level("seg:0", "product")
+
+    def test_unknown_node_raises(self, taxonomy: Taxonomy):
+        with pytest.raises(TaxonomyError, match="unknown taxonomy node"):
+            taxonomy.node("prod:99")
+
+
+class TestAbstraction:
+    def test_segment_of_product_matches_catalog(self, catalog: Catalog, taxonomy: Taxonomy):
+        for product in catalog.products():
+            assert taxonomy.segment_of_product(product.product_id) == product.segment_id
+
+    def test_segment_of_unknown_product_raises(self, taxonomy: Taxonomy):
+        with pytest.raises(TaxonomyError, match="not in taxonomy"):
+            taxonomy.segment_of_product(99)
+
+    def test_products_under_segment(self, taxonomy: Taxonomy):
+        assert taxonomy.products_under("seg:0") == [0, 1]
+
+    def test_products_under_department(self, taxonomy: Taxonomy):
+        assert taxonomy.products_under("dept:Beverages") == [0, 1, 2]
+
+    def test_products_under_root_is_everything(self, taxonomy: Taxonomy):
+        assert taxonomy.products_under(Taxonomy.ROOT_KEY) == [0, 1, 2, 3]
+
+
+class TestValidation:
+    def test_from_catalog_validates(self, catalog: Catalog):
+        Taxonomy.from_catalog(catalog)  # must not raise
+
+    def test_level_skip_detected(self):
+        tax = Taxonomy()
+        # Insert a product directly under a department by abusing internals.
+        tax.add_segment(0, "Coffee", "Beverages")
+        tax._graph.add_node(
+            "prod:9",
+            node=type(tax.node("seg:0"))(
+                key="prod:9", level="product", name="bad", ref_id=9
+            ),
+        )
+        tax._graph.add_edge("dept:Beverages", "prod:9")
+        with pytest.raises(TaxonomyError, match="skips a taxonomy level"):
+            tax.validate()
+
+    def test_multiple_parents_detected(self):
+        tax = Taxonomy()
+        tax.add_segment(0, "Coffee", "Beverages")
+        tax.add_segment(1, "Milk", "Dairy")
+        tax._graph.add_edge("dept:Dairy", "seg:0")  # second parent
+        with pytest.raises(TaxonomyError, match="parents"):
+            tax.validate()
+
+    def test_iter_nodes_root_first(self, taxonomy: Taxonomy):
+        nodes = list(taxonomy.iter_nodes())
+        assert nodes[0].level == "root"
+        assert len(nodes) == 1 + 2 + 3 + 4

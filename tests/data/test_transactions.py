@@ -1,0 +1,149 @@
+"""Tests for repro.data.transactions (TransactionLog)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.basket import Basket
+from repro.data.transactions import TransactionLog
+from repro.errors import DataError
+
+
+def _basket(customer: int, day: int, items=(1,), monetary: float = 1.0) -> Basket:
+    return Basket.of(customer_id=customer, day=day, items=items, monetary=monetary)
+
+
+@pytest.fixture()
+def log() -> TransactionLog:
+    log = TransactionLog()
+    log.add(_basket(1, 5, items=[1, 2]))
+    log.add(_basket(1, 0, items=[1]))
+    log.add(_basket(2, 3, items=[3], monetary=2.5))
+    return log
+
+
+class TestInsertion:
+    def test_history_is_day_sorted(self, log: TransactionLog):
+        assert [b.day for b in log.history(1)] == [0, 5]
+
+    def test_out_of_order_inserts_keep_sorting(self):
+        log = TransactionLog()
+        for day in (7, 1, 4, 0, 9):
+            log.add(_basket(1, day))
+        assert [b.day for b in log.history(1)] == [0, 1, 4, 7, 9]
+
+    def test_same_day_baskets_keep_insertion_order(self):
+        log = TransactionLog()
+        log.add(_basket(1, 3, items=[1]))
+        log.add(_basket(1, 3, items=[2]))
+        assert [b.items for b in log.history(1)] == [frozenset({1}), frozenset({2})]
+
+    def test_constructor_accepts_iterable(self):
+        log = TransactionLog([_basket(1, 1), _basket(2, 2)])
+        assert log.n_baskets == 2
+
+    def test_extend(self, log: TransactionLog):
+        log.extend([_basket(3, 1), _basket(3, 2)])
+        assert log.n_customers == 3
+        assert len(log.history(3)) == 2
+
+
+class TestAccess:
+    def test_counts(self, log: TransactionLog):
+        assert log.n_baskets == 3
+        assert log.n_customers == 2
+        assert len(log) == 3
+
+    def test_customers_sorted(self, log: TransactionLog):
+        assert log.customers() == [1, 2]
+
+    def test_contains(self, log: TransactionLog):
+        assert 1 in log
+        assert 9 not in log
+
+    def test_unknown_customer_raises(self, log: TransactionLog):
+        with pytest.raises(DataError, match="unknown customer_id"):
+            log.history(9)
+
+    def test_history_returns_copy(self, log: TransactionLog):
+        log.history(1).clear()
+        assert len(log.history(1)) == 2
+
+    def test_iteration_groups_by_customer_chronologically(self, log: TransactionLog):
+        order = [(b.customer_id, b.day) for b in log]
+        assert order == [(1, 0), (1, 5), (2, 3)]
+
+
+class TestStatistics:
+    def test_day_range(self, log: TransactionLog):
+        assert log.day_range() == (0, 5)
+
+    def test_day_range_empty_raises(self):
+        with pytest.raises(DataError, match="empty"):
+            TransactionLog().day_range()
+
+    def test_item_universe(self, log: TransactionLog):
+        assert log.item_universe() == frozenset({1, 2, 3})
+
+    def test_total_monetary(self, log: TransactionLog):
+        assert log.total_monetary() == pytest.approx(4.5)
+
+
+class TestTransformations:
+    def test_filter_customers(self, log: TransactionLog):
+        sub = log.filter_customers([2, 9])
+        assert sub.customers() == [2]
+        assert sub.n_baskets == 1
+
+    def test_filter_customers_does_not_share_lists(self, log: TransactionLog):
+        sub = log.filter_customers([1])
+        sub.add(_basket(1, 9))
+        assert log.n_baskets == 3
+
+    def test_filter_days_half_open(self, log: TransactionLog):
+        sub = log.filter_days(0, 5)
+        assert [b.day for b in sub] == [0, 3]
+
+    def test_filter_days_invalid_interval(self, log: TransactionLog):
+        with pytest.raises(DataError, match="invalid day interval"):
+            log.filter_days(5, 0)
+
+    def test_abstracted_maps_items(self, log: TransactionLog):
+        lifted = log.abstracted(lambda i: 0)
+        assert lifted.item_universe() == frozenset({0})
+        assert lifted.n_baskets == log.n_baskets
+
+    def test_merged_with(self, log: TransactionLog):
+        other = TransactionLog([_basket(3, 1)])
+        merged = log.merged_with(other)
+        assert merged.n_customers == 3
+        assert log.n_customers == 2  # original untouched
+
+
+class TestProperties:
+    @given(
+        days=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=30)
+    )
+    def test_history_always_sorted(self, days: list[int]):
+        log = TransactionLog()
+        for day in days:
+            log.add(_basket(1, day))
+        history_days = [b.day for b in log.history(1)]
+        assert history_days == sorted(days)
+
+    @given(
+        days=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=20),
+        begin=st.integers(min_value=0, max_value=50),
+        span=st.integers(min_value=0, max_value=50),
+    )
+    def test_filter_days_keeps_exactly_the_interval(self, days, begin, span):
+        log = TransactionLog()
+        for day in days:
+            log.add(_basket(1, day))
+        end = begin + span
+        filtered = log.filter_days(begin, end)
+        expected = sorted(d for d in days if begin <= d < end)
+        got = [b.day for b in filtered] if 1 in filtered else []
+        assert got == expected

@@ -1,0 +1,106 @@
+"""Tests for repro.data.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.basket import Basket
+from repro.data.calendar import StudyCalendar
+from repro.data.cohorts import CohortLabels
+from repro.data.items import Catalog
+from repro.data.transactions import TransactionLog
+from repro.data.validation import (
+    DatasetBundle,
+    validate_bundle,
+    validate_cohort_coverage,
+    validate_log_calendar,
+    validate_log_items,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def catalog() -> Catalog:
+    cat = Catalog()
+    seg = cat.add_segment("Coffee")
+    cat.add_product("Arabica", seg.segment_id)
+    return cat
+
+
+@pytest.fixture()
+def calendar() -> StudyCalendar:
+    return StudyCalendar(n_months=2)
+
+
+@pytest.fixture()
+def log() -> TransactionLog:
+    return TransactionLog([Basket.of(customer_id=1, day=0, items=[0])])
+
+
+@pytest.fixture()
+def cohorts() -> CohortLabels:
+    return CohortLabels(loyal=frozenset({1}), churners=frozenset(), onset_month=1)
+
+
+class TestItemValidation:
+    def test_segment_level_ok(self, log, catalog):
+        validate_log_items(log, catalog, level="segment")
+
+    def test_unknown_item_detected(self, catalog):
+        log = TransactionLog([Basket.of(customer_id=1, day=0, items=[42])])
+        with pytest.raises(DataError, match="unknown to the catalog"):
+            validate_log_items(log, catalog, level="segment")
+
+    def test_product_level(self, log, catalog):
+        validate_log_items(log, catalog, level="product")
+
+    def test_unknown_level_rejected(self, log, catalog):
+        with pytest.raises(DataError, match="abstraction level"):
+            validate_log_items(log, catalog, level="aisle")
+
+
+class TestCalendarValidation:
+    def test_in_range_ok(self, log, calendar):
+        validate_log_calendar(log, calendar)
+
+    def test_out_of_range_detected(self, calendar):
+        log = TransactionLog(
+            [Basket.of(customer_id=1, day=calendar.n_days, items=[0])]
+        )
+        with pytest.raises(DataError, match="exceeds study period"):
+            validate_log_calendar(log, calendar)
+
+    def test_empty_log_ok(self, calendar):
+        validate_log_calendar(TransactionLog(), calendar)
+
+
+class TestCohortCoverage:
+    def test_covered_ok(self, log, cohorts):
+        validate_cohort_coverage(log, cohorts)
+
+    def test_missing_customer_detected(self, log):
+        labels = CohortLabels(
+            loyal=frozenset({1, 2}), churners=frozenset(), onset_month=0
+        )
+        with pytest.raises(DataError, match="no baskets"):
+            validate_cohort_coverage(log, labels)
+
+
+class TestBundle:
+    def test_checked_constructor_runs_all_checks(self, log, catalog, calendar, cohorts):
+        bundle = DatasetBundle.checked(
+            log=log, catalog=catalog, calendar=calendar, cohorts=cohorts
+        )
+        validate_bundle(bundle)
+
+    def test_onset_outside_study_detected(self, log, catalog, calendar):
+        cohorts = CohortLabels(
+            loyal=frozenset({1}), churners=frozenset(), onset_month=5
+        )
+        with pytest.raises(DataError, match="onset month"):
+            DatasetBundle.checked(
+                log=log, catalog=catalog, calendar=calendar, cohorts=cohorts
+            )
+
+    def test_generated_dataset_is_valid(self, small_dataset):
+        validate_bundle(small_dataset.bundle)

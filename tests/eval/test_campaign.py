@@ -1,0 +1,72 @@
+"""Tests for repro.eval.campaign (budgeted-targeting comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.campaign import compare_models
+
+
+@pytest.fixture(scope="module")
+def comparison(request):
+    dataset = request.getfixturevalue("small_dataset")
+    return compare_models(dataset.bundle, months=(20, 24), budgets=(0.1, 0.2), seed=0)
+
+
+class TestCompareModels:
+    def test_all_models_present(self, comparison):
+        assert set(comparison.models()) == {
+            "stability",
+            "rfm",
+            "behavioral",
+            "sequence",
+            "stability+rfm",
+            "recency",
+            "frequency-drop",
+            "random",
+        }
+
+    def test_ensemble_competitive_with_members(self, comparison):
+        ensemble = comparison.at("stability+rfm", 24).auroc
+        rfm = comparison.at("rfm", 24).auroc
+        assert ensemble > rfm - 0.05
+
+    def test_all_months_covered(self, comparison):
+        for model in comparison.models():
+            for month in (20, 24):
+                point = comparison.at(model, month)
+                assert 0.0 <= point.auroc <= 1.0
+
+    def test_missing_point_raises(self, comparison):
+        with pytest.raises(EvaluationError):
+            comparison.at("stability", 99)
+
+    def test_budgets_recorded(self, comparison):
+        assert comparison.budgets == (0.1, 0.2)
+        point = comparison.at("stability", 24)
+        assert set(point.lift) == {0.1, 0.2}
+        assert set(point.precision) == {0.1, 0.2}
+
+    def test_stability_beats_random_at_month_24(self, comparison):
+        stability = comparison.at("stability", 24)
+        random = comparison.at("random", 24)
+        assert stability.auroc > random.auroc + 0.2
+
+    def test_stability_lift_above_one_post_onset(self, comparison):
+        point = comparison.at("stability", 24)
+        assert all(lift > 1.2 for lift in point.lift.values())
+
+    def test_precision_in_unit_interval(self, comparison):
+        for model in comparison.models():
+            point = comparison.at(model, 24)
+            assert all(0.0 <= p <= 1.0 for p in point.precision.values())
+
+    def test_auroc_table_puts_stability_first(self, comparison):
+        rows = comparison.auroc_table()
+        assert rows[0][0] == "stability"
+        assert set(rows[0][1]) == {20, 24}
+
+    def test_unaligned_month_rejected(self, small_dataset):
+        with pytest.raises(EvaluationError, match="ends at month"):
+            compare_models(small_dataset.bundle, months=(21,))

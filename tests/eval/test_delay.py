@@ -1,0 +1,97 @@
+"""Tests for repro.eval.delay (detection-delay analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import StabilityModel
+from repro.errors import ConfigError, EvaluationError
+from repro.eval.delay import calibrate_beta, detection_delay
+
+
+class TestCalibrateBeta:
+    @pytest.fixture(scope="class")
+    def model(self, request):
+        dataset = request.getfixturevalue("tiny_dataset")
+        return StabilityModel(dataset.calendar).fit(dataset.log)
+
+    def test_zero_budget_only_zero_stability_customers_alarm(self, tiny_dataset, model):
+        # The paper's rule alarms at stability <= beta, so beta = 0 cannot
+        # silence a loyal customer who had an entirely empty window; every
+        # other loyal customer must stay quiet.
+        loyal = sorted(tiny_dataset.cohorts.loyal)
+        beta = calibrate_beta(model, loyal, target_false_alarm_rate=0.0)
+        from repro.core.detector import ThresholdDetector
+
+        detector = ThresholdDetector(beta)
+        first_window = next(
+            k for k in range(model.n_windows) if model.window_month(k) >= 12
+        )
+        for customer in loyal:
+            alarm = detector.first_alarm(model.trajectory(customer), first_window)
+            if alarm is not None:
+                assert alarm.stability == 0.0
+
+    def test_budget_respected(self, tiny_dataset, model):
+        loyal = sorted(tiny_dataset.cohorts.loyal)
+        beta = calibrate_beta(model, loyal, target_false_alarm_rate=0.25)
+        from repro.core.detector import ThresholdDetector
+
+        detector = ThresholdDetector(beta)
+        first_window = next(
+            k for k in range(model.n_windows) if model.window_month(k) >= 12
+        )
+        alarmed = sum(
+            1
+            for c in loyal
+            if detector.first_alarm(model.trajectory(c), first_window) is not None
+        )
+        assert alarmed <= 0.25 * len(loyal) + 1e-9
+
+    def test_higher_budget_higher_beta(self, tiny_dataset, model):
+        loyal = sorted(tiny_dataset.cohorts.loyal)
+        low = calibrate_beta(model, loyal, target_false_alarm_rate=0.0)
+        high = calibrate_beta(model, loyal, target_false_alarm_rate=0.5)
+        assert high >= low
+
+    def test_invalid_rate(self, tiny_dataset, model):
+        with pytest.raises(ConfigError):
+            calibrate_beta(model, [0], target_false_alarm_rate=1.0)
+
+    def test_empty_loyal_rejected(self, model):
+        with pytest.raises(EvaluationError):
+            calibrate_beta(model, [], target_false_alarm_rate=0.1)
+
+
+class TestDetectionDelay:
+    @pytest.fixture(scope="class")
+    def analysis(self, request):
+        dataset = request.getfixturevalue("small_dataset")
+        return detection_delay(dataset.bundle, target_false_alarm_rate=0.05)
+
+    def test_false_alarm_rate_at_or_below_target(self, analysis):
+        assert analysis.realised_false_alarm_rate <= 0.05 + 1e-9
+
+    def test_recall_meaningful(self, analysis):
+        # Most injected churners are eventually detected.
+        assert analysis.recall > 0.6
+
+    def test_delays_mostly_positive_and_bounded(self, analysis):
+        # Alarms overwhelmingly come after the onset (a churner can alarm
+        # early by chance — a noisy pre-onset window — but rarely) and
+        # always within the study horizon.
+        # Latest possible alarm: study end (month 28) minus the earliest
+        # jittered onset (month 17) = 11 months.
+        delays = list(analysis.delays_months.values())
+        assert all(d <= 11 for d in delays)
+        non_negative = sum(1 for d in delays if d >= 0)
+        assert non_negative / len(delays) > 0.8
+
+    def test_detection_in_first_months_of_defection(self, analysis):
+        # Paper: "This identification takes place in the first months of
+        # the customer defection."
+        assert analysis.median_delay_months <= 6.0
+
+    def test_summary_consistency(self, analysis):
+        assert analysis.n_detected == len(analysis.delays_months)
+        assert 0.0 <= analysis.beta <= 1.0

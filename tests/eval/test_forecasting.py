@@ -1,0 +1,46 @@
+"""Tests for repro.eval.forecasting (future-defection backtest)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.forecasting import evaluate_forecasts
+
+
+class TestEvaluateForecasts:
+    @pytest.fixture(scope="class")
+    def results(self, request):
+        dataset = request.getfixturevalue("small_dataset")
+        return {
+            month: evaluate_forecasts(dataset.bundle, forecast_month=month)
+            for month in (18, 22)
+        }
+
+    def test_metadata(self, results, small_dataset):
+        evaluation = results[22]
+        assert evaluation.forecast_month == 22
+        assert evaluation.n_customers == 80
+        assert 0 < evaluation.n_future_crossers < 80
+
+    def test_aurocs_valid(self, results):
+        for evaluation in results.values():
+            assert 0.0 <= evaluation.auroc_vs_labels <= 1.0
+            assert 0.0 <= evaluation.auroc_vs_future_crossing <= 1.0
+
+    def test_prediction_strengthens_as_decline_develops(self, results):
+        assert (
+            results[22].auroc_vs_future_crossing
+            > results[18].auroc_vs_future_crossing
+        )
+
+    def test_identifies_future_defectors_mid_decline(self, results):
+        # The abstract's claim: customers likely to defect in future
+        # months are identified (well above chance) once the decline has
+        # started but before they cross the threshold.
+        assert results[22].auroc_vs_future_crossing > 0.75
+        assert results[22].auroc_vs_labels > 0.75
+
+    def test_unaligned_month_rejected(self, small_dataset):
+        with pytest.raises(EvaluationError, match="ends at month"):
+            evaluate_forecasts(small_dataset.bundle, forecast_month=21)

@@ -1,0 +1,48 @@
+"""Tests for repro.eval.power."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.power import power_analysis
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return power_analysis(
+        cohort_sizes=(8, 24), seeds=(1, 2, 3), eval_month=22, target_std=0.2
+    )
+
+
+class TestPowerAnalysis:
+    def test_points_sorted_by_size(self, analysis):
+        sizes = [p.n_per_cohort for p in analysis.points]
+        assert sizes == sorted(sizes) == [8, 24]
+
+    def test_aurocs_valid(self, analysis):
+        for point in analysis.points:
+            assert 0.0 <= point.mean_auroc <= 1.0
+            assert point.std_auroc >= 0.0
+
+    def test_detection_holds_at_small_scale(self, analysis):
+        # Month 22 is well past onset: even tiny cohorts detect on average.
+        assert all(p.mean_auroc > 0.7 for p in analysis.points)
+
+    def test_recommendation_respects_target(self, analysis):
+        if analysis.recommended_n is not None:
+            point = next(
+                p for p in analysis.points if p.n_per_cohort == analysis.recommended_n
+            )
+            assert point.std_auroc <= analysis.target_std
+
+    def test_rows_format(self, analysis):
+        rows = analysis.rows()
+        assert len(rows) == 2
+        assert rows[0][0] == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            power_analysis(cohort_sizes=(), seeds=(1, 2))
+        with pytest.raises(ConfigError):
+            power_analysis(cohort_sizes=(10,), seeds=(1,))

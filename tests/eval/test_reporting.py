@@ -1,0 +1,142 @@
+"""Tests for repro.eval.reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.ablations import AblationPoint, ExplanationQuality
+from repro.eval.figure1 import run_figure1
+from repro.eval.figure2 import run_figure2
+from repro.eval.reporting import (
+    format_table,
+    render_ablation,
+    render_dataset_stats,
+    render_explanation_quality,
+    render_figure1,
+    render_figure2,
+)
+from repro.eval.tables import dataset_stats
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(("a", "bbb"), [("x", 1), ("yyyy", 22)])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        out = format_table(("col",), [])
+        assert "col" in out
+
+    def test_indent(self):
+        out = format_table(("a",), [("x",)], indent="  ")
+        assert all(line.startswith("  ") for line in out.splitlines())
+
+
+class TestRenderers:
+    @pytest.fixture(scope="class")
+    def figure1(self, request):
+        dataset = request.getfixturevalue("tiny_dataset")
+        return run_figure1(dataset.bundle, seed=0)
+
+    def test_render_figure1(self, figure1):
+        text = render_figure1(figure1)
+        assert "Figure 1" in text
+        assert "stability AUROC" in text
+        assert "month" in text
+        # All evaluated months appear in the table.
+        for month in figure1.months():
+            assert f"\n{month} " in text or f"\n{month}" in text
+
+    def test_render_figure2(self, case_study):
+        text = render_figure2(run_figure2(case=case_study))
+        assert "Figure 2" in text
+        assert "Coffee" in text
+        assert "month 20" in text
+        assert "month 22" in text
+        assert "ground truth" in text
+
+    def test_render_dataset_stats(self, tiny_dataset):
+        text = render_dataset_stats(dataset_stats(tiny_dataset.bundle))
+        assert "6,000,000" in text  # the paper column
+        assert "statistic" in text
+
+    def test_render_ablation(self):
+        text = render_ablation(
+            "alpha sweep", [AblationPoint(label="alpha=2", auroc=0.789)]
+        )
+        assert "alpha sweep" in text
+        assert "0.789" in text
+
+    def test_render_explanation_quality(self):
+        text = render_explanation_quality(
+            ExplanationQuality(top_k=3, precision=0.5, recall=0.25, n_evaluated=10)
+        )
+        assert "top-3" in text
+        assert "precision=0.500" in text
+        assert "recall=0.250" in text
+
+
+class TestExtensionRenderers:
+    def test_render_delay(self):
+        from repro.eval.delay import DelayAnalysis
+        from repro.eval.reporting import render_delay
+
+        analysis = DelayAnalysis(
+            beta=0.4,
+            target_false_alarm_rate=0.1,
+            realised_false_alarm_rate=0.08,
+            recall=0.7,
+            delays_months={1: 3.0, 2: 5.0},
+            median_delay_months=4.0,
+            mean_delay_months=4.0,
+        )
+        text = render_delay(analysis)
+        assert "0.400" in text
+        assert "8.0%" in text
+        assert "median delay" in text
+
+    def test_render_campaign(self, tiny_dataset):
+        from repro.eval.campaign import compare_models
+        from repro.eval.reporting import render_campaign
+
+        comparison = compare_models(
+            tiny_dataset.bundle, months=(22,), budgets=(0.1,), seed=0
+        )
+        text = render_campaign(comparison, (22,))
+        assert "stability" in text
+        assert "lift@10%" in text
+
+    def test_render_mechanisms(self):
+        from repro.eval.reporting import render_mechanisms
+        from repro.eval.robustness import MechanismResult
+
+        results = [
+            MechanismResult(
+                mechanism="item-loss",
+                stability_auroc={20: 0.9},
+                rfm_auroc={20: 0.6},
+            )
+        ]
+        text = render_mechanisms(results, (20,))
+        assert "item-loss" in text
+        assert "0.900" in text
+        assert "0.600" in text
+
+    def test_render_variance(self):
+        from repro.eval.reporting import render_variance
+        from repro.eval.variance import VarianceSummary
+
+        summary = VarianceSummary(
+            months=(20,),
+            seeds=(1, 2),
+            stability_mean={20: 0.8},
+            stability_std={20: 0.02},
+            rfm_mean={20: 0.6},
+            rfm_std={20: 0.05},
+        )
+        text = render_variance(summary)
+        assert "0.800 ± 0.020" in text
+        assert "0.600 ± 0.050" in text

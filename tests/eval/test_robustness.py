@@ -1,0 +1,85 @@
+"""Tests for repro.eval.robustness (mechanism crossover, vacations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.robustness import mechanism_crossover, vacation_sensitivity
+from repro.synth.scenarios import ATTRITION_MECHANISMS, mechanism_scenario
+
+
+class TestMechanismScenario:
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(KeyError, match="unknown mechanism"):
+            mechanism_scenario("meteor-strike", n_loyal=2, n_churners=2)
+
+    def test_item_loss_has_no_trip_decay(self):
+        dataset = mechanism_scenario("item-loss", n_loyal=3, n_churners=3, seed=1)
+        for schedule in dataset.schedules.values():
+            assert schedule.trip_decay_per_month == 1.0
+            assert schedule.drop_month  # segments are actually dropped
+
+    def test_trip_decay_has_no_item_loss(self):
+        dataset = mechanism_scenario("trip-decay", n_loyal=3, n_churners=3, seed=1)
+        for schedule in dataset.schedules.values():
+            assert schedule.drop_month == {}
+            assert schedule.trip_decay_per_month < 1.0
+
+    def test_presets_cover_both_axes(self):
+        assert set(ATTRITION_MECHANISMS) == {"item-loss", "trip-decay", "mixed"}
+
+
+class TestMechanismCrossover:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            r.mechanism: r
+            for r in mechanism_crossover(
+                n_loyal=40, n_churners=40, months=(22, 24), seed=7
+            )
+        }
+
+    def test_all_mechanisms_evaluated(self, results):
+        assert set(results) == {"item-loss", "trip-decay", "mixed"}
+
+    def test_stability_dominates_item_loss(self, results):
+        result = results["item-loss"]
+        assert result.stability_wins_at(22)
+        assert result.stability_auroc[22] > 0.85
+
+    def test_rfm_wins_trip_decay(self, results):
+        # The crossover: with no content signal, the volume-based model
+        # overtakes the stability model.
+        result = results["trip-decay"]
+        assert result.rfm_auroc[24] > result.stability_auroc[24] - 0.02
+
+    def test_stability_degrades_without_item_loss(self, results):
+        assert (
+            results["trip-decay"].stability_auroc[22]
+            < results["item-loss"].stability_auroc[22] - 0.1
+        )
+
+    def test_aurocs_valid(self, results):
+        for result in results.values():
+            for series in (result.stability_auroc, result.rfm_auroc):
+                assert all(0.0 <= v <= 1.0 for v in series.values())
+
+
+class TestVacationSensitivity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return vacation_sensitivity(
+            vacation_probs=(0.0, 0.5), n_loyal=30, n_churners=30, seed=7
+        )
+
+    def test_sweep_shape(self, points):
+        assert [p.vacation_prob for p in points] == [0.0, 0.5]
+
+    def test_metrics_valid(self, points):
+        for point in points:
+            assert 0.0 <= point.auroc <= 1.0
+            assert 0.0 <= point.loyal_false_alarm_rate <= 1.0
+
+    def test_detection_survives_vacations(self, points):
+        # Vacations add noise but must not destroy post-onset detection.
+        assert all(p.auroc > 0.75 for p in points)

@@ -1,0 +1,47 @@
+"""Tests for repro.eval.tables — experiment E3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.tables import PAPER_STATS, DatasetStats, dataset_stats
+
+
+@pytest.fixture(scope="module")
+def stats(request) -> DatasetStats:
+    return dataset_stats(request.getfixturevalue("small_dataset").bundle)
+
+
+class TestDatasetStats:
+    def test_customer_counts(self, small_dataset, stats: DatasetStats):
+        assert stats.n_customers == 80
+        assert stats.n_loyal == 40
+        assert stats.n_churners == 40
+
+    def test_receipts_match_log(self, small_dataset, stats: DatasetStats):
+        assert stats.n_receipts == small_dataset.log.n_baskets
+
+    def test_catalog_counts(self, small_dataset, stats: DatasetStats):
+        assert stats.n_products == small_dataset.catalog.n_products
+        assert stats.n_segments == small_dataset.catalog.n_segments
+        assert stats.n_segments_bought <= stats.n_segments
+
+    def test_study_shape(self, stats: DatasetStats):
+        assert stats.n_months == 28
+        assert stats.onset_month == 18
+
+    def test_means_positive(self, stats: DatasetStats):
+        assert stats.receipts_per_customer_mean > 0
+        assert stats.basket_size_mean > 0
+        assert stats.monetary_per_receipt_mean > 0
+
+    def test_rows_include_paper_reference(self, stats: DatasetStats):
+        rows = stats.rows()
+        by_name = {name.strip(): (paper, ours) for name, paper, ours in rows}
+        assert by_name["customers"][0] == f"{PAPER_STATS['n_customers']:,}"
+        assert by_name["segments"][0] == "3,388"
+        assert by_name["customers"][1] == "80"
+
+    def test_paper_stats_constants(self):
+        assert PAPER_STATS["n_segments"] == 3_388
+        assert PAPER_STATS["n_months"] == 28

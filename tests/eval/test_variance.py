@@ -1,0 +1,47 @@
+"""Tests for repro.eval.variance (seed-variance study)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.variance import figure1_variance
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return figure1_variance(seeds=(1, 2, 3), n_loyal=20, n_churners=20)
+
+
+class TestFigure1Variance:
+    def test_months_match_paper_axis(self, summary):
+        assert summary.months == (12, 14, 16, 18, 20, 22, 24)
+
+    def test_seeds_recorded(self, summary):
+        assert summary.seeds == (1, 2, 3)
+
+    def test_means_valid(self, summary):
+        for month in summary.months:
+            assert 0.0 <= summary.stability_mean[month] <= 1.0
+            assert 0.0 <= summary.rfm_mean[month] <= 1.0
+            assert summary.stability_std[month] >= 0.0
+
+    def test_shape_holds_in_expectation(self, summary):
+        # Pre-onset near chance, post-onset strong — across seeds.
+        assert abs(summary.stability_mean[14] - 0.5) < 0.2
+        assert summary.stability_mean[22] > 0.8
+
+    def test_variance_is_nonzero(self, summary):
+        # Different seeds genuinely produce different datasets.
+        assert any(summary.stability_std[m] > 0.0 for m in summary.months)
+
+    def test_rows_formatting(self, summary):
+        rows = summary.rows()
+        assert len(rows) == 7
+        month, stab, rfm = rows[0]
+        assert month == 12
+        assert "±" in stab and "±" in rfm
+
+    def test_needs_two_seeds(self):
+        with pytest.raises(ConfigError):
+            figure1_variance(seeds=(1,))

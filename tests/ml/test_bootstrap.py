@@ -1,0 +1,75 @@
+"""Tests for repro.ml.bootstrap (AUROC confidence intervals)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DataError
+from repro.ml.bootstrap import bootstrap_auroc_ci
+
+
+def _sample(n: int = 200, signal: float = 1.0, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    y = (rng.random(n) < 0.5).astype(int)
+    scores = rng.normal(size=n) + signal * y
+    return y, scores
+
+
+class TestBootstrapAurocCi:
+    def test_interval_contains_point(self):
+        y, s = _sample()
+        ci = bootstrap_auroc_ci(y, s, n_resamples=200)
+        assert ci.low <= ci.point <= ci.high
+
+    def test_interval_within_unit_range(self):
+        y, s = _sample()
+        ci = bootstrap_auroc_ci(y, s, n_resamples=200)
+        assert 0.0 <= ci.low <= ci.high <= 1.0
+
+    def test_stronger_signal_tighter_and_higher(self):
+        y_weak, s_weak = _sample(signal=0.3)
+        y_strong, s_strong = _sample(signal=3.0)
+        weak = bootstrap_auroc_ci(y_weak, s_weak, n_resamples=200)
+        strong = bootstrap_auroc_ci(y_strong, s_strong, n_resamples=200)
+        assert strong.point > weak.point
+        assert strong.low > weak.low
+
+    def test_more_data_narrower_interval(self):
+        y_small, s_small = _sample(n=60)
+        y_big, s_big = _sample(n=600)
+        small = bootstrap_auroc_ci(y_small, s_small, n_resamples=300)
+        big = bootstrap_auroc_ci(y_big, s_big, n_resamples=300)
+        assert big.width < small.width
+
+    def test_deterministic_with_seed(self):
+        y, s = _sample()
+        a = bootstrap_auroc_ci(y, s, n_resamples=100, seed=5)
+        b = bootstrap_auroc_ci(y, s, n_resamples=100, seed=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_confidence_widens_interval(self):
+        y, s = _sample()
+        narrow = bootstrap_auroc_ci(y, s, confidence=0.5, n_resamples=400)
+        wide = bootstrap_auroc_ci(y, s, confidence=0.99, n_resamples=400)
+        assert wide.width > narrow.width
+
+    def test_invalid_confidence(self):
+        y, s = _sample()
+        with pytest.raises(ConfigError):
+            bootstrap_auroc_ci(y, s, confidence=1.0)
+
+    def test_too_few_resamples(self):
+        y, s = _sample()
+        with pytest.raises(ConfigError):
+            bootstrap_auroc_ci(y, s, n_resamples=5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(DataError):
+            bootstrap_auroc_ci(np.ones(10, dtype=int), np.zeros(10))
+
+    def test_str_format(self):
+        y, s = _sample()
+        ci = bootstrap_auroc_ci(y, s, n_resamples=100)
+        text = str(ci)
+        assert "[" in text and "@95%" in text

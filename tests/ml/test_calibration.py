@@ -1,0 +1,109 @@
+"""Tests for repro.ml.calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DataError, NotFittedError
+from repro.ml.calibration import (
+    PlattCalibrator,
+    expected_calibration_error,
+    reliability_curve,
+)
+from repro.ml.metrics import auroc
+
+
+def _calibrated_sample(n: int = 2000, seed: int = 0):
+    """Probabilities that are correct by construction."""
+    rng = np.random.default_rng(seed)
+    probs = rng.random(n)
+    y = (rng.random(n) < probs).astype(int)
+    return y, probs
+
+
+class TestReliabilityCurve:
+    def test_calibrated_sample_has_small_gaps(self):
+        y, probs = _calibrated_sample()
+        bins = reliability_curve(y, probs, n_bins=10)
+        assert bins
+        assert all(b.gap < 0.1 for b in bins)
+
+    def test_bin_counts_sum_to_n(self):
+        y, probs = _calibrated_sample(n=500)
+        bins = reliability_curve(y, probs, n_bins=8)
+        assert sum(b.count for b in bins) == 500
+
+    def test_empty_bins_skipped(self):
+        y = np.array([0, 1])
+        probs = np.array([0.05, 0.95])
+        bins = reliability_curve(y, probs, n_bins=10)
+        assert len(bins) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            reliability_curve(np.array([0]), np.array([0.5]), n_bins=0)
+        with pytest.raises(DataError):
+            reliability_curve(np.array([0, 1]), np.array([0.5, 1.5]))
+        with pytest.raises(DataError):
+            reliability_curve(np.array([0, 2]), np.array([0.5, 0.5]))
+
+
+class TestExpectedCalibrationError:
+    def test_calibrated_sample_low_ece(self):
+        y, probs = _calibrated_sample()
+        assert expected_calibration_error(y, probs) < 0.05
+
+    def test_miscalibrated_sample_high_ece(self):
+        y, probs = _calibrated_sample()
+        squashed = 0.5 + (probs - 0.5) * 0.1  # overconfident midpoint
+        assert expected_calibration_error(y, squashed) > 0.15
+
+    def test_perfectly_wrong(self):
+        y = np.array([1, 1, 0, 0])
+        probs = np.array([0.0, 0.0, 1.0, 1.0])
+        assert expected_calibration_error(y, probs) == pytest.approx(1.0)
+
+
+class TestPlattCalibrator:
+    def test_improves_ece_of_raw_scores(self):
+        rng = np.random.default_rng(1)
+        n = 2000
+        y = (rng.random(n) < 0.5).astype(int)
+        # A ranking score in [0, 1] that is NOT a probability.
+        raw = 1.0 / (1.0 + np.exp(-(y * 1.5 + rng.normal(size=n)) * 4.0))
+        before = expected_calibration_error(y, raw)
+        calibrated = PlattCalibrator().fit_transform(raw, y)
+        after = expected_calibration_error(y, calibrated)
+        assert after < before
+
+    def test_preserves_auroc(self):
+        rng = np.random.default_rng(2)
+        n = 800
+        y = (rng.random(n) < 0.4).astype(int)
+        raw = rng.normal(size=n) + y
+        raw01 = (raw - raw.min()) / (raw.max() - raw.min())
+        calibrated = PlattCalibrator().fit_transform(raw01, y)
+        assert auroc(y, calibrated) == pytest.approx(auroc(y, raw01), abs=1e-12)
+
+    def test_positive_slope_for_informative_score(self):
+        rng = np.random.default_rng(3)
+        y = (rng.random(500) < 0.5).astype(int)
+        raw = 0.3 * y + 0.1 * rng.random(500)
+        calibrator = PlattCalibrator().fit(raw, y)
+        assert calibrator.slope > 0
+
+    def test_output_is_probability(self):
+        y, probs = _calibrated_sample(n=300)
+        out = PlattCalibrator().fit_transform(probs, y)
+        assert ((out >= 0) & (out <= 1)).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            PlattCalibrator().transform(np.array([0.5]))
+        with pytest.raises(NotFittedError):
+            PlattCalibrator().slope
+
+    def test_2d_scores_rejected(self):
+        with pytest.raises(DataError):
+            PlattCalibrator().fit(np.zeros((2, 2)), np.array([0, 1]))

@@ -1,0 +1,140 @@
+"""Tests for repro.ml.crossval."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, DataError
+from repro.ml.crossval import GridSearchResult, KFold, StratifiedKFold, grid_search
+
+
+class TestKFold:
+    def test_partitions_all_indices(self):
+        folds = list(KFold(n_splits=4, seed=0).split(21))
+        assert len(folds) == 4
+        covered = np.concatenate([test for __, test in folds])
+        assert sorted(covered.tolist()) == list(range(21))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(n_splits=3).split(10):
+            assert not set(train.tolist()) & set(test.tolist())
+            assert sorted(set(train.tolist()) | set(test.tolist())) == list(range(10))
+
+    def test_deterministic_with_seed(self):
+        a = [t.tolist() for __, t in KFold(n_splits=3, seed=42).split(12)]
+        b = [t.tolist() for __, t in KFold(n_splits=3, seed=42).split(12)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [t.tolist() for __, t in KFold(n_splits=3, seed=1).split(30)]
+        b = [t.tolist() for __, t in KFold(n_splits=3, seed=2).split(30)]
+        assert a != b
+
+    def test_no_shuffle_is_contiguous(self):
+        folds = list(KFold(n_splits=2, shuffle=False).split(4))
+        assert folds[0][1].tolist() == [0, 1]
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(DataError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_bad_n_splits_rejected(self):
+        with pytest.raises(ConfigError):
+            KFold(n_splits=1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=6, max_value=50),
+        k=st.integers(min_value=2, max_value=5),
+    )
+    def test_fold_sizes_balanced(self, n: int, k: int):
+        sizes = [len(test) for __, test in KFold(n_splits=k).split(n)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == n
+
+
+class TestStratifiedKFold:
+    def test_class_ratio_preserved(self):
+        labels = np.array([0] * 40 + [1] * 10)
+        for __, test in StratifiedKFold(n_splits=5, seed=0).split(labels):
+            test_labels = labels[test]
+            assert (test_labels == 1).sum() == 2
+            assert (test_labels == 0).sum() == 8
+
+    def test_partitions_all_indices(self):
+        labels = np.array([0, 1] * 10)
+        covered = np.concatenate(
+            [t for __, t in StratifiedKFold(n_splits=4).split(labels)]
+        )
+        assert sorted(covered.tolist()) == list(range(20))
+
+    def test_small_class_rejected(self):
+        labels = np.array([0] * 10 + [1])
+        with pytest.raises(DataError, match="fewer than"):
+            list(StratifiedKFold(n_splits=5).split(labels))
+
+    def test_2d_labels_rejected(self):
+        with pytest.raises(DataError, match="1-D"):
+            list(StratifiedKFold().split(np.zeros((4, 2))))
+
+    def test_every_fold_has_both_classes(self):
+        labels = np.array([0] * 15 + [1] * 5)
+        for train, test in StratifiedKFold(n_splits=5, seed=3).split(labels):
+            assert set(labels[test]) == {0, 1}
+            assert set(labels[train]) == {0, 1}
+
+
+class TestGridSearch:
+    @staticmethod
+    def _folds(n: int = 10, k: int = 2):
+        return list(KFold(n_splits=k, seed=0).split(n))
+
+    def test_best_params_maximise_score(self):
+        result = grid_search(
+            {"x": [1, 2, 3]},
+            lambda params, train, test: -abs(params["x"] - 2),
+            self._folds(),
+        )
+        assert result.best_params == {"x": 2}
+        assert result.best_score == 0.0
+        assert len(result.table) == 3
+
+    def test_cartesian_product(self):
+        result = grid_search(
+            {"a": [1, 2], "b": [10, 20, 30]},
+            lambda params, train, test: params["a"] * params["b"],
+            self._folds(),
+        )
+        assert len(result.table) == 6
+        assert result.best_params == {"a": 2, "b": 30}
+
+    def test_fold_scores_recorded(self):
+        result = grid_search(
+            {"x": [5]},
+            lambda params, train, test: float(len(test)),
+            self._folds(10, 2),
+        )
+        __, mean, fold_scores = result.table[0]
+        assert fold_scores == [5.0, 5.0]
+        assert mean == 5.0
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            grid_search({}, lambda p, a, b: 0.0, self._folds())
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigError):
+            grid_search({"x": []}, lambda p, a, b: 0.0, self._folds())
+
+    def test_no_folds_rejected(self):
+        with pytest.raises(ConfigError, match="fold"):
+            grid_search({"x": [1]}, lambda p, a, b: 0.0, [])
+
+    def test_result_type(self):
+        result = grid_search(
+            {"x": [1]}, lambda p, a, b: 1.0, self._folds()
+        )
+        assert isinstance(result, GridSearchResult)

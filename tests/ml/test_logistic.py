@@ -1,0 +1,173 @@
+"""Tests for repro.ml.logistic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, DataError, NotFittedError
+from repro.ml.logistic import LogisticRegression, log_loss, sigmoid
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        z = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(sigmoid(z) + sigmoid(-z), 1.0, atol=1e-12)
+
+    def test_extreme_values_do_not_overflow(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+        assert np.isfinite(out).all()
+
+    @given(st.floats(min_value=-50, max_value=50))
+    def test_range(self, z: float):
+        value = sigmoid(np.array([z]))[0]
+        assert 0.0 <= value <= 1.0
+
+
+class TestLogLoss:
+    def test_perfect_prediction_is_small(self):
+        y = np.array([0, 1])
+        assert log_loss(y, np.array([0.0, 1.0])) < 1e-10
+
+    def test_uniform_prediction(self):
+        y = np.array([0, 1])
+        assert log_loss(y, np.array([0.5, 0.5])) == pytest.approx(np.log(2))
+
+    def test_clipping_avoids_infinity(self):
+        assert np.isfinite(log_loss(np.array([1]), np.array([0.0])))
+
+
+class TestFit:
+    def test_separable_1d(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        model = LogisticRegression(l2=1e-3).fit(X, y)
+        probs = model.predict_proba(X)
+        assert probs[0] < 0.5 < probs[3]
+        assert model.converged_
+
+    def test_coefficient_sign(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 1))
+        y = (X[:, 0] > 0).astype(int)
+        model = LogisticRegression().fit(X, y)
+        assert model.coef_[0] > 0
+
+    def test_intercept_matches_base_rate(self):
+        # With no signal, the intercept should encode the positive rate.
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(500, 2))
+        y = np.array([1] * 400 + [0] * 100)
+        model = LogisticRegression(l2=1e-6).fit(X, y)
+        predicted_rate = sigmoid(np.array([model.intercept_]))[0]
+        assert predicted_rate == pytest.approx(0.8, abs=0.05)
+
+    def test_matches_closed_form_on_balanced_data(self):
+        # For symmetric data the decision boundary must sit at the midpoint.
+        X = np.array([[-1.0], [1.0]] * 50)
+        y = np.array([0, 1] * 50)
+        model = LogisticRegression(l2=1e-4).fit(X, y)
+        assert model.predict_proba(np.array([[0.0]]))[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_l2_shrinks_coefficients(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        weak = LogisticRegression(l2=1e-4).fit(X, y)
+        strong = LogisticRegression(l2=10.0).fit(X, y)
+        assert abs(strong.coef_[0]) < abs(weak.coef_[0])
+
+    def test_constant_labels_all_positive(self):
+        X = np.array([[0.0], [1.0]])
+        model = LogisticRegression().fit(X, np.array([1, 1]))
+        assert (model.predict_proba(X) > 0.5).all()
+
+    def test_singular_hessian_falls_back_to_gradient(self):
+        # A constant-zero feature with no regularisation makes the Newton
+        # system singular; the gradient fallback must still converge on
+        # the informative feature.
+        X = np.array([[0.0, 0.0], [0.0, 1.0], [0.0, 2.0], [0.0, 3.0]])
+        y = np.array([0, 0, 1, 1])
+        model = LogisticRegression(l2=0.0, max_iter=300).fit(X, y)
+        probs = model.predict_proba(X)
+        assert probs[0] < 0.5 < probs[3]
+
+    def test_multifeature_recovers_relevant_feature(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(400, 3))
+        logits = 2.0 * X[:, 1]
+        y = (rng.random(400) < sigmoid(logits)).astype(int)
+        model = LogisticRegression(l2=1e-3).fit(X, y)
+        assert abs(model.coef_[1]) > abs(model.coef_[0])
+        assert abs(model.coef_[1]) > abs(model.coef_[2])
+
+
+class TestValidation:
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ConfigError):
+            LogisticRegression(l2=-1.0)
+
+    def test_bad_max_iter_rejected(self):
+        with pytest.raises(ConfigError):
+            LogisticRegression(max_iter=0)
+
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(DataError, match="0/1"):
+            LogisticRegression().fit(np.zeros((2, 1)), np.array([0, 2]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            LogisticRegression().fit(np.zeros((3, 1)), np.array([0, 1]))
+
+    def test_1d_X_rejected(self):
+        with pytest.raises(DataError, match="2-D"):
+            LogisticRegression().fit(np.zeros(3), np.array([0, 1, 0]))
+
+    def test_nan_features_rejected(self):
+        X = np.array([[np.nan], [1.0]])
+        with pytest.raises(DataError, match="non-finite"):
+            LogisticRegression().fit(X, np.array([0, 1]))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict_proba(np.zeros((1, 1)))
+
+    def test_predict_wrong_width_rejected(self):
+        model = LogisticRegression().fit(np.zeros((4, 2)), np.array([0, 1, 0, 1]))
+        with pytest.raises(DataError):
+            model.predict_proba(np.zeros((1, 3)))
+
+
+class TestPredict:
+    def test_hard_predictions_binary(self):
+        X = np.array([[0.0], [3.0]])
+        model = LogisticRegression().fit(
+            np.array([[0.0], [1.0], [2.0], [3.0]]), np.array([0, 0, 1, 1])
+        )
+        predictions = model.predict(X)
+        assert set(predictions.tolist()) <= {0, 1}
+
+    def test_threshold_shifts_predictions(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        model = LogisticRegression().fit(X, y)
+        lenient = model.predict(X, threshold=0.1).sum()
+        strict = model.predict(X, threshold=0.9).sum()
+        assert lenient >= strict
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_probabilities_in_unit_interval(self, seed: int):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 2))
+        y = (rng.random(30) < 0.5).astype(int)
+        if len(np.unique(y)) < 2:
+            y[0] = 1 - y[0]
+        probs = LogisticRegression().fit(X, y).predict_proba(X)
+        assert ((probs >= 0) & (probs <= 1)).all()

@@ -1,0 +1,98 @@
+"""Tests for repro.ml.preprocess."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DataError, NotFittedError
+from repro.ml.preprocess import StandardScaler, impute_finite
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_centred_not_scaled(self):
+        X = np.array([[1.0, 5.0], [2.0, 5.0]])
+        scaled = StandardScaler().fit_transform(X)
+        assert not np.isnan(scaled).any()
+        np.testing.assert_allclose(scaled[:, 1], 0.0)
+
+    def test_transform_uses_fit_statistics(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [2.0]]))
+        out = scaler.transform(np.array([[4.0]]))
+        assert out[0, 0] == pytest.approx(3.0)  # (4 - 1) / 1
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-12
+        )
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+    def test_inverse_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().inverse_transform(np.zeros((1, 1)))
+
+    def test_width_mismatch_rejected(self):
+        scaler = StandardScaler().fit(np.zeros((2, 2)))
+        with pytest.raises(DataError):
+            scaler.transform(np.zeros((2, 3)))
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(DataError, match="empty"):
+            StandardScaler().fit(np.empty((0, 2)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(DataError, match="2-D"):
+            StandardScaler().fit(np.zeros(3))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_idempotent_on_standardised_data(self, seed: int):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(40, 2))
+        once = StandardScaler().fit_transform(X)
+        twice = StandardScaler().fit_transform(once)
+        np.testing.assert_allclose(once, twice, atol=1e-10)
+
+
+class TestImputeFinite:
+    def test_nan_replaced_by_column_mean(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0], [np.nan, 6.0]])
+        out = impute_finite(X)
+        assert out[2, 0] == pytest.approx(2.0)
+        assert out[0, 1] == pytest.approx(5.0)
+
+    def test_inf_replaced(self):
+        X = np.array([[np.inf], [2.0]])
+        assert impute_finite(X)[0, 0] == pytest.approx(2.0)
+
+    def test_explicit_fill(self):
+        X = np.array([[np.nan], [2.0]])
+        assert impute_finite(X, fill=-1.0)[0, 0] == -1.0
+
+    def test_all_nan_column_fills_zero(self):
+        X = np.array([[np.nan], [np.nan]])
+        np.testing.assert_allclose(impute_finite(X), 0.0)
+
+    def test_original_not_mutated(self):
+        X = np.array([[np.nan], [2.0]])
+        impute_finite(X)
+        assert np.isnan(X[0, 0])
+
+    def test_1d_rejected(self):
+        with pytest.raises(DataError, match="2-D"):
+            impute_finite(np.zeros(3))

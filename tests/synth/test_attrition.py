@@ -1,0 +1,123 @@
+"""Tests for repro.synth.attrition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.synth.attrition import AttritionSchedule, sample_schedule
+from repro.synth.customers import CustomerProfile
+
+
+@pytest.fixture()
+def profile() -> CustomerProfile:
+    segments = list(range(10))
+    return CustomerProfile(
+        customer_id=1,
+        archetype="test",
+        habitual_segments=segments,
+        inclusion_prob={s: 0.5 for s in segments},
+        trip_interval_days=7.0,
+    )
+
+
+class TestScheduleValidation:
+    def test_negative_onset_rejected(self):
+        with pytest.raises(ConfigError, match="onset_month"):
+            AttritionSchedule(customer_id=1, onset_month=-1)
+
+    def test_bad_decay_rejected(self):
+        with pytest.raises(ConfigError, match="trip_decay"):
+            AttritionSchedule(customer_id=1, onset_month=0, trip_decay_per_month=0.0)
+        with pytest.raises(ConfigError, match="trip_decay"):
+            AttritionSchedule(customer_id=1, onset_month=0, trip_decay_per_month=1.5)
+
+    def test_drop_before_onset_rejected(self):
+        with pytest.raises(ConfigError, match="before onset"):
+            AttritionSchedule(customer_id=1, onset_month=10, drop_month={3: 5})
+
+
+class TestScheduleSemantics:
+    def test_active_segments_shrink_over_time(self, profile):
+        schedule = AttritionSchedule(
+            customer_id=1, onset_month=5, drop_month={0: 5, 1: 7}
+        )
+        assert set(schedule.active_segments(profile, 4)) == set(range(10))
+        assert 0 not in schedule.active_segments(profile, 5)
+        assert 1 in schedule.active_segments(profile, 5)
+        assert 1 not in schedule.active_segments(profile, 7)
+
+    def test_dropped_by(self):
+        schedule = AttritionSchedule(
+            customer_id=1, onset_month=5, drop_month={0: 5, 1: 7}
+        )
+        assert schedule.dropped_by(4) == frozenset()
+        assert schedule.dropped_by(5) == frozenset({0})
+        assert schedule.dropped_by(7) == frozenset({0, 1})
+
+    def test_trip_interval_grows_after_onset(self, profile):
+        schedule = AttritionSchedule(
+            customer_id=1, onset_month=5, trip_decay_per_month=0.9
+        )
+        assert schedule.trip_interval_at(profile, 4) == 7.0
+        assert schedule.trip_interval_at(profile, 5) == pytest.approx(7.0)
+        assert schedule.trip_interval_at(profile, 7) == pytest.approx(7.0 / 0.81)
+
+    def test_no_decay_keeps_interval(self, profile):
+        schedule = AttritionSchedule(
+            customer_id=1, onset_month=5, trip_decay_per_month=1.0
+        )
+        assert schedule.trip_interval_at(profile, 20) == 7.0
+
+
+class TestSampleSchedule:
+    def test_onset_month_always_drops_something(self, profile):
+        for seed in range(10):
+            schedule = sample_schedule(
+                profile, onset_month=5, n_months=28, rng=np.random.default_rng(seed)
+            )
+            assert schedule.dropped_by(5)
+
+    def test_drops_only_habitual_segments(self, profile):
+        schedule = sample_schedule(
+            profile, onset_month=5, n_months=28, rng=np.random.default_rng(1)
+        )
+        assert set(schedule.drop_month) <= set(profile.habitual_segments)
+
+    def test_drop_months_within_study(self, profile):
+        schedule = sample_schedule(
+            profile, onset_month=5, n_months=28, rng=np.random.default_rng(2)
+        )
+        assert all(5 <= m < 28 for m in schedule.drop_month.values())
+
+    def test_progressive_not_instant(self, profile):
+        # With the default rate, not everything vanishes in the onset month.
+        instant = [
+            set(
+                sample_schedule(
+                    profile,
+                    onset_month=5,
+                    n_months=28,
+                    rng=np.random.default_rng(seed),
+                ).drop_month.values()
+            )
+            == {5}
+            for seed in range(20)
+        ]
+        assert not all(instant)
+
+    def test_onset_outside_study_rejected(self, profile):
+        with pytest.raises(ConfigError, match="outside study"):
+            sample_schedule(
+                profile, onset_month=30, n_months=28, rng=np.random.default_rng(0)
+            )
+
+    def test_deterministic_given_seed(self, profile):
+        a = sample_schedule(
+            profile, onset_month=5, n_months=28, rng=np.random.default_rng(9)
+        )
+        b = sample_schedule(
+            profile, onset_month=5, n_months=28, rng=np.random.default_rng(9)
+        )
+        assert a.drop_month == b.drop_month

@@ -1,0 +1,68 @@
+"""Tests for repro.synth.catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.taxonomy import Taxonomy
+from repro.errors import ConfigError
+from repro.synth.catalog import NAMED_SEGMENTS, build_catalog
+
+
+class TestBuildCatalog:
+    def test_default_sizes(self):
+        catalog = build_catalog()
+        assert catalog.n_segments == 120
+        assert catalog.n_products == 120 * 8
+
+    def test_named_segments_present(self):
+        catalog = build_catalog()
+        for name in ("Coffee", "Milk", "Cheese", "Sponges"):
+            segment = catalog.segment_by_name(name)
+            assert segment.name == name
+
+    def test_departments_from_roster(self):
+        catalog = build_catalog()
+        assert catalog.segment_by_name("Coffee").department == "Beverages"
+        assert catalog.segment_by_name("Sponges").department == "Household"
+
+    def test_every_segment_has_products(self):
+        catalog = build_catalog(n_segments=60, products_per_segment=3)
+        for segment in catalog.segments():
+            assert len(catalog.products_in_segment(segment.segment_id)) == 3
+
+    def test_prices_positive(self):
+        catalog = build_catalog(n_segments=60, products_per_segment=2)
+        assert all(p.unit_price > 0 for p in catalog.products())
+
+    def test_deterministic_given_seed(self):
+        a = build_catalog(seed=1)
+        b = build_catalog(seed=1)
+        assert [p.unit_price for p in a.products()] == [
+            p.unit_price for p in b.products()
+        ]
+
+    def test_seed_changes_prices(self):
+        a = build_catalog(seed=1)
+        b = build_catalog(seed=2)
+        assert [p.unit_price for p in a.products()] != [
+            p.unit_price for p in b.products()
+        ]
+
+    def test_too_few_segments_rejected(self):
+        with pytest.raises(ConfigError, match="named roster"):
+            build_catalog(n_segments=10)
+
+    def test_zero_products_rejected(self):
+        with pytest.raises(ConfigError, match="products_per_segment"):
+            build_catalog(products_per_segment=0)
+
+    def test_taxonomy_buildable(self):
+        catalog = build_catalog(n_segments=60, products_per_segment=2)
+        taxonomy = Taxonomy.from_catalog(catalog)
+        assert taxonomy.n_segments == 60
+        assert taxonomy.n_products == 120
+
+    def test_roster_has_figure2_segments(self):
+        names = {name for name, __, __ in NAMED_SEGMENTS}
+        assert {"Coffee", "Milk", "Cheese", "Sponges"} <= names

@@ -1,0 +1,100 @@
+"""Tests for repro.synth.customers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.synth.catalog import build_catalog
+from repro.synth.customers import ARCHETYPES, CustomerProfile, sample_profile
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(n_segments=60, products_per_segment=2)
+
+
+class TestProfileValidation:
+    def test_needs_habitual_segments(self):
+        with pytest.raises(ConfigError, match="habitual"):
+            CustomerProfile(customer_id=1, archetype="x", habitual_segments=[])
+
+    def test_needs_inclusion_prob_for_every_segment(self):
+        with pytest.raises(ConfigError, match="inclusion_prob"):
+            CustomerProfile(
+                customer_id=1,
+                archetype="x",
+                habitual_segments=[1, 2],
+                inclusion_prob={1: 0.5},
+            )
+
+    def test_positive_trip_interval(self):
+        with pytest.raises(ConfigError, match="trip_interval"):
+            CustomerProfile(
+                customer_id=1,
+                archetype="x",
+                habitual_segments=[1],
+                inclusion_prob={1: 0.5},
+                trip_interval_days=0.0,
+            )
+
+
+class TestSampling:
+    def test_deterministic_given_rng_seed(self, catalog):
+        a = sample_profile(3, catalog, np.random.default_rng(42))
+        b = sample_profile(3, catalog, np.random.default_rng(42))
+        assert a.habitual_segments == b.habitual_segments
+        assert a.trip_interval_days == b.trip_interval_days
+
+    def test_habitual_sizes_within_archetype_bounds(self, catalog):
+        rng = np.random.default_rng(0)
+        bounds = {a.name: a.habitual_range for a in ARCHETYPES}
+        for customer_id in range(50):
+            profile = sample_profile(customer_id, catalog, rng)
+            lo, hi = bounds[profile.archetype]
+            assert lo <= len(profile.habitual_segments) <= hi
+
+    def test_inclusion_probs_within_archetype_bounds(self, catalog):
+        rng = np.random.default_rng(1)
+        ranges = {a.name: a.inclusion_range for a in ARCHETYPES}
+        for customer_id in range(30):
+            profile = sample_profile(customer_id, catalog, rng)
+            lo, hi = ranges[profile.archetype]
+            assert all(lo <= p <= hi for p in profile.inclusion_prob.values())
+
+    def test_segments_are_valid_catalog_segments(self, catalog):
+        rng = np.random.default_rng(2)
+        profile = sample_profile(0, catalog, rng)
+        assert all(0 <= s < catalog.n_segments for s in profile.habitual_segments)
+
+    def test_segments_are_unique_and_sorted(self, catalog):
+        rng = np.random.default_rng(3)
+        profile = sample_profile(0, catalog, rng)
+        assert profile.habitual_segments == sorted(set(profile.habitual_segments))
+
+    def test_pinned_segments_always_included(self, catalog):
+        rng = np.random.default_rng(4)
+        pinned = (0, 5, 10)
+        for customer_id in range(10):
+            profile = sample_profile(
+                customer_id, catalog, rng, pinned_segments=pinned
+            )
+            assert set(pinned) <= set(profile.habitual_segments)
+
+    def test_archetype_mix_respects_weights(self, catalog):
+        rng = np.random.default_rng(5)
+        names = [
+            sample_profile(i, catalog, rng).archetype for i in range(400)
+        ]
+        # "family" (weight 0.35) must dominate "minimal" (weight 0.10).
+        assert names.count("family") > names.count("minimal")
+
+    def test_empty_archetypes_rejected(self, catalog):
+        with pytest.raises(ConfigError):
+            sample_profile(0, catalog, np.random.default_rng(0), archetypes=())
+
+    def test_basket_multiplier_positive(self, catalog):
+        rng = np.random.default_rng(6)
+        for customer_id in range(20):
+            assert sample_profile(customer_id, catalog, rng).basket_multiplier > 0

@@ -1,0 +1,164 @@
+"""Tests for repro.synth.generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.synth.generator import ScenarioConfig, generate_dataset
+
+
+class TestScenarioConfig:
+    def test_defaults_match_paper_setting(self):
+        config = ScenarioConfig()
+        assert config.n_months == 28
+        assert config.onset_month == 18
+
+    def test_needs_both_cohorts(self):
+        with pytest.raises(ConfigError):
+            ScenarioConfig(n_loyal=0)
+        with pytest.raises(ConfigError):
+            ScenarioConfig(n_churners=0)
+
+    def test_onset_inside_study(self):
+        with pytest.raises(ConfigError):
+            ScenarioConfig(onset_month=28)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioConfig(onset_jitter_months=-1)
+
+
+class TestGenerateDataset:
+    def test_cohort_sizes(self, small_dataset):
+        assert small_dataset.cohorts.n_loyal == 40
+        assert small_dataset.cohorts.n_churners == 40
+
+    def test_customer_ids_dense(self, small_dataset):
+        assert small_dataset.log.customers() == list(range(80))
+        assert sorted(small_dataset.cohorts.loyal) == list(range(40))
+        assert sorted(small_dataset.cohorts.churners) == list(range(40, 80))
+
+    def test_every_churner_has_schedule_and_onset(self, small_dataset):
+        for customer in sorted(small_dataset.cohorts.churners):
+            schedule = small_dataset.schedules[customer]
+            assert schedule.customer_id == customer
+            assert (
+                small_dataset.cohorts.onset_of(customer) == schedule.onset_month
+            )
+
+    def test_loyal_customers_have_no_schedule(self, small_dataset):
+        assert not set(small_dataset.schedules) & small_dataset.cohorts.loyal
+
+    def test_onset_jitter_bounded(self, small_dataset):
+        onset = small_dataset.config.onset_month
+        jitter = small_dataset.config.onset_jitter_months
+        for customer in sorted(small_dataset.cohorts.churners):
+            actual = small_dataset.cohorts.onset_of(customer)
+            assert onset - jitter <= actual <= onset + jitter
+
+    def test_bundle_is_validated(self, small_dataset):
+        # DatasetBundle.checked already ran; spot-check an invariant.
+        lo, hi = small_dataset.log.day_range()
+        assert lo >= 0
+        assert hi < small_dataset.calendar.n_days
+
+    def test_reproducible(self):
+        config = ScenarioConfig(n_loyal=5, n_churners=5, seed=99)
+        a = generate_dataset(config)
+        b = generate_dataset(config)
+        assert a.log.n_baskets == b.log.n_baskets
+        for customer in a.log.customers():
+            assert [(x.day, x.items) for x in a.log.history(customer)] == [
+                (x.day, x.items) for x in b.log.history(customer)
+            ]
+
+    def test_seed_changes_data(self):
+        a = generate_dataset(ScenarioConfig(n_loyal=5, n_churners=5, seed=1))
+        b = generate_dataset(ScenarioConfig(n_loyal=5, n_churners=5, seed=2))
+        assert a.log.n_baskets != b.log.n_baskets or [
+            (x.day, x.items) for x in a.log.history(0)
+        ] != [(x.day, x.items) for x in b.log.history(0)]
+
+    def test_adding_customers_preserves_existing(self):
+        # SeedSequence spawning: customer i's stream is independent of n.
+        small = generate_dataset(ScenarioConfig(n_loyal=3, n_churners=3, seed=4))
+        # Same seed, one more churner: loyal customers 0..2 are unchanged.
+        big = generate_dataset(ScenarioConfig(n_loyal=3, n_churners=4, seed=4))
+        for customer in range(3):
+            assert [(x.day, x.items) for x in small.log.history(customer)] == [
+                (x.day, x.items) for x in big.log.history(customer)
+            ]
+
+    def test_product_level_config(self):
+        dataset = generate_dataset(
+            ScenarioConfig(n_loyal=3, n_churners=3, seed=6, product_level=True)
+        )
+        # The bundle's log must be segment-level after abstraction.
+        n_segments = dataset.catalog.n_segments
+        assert all(
+            0 <= item < n_segments for item in dataset.log.item_universe()
+        )
+
+    def test_vacation_config_validated(self):
+        with pytest.raises(ConfigError, match="vacation_prob"):
+            ScenarioConfig(vacation_prob=1.5)
+        with pytest.raises(ConfigError, match="vacation_duration"):
+            ScenarioConfig(vacation_duration_days=(0, 10))
+        with pytest.raises(ConfigError, match="vacation_duration"):
+            ScenarioConfig(vacation_duration_days=(20, 10))
+
+    def test_vacations_create_long_gaps(self):
+        no_vacation = generate_dataset(
+            ScenarioConfig(n_loyal=10, n_churners=10, seed=44, vacation_prob=0.0)
+        )
+        vacation = generate_dataset(
+            ScenarioConfig(
+                n_loyal=10,
+                n_churners=10,
+                seed=44,
+                vacation_prob=1.0,
+                vacation_duration_days=(60, 60),
+            )
+        )
+
+        def max_gap(dataset) -> int:
+            widest = 0
+            for customer in dataset.log.customers():
+                days = [b.day for b in dataset.log.history(customer)]
+                if len(days) > 1:
+                    widest = max(widest, max(b - a for a, b in zip(days, days[1:])))
+            return widest
+
+        assert max_gap(vacation) >= 60
+        assert max_gap(vacation) > max_gap(no_vacation)
+
+    def test_zero_vacation_prob_preserves_streams(self):
+        # vacation_prob=0 must not consume RNG draws: identical to default.
+        a = generate_dataset(ScenarioConfig(n_loyal=4, n_churners=4, seed=9))
+        b = generate_dataset(
+            ScenarioConfig(n_loyal=4, n_churners=4, seed=9, vacation_prob=0.0)
+        )
+        for customer in a.log.customers():
+            assert [(x.day, x.items) for x in a.log.history(customer)] == [
+                (x.day, x.items) for x in b.log.history(customer)
+            ]
+
+    def test_churners_lose_habits_after_onset(self, small_dataset):
+        calendar = small_dataset.calendar
+        for customer in sorted(small_dataset.cohorts.churners)[:5]:
+            schedule = small_dataset.schedules[customer]
+            dropped = schedule.dropped_by(calendar.n_months - 1)
+            if not dropped:
+                continue
+            last_drop_month = max(schedule.drop_month.values())
+            start_day = calendar.month_start_day(
+                min(last_drop_month + 1, calendar.n_months - 1)
+            )
+            bought_after = {
+                item
+                for basket in small_dataset.log.history(customer)
+                if basket.day >= start_day
+                for item in basket.items
+            }
+            assert not (dropped & bought_after)

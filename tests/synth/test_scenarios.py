@@ -1,0 +1,66 @@
+"""Tests for repro.synth.scenarios."""
+
+from __future__ import annotations
+
+from repro.synth.scenarios import (
+    FIGURE2_FIRST_LOSS,
+    FIGURE2_SECOND_LOSS,
+    figure2_case_study,
+    paper_scenario,
+)
+
+
+class TestPaperScenario:
+    def test_shapes(self, small_dataset):
+        # small_dataset is paper_scenario-compatible; check a fresh tiny one.
+        dataset = paper_scenario(n_loyal=4, n_churners=4, seed=1)
+        assert dataset.calendar.n_months == 28
+        assert dataset.cohorts.onset_month == 18
+        assert dataset.log.n_customers == 8
+
+    def test_overrides_forwarded(self):
+        dataset = paper_scenario(
+            n_loyal=3, n_churners=3, seed=1, n_months=12, onset_month=6
+        )
+        assert dataset.calendar.n_months == 12
+        assert dataset.cohorts.onset_month == 6
+
+
+class TestFigure2CaseStudy:
+    def test_loss_constants(self):
+        assert FIGURE2_FIRST_LOSS == ("Coffee",)
+        assert set(FIGURE2_SECOND_LOSS) == {"Milk", "Sponges", "Cheese"}
+
+    def test_pinned_losses(self, case_study):
+        drop = case_study.schedule.drop_month
+        first = {case_study.catalog.segment(s).name for s in case_study.first_loss_segments}
+        second = {case_study.catalog.segment(s).name for s in case_study.second_loss_segments}
+        assert first == {"Coffee"}
+        assert second == {"Milk", "Sponges", "Cheese"}
+        # Coffee stops at calendar month 18 (visible at plotted month 20).
+        assert all(drop[s] == 18 for s in case_study.first_loss_segments)
+        assert all(drop[s] == 20 for s in case_study.second_loss_segments)
+
+    def test_habitual_includes_all_lost_segments(self, case_study):
+        lost = set(case_study.first_loss_segments) | set(
+            case_study.second_loss_segments
+        )
+        bought = {
+            item
+            for basket in case_study.log.history(case_study.customer_id)
+            for item in basket.items
+        }
+        assert lost <= bought
+
+    def test_single_customer_log(self, case_study):
+        assert case_study.log.customers() == [case_study.customer_id]
+
+    def test_no_trip_decay(self, case_study):
+        assert case_study.schedule.trip_decay_per_month == 1.0
+
+    def test_deterministic(self):
+        a = figure2_case_study(seed=11)
+        b = figure2_case_study(seed=11)
+        assert [(x.day, x.items) for x in a.log.history(0)] == [
+            (x.day, x.items) for x in b.log.history(0)
+        ]

@@ -1,0 +1,189 @@
+"""Tests for repro.synth.shopping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.calendar import StudyCalendar
+from repro.synth.attrition import AttritionSchedule
+from repro.synth.catalog import build_catalog
+from repro.synth.customers import CustomerProfile
+from repro.synth.shopping import segment_prices, simulate_customer
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(n_segments=60, products_per_segment=3)
+
+
+@pytest.fixture()
+def profile() -> CustomerProfile:
+    segments = [0, 1, 2, 3, 4]
+    return CustomerProfile(
+        customer_id=7,
+        archetype="test",
+        habitual_segments=segments,
+        inclusion_prob={s: 0.8 for s in segments},
+        trip_interval_days=5.0,
+        noise_rate=0.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def calendar():
+    return StudyCalendar.paper()
+
+
+class TestSegmentPrices:
+    def test_every_segment_priced(self, catalog):
+        prices = segment_prices(catalog)
+        assert set(prices) == {s.segment_id for s in catalog.segments()}
+        assert all(p > 0 for p in prices.values())
+
+    def test_mean_of_product_prices(self, catalog):
+        prices = segment_prices(catalog)
+        products = catalog.products_in_segment(0)
+        expected = sum(p.unit_price for p in products) / len(products)
+        assert prices[0] == pytest.approx(expected)
+
+
+class TestSimulation:
+    def test_days_within_study(self, profile, calendar, catalog):
+        baskets = simulate_customer(
+            profile, calendar, catalog, np.random.default_rng(0)
+        )
+        assert baskets
+        assert all(0 <= b.day < calendar.n_days for b in baskets)
+
+    def test_chronological(self, profile, calendar, catalog):
+        baskets = simulate_customer(
+            profile, calendar, catalog, np.random.default_rng(1)
+        )
+        days = [b.day for b in baskets]
+        assert days == sorted(days)
+
+    def test_customer_id_stamped(self, profile, calendar, catalog):
+        baskets = simulate_customer(
+            profile, calendar, catalog, np.random.default_rng(2)
+        )
+        assert all(b.customer_id == 7 for b in baskets)
+
+    def test_trip_count_tracks_interval(self, profile, calendar, catalog):
+        baskets = simulate_customer(
+            profile, calendar, catalog, np.random.default_rng(3)
+        )
+        expected = calendar.n_days / profile.trip_interval_days
+        assert 0.6 * expected <= len(baskets) <= 1.4 * expected
+
+    def test_baskets_non_empty_with_positive_monetary(self, profile, calendar, catalog):
+        baskets = simulate_customer(
+            profile, calendar, catalog, np.random.default_rng(4)
+        )
+        assert all(b.size > 0 for b in baskets)
+        assert all(b.monetary > 0 for b in baskets)
+
+    def test_habitual_segments_dominate(self, profile, calendar, catalog):
+        baskets = simulate_customer(
+            profile, calendar, catalog, np.random.default_rng(5)
+        )
+        habitual = set(profile.habitual_segments)
+        habitual_count = sum(len(b.items & habitual) for b in baskets)
+        total = sum(b.size for b in baskets)
+        assert habitual_count / total > 0.7
+
+    def test_deterministic_given_seed(self, profile, calendar, catalog):
+        a = simulate_customer(profile, calendar, catalog, np.random.default_rng(6))
+        b = simulate_customer(profile, calendar, catalog, np.random.default_rng(6))
+        assert [(x.day, x.items, x.monetary) for x in a] == [
+            (x.day, x.items, x.monetary) for x in b
+        ]
+
+    def test_schedule_removes_dropped_segments(self, profile, calendar, catalog):
+        schedule = AttritionSchedule(
+            customer_id=7,
+            onset_month=10,
+            drop_month={s: 10 for s in profile.habitual_segments},
+            trip_decay_per_month=1.0,
+        )
+        baskets = simulate_customer(
+            profile, calendar, catalog, np.random.default_rng(7), schedule=schedule
+        )
+        onset_day = calendar.month_start_day(10)
+        habitual = set(profile.habitual_segments)
+        after = [b for b in baskets if b.day >= onset_day]
+        assert all(not (b.items & habitual) for b in after)
+
+    def test_trip_decay_reduces_late_trips(self, profile, calendar, catalog):
+        schedule = AttritionSchedule(
+            customer_id=7, onset_month=14, trip_decay_per_month=0.75
+        )
+        baskets = simulate_customer(
+            profile, calendar, catalog, np.random.default_rng(8), schedule=schedule
+        )
+        half_day = calendar.month_start_day(14)
+        first_half = sum(1 for b in baskets if b.day < half_day)
+        second_half = sum(1 for b in baskets if b.day >= half_day)
+        assert second_half < first_half
+
+    def test_product_level_emits_skus(self, profile, calendar, catalog):
+        baskets = simulate_customer(
+            profile,
+            calendar,
+            catalog,
+            np.random.default_rng(9),
+            product_level=True,
+        )
+        product_ids = {p.product_id for p in catalog.products()}
+        assert all(b.items <= product_ids for b in baskets)
+
+    def test_absences_block_trips(self, profile, calendar, catalog):
+        absence = (100, 200)
+        baskets = simulate_customer(
+            profile,
+            calendar,
+            catalog,
+            np.random.default_rng(11),
+            absences=(absence,),
+        )
+        assert baskets
+        assert all(not (absence[0] <= b.day < absence[1]) for b in baskets)
+
+    def test_shopping_resumes_after_absence(self, profile, calendar, catalog):
+        absence = (100, 160)
+        baskets = simulate_customer(
+            profile,
+            calendar,
+            catalog,
+            np.random.default_rng(12),
+            absences=(absence,),
+        )
+        assert any(b.day >= absence[1] for b in baskets)
+
+    def test_invalid_absence_rejected(self, profile, calendar, catalog):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="absence"):
+            simulate_customer(
+                profile,
+                calendar,
+                catalog,
+                np.random.default_rng(0),
+                absences=((50, 10),),
+            )
+
+    def test_product_level_abstraction_recovers_segments(
+        self, profile, calendar, catalog
+    ):
+        baskets = simulate_customer(
+            profile,
+            calendar,
+            catalog,
+            np.random.default_rng(10),
+            product_level=True,
+        )
+        habitual = set(profile.habitual_segments)
+        segments_bought = {
+            catalog.product(p).segment_id for b in baskets for p in b.items
+        }
+        assert habitual <= segments_bought

@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+ARGS = ["--loyal", "8", "--churners", "8", "--seed", "2"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["figure2"])
+        assert args.loyal == 150
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main([*ARGS, "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "customers" in out
+        assert "6,000,000" in out
+
+    def test_figure1(self, capsys):
+        assert main([*ARGS, "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "stability AUROC" in out
+
+    def test_figure2(self, capsys):
+        assert main([*ARGS, "figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "Coffee" in out
+
+    def test_tune(self, capsys):
+        assert main([*ARGS, "tune", "--folds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "selected:" in out
+        assert "paper selected window=2, alpha=2" in out
+
+    def test_generate(self, tmp_path, capsys):
+        out_dir = tmp_path / "dataset"
+        assert main([*ARGS, "generate", "--out", str(out_dir)]) == 0
+        assert (out_dir / "transactions.csv").exists()
+        assert (out_dir / "cohorts.json").exists()
+        assert (out_dir / "catalog.jsonl").exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_explain_known_customer(self, capsys):
+        assert main([*ARGS, "explain", "--customer", "12", "--window", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "customer 12" in out
+        assert "stability=" in out
+
+    def test_explain_unknown_customer(self, capsys):
+        assert main([*ARGS, "explain", "--customer", "999", "--window", "5"]) == 1
+        assert "not in the dataset" in capsys.readouterr().err
+
+    def test_delay(self, capsys):
+        assert main([*ARGS, "delay", "--far", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "calibrated beta" in out
+        assert "median delay" in out
+
+    def test_compare(self, capsys):
+        assert main([*ARGS, "compare", "--months", "20", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "stability" in out
+        assert "sequence" in out
+        assert "lift@10%" in out
+
+    def test_losses(self, capsys):
+        assert main([*ARGS, "losses", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "loss events across" in out
+        assert "abrupt" in out
+
+    def test_report(self, capsys):
+        assert main([*ARGS, "report", "--customer", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "customer 12" in out
+        assert "stability trajectory" in out
+
+    def test_report_unknown_customer(self, capsys):
+        assert main([*ARGS, "report", "--customer", "999"]) == 1
+        assert "not in the dataset" in capsys.readouterr().err
+
+    def test_quality_generated(self, capsys):
+        assert main([*ARGS, "quality"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:" in out
+
+    def test_quality_from_csv(self, tmp_path, capsys):
+        out_dir = tmp_path / "ds"
+        main([*ARGS, "generate", "--out", str(out_dir)])
+        capsys.readouterr()
+        assert main([*ARGS, "quality", "--log", str(out_dir / "transactions.csv")]) == 0
+        assert "customers:" in capsys.readouterr().out
+
+    def test_export_csv(self, tmp_path, capsys):
+        out = tmp_path / "figure1.csv"
+        assert main([*ARGS, "export", "--out", str(out)]) == 0
+        content = out.read_text()
+        assert content.startswith("month,stability_auroc,rfm_auroc")
+
+    def test_export_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "figure1.json"
+        assert main([*ARGS, "export", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["metadata"]["onset_month"] == 18
+        assert len(payload["month"]) == 7
+
+    def test_generated_dataset_round_trips(self, tmp_path):
+        from repro.data.io import read_cohorts_json, read_log_csv
+
+        out_dir = tmp_path / "dataset"
+        main([*ARGS, "generate", "--out", str(out_dir)])
+        log = read_log_csv(out_dir / "transactions.csv")
+        cohorts = read_cohorts_json(out_dir / "cohorts.json")
+        assert log.n_customers == 16
+        assert cohorts.n_loyal == 8

@@ -1,0 +1,34 @@
+"""Doctest runner: every ``>>>`` example in the library must execute.
+
+Docstring examples are the first code users copy; this keeps them honest
+without requiring ``--doctest-modules`` on every invocation.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _modules_with_doctests() -> list[str]:
+    names = []
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(module_info.name)
+        if doctest.DocTestFinder().find(module):
+            finder = doctest.DocTestFinder()
+            if any(test.examples for test in finder.find(module)):
+                names.append(module_info.name)
+    return sorted(set(names))
+
+
+@pytest.mark.parametrize("module_name", _modules_with_doctests())
+def test_module_doctests(module_name: str):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+    assert results.attempted > 0

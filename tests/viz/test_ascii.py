@@ -1,0 +1,126 @@
+"""Tests for repro.viz.ascii."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.viz.ascii import histogram, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart([0, 1, 2], {"s": [0.0, 0.5, 1.0]}, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "s" in lines[-1]  # legend
+        assert "*" in out
+
+    def test_y_axis_labels(self):
+        out = line_chart([0, 1], {"s": [0.0, 1.0]}, y_range=(0.0, 1.0))
+        assert "1.00" in out
+        assert "0.00" in out
+
+    def test_x_axis_labels(self):
+        out = line_chart([12, 24], {"s": [0.1, 0.2]})
+        last = out.splitlines()[-2]
+        assert "12" in last
+        assert "24" in last
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = line_chart([0, 1], {"a": [0.0, 0.1], "b": [1.0, 0.9]})
+        assert "*" in out
+        assert "o" in out
+        assert "* a" in out
+        assert "o b" in out
+
+    def test_nan_values_skipped(self):
+        out = line_chart([0, 1, 2], {"s": [math.nan, 0.5, 1.0]})
+        assert out  # renders without error
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ConfigError, match="NaN"):
+            line_chart([0, 1], {"s": [math.nan, math.nan]})
+
+    def test_constant_series_handled(self):
+        out = line_chart([0, 1], {"s": [0.5, 0.5]})
+        assert "*" in out
+
+    def test_values_clamped_to_range(self):
+        out = line_chart([0, 1], {"s": [-5.0, 5.0]}, y_range=(0.0, 1.0))
+        assert "*" in out
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigError):
+            line_chart([0], {})
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ConfigError):
+            line_chart([], {"s": []})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError, match="values for"):
+            line_chart([0, 1], {"s": [1.0]})
+
+    def test_invalid_y_range_rejected(self):
+        with pytest.raises(ConfigError, match="y_range"):
+            line_chart([0], {"s": [0.0]}, y_range=(1.0, 0.0))
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ConfigError, match="too small"):
+            line_chart([0], {"s": [0.0]}, width=1, height=1)
+
+    def test_plot_width_respected(self):
+        out = line_chart([0, 1], {"s": [0.0, 1.0]}, width=30, height=5)
+        plot_lines = [l for l in out.splitlines() if "|" in l]
+        assert all(len(l) <= 30 + 10 for l in plot_lines)
+
+    def test_single_point(self):
+        out = line_chart([5], {"s": [0.7]})
+        assert "*" in out
+
+
+class TestHistogram:
+    def test_counts_rendered(self):
+        out = histogram([1, 1, 2, 5], n_bins=2, width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith(" 3")
+        assert lines[1].endswith(" 1")
+
+    def test_bar_lengths_proportional(self):
+        out = histogram([0, 0, 0, 0, 9], n_bins=2, width=8)
+        first, second = out.splitlines()
+        assert first.count("#") == 8
+        assert second.count("#") == 2
+
+    def test_title(self):
+        out = histogram([1.0], title="delays")
+        assert out.splitlines()[0] == "delays"
+
+    def test_constant_values(self):
+        out = histogram([3.0, 3.0, 3.0], n_bins=4)
+        assert " 3" in out
+
+    def test_nan_skipped(self):
+        out = histogram([1.0, float("nan"), 2.0], n_bins=2)
+        assert out
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ConfigError, match="NaN"):
+            histogram([float("nan")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            histogram([])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            histogram([1.0], n_bins=0)
+
+    def test_bin_ranges_in_labels(self):
+        out = histogram([0.0, 10.0], n_bins=2, value_format="{:.0f}")
+        assert "[0, 5)" in out
+        assert "[5, 10)" in out

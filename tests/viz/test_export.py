@@ -1,0 +1,54 @@
+"""Tests for repro.viz.export."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.viz.export import write_series_csv, write_series_json
+
+
+class TestCsvExport:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "series.csv"
+        write_series_csv(
+            path, [12, 14], {"stability": [0.5, 0.8], "rfm": [0.4, 0.7]},
+            x_name="month",
+        )
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["month", "stability", "rfm"]
+        assert rows[1] == ["12", "0.5", "0.4"]
+        assert rows[2] == ["14", "0.8", "0.7"]
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            write_series_csv(tmp_path / "x.csv", [1, 2], {"s": [1.0]})
+
+    def test_empty_series_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            write_series_csv(tmp_path / "x.csv", [1], {})
+
+
+class TestJsonExport:
+    def test_round_trip_with_metadata(self, tmp_path):
+        path = tmp_path / "series.json"
+        write_series_json(
+            path,
+            [12, 14],
+            {"stability": [0.5, 0.8]},
+            x_name="month",
+            metadata={"alpha": 2},
+        )
+        payload = json.loads(path.read_text())
+        assert payload["month"] == [12, 14]
+        assert payload["series"]["stability"] == [0.5, 0.8]
+        assert payload["metadata"] == {"alpha": 2}
+
+    def test_no_metadata_key_when_omitted(self, tmp_path):
+        path = tmp_path / "series.json"
+        write_series_json(path, [1], {"s": [0.1]})
+        assert "metadata" not in json.loads(path.read_text())
