@@ -1,65 +1,79 @@
 """S1 — scaling: runtime of the stability model vs population size.
 
-The paper's dataset has 6M customers; this laptop-scale bench verifies the
-implementation scales linearly in the number of customers (the per-customer
-work is independent), which is what makes the 6M-scale deployment
-plausible.  Timed stages: dataset generation, stability fit, scoring.
+The paper's dataset has 6M customers; this laptop-scale bench verifies
+that (a) every fit backend scales linearly in the number of customers
+(the per-customer work is independent), which is what makes the 6M-scale
+deployment plausible, and (b) the population-batched engine beats the
+incremental one by the margin the performance architecture promises
+(≥ 5× at the 400-customer scenario).
+
+Besides the rendered table, the bench emits machine-readable telemetry
+to ``BENCH_scaling.json`` at the repository root (sizes, fit seconds per
+backend, ms/customer) so future PRs have a perf trajectory to compare
+against.
 """
 
 from __future__ import annotations
 
-import time
+from pathlib import Path
 
 from benchmarks.conftest import save_artifact
-from repro.core.model import StabilityModel
-from repro.eval.reporting import format_table
+from repro.core.model import BACKENDS, StabilityModel
+from repro.eval.benchmarking import (
+    render_scaling,
+    scaling_telemetry,
+    write_scaling_json,
+)
 from repro.synth import ScenarioConfig, generate_dataset
 
+#: Repo-root telemetry artifact consumed by future perf comparisons.
+TELEMETRY_PATH = Path(__file__).resolve().parents[1] / "BENCH_scaling.json"
 
-def _fit_stability(dataset):
-    model = StabilityModel(dataset.calendar, window_months=2, alpha=2.0)
+#: Per-cohort sizes; total customers is twice each (loyal + churners).
+SIZES = (25, 50, 100, 200)
+SEED = 13
+
+
+def _fit_stability(dataset, backend: str = "incremental"):
+    model = StabilityModel(
+        dataset.calendar, window_months=2, alpha=2.0, backend=backend
+    )
     model.fit(dataset.log)
     return model
 
 
 def test_stability_fit_scaling(benchmark, output_dir):
-    sizes = (25, 50, 100, 200)
-    rows = []
-    datasets = {}
-    for size in sizes:
-        config = ScenarioConfig(n_loyal=size, n_churners=size, seed=13)
-        start = time.perf_counter()
-        datasets[size] = generate_dataset(config)
-        gen_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        model = _fit_stability(datasets[size])
-        fit_seconds = time.perf_counter() - start
-        rows.append(
-            (
-                2 * size,
-                datasets[size].log.n_baskets,
-                f"{gen_seconds:.3f}",
-                f"{fit_seconds:.3f}",
-                f"{fit_seconds / (2 * size) * 1e3:.2f}",
-            )
-        )
-        del model
+    telemetry = scaling_telemetry(
+        sizes=SIZES, seed=SEED, backends=BACKENDS, repeat=3
+    )
     text = "\n".join(
         [
-            "S1 — stability model scaling (fit time vs customers)",
-            format_table(
-                ("customers", "receipts", "generate s", "fit s", "fit ms/cust"),
-                rows,
-            ),
+            "S1 — stability model scaling (fit time vs customers, per backend)",
+            render_scaling(telemetry),
         ]
     )
     save_artifact(output_dir, "scaling.txt", text)
+    write_scaling_json(TELEMETRY_PATH, telemetry)
 
-    # The timed benchmark: fitting the largest population.
+    # The timed benchmark: the batch backend on the largest population.
+    largest = generate_dataset(
+        ScenarioConfig(n_loyal=SIZES[-1], n_churners=SIZES[-1], seed=SEED)
+    )
     benchmark.pedantic(
-        _fit_stability, args=(datasets[sizes[-1]],), rounds=3, iterations=1
+        _fit_stability, args=(largest, "batch"), rounds=3, iterations=1
     )
 
-    # Linearity: per-customer cost must not blow up with population size.
-    per_customer = [float(row[4]) for row in rows]
-    assert per_customer[-1] < per_customer[0] * 3 + 1.0
+    # Linearity: per-customer cost must not blow up with population size,
+    # for any backend.
+    for name in BACKENDS:
+        per_customer = [
+            entry["backends"][name]["ms_per_customer"]
+            for entry in telemetry["results"]
+        ]
+        assert per_customer[-1] < per_customer[0] * 3 + 1.0, name
+
+    # The performance-architecture contract: at the 400-customer scenario
+    # the batch engine fits >= 5x faster than the incremental engine.
+    largest_entry = telemetry["results"][-1]
+    assert largest_entry["customers"] == 2 * SIZES[-1]
+    assert largest_entry["speedup_batch_vs_incremental"] >= 5.0, largest_entry

@@ -8,6 +8,7 @@ Subcommands
 ``stats``      Print the dataset-statistics table (E3).
 ``tune``       Run the 5-fold CV parameter search (E4).
 ``explain``    Explain one customer's stability at one window.
+``bench``      Time StabilityModel fit backends and emit perf telemetry.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -18,7 +19,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core.model import StabilityModel
+from repro.core.model import BACKENDS, StabilityModel
 from repro.core.tuning import tune_stability_model
 from repro.data.io import write_cohorts_json, write_log_csv
 from repro.eval.figure1 import run_figure1
@@ -101,6 +102,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     export = sub.add_parser("export", help="export Figure 1 series to CSV/JSON")
     export.add_argument("--out", type=Path, required=True, help="output file (.csv or .json)")
+
+    bench = sub.add_parser(
+        "bench", help="benchmark StabilityModel fit backends (perf telemetry)"
+    )
+    bench.add_argument(
+        "--backend",
+        choices=("all",) + BACKENDS,
+        default="all",
+        help="backend to time (default: all of them)",
+    )
+    bench.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[25, 50, 100, 200],
+        help="per-cohort sizes; total customers is twice each value",
+    )
+    bench.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
+    bench.add_argument(
+        "--n-jobs", type=int, default=1, help="worker processes for the batch backend"
+    )
+    bench.add_argument(
+        "--json", type=Path, default=None, help="write machine-readable telemetry here"
+    )
     return parser
 
 
@@ -300,7 +325,31 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.eval.benchmarking import (
+        render_scaling,
+        scaling_telemetry,
+        write_scaling_json,
+    )
+
+    backends = BACKENDS if args.backend == "all" else (args.backend,)
+    telemetry = scaling_telemetry(
+        sizes=tuple(args.sizes),
+        seed=args.seed,
+        backends=backends,
+        repeat=args.repeat,
+        n_jobs=args.n_jobs,
+    )
+    print("stability fit scaling (best-of-%d wall clock)" % args.repeat)
+    print(render_scaling(telemetry))
+    if args.json is not None:
+        write_scaling_json(args.json, telemetry)
+        print(f"wrote telemetry to {args.json}")
+    return 0
+
+
 _COMMANDS = {
+    "bench": _cmd_bench,
     "generate": _cmd_generate,
     "report": _cmd_report,
     "quality": _cmd_quality,

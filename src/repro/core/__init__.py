@@ -11,6 +11,14 @@ Layered exactly as Section 2 of the paper:
 * :mod:`repro.core.tuning` — the paper's 5-fold CV parameter search.
 """
 
+from repro.core.batch import (
+    BatchStability,
+    PopulationWindows,
+    batch_churn_scores,
+    encode_population,
+    significance_from_counts,
+    stability_matrix,
+)
 from repro.core.characterization import (
     LossEvent,
     PopulationLossProfile,
@@ -27,9 +35,10 @@ from repro.core.explanation import (
     explain_trajectory,
     explain_window,
 )
-from repro.core.model import StabilityModel
+from repro.core.model import BACKENDS, StabilityModel
 from repro.core.significance import (
     COUNTING_SCHEMES,
+    validate_alpha,
     ExponentialSignificance,
     FrequencyRatioSignificance,
     ItemCounts,
@@ -46,7 +55,15 @@ from repro.core.windowing import Window, WindowGrid, windowed_history
 
 __all__ = [
     "Alarm",
+    "BACKENDS",
+    "BatchStability",
     "COUNTING_SCHEMES",
+    "PopulationWindows",
+    "batch_churn_scores",
+    "encode_population",
+    "significance_from_counts",
+    "stability_matrix",
+    "validate_alpha",
     "CustomerState",
     "DropExplanation",
     "LossEvent",

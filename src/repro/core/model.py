@@ -14,18 +14,30 @@ evaluation protocol and a retailer's application code need:
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable
 
+import numpy as np
+
+from repro.core.batch import BatchStability, encode_population, stability_matrix
 from repro.core.detector import Alarm, ThresholdDetector
 from repro.core.explanation import DropExplanation, explain_window
 from repro.core.significance import ExponentialSignificance, SignificanceFunction
-from repro.core.stability import StabilityTrajectory, stability_trajectory
-from repro.core.windowing import WindowGrid, windowed_history
+from repro.core.stability import (
+    StabilityTrajectory,
+    WindowStability,
+    stability_trajectory,
+)
+from repro.core.vectorized import _vectorized_masses
+from repro.core.windowing import Window, WindowGrid, windowed_history
 from repro.data.calendar import StudyCalendar
 from repro.data.transactions import TransactionLog
 from repro.errors import ConfigError, DataError, NotFittedError
 
-__all__ = ["StabilityModel"]
+__all__ = ["StabilityModel", "BACKENDS"]
+
+#: Fit/score engines selectable via ``StabilityModel(backend=...)``.
+BACKENDS = ("incremental", "vectorized", "batch")
 
 
 class StabilityModel:
@@ -49,6 +61,31 @@ class StabilityModel:
         Optional per-item weights (e.g. segment prices) producing
         revenue-weighted stability; see
         :func:`~repro.core.stability.stability_trajectory`.
+    backend:
+        Fit/score engine, one of :data:`BACKENDS`:
+
+        * ``"incremental"`` (default) — the flexible per-customer engine;
+          supports every significance rule, counting scheme and item
+          weighting, and keeps full per-window significance snapshots.
+        * ``"vectorized"`` — per-customer numpy kernel
+          (:mod:`repro.core.vectorized`).
+        * ``"batch"`` — the population-scale engine
+          (:mod:`repro.core.batch`): the whole log is encoded once into
+          columnar arrays and all customers × all windows are computed
+          in a handful of numpy segment operations.
+
+        The numpy backends support only the paper's exponential
+        significance with the ``"paper"`` counting scheme and no item
+        weights (a :class:`~repro.errors.ConfigError` otherwise).  Their
+        stability values agree exactly with the incremental engine
+        (differentially tested); their trajectories materialise lazily
+        and carry window item sets but not per-window significance
+        snapshots or basket counts — :meth:`explain` transparently
+        recomputes the needed snapshots through the incremental engine.
+    n_jobs:
+        Number of worker processes for ``backend="batch"`` fits (``-1``
+        = all cores).  The customer axis is sharded across a
+        ``ProcessPoolExecutor``; results are identical to ``n_jobs=1``.
 
     Examples
     --------
@@ -71,9 +108,15 @@ class StabilityModel:
         significance: SignificanceFunction | None = None,
         counting: str = "paper",
         item_weights: dict[int, float] | None = None,
+        backend: str = "incremental",
+        n_jobs: int = 1,
     ) -> None:
         if window_months <= 0:
             raise ConfigError(f"window_months must be positive, got {window_months}")
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.calendar = calendar
         self.window_months = int(window_months)
         self.significance = (
@@ -81,8 +124,33 @@ class StabilityModel:
         )
         self.counting = counting
         self.item_weights = dict(item_weights) if item_weights is not None else None
+        self.backend = backend
+        self.n_jobs = n_jobs
+        if backend != "incremental":
+            if not isinstance(self.significance, ExponentialSignificance):
+                raise ConfigError(
+                    f"backend {backend!r} supports only ExponentialSignificance, "
+                    f"got {type(self.significance).__name__}"
+                )
+            if counting != "paper":
+                raise ConfigError(
+                    f"backend {backend!r} supports only the 'paper' counting "
+                    f"scheme, got {counting!r}"
+                )
+            if self.item_weights is not None:
+                raise ConfigError(
+                    f"backend {backend!r} does not support item_weights; "
+                    "use backend='incremental'"
+                )
+        if n_jobs != 1 and backend != "batch":
+            raise ConfigError(
+                f"n_jobs={n_jobs} requires backend='batch', got {backend!r}"
+            )
         self.grid = WindowGrid.monthly(calendar, self.window_months)
         self._trajectories: dict[int, StabilityTrajectory] | None = None
+        self._batch: BatchStability | None = None
+        self._fit_log: TransactionLog | None = None
+        self._snapshot_cache: dict[int, StabilityTrajectory] = {}
 
     # ------------------------------------------------------------------
     # Fitting
@@ -97,23 +165,85 @@ class StabilityModel:
         customers:
             Restrict to these customers (default: everyone in the log).
         """
+        self._batch = None
+        self._snapshot_cache = {}
+        self._fit_log = log
+        if self.backend == "batch":
+            population = encode_population(log, self.grid, customers)
+            self._batch = stability_matrix(
+                population, alpha=self._alpha(), n_jobs=self.n_jobs
+            )
+            self._trajectories = {}
+            return self
         selected = list(customers) if customers is not None else log.customers()
         trajectories: dict[int, StabilityTrajectory] = {}
         for customer_id in selected:
             windows = windowed_history(log.history(customer_id), self.grid)
-            trajectories[customer_id] = stability_trajectory(
-                customer_id,
-                windows,
-                significance=self.significance,
-                counting=self.counting,
-                item_weights=self.item_weights,
-            )
+            if self.backend == "vectorized":
+                trajectories[customer_id] = self._vectorized_trajectory(
+                    customer_id, windows
+                )
+            else:
+                trajectories[customer_id] = stability_trajectory(
+                    customer_id,
+                    windows,
+                    significance=self.significance,
+                    counting=self.counting,
+                    item_weights=self.item_weights,
+                )
         self._trajectories = trajectories
         return self
 
+    def _alpha(self) -> float:
+        """The exponential base (numpy backends are gated to this rule)."""
+        assert isinstance(self.significance, ExponentialSignificance)
+        return self.significance.alpha
+
+    def _vectorized_trajectory(
+        self, customer_id: int, windows: list[Window]
+    ) -> StabilityTrajectory:
+        stability, kept, total = _vectorized_masses(windows, alpha=self._alpha())
+        records = tuple(
+            WindowStability(
+                window=window,
+                stability=float(stability[k]),
+                kept_mass=float(kept[k]),
+                total_mass=float(total[k]),
+                significances={},
+            )
+            for k, window in enumerate(windows)
+        )
+        return StabilityTrajectory(customer_id=customer_id, records=records)
+
+    def _batch_trajectory(self, customer_id: int) -> StabilityTrajectory:
+        assert self._batch is not None and self._trajectories is not None
+        try:
+            row = self._batch.row_of(customer_id)
+        except ConfigError:
+            raise DataError(f"customer {customer_id} was not fitted") from None
+        items_per_window = self._batch.population.window_items(row)
+        records = tuple(
+            WindowStability(
+                window=Window(
+                    index=k,
+                    begin_day=self.grid.boundaries[k],
+                    end_day=self.grid.boundaries[k + 1],
+                    items=items_per_window[k],
+                ),
+                stability=float(self._batch.stability[row, k]),
+                kept_mass=float(self._batch.kept_mass[row, k]),
+                total_mass=float(self._batch.total_mass[row, k]),
+                significances={},
+            )
+            for k in range(self._batch.population.n_windows)
+        )
+        trajectory = StabilityTrajectory(customer_id=customer_id, records=records)
+        self._trajectories[customer_id] = trajectory
+        return trajectory
+
     @property
     def is_fitted(self) -> bool:
-        return self._trajectories is not None
+        return self._trajectories is not None or self._batch is not None
 
     def _fitted(self) -> dict[int, StabilityTrajectory]:
         if self._trajectories is None:
@@ -130,11 +260,21 @@ class StabilityModel:
 
     def customers(self) -> list[int]:
         """Sorted customers with a fitted trajectory."""
-        return sorted(self._fitted())
+        trajectories = self._fitted()
+        if self._batch is not None:
+            return [int(c) for c in self._batch.customer_ids]
+        return sorted(trajectories)
 
     def trajectory(self, customer_id: int) -> StabilityTrajectory:
-        """Stability trajectory of one fitted customer."""
+        """Stability trajectory of one fitted customer.
+
+        Under the batch backend trajectories materialise lazily from the
+        population arrays (and are cached); see the ``backend`` parameter
+        for what lazily-built records do and do not carry.
+        """
         trajectories = self._fitted()
+        if self._batch is not None and customer_id not in trajectories:
+            return self._batch_trajectory(customer_id)
         try:
             return trajectories[customer_id]
         except KeyError:
@@ -142,6 +282,18 @@ class StabilityModel:
 
     def stability_at(self, customer_id: int, window_index: int) -> float:
         """``Stability_i^k`` (``nan`` when undefined)."""
+        if self._batch is not None:
+            self._fitted()
+            try:
+                row = self._batch.row_of(customer_id)
+            except ConfigError:
+                raise DataError(f"customer {customer_id} was not fitted") from None
+            if not 0 <= window_index < self._batch.population.n_windows:
+                raise ConfigError(
+                    f"window index {window_index} out of range "
+                    f"[0, {self._batch.population.n_windows})"
+                )
+            return float(self._batch.stability[row, window_index])
         return self.trajectory(customer_id).at(window_index).stability
 
     def churn_scores(
@@ -150,19 +302,56 @@ class StabilityModel:
         """Churn score (``1 - stability``) per customer at a window.
 
         Higher means more likely defecting; undefined stability maps to a
-        neutral 0.5 (see :meth:`StabilityTrajectory.churn_score`).
+        neutral 0.5 (see :meth:`StabilityTrajectory.churn_score`).  Under
+        the batch backend the whole population is read off the stability
+        matrix in one vectorised slice.
         """
         selected = list(customers) if customers is not None else self.customers()
+        if self._batch is not None:
+            scores: dict[int, float] = {}
+            for customer_id in selected:
+                stability = self.stability_at(customer_id, window_index)
+                scores[customer_id] = (
+                    0.5 if math.isnan(stability) else 1.0 - stability
+                )
+            return scores
         return {
             customer_id: self.trajectory(customer_id).churn_score(window_index)
             for customer_id in selected
         }
 
+    def _snapshot_trajectory(self, customer_id: int) -> StabilityTrajectory:
+        """A trajectory with full significance snapshots, whatever backend.
+
+        The numpy backends drop per-window snapshots for speed; when the
+        explanation layer needs them this recomputes one customer through
+        the incremental engine (cached), using the log kept from
+        :meth:`fit`.
+        """
+        if self.backend == "incremental":
+            return self.trajectory(customer_id)
+        self.trajectory(customer_id)  # validates fitted state + customer id
+        if customer_id not in self._snapshot_cache:
+            assert self._fit_log is not None
+            windows = windowed_history(
+                self._fit_log.history(customer_id), self.grid
+            )
+            self._snapshot_cache[customer_id] = stability_trajectory(
+                customer_id,
+                windows,
+                significance=self.significance,
+                counting=self.counting,
+                item_weights=self.item_weights,
+            )
+        return self._snapshot_cache[customer_id]
+
     def explain(
         self, customer_id: int, window_index: int, top_k: int = 5
     ) -> DropExplanation:
         """Top-K most significant items the customer stopped buying."""
-        explanation = explain_window(self.trajectory(customer_id), window_index)
+        explanation = explain_window(
+            self._snapshot_trajectory(customer_id), window_index
+        )
         return DropExplanation(
             customer_id=explanation.customer_id,
             window_index=explanation.window_index,
@@ -188,6 +377,9 @@ class StabilityModel:
             ),
             self.n_windows,
         )
+        if self._batch is not None:
+            self._fitted()
+            return self._detect_batch(detector.beta, first_window)
         alarms = []
         for customer_id in self.customers():
             alarm = detector.first_alarm(
@@ -196,6 +388,25 @@ class StabilityModel:
             if alarm is not None:
                 alarms.append(alarm)
         return alarms
+
+    def _detect_batch(self, beta: float, first_window: int) -> list[Alarm]:
+        """Vectorised first-alarm scan over the batch stability matrix."""
+        assert self._batch is not None
+        stability = self._batch.stability[:, first_window:]
+        if stability.shape[1] == 0:
+            return []
+        with np.errstate(invalid="ignore"):
+            fired = ~np.isnan(stability) & (stability <= beta)
+        has_alarm = fired.any(axis=1)
+        first_offsets = np.argmax(fired, axis=1)
+        return [
+            Alarm(
+                customer_id=int(self._batch.customer_ids[row]),
+                window_index=int(first_window + first_offsets[row]),
+                stability=float(stability[row, first_offsets[row]]),
+            )
+            for row in np.flatnonzero(has_alarm)
+        ]
 
     def window_month(self, window_index: int) -> int:
         """Months elapsed at the end of a window (Figure 1's x axis)."""

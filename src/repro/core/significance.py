@@ -28,10 +28,11 @@ Two counting schemes are supported:
 from __future__ import annotations
 
 import math
+import warnings
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ConfigWarning
 
 __all__ = [
     "SignificanceFunction",
@@ -41,10 +42,37 @@ __all__ = [
     "ItemCounts",
     "SignificanceTracker",
     "COUNTING_SCHEMES",
+    "validate_alpha",
 ]
 
 #: Supported counting schemes for prior-window absences.
 COUNTING_SCHEMES = ("paper", "since-first-seen")
+
+
+def validate_alpha(alpha: float) -> float:
+    """Validate the exponential-significance base ``alpha``.
+
+    The paper requires ``alpha > 1`` so habitual items dominate.
+    ``alpha <= 0`` is rejected outright (the score is undefined);
+    ``0 < alpha <= 1`` is legal arithmetic but flattens (``alpha == 1``)
+    or inverts (``alpha < 1``) the significance ordering, so it emits a
+    :class:`~repro.errors.ConfigWarning` instead of silently proceeding.
+
+    Every entry point that accepts ``alpha`` — this module, the
+    vectorised kernels, the batch engine and :class:`StabilityModel` —
+    funnels through this single check so the behaviour stays consistent.
+    """
+    if alpha <= 0:
+        raise ConfigError(f"alpha must be positive, got {alpha}")
+    if alpha <= 1:
+        warnings.warn(
+            f"alpha={alpha:g} is outside the paper's alpha > 1 regime: "
+            "significance no longer favours habitual items "
+            "(alpha = 1 is flat, alpha < 1 inverts the ordering)",
+            ConfigWarning,
+            stacklevel=3,
+        )
+    return float(alpha)
 
 
 class SignificanceFunction:
@@ -93,8 +121,7 @@ class ExponentialSignificance(SignificanceFunction):
     _MAX_LOG: float = field(default=700.0, init=False, repr=False)
 
     def __post_init__(self) -> None:
-        if self.alpha <= 0:
-            raise ConfigError(f"alpha must be positive, got {self.alpha}")
+        validate_alpha(self.alpha)
 
     def score(self, c: int, l: int) -> float:
         log_score = (c - l) * math.log(self.alpha)
@@ -183,6 +210,15 @@ class SignificanceTracker:
         customer has ever bought.
         """
         return frozenset(self._presence)
+
+    def presence_counts(self) -> dict[int, int]:
+        """Per-item presence counts ``c``, in first-seen order.
+
+        Exposed so vectorised consumers (the streaming monitor's batched
+        window close) can lift the counts into arrays without one
+        :meth:`counts_of` call per item.  Treat as read-only.
+        """
+        return self._presence
 
     def counts_of(self, item: int) -> ItemCounts:
         """Current ``(c, l)`` counts for an item (zeros if never seen)."""

@@ -27,6 +27,9 @@ import math
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.core.batch import _segment_sum, significance_from_counts
 from repro.core.detector import Alarm
 from repro.core.significance import ExponentialSignificance, SignificanceFunction, SignificanceTracker
 from repro.core.windowing import WindowGrid
@@ -234,6 +237,15 @@ class StabilityMonitor:
     # Internals
     # ------------------------------------------------------------------
     def _close_current_window(self) -> WindowCloseReport:
+        if (
+            isinstance(self.significance, ExponentialSignificance)
+            and self.counting == "paper"
+        ):
+            return self._close_batched()
+        return self._close_python()
+
+    def _close_python(self) -> WindowCloseReport:
+        """Flexible close path: one significance snapshot per customer."""
         window_index = self._current_window
         stabilities: dict[int, float] = {}
         alarms: list[Alarm] = []
@@ -243,30 +255,110 @@ class StabilityMonitor:
             total = sum(snapshot.values())
             kept = sum(snapshot.get(item, 0.0) for item in state.current_items)
             stability = kept / total if total > 0 else math.nan
-            stabilities[customer_id] = stability
-            state.last_stability = stability
-            self._last_missing[customer_id] = {
-                item: sig
-                for item, sig in snapshot.items()
-                if item not in state.current_items and sig > 0.0
-            }
-            if (
-                window_index >= self.first_alarm_window
-                and not math.isnan(stability)
-                and stability <= self.beta
-            ):
-                alarms.append(
-                    Alarm(
-                        customer_id=customer_id,
-                        window_index=window_index,
-                        stability=stability,
-                    )
-                )
-            state.tracker.observe_window(state.current_items)
-            state.current_items = set()
+            self._record_close(
+                state, window_index, stability, stabilities, alarms,
+                missing={
+                    item: sig
+                    for item, sig in snapshot.items()
+                    if item not in state.current_items and sig > 0.0
+                },
+            )
         self._current_window += 1
         return WindowCloseReport(
             window_index=window_index,
             stabilities=stabilities,
             alarms=tuple(alarms),
         )
+
+    def _close_batched(self) -> WindowCloseReport:
+        """Default-config close path reusing the batch significance kernel.
+
+        All customers' per-item presence counts are flattened into one
+        array and scored with a single vectorised
+        :func:`~repro.core.batch.significance_from_counts` call plus
+        segment sums — instead of one ``math.exp`` per (customer, item).
+        The flattening preserves each tracker's dict order, so the sums
+        (and therefore the stabilities) are bit-identical to
+        :meth:`_close_python`.
+        """
+        window_index = self._current_window
+        customer_ids = sorted(self._states)
+        flat_items: list[int] = []
+        flat_counts: list[int] = []
+        flat_kept: list[bool] = []
+        n_observed: list[int] = []
+        offsets = [0]
+        for customer_id in customer_ids:
+            state = self._states[customer_id]
+            current = state.current_items
+            for item, count in state.tracker.presence_counts().items():
+                flat_items.append(item)
+                flat_counts.append(count)
+                flat_kept.append(item in current)
+            n_observed.append(state.tracker.n_windows_observed)
+            offsets.append(len(flat_counts))
+        offsets_arr = np.asarray(offsets, dtype=np.int64)
+        counts = np.asarray(flat_counts, dtype=np.float64)
+        kept_mask = np.asarray(flat_kept, dtype=np.float64)
+        # Each tracker counts windows since its own registration, so the
+        # prior-window count k is per customer, broadcast over its items.
+        k_per_item = np.repeat(
+            np.asarray(n_observed, dtype=np.float64), np.diff(offsets_arr)
+        )
+        significance = significance_from_counts(
+            counts, k_per_item, self.significance.alpha
+        )
+        total = _segment_sum(significance, offsets_arr)
+        kept = _segment_sum(significance * kept_mask, offsets_arr)
+
+        stabilities: dict[int, float] = {}
+        alarms: list[Alarm] = []
+        for i, customer_id in enumerate(customer_ids):
+            state = self._states[customer_id]
+            stability = kept[i] / total[i] if total[i] > 0 else math.nan
+            lo, hi = offsets[i], offsets[i + 1]
+            self._record_close(
+                state, window_index, stability, stabilities, alarms,
+                missing={
+                    item: float(sig)
+                    for item, sig, was_kept in zip(
+                        flat_items[lo:hi], significance[lo:hi], flat_kept[lo:hi]
+                    )
+                    if not was_kept and sig > 0.0
+                },
+            )
+        self._current_window += 1
+        return WindowCloseReport(
+            window_index=window_index,
+            stabilities=stabilities,
+            alarms=tuple(alarms),
+        )
+
+    def _record_close(
+        self,
+        state: CustomerState,
+        window_index: int,
+        stability: float,
+        stabilities: dict[int, float],
+        alarms: list[Alarm],
+        missing: dict[int, float],
+    ) -> None:
+        """Shared bookkeeping for one customer at window close."""
+        stability = float(stability)
+        stabilities[state.customer_id] = stability
+        state.last_stability = stability
+        self._last_missing[state.customer_id] = missing
+        if (
+            window_index >= self.first_alarm_window
+            and not math.isnan(stability)
+            and stability <= self.beta
+        ):
+            alarms.append(
+                Alarm(
+                    customer_id=state.customer_id,
+                    window_index=window_index,
+                    stability=stability,
+                )
+            )
+        state.tracker.observe_window(state.current_items)
+        state.current_items = set()

@@ -22,7 +22,9 @@ The module exists for two reasons:
    agreement on random inputs.
 
 Only the exponential significance and the ``"paper"`` counting scheme are
-supported; the flexible engine remains :mod:`repro.core.stability`.
+supported; the flexible engine remains :mod:`repro.core.stability`, and
+the population-scale batched implementation (whole log, all customers ×
+all windows at once) lives in :mod:`repro.core.batch`.
 """
 
 from __future__ import annotations
@@ -32,10 +34,10 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.significance import validate_alpha
 from repro.core.stability import StabilityTrajectory, stability_trajectory
-from repro.core.windowing import Window, WindowGrid, windowed_history
+from repro.core.windowing import Window, WindowGrid
 from repro.data.transactions import TransactionLog
-from repro.errors import ConfigError
 
 __all__ = ["vectorized_stability", "vectorized_churn_scores"]
 
@@ -53,14 +55,23 @@ def vectorized_stability(
     :func:`~repro.core.stability.stability_trajectory` under the paper's
     counting scheme is guaranteed (and tested).
     """
-    if alpha <= 0:
-        raise ConfigError(f"alpha must be positive, got {alpha}")
+    stability, _, _ = _vectorized_masses(windows, alpha)
+    return stability
+
+
+def _vectorized_masses(
+    windows: Sequence[Window], alpha: float = 2.0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(stability, kept_mass, total_mass)`` arrays for one customer."""
+    validate_alpha(alpha)
     n_windows = len(windows)
     if n_windows == 0:
-        return np.empty(0, dtype=np.float64)
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty.copy(), empty.copy()
     items = sorted({item for window in windows for item in window.items})
     if not items:
-        return np.full(n_windows, np.nan)
+        zeros = np.zeros(n_windows, dtype=np.float64)
+        return np.full(n_windows, np.nan), zeros, zeros.copy()
     index_of = {item: i for i, item in enumerate(items)}
     presence = np.zeros((len(items), n_windows), dtype=np.float64)
     for k, window in enumerate(windows):
@@ -82,7 +93,7 @@ def vectorized_stability(
     kept = (significance * presence).sum(axis=0)
     with np.errstate(invalid="ignore", divide="ignore"):
         stability = np.where(total > 0.0, kept / total, np.nan)
-    return stability
+    return stability, kept, total
 
 
 def vectorized_churn_scores(
@@ -97,18 +108,17 @@ def vectorized_churn_scores(
     Drop-in fast path for
     :meth:`repro.core.model.StabilityModel.churn_scores` with default
     settings; undefined stability maps to the same neutral 0.5.
+
+    Routed through the population batch engine
+    (:func:`repro.core.batch.batch_churn_scores`): the cumulative-count
+    math is sliced at ``window_index``, so no customer's full trajectory
+    is recomputed just to read one window's score.
     """
-    if not 0 <= window_index < grid.n_windows:
-        raise ConfigError(
-            f"window index {window_index} out of range [0, {grid.n_windows})"
-        )
-    selected = list(customers) if customers is not None else log.customers()
-    scores: dict[int, float] = {}
-    for customer_id in selected:
-        windows = windowed_history(log.history(customer_id), grid)
-        stability = vectorized_stability(windows, alpha=alpha)[window_index]
-        scores[customer_id] = 0.5 if math.isnan(stability) else 1.0 - float(stability)
-    return scores
+    from repro.core.batch import batch_churn_scores
+
+    return batch_churn_scores(
+        log, grid, window_index, customers=customers, alpha=alpha
+    )
 
 
 def reference_stability(

@@ -25,7 +25,7 @@ from repro.data.streams import (
 )
 from repro.data.store import EventStore
 from repro.data.taxonomy import Taxonomy, TaxonomyNode
-from repro.data.transactions import TransactionLog
+from repro.data.transactions import ColumnarLog, TransactionLog
 from repro.data.validation import DatasetBundle, validate_bundle
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "StudyCalendar",
     "Taxonomy",
     "TaxonomyNode",
+    "ColumnarLog",
     "TransactionLog",
     "validate_bundle",
 ]

@@ -9,12 +9,58 @@ abstraction operations the evaluation pipeline needs.
 from __future__ import annotations
 
 import bisect
+import itertools
 from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.data.basket import Basket
 from repro.errors import DataError
 
-__all__ = ["TransactionLog"]
+__all__ = ["ColumnarLog", "TransactionLog"]
+
+
+@dataclass(frozen=True)
+class ColumnarLog:
+    """Flat columnar view of a :class:`TransactionLog` (CSR by customer).
+
+    One row per *(basket, item)* incidence, customer-major and day-sorted
+    within each customer — the encoding the population-scale batch engine
+    (:mod:`repro.core.batch`) consumes without touching Python objects
+    again.
+
+    Attributes
+    ----------
+    customer_ids:
+        Distinct customer ids, ascending, shape ``(n_customers,)``.
+    offsets:
+        CSR offsets, shape ``(n_customers + 1,)``: customer ``i``'s rows
+        are ``days[offsets[i]:offsets[i+1]]`` / ``items[...]``.
+    days:
+        Day offset of each incidence (non-decreasing per customer).
+    items:
+        Raw item id of each incidence.
+    """
+
+    customer_ids: np.ndarray
+    offsets: np.ndarray
+    days: np.ndarray
+    items: np.ndarray
+
+    @property
+    def n_customers(self) -> int:
+        return len(self.customer_ids)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.days)
+
+    def customer_rows(self) -> np.ndarray:
+        """Row index of the owning customer for every incidence."""
+        return np.repeat(
+            np.arange(self.n_customers, dtype=np.int64), np.diff(self.offsets)
+        )
 
 
 class TransactionLog:
@@ -126,6 +172,50 @@ class TransactionLog:
     def total_monetary(self) -> float:
         """Sum of monetary values over all baskets."""
         return sum(b.monetary for b in self)
+
+    def to_columnar(self, customers: Iterable[int] | None = None) -> ColumnarLog:
+        """Encode the log (or a customer subset) as flat columnar arrays.
+
+        The single pass over basket objects happens here; everything
+        downstream (windowing, significance, stability) can then run as
+        numpy array operations.  See :class:`ColumnarLog`.
+
+        Raises
+        ------
+        DataError
+            If an explicitly requested customer has no baskets.
+        """
+        if customers is not None:
+            selected = sorted(set(customers))
+            missing = [c for c in selected if c not in self._histories]
+            if missing:
+                raise DataError(f"unknown customer_id: {missing[0]}")
+        else:
+            selected = self.customers()
+        # Python touches each *basket* once; the per-item expansion happens
+        # in numpy (repeat/fromiter), which is what keeps encoding cheap
+        # relative to the per-customer engines.
+        basket_days: list[int] = []
+        basket_sizes: list[int] = []
+        item_sets: list[frozenset[int]] = []
+        offsets = [0]
+        n_rows = 0
+        for customer_id in selected:
+            for basket in self._histories[customer_id]:
+                basket_days.append(basket.day)
+                basket_sizes.append(len(basket.items))
+                item_sets.append(basket.items)
+                n_rows += len(basket.items)
+            offsets.append(n_rows)
+        sizes = np.asarray(basket_sizes, dtype=np.int64)
+        return ColumnarLog(
+            customer_ids=np.asarray(selected, dtype=np.int64),
+            offsets=np.asarray(offsets, dtype=np.int64),
+            days=np.repeat(np.asarray(basket_days, dtype=np.int64), sizes),
+            items=np.fromiter(
+                itertools.chain.from_iterable(item_sets), np.int64, count=n_rows
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Transformation

@@ -16,6 +16,12 @@ class ConfigError(ReproError):
     """A configuration value is invalid (bad parameter, bad combination)."""
 
 
+class ConfigWarning(UserWarning):
+    """A configuration value is legal but almost certainly not what the
+    paper intends (e.g. ``alpha <= 1``, which flattens or inverts the
+    significance ordering)."""
+
+
 class DataError(ReproError):
     """Input data is malformed or inconsistent."""
 

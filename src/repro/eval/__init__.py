@@ -16,6 +16,12 @@ from repro.eval.ablations import (
     significance_function_sweep,
     window_sweep,
 )
+from repro.eval.benchmarking import (
+    render_scaling,
+    scaling_telemetry,
+    time_fit,
+    write_scaling_json,
+)
 from repro.eval.campaign import CampaignComparison, CampaignPoint, compare_models
 from repro.eval.customer_report import (
     CustomerReport,
@@ -67,6 +73,10 @@ __all__ = [
     "figure1_variance",
     "calibrate_beta",
     "compare_models",
+    "render_scaling",
+    "scaling_telemetry",
+    "time_fit",
+    "write_scaling_json",
     "detection_delay",
     "mechanism_crossover",
     "vacation_sensitivity",

@@ -1,0 +1,138 @@
+"""Backend fit-time telemetry: the perf trajectory between PRs.
+
+One machine-readable artifact (``BENCH_scaling.json``) records, per
+population size, how long each :class:`~repro.core.model.StabilityModel`
+backend takes to fit — so a future PR that touches the hot path has a
+baseline to compare against.  Both the ``bench`` CLI subcommand and
+``benchmarks/bench_scaling.py`` build their payloads here.
+
+Timing protocol: best-of-``repeat`` wall-clock on a freshly constructed
+model (so no backend benefits from caches), dataset generation excluded.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core.model import BACKENDS, StabilityModel
+from repro.errors import ConfigError
+from repro.synth import ScenarioConfig, generate_dataset
+
+__all__ = ["time_fit", "scaling_telemetry", "write_scaling_json", "render_scaling"]
+
+
+def time_fit(
+    dataset,
+    backend: str,
+    repeat: int = 3,
+    n_jobs: int = 1,
+    window_months: int = 2,
+    alpha: float = 2.0,
+) -> float:
+    """Best-of-``repeat`` seconds to fit one backend on a dataset."""
+    if repeat < 1:
+        raise ConfigError(f"repeat must be >= 1, got {repeat}")
+    best = float("inf")
+    for _ in range(repeat):
+        model = StabilityModel(
+            dataset.calendar,
+            window_months=window_months,
+            alpha=alpha,
+            backend=backend,
+            n_jobs=n_jobs if backend == "batch" else 1,
+        )
+        start = time.perf_counter()
+        model.fit(dataset.log)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def scaling_telemetry(
+    sizes: Sequence[int] = (25, 50, 100, 200),
+    seed: int = 13,
+    backends: Sequence[str] = BACKENDS,
+    repeat: int = 3,
+    n_jobs: int = 1,
+    window_months: int = 2,
+    alpha: float = 2.0,
+) -> dict:
+    """Fit-time telemetry across population sizes and backends.
+
+    ``sizes`` are per-cohort counts (total customers = ``2 * size``:
+    loyal + churners, mirroring the paper's scenario generator).
+    """
+    unknown = [b for b in backends if b not in BACKENDS]
+    if unknown:
+        raise ConfigError(f"unknown backends {unknown}; expected subset of {BACKENDS}")
+    results = []
+    for size in sizes:
+        start = time.perf_counter()
+        dataset = generate_dataset(
+            ScenarioConfig(n_loyal=size, n_churners=size, seed=seed)
+        )
+        generate_seconds = time.perf_counter() - start
+        n_customers = dataset.log.n_customers
+        per_backend = {}
+        for backend in backends:
+            seconds = time_fit(
+                dataset,
+                backend,
+                repeat=repeat,
+                n_jobs=n_jobs,
+                window_months=window_months,
+                alpha=alpha,
+            )
+            per_backend[backend] = {
+                "fit_seconds": seconds,
+                "ms_per_customer": seconds / n_customers * 1e3,
+            }
+        entry = {
+            "customers": n_customers,
+            "receipts": dataset.log.n_baskets,
+            "generate_seconds": generate_seconds,
+            "backends": per_backend,
+        }
+        if "incremental" in per_backend and "batch" in per_backend:
+            entry["speedup_batch_vs_incremental"] = (
+                per_backend["incremental"]["fit_seconds"]
+                / per_backend["batch"]["fit_seconds"]
+            )
+        results.append(entry)
+    return {
+        "benchmark": "stability_fit_scaling",
+        "schema_version": 1,
+        "window_months": window_months,
+        "alpha": alpha,
+        "seed": seed,
+        "n_jobs": n_jobs,
+        "repeat": repeat,
+        "sizes_customers": [entry["customers"] for entry in results],
+        "results": results,
+    }
+
+
+def write_scaling_json(path: Path | str, telemetry: dict) -> None:
+    """Persist telemetry as indented JSON (stable key order for diffs)."""
+    Path(path).write_text(json.dumps(telemetry, indent=2, sort_keys=True) + "\n")
+
+
+def render_scaling(telemetry: dict) -> str:
+    """Human-readable table of one telemetry payload."""
+    from repro.eval.reporting import format_table
+
+    backends = list(telemetry["results"][0]["backends"]) if telemetry["results"] else []
+    header = ("customers", "receipts") + tuple(f"{b} s" for b in backends) + ("speedup",)
+    rows = []
+    for entry in telemetry["results"]:
+        speedup = entry.get("speedup_batch_vs_incremental")
+        rows.append(
+            (entry["customers"], entry["receipts"])
+            + tuple(
+                f"{entry['backends'][b]['fit_seconds']:.3f}" for b in backends
+            )
+            + (f"{speedup:.1f}x" if speedup is not None else "-",)
+        )
+    return format_table(header, rows)

@@ -1,0 +1,320 @@
+"""Tests for repro.core.batch — the population-scale stability engine.
+
+The repo's invariant is *two independent implementations cross-check each
+other*; with the batch engine there are three.  The differential tests
+here assert that incremental, per-customer vectorized and population
+batch agree on every (customer, window) cell — including all-NaN
+prefixes, single-item customers, empty windows and histories long enough
+to hit the ``_MAX_LOG`` saturation cap.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    _segment_sum,
+    batch_churn_scores,
+    encode_population,
+    significance_from_counts,
+    stability_matrix,
+)
+from repro.core.significance import ExponentialSignificance
+from repro.core.stability import stability_trajectory
+from repro.core.vectorized import vectorized_stability
+from repro.core.windowing import WindowGrid, windowed_history
+from repro.data.basket import Basket
+from repro.data.transactions import TransactionLog
+from repro.errors import ConfigError, ConfigWarning, DataError
+
+
+def _random_log(
+    rng: random.Random,
+    n_customers: int,
+    n_days: int,
+    item_pool: int,
+    max_baskets: int = 30,
+) -> TransactionLog:
+    log = TransactionLog()
+    for customer in range(n_customers):
+        for _ in range(rng.randint(1, max_baskets)):
+            log.add(
+                Basket.of(
+                    customer_id=customer,
+                    day=rng.randrange(n_days),
+                    items=rng.sample(
+                        range(item_pool), rng.randint(0, min(4, item_pool))
+                    ),
+                )
+            )
+    return log
+
+
+def _assert_cell_equal(fast: float, reference: float) -> None:
+    if math.isnan(reference):
+        assert math.isnan(fast)
+    else:
+        assert fast == pytest.approx(reference, abs=1e-12)
+
+
+def _assert_all_backends_agree(log: TransactionLog, grid: WindowGrid, alpha: float):
+    result = stability_matrix(encode_population(log, grid), alpha=alpha)
+    assert list(result.customer_ids) == log.customers()
+    for row, customer_id in enumerate(result.customer_ids):
+        windows = windowed_history(log.history(int(customer_id)), grid)
+        reference = stability_trajectory(
+            int(customer_id), windows, significance=ExponentialSignificance(alpha)
+        )
+        per_customer = vectorized_stability(windows, alpha=alpha)
+        for k, slow in enumerate(reference.values()):
+            _assert_cell_equal(result.stability[row, k], slow)
+            _assert_cell_equal(per_customer[k], slow)
+
+
+class TestDifferential:
+    def test_randomized_histories_agree_across_backends(self):
+        """Seeded fuzz loop: three implementations, one definition."""
+        rng = random.Random(20160315)
+        grid = WindowGrid.daily(total_days=120, days_per_window=10)
+        for _ in range(25):
+            log = _random_log(
+                rng,
+                n_customers=rng.randint(1, 8),
+                n_days=120,
+                item_pool=rng.randint(1, 7),
+            )
+            alpha = rng.choice([1.5, 2.0, 3.0])
+            _assert_all_backends_agree(log, grid, alpha)
+
+    def test_all_nan_prefix_and_empty_windows(self):
+        """A customer silent until late: NaN until first purchase lands."""
+        log = TransactionLog()
+        log.add(Basket.of(customer_id=1, day=45, items=[7]))
+        log.add(Basket.of(customer_id=1, day=55, items=[7]))
+        grid = WindowGrid.daily(total_days=80, days_per_window=10)
+        result = stability_matrix(encode_population(log, grid))
+        # Windows 0..4 have no prior mass (prior purchases start in w4).
+        assert all(math.isnan(v) for v in result.stability[0, :5])
+        assert result.stability[0, 5] == 1.0
+        _assert_all_backends_agree(log, grid, 2.0)
+
+    def test_single_item_customers(self):
+        log = TransactionLog()
+        for day in range(0, 60, 10):
+            log.add(Basket.of(customer_id=3, day=day, items=[42]))
+        grid = WindowGrid.daily(total_days=60, days_per_window=10)
+        _assert_all_backends_agree(log, grid, 2.0)
+
+    def test_long_history_hits_saturation_cap(self):
+        """alpha ** margin overflows double range; the cap must agree."""
+        log = TransactionLog()
+        for day in range(1500):
+            log.add(Basket.of(customer_id=1, day=day, items=[1, 2]))
+        log.add(Basket.of(customer_id=1, day=1500, items=[1]))
+        grid = WindowGrid.daily(total_days=1502, days_per_window=1)
+        result = stability_matrix(encode_population(log, grid), alpha=8.0)
+        assert result.stability[0, 1500] == pytest.approx(0.5)
+        reference = stability_trajectory(
+            1,
+            windowed_history(log.history(1), grid),
+            significance=ExponentialSignificance(8.0),
+        )
+        for k, slow in enumerate(reference.values()):
+            _assert_cell_equal(result.stability[0, k], slow)
+
+    def test_lexsort_fallback_for_huge_item_ids(self):
+        """Item ids too large for the packed-key fast path."""
+        rng = random.Random(7)
+        log = TransactionLog()
+        big_items = [2**40 + 1, 2**41 + 3, 2**45 + 5]
+        for customer in range(4):
+            for _ in range(12):
+                log.add(
+                    Basket.of(
+                        customer_id=customer,
+                        day=rng.randrange(60),
+                        items=rng.sample(big_items, rng.randint(1, 2)),
+                    )
+                )
+        grid = WindowGrid.daily(total_days=60, days_per_window=10)
+        _assert_all_backends_agree(log, grid, 2.0)
+
+
+class TestEncoding:
+    @pytest.fixture()
+    def log(self) -> TransactionLog:
+        log = TransactionLog()
+        log.add(Basket.of(customer_id=1, day=0, items=[5, 6]))
+        log.add(Basket.of(customer_id=1, day=3, items=[5]))
+        log.add(Basket.of(customer_id=2, day=25, items=[6]))
+        log.add(Basket.of(customer_id=9, day=999, items=[8]))  # off-grid
+        return log
+
+    def test_structure(self, log):
+        grid = WindowGrid.daily(total_days=30, days_per_window=10)
+        population = encode_population(log, grid)
+        assert list(population.customer_ids) == [1, 2, 9]
+        assert population.n_windows == 3
+        # Customer 1 owns pairs for items 5 and 6; customer 9 none in-grid.
+        assert list(population.pair_offsets) == [0, 2, 3, 3]
+        assert list(population.pair_items) == [5, 6, 6]
+        # Item 5 present in window 0 only (days 0 and 3 dedupe to one window).
+        assert list(population.triple_window[0:1]) == [0]
+        assert list(population.item_vocab) == [5, 6]
+
+    def test_window_items_reconstruction(self, log):
+        grid = WindowGrid.daily(total_days=30, days_per_window=10)
+        population = encode_population(log, grid)
+        assert population.window_items(0) == [
+            frozenset({5, 6}),
+            frozenset(),
+            frozenset(),
+        ]
+        assert population.window_items(2) == [frozenset()] * 3
+
+    def test_customer_subset_and_unknown(self, log):
+        grid = WindowGrid.daily(total_days=30, days_per_window=10)
+        population = encode_population(log, grid, customers=[2])
+        assert list(population.customer_ids) == [2]
+        with pytest.raises(DataError):
+            encode_population(log, grid, customers=[777])
+
+    def test_shard_roundtrip(self, log):
+        grid = WindowGrid.daily(total_days=30, days_per_window=10)
+        population = encode_population(log, grid)
+        full = stability_matrix(population).stability
+        parts = [
+            stability_matrix(population.shard(i, i + 1)).stability
+            for i in range(population.n_customers)
+        ]
+        np.testing.assert_array_equal(np.vstack(parts), full)
+
+
+class TestSegmentSum:
+    def test_middle_empty_segment_does_not_corrupt_neighbours(self):
+        """Regression: naive reduceat clamping broke the segment *before*
+        an empty one."""
+        values = np.array([1.0, 2.0])
+        offsets = np.array([0, 0, 2, 2])
+        np.testing.assert_array_equal(
+            _segment_sum(values, offsets), np.array([0.0, 3.0, 0.0])
+        )
+
+    def test_all_empty(self):
+        out = _segment_sum(np.empty((0, 4)), np.array([0, 0, 0]))
+        assert out.shape == (2, 4)
+        assert (out == 0).all()
+
+    def test_two_dimensional(self):
+        values = np.arange(8, dtype=float).reshape(4, 2)
+        offsets = np.array([0, 1, 4])
+        np.testing.assert_array_equal(
+            _segment_sum(values, offsets), np.array([[0.0, 1.0], [12.0, 15.0]])
+        )
+
+
+class TestSignificanceKernel:
+    def test_matches_scalar_rule(self):
+        rule = ExponentialSignificance(alpha=3.0)
+        counts = np.array([0, 1, 2, 5, 6])
+        k = 6
+        got = significance_from_counts(counts, k, alpha=3.0)
+        expected = [rule(int(c), k - int(c)) for c in counts]
+        np.testing.assert_allclose(got, expected, rtol=0, atol=0)
+
+    def test_per_element_prior_windows(self):
+        got = significance_from_counts(
+            np.array([1.0, 1.0]), np.array([2.0, 4.0]), alpha=2.0
+        )
+        np.testing.assert_array_equal(got, [1.0, 0.25])
+
+    def test_saturation_cap(self):
+        huge = significance_from_counts(np.array([2000.0]), 0, alpha=2.0)
+        assert np.isfinite(huge[0])
+        assert huge[0] == math.exp(700.0)
+
+
+class TestBatchChurnScores:
+    @pytest.fixture()
+    def log(self) -> TransactionLog:
+        rng = random.Random(11)
+        return _random_log(rng, n_customers=6, n_days=50, item_pool=5)
+
+    def test_matches_trajectory_engine(self, log):
+        grid = WindowGrid.daily(total_days=50, days_per_window=10)
+        scores = batch_churn_scores(log, grid, window_index=4)
+        for customer_id in log.customers():
+            trajectory = stability_trajectory(
+                customer_id, windowed_history(log.history(customer_id), grid)
+            )
+            assert scores[customer_id] == pytest.approx(
+                trajectory.churn_score(4), abs=1e-12
+            )
+
+    def test_bad_window_rejected(self, log):
+        grid = WindowGrid.daily(total_days=50, days_per_window=10)
+        with pytest.raises(ConfigError):
+            batch_churn_scores(log, grid, window_index=99)
+
+    def test_unknown_customer_rejected(self, log):
+        grid = WindowGrid.daily(total_days=50, days_per_window=10)
+        with pytest.raises(DataError):
+            batch_churn_scores(log, grid, 4, customers=[424242])
+
+    def test_subset(self, log):
+        grid = WindowGrid.daily(total_days=50, days_per_window=10)
+        scores = batch_churn_scores(log, grid, 4, customers=[2, 4])
+        assert set(scores) == {2, 4}
+
+
+class TestParallelFit:
+    def test_n_jobs_identical_to_serial(self):
+        rng = random.Random(5)
+        log = _random_log(rng, n_customers=9, n_days=60, item_pool=6)
+        grid = WindowGrid.daily(total_days=60, days_per_window=10)
+        population = encode_population(log, grid)
+        serial = stability_matrix(population, n_jobs=1)
+        parallel = stability_matrix(population, n_jobs=3)
+        np.testing.assert_array_equal(serial.stability, parallel.stability)
+        np.testing.assert_array_equal(serial.kept_mass, parallel.kept_mass)
+        np.testing.assert_array_equal(serial.total_mass, parallel.total_mass)
+
+    def test_bad_n_jobs_rejected(self):
+        log = TransactionLog()
+        log.add(Basket.of(customer_id=1, day=0, items=[1]))
+        grid = WindowGrid.daily(total_days=10, days_per_window=10)
+        population = encode_population(log, grid)
+        with pytest.raises(ConfigError):
+            stability_matrix(population, n_jobs=0)
+
+    def test_more_jobs_than_customers(self):
+        log = TransactionLog()
+        log.add(Basket.of(customer_id=1, day=0, items=[1]))
+        log.add(Basket.of(customer_id=1, day=12, items=[1]))
+        grid = WindowGrid.daily(total_days=20, days_per_window=10)
+        population = encode_population(log, grid)
+        result = stability_matrix(population, n_jobs=8)  # falls back to serial
+        assert result.stability.shape == (1, 2)
+
+
+class TestAlphaValidation:
+    def test_nonpositive_alpha_rejected(self):
+        log = TransactionLog()
+        log.add(Basket.of(customer_id=1, day=0, items=[1]))
+        grid = WindowGrid.daily(total_days=10, days_per_window=10)
+        with pytest.raises(ConfigError):
+            stability_matrix(encode_population(log, grid), alpha=0.0)
+
+    def test_alpha_at_most_one_warns(self):
+        log = TransactionLog()
+        log.add(Basket.of(customer_id=1, day=0, items=[1]))
+        grid = WindowGrid.daily(total_days=10, days_per_window=10)
+        population = encode_population(log, grid)
+        with pytest.warns(ConfigWarning):
+            stability_matrix(population, alpha=1.0)
+        with pytest.warns(ConfigWarning):
+            batch_churn_scores(log, grid, 0, alpha=0.5)

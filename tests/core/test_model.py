@@ -115,6 +115,119 @@ class TestQueries:
         assert model.detect(beta=0.5) == []
 
 
+def _churn_log(calendar) -> TransactionLog:
+    log = TransactionLog()
+    for month in range(28):
+        day = calendar.month_start_day(month)
+        items = [1, 2] if month < 18 else [1]
+        log.add(Basket.of(customer_id=1, day=day, items=items))
+        log.add(Basket.of(customer_id=2, day=day, items=[3, 4]))
+    return log
+
+
+class TestBackends:
+    def test_unknown_backend_rejected(self, calendar):
+        with pytest.raises(ConfigError, match="backend"):
+            StabilityModel(calendar, backend="gpu")
+
+    def test_custom_significance_requires_incremental(self, calendar):
+        with pytest.raises(ConfigError):
+            StabilityModel(
+                calendar,
+                significance=FrequencyRatioSignificance(),
+                backend="batch",
+            )
+
+    def test_custom_counting_requires_incremental(self, calendar):
+        with pytest.raises(ConfigError):
+            StabilityModel(calendar, counting="since-first-seen", backend="batch")
+
+    def test_item_weights_require_incremental(self, calendar):
+        with pytest.raises(ConfigError):
+            StabilityModel(calendar, item_weights={1: 2.0}, backend="vectorized")
+
+    def test_n_jobs_requires_batch(self, calendar):
+        with pytest.raises(ConfigError):
+            StabilityModel(calendar, backend="vectorized", n_jobs=2)
+
+    @pytest.mark.parametrize("backend", ["vectorized", "batch"])
+    def test_trajectories_match_incremental(self, calendar, backend):
+        log = _churn_log(calendar)
+        reference = StabilityModel(calendar, window_months=2).fit(log)
+        fast = StabilityModel(calendar, window_months=2, backend=backend).fit(log)
+        assert fast.customers() == reference.customers()
+        for customer in reference.customers():
+            slow_t = reference.trajectory(customer)
+            fast_t = fast.trajectory(customer)
+            for k in range(reference.n_windows):
+                slow = slow_t.at(k).stability
+                if math.isnan(slow):
+                    assert math.isnan(fast_t.at(k).stability)
+                else:
+                    assert fast_t.at(k).stability == pytest.approx(
+                        slow, abs=1e-12
+                    )
+
+    @pytest.mark.parametrize("backend", ["vectorized", "batch"])
+    def test_churn_scores_and_detect_match(self, calendar, backend):
+        log = _churn_log(calendar)
+        reference = StabilityModel(calendar, window_months=2).fit(log)
+        fast = StabilityModel(calendar, window_months=2, backend=backend).fit(log)
+        for k in range(reference.n_windows):
+            slow = reference.churn_scores(k)
+            quick = fast.churn_scores(k)
+            assert set(quick) == set(slow)
+            for customer, score in slow.items():
+                assert quick[customer] == pytest.approx(score, abs=1e-12)
+        slow_alarms = reference.detect(beta=0.7)
+        fast_alarms = fast.detect(beta=0.7)
+        assert [(a.customer_id, a.window_index) for a in fast_alarms] == [
+            (a.customer_id, a.window_index) for a in slow_alarms
+        ]
+        for fast_alarm, slow_alarm in zip(fast_alarms, slow_alarms):
+            assert fast_alarm.stability == pytest.approx(
+                slow_alarm.stability, abs=1e-12
+            )
+
+    def test_batch_explain_matches_incremental(self, calendar):
+        log = _churn_log(calendar)
+        reference = StabilityModel(calendar, window_months=2).fit(log)
+        fast = StabilityModel(calendar, window_months=2, backend="batch").fit(log)
+        k = next(
+            k
+            for k in range(reference.n_windows)
+            if reference.stability_at(1, k) < 1.0
+        )
+        slow = reference.explain(1, k)
+        quick = fast.explain(1, k)
+        assert quick.stability == pytest.approx(slow.stability, abs=1e-12)
+        assert [m.item for m in quick.missing] == [m.item for m in slow.missing]
+
+    def test_batch_trajectory_is_cached(self, calendar):
+        model = StabilityModel(calendar, backend="batch").fit(_churn_log(calendar))
+        assert model.trajectory(1) is model.trajectory(1)
+
+    def test_batch_unknown_customer(self, calendar):
+        model = StabilityModel(calendar, backend="batch").fit(_churn_log(calendar))
+        with pytest.raises(DataError, match="not fitted"):
+            model.trajectory(999)
+
+    def test_batch_unfitted_raises(self, calendar):
+        model = StabilityModel(calendar, backend="batch")
+        with pytest.raises(NotFittedError):
+            model.customers()
+
+    def test_parallel_fit_matches_serial(self, calendar):
+        log = _churn_log(calendar)
+        serial = StabilityModel(calendar, backend="batch").fit(log)
+        parallel = StabilityModel(calendar, backend="batch", n_jobs=2).fit(log)
+        for customer in serial.customers():
+            for k in range(serial.n_windows):
+                a = serial.stability_at(customer, k)
+                b = parallel.stability_at(customer, k)
+                assert (math.isnan(a) and math.isnan(b)) or a == b
+
+
 class TestEndToEndDrop:
     def test_dropping_an_item_lowers_stability_and_names_it(self, calendar):
         log = TransactionLog()

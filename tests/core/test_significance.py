@@ -14,7 +14,7 @@ from repro.core.significance import (
     LinearSignificance,
     SignificanceTracker,
 )
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ConfigWarning
 
 
 class TestExponentialSignificance:
@@ -28,13 +28,18 @@ class TestExponentialSignificance:
         assert sig(c=0, l=5) == 0.0
 
     def test_alpha_one_is_flat(self):
-        sig = ExponentialSignificance(alpha=1.0)
+        with pytest.warns(ConfigWarning):
+            sig = ExponentialSignificance(alpha=1.0)
         assert sig(c=5, l=0) == 1.0
         assert sig(c=1, l=4) == 1.0
 
     def test_nonpositive_alpha_rejected(self):
         with pytest.raises(ConfigError):
             ExponentialSignificance(alpha=0.0)
+
+    def test_alpha_below_one_warns(self):
+        with pytest.warns(ConfigWarning, match="alpha"):
+            ExponentialSignificance(alpha=0.5)
 
     def test_negative_counts_rejected(self):
         with pytest.raises(ConfigError):

@@ -141,6 +141,35 @@ class TestRegistration:
 
 
 class TestBatchEquivalence:
+    def test_python_fallback_matches_incremental_model(self, calendar, small_dataset):
+        """Non-exponential significance routes through the pure-Python
+        close path and must still match the incremental model."""
+        from repro.core.significance import FrequencyRatioSignificance
+
+        customers = small_dataset.log.customers()[:6]
+        log = small_dataset.log.filter_customers(customers)
+        significance = FrequencyRatioSignificance()
+        model = StabilityModel(
+            calendar, window_months=2, significance=significance
+        ).fit(log)
+
+        monitor = StabilityMonitor(model.grid, significance=significance)
+        for customer in customers:
+            monitor.register(customer)
+        reports = monitor.ingest_many(sorted(log, key=lambda b: b.day))
+        reports += monitor.finish()
+
+        by_window = {r.window_index: r for r in reports}
+        for customer in customers:
+            trajectory = model.trajectory(customer)
+            for k in range(model.n_windows):
+                expected = trajectory.at(k).stability
+                streamed = by_window[k].stabilities[customer]
+                if math.isnan(expected):
+                    assert math.isnan(streamed)
+                else:
+                    assert streamed == pytest.approx(expected)
+
     def test_matches_stability_model(self, calendar, small_dataset):
         """The streaming monitor must reproduce the batch model exactly."""
         customers = small_dataset.log.customers()[:12]

@@ -18,7 +18,7 @@ from repro.core.vectorized import (
 from repro.core.windowing import Window, WindowGrid
 from repro.data.basket import Basket
 from repro.data.transactions import TransactionLog
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ConfigWarning
 
 
 def _windows(item_sets) -> list[Window]:
@@ -62,6 +62,10 @@ class TestAgainstReference:
     def test_invalid_alpha(self):
         with pytest.raises(ConfigError):
             vectorized_stability(_windows([{1}]), alpha=0.0)
+
+    def test_flat_alpha_warns(self):
+        with pytest.warns(ConfigWarning):
+            vectorized_stability(_windows([{1}, {1}]), alpha=1.0)
 
     def test_long_history_saturation_matches(self):
         windows = _windows([{1, 2}] * 1200 + [{1}])

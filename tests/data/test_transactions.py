@@ -122,6 +122,52 @@ class TestTransformations:
         assert log.n_customers == 2  # original untouched
 
 
+class TestColumnar:
+    def test_csr_structure(self, log: TransactionLog):
+        columnar = log.to_columnar()
+        assert list(columnar.customer_ids) == [1, 2]
+        assert list(columnar.offsets) == [0, 3, 4]
+        assert columnar.n_customers == 2
+        assert columnar.n_rows == 4
+        # Rows are day-ordered within each customer; day 0 basket has one
+        # item, day 5 has two.
+        assert list(columnar.days) == [0, 5, 5, 3]
+        assert sorted(columnar.items[1:3]) == [1, 2]
+        assert columnar.items[0] == 1
+        assert columnar.items[3] == 3
+
+    def test_customer_rows(self, log: TransactionLog):
+        columnar = log.to_columnar()
+        assert list(columnar.customer_rows()) == [0, 0, 0, 1]
+
+    def test_subset_is_sorted_and_deduped(self, log: TransactionLog):
+        columnar = log.to_columnar(customers=[2, 1, 2])
+        assert list(columnar.customer_ids) == [1, 2]
+        assert list(columnar.offsets) == [0, 3, 4]
+
+    def test_strict_subset(self, log: TransactionLog):
+        columnar = log.to_columnar(customers=[2])
+        assert list(columnar.customer_ids) == [2]
+        assert list(columnar.days) == [3]
+        assert list(columnar.items) == [3]
+
+    def test_unknown_customer_raises(self, log: TransactionLog):
+        with pytest.raises(DataError, match="unknown customer_id"):
+            log.to_columnar(customers=[9])
+
+    def test_empty_item_baskets_contribute_no_rows(self):
+        log = TransactionLog([_basket(1, 0, items=[]), _basket(1, 1, items=[4])])
+        columnar = log.to_columnar()
+        assert list(columnar.offsets) == [0, 1]
+        assert list(columnar.days) == [1]
+
+    def test_empty_log(self):
+        columnar = TransactionLog().to_columnar()
+        assert columnar.n_customers == 0
+        assert columnar.n_rows == 0
+        assert list(columnar.offsets) == [0]
+
+
 class TestProperties:
     @given(
         days=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=30)

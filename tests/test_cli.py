@@ -119,6 +119,32 @@ class TestCommands:
         assert payload["metadata"]["onset_month"] == 18
         assert len(payload["month"]) == 7
 
+    def test_bench(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "telemetry.json"
+        assert main(
+            [
+                *ARGS,
+                "bench",
+                "--sizes", "4",
+                "--repeat", "1",
+                "--json", str(out),
+            ]
+        ) == 0
+        assert "speedup" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "stability_fit_scaling"
+        assert payload["results"][0]["customers"] == 8
+        assert payload["results"][0]["speedup_batch_vs_incremental"] > 0
+
+    def test_bench_single_backend(self, capsys):
+        assert main([*ARGS, "bench", "--backend", "batch", "--sizes", "4",
+                     "--repeat", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "batch s" in out
+        assert "incremental s" not in out
+
     def test_generated_dataset_round_trips(self, tmp_path):
         from repro.data.io import read_cohorts_json, read_log_csv
 
