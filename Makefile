@@ -1,7 +1,7 @@
 # Developer entry points. The offline environment lacks the `wheel`
 # package, so `install` uses the legacy setuptools path.
 
-.PHONY: install test bench examples figures all clean
+.PHONY: install test bench bench-pytest examples figures all clean
 
 install:
 	python setup.py develop
@@ -10,6 +10,9 @@ test:
 	pytest tests/
 
 bench:
+	PYTHONPATH=src python -m repro.cli bench --json BENCH_scaling.json
+
+bench-pytest:
 	pytest benchmarks/ --benchmark-only
 
 examples:

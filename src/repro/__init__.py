@@ -27,6 +27,7 @@ Quickstart
 """
 
 from repro.baselines import RFMModel
+from repro.config import DEFAULT_BETA_GRID, ExperimentConfig
 from repro.core import (
     ExponentialSignificance,
     StabilityModel,
@@ -39,6 +40,7 @@ from repro.data import (
     Catalog,
     CohortLabels,
     DatasetBundle,
+    PopulationFrame,
     StudyCalendar,
     Taxonomy,
     TransactionLog,
@@ -52,8 +54,11 @@ __all__ = [
     "Basket",
     "Catalog",
     "CohortLabels",
+    "DEFAULT_BETA_GRID",
     "DatasetBundle",
+    "ExperimentConfig",
     "ExponentialSignificance",
+    "PopulationFrame",
     "RFMModel",
     "ScenarioConfig",
     "StabilityModel",

@@ -13,8 +13,14 @@ from repro.baselines.behavioral import (
     extract_behavioral,
 )
 from repro.baselines.ensemble import RankAverageEnsemble, StabilityMember, rank_normalise
-from repro.baselines.rfm import FEATURE_NAMES, RFMFeatures, extract_rfm, rfm_matrix
-from repro.baselines.rfm_model import RFMModel
+from repro.baselines.rfm import (
+    FEATURE_NAMES,
+    RFMFeatures,
+    RFMModel,
+    extract_rfm,
+    rfm_frame_matrix,
+    rfm_matrix,
+)
 from repro.baselines.rules import FrequencyDropRule, RandomBaseline, RecencyRule
 from repro.baselines.sequences import (
     SEQUENCE_FEATURE_NAMES,
@@ -42,5 +48,6 @@ __all__ = [
     "extract_behavioral",
     "extract_rfm",
     "extract_sequence_features",
+    "rfm_frame_matrix",
     "rfm_matrix",
 ]

@@ -125,7 +125,7 @@ def extract_behavioral(
 class BehavioralModel:
     """Logistic regression on the extended behavioural battery.
 
-    Interface-compatible with :class:`~repro.baselines.rfm_model.RFMModel`.
+    Interface-compatible with :class:`~repro.baselines.rfm.RFMModel`.
     """
 
     def __init__(

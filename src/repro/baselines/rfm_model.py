@@ -1,133 +1,21 @@
-"""The RFM attrition baseline: logistic regression on RFM features.
+"""Deprecated shim: :class:`RFMModel` moved to :mod:`repro.baselines.rfm`.
 
-Section 3.1 of the paper: "This RFM model is built using a logistic
-regression on these three types of variables.  The methodology we used to
-compute the RFM model is similar to the one presented in [Buckinx & Van
-den Poel 2005], but we only used predictors associated to the recency,
-frequency and monetary variables."
-
-The model is trained per evaluation window: features are extracted from
-the history available up to the window's end for the training customers,
-standardised, and fed to an L2 logistic regression; churn scores for test
-customers are the predicted defection probabilities at the same window.
+The RFM baseline (features + classifier) is consolidated in one module;
+import :class:`~repro.baselines.rfm.RFMModel` from there.  This alias
+module is kept for one release and will then be removed.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import warnings
 
-import numpy as np
-
-from repro.baselines.rfm import rfm_matrix
-from repro.core.windowing import WindowGrid
-from repro.data.calendar import StudyCalendar
-from repro.data.cohorts import CohortLabels
-from repro.data.transactions import TransactionLog
-from repro.errors import ConfigError, NotFittedError
-from repro.ml.logistic import LogisticRegression
-from repro.ml.preprocess import StandardScaler, impute_finite
+from repro.baselines.rfm import RFMModel
 
 __all__ = ["RFMModel"]
 
-
-class RFMModel:
-    """RFM churn classifier evaluated on a shared window grid.
-
-    Parameters
-    ----------
-    calendar:
-        Study calendar of the transaction log.
-    window_months:
-        Window span in months; kept equal to the stability model's span
-        so both models are compared at identical decision points.
-    l2:
-        Regularisation strength of the logistic regression.
-    """
-
-    def __init__(
-        self,
-        calendar: StudyCalendar,
-        window_months: int = 2,
-        l2: float = 1e-2,
-    ) -> None:
-        if window_months <= 0:
-            raise ConfigError(f"window_months must be positive, got {window_months}")
-        self.calendar = calendar
-        self.window_months = int(window_months)
-        self.grid = WindowGrid.monthly(calendar, self.window_months)
-        self.l2 = float(l2)
-        self._fitted_window: int | None = None
-        self._scaler: StandardScaler | None = None
-        self._classifier: LogisticRegression | None = None
-
-    @property
-    def n_windows(self) -> int:
-        return self.grid.n_windows
-
-    def window_month(self, window_index: int) -> int:
-        """Months elapsed at the end of a window (Figure 1's x axis)."""
-        return self.grid.end_month(window_index, self.calendar)
-
-    # ------------------------------------------------------------------
-    # Train / score
-    # ------------------------------------------------------------------
-    def fit(
-        self,
-        log: TransactionLog,
-        cohorts: CohortLabels,
-        window_index: int,
-        customers: Iterable[int] | None = None,
-    ) -> "RFMModel":
-        """Train the logistic regression at one evaluation window.
-
-        Parameters
-        ----------
-        log:
-            Transaction log (any abstraction level; only timing and
-            monetary values are used).
-        cohorts:
-            Labels for the training customers.
-        window_index:
-            The evaluation window the features are anchored at.
-        customers:
-            Training customers (default: every labelled customer).
-        """
-        train_ids = (
-            list(customers) if customers is not None else cohorts.all_customers()
-        )
-        ids, features = rfm_matrix(log, train_ids, self.grid, window_index)
-        labels = cohorts.label_vector(ids)
-        features = impute_finite(features)
-        self._scaler = StandardScaler().fit(features)
-        self._classifier = LogisticRegression(l2=self.l2).fit(
-            self._scaler.transform(features), labels
-        )
-        self._fitted_window = window_index
-        return self
-
-    def churn_scores(
-        self,
-        log: TransactionLog,
-        customers: Iterable[int],
-        window_index: int | None = None,
-    ) -> dict[int, float]:
-        """Defection probability per customer at the fitted window.
-
-        ``window_index`` defaults to the window the model was fitted at;
-        passing a different window scores features from that window with
-        the coefficients learned at the fitted one (time-transfer use).
-        """
-        if self._classifier is None or self._scaler is None or self._fitted_window is None:
-            raise NotFittedError("RFMModel used before fit")
-        index = self._fitted_window if window_index is None else window_index
-        ids, features = rfm_matrix(log, customers, self.grid, index)
-        features = impute_finite(features)
-        probabilities = self._classifier.predict_proba(self._scaler.transform(features))
-        return dict(zip(ids, (float(p) for p in probabilities)))
-
-    @property
-    def coefficients(self) -> np.ndarray:
-        """Learned feature weights (in :data:`~repro.baselines.rfm.FEATURE_NAMES` order)."""
-        if self._classifier is None or self._classifier.coef_ is None:
-            raise NotFittedError("RFMModel used before fit")
-        return self._classifier.coef_.copy()
+warnings.warn(
+    "repro.baselines.rfm_model is deprecated; import RFMModel from "
+    "repro.baselines.rfm instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

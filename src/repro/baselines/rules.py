@@ -5,6 +5,12 @@ These rules bracket the serious models: any useful churn model must beat
 heuristics retailers actually run (:class:`RecencyRule`,
 :class:`FrequencyDropRule`).  They are used in the ablation benchmarks to
 anchor the AUROC curves.
+
+All rules score from either a :class:`~repro.data.transactions.TransactionLog`
+(per-customer reference path) or a
+:class:`~repro.data.population.PopulationFrame` (vectorised columnar
+path); the two are bit-identical because both run the same IEEE
+operations on the same integers.
 """
 
 from __future__ import annotations
@@ -13,12 +19,22 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.baselines.rfm import extract_rfm
+from repro.baselines.rfm import extract_rfm, rfm_frame_matrix, FEATURE_NAMES
 from repro.core.windowing import WindowGrid
+from repro.data.population import PopulationFrame
 from repro.data.transactions import TransactionLog
 from repro.errors import ConfigError
 
 __all__ = ["RecencyRule", "FrequencyDropRule", "RandomBaseline"]
+
+_RECENCY_COLUMN = FEATURE_NAMES.index("recency_days")
+
+
+def _check_frame_grid(frame: PopulationFrame, grid: WindowGrid) -> None:
+    if frame.grid != grid:
+        raise ConfigError(
+            "PopulationFrame grid does not match the rule's grid"
+        )
 
 
 class RecencyRule:
@@ -29,16 +45,27 @@ class RecencyRule:
     """
 
     name = "recency"
+    supports_frame = True
 
     def __init__(self, grid: WindowGrid) -> None:
         self.grid = grid
 
     def churn_scores(
-        self, log: TransactionLog, customers: Iterable[int], window_index: int
+        self,
+        log: TransactionLog | PopulationFrame,
+        customers: Iterable[int],
+        window_index: int,
     ) -> dict[int, float]:
-        begin, end = self.grid.bounds(window_index)
-        del begin
+        __, end = self.grid.bounds(window_index)
         elapsed = float(end - self.grid.boundaries[0])
+        if isinstance(log, PopulationFrame):
+            _check_frame_grid(log, self.grid)
+            ids, matrix = rfm_frame_matrix(log, customers, window_index)
+            recency = matrix[:, _RECENCY_COLUMN]
+            return {
+                customer_id: float(value / elapsed)
+                for customer_id, value in zip(ids, recency)
+            }
         scores: dict[int, float] = {}
         for customer_id in customers:
             features = extract_rfm(
@@ -57,22 +84,51 @@ class FrequencyDropRule:
     """
 
     name = "frequency-drop"
+    supports_frame = True
 
     def __init__(self, grid: WindowGrid) -> None:
         self.grid = grid
 
     def churn_scores(
-        self, log: TransactionLog, customers: Iterable[int], window_index: int
+        self,
+        log: TransactionLog | PopulationFrame,
+        customers: Iterable[int],
+        window_index: int,
     ) -> dict[int, float]:
         if window_index == 0:
             raise ConfigError("frequency-drop needs at least one prior window")
+        begin, end = self.grid.bounds(window_index)
+        horizon = self.grid.boundaries[0]
+        if isinstance(log, PopulationFrame):
+            _check_frame_grid(log, self.grid)
+            ids = list(customers)
+            rows = log.rows_of(ids)
+            days = log.basket_days
+            offsets = log.basket_offsets
+            lt_horizon = np.r_[0, np.cumsum(days < horizon)]
+            lt_begin = np.r_[0, np.cumsum(days < begin)]
+            lt_end = np.r_[0, np.cumsum(days < end)]
+            lo, hi = offsets[rows], offsets[rows + 1]
+            # day columns are sorted per customer, so these prefix-count
+            # differences are exact trip counts per half-open interval
+            prior = (lt_begin[hi] - lt_begin[lo]) - (
+                lt_horizon[hi] - lt_horizon[lo]
+            )
+            window_trips = lt_end[hi] - lt_end[lo] - (lt_begin[hi] - lt_begin[lo])
+            baseline = prior.astype(np.float64) / float(window_index)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                drop = 1.0 - window_trips.astype(np.float64) / baseline
+            score = np.where(
+                baseline == 0.0, 0.5, np.clip(drop, 0.0, 1.0)
+            )
+            return {
+                customer_id: float(value)
+                for customer_id, value in zip(ids, score)
+            }
         scores: dict[int, float] = {}
         for customer_id in customers:
             history = log.history(customer_id)
-            begin, end = self.grid.bounds(window_index)
-            prior_trips = sum(
-                1 for b in history if self.grid.boundaries[0] <= b.day < begin
-            )
+            prior_trips = sum(1 for b in history if horizon <= b.day < begin)
             window_trips = sum(1 for b in history if begin <= b.day < end)
             baseline = prior_trips / window_index  # mean trips per prior window
             if baseline == 0.0:
@@ -87,12 +143,16 @@ class RandomBaseline:
     """Uniform random scores — the AUROC 0.5 sanity anchor."""
 
     name = "random"
+    supports_frame = True
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
 
     def churn_scores(
-        self, log: TransactionLog, customers: Iterable[int], window_index: int
+        self,
+        log: TransactionLog | PopulationFrame,
+        customers: Iterable[int],
+        window_index: int,
     ) -> dict[int, float]:
         del log
         rng = np.random.default_rng((self.seed, window_index))

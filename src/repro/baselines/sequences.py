@@ -121,7 +121,7 @@ def extract_sequence_features(
 class SequenceModel:
     """Logistic regression on first/last-sequence features.
 
-    Mirrors the :class:`~repro.baselines.rfm_model.RFMModel` interface so
+    Mirrors the :class:`~repro.baselines.rfm.RFMModel` interface so
     the evaluation protocol can drive both identically.
     """
 

@@ -19,7 +19,9 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core.model import BACKENDS, StabilityModel
+from repro.config import ExperimentConfig
+from repro.core.engines import available_engines
+from repro.core.model import StabilityModel
 from repro.core.tuning import tune_stability_model
 from repro.data.io import write_cohorts_json, write_log_csv
 from repro.eval.figure1 import run_figure1
@@ -61,6 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
     figure1 = sub.add_parser("figure1", help="run the Figure 1 experiment")
     figure1.add_argument("--window-months", type=int, default=2)
     figure1.add_argument("--alpha", type=float, default=2.0)
+    figure1.add_argument(
+        "--backend",
+        choices=available_engines(),
+        default="batch",
+        help="stability engine (all are bit-identical; batch is fastest)",
+    )
 
     sub.add_parser("figure2", help="run the Figure 2 case study")
     sub.add_parser("stats", help="print dataset statistics (E3)")
@@ -108,7 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--backend",
-        choices=("all",) + BACKENDS,
+        choices=("all",) + available_engines(),
         default="all",
         help="backend to time (default: all of them)",
     )
@@ -125,6 +133,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--json", type=Path, default=None, help="write machine-readable telemetry here"
+    )
+    bench.add_argument(
+        "--protocol-size",
+        type=int,
+        default=200,
+        help=(
+            "per-cohort size for the eval-protocol ROC-sweep scenario "
+            "(0 disables it)"
+        ),
     )
     return parser
 
@@ -150,9 +167,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
     dataset = _dataset(args)
-    result = run_figure1(
-        dataset.bundle, window_months=args.window_months, alpha=args.alpha
+    config = ExperimentConfig(
+        window_months=args.window_months,
+        alpha=args.alpha,
+        backend=args.backend,
     )
+    result = run_figure1(dataset.bundle, config=config)
     print(render_figure1(result))
     return 0
 
@@ -327,12 +347,15 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.eval.benchmarking import (
+        protocol_telemetry,
         render_scaling,
         scaling_telemetry,
         write_scaling_json,
     )
 
-    backends = BACKENDS if args.backend == "all" else (args.backend,)
+    backends = (
+        available_engines() if args.backend == "all" else (args.backend,)
+    )
     telemetry = scaling_telemetry(
         sizes=tuple(args.sizes),
         seed=args.seed,
@@ -340,6 +363,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeat=args.repeat,
         n_jobs=args.n_jobs,
     )
+    if args.protocol_size > 0:
+        telemetry["eval_protocol"] = protocol_telemetry(
+            size=args.protocol_size, seed=args.seed, repeat=args.repeat
+        )
     print("stability fit scaling (best-of-%d wall clock)" % args.repeat)
     print(render_scaling(telemetry))
     if args.json is not None:

@@ -28,6 +28,13 @@ from repro.core.characterization import (
     profile_population,
 )
 from repro.core.detector import Alarm, ThresholdDetector
+from repro.core.engines import (
+    EngineFit,
+    FitSpec,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from repro.core.explanation import (
     DropExplanation,
     MissingItem,
@@ -58,7 +65,12 @@ __all__ = [
     "BACKENDS",
     "BatchStability",
     "COUNTING_SCHEMES",
+    "EngineFit",
+    "FitSpec",
     "PopulationWindows",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "batch_churn_scores",
     "encode_population",
     "significance_from_counts",

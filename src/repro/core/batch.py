@@ -6,8 +6,11 @@ whole-population throughput rather than per-customer clarity:
 * the transaction log is encoded **once** into flat columnar arrays
   (:meth:`~repro.data.transactions.TransactionLog.to_columnar`), then
   windowed and deduplicated into ``(customer, item, window)`` presence
-  triples grouped CSR-style by ``(customer, item)`` pair
-  (:class:`PopulationWindows`);
+  triples grouped CSR-style by ``(customer, item)`` pair — the
+  :class:`~repro.data.population.PopulationFrame` data plane, which
+  since its promotion to :mod:`repro.data` also feeds the evaluation
+  protocol and the RFM baselines (``PopulationWindows`` remains as a
+  deprecated alias);
 * significance and stability for **all customers × all windows** come out
   of a handful of numpy segment operations
   (:func:`stability_matrix`): per-pair shifted cumulative presence
@@ -38,10 +41,12 @@ import numpy as np
 
 from repro.core.significance import validate_alpha
 from repro.core.windowing import WindowGrid
+from repro.data.population import PopulationFrame
 from repro.data.transactions import TransactionLog
 from repro.errors import ConfigError
 
 __all__ = [
+    "PopulationFrame",
     "PopulationWindows",
     "BatchStability",
     "encode_population",
@@ -97,154 +102,23 @@ def _segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     return out
 
 
-@dataclass(frozen=True)
-class PopulationWindows:
-    """All customers' windowed presence, as CSR-grouped triples.
-
-    The deduplicated ``(customer, item, window)`` presence triples are
-    sorted by customer, then item, then window.  Two CSR levels index
-    them: ``pair_offsets`` groups customers over the ``(customer, item)``
-    pair axis, and ``triple_offsets`` groups pairs over the triple axis.
-
-    Attributes
-    ----------
-    customer_ids:
-        Distinct customer ids, ascending, shape ``(C,)``.
-    n_windows:
-        Number of windows ``W`` on the grid.
-    pair_offsets:
-        Shape ``(C + 1,)``: customer ``i`` owns pairs
-        ``pair_offsets[i]:pair_offsets[i+1]``.
-    pair_items:
-        Shape ``(P,)``: raw item id of each pair.
-    triple_offsets:
-        Shape ``(P + 1,)``: pair ``j`` is present in windows
-        ``triple_window[triple_offsets[j]:triple_offsets[j+1]]``
-        (strictly increasing within a pair).
-    triple_window:
-        Shape ``(T,)``: window index of each presence triple.
-    item_vocab:
-        Sorted distinct item ids across the population (the shared
-        vocabulary).
-    """
-
-    customer_ids: np.ndarray
-    n_windows: int
-    pair_offsets: np.ndarray
-    pair_items: np.ndarray
-    triple_offsets: np.ndarray
-    triple_window: np.ndarray
-    item_vocab: np.ndarray
-
-    @property
-    def n_customers(self) -> int:
-        return len(self.customer_ids)
-
-    @property
-    def n_pairs(self) -> int:
-        return len(self.pair_items)
-
-    def pair_rows(self) -> np.ndarray:
-        """Pair index owning each triple."""
-        return np.repeat(
-            np.arange(self.n_pairs, dtype=np.int64), np.diff(self.triple_offsets)
-        )
-
-    def window_items(self, customer_row: int) -> list[frozenset[int]]:
-        """Reconstruct one customer's per-window item sets ``u_k``."""
-        sets: list[set[int]] = [set() for _ in range(self.n_windows)]
-        lo, hi = self.pair_offsets[customer_row], self.pair_offsets[customer_row + 1]
-        for pair in range(lo, hi):
-            item = int(self.pair_items[pair])
-            for t in range(self.triple_offsets[pair], self.triple_offsets[pair + 1]):
-                sets[self.triple_window[t]].add(item)
-        return [frozenset(s) for s in sets]
-
-    def shard(self, lo: int, hi: int) -> "PopulationWindows":
-        """The sub-population of customer rows ``[lo, hi)`` (rebased CSR)."""
-        pair_lo, pair_hi = self.pair_offsets[lo], self.pair_offsets[hi]
-        triple_lo = self.triple_offsets[pair_lo]
-        triple_hi = self.triple_offsets[pair_hi]
-        return PopulationWindows(
-            customer_ids=self.customer_ids[lo:hi],
-            n_windows=self.n_windows,
-            pair_offsets=self.pair_offsets[lo : hi + 1] - pair_lo,
-            pair_items=self.pair_items[pair_lo:pair_hi],
-            triple_offsets=self.triple_offsets[pair_lo : pair_hi + 1] - triple_lo,
-            triple_window=self.triple_window[triple_lo:triple_hi],
-            item_vocab=self.item_vocab,
-        )
+#: Deprecated alias: the CSR population encoding now lives in
+#: :class:`repro.data.population.PopulationFrame`.
+PopulationWindows = PopulationFrame
 
 
 def encode_population(
     log: TransactionLog,
     grid: WindowGrid,
     customers: Iterable[int] | None = None,
-) -> PopulationWindows:
+) -> PopulationFrame:
     """Windowed presence triples for a whole population, in one pass.
 
-    Baskets outside the grid are dropped (same rule as
-    :func:`~repro.core.windowing.windowed_history`); item sets are
-    deduplicated per ``(customer, window)``.
+    Deprecated alias of :meth:`PopulationFrame.from_log
+    <repro.data.population.PopulationFrame.from_log>`, kept for one
+    release.
     """
-    columnar = log.to_columnar(customers)
-    boundaries = np.asarray(grid.boundaries, dtype=np.int64)
-    n_windows = grid.n_windows
-    window = np.searchsorted(boundaries, columnar.days, side="right") - 1
-    valid = (columnar.days >= boundaries[0]) & (columnar.days < boundaries[-1])
-    cust = columnar.customer_rows()[valid]
-    window = window[valid]
-    items = columnar.items[valid]
-
-    # Sort + dedupe the (customer, item, window) triples.  When the ids
-    # fit, pack each triple into one int64 so a single sort does the job;
-    # otherwise fall back to a 3-key lexsort.
-    if len(cust):
-        item_span = int(items.max()) + 1 if items.min() >= 0 else 0
-        span = columnar.n_customers * item_span * n_windows
-        if item_span and span < 2**62:
-            key = (cust * item_span + items) * n_windows + window
-            if span <= max(1 << 22, 2 * len(key)) and span <= 1 << 25:
-                # Dense key space: a presence bitmap + flatnonzero yields
-                # the sorted unique keys in O(rows + span), skipping the
-                # comparison sort inside np.unique entirely.
-                flags = np.zeros(span, dtype=bool)
-                flags[key] = True
-                key = np.flatnonzero(flags)
-            else:
-                key = np.unique(key)
-            window = key % n_windows
-            pair_key = key // n_windows
-            cust, items = pair_key // item_span, pair_key % item_span
-        else:
-            order = np.lexsort((window, items, cust))
-            cust, items, window = cust[order], items[order], window[order]
-            keep = np.r_[
-                True,
-                (cust[1:] != cust[:-1])
-                | (items[1:] != items[:-1])
-                | (window[1:] != window[:-1]),
-            ]
-            cust, items, window = cust[keep], items[keep], window[keep]
-        new_pair = np.r_[True, (cust[1:] != cust[:-1]) | (items[1:] != items[:-1])]
-        pair_starts = np.flatnonzero(new_pair)
-    else:
-        pair_starts = np.empty(0, dtype=np.int64)
-    triple_offsets = np.r_[pair_starts, len(window)].astype(np.int64)
-    pair_items = items[pair_starts]
-    pair_cust = cust[pair_starts]
-    pair_offsets = np.searchsorted(
-        pair_cust, np.arange(columnar.n_customers + 1, dtype=np.int64)
-    )
-    return PopulationWindows(
-        customer_ids=columnar.customer_ids,
-        n_windows=n_windows,
-        pair_offsets=pair_offsets.astype(np.int64),
-        pair_items=pair_items,
-        triple_offsets=triple_offsets,
-        triple_window=window,
-        item_vocab=np.unique(pair_items),
-    )
+    return PopulationFrame.from_log(log, grid, customers)
 
 
 @dataclass(frozen=True)
@@ -257,7 +131,7 @@ class BatchStability:
     prior significance mass), matching the incremental engine.
     """
 
-    population: PopulationWindows
+    population: PopulationFrame
     stability: np.ndarray
     kept_mass: np.ndarray
     total_mass: np.ndarray
@@ -274,7 +148,7 @@ class BatchStability:
 
 
 def _stability_kernel(
-    population: PopulationWindows, alpha: float
+    population: PopulationFrame, alpha: float
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """The dense per-shard kernel: ``(stability, kept, total)`` matrices."""
     n_pairs, n_windows = population.n_pairs, population.n_windows
@@ -292,7 +166,7 @@ def _stability_kernel(
     return stability, kept, total
 
 
-def _shard_worker(args: tuple[PopulationWindows, float]):
+def _shard_worker(args: tuple[PopulationFrame, float]):
     population, alpha = args
     return _stability_kernel(population, alpha)
 
@@ -308,7 +182,7 @@ def _resolve_n_jobs(n_jobs: int | None) -> int:
 
 
 def stability_matrix(
-    population: PopulationWindows, alpha: float = 2.0, n_jobs: int | None = 1
+    population: PopulationFrame, alpha: float = 2.0, n_jobs: int | None = 1
 ) -> BatchStability:
     """Stability of all customers at all windows in batched numpy ops.
 

@@ -1,0 +1,233 @@
+"""Engine registry: the three stability engines behind one protocol.
+
+:class:`~repro.core.model.StabilityModel` used to hard-code an if/elif
+chain over backend names.  Engines are now *registered implementations*
+of one small protocol (:class:`StabilityEngine`): each consumes a
+:class:`~repro.data.population.PopulationFrame` and produces an
+:class:`EngineFit`, and the model (or any other caller) looks them up by
+name.  Registering a new engine — a GPU kernel, an approximate sketch —
+requires no change to the model or to
+:class:`~repro.config.ExperimentConfig`, whose ``backend`` field
+validates against this registry.
+
+* ``"incremental"`` — the flexible per-customer reference engine: every
+  significance rule, counting scheme and item weighting, full per-window
+  significance snapshots.
+* ``"vectorized"`` — per-customer numpy kernel
+  (:mod:`repro.core.vectorized`).
+* ``"batch"`` — the population-scale columnar engine
+  (:mod:`repro.core.batch`), optionally sharded across processes.
+
+The numpy engines support only the paper's exponential significance with
+the ``"paper"`` counting scheme and no item weights; their stability
+values agree bit-for-bit with the incremental engine (differentially
+tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.core.batch import BatchStability, stability_matrix
+from repro.core.significance import ExponentialSignificance, SignificanceFunction
+from repro.core.stability import (
+    StabilityTrajectory,
+    WindowStability,
+    stability_trajectory,
+)
+from repro.core.vectorized import _vectorized_masses
+from repro.core.windowing import windowed_history
+from repro.data.population import PopulationFrame
+from repro.errors import ConfigError
+
+__all__ = [
+    "FitSpec",
+    "EngineFit",
+    "StabilityEngine",
+    "register_engine",
+    "get_engine",
+    "available_engines",
+]
+
+
+@dataclass
+class FitSpec:
+    """Everything an engine needs besides the frame itself."""
+
+    significance: SignificanceFunction
+    counting: str = "paper"
+    item_weights: dict[int, float] | None = None
+    n_jobs: int = 1
+
+
+@dataclass
+class EngineFit:
+    """What an engine's fit produces.
+
+    Exactly one of the two fields is populated: trajectory engines fill
+    ``trajectories`` (keyed by customer id); the population engine fills
+    ``batch`` and lets trajectories materialise lazily.
+    """
+
+    trajectories: dict[int, StabilityTrajectory] | None = None
+    batch: BatchStability | None = None
+
+
+@runtime_checkable
+class StabilityEngine(Protocol):
+    """One registered fit/score implementation."""
+
+    name: str
+
+    def validate(self, spec: FitSpec) -> None:
+        """Raise :class:`~repro.errors.ConfigError` if the spec is
+        outside this engine's envelope."""
+
+    def fit(self, frame: PopulationFrame, spec: FitSpec) -> EngineFit:
+        """Fit every customer in the frame."""
+
+
+def _require_columnar(spec: FitSpec, name: str) -> None:
+    """The numpy engines' envelope: exponential / paper / unweighted."""
+    if not isinstance(spec.significance, ExponentialSignificance):
+        raise ConfigError(
+            f"backend {name!r} supports only ExponentialSignificance, "
+            f"got {type(spec.significance).__name__}"
+        )
+    if spec.counting != "paper":
+        raise ConfigError(
+            f"backend {name!r} supports only the 'paper' counting "
+            f"scheme, got {spec.counting!r}"
+        )
+    if spec.item_weights is not None:
+        raise ConfigError(
+            f"backend {name!r} does not support item_weights; "
+            "use backend='incremental'"
+        )
+
+
+def _require_serial(spec: FitSpec, name: str) -> None:
+    if spec.n_jobs != 1:
+        raise ConfigError(
+            f"n_jobs={spec.n_jobs} requires backend='batch', got {name!r}"
+        )
+
+
+def _require_log(frame: PopulationFrame, name: str):
+    if frame.log is None:
+        raise ConfigError(
+            f"backend {name!r} needs the frame's source log, but this "
+            "PopulationFrame carries none (shards drop it); fit from a "
+            "frame built by PopulationFrame.from_log"
+        )
+    return frame.log
+
+
+class IncrementalEngine:
+    """Flexible reference engine: per-customer, any significance rule."""
+
+    name = "incremental"
+
+    def validate(self, spec: FitSpec) -> None:
+        _require_serial(spec, self.name)
+
+    def fit(self, frame: PopulationFrame, spec: FitSpec) -> EngineFit:
+        log = _require_log(frame, self.name)
+        trajectories: dict[int, StabilityTrajectory] = {}
+        for customer_id in frame.customer_ids:
+            cid = int(customer_id)
+            windows = windowed_history(log.history(cid), frame.grid)
+            trajectories[cid] = stability_trajectory(
+                cid,
+                windows,
+                significance=spec.significance,
+                counting=spec.counting,
+                item_weights=spec.item_weights,
+            )
+        return EngineFit(trajectories=trajectories)
+
+
+class VectorizedEngine:
+    """Per-customer numpy kernel; paper configuration only."""
+
+    name = "vectorized"
+
+    def validate(self, spec: FitSpec) -> None:
+        _require_columnar(spec, self.name)
+        _require_serial(spec, self.name)
+
+    def fit(self, frame: PopulationFrame, spec: FitSpec) -> EngineFit:
+        log = _require_log(frame, self.name)
+        alpha = spec.significance.alpha  # type: ignore[attr-defined]
+        trajectories: dict[int, StabilityTrajectory] = {}
+        for customer_id in frame.customer_ids:
+            cid = int(customer_id)
+            windows = windowed_history(log.history(cid), frame.grid)
+            stability, kept, total = _vectorized_masses(windows, alpha=alpha)
+            trajectories[cid] = StabilityTrajectory(
+                customer_id=cid,
+                records=tuple(
+                    WindowStability(
+                        window=window,
+                        stability=float(stability[k]),
+                        kept_mass=float(kept[k]),
+                        total_mass=float(total[k]),
+                        significances={},
+                    )
+                    for k, window in enumerate(windows)
+                ),
+            )
+        return EngineFit(trajectories=trajectories)
+
+
+class BatchEngine:
+    """Population-scale columnar engine; paper configuration only."""
+
+    name = "batch"
+
+    def validate(self, spec: FitSpec) -> None:
+        _require_columnar(spec, self.name)
+
+    def fit(self, frame: PopulationFrame, spec: FitSpec) -> EngineFit:
+        alpha = spec.significance.alpha  # type: ignore[attr-defined]
+        return EngineFit(
+            batch=stability_matrix(frame, alpha=alpha, n_jobs=spec.n_jobs)
+        )
+
+
+_REGISTRY: dict[str, StabilityEngine] = {}
+
+
+def register_engine(engine: StabilityEngine) -> StabilityEngine:
+    """Register (or replace) an engine under its ``name``."""
+    if not getattr(engine, "name", ""):
+        raise ConfigError("engine must have a non-empty name")
+    _REGISTRY[engine.name] = engine
+    return engine
+
+
+def get_engine(name: str) -> StabilityEngine:
+    """Look an engine up by name.
+
+    Raises
+    ------
+    ConfigError
+        If no engine is registered under ``name``.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown backend {name!r}; expected one of {available_engines()}"
+        ) from None
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered engine names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+register_engine(IncrementalEngine())
+register_engine(VectorizedEngine())
+register_engine(BatchEngine())

@@ -1,26 +1,35 @@
 """The public facade of the paper's contribution: :class:`StabilityModel`.
 
-The model binds together a window grid, a significance rule and the
-stability/explanation machinery, and exposes the operations the
-evaluation protocol and a retailer's application code need:
+The model binds together an :class:`~repro.config.ExperimentConfig`, a
+significance rule and the stability/explanation machinery, and exposes
+the operations the evaluation protocol and a retailer's application code
+need:
 
 * ``fit(log)`` — compute the stability trajectory of every customer;
+  also accepts a pre-built
+  :class:`~repro.data.population.PopulationFrame` so the encoding cost
+  is paid once per dataset, not once per model;
 * ``trajectory(customer)`` — inspect one customer;
 * ``churn_scores(window)`` — continuous churn score per customer at an
   evaluation window, ready for ROC analysis or campaign ranking;
 * ``explain(customer, window, k)`` — the paper's argmax-missing-item
   explanation, extended to top-K.
+
+Engine selection goes through the registry in
+:mod:`repro.core.engines`: ``backend="incremental"|"vectorized"|"batch"``
+are registered implementations of one protocol, not an if/elif chain.
 """
 
 from __future__ import annotations
 
-import math
 from collections.abc import Iterable
 
 import numpy as np
 
-from repro.core.batch import BatchStability, encode_population, stability_matrix
+from repro.config import ExperimentConfig
+from repro.core.batch import BatchStability
 from repro.core.detector import Alarm, ThresholdDetector
+from repro.core.engines import FitSpec, available_engines, get_engine
 from repro.core.explanation import DropExplanation, explain_window
 from repro.core.significance import ExponentialSignificance, SignificanceFunction
 from repro.core.stability import (
@@ -28,16 +37,17 @@ from repro.core.stability import (
     WindowStability,
     stability_trajectory,
 )
-from repro.core.vectorized import _vectorized_masses
-from repro.core.windowing import Window, WindowGrid, windowed_history
+from repro.core.windowing import Window, windowed_history
 from repro.data.calendar import StudyCalendar
+from repro.data.population import PopulationFrame
 from repro.data.transactions import TransactionLog
 from repro.errors import ConfigError, DataError, NotFittedError
 
 __all__ = ["StabilityModel", "BACKENDS"]
 
-#: Fit/score engines selectable via ``StabilityModel(backend=...)``.
-BACKENDS = ("incremental", "vectorized", "batch")
+#: Deprecated alias of :func:`repro.core.engines.available_engines`;
+#: kept for one release.
+BACKENDS = available_engines()
 
 
 class StabilityModel:
@@ -49,20 +59,24 @@ class StabilityModel:
         Study calendar the transaction log's day offsets refer to.
     window_months:
         Window span ``w`` in whole months (the paper uses 2).
+        Deprecated in favour of ``config``.
     alpha:
         Base of the exponential significance rule (the paper uses 2).
-        Ignored when ``significance`` is given explicitly.
+        Ignored when ``significance`` is given explicitly.  Deprecated in
+        favour of ``config``.
     significance:
         Custom significance rule; overrides ``alpha``.
     counting:
         Absence-counting scheme, see
         :class:`~repro.core.significance.SignificanceTracker`.
+        Deprecated in favour of ``config``.
     item_weights:
         Optional per-item weights (e.g. segment prices) producing
         revenue-weighted stability; see
         :func:`~repro.core.stability.stability_trajectory`.
     backend:
-        Fit/score engine, one of :data:`BACKENDS`:
+        Name of a registered fit/score engine
+        (:mod:`repro.core.engines`).  Deprecated in favour of ``config``:
 
         * ``"incremental"`` (default) — the flexible per-customer engine;
           supports every significance rule, counting scheme and item
@@ -71,8 +85,9 @@ class StabilityModel:
           (:mod:`repro.core.vectorized`).
         * ``"batch"`` — the population-scale engine
           (:mod:`repro.core.batch`): the whole log is encoded once into
-          columnar arrays and all customers × all windows are computed
-          in a handful of numpy segment operations.
+          a columnar :class:`~repro.data.population.PopulationFrame` and
+          all customers × all windows are computed in a handful of numpy
+          segment operations.
 
         The numpy backends support only the paper's exponential
         significance with the ``"paper"`` counting scheme and no item
@@ -86,6 +101,12 @@ class StabilityModel:
         Number of worker processes for ``backend="batch"`` fits (``-1``
         = all cores).  The customer axis is sharded across a
         ``ProcessPoolExecutor``; results are identical to ``n_jobs=1``.
+        Deprecated in favour of ``config``.
+    config:
+        The validated :class:`~repro.config.ExperimentConfig` carrying
+        ``window_months`` / ``alpha`` / ``backend`` / ``n_jobs`` /
+        ``counting`` in one object.  When given, the individual keyword
+        arguments above must be left at their defaults.
 
     Examples
     --------
@@ -110,110 +131,133 @@ class StabilityModel:
         item_weights: dict[int, float] | None = None,
         backend: str = "incremental",
         n_jobs: int = 1,
+        config: ExperimentConfig | None = None,
     ) -> None:
-        if window_months <= 0:
-            raise ConfigError(f"window_months must be positive, got {window_months}")
-        if backend not in BACKENDS:
-            raise ConfigError(
-                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        if config is None:
+            # Legacy keyword-argument shim (deprecated, one release):
+            # fold the loose kwargs into the canonical config.  When a
+            # non-exponential rule is supplied, alpha is meaningless —
+            # keep the config's default so it cannot trip validation.
+            if significance is not None and not isinstance(
+                significance, ExponentialSignificance
+            ):
+                alpha = 2.0
+            elif isinstance(significance, ExponentialSignificance):
+                alpha = significance.alpha
+            config = ExperimentConfig(
+                window_months=window_months,
+                alpha=alpha,
+                backend=backend,
+                n_jobs=n_jobs,
+                counting=counting,
             )
+        self.config = config
         self.calendar = calendar
-        self.window_months = int(window_months)
-        self.significance = (
-            significance if significance is not None else ExponentialSignificance(alpha)
+        self.significance: SignificanceFunction = (
+            significance if significance is not None else config.significance()
         )
-        self.counting = counting
         self.item_weights = dict(item_weights) if item_weights is not None else None
-        self.backend = backend
-        self.n_jobs = n_jobs
-        if backend != "incremental":
-            if not isinstance(self.significance, ExponentialSignificance):
-                raise ConfigError(
-                    f"backend {backend!r} supports only ExponentialSignificance, "
-                    f"got {type(self.significance).__name__}"
-                )
-            if counting != "paper":
-                raise ConfigError(
-                    f"backend {backend!r} supports only the 'paper' counting "
-                    f"scheme, got {counting!r}"
-                )
-            if self.item_weights is not None:
-                raise ConfigError(
-                    f"backend {backend!r} does not support item_weights; "
-                    "use backend='incremental'"
-                )
-        if n_jobs != 1 and backend != "batch":
-            raise ConfigError(
-                f"n_jobs={n_jobs} requires backend='batch', got {backend!r}"
-            )
-        self.grid = WindowGrid.monthly(calendar, self.window_months)
+        self._engine = get_engine(config.backend)
+        self._spec = FitSpec(
+            significance=self.significance,
+            counting=config.counting,
+            item_weights=self.item_weights,
+            n_jobs=config.n_jobs,
+        )
+        self._engine.validate(self._spec)
+        self.grid = config.grid(calendar)
+        self._frame: PopulationFrame | None = None
         self._trajectories: dict[int, StabilityTrajectory] | None = None
         self._batch: BatchStability | None = None
         self._fit_log: TransactionLog | None = None
-        self._snapshot_cache: dict[int, StabilityTrajectory] = {}
+        self._snapshot_cache: dict[
+            tuple[int, ExperimentConfig], StabilityTrajectory
+        ] = {}
+
+    @classmethod
+    def from_config(
+        cls, calendar: StudyCalendar, config: ExperimentConfig
+    ) -> "StabilityModel":
+        """The model a validated config describes."""
+        return cls(calendar, config=config)
+
+    # ------------------------------------------------------------------
+    # Legacy attribute shims
+    # ------------------------------------------------------------------
+    @property
+    def window_months(self) -> int:
+        return self.config.window_months
+
+    @property
+    def counting(self) -> str:
+        return self.config.counting
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def n_jobs(self) -> int:
+        return self.config.n_jobs
 
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
-    def fit(self, log: TransactionLog, customers: Iterable[int] | None = None) -> "StabilityModel":
+    def fit(
+        self,
+        log: TransactionLog | PopulationFrame,
+        customers: Iterable[int] | None = None,
+    ) -> "StabilityModel":
         """Compute stability trajectories for customers in the log.
 
         Parameters
         ----------
         log:
-            Segment-level transaction log.
+            Segment-level transaction log, or a pre-built
+            :class:`~repro.data.population.PopulationFrame` on this
+            model's grid (the frame is reused as-is — zero re-encoding).
         customers:
-            Restrict to these customers (default: everyone in the log).
+            Restrict to these customers (default: everyone in the log /
+            frame).
         """
+        frame = self._as_frame(log, customers)
+        self._frame = frame
+        self._fit_log = frame.log
         self._batch = None
         self._snapshot_cache = {}
-        self._fit_log = log
-        if self.backend == "batch":
-            population = encode_population(log, self.grid, customers)
-            self._batch = stability_matrix(
-                population, alpha=self._alpha(), n_jobs=self.n_jobs
-            )
+        result = self._engine.fit(frame, self._spec)
+        if result.batch is not None:
+            self._batch = result.batch
             self._trajectories = {}
-            return self
-        selected = list(customers) if customers is not None else log.customers()
-        trajectories: dict[int, StabilityTrajectory] = {}
-        for customer_id in selected:
-            windows = windowed_history(log.history(customer_id), self.grid)
-            if self.backend == "vectorized":
-                trajectories[customer_id] = self._vectorized_trajectory(
-                    customer_id, windows
-                )
-            else:
-                trajectories[customer_id] = stability_trajectory(
-                    customer_id,
-                    windows,
-                    significance=self.significance,
-                    counting=self.counting,
-                    item_weights=self.item_weights,
-                )
-        self._trajectories = trajectories
+        else:
+            self._trajectories = result.trajectories
         return self
+
+    def _as_frame(
+        self,
+        log: TransactionLog | PopulationFrame,
+        customers: Iterable[int] | None,
+    ) -> PopulationFrame:
+        if isinstance(log, PopulationFrame):
+            if log.grid != self.grid:
+                raise ConfigError(
+                    "PopulationFrame grid does not match the model's grid; "
+                    "build the frame with the same ExperimentConfig"
+                )
+            if customers is None:
+                return log
+            if log.log is None:
+                raise ConfigError(
+                    "cannot restrict a log-less PopulationFrame to a "
+                    "customer subset; pass the TransactionLog instead"
+                )
+            return PopulationFrame.from_log(log.log, self.grid, customers)
+        return PopulationFrame.from_log(log, self.grid, customers)
 
     def _alpha(self) -> float:
         """The exponential base (numpy backends are gated to this rule)."""
         assert isinstance(self.significance, ExponentialSignificance)
         return self.significance.alpha
-
-    def _vectorized_trajectory(
-        self, customer_id: int, windows: list[Window]
-    ) -> StabilityTrajectory:
-        stability, kept, total = _vectorized_masses(windows, alpha=self._alpha())
-        records = tuple(
-            WindowStability(
-                window=window,
-                stability=float(stability[k]),
-                kept_mass=float(kept[k]),
-                total_mass=float(total[k]),
-                significances={},
-            )
-            for k, window in enumerate(windows)
-        )
-        return StabilityTrajectory(customer_id=customer_id, records=records)
 
     def _batch_trajectory(self, customer_id: int) -> StabilityTrajectory:
         assert self._batch is not None and self._trajectories is not None
@@ -308,13 +352,29 @@ class StabilityModel:
         """
         selected = list(customers) if customers is not None else self.customers()
         if self._batch is not None:
-            scores: dict[int, float] = {}
-            for customer_id in selected:
-                stability = self.stability_at(customer_id, window_index)
-                scores[customer_id] = (
-                    0.5 if math.isnan(stability) else 1.0 - stability
+            self._fitted()
+            if not 0 <= window_index < self._batch.population.n_windows:
+                raise ConfigError(
+                    f"window index {window_index} out of range "
+                    f"[0, {self._batch.population.n_windows})"
                 )
-            return scores
+            ids = np.asarray(selected, dtype=np.int64)
+            known = self._batch.customer_ids
+            rows = np.searchsorted(known, ids)
+            rows_safe = np.minimum(rows, len(known) - 1) if len(known) else rows
+            if not len(known) or (known[rows_safe] != ids).any():
+                missing = (
+                    selected[0]
+                    if not len(known)
+                    else int(ids[known[rows_safe] != ids][0])
+                )
+                raise DataError(f"customer {missing} was not fitted")
+            stability = self._batch.stability[rows_safe, window_index]
+            churn = np.where(np.isnan(stability), 0.5, 1.0 - stability)
+            return {
+                int(customer_id): float(score)
+                for customer_id, score in zip(ids, churn)
+            }
         return {
             customer_id: self.trajectory(customer_id).churn_score(window_index)
             for customer_id in selected
@@ -325,25 +385,26 @@ class StabilityModel:
 
         The numpy backends drop per-window snapshots for speed; when the
         explanation layer needs them this recomputes one customer through
-        the incremental engine (cached), using the log kept from
-        :meth:`fit`.
+        the incremental engine, memoised per ``(customer, config)`` so a
+        second ``explain()`` on the same customer does no kernel work.
         """
-        if self.backend == "incremental":
+        if self.config.backend == "incremental":
             return self.trajectory(customer_id)
         self.trajectory(customer_id)  # validates fitted state + customer id
-        if customer_id not in self._snapshot_cache:
+        key = (customer_id, self.config)
+        if key not in self._snapshot_cache:
             assert self._fit_log is not None
             windows = windowed_history(
                 self._fit_log.history(customer_id), self.grid
             )
-            self._snapshot_cache[customer_id] = stability_trajectory(
+            self._snapshot_cache[key] = stability_trajectory(
                 customer_id,
                 windows,
                 significance=self.significance,
-                counting=self.counting,
+                counting=self.config.counting,
                 item_weights=self.item_weights,
             )
-        return self._snapshot_cache[customer_id]
+        return self._snapshot_cache[key]
 
     def explain(
         self, customer_id: int, window_index: int, top_k: int = 5

@@ -127,6 +127,29 @@ class StabilityMonitor:
         # {item: significance} of items that were missing in it.
         self._last_missing: dict[int, dict[int, float]] = {}
 
+    @classmethod
+    def from_config(
+        cls,
+        calendar,
+        config,
+        beta: float = 0.5,
+        first_alarm_window: int = 0,
+    ) -> "StabilityMonitor":
+        """Build a monitor from the shared :class:`~repro.config.ExperimentConfig`.
+
+        Uses the config's grid (``window_months``), significance
+        (``alpha``) and counting scheme, so the monitor scores exactly
+        what a :class:`~repro.core.model.StabilityModel` built from the
+        same config would.
+        """
+        return cls(
+            config.grid(calendar),
+            beta=beta,
+            significance=config.significance(),
+            counting=config.counting,
+            first_alarm_window=first_alarm_window,
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -10,6 +10,7 @@ from repro.data.basket import Basket
 from repro.data.calendar import PAPER_STUDY_MONTHS, PAPER_STUDY_START, StudyCalendar
 from repro.data.cohorts import CohortLabels
 from repro.data.items import Catalog, Product, Segment
+from repro.data.population import PopulationFrame, range_segment_sums
 from repro.data.loyalty import (
     LoyaltyCriteria,
     build_cohorts,
@@ -53,6 +54,8 @@ __all__ = [
     "Taxonomy",
     "TaxonomyNode",
     "ColumnarLog",
+    "PopulationFrame",
     "TransactionLog",
+    "range_segment_sums",
     "validate_bundle",
 ]

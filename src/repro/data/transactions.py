@@ -41,12 +41,24 @@ class ColumnarLog:
         Day offset of each incidence (non-decreasing per customer).
     items:
         Raw item id of each incidence.
+    basket_offsets:
+        CSR offsets over *baskets*, shape ``(n_customers + 1,)``:
+        customer ``i``'s receipts are
+        ``basket_days[basket_offsets[i]:basket_offsets[i+1]]``.
+    basket_days:
+        Day offset of each receipt (non-decreasing per customer, in
+        history order — the order RFM-style features consume).
+    basket_monetary:
+        Monetary value of each receipt.
     """
 
     customer_ids: np.ndarray
     offsets: np.ndarray
     days: np.ndarray
     items: np.ndarray
+    basket_offsets: np.ndarray
+    basket_days: np.ndarray
+    basket_monetary: np.ndarray
 
     @property
     def n_customers(self) -> int:
@@ -55,6 +67,10 @@ class ColumnarLog:
     @property
     def n_rows(self) -> int:
         return len(self.days)
+
+    @property
+    def n_baskets(self) -> int:
+        return len(self.basket_days)
 
     def customer_rows(self) -> np.ndarray:
         """Row index of the owning customer for every incidence."""
@@ -197,24 +213,32 @@ class TransactionLog:
         # relative to the per-customer engines.
         basket_days: list[int] = []
         basket_sizes: list[int] = []
+        basket_monetary: list[float] = []
         item_sets: list[frozenset[int]] = []
         offsets = [0]
+        basket_offsets = [0]
         n_rows = 0
         for customer_id in selected:
             for basket in self._histories[customer_id]:
                 basket_days.append(basket.day)
                 basket_sizes.append(len(basket.items))
+                basket_monetary.append(basket.monetary)
                 item_sets.append(basket.items)
                 n_rows += len(basket.items)
             offsets.append(n_rows)
+            basket_offsets.append(len(basket_days))
         sizes = np.asarray(basket_sizes, dtype=np.int64)
+        days = np.asarray(basket_days, dtype=np.int64)
         return ColumnarLog(
             customer_ids=np.asarray(selected, dtype=np.int64),
             offsets=np.asarray(offsets, dtype=np.int64),
-            days=np.repeat(np.asarray(basket_days, dtype=np.int64), sizes),
+            days=np.repeat(days, sizes),
             items=np.fromiter(
                 itertools.chain.from_iterable(item_sets), np.int64, count=n_rows
             ),
+            basket_offsets=np.asarray(basket_offsets, dtype=np.int64),
+            basket_days=days,
+            basket_monetary=np.asarray(basket_monetary, dtype=np.float64),
         )
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.config import ExperimentConfig
 from repro.core.model import StabilityModel
 from repro.core.significance import (
     ExponentialSignificance,
@@ -22,6 +23,7 @@ from repro.core.significance import (
     LinearSignificance,
     SignificanceFunction,
 )
+from repro.data.population import PopulationFrame
 from repro.data.validation import DatasetBundle
 from repro.errors import EvaluationError
 from repro.eval.protocol import EvaluationProtocol
@@ -72,11 +74,17 @@ def alpha_sweep(
         bundle.cohorts.onset_month + 2 if eval_month is None else eval_month
     )
     customers = bundle.cohorts.all_customers()
+    base = ExperimentConfig(window_months=window_months, backend="batch")
+    # alpha does not change the grid: encode the cohort once and share
+    # the frame across the whole sweep.
+    frame = PopulationFrame.from_log(
+        bundle.log, base.grid(bundle.calendar), customers
+    )
     points = []
     for alpha in alphas:
-        model = StabilityModel(
-            bundle.calendar, window_months=window_months, alpha=alpha
-        ).fit(bundle.log, customers)
+        model = StabilityModel.from_config(
+            bundle.calendar, base.evolve(alpha=alpha)
+        ).fit(frame)
         points.append(
             AblationPoint(
                 label=f"alpha={alpha:g}",
@@ -102,9 +110,14 @@ def window_sweep(
     customers = bundle.cohorts.all_customers()
     points = []
     for window_months in window_months_list:
-        model = StabilityModel(
-            bundle.calendar, window_months=window_months, alpha=alpha
-        ).fit(bundle.log, customers)
+        config = ExperimentConfig(
+            window_months=window_months, alpha=alpha, backend="batch"
+        )
+        model = StabilityModel.from_config(bundle.calendar, config).fit(
+            PopulationFrame.from_log(
+                bundle.log, config.grid(bundle.calendar), customers
+            )
+        )
         month = next(
             (
                 model.window_month(k)

@@ -17,11 +17,18 @@ import time
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.config import ExperimentConfig
 from repro.core.model import BACKENDS, StabilityModel
 from repro.errors import ConfigError
 from repro.synth import ScenarioConfig, generate_dataset
 
-__all__ = ["time_fit", "scaling_telemetry", "write_scaling_json", "render_scaling"]
+__all__ = [
+    "time_fit",
+    "scaling_telemetry",
+    "protocol_telemetry",
+    "write_scaling_json",
+    "render_scaling",
+]
 
 
 def time_fit(
@@ -114,6 +121,103 @@ def scaling_telemetry(
     }
 
 
+def _roc_sweep_legacy(bundle, config: ExperimentConfig, train, test) -> None:
+    """The pre-refactor sweep: per-customer incremental fit + per-customer
+    RFM feature loops over the raw log at every evaluation window."""
+    from repro.baselines.rfm import RFMModel
+    from repro.eval.protocol import EvaluationProtocol
+
+    protocol = EvaluationProtocol(bundle, config=config)
+    model = StabilityModel.from_config(bundle.calendar, config).fit(
+        bundle.log, test
+    )
+    protocol.evaluate_stability_model(model, test)
+    rfm = RFMModel(bundle.calendar, config=config)
+    rfm.supports_frame = False  # force the per-customer log path
+    protocol.evaluate_window_scorer(rfm, "rfm", train, test)
+
+
+def _roc_sweep_frame(bundle, config: ExperimentConfig, train, test) -> None:
+    """The refactored sweep: one PopulationFrame feeds the batch stability
+    fit and every per-window RFM refit."""
+    from repro.baselines.rfm import RFMModel
+    from repro.eval.protocol import EvaluationProtocol
+
+    protocol = EvaluationProtocol(bundle, config=config)
+    model = StabilityModel.from_config(bundle.calendar, config).fit(
+        protocol.frame()
+    )
+    protocol.evaluate_stability_model(model, test)
+    rfm = RFMModel(bundle.calendar, config=config)
+    protocol.evaluate_window_scorer(rfm, "rfm", train, test)
+
+
+def protocol_telemetry(
+    size: int = 200,
+    seed: int = 13,
+    repeat: int = 3,
+    window_months: int = 2,
+    alpha: float = 2.0,
+    first_month: int = 12,
+    last_month: int = 24,
+) -> dict:
+    """Wall-clock of the full Figure-1-style ROC sweep, both data planes.
+
+    ``size`` is per-cohort (total customers = ``2 * size``).  The legacy
+    path re-derives per-customer windowed dictionaries from the raw log;
+    the frame path encodes the log once into a
+    :class:`~repro.data.population.PopulationFrame` and runs the batch
+    stability kernel plus the columnar RFM features.  Both produce
+    bit-identical AUROC (pinned by tests), so the ratio is a pure
+    data-plane speedup.
+    """
+    if repeat < 1:
+        raise ConfigError(f"repeat must be >= 1, got {repeat}")
+    from repro.eval.protocol import EvaluationProtocol
+
+    dataset = generate_dataset(
+        ScenarioConfig(n_loyal=size, n_churners=size, seed=seed)
+    )
+    bundle = dataset.bundle
+    base = ExperimentConfig(
+        window_months=window_months,
+        alpha=alpha,
+        first_month=first_month,
+        last_month=last_month,
+    )
+    train, test = EvaluationProtocol(bundle, config=base).train_test_split(
+        seed=seed
+    )
+    timings = {}
+    for label, backend, sweep in (
+        ("legacy_incremental", "incremental", _roc_sweep_legacy),
+        ("frame_batch", "batch", _roc_sweep_frame),
+    ):
+        config = base.evolve(backend=backend)
+        best = float("inf")
+        for _ in range(repeat):
+            start = time.perf_counter()
+            sweep(bundle, config, train, test)
+            best = min(best, time.perf_counter() - start)
+        timings[label] = {"sweep_seconds": best}
+    return {
+        "scenario": "eval_protocol_roc_sweep",
+        "customers": bundle.log.n_customers,
+        "receipts": bundle.log.n_baskets,
+        "window_months": window_months,
+        "alpha": alpha,
+        "first_month": first_month,
+        "last_month": last_month,
+        "seed": seed,
+        "repeat": repeat,
+        "paths": timings,
+        "speedup_frame_vs_legacy": (
+            timings["legacy_incremental"]["sweep_seconds"]
+            / timings["frame_batch"]["sweep_seconds"]
+        ),
+    }
+
+
 def write_scaling_json(path: Path | str, telemetry: dict) -> None:
     """Persist telemetry as indented JSON (stable key order for diffs)."""
     Path(path).write_text(json.dumps(telemetry, indent=2, sort_keys=True) + "\n")
@@ -135,4 +239,17 @@ def render_scaling(telemetry: dict) -> str:
             )
             + (f"{speedup:.1f}x" if speedup is not None else "-",)
         )
-    return format_table(header, rows)
+    table = format_table(header, rows)
+    protocol = telemetry.get("eval_protocol")
+    if protocol is not None:
+        paths = protocol["paths"]
+        table += (
+            "\n\nfull ROC sweep ({customers} customers): "
+            "legacy {legacy:.3f}s, frame {frame:.3f}s ({speedup:.1f}x)".format(
+                customers=protocol["customers"],
+                legacy=paths["legacy_incremental"]["sweep_seconds"],
+                frame=paths["frame_batch"]["sweep_seconds"],
+                speedup=protocol["speedup_frame_vs_legacy"],
+            )
+        )
+    return table

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.baselines.behavioral import BehavioralModel
 from repro.baselines.ensemble import RankAverageEnsemble, StabilityMember
-from repro.baselines.rfm_model import RFMModel
+from repro.baselines.rfm import RFMModel
 from repro.baselines.rules import FrequencyDropRule, RandomBaseline, RecencyRule
 from repro.baselines.sequences import SequenceModel
 from repro.core.model import StabilityModel

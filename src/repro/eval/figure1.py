@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.rfm_model import RFMModel
+from repro.baselines.rfm import RFMModel
+from repro.config import ExperimentConfig
 from repro.core.model import StabilityModel
 from repro.data.validation import DatasetBundle
 from repro.eval.protocol import EvaluationProtocol, ScoreSeries
@@ -54,38 +55,48 @@ def run_figure1(
     last_month: int = 24,
     test_fraction: float = 0.5,
     seed: int = 0,
+    config: ExperimentConfig | None = None,
 ) -> Figure1Result:
     """Run the Figure 1 experiment on a dataset bundle.
 
     Parameters mirror the paper: ``window_months=2`` and ``alpha=2`` are
     the values its 5-fold CV selected; ``first_month``/``last_month``
-    bound the x axis.  ``test_fraction`` controls the stratified split
-    the RFM model is trained/evaluated across; the stability model is
-    evaluated on the same test customers so both curves measure the same
-    population.
+    bound the x axis (all folded into an :class:`ExperimentConfig` when
+    ``config`` is not given; the default backend is ``batch``, which is
+    bit-identical to the incremental reference).  ``test_fraction``
+    controls the stratified split the RFM model is trained/evaluated
+    across; the stability model is evaluated on the same test customers
+    so both curves measure the same population.
+
+    The bundle's log is encoded into one
+    :class:`~repro.data.population.PopulationFrame` shared by the
+    stability fit and every per-window RFM refit.
     """
-    protocol = EvaluationProtocol(
-        bundle,
-        window_months=window_months,
-        first_month=first_month,
-        last_month=last_month,
-    )
+    if config is None:
+        config = ExperimentConfig(
+            window_months=window_months,
+            alpha=alpha,
+            first_month=first_month,
+            last_month=last_month,
+            backend="batch",
+        )
+    protocol = EvaluationProtocol(bundle, config=config)
     train_ids, test_ids = protocol.train_test_split(
         test_fraction=test_fraction, seed=seed
     )
 
-    stability_model = StabilityModel(
-        bundle.calendar, window_months=window_months, alpha=alpha
-    ).fit(bundle.log, test_ids)
+    stability_model = StabilityModel.from_config(bundle.calendar, config).fit(
+        protocol.frame()
+    )
     stability_series = protocol.evaluate_stability_model(stability_model, test_ids)
 
-    rfm_model = RFMModel(bundle.calendar, window_months=window_months)
+    rfm_model = RFMModel(bundle.calendar, config=config)
     rfm_series = protocol.evaluate_window_scorer(rfm_model, "rfm", train_ids, test_ids)
 
     return Figure1Result(
         stability=stability_series,
         rfm=rfm_series,
         onset_month=bundle.cohorts.onset_month,
-        window_months=window_months,
-        alpha=alpha,
+        window_months=config.window_months,
+        alpha=config.alpha,
     )

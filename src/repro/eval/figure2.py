@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.config import ExperimentConfig
 from repro.core.explanation import DropExplanation, explain_window
 from repro.core.model import StabilityModel
 from repro.synth.scenarios import CaseStudy, figure2_case_study
@@ -67,6 +68,7 @@ def run_figure2(
     case: CaseStudy | None = None,
     first_month: int = 12,
     last_month: int = 24,
+    config: ExperimentConfig | None = None,
 ) -> Figure2Result:
     """Run the Figure 2 case study.
 
@@ -74,12 +76,23 @@ def run_figure2(
     injected customer is generated (coffee lost in the window ending at
     month 20; milk, sponges and cheese in the window ending at month 22).
     ``first_month``/``last_month`` bound the plotted axis like the
-    paper's Figure 2 (months 12 to 24).
+    paper's Figure 2 (months 12 to 24).  The incremental backend is kept
+    deliberately: the per-drop explanations read the full per-item
+    significance snapshots, which lazily-built batch trajectories do not
+    carry.
     """
     case = case if case is not None else figure2_case_study(seed=seed)
-    model = StabilityModel(
-        case.calendar, window_months=window_months, alpha=alpha
-    ).fit(case.log, [case.customer_id])
+    if config is None:
+        config = ExperimentConfig(
+            window_months=window_months,
+            alpha=alpha,
+            first_month=first_month,
+            last_month=last_month,
+        )
+    first_month, last_month = config.first_month, config.last_month
+    model = StabilityModel.from_config(case.calendar, config).fit(
+        case.log, [case.customer_id]
+    )
     trajectory = model.trajectory(case.customer_id)
 
     months = []

@@ -9,6 +9,12 @@ plots AUROC against "number of months" from month 12 to month 24 with
 :class:`EvaluationProtocol` fixes the window grid, the evaluation months
 and the customer split, and evaluates any scorer implementing the small
 ``churn_scores`` duck type.
+
+The protocol is a :class:`~repro.data.population.PopulationFrame`
+consumer: the bundle's log is encoded into columnar form **once**
+(:meth:`EvaluationProtocol.frame`) and every frame-aware scorer
+(``supports_frame = True``) is fed that frame instead of the raw log, so
+a full ROC sweep re-derives no per-customer windowed dictionaries.
 """
 
 from __future__ import annotations
@@ -18,7 +24,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.config import ExperimentConfig
 from repro.data.cohorts import CohortLabels
+from repro.data.population import PopulationFrame
 from repro.data.validation import DatasetBundle
 from repro.errors import ConfigError, EvaluationError
 from repro.ml.metrics import auroc
@@ -70,10 +78,16 @@ class EvaluationProtocol:
     bundle:
         The dataset (log, calendar, cohorts) under evaluation.
     window_months:
-        Span of the shared evaluation windows (paper: 2).
+        Span of the shared evaluation windows (paper: 2).  Deprecated in
+        favour of ``config``.
     first_month, last_month:
         Inclusive month range of the x axis (paper: 12 to 24).  Only
         windows whose *end* month falls inside the range are evaluated.
+        Deprecated in favour of ``config``.
+    config:
+        The shared :class:`~repro.config.ExperimentConfig`; its
+        ``window_months`` / ``first_month`` / ``last_month`` fields are
+        validated once and drive the whole evaluation.
     """
 
     def __init__(
@@ -82,15 +96,38 @@ class EvaluationProtocol:
         window_months: int = 2,
         first_month: int = 12,
         last_month: int = 24,
+        config: ExperimentConfig | None = None,
     ) -> None:
-        if first_month > last_month:
-            raise ConfigError(
-                f"first_month {first_month} > last_month {last_month}"
+        if config is None:
+            config = ExperimentConfig(
+                window_months=window_months,
+                first_month=first_month,
+                last_month=last_month,
             )
+        self.config = config
         self.bundle = bundle
-        self.window_months = int(window_months)
-        self.first_month = int(first_month)
-        self.last_month = int(last_month)
+        self.window_months = config.window_months
+        self.first_month = config.first_month
+        self.last_month = config.last_month
+        self._frame: PopulationFrame | None = None
+
+    def frame(self) -> PopulationFrame:
+        """The bundle's columnar frame on the protocol's grid.
+
+        Built lazily on first use and cached: every frame-aware scorer
+        in the evaluation shares this one encoding of the log.
+        """
+        if self._frame is None:
+            grid = self.config.grid(self.bundle.calendar)
+            self._frame = PopulationFrame.from_log(self.bundle.log, grid)
+        return self._frame
+
+    def _scorer_source(self, scorer) -> "PopulationFrame | object":
+        """What to feed a scorer: the shared frame when it understands
+        frames, the raw log otherwise (legacy duck type)."""
+        if getattr(scorer, "supports_frame", False):
+            return self.frame()
+        return self.bundle.log
 
     # ------------------------------------------------------------------
     def evaluation_windows(self, scorer) -> list[tuple[int, int]]:
@@ -155,9 +192,12 @@ class EvaluationProtocol:
         The scorer must expose ``fit(log, cohorts, window_index, customers)``
         and ``churn_scores(log, customers, window_index)`` plus the grid
         duck type; it is re-fitted at every evaluation window on
-        ``train_customers`` and scored on ``test_customers``.
+        ``train_customers`` and scored on ``test_customers``.  A scorer
+        with ``supports_frame = True`` receives the protocol's shared
+        :class:`~repro.data.population.PopulationFrame` instead of the
+        raw log.
         """
-        log = self.bundle.log
+        log = self._scorer_source(scorer)
         cohorts = self.bundle.cohorts
         points = []
         for window_index, month in self.evaluation_windows(scorer):
@@ -189,12 +229,13 @@ class EvaluationProtocol:
             if customers is not None
             else self.bundle.cohorts.all_customers()
         )
+        source = self._scorer_source(rule)
         points = []
         for window_index in range(grid.n_windows):
             month = grid.end_month(window_index, self.bundle.calendar)
             if not self.first_month <= month <= self.last_month:
                 continue
-            scores = rule.churn_scores(self.bundle.log, ids, window_index)
+            scores = rule.churn_scores(source, ids, window_index)
             points.append(
                 MonthScore(
                     month=month,

@@ -22,7 +22,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.baselines.rfm_model import RFMModel
+from repro.baselines.rfm import RFMModel
+from repro.config import ExperimentConfig
 from repro.core.detector import ThresholdDetector
 from repro.core.model import StabilityModel
 from repro.eval.protocol import EvaluationProtocol
@@ -63,18 +64,20 @@ def mechanism_crossover(
         dataset = mechanism_scenario(
             mechanism, n_loyal=n_loyal, n_churners=n_churners, seed=seed
         )
-        protocol = EvaluationProtocol(
-            dataset.bundle,
+        config = ExperimentConfig(
             window_months=window_months,
+            alpha=alpha,
             first_month=min(months),
             last_month=max(months),
+            backend="batch",
         )
+        protocol = EvaluationProtocol(dataset.bundle, config=config)
         train, test = protocol.train_test_split(seed=seed)
-        stability = StabilityModel(
-            dataset.calendar, window_months=window_months, alpha=alpha
-        ).fit(dataset.log, test)
+        stability = StabilityModel.from_config(dataset.calendar, config).fit(
+            protocol.frame()
+        )
         stability_series = protocol.evaluate_stability_model(stability, test)
-        rfm = RFMModel(dataset.calendar, window_months=window_months)
+        rfm = RFMModel(dataset.calendar, config=config)
         rfm_series = protocol.evaluate_window_scorer(rfm, "rfm", train, test)
         results.append(
             MechanismResult(
@@ -128,14 +131,15 @@ def vacation_sensitivity(
             )
         )
         customers = dataset.cohorts.all_customers()
-        model = StabilityModel(
-            dataset.calendar, window_months=window_months
-        ).fit(dataset.log, customers)
-        protocol = EvaluationProtocol(
-            dataset.bundle,
+        config = ExperimentConfig(
             window_months=window_months,
             first_month=eval_month,
             last_month=eval_month,
+            backend="batch",
+        )
+        protocol = EvaluationProtocol(dataset.bundle, config=config)
+        model = StabilityModel.from_config(dataset.calendar, config).fit(
+            protocol.frame()
         )
         series = protocol.evaluate_stability_model(model, customers)
         detector = ThresholdDetector(beta)

@@ -100,7 +100,7 @@ class TestBehavioralModel:
 
     def test_extended_features_beat_plain_rfm_in_sample(self, small_dataset):
         """The extra behavioural predictors must not hurt (same data, superset)."""
-        from repro.baselines.rfm_model import RFMModel
+        from repro.baselines.rfm import RFMModel
 
         window = 10
         customers = small_dataset.cohorts.all_customers()

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.ensemble import RankAverageEnsemble, StabilityMember, rank_normalise
-from repro.baselines.rfm_model import RFMModel
+from repro.baselines.rfm import RFMModel
 from repro.core.model import StabilityModel
 from repro.errors import ConfigError
 from repro.ml.metrics import auroc

@@ -1,0 +1,85 @@
+"""Differential tests: columnar RFM features vs the per-customer reference.
+
+The refactor's contract is *bit-identity*: the columnar
+:func:`~repro.baselines.rfm.rfm_frame_matrix` must produce exactly the
+floats the per-customer :func:`~repro.baselines.rfm.extract_rfm` loop
+produces, so switching the evaluation protocol to the
+:class:`~repro.data.population.PopulationFrame` plane cannot move any
+AUROC.  Every comparison here is exact equality, never ``approx``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.rfm import RFMModel, rfm_frame_matrix, rfm_matrix
+from repro.config import ExperimentConfig
+from repro.data.population import PopulationFrame
+
+
+@pytest.fixture(scope="module")
+def frame(tiny_dataset):
+    grid = ExperimentConfig().grid(tiny_dataset.calendar)
+    return PopulationFrame.from_log(tiny_dataset.log, grid)
+
+
+@pytest.fixture(scope="module")
+def eval_windows(frame, tiny_dataset):
+    return [
+        k
+        for k in range(frame.n_windows)
+        if 12 <= frame.grid.end_month(k, tiny_dataset.calendar) <= 24
+    ]
+
+
+def test_feature_matrix_bit_identical(tiny_dataset, frame, eval_windows):
+    customers = tiny_dataset.cohorts.all_customers()
+    for window_index in eval_windows:
+        legacy_ids, legacy = rfm_matrix(
+            tiny_dataset.log, customers, frame.grid, window_index
+        )
+        frame_ids, columnar = rfm_frame_matrix(frame, customers, window_index)
+        assert legacy_ids == frame_ids
+        assert np.array_equal(legacy, columnar, equal_nan=True)
+
+
+def test_bit_identical_under_arbitrary_id_order(tiny_dataset, frame, eval_windows):
+    rng = np.random.default_rng(2)
+    customers = tiny_dataset.cohorts.all_customers()
+    rng.shuffle(customers)
+    window_index = eval_windows[len(eval_windows) // 2]
+    legacy_ids, legacy = rfm_matrix(
+        tiny_dataset.log, customers, frame.grid, window_index
+    )
+    frame_ids, columnar = rfm_frame_matrix(frame, customers, window_index)
+    assert legacy_ids == frame_ids == customers
+    assert np.array_equal(legacy, columnar, equal_nan=True)
+
+
+def test_dispatch_accepts_frame(tiny_dataset, frame, eval_windows):
+    customers = tiny_dataset.cohorts.all_customers()[:5]
+    window_index = eval_windows[0]
+    via_dispatch = rfm_matrix(frame, customers, frame.grid, window_index)
+    direct = rfm_frame_matrix(frame, customers, window_index)
+    assert via_dispatch[0] == direct[0]
+    assert np.array_equal(via_dispatch[1], direct[1], equal_nan=True)
+
+
+def test_model_scores_bit_identical_across_planes(
+    tiny_dataset, frame, eval_windows
+):
+    customers = tiny_dataset.cohorts.all_customers()
+    train, test = customers[::2], customers[1::2]
+    window_index = eval_windows[-1]
+
+    from_log = RFMModel(tiny_dataset.calendar).fit(
+        tiny_dataset.log, tiny_dataset.cohorts, window_index, train
+    ).churn_scores(tiny_dataset.log, test, window_index)
+    from_frame = RFMModel(tiny_dataset.calendar).fit(
+        frame, tiny_dataset.cohorts, window_index, train
+    ).churn_scores(frame, test, window_index)
+
+    assert from_log.keys() == from_frame.keys()
+    for customer_id, score in from_log.items():
+        assert score == from_frame[customer_id]

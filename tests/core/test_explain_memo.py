@@ -1,0 +1,75 @@
+"""explain() memoization: snapshot recomputation happens once per customer.
+
+The numpy backends drop per-window significance snapshots; ``explain()``
+transparently rebuilds them through the incremental kernel.  That rebuild
+is memoised per ``(customer, config)`` — a second ``explain()`` on the
+same customer must do no kernel work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.model as model_module
+from repro.core.model import StabilityModel
+
+
+@pytest.fixture()
+def kernel_calls(monkeypatch):
+    """Count calls into the incremental snapshot kernel."""
+    calls = []
+    real = model_module.stability_trajectory
+
+    def counting(*args, **kwargs):
+        calls.append(args[0])  # customer id
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(model_module, "stability_trajectory", counting)
+    return calls
+
+
+def test_second_explain_does_no_kernel_work(small_dataset, kernel_calls):
+    churners = sorted(small_dataset.cohorts.churners)[:2]
+    model = StabilityModel(small_dataset.calendar, backend="batch").fit(
+        small_dataset.log, churners
+    )
+    customer = churners[0]
+    assert kernel_calls == []  # the batch fit itself never touches it
+
+    first = model.explain(customer, 9)
+    assert kernel_calls == [customer]
+
+    second = model.explain(customer, 10, top_k=2)
+    assert kernel_calls == [customer]  # memoised: no second kernel call
+    assert first.customer_id == second.customer_id == customer
+
+
+def test_each_customer_recomputed_once(small_dataset, kernel_calls):
+    churners = sorted(small_dataset.cohorts.churners)[:2]
+    model = StabilityModel(small_dataset.calendar, backend="batch").fit(
+        small_dataset.log, churners
+    )
+    for customer in churners:
+        model.explain(customer, 9)
+        model.explain(customer, 9)
+    assert kernel_calls == churners
+
+
+def test_refit_invalidates_memo(small_dataset, kernel_calls):
+    churners = sorted(small_dataset.cohorts.churners)[:1]
+    model = StabilityModel(small_dataset.calendar, backend="batch").fit(
+        small_dataset.log, churners
+    )
+    model.explain(churners[0], 9)
+    model.fit(small_dataset.log, churners)
+    model.explain(churners[0], 9)
+    assert kernel_calls == [churners[0], churners[0]]
+
+
+def test_incremental_backend_bypasses_memo(small_dataset):
+    churners = sorted(small_dataset.cohorts.churners)[:1]
+    model = StabilityModel(small_dataset.calendar).fit(
+        small_dataset.log, churners
+    )
+    model.explain(churners[0], 9)
+    assert model._snapshot_cache == {}  # full snapshots already on hand

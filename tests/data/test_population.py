@@ -1,0 +1,138 @@
+"""PopulationFrame: the columnar data plane every layer shares."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.windowing import WindowGrid, windowed_history
+from repro.data import Basket, TransactionLog
+from repro.data.population import PopulationFrame, range_segment_sums
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def mixed_log(calendar):
+    """Three customers with uneven, partly off-grid histories."""
+    log = TransactionLog()
+    for month in range(calendar.n_months):
+        day = calendar.month_start_day(month) + 1
+        log.add(Basket.of(customer_id=1, day=day, items=[1, 2], monetary=8.0))
+    for month in range(0, calendar.n_months, 2):
+        day = calendar.month_start_day(month) + 5
+        log.add(Basket.of(customer_id=5, day=day, items=[2, 9], monetary=3.5))
+    log.add(Basket.of(customer_id=9, day=3, items=[7], monetary=1.25))
+    return log
+
+
+@pytest.fixture()
+def mixed_frame(mixed_log, calendar):
+    return PopulationFrame.from_log(mixed_log, WindowGrid.monthly(calendar, 2))
+
+
+class TestRangeSegmentSums:
+    def test_matches_reduceat_on_each_range(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=50)
+        starts = np.asarray([0, 4, 10, 10, 30])
+        ends = np.asarray([4, 9, 10, 25, 50])
+        out = range_segment_sums(values, starts, ends)
+        for i, (lo, hi) in enumerate(zip(starts, ends)):
+            if lo == hi:
+                assert out[i] == 0.0
+            else:
+                expected = np.add.reduceat(values[lo:hi].copy(), [0])[0]
+                assert out[i] == expected  # bit-identical, not approx
+
+    def test_empty_input(self):
+        out = range_segment_sums(np.asarray([1.0, 2.0]), [], [])
+        assert out.shape == (0,)
+
+    def test_all_ranges_empty(self):
+        out = range_segment_sums(np.asarray([1.0, 2.0]), [1, 2], [1, 2])
+        assert np.array_equal(out, [0.0, 0.0])
+
+    def test_final_range_reaching_array_end(self):
+        values = np.asarray([1.0, 2.0, 4.0])
+        assert np.array_equal(range_segment_sums(values, [1], [3]), [6.0])
+
+
+class TestFromLog:
+    def test_window_items_match_reference_windowing(self, mixed_log, mixed_frame):
+        for row, customer_id in enumerate(mixed_frame.customer_ids):
+            windows = windowed_history(
+                mixed_log.history(int(customer_id)), mixed_frame.grid
+            )
+            expected = [frozenset(w.items) for w in windows]
+            assert mixed_frame.window_items(row) == expected
+
+    def test_customer_ids_sorted(self, mixed_frame):
+        assert np.array_equal(mixed_frame.customer_ids, [1, 5, 9])
+
+    def test_shape_properties(self, mixed_frame, mixed_log):
+        assert mixed_frame.n_customers == 3
+        assert mixed_frame.n_baskets == mixed_log.n_baskets
+        assert mixed_frame.n_windows == mixed_frame.grid.n_windows
+        assert mixed_frame.n_pairs == len(mixed_frame.pair_items)
+
+    def test_basket_days_sorted_per_customer(self, mixed_frame):
+        offsets = mixed_frame.basket_offsets
+        for row in range(mixed_frame.n_customers):
+            days = mixed_frame.basket_days[offsets[row] : offsets[row + 1]]
+            assert np.all(np.diff(days) >= 0)
+
+    def test_customer_subset(self, mixed_log, calendar):
+        grid = WindowGrid.monthly(calendar, 2)
+        frame = PopulationFrame.from_log(mixed_log, grid, customers=[5])
+        assert np.array_equal(frame.customer_ids, [5])
+        full = PopulationFrame.from_log(mixed_log, grid)
+        assert frame.window_items(0) == full.window_items(full.row_of(5))
+
+    def test_keeps_log_reference(self, mixed_log, mixed_frame):
+        assert mixed_frame.log is mixed_log
+
+
+class TestRowAddressing:
+    def test_row_of_unknown_customer(self, mixed_frame):
+        with pytest.raises(DataError, match="customer 42"):
+            mixed_frame.row_of(42)
+
+    def test_rows_of_preserves_request_order(self, mixed_frame):
+        assert np.array_equal(mixed_frame.rows_of([9, 1]), [2, 0])
+
+    def test_rows_of_unknown_customer(self, mixed_frame):
+        with pytest.raises(DataError, match="customer 42"):
+            mixed_frame.rows_of([1, 42])
+
+    def test_contains(self, mixed_frame):
+        assert 5 in mixed_frame
+        assert 4 not in mixed_frame
+        assert "5" not in mixed_frame
+
+
+class TestShard:
+    def test_shard_rebases_all_csr_levels(self, mixed_frame):
+        shard = mixed_frame.shard(1, 3)
+        assert np.array_equal(shard.customer_ids, [5, 9])
+        assert shard.basket_offsets[0] == 0
+        assert shard.pair_offsets[0] == 0
+        assert shard.triple_offsets[0] == 0
+        for local_row, customer_id in enumerate(shard.customer_ids):
+            full_row = mixed_frame.row_of(int(customer_id))
+            assert shard.window_items(local_row) == mixed_frame.window_items(
+                full_row
+            )
+
+    def test_shard_drops_log_reference(self, mixed_frame):
+        assert mixed_frame.shard(0, 2).log is None
+
+
+class TestBasketKernels:
+    def test_baskets_before_counts(self, mixed_log, mixed_frame):
+        day = int(mixed_frame.grid.boundaries[3])
+        counts = mixed_frame.baskets_before(day)
+        for row, customer_id in enumerate(mixed_frame.customer_ids):
+            expected = sum(
+                1 for b in mixed_log.history(int(customer_id)) if b.day < day
+            )
+            assert counts[row] == expected

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines.rfm_model import RFMModel
+from repro.baselines.rfm import RFMModel
 from repro.baselines.rules import RandomBaseline, RecencyRule
 from repro.core.model import StabilityModel
 from repro.core.windowing import WindowGrid

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.baselines.rfm_model import RFMModel
+from repro.baselines.rfm import RFMModel
 from repro.core.model import StabilityModel
 from repro.data.io import read_log_csv, write_log_csv
 from repro.data.store import EventStore

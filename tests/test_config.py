@@ -1,0 +1,99 @@
+"""ExperimentConfig: the validated, frozen spine of every experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_BETA_GRID, ExperimentConfig
+from repro.core.significance import ExponentialSignificance
+from repro.core.windowing import WindowGrid
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = ExperimentConfig()
+        assert config.window_months == 2
+        assert config.alpha == 2.0
+        assert config.backend == "incremental"
+        assert config.beta_grid == DEFAULT_BETA_GRID
+
+    def test_window_months_must_be_positive(self):
+        with pytest.raises(ConfigError, match="window_months must be positive"):
+            ExperimentConfig(window_months=0)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ConfigError, match="alpha must be positive"):
+            ExperimentConfig(alpha=-1.0)
+
+    def test_sub_one_alpha_warns(self):
+        with pytest.warns(Warning, match="alpha=0.5"):
+            ExperimentConfig(alpha=0.5)
+
+    def test_beta_grid_must_be_non_empty(self):
+        with pytest.raises(ConfigError, match="beta_grid"):
+            ExperimentConfig(beta_grid=())
+
+    def test_beta_grid_must_be_in_unit_interval(self):
+        with pytest.raises(ConfigError, match="beta_grid"):
+            ExperimentConfig(beta_grid=(0.5, 1.5))
+
+    def test_beta_grid_must_be_strictly_increasing(self):
+        with pytest.raises(ConfigError, match="beta_grid"):
+            ExperimentConfig(beta_grid=(0.5, 0.5))
+
+    def test_beta_grid_coerced_to_floats(self):
+        config = ExperimentConfig(beta_grid=[0, 1])
+        assert config.beta_grid == (0.0, 1.0)
+        assert all(isinstance(b, float) for b in config.beta_grid)
+
+    def test_month_range_ordering(self):
+        with pytest.raises(ConfigError, match="first_month 20 > last_month 12"):
+            ExperimentConfig(first_month=20, last_month=12)
+
+    def test_unknown_counting_scheme(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(counting="nope")
+
+    def test_unknown_backend_names_the_registry(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
+            ExperimentConfig(backend="gpu")
+
+    def test_n_jobs_zero_rejected(self):
+        with pytest.raises(ConfigError, match="n_jobs"):
+            ExperimentConfig(n_jobs=0)
+
+    def test_n_jobs_all_cores_sentinel_allowed(self):
+        assert ExperimentConfig(backend="batch", n_jobs=-1).n_jobs == -1
+
+
+class TestBehaviour:
+    def test_frozen(self):
+        config = ExperimentConfig()
+        with pytest.raises(Exception):
+            config.alpha = 3.0
+
+    def test_hashable_and_usable_as_cache_key(self):
+        a = ExperimentConfig(alpha=2.0)
+        b = ExperimentConfig(alpha=2.0)
+        c = ExperimentConfig(alpha=3.0)
+        assert a == b and hash(a) == hash(b)
+        assert {a: 1}[b] == 1
+        assert a != c
+
+    def test_evolve_returns_validated_copy(self):
+        config = ExperimentConfig().evolve(alpha=4.0, backend="batch")
+        assert config.alpha == 4.0
+        assert config.backend == "batch"
+        assert ExperimentConfig().alpha == 2.0  # original untouched
+        with pytest.raises(ConfigError):
+            ExperimentConfig().evolve(window_months=-1)
+
+    def test_grid_matches_monthly_construction(self, calendar):
+        config = ExperimentConfig(window_months=3)
+        assert config.grid(calendar) == WindowGrid.monthly(calendar, 3)
+
+    def test_significance_carries_alpha(self):
+        rule = ExperimentConfig(alpha=3.0).significance()
+        assert isinstance(rule, ExponentialSignificance)
+        assert rule.alpha == 3.0
