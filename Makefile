@@ -1,13 +1,18 @@
 # Developer entry points. The offline environment lacks the `wheel`
 # package, so `install` uses the legacy setuptools path.
 
-.PHONY: install test bench bench-pytest examples figures all clean
+.PHONY: install test test-faults bench bench-pytest examples figures all clean
 
 install:
 	python setup.py develop
 
 test:
 	pytest tests/
+
+# The resilience suite under -W error: injected worker crashes, torn
+# checkpoint/snapshot files, interrupted-sweep resume.
+test-faults:
+	PYTHONPATH=src python -m pytest tests/runtime -q -W error
 
 bench:
 	PYTHONPATH=src python -m repro.cli bench --json BENCH_scaling.json

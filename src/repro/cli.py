@@ -69,6 +69,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="batch",
         help="stability engine (all are bit-identical; batch is fastest)",
     )
+    figure1.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help=(
+            "pool retry waves before a failed shard degrades to the "
+            "in-process fallback (batch backend only)"
+        ),
+    )
+    figure1.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help=(
+            "journal directory making the sweep resumable: finished "
+            "AUROC cells are written atomically and skipped on rerun"
+        ),
+    )
 
     sub.add_parser("figure2", help="run the Figure 2 case study")
     sub.add_parser("stats", help="print dataset statistics (E3)")
@@ -94,6 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--months", type=int, nargs="+", default=[20, 22, 24]
     )
+    compare.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help=(
+            "journal directory making the comparison resumable: finished "
+            "(model, month) cells are written atomically and skipped on rerun"
+        ),
+    )
 
     losses = sub.add_parser(
         "losses", help="population loss characterization (paper's future work)"
@@ -107,6 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     quality = sub.add_parser("quality", help="profile a transaction CSV")
     quality.add_argument("--log", type=Path, help="CSV to profile (default: generated)")
+    quality.add_argument(
+        "--lenient",
+        action="store_true",
+        help=(
+            "quarantine malformed rows instead of aborting and print "
+            "the quarantine report (only with --log)"
+        ),
+    )
 
     export = sub.add_parser("export", help="export Figure 1 series to CSV/JSON")
     export.add_argument("--out", type=Path, required=True, help="output file (.csv or .json)")
@@ -143,6 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(0 disables it)"
         ),
     )
+    bench.add_argument(
+        "--resilience-size",
+        type=int,
+        default=100,
+        help=(
+            "per-cohort size for the resilient-executor overhead scenario "
+            "(0 disables it)"
+        ),
+    )
     return parser
 
 
@@ -171,8 +215,11 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
         window_months=args.window_months,
         alpha=args.alpha,
         backend=args.backend,
+        retries=args.retries,
     )
-    result = run_figure1(dataset.bundle, config=config)
+    result = run_figure1(
+        dataset.bundle, config=config, checkpoint_dir=args.checkpoint_dir
+    )
     print(render_figure1(result))
     return 0
 
@@ -255,7 +302,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
     dataset = _dataset(args)
     comparison = compare_models(
-        dataset.bundle, months=tuple(args.months), budgets=(0.1,)
+        dataset.bundle,
+        months=tuple(args.months),
+        budgets=(0.1,),
+        checkpoint_dir=args.checkpoint_dir,
     )
     print(render_campaign(comparison, args.months, budget=0.1))
     return 0
@@ -304,10 +354,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_quality(args: argparse.Namespace) -> int:
     from repro.data.io import read_log_csv
-    from repro.data.quality import profile_log, render_quality_report
+    from repro.data.quality import (
+        profile_log,
+        render_quality_report,
+        render_quarantine_report,
+    )
 
     if args.log is not None:
-        log = read_log_csv(args.log)
+        if args.lenient:
+            log, quarantine = read_log_csv(args.log, on_error="quarantine")
+            if not quarantine.is_clean:
+                print(render_quarantine_report(quarantine))
+                print()
+        else:
+            log = read_log_csv(args.log)
         calendar = None
     else:
         dataset = _dataset(args)
@@ -349,6 +409,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.eval.benchmarking import (
         protocol_telemetry,
         render_scaling,
+        resilience_telemetry,
         scaling_telemetry,
         write_scaling_json,
     )
@@ -366,6 +427,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.protocol_size > 0:
         telemetry["eval_protocol"] = protocol_telemetry(
             size=args.protocol_size, seed=args.seed, repeat=args.repeat
+        )
+    if args.resilience_size > 0:
+        telemetry["resilient_executor"] = resilience_telemetry(
+            size=args.resilience_size,
+            seed=args.seed,
+            repeat=args.repeat,
+            n_jobs=max(args.n_jobs, 2),
         )
     print("stability fit scaling (best-of-%d wall clock)" % args.repeat)
     print(render_scaling(telemetry))

@@ -61,6 +61,11 @@ class ExperimentConfig:
         registry so externally registered engines are accepted.
     n_jobs:
         Worker processes for the batch engine (``-1`` = all cores).
+    retries:
+        Pool retry waves the resilient shard executor attempts before a
+        failed shard degrades to the serial in-process fallback
+        (:func:`~repro.runtime.executor.run_sharded`); only sharded
+        batch fits consult it.
     counting:
         Absence-counting scheme, see
         :class:`~repro.core.significance.SignificanceTracker`.
@@ -77,6 +82,7 @@ class ExperimentConfig:
     last_month: int = 24
     backend: str = "incremental"
     n_jobs: int = 1
+    retries: int = 2
     counting: str = "paper"
 
     def __post_init__(self) -> None:
@@ -105,6 +111,8 @@ class ExperimentConfig:
             )
         if self.n_jobs != -1 and self.n_jobs < 1:
             raise ConfigError(f"n_jobs must be >= 1 or -1, got {self.n_jobs}")
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {self.retries}")
         # Engine names live in the registry; imported lazily because
         # repro.core.engines itself consumes this module's configs.
         from repro.core.engines import available_engines

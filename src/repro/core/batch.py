@@ -20,8 +20,13 @@ whole-population throughput rather than per-customer clarity:
 * scoring one window for the whole population
   (:func:`batch_churn_scores`) slices the cumulative-count math at ``k``
   — no per-customer trajectory recomputation;
-* the customer axis shards across a ``ProcessPoolExecutor``
-  (``n_jobs``) for multi-core fits.
+* the customer axis shards across worker processes (``n_jobs``) for
+  multi-core fits, behind the fault-isolating
+  :func:`~repro.runtime.executor.run_sharded` protocol: a shard whose
+  worker dies (OOM kill, pickling failure, timeout) is retried with
+  backoff and finally recomputed serially in-process, so the fit always
+  completes with bit-identical results and an attached
+  :class:`~repro.runtime.executor.ExecutionReport`.
 
 Like :mod:`repro.core.vectorized`, only the exponential significance and
 the ``"paper"`` counting scheme are supported; anything else stays on the
@@ -44,6 +49,8 @@ from repro.core.windowing import WindowGrid
 from repro.data.population import PopulationFrame
 from repro.data.transactions import TransactionLog
 from repro.errors import ConfigError
+from repro.runtime.executor import ExecutionReport, run_sharded
+from repro.runtime.faults import FaultPlan
 
 __all__ = [
     "PopulationFrame",
@@ -129,12 +136,17 @@ class BatchStability:
     ``(n_customers, n_windows)``; row order matches
     ``population.customer_ids``.  Stability is NaN where undefined (no
     prior significance mass), matching the incremental engine.
+
+    ``execution`` carries the resilient executor's
+    :class:`~repro.runtime.executor.ExecutionReport` for sharded fits
+    (``None`` for the serial path, which has no workers to isolate).
     """
 
     population: PopulationFrame
     stability: np.ndarray
     kept_mass: np.ndarray
     total_mass: np.ndarray
+    execution: ExecutionReport | None = None
 
     @property
     def customer_ids(self) -> np.ndarray:
@@ -181,15 +193,40 @@ def _resolve_n_jobs(n_jobs: int | None) -> int:
     return int(n_jobs)
 
 
+def _shard_tasks(
+    population: PopulationFrame, alpha: float, n_jobs: int
+) -> list[tuple[PopulationFrame, float]]:
+    bounds = np.linspace(0, population.n_customers, n_jobs + 1).astype(int)
+    return [
+        (population.shard(int(lo), int(hi)), alpha)
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+
+
 def stability_matrix(
-    population: PopulationFrame, alpha: float = 2.0, n_jobs: int | None = 1
+    population: PopulationFrame,
+    alpha: float = 2.0,
+    n_jobs: int | None = 1,
+    retries: int = 2,
+    shard_timeout: float | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> BatchStability:
     """Stability of all customers at all windows in batched numpy ops.
 
     With ``n_jobs > 1`` the customer axis is split into contiguous shards
-    computed in a ``ProcessPoolExecutor`` (``n_jobs = -1`` uses every
-    core).  Sharding is exact: customers are independent, so the result
-    is identical to the single-process kernel.
+    computed in worker processes (``n_jobs = -1`` uses every core).
+    Sharding is exact: customers are independent, so the result is
+    identical to the single-process kernel.
+
+    Sharded fits run under the resilient protocol of
+    :func:`~repro.runtime.executor.run_sharded`: a shard whose worker
+    dies or exceeds ``shard_timeout`` is retried up to ``retries`` times
+    with backoff and finally recomputed serially in-process, so the fit
+    always completes with bit-identical results; what the runtime had to
+    absorb is attached as ``BatchStability.execution``.  ``fault_plan``
+    deterministically injects worker faults for tests
+    (:class:`~repro.runtime.faults.FaultPlan`).
     """
     validate_alpha(alpha)
     n_jobs = _resolve_n_jobs(n_jobs)
@@ -197,12 +234,32 @@ def stability_matrix(
     if n_jobs <= 1 or n_customers < 2 * n_jobs:
         stability, kept, total = _stability_kernel(population, alpha)
         return BatchStability(population, stability, kept, total)
-    bounds = np.linspace(0, n_customers, n_jobs + 1).astype(int)
-    shards = [
-        (population.shard(int(lo), int(hi)), alpha)
-        for lo, hi in zip(bounds[:-1], bounds[1:])
-        if hi > lo
-    ]
+    shards = _shard_tasks(population, alpha, n_jobs)
+    parts, report = run_sharded(
+        _shard_worker,
+        shards,
+        max_workers=len(shards),
+        retries=retries,
+        timeout=shard_timeout,
+        fault_plan=fault_plan,
+    )
+    stability = np.vstack([p[0] for p in parts])
+    kept = np.vstack([p[1] for p in parts])
+    total = np.vstack([p[2] for p in parts])
+    return BatchStability(population, stability, kept, total, execution=report)
+
+
+def _stability_matrix_bare(
+    population: PopulationFrame, alpha: float = 2.0, n_jobs: int = 2
+) -> BatchStability:
+    """The pre-resilience sharded fit: bare ``ProcessPoolExecutor.map``.
+
+    Kept (private) as the benchmarking baseline the resilient executor's
+    fault-free overhead is measured against; one dead worker aborts the
+    whole fit here.
+    """
+    validate_alpha(alpha)
+    shards = _shard_tasks(population, alpha, _resolve_n_jobs(n_jobs))
     with ProcessPoolExecutor(max_workers=len(shards)) as executor:
         parts = list(executor.map(_shard_worker, shards))
     stability = np.vstack([p[0] for p in parts])

@@ -53,12 +53,18 @@ __all__ = [
 
 @dataclass
 class FitSpec:
-    """Everything an engine needs besides the frame itself."""
+    """Everything an engine needs besides the frame itself.
+
+    ``retries`` bounds the resilient executor's pool waves for sharded
+    batch fits (see :func:`~repro.runtime.executor.run_sharded`); serial
+    engines ignore it.
+    """
 
     significance: SignificanceFunction
     counting: str = "paper"
     item_weights: dict[int, float] | None = None
     n_jobs: int = 1
+    retries: int = 2
 
 
 @dataclass
@@ -192,7 +198,12 @@ class BatchEngine:
     def fit(self, frame: PopulationFrame, spec: FitSpec) -> EngineFit:
         alpha = spec.significance.alpha  # type: ignore[attr-defined]
         return EngineFit(
-            batch=stability_matrix(frame, alpha=alpha, n_jobs=spec.n_jobs)
+            batch=stability_matrix(
+                frame,
+                alpha=alpha,
+                n_jobs=spec.n_jobs,
+                retries=spec.retries,
+            )
         )
 
 

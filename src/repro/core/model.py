@@ -163,6 +163,7 @@ class StabilityModel:
             counting=config.counting,
             item_weights=self.item_weights,
             n_jobs=config.n_jobs,
+            retries=config.retries,
         )
         self._engine.validate(self._spec)
         self.grid = config.grid(calendar)
@@ -288,6 +289,17 @@ class StabilityModel:
     @property
     def is_fitted(self) -> bool:
         return self._trajectories is not None or self._batch is not None
+
+    @property
+    def execution_report(self):
+        """The resilient executor's report for the last sharded batch fit.
+
+        ``None`` unless the fit ran ``backend="batch"`` with ``n_jobs >
+        1`` (serial fits have no workers to isolate).  See
+        :class:`~repro.runtime.executor.ExecutionReport` for what it
+        records (retries, degradations, wall time).
+        """
+        return self._batch.execution if self._batch is not None else None
 
     def _fitted(self) -> dict[int, StabilityTrajectory]:
         if self._trajectories is None:

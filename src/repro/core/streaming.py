@@ -203,15 +203,27 @@ class StabilityMonitor:
         """
         if self._finished:
             raise DataError("monitor already finished")
-        if basket.day < self._last_day_seen:
-            raise DataError(
-                f"baskets must arrive in day order: got day {basket.day} "
-                f"after day {self._last_day_seen}"
-            )
         window = self.grid.window_of_day(basket.day)
         if window is None:
             raise DataError(
                 f"basket day {basket.day} is outside the monitor's grid"
+            )
+        if window < self._current_window:
+            # Out-of-order across a window boundary: the earlier window
+            # has already been closed and scored, so folding this basket
+            # in would silently corrupt its assignment.  Refuse with
+            # enough context to find the offending record upstream.
+            raise DataError(
+                f"customer {basket.customer_id}: basket at day {basket.day} "
+                f"predates the open window {self._current_window} (which "
+                f"starts at day {self.grid.boundaries[self._current_window]}); "
+                f"window {window} is already closed and baskets must arrive "
+                f"in day order"
+            )
+        if basket.day < self._last_day_seen:
+            raise DataError(
+                f"customer {basket.customer_id}: baskets must arrive in day "
+                f"order: got day {basket.day} after day {self._last_day_seen}"
             )
         self._last_day_seen = basket.day
 
@@ -238,6 +250,39 @@ class StabilityMonitor:
             reports.append(self._close_current_window())
         self._finished = True
         return reports
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The monitor's complete state as a versioned JSON payload.
+
+        See :mod:`repro.runtime.snapshot` for the format and the
+        round-trip guarantee (a restored monitor emits identical
+        :class:`WindowCloseReport` objects thereafter).
+
+        Raises
+        ------
+        SnapshotError
+            If the monitor's configuration is not serialisable (custom
+            significance rules have no stable wire format).
+        """
+        from repro.runtime.snapshot import snapshot_monitor
+
+        return snapshot_monitor(self)
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "StabilityMonitor":
+        """Rebuild a monitor from a :meth:`snapshot` payload.
+
+        Raises
+        ------
+        SnapshotError
+            If the payload is corrupt or from an incompatible version.
+        """
+        from repro.runtime.snapshot import restore_monitor
+
+        return restore_monitor(payload)
 
     # ------------------------------------------------------------------
     # Explanation

@@ -21,8 +21,9 @@ from pathlib import Path
 from repro.data.basket import Basket
 from repro.data.cohorts import CohortLabels
 from repro.data.items import Catalog
+from repro.data.quality import QuarantinedRow, QuarantineReport
 from repro.data.transactions import TransactionLog
-from repro.errors import SchemaError
+from repro.errors import ConfigError, DataError, SchemaError
 
 __all__ = [
     "write_log_csv",
@@ -40,7 +41,12 @@ _LOG_HEADER = ["customer_id", "day", "items", "monetary"]
 # Transaction logs (CSV)
 # ----------------------------------------------------------------------
 def write_log_csv(log: TransactionLog, path: str | Path) -> None:
-    """Write a transaction log as CSV, one row per receipt."""
+    """Write a transaction log as CSV, one row per receipt.
+
+    Monetary values are written with full ``repr`` precision so a
+    write/read round trip reproduces every float bit-exactly (a fixed
+    ``%.2f`` format silently rounded sub-cent values).
+    """
     path = Path(path)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
@@ -51,41 +57,94 @@ def write_log_csv(log: TransactionLog, path: str | Path) -> None:
                     basket.customer_id,
                     basket.day,
                     " ".join(str(i) for i in sorted(basket.items)),
-                    f"{basket.monetary:.2f}",
+                    repr(basket.monetary),
                 ]
             )
 
 
-def read_log_csv(path: str | Path) -> TransactionLog:
+def _parse_log_row(row: list[str]) -> Basket:
+    """One CSV row as a basket; malformed rows raise ``ValueError`` or
+    ``DataError`` with the field-level reason."""
+    if len(row) != len(_LOG_HEADER):
+        raise ValueError(f"expected {len(_LOG_HEADER)} fields, got {len(row)}")
+    items = [int(token) for token in row[2].split()] if row[2] else []
+    return Basket.of(
+        customer_id=int(row[0]),
+        day=int(row[1]),
+        items=items,
+        monetary=float(row[3]),
+    )
+
+
+def read_log_csv(
+    path: str | Path,
+    on_error: str = "raise",
+    max_errors: int = 100,
+) -> TransactionLog | tuple[TransactionLog, QuarantineReport]:
     """Read a transaction log written by :func:`write_log_csv`.
+
+    Parameters
+    ----------
+    path:
+        The CSV file to read.
+    on_error:
+        ``"raise"`` (default) aborts on the first malformed row with a
+        :class:`~repro.errors.SchemaError` — the strict behaviour
+        suitable for files this package wrote itself.  ``"quarantine"``
+        sets malformed rows aside instead and returns
+        ``(log, QuarantineReport)``: the lenient mode for real retailer
+        exports, where one torn row should not discard an ingest.  A
+        mismatched *header* always raises — that is a wrong-file signal,
+        not a bad row.
+    max_errors:
+        Quarantine capacity: exceeding it raises a
+        :class:`~repro.errors.SchemaError` (a file that is mostly
+        garbage should fail loudly, not be silently filtered).
 
     Raises
     ------
     SchemaError
-        If the header or any row does not match the expected schema.
+        If the header does not match; under ``on_error="raise"``, if any
+        row is malformed; under ``on_error="quarantine"``, if more than
+        ``max_errors`` rows are malformed.
     """
+    if on_error not in ("raise", "quarantine"):
+        raise ConfigError(
+            f"on_error must be 'raise' or 'quarantine', got {on_error!r}"
+        )
+    if max_errors < 0:
+        raise ConfigError(f"max_errors must be >= 0, got {max_errors}")
     path = Path(path)
     log = TransactionLog()
+    quarantined: list[QuarantinedRow] = []
+    n_rows = 0
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
         if header != _LOG_HEADER:
             raise SchemaError(f"unexpected CSV header in {path}: {header}")
         for line_no, row in enumerate(reader, start=2):
-            if len(row) != len(_LOG_HEADER):
-                raise SchemaError(f"{path}:{line_no}: expected {len(_LOG_HEADER)} fields")
+            n_rows += 1
             try:
-                items = [int(token) for token in row[2].split()] if row[2] else []
-                basket = Basket.of(
-                    customer_id=int(row[0]),
-                    day=int(row[1]),
-                    items=items,
-                    monetary=float(row[3]),
-                )
-            except ValueError as exc:
-                raise SchemaError(f"{path}:{line_no}: {exc}") from exc
+                basket = _parse_log_row(row)
+            except (ValueError, DataError) as exc:
+                if on_error == "raise":
+                    raise SchemaError(f"{path}:{line_no}: {exc}") from exc
+                if len(quarantined) >= max_errors:
+                    raise SchemaError(
+                        f"{path}: more than {max_errors} malformed rows "
+                        f"(first overflow at line {line_no}: {exc}); "
+                        f"refusing to quarantine further"
+                    ) from exc
+                quarantined.append(QuarantinedRow(line=line_no, reason=str(exc)))
+                continue
             log.add(basket)
-    return log
+    if on_error == "raise":
+        return log
+    report = QuarantineReport(
+        path=str(path), rows=tuple(quarantined), n_rows_total=n_rows
+    )
+    return log, report
 
 
 # ----------------------------------------------------------------------

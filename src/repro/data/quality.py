@@ -24,7 +24,64 @@ import numpy as np
 from repro.data.calendar import StudyCalendar
 from repro.data.transactions import TransactionLog
 
-__all__ = ["QualityReport", "profile_log", "render_quality_report"]
+__all__ = [
+    "QualityReport",
+    "profile_log",
+    "render_quality_report",
+    "QuarantinedRow",
+    "QuarantineReport",
+    "render_quarantine_report",
+]
+
+
+# ----------------------------------------------------------------------
+# Ingest quarantine (lenient CSV reads)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class QuarantinedRow:
+    """One CSV row rejected during a lenient ingest."""
+
+    line: int  # 1-based line number in the source file
+    reason: str
+
+
+@dataclass(frozen=True)
+class QuarantineReport:
+    """What a lenient :func:`~repro.data.io.read_log_csv` set aside.
+
+    Produced alongside the (clean) log when reading with
+    ``on_error="quarantine"``: every malformed row is recorded here with
+    its line number and rejection reason instead of aborting the read.
+    """
+
+    path: str
+    rows: tuple[QuarantinedRow, ...]
+    n_rows_total: int
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_clean(self) -> int:
+        return self.n_rows_total - self.n_quarantined
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.rows
+
+
+def render_quarantine_report(report: QuarantineReport, limit: int = 10) -> str:
+    """Render a quarantine report as plain text (first ``limit`` rows)."""
+    lines = [
+        f"{report.path}: {report.n_clean:,} of {report.n_rows_total:,} "
+        f"rows ingested, {report.n_quarantined} quarantined"
+    ]
+    for row in report.rows[:limit]:
+        lines.append(f"  line {row.line}: {row.reason}")
+    if report.n_quarantined > limit:
+        lines.append(f"  ... and {report.n_quarantined - limit} more")
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)

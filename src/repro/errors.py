@@ -40,3 +40,19 @@ class NotFittedError(ReproError):
 
 class EvaluationError(ReproError):
     """An evaluation protocol could not be carried out on the given data."""
+
+
+class ExecutionError(ReproError):
+    """A sharded computation failed even after retries and the in-process
+    fallback — the underlying kernel itself is raising, not the worker
+    infrastructure."""
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file is corrupt, truncated or belongs to a
+    different schema; it will not be silently ingested."""
+
+
+class SnapshotError(ReproError):
+    """A monitor snapshot cannot be produced or restored (corrupt file,
+    schema/version mismatch, unsupported configuration)."""

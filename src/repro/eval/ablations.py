@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.config import ExperimentConfig
 from repro.core.model import StabilityModel
@@ -27,6 +28,7 @@ from repro.data.population import PopulationFrame
 from repro.data.validation import DatasetBundle
 from repro.errors import EvaluationError
 from repro.eval.protocol import EvaluationProtocol
+from repro.runtime.checkpoint import CheckpointJournal
 from repro.synth.generator import SyntheticDataset
 
 __all__ = [
@@ -45,6 +47,26 @@ class AblationPoint:
 
     label: str
     auroc: float
+
+
+def _sweep_journal(checkpoint_dir: str | Path | None) -> CheckpointJournal | None:
+    """The ablation cell journal (``None`` without a ``checkpoint_dir``)."""
+    if checkpoint_dir is None:
+        return None
+    return CheckpointJournal(checkpoint_dir, schema="ablations")
+
+
+def _journaled_point(
+    journal: CheckpointJournal | None,
+    key: tuple[str, ...],
+    label: str,
+    compute,
+) -> AblationPoint:
+    """One sweep cell: a journaled cell skips the model fit entirely."""
+    if journal is None:
+        return AblationPoint(label=label, auroc=float(compute()))
+    value = journal.get_or_compute(key, lambda: float(compute()))
+    return AblationPoint(label=label, auroc=float(value))
 
 
 def _auroc_at_month(
@@ -68,27 +90,45 @@ def alpha_sweep(
     alphas: Sequence[float] = (1.1, 1.5, 2.0, 3.0, 4.0, 8.0),
     window_months: int = 2,
     eval_month: int | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> list[AblationPoint]:
-    """Detection AUROC at the reference month for a range of ``alpha``."""
+    """Detection AUROC at the reference month for a range of ``alpha``.
+
+    With a ``checkpoint_dir`` each finished alpha cell is journaled
+    atomically; a rerun against the same directory skips the fit and
+    evaluation of every finished cell.
+    """
     eval_month = (
         bundle.cohorts.onset_month + 2 if eval_month is None else eval_month
     )
     customers = bundle.cohorts.all_customers()
     base = ExperimentConfig(window_months=window_months, backend="batch")
+    journal = _sweep_journal(checkpoint_dir)
     # alpha does not change the grid: encode the cohort once and share
-    # the frame across the whole sweep.
-    frame = PopulationFrame.from_log(
-        bundle.log, base.grid(bundle.calendar), customers
-    )
-    points = []
-    for alpha in alphas:
+    # the frame across the whole sweep.  Built lazily so a fully
+    # journaled rerun never encodes the log at all.
+    frame: PopulationFrame | None = None
+
+    def fit_and_score(alpha: float) -> float:
+        nonlocal frame
+        if frame is None:
+            frame = PopulationFrame.from_log(
+                bundle.log, base.grid(bundle.calendar), customers
+            )
         model = StabilityModel.from_config(
             bundle.calendar, base.evolve(alpha=alpha)
         ).fit(frame)
+        return _auroc_at_month(bundle, model, eval_month, customers)
+
+    points = []
+    for alpha in alphas:
+        label = f"alpha={alpha:g}"
         points.append(
-            AblationPoint(
-                label=f"alpha={alpha:g}",
-                auroc=_auroc_at_month(bundle, model, eval_month, customers),
+            _journaled_point(
+                journal,
+                ("alpha_sweep", label, f"m{eval_month}", f"w{window_months}"),
+                label,
+                lambda a=alpha: fit_and_score(a),
             )
         )
     return points
@@ -99,17 +139,21 @@ def window_sweep(
     window_months_list: Sequence[int] = (1, 2, 3, 4),
     alpha: float = 2.0,
     eval_month: int | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> list[AblationPoint]:
     """Detection AUROC for a range of window spans.
 
     The evaluation month is aligned to the first window ending at or
     after the reference month, so spans that do not divide it remain
-    comparable.
+    comparable.  With a ``checkpoint_dir`` each finished span cell is
+    journaled atomically and skipped on rerun (each span implies its own
+    grid, frame encoding and fit, so a skipped cell saves all three).
     """
     reference = bundle.cohorts.onset_month + 2 if eval_month is None else eval_month
     customers = bundle.cohorts.all_customers()
-    points = []
-    for window_months in window_months_list:
+    journal = _sweep_journal(checkpoint_dir)
+
+    def fit_and_score(window_months: int) -> float:
         config = ExperimentConfig(
             window_months=window_months, alpha=alpha, backend="batch"
         )
@@ -130,10 +174,17 @@ def window_sweep(
             raise EvaluationError(
                 f"no {window_months}-month window ends at or after month {reference}"
             )
+        return _auroc_at_month(bundle, model, month, customers)
+
+    points = []
+    for window_months in window_months_list:
+        label = f"w={window_months}mo"
         points.append(
-            AblationPoint(
-                label=f"w={window_months}mo",
-                auroc=_auroc_at_month(bundle, model, month, customers),
+            _journaled_point(
+                journal,
+                ("window_sweep", label, f"m{reference}", f"a{alpha:g}"),
+                label,
+                lambda w=window_months: fit_and_score(w),
             )
         )
     return points

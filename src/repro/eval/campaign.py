@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.data.validation import DatasetBundle
 from repro.errors import EvaluationError
 from repro.eval.protocol import EvaluationProtocol
 from repro.ml.metrics import auroc, lift_at_fraction, precision_recall_f1
+from repro.runtime.checkpoint import CheckpointJournal
 
 __all__ = ["CampaignPoint", "CampaignComparison", "compare_models"]
 
@@ -93,6 +95,29 @@ def _campaign_metrics(
     )
 
 
+def _point_to_payload(point: CampaignPoint) -> dict:
+    """A :class:`CampaignPoint` as a JSON value.
+
+    The budget-keyed dicts become ``[[budget, value], ...]`` pair lists
+    because JSON object keys cannot be floats.
+    """
+    return {
+        "auroc": point.auroc,
+        "lift": [[b, v] for b, v in point.lift.items()],
+        "precision": [[b, v] for b, v in point.precision.items()],
+    }
+
+
+def _point_from_payload(name: str, month: int, payload: dict) -> CampaignPoint:
+    return CampaignPoint(
+        model=name,
+        month=month,
+        auroc=float(payload["auroc"]),
+        lift={float(b): float(v) for b, v in payload["lift"]},
+        precision={float(b): float(v) for b, v in payload["precision"]},
+    )
+
+
 def compare_models(
     bundle: DatasetBundle,
     window_months: int = 2,
@@ -100,12 +125,18 @@ def compare_models(
     months: Sequence[int] = (20, 22, 24),
     budgets: Sequence[float] = BUDGETS,
     seed: int = 0,
+    checkpoint_dir: str | Path | None = None,
 ) -> CampaignComparison:
     """Evaluate every implemented model at the given months and budgets.
 
     Trainable scorers (RFM, behavioural, sequence) are trained on a
     stratified half and scored on the other half; untrained scorers
     (stability, rules) are scored on the same test half.
+
+    With a ``checkpoint_dir`` every finished ``(model, month)`` cell is
+    journaled atomically; a rerun against the same directory skips the
+    refits behind finished cells (a fully journaled stability row even
+    skips the stability fit itself).
     """
     protocol = EvaluationProtocol(
         bundle,
@@ -123,9 +154,37 @@ def compare_models(
         if month not in month_to_window:
             raise EvaluationError(f"no {window_months}-month window ends at month {month}")
 
-    stability = StabilityModel(
-        bundle.calendar, window_months=window_months, alpha=alpha
-    ).fit(bundle.log, test)
+    journal = (
+        CheckpointJournal(checkpoint_dir, schema="campaign")
+        if checkpoint_dir is not None
+        else None
+    )
+    tag = (
+        f"w{window_months}_a{alpha:g}_s{seed}_"
+        f"b{'-'.join(f'{b:g}' for b in budgets)}"
+    )
+
+    def cell(name: str, month: int, compute) -> CampaignPoint:
+        """One journaled campaign cell; a hit skips the scorer refit."""
+        if journal is None:
+            return compute()
+        key = ("campaign", name, f"m{month}", tag)
+        payload = journal.get_or_compute(
+            key, lambda: _point_to_payload(compute())
+        )
+        return _point_from_payload(name, month, payload)
+
+    # Fitted lazily so a fully journaled rerun skips the fit entirely.
+    _stability: StabilityModel | None = None
+
+    def stability() -> StabilityModel:
+        nonlocal _stability
+        if _stability is None:
+            _stability = StabilityModel(
+                bundle.calendar, window_months=window_months, alpha=alpha
+            ).fit(bundle.log, test)
+        return _stability
+
     trainable = {
         "rfm": RFMModel(bundle.calendar, window_months=window_months),
         "behavioral": BehavioralModel(bundle.calendar, window_months=window_months),
@@ -149,37 +208,50 @@ def compare_models(
         "random": RandomBaseline(seed=seed),
     }
 
+    def fit_and_measure(name: str, model, month: int, window: int) -> CampaignPoint:
+        model.fit(bundle.log, bundle.cohorts, window, train)
+        return _campaign_metrics(
+            name, month, model.churn_scores(bundle.log, test, window), labels, budgets
+        )
+
     points: list[CampaignPoint] = []
     for month in months:
         window = month_to_window[month]
         points.append(
-            _campaign_metrics(
+            cell(
                 "stability",
                 month,
-                stability.churn_scores(window, test),
-                labels,
-                budgets,
+                lambda k=window, m=month: _campaign_metrics(
+                    "stability",
+                    m,
+                    stability().churn_scores(k, test),
+                    labels,
+                    budgets,
+                ),
             )
         )
         for name, model in trainable.items():
-            model.fit(bundle.log, bundle.cohorts, window, train)
             points.append(
-                _campaign_metrics(
+                cell(
                     name,
                     month,
-                    model.churn_scores(bundle.log, test, window),
-                    labels,
-                    budgets,
+                    lambda n=name, mo=model, m=month, k=window: fit_and_measure(
+                        n, mo, m, k
+                    ),
                 )
             )
         for name, rule in rules.items():
             points.append(
-                _campaign_metrics(
+                cell(
                     name,
                     month,
-                    rule.churn_scores(bundle.log, test, window),
-                    labels,
-                    budgets,
+                    lambda n=name, r=rule, m=month, k=window: _campaign_metrics(
+                        n,
+                        m,
+                        r.churn_scores(bundle.log, test, k),
+                        labels,
+                        budgets,
+                    ),
                 )
             )
     return CampaignComparison(points=tuple(points), budgets=tuple(budgets))

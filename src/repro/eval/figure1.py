@@ -14,6 +14,7 @@ disjoint, stratified training split at each window.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.baselines.rfm import RFMModel
 from repro.config import ExperimentConfig
@@ -56,6 +57,7 @@ def run_figure1(
     test_fraction: float = 0.5,
     seed: int = 0,
     config: ExperimentConfig | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> Figure1Result:
     """Run the Figure 1 experiment on a dataset bundle.
 
@@ -70,7 +72,11 @@ def run_figure1(
 
     The bundle's log is encoded into one
     :class:`~repro.data.population.PopulationFrame` shared by the
-    stability fit and every per-window RFM refit.
+    stability fit and every per-window RFM refit.  With a
+    ``checkpoint_dir`` every finished (scorer, month) AUROC cell is
+    journaled atomically, so a killed run restarted against the same
+    directory resumes without recomputing finished cells (including the
+    per-window RFM refits).
     """
     if config is None:
         config = ExperimentConfig(
@@ -80,7 +86,9 @@ def run_figure1(
             last_month=last_month,
             backend="batch",
         )
-    protocol = EvaluationProtocol(bundle, config=config)
+    protocol = EvaluationProtocol(
+        bundle, config=config, checkpoint_dir=checkpoint_dir
+    )
     train_ids, test_ids = protocol.train_test_split(
         test_fraction=test_fraction, seed=seed
     )

@@ -15,12 +15,19 @@ consumer: the bundle's log is encoded into columnar form **once**
 (:meth:`EvaluationProtocol.frame`) and every frame-aware scorer
 (``supports_frame = True``) is fed that frame instead of the raw log, so
 a full ROC sweep re-derives no per-customer windowed dictionaries.
+
+With a ``checkpoint_dir`` the protocol is also *resumable*: every
+finished ``(scorer, month, config)`` cell is journaled atomically
+through a :class:`~repro.runtime.checkpoint.CheckpointJournal`, so a
+killed sweep restarted against the same directory skips straight past
+completed cells (including the per-window scorer refits they imply).
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -30,6 +37,7 @@ from repro.data.population import PopulationFrame
 from repro.data.validation import DatasetBundle
 from repro.errors import ConfigError, EvaluationError
 from repro.ml.metrics import auroc
+from repro.runtime.checkpoint import CheckpointJournal
 
 __all__ = ["MonthScore", "ScoreSeries", "EvaluationProtocol"]
 
@@ -88,6 +96,11 @@ class EvaluationProtocol:
         The shared :class:`~repro.config.ExperimentConfig`; its
         ``window_months`` / ``first_month`` / ``last_month`` fields are
         validated once and drive the whole evaluation.
+    checkpoint_dir:
+        Optional journal directory making the evaluation resumable:
+        each finished ``(scorer, month, config)`` AUROC cell is written
+        atomically the moment it completes, and a rerun against the
+        same directory skips finished cells without recomputation.
     """
 
     def __init__(
@@ -97,6 +110,7 @@ class EvaluationProtocol:
         first_month: int = 12,
         last_month: int = 24,
         config: ExperimentConfig | None = None,
+        checkpoint_dir: str | Path | None = None,
     ) -> None:
         if config is None:
             config = ExperimentConfig(
@@ -109,7 +123,40 @@ class EvaluationProtocol:
         self.window_months = config.window_months
         self.first_month = config.first_month
         self.last_month = config.last_month
+        self.checkpoint_dir = checkpoint_dir
+        self._journal: CheckpointJournal | None = None
         self._frame: PopulationFrame | None = None
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def journal(self) -> CheckpointJournal | None:
+        """The cell journal (``None`` without a ``checkpoint_dir``)."""
+        if self.checkpoint_dir is None:
+            return None
+        if self._journal is None:
+            self._journal = CheckpointJournal(
+                self.checkpoint_dir, schema="eval-protocol"
+            )
+        return self._journal
+
+    def _config_tag(self) -> str:
+        """Cell-key component pinning the evaluated configuration, so a
+        journal directory reused with different knobs never aliases."""
+        c = self.config
+        return (
+            f"w{c.window_months}_a{c.alpha:g}_{c.backend}_"
+            f"m{c.first_month}-{c.last_month}"
+        )
+
+    def _cell(self, name: str, month: int, compute) -> float:
+        """One journaled AUROC cell: load when finished, else compute
+        and persist atomically before returning."""
+        journal = self.journal()
+        if journal is None:
+            return compute()
+        key = (name, f"month={month}", self._config_tag())
+        return float(journal.get_or_compute(key, lambda: float(compute())))
 
     def frame(self) -> PopulationFrame:
         """The bundle's columnar frame on the protocol's grid.
@@ -170,13 +217,15 @@ class EvaluationProtocol:
         )
         points = []
         for window_index, month in self.evaluation_windows(model):
-            scores = model.churn_scores(window_index, ids)
+            value = self._cell(
+                "stability",
+                month,
+                lambda k=window_index: self.auroc_of_scores(
+                    model.churn_scores(k, ids), ids
+                ),
+            )
             points.append(
-                MonthScore(
-                    month=month,
-                    window_index=window_index,
-                    auroc=self.auroc_of_scores(scores, ids),
-                )
+                MonthScore(month=month, window_index=window_index, auroc=value)
             )
         return ScoreSeries(name="stability", points=tuple(points))
 
@@ -199,16 +248,20 @@ class EvaluationProtocol:
         """
         log = self._scorer_source(scorer)
         cohorts = self.bundle.cohorts
-        points = []
-        for window_index, month in self.evaluation_windows(scorer):
+
+        def fit_and_score(window_index: int) -> float:
             scorer.fit(log, cohorts, window_index, train_customers)
             scores = scorer.churn_scores(log, test_customers, window_index)
+            return self.auroc_of_scores(scores, list(test_customers))
+
+        points = []
+        for window_index, month in self.evaluation_windows(scorer):
+            # A journaled cell skips the whole refit, not just the AUROC.
+            value = self._cell(
+                name, month, lambda k=window_index: fit_and_score(k)
+            )
             points.append(
-                MonthScore(
-                    month=month,
-                    window_index=window_index,
-                    auroc=self.auroc_of_scores(scores, list(test_customers)),
-                )
+                MonthScore(month=month, window_index=window_index, auroc=value)
             )
         return ScoreSeries(name=name, points=tuple(points))
 
@@ -235,13 +288,15 @@ class EvaluationProtocol:
             month = grid.end_month(window_index, self.bundle.calendar)
             if not self.first_month <= month <= self.last_month:
                 continue
-            scores = rule.churn_scores(source, ids, window_index)
+            value = self._cell(
+                name,
+                month,
+                lambda k=window_index: self.auroc_of_scores(
+                    rule.churn_scores(source, ids, k), ids
+                ),
+            )
             points.append(
-                MonthScore(
-                    month=month,
-                    window_index=window_index,
-                    auroc=self.auroc_of_scores(scores, ids),
-                )
+                MonthScore(month=month, window_index=window_index, auroc=value)
             )
         if not points:
             raise EvaluationError(

@@ -21,12 +21,14 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.baselines.rfm import RFMModel
 from repro.config import ExperimentConfig
 from repro.core.detector import ThresholdDetector
 from repro.core.model import StabilityModel
 from repro.eval.protocol import EvaluationProtocol
+from repro.runtime.checkpoint import CheckpointJournal
 from repro.synth.generator import ScenarioConfig, generate_dataset
 from repro.synth.scenarios import ATTRITION_MECHANISMS, mechanism_scenario
 
@@ -57,10 +59,21 @@ def mechanism_crossover(
     window_months: int = 2,
     alpha: float = 2.0,
     seed: int = 7,
+    checkpoint_dir: str | Path | None = None,
 ) -> list[MechanismResult]:
-    """Run stability vs RFM on every churn-mechanism preset."""
-    results = []
-    for mechanism in sorted(ATTRITION_MECHANISMS):
+    """Run stability vs RFM on every churn-mechanism preset.
+
+    With a ``checkpoint_dir`` each finished mechanism is journaled as one
+    cell; a rerun against the same directory skips that mechanism's
+    dataset generation and both fits entirely.
+    """
+    journal = (
+        CheckpointJournal(checkpoint_dir, schema="robustness")
+        if checkpoint_dir is not None
+        else None
+    )
+
+    def run_mechanism(mechanism: str) -> dict:
         dataset = mechanism_scenario(
             mechanism, n_loyal=n_loyal, n_churners=n_churners, seed=seed
         )
@@ -79,13 +92,32 @@ def mechanism_crossover(
         stability_series = protocol.evaluate_stability_model(stability, test)
         rfm = RFMModel(dataset.calendar, config=config)
         rfm_series = protocol.evaluate_window_scorer(rfm, "rfm", train, test)
+        # month -> auroc maps as pair lists: JSON keys cannot be ints.
+        return {
+            "stability": [[m, stability_series.at_month(m)] for m in months],
+            "rfm": [[m, rfm_series.at_month(m)] for m in months],
+        }
+
+    results = []
+    for mechanism in sorted(ATTRITION_MECHANISMS):
+        if journal is None:
+            payload = run_mechanism(mechanism)
+        else:
+            key = (
+                "mechanism_crossover",
+                mechanism,
+                f"w{window_months}_a{alpha:g}_s{seed}_"
+                f"n{n_loyal}-{n_churners}_"
+                f"m{'-'.join(str(m) for m in months)}",
+            )
+            payload = journal.get_or_compute(
+                key, lambda m=mechanism: run_mechanism(m)
+            )
         results.append(
             MechanismResult(
                 mechanism=mechanism,
-                stability_auroc={
-                    m: stability_series.at_month(m) for m in months
-                },
-                rfm_auroc={m: rfm_series.at_month(m) for m in months},
+                stability_auroc={int(m): float(v) for m, v in payload["stability"]},
+                rfm_auroc={int(m): float(v) for m, v in payload["rfm"]},
             )
         )
     return results
@@ -109,6 +141,7 @@ def vacation_sensitivity(
     window_months: int = 2,
     seed: int = 7,
     vacation_duration_days: tuple[int, int] = (45, 75),
+    checkpoint_dir: str | Path | None = None,
 ) -> list[VacationPoint]:
     """Sweep the fraction of customers taking a long vacation.
 
@@ -118,9 +151,17 @@ def vacation_sensitivity(
     AUROC is measured at ``eval_month``; the false-alarm rate is the
     fraction of loyal customers tripping the fixed-``beta`` detector at
     any window from month 12 on.
+
+    With a ``checkpoint_dir`` each finished prevalence level is journaled
+    as one cell and its dataset generation and fit are skipped on rerun.
     """
-    points = []
-    for prob in vacation_probs:
+    journal = (
+        CheckpointJournal(checkpoint_dir, schema="robustness")
+        if checkpoint_dir is not None
+        else None
+    )
+
+    def run_prob(prob: float) -> dict:
         dataset = generate_dataset(
             ScenarioConfig(
                 n_loyal=n_loyal,
@@ -153,11 +194,29 @@ def vacation_sensitivity(
             if detector.first_alarm(model.trajectory(customer), first_window)
             is not None
         )
+        return {
+            "auroc": series.at_month(eval_month),
+            "loyal_false_alarm_rate": false_alarms / len(loyal),
+        }
+
+    points = []
+    for prob in vacation_probs:
+        if journal is None:
+            payload = run_prob(prob)
+        else:
+            key = (
+                "vacation_sensitivity",
+                f"p{float(prob):g}",
+                f"w{window_months}_b{beta:g}_s{seed}_m{eval_month}_"
+                f"n{n_loyal}-{n_churners}_"
+                f"d{vacation_duration_days[0]}-{vacation_duration_days[1]}",
+            )
+            payload = journal.get_or_compute(key, lambda p=prob: run_prob(p))
         points.append(
             VacationPoint(
                 vacation_prob=float(prob),
-                auroc=series.at_month(eval_month),
-                loyal_false_alarm_rate=false_alarms / len(loyal),
+                auroc=float(payload["auroc"]),
+                loyal_false_alarm_rate=float(payload["loyal_false_alarm_rate"]),
             )
         )
     return points

@@ -1,0 +1,191 @@
+"""Checkpointed sweeps: journal each finished cell, resume by skipping it.
+
+A long parameter sweep (the Figure 1 ROC sweep, an ablation grid, the
+campaign comparison) is a set of independent *cells* — one
+``(scorer, month, config)`` combination each.  A killed sweep used to
+lose every finished cell; with a :class:`CheckpointJournal` each cell is
+persisted the moment it completes:
+
+* one JSON file per cell, named by a readable slug plus a hash of the
+  full key (collision-proof, filesystem-safe);
+* written atomically — serialise to a temporary file in the same
+  directory, then ``os.replace`` — so a kill mid-write leaves either the
+  old state or the new, never a torn file under the final name;
+* self-describing — every file carries the journal schema name, a format
+  version and its own key, so a cell from a different sweep or a corrupt
+  / truncated file raises :class:`~repro.errors.CheckpointError` instead
+  of being silently ingested.
+
+Values must be JSON-serialisable; floats round-trip exactly (``json``
+emits ``repr`` precision), so resumed sweeps are bit-identical to
+uninterrupted ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from collections.abc import Callable, Sequence
+from pathlib import Path
+
+from repro.errors import CheckpointError
+
+__all__ = ["CheckpointJournal"]
+
+#: Journal file format version; bump on incompatible layout changes.
+JOURNAL_VERSION = 1
+
+_SLUG_RE = re.compile(r"[^-\w.=]+")
+
+
+class CheckpointJournal:
+    """Directory of atomically-written, schema-checked cell files.
+
+    Parameters
+    ----------
+    directory:
+        Where cell files live; created on first use.  Reusing the
+        directory across runs is what makes a sweep resumable.
+    schema:
+        Logical name of the sweep writing the journal (e.g.
+        ``"eval-protocol"``); cells from a different schema are rejected
+        at load time.
+    """
+
+    def __init__(self, directory: str | Path, schema: str = "cells") -> None:
+        if not schema:
+            raise CheckpointError("journal schema name must be non-empty")
+        self.directory = Path(directory)
+        self.schema = schema
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key_parts(key: Sequence) -> tuple[str, ...]:
+        parts = tuple(str(part) for part in key)
+        if not parts:
+            raise CheckpointError("checkpoint key must be non-empty")
+        return parts
+
+    def path_of(self, key: Sequence) -> Path:
+        """The cell file a key maps to (deterministic, collision-proof)."""
+        parts = self._key_parts(key)
+        slug = "_".join(_SLUG_RE.sub("-", part) for part in parts)[:80]
+        digest = hashlib.sha1(
+            json.dumps(parts).encode("utf-8")
+        ).hexdigest()[:10]
+        return self.directory / f"{slug}.{digest}.json"
+
+    # ------------------------------------------------------------------
+    # Cell I/O
+    # ------------------------------------------------------------------
+    def has(self, key: Sequence) -> bool:
+        """Whether a *valid* cell exists for the key.
+
+        Raises
+        ------
+        CheckpointError
+            If a file exists but is corrupt, truncated or from another
+            schema — resuming must not silently ingest garbage.
+        """
+        path = self.path_of(key)
+        if not path.exists():
+            return False
+        self.load(key)
+        return True
+
+    def load(self, key: Sequence):
+        """The stored value of a finished cell.
+
+        Raises
+        ------
+        CheckpointError
+            If the cell is missing, unparseable, or fails schema /
+            version / key validation.
+        """
+        parts = self._key_parts(key)
+        path = self.path_of(key)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise CheckpointError(f"{path}: cannot read checkpoint: {exc}") from exc
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"{path}: corrupt or truncated checkpoint (invalid JSON)"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError(f"{path}: checkpoint is not a JSON object")
+        for field in ("schema", "version", "key", "value"):
+            if field not in payload:
+                raise CheckpointError(f"{path}: checkpoint missing {field!r}")
+        if payload["schema"] != self.schema:
+            raise CheckpointError(
+                f"{path}: checkpoint belongs to schema {payload['schema']!r}, "
+                f"this journal expects {self.schema!r}"
+            )
+        if payload["version"] != JOURNAL_VERSION:
+            raise CheckpointError(
+                f"{path}: unsupported checkpoint version {payload['version']!r} "
+                f"(this build reads version {JOURNAL_VERSION})"
+            )
+        if tuple(payload["key"]) != parts:
+            raise CheckpointError(
+                f"{path}: checkpoint key {payload['key']!r} does not match "
+                f"{list(parts)!r} (hash collision or tampered file)"
+            )
+        return payload["value"]
+
+    def store(self, key: Sequence, value) -> None:
+        """Persist one finished cell atomically (write-temp-then-rename)."""
+        parts = self._key_parts(key)
+        path = self.path_of(key)
+        payload = {
+            "schema": self.schema,
+            "version": JOURNAL_VERSION,
+            "key": list(parts),
+            "value": value,
+        }
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    def get_or_compute(self, key: Sequence, compute: Callable[[], object]):
+        """Return the journaled value, computing and storing it if absent."""
+        path = self.path_of(key)
+        if path.exists():
+            return self.load(key)
+        value = compute()
+        self.store(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def n_entries(self) -> int:
+        """Number of cell files currently journaled."""
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def keys(self) -> list[tuple[str, ...]]:
+        """Keys of every valid journaled cell (sorted).
+
+        Raises
+        ------
+        CheckpointError
+            If any cell file is corrupt.
+        """
+        keys = []
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                keys.append(tuple(payload["key"]))
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise CheckpointError(
+                    f"{path}: corrupt checkpoint in journal listing"
+                ) from exc
+        return sorted(keys)

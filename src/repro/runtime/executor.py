@@ -1,0 +1,235 @@
+"""Resilient shard execution: retry, isolate, degrade — never lose a fit.
+
+``ProcessPoolExecutor.map`` is all-or-nothing: one OOM-killed worker
+raises ``BrokenProcessPool`` and the entire multi-core fit is lost.
+:func:`run_sharded` replaces it with a fault-isolating protocol:
+
+1. every shard is submitted as its own future, so shards that finished
+   before a pool breakage keep their results;
+2. failed shards (worker death, pickling failure, in-worker exception,
+   per-shard timeout) are retried in a fresh pool, with exponential
+   backoff between waves;
+3. shards still failing after ``retries`` waves are **degraded**:
+   recomputed serially in the parent process with the same function, so
+   the overall result is bit-identical to a fault-free run — parallelism
+   is a performance optimisation, never a correctness dependency;
+4. the whole history is returned as a structured
+   :class:`ExecutionReport` so callers can log, alert on, or assert
+   about what the runtime had to absorb.
+
+Only when the *function itself* fails in-process — a genuine kernel bug
+or bad data, not infrastructure — does :class:`~repro.errors.ExecutionError`
+propagate.
+
+Fault injection for tests goes through
+:class:`~repro.runtime.faults.FaultPlan`, keyed on ``(shard, attempt)``
+so every simulated crash is deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, ExecutionError
+from repro.runtime.faults import FaultPlan
+
+__all__ = ["ShardOutcome", "ExecutionReport", "run_sharded"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardOutcome:
+    """What it took to complete one shard.
+
+    Attributes
+    ----------
+    shard:
+        Shard index (position in the submitted task list).
+    pool_attempts:
+        Number of times the shard was submitted to a worker pool.
+    degraded:
+        True when the shard was finally recomputed serially in the
+        parent process.
+    errors:
+        One ``"ExceptionType: message"`` string per failed pool attempt,
+        oldest first (empty for a clean shard).
+    """
+
+    shard: int
+    pool_attempts: int
+    degraded: bool
+    errors: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        """Completed on the first pool attempt with no fault."""
+        return not self.errors and not self.degraded
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Structured account of one resilient sharded run."""
+
+    n_shards: int
+    max_workers: int
+    retries: int
+    wall_seconds: float
+    outcomes: tuple[ShardOutcome, ...]
+
+    @property
+    def n_retried(self) -> int:
+        """Shards that needed more than one pool attempt."""
+        return sum(1 for o in self.outcomes if o.errors)
+
+    @property
+    def n_degraded(self) -> int:
+        """Shards recomputed serially in the parent process."""
+        return sum(1 for o in self.outcomes if o.degraded)
+
+    @property
+    def fault_free(self) -> bool:
+        return all(o.clean for o in self.outcomes)
+
+    def summary(self) -> str:
+        """One log-line description of the run."""
+        status = (
+            "fault-free"
+            if self.fault_free
+            else f"{self.n_retried} retried, {self.n_degraded} degraded"
+        )
+        return (
+            f"{self.n_shards} shard(s) on {self.max_workers} worker(s) "
+            f"in {self.wall_seconds:.3f}s ({status})"
+        )
+
+
+def _guarded(
+    fn: Callable, task, shard: int, attempt: int, plan: FaultPlan | None
+):
+    """Worker-side wrapper: apply any injected fault, then compute."""
+    if plan is not None:
+        plan.apply(shard, attempt)
+    return fn(task)
+
+
+def run_sharded(
+    fn: Callable,
+    tasks: Sequence,
+    *,
+    max_workers: int | None = None,
+    retries: int = 2,
+    backoff_seconds: float = 0.05,
+    timeout: float | None = None,
+    fault_plan: FaultPlan | None = None,
+) -> tuple[list, ExecutionReport]:
+    """Apply ``fn`` to every task with per-shard fault isolation.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable applied to each task (pickled to workers).
+    tasks:
+        The shard payloads; ``results[i] == fn(tasks[i])`` on return.
+    max_workers:
+        Pool size per wave (default: one worker per pending shard).
+    retries:
+        Pool waves beyond the first before a shard degrades to the
+        serial in-process fallback (``retries=0`` means degrade on the
+        first failure).
+    backoff_seconds:
+        Base sleep between waves, doubled each wave (0 disables).
+    timeout:
+        Per-shard wait in seconds; a shard exceeding it counts as failed
+        for that wave (the worker keeps running but its result is
+        discarded).
+    fault_plan:
+        Deterministic fault injection for tests; see
+        :class:`~repro.runtime.faults.FaultPlan`.
+
+    Returns
+    -------
+    ``(results, report)`` — results in task order, plus the structured
+    :class:`ExecutionReport`.
+
+    Raises
+    ------
+    ExecutionError
+        If a shard fails even in the serial in-process fallback, i.e.
+        ``fn`` itself raises outside any worker.
+    """
+    if retries < 0:
+        raise ConfigError(f"retries must be >= 0, got {retries}")
+    if backoff_seconds < 0:
+        raise ConfigError(
+            f"backoff_seconds must be >= 0, got {backoff_seconds}"
+        )
+    if timeout is not None and timeout <= 0:
+        raise ConfigError(f"timeout must be positive, got {timeout}")
+    tasks = list(tasks)
+    n = len(tasks)
+    started = time.perf_counter()
+    results: list = [None] * n
+    attempts = [0] * n
+    errors: list[list[str]] = [[] for _ in range(n)]
+    degraded: set[int] = set()
+
+    pending = list(range(n))
+    wave = 0
+    while pending and wave <= retries:
+        if wave > 0 and backoff_seconds > 0:
+            time.sleep(backoff_seconds * (2 ** (wave - 1)))
+        workers = min(max_workers or len(pending), len(pending))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures = {}
+        failed = []
+        for i in pending:
+            attempts[i] += 1
+            try:
+                futures[i] = pool.submit(
+                    _guarded, fn, tasks[i], i, wave, fault_plan
+                )
+            except BaseException as exc:  # pool already broken mid-wave
+                errors[i].append(f"{type(exc).__name__}: {exc}")
+                failed.append(i)
+        for i, future in futures.items():
+            try:
+                results[i] = future.result(timeout=timeout)
+            except BaseException as exc:  # noqa: BLE001 — every failure
+                # mode (BrokenProcessPool, TimeoutError, pickling errors,
+                # in-worker exceptions) is retryable infrastructure here.
+                errors[i].append(f"{type(exc).__name__}: {exc}")
+                failed.append(i)
+        # Never wait on stragglers: a timed-out worker may still be
+        # running, and a broken pool cannot be drained.
+        pool.shutdown(wait=not failed, cancel_futures=True)
+        pending = failed
+        wave += 1
+
+    for i in pending:
+        degraded.add(i)
+        try:
+            results[i] = fn(tasks[i])
+        except Exception as exc:
+            raise ExecutionError(
+                f"shard {i} failed in-process after {attempts[i]} pool "
+                f"attempt(s): {exc}"
+            ) from exc
+
+    report = ExecutionReport(
+        n_shards=n,
+        max_workers=min(max_workers or n, n) if n else 0,
+        retries=retries,
+        wall_seconds=time.perf_counter() - started,
+        outcomes=tuple(
+            ShardOutcome(
+                shard=i,
+                pool_attempts=attempts[i],
+                degraded=i in degraded,
+                errors=tuple(errors[i]),
+            )
+            for i in range(n)
+        ),
+    )
+    return results, report

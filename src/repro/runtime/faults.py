@@ -1,0 +1,120 @@
+"""Deterministic fault injection for the resilience test harness.
+
+A :class:`FaultPlan` describes, per ``(shard, attempt)`` cell, which
+infrastructure fault to simulate inside a worker process:
+
+* **crash** — the worker calls ``os._exit``, which kills the process
+  without unwinding; the pool surfaces this as ``BrokenProcessPool``,
+  the same failure an OOM kill produces;
+* **error** — the worker raises :class:`InjectedFault`, modelling a
+  transient in-worker failure (a flaky filesystem read, a poisoned
+  cache) that a retry clears;
+* **slow** — the worker sleeps before computing, so a per-shard timeout
+  in the parent fires.
+
+The plan is a frozen, picklable value object: it travels to the worker
+with the task, and keying every fault on the attempt number makes runs
+reproducible — "crash shard 0 on attempt 0" behaves identically every
+time, unlike ``kill -9`` races.
+
+:func:`tear_file` complements the plan for durability tests: it
+truncates a file mid-byte, simulating a checkpoint or snapshot whose
+write was interrupted before the atomic rename.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+__all__ = ["InjectedFault", "FaultPlan", "tear_file"]
+
+
+class InjectedFault(RuntimeError):
+    """The deliberate in-worker failure raised by an ``error`` injection."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which fault to inject at each ``(shard, attempt)`` cell.
+
+    Attributes
+    ----------
+    crashes:
+        ``(shard, attempt)`` pairs at which the worker process dies via
+        ``os._exit`` (no unwinding, pool breakage).
+    errors:
+        ``(shard, attempt)`` pairs at which the worker raises
+        :class:`InjectedFault`.
+    slow:
+        ``(shard, attempt, seconds)`` triples: the worker sleeps
+        ``seconds`` before computing.
+
+    Attempts are 0-based: attempt 0 is the first pool execution of a
+    shard; each retry increments it.  The serial in-process fallback
+    bypasses injection entirely — it models the parent process, which
+    the simulated worker faults cannot reach.
+    """
+
+    crashes: tuple[tuple[int, int], ...] = ()
+    errors: tuple[tuple[int, int], ...] = ()
+    slow: tuple[tuple[int, int, float], ...] = ()
+    #: Exit status used by crash injections (visible in worker diagnostics).
+    crash_exit_code: int = field(default=86)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "crashes", tuple((int(s), int(a)) for s, a in self.crashes)
+        )
+        object.__setattr__(
+            self, "errors", tuple((int(s), int(a)) for s, a in self.errors)
+        )
+        object.__setattr__(
+            self,
+            "slow",
+            tuple((int(s), int(a), float(sec)) for s, a, sec in self.slow),
+        )
+        if any(sec < 0 for _, _, sec in self.slow):
+            raise ConfigError("slow-shard delays must be >= 0")
+
+    def delay_of(self, shard: int, attempt: int) -> float:
+        """Injected sleep for one cell (0 when none)."""
+        return sum(
+            sec for s, a, sec in self.slow if s == shard and a == attempt
+        )
+
+    def apply(self, shard: int, attempt: int) -> None:
+        """Run inside the worker: inject whatever this cell specifies."""
+        delay = self.delay_of(shard, attempt)
+        if delay > 0:
+            time.sleep(delay)
+        if (shard, attempt) in self.crashes:
+            os._exit(self.crash_exit_code)
+        if (shard, attempt) in self.errors:
+            raise InjectedFault(
+                f"injected fault in shard {shard} (attempt {attempt})"
+            )
+
+
+def tear_file(path: str | Path, keep_fraction: float = 0.5) -> Path:
+    """Truncate a file to simulate a torn (interrupted) write.
+
+    Keeps the first ``keep_fraction`` of the bytes — enough that naive
+    readers might still try to parse it — and returns the path.  With
+    ``keep_fraction=0`` the file becomes empty.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ConfigError(
+            f"keep_fraction must be in [0, 1), got {keep_fraction}"
+        )
+    path = Path(path)
+    data = path.read_bytes()
+    if not data:
+        return path
+    keep = int(len(data) * keep_fraction)
+    path.write_bytes(data[:keep])
+    return path

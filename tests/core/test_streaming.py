@@ -37,6 +37,28 @@ class TestValidation:
         with pytest.raises(DataError, match="day order"):
             monitor.ingest(_basket(1, 10, [1]))
 
+    def test_cross_window_out_of_order_names_closed_window(self, grid):
+        # Day 30 opens window 3 and closes 0-2; a basket for day 10
+        # belongs to the already-scored window 1, which must refuse with
+        # customer/day/window context rather than fold in silently.
+        monitor = StabilityMonitor(grid)
+        monitor.ingest(_basket(1, 30, [1]))
+        with pytest.raises(
+            DataError,
+            match=r"customer 7: basket at day 10 predates the open window 3",
+        ):
+            monitor.ingest(_basket(7, 10, [1]))
+
+    def test_same_window_out_of_order_names_customer_and_days(self, grid):
+        # Days 15 and 12 share window 1: assignment would be unharmed,
+        # but day order is still the stream contract.
+        monitor = StabilityMonitor(grid)
+        monitor.ingest(_basket(1, 15, [1]))
+        with pytest.raises(
+            DataError, match=r"customer 2: .*day 12 after day 15"
+        ):
+            monitor.ingest(_basket(2, 12, [1]))
+
     def test_outside_grid_rejected(self, grid):
         monitor = StabilityMonitor(grid)
         with pytest.raises(DataError, match="outside"):

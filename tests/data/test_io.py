@@ -15,8 +15,9 @@ from repro.data.io import (
     write_log_csv,
 )
 from repro.data.items import Catalog
+from repro.data.quality import render_quarantine_report
 from repro.data.transactions import TransactionLog
-from repro.errors import SchemaError
+from repro.errors import ConfigError, SchemaError
 
 
 @pytest.fixture()
@@ -76,6 +77,85 @@ class TestLogCsv:
         write_log_csv(log, path)
         back = read_log_csv(path)
         assert back.history(5)[0].items == frozenset()
+
+    def test_monetary_round_trips_bit_exactly(self, tmp_path):
+        # Sub-cent values used to be silently rounded by the %.2f writer.
+        log = TransactionLog()
+        values = (0.1 + 0.2, 4.005, 1e-4, 123456.789012345)
+        for day, monetary in enumerate(values):
+            log.add(
+                Basket.of(customer_id=1, day=day, items=[1], monetary=monetary)
+            )
+        path = tmp_path / "log.csv"
+        write_log_csv(log, path)
+        back = read_log_csv(path)
+        assert tuple(b.monetary for b in back.history(1)) == values
+
+
+class TestLenientIngest:
+    def _write_dirty(self, log: TransactionLog, tmp_path):
+        path = tmp_path / "dirty.csv"
+        write_log_csv(log, path)
+        lines = path.read_text().splitlines()
+        lines.insert(2, "7,abc,1 2,3.0")  # non-numeric day
+        lines.insert(4, "too,few")  # field-count mismatch
+        lines.append("7,-3,1,1.0")  # negative day (DataError)
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_quarantine_sets_bad_rows_aside(self, log, tmp_path):
+        path = self._write_dirty(log, tmp_path)
+        clean, report = read_log_csv(path, on_error="quarantine")
+        assert clean.n_baskets == log.n_baskets
+        assert report.n_quarantined == 3
+        assert report.n_rows_total == log.n_baskets + 3
+        assert report.n_clean == log.n_baskets
+        assert not report.is_clean
+        lines = {row.line for row in report.rows}
+        assert len(lines) == 3
+        reasons = " | ".join(row.reason for row in report.rows)
+        assert "expected 4 fields" in reasons
+        assert "day offset" in reasons
+
+    def test_default_strict_mode_unchanged(self, log, tmp_path):
+        path = self._write_dirty(log, tmp_path)
+        with pytest.raises(SchemaError, match=":3:"):
+            read_log_csv(path)
+
+    def test_clean_file_quarantines_nothing(self, log, tmp_path):
+        path = tmp_path / "log.csv"
+        write_log_csv(log, path)
+        clean, report = read_log_csv(path, on_error="quarantine")
+        assert report.is_clean
+        assert report.n_quarantined == 0
+        assert clean.n_baskets == log.n_baskets
+
+    def test_header_mismatch_always_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(SchemaError, match="header"):
+            read_log_csv(path, on_error="quarantine")
+
+    def test_max_errors_cap(self, log, tmp_path):
+        path = self._write_dirty(log, tmp_path)
+        with pytest.raises(SchemaError, match="more than 2 malformed"):
+            read_log_csv(path, on_error="quarantine", max_errors=2)
+
+    def test_invalid_mode_rejected(self, log, tmp_path):
+        path = tmp_path / "log.csv"
+        write_log_csv(log, path)
+        with pytest.raises(ConfigError, match="on_error"):
+            read_log_csv(path, on_error="ignore")
+        with pytest.raises(ConfigError, match="max_errors"):
+            read_log_csv(path, on_error="quarantine", max_errors=-1)
+
+    def test_render_quarantine_report(self, log, tmp_path):
+        path = self._write_dirty(log, tmp_path)
+        _, report = read_log_csv(path, on_error="quarantine")
+        text = render_quarantine_report(report, limit=2)
+        assert "3 quarantined" in text
+        assert "line " in text
+        assert "... and 1 more" in text
 
 
 class TestCatalogJsonl:

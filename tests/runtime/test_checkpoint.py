@@ -1,0 +1,129 @@
+"""Tests for the atomic checkpoint journal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runtime.checkpoint import JOURNAL_VERSION, CheckpointJournal
+from repro.runtime.faults import tear_file
+
+
+def test_store_load_round_trip(tmp_path):
+    journal = CheckpointJournal(tmp_path, schema="test")
+    key = ("rfm", "month=20", "w2_a2")
+    value = {"auroc": 0.1 + 0.2, "points": [[0.05, 1.5]]}
+    journal.store(key, value)
+    assert journal.load(key) == value
+    # json emits repr precision, so floats survive bit-exactly.
+    assert journal.load(key)["auroc"] == 0.1 + 0.2
+
+
+def test_has_and_missing_load(tmp_path):
+    journal = CheckpointJournal(tmp_path, schema="test")
+    assert not journal.has(("a",))
+    with pytest.raises(CheckpointError):
+        journal.load(("a",))
+    journal.store(("a",), 1)
+    assert journal.has(("a",))
+
+
+def test_get_or_compute_skips_finished_cells(tmp_path):
+    journal = CheckpointJournal(tmp_path, schema="test")
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return 42
+
+    assert journal.get_or_compute(("cell",), compute) == 42
+    assert journal.get_or_compute(("cell",), compute) == 42
+    assert len(calls) == 1
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    journal = CheckpointJournal(tmp_path, schema="test")
+    journal.store(("a",), 1)
+    journal.store(("b",), 2)
+    leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".")]
+    assert leftovers == []
+    assert journal.n_entries() == 2
+
+
+def test_keys_listing(tmp_path):
+    journal = CheckpointJournal(tmp_path, schema="test")
+    journal.store(("b", "2"), 1)
+    journal.store(("a", "1"), 2)
+    assert journal.keys() == [("a", "1"), ("b", "2")]
+
+
+def test_nasty_key_parts_are_filesystem_safe(tmp_path):
+    journal = CheckpointJournal(tmp_path, schema="test")
+    key = ("a/b: c", "../../etc", "x" * 200)
+    journal.store(key, "ok")
+    path = journal.path_of(key)
+    assert path.parent == tmp_path
+    assert journal.load(key) == "ok"
+
+
+def test_torn_checkpoint_detected(tmp_path):
+    journal = CheckpointJournal(tmp_path, schema="test")
+    journal.store(("cell",), {"big": list(range(100))})
+    tear_file(journal.path_of(("cell",)), keep_fraction=0.5)
+    with pytest.raises(CheckpointError, match="corrupt or truncated"):
+        journal.has(("cell",))
+    with pytest.raises(CheckpointError, match="corrupt or truncated"):
+        journal.get_or_compute(("cell",), lambda: 0)
+
+
+def test_foreign_schema_rejected(tmp_path):
+    writer = CheckpointJournal(tmp_path, schema="sweep-a")
+    writer.store(("cell",), 1)
+    reader = CheckpointJournal(tmp_path, schema="sweep-b")
+    # Same key, same path, different sweep: must refuse, not ingest.
+    assert reader.path_of(("cell",)) == writer.path_of(("cell",))
+    with pytest.raises(CheckpointError, match="schema"):
+        reader.load(("cell",))
+
+
+def test_version_mismatch_rejected(tmp_path):
+    journal = CheckpointJournal(tmp_path, schema="test")
+    journal.store(("cell",), 1)
+    path = journal.path_of(("cell",))
+    payload = json.loads(path.read_text())
+    payload["version"] = JOURNAL_VERSION + 1
+    path.write_text(json.dumps(payload))
+    with pytest.raises(CheckpointError, match="version"):
+        journal.load(("cell",))
+
+
+def test_key_tampering_rejected(tmp_path):
+    journal = CheckpointJournal(tmp_path, schema="test")
+    journal.store(("cell",), 1)
+    path = journal.path_of(("cell",))
+    payload = json.loads(path.read_text())
+    payload["key"] = ["other"]
+    path.write_text(json.dumps(payload))
+    with pytest.raises(CheckpointError, match="does not match"):
+        journal.load(("cell",))
+
+
+def test_missing_field_rejected(tmp_path):
+    journal = CheckpointJournal(tmp_path, schema="test")
+    journal.store(("cell",), 1)
+    path = journal.path_of(("cell",))
+    payload = json.loads(path.read_text())
+    del payload["value"]
+    path.write_text(json.dumps(payload))
+    with pytest.raises(CheckpointError, match="missing 'value'"):
+        journal.load(("cell",))
+
+
+def test_empty_key_and_schema_rejected(tmp_path):
+    with pytest.raises(CheckpointError, match="schema"):
+        CheckpointJournal(tmp_path, schema="")
+    journal = CheckpointJournal(tmp_path, schema="test")
+    with pytest.raises(CheckpointError, match="non-empty"):
+        journal.store((), 1)

@@ -1,0 +1,118 @@
+"""Tests for the resilient shard executor.
+
+Every fault below is injected deterministically through a
+:class:`~repro.runtime.faults.FaultPlan`; the invariant under test is
+always the same: ``results == [fn(t) for t in tasks]`` no matter what the
+infrastructure did, with the damage visible in the
+:class:`~repro.runtime.executor.ExecutionReport` instead of the results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, ExecutionError
+from repro.runtime.executor import run_sharded
+from repro.runtime.faults import FaultPlan
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _always_raises(x: int) -> int:
+    raise ValueError(f"kernel bug on {x}")
+
+
+def test_clean_run_returns_results_in_order():
+    results, report = run_sharded(_square, [1, 2, 3, 4])
+    assert results == [1, 4, 9, 16]
+    assert report.fault_free
+    assert report.n_shards == 4
+    assert all(o.pool_attempts == 1 for o in report.outcomes)
+    assert "fault-free" in report.summary()
+
+
+def test_empty_task_list():
+    results, report = run_sharded(_square, [])
+    assert results == []
+    assert report.n_shards == 0
+    assert report.fault_free
+
+
+def test_injected_error_is_retried():
+    plan = FaultPlan(errors=((1, 0),))
+    results, report = run_sharded(_square, [1, 2, 3], fault_plan=plan)
+    assert results == [1, 4, 9]
+    assert not report.fault_free
+    outcome = report.outcomes[1]
+    assert outcome.pool_attempts == 2
+    assert not outcome.degraded
+    assert any("InjectedFault" in e for e in outcome.errors)
+    # The other shards were untouched by a plain in-worker exception.
+    assert report.outcomes[0].clean and report.outcomes[2].clean
+
+
+def test_worker_crash_is_retried_bit_identical():
+    # Shard 0's worker dies via os._exit on its first attempt — the same
+    # signature as an OOM kill.  The pool breaks, but every shard's
+    # result must still come back correct.
+    plan = FaultPlan(crashes=((0, 0),))
+    results, report = run_sharded(_square, [5, 6, 7], fault_plan=plan)
+    assert results == [25, 36, 49]
+    assert not report.fault_free
+    assert report.n_retried >= 1
+    assert report.n_degraded == 0
+    assert "retried" in report.summary()
+
+
+def test_exhausted_retries_degrade_to_in_process():
+    # The fault fires on every attempt the budget allows, so the shard
+    # must fall back to the serial in-process path — which bypasses
+    # injection by design (it models the parent process).
+    plan = FaultPlan(errors=((0, 0), (0, 1)))
+    results, report = run_sharded(
+        _square, [3, 4], retries=1, backoff_seconds=0, fault_plan=plan
+    )
+    assert results == [9, 16]
+    assert report.outcomes[0].degraded
+    assert report.outcomes[0].pool_attempts == 2
+    assert report.n_degraded == 1
+    assert not report.outcomes[1].degraded
+
+
+def test_all_shards_crashing_still_completes():
+    plan = FaultPlan(crashes=((0, 0), (1, 0)))
+    results, report = run_sharded(
+        _square, [2, 3], retries=0, backoff_seconds=0, fault_plan=plan
+    )
+    assert results == [4, 9]
+    assert report.n_degraded == 2
+
+
+def test_slow_shard_times_out_then_recovers():
+    plan = FaultPlan(slow=((0, 0, 5.0),))
+    results, report = run_sharded(
+        _square,
+        [8, 9],
+        retries=1,
+        backoff_seconds=0,
+        timeout=0.3,
+        fault_plan=plan,
+    )
+    assert results == [64, 81]
+    assert any("Timeout" in e for e in report.outcomes[0].errors)
+
+
+def test_genuine_function_bug_raises_execution_error():
+    with pytest.raises(ExecutionError, match="shard 0 failed in-process"):
+        run_sharded(_always_raises, [1], retries=0, backoff_seconds=0)
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigError, match="retries"):
+        run_sharded(_square, [1], retries=-1)
+    with pytest.raises(ConfigError, match="backoff_seconds"):
+        run_sharded(_square, [1], backoff_seconds=-0.1)
+    with pytest.raises(ConfigError, match="timeout"):
+        run_sharded(_square, [1], timeout=0)

@@ -1,0 +1,62 @@
+"""Tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.faults import FaultPlan, InjectedFault, tear_file
+
+
+def test_plan_normalises_cells():
+    plan = FaultPlan(
+        crashes=[("0", "1")], errors=[(2.0, 0)], slow=[(1, 0, "0.5")]
+    )
+    assert plan.crashes == ((0, 1),)
+    assert plan.errors == ((2, 0),)
+    assert plan.slow == ((1, 0, 0.5),)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ConfigError, match="delays"):
+        FaultPlan(slow=((0, 0, -1.0),))
+
+
+def test_delay_of_sums_matching_cells():
+    plan = FaultPlan(slow=((0, 0, 0.2), (0, 0, 0.3), (1, 0, 9.0)))
+    assert plan.delay_of(0, 0) == pytest.approx(0.5)
+    assert plan.delay_of(0, 1) == 0.0
+    assert plan.delay_of(2, 0) == 0.0
+
+
+def test_apply_raises_injected_fault_only_at_its_cell():
+    plan = FaultPlan(errors=((3, 1),))
+    plan.apply(3, 0)  # no-op
+    plan.apply(0, 1)  # no-op
+    with pytest.raises(InjectedFault, match="shard 3"):
+        plan.apply(3, 1)
+
+
+def test_plan_is_picklable():
+    plan = FaultPlan(crashes=((0, 0),), errors=((1, 1),), slow=((2, 0, 0.1),))
+    assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+def test_tear_file_truncates(tmp_path):
+    path = tmp_path / "cell.json"
+    path.write_bytes(b"0123456789")
+    tear_file(path, keep_fraction=0.5)
+    assert path.read_bytes() == b"01234"
+    tear_file(path, keep_fraction=0.0)
+    assert path.read_bytes() == b""
+    tear_file(path, keep_fraction=0.0)  # empty file is a no-op
+    assert path.read_bytes() == b""
+
+
+def test_tear_file_rejects_full_keep(tmp_path):
+    path = tmp_path / "cell.json"
+    path.write_bytes(b"x")
+    with pytest.raises(ConfigError, match="keep_fraction"):
+        tear_file(path, keep_fraction=1.0)

@@ -1,0 +1,137 @@
+"""Tests for StabilityMonitor snapshot/restore.
+
+The contract under test is the round-trip guarantee: interrupting a
+stream at any point, snapshotting, restoring (even through a JSON
+serialisation cycle) and feeding the rest of the stream must produce
+exactly the reports an uninterrupted monitor produces.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.core.significance import LinearSignificance
+from repro.core.streaming import StabilityMonitor, WindowCloseReport
+from repro.errors import SnapshotError
+from repro.runtime.faults import tear_file
+from repro.runtime.snapshot import (
+    SNAPSHOT_VERSION,
+    load_snapshot,
+    restore_monitor,
+    save_snapshot,
+    snapshot_monitor,
+)
+
+
+def _stream(dataset):
+    return sorted(dataset.log, key=lambda basket: basket.day)
+
+
+def _assert_reports_equal(
+    left: list[WindowCloseReport], right: list[WindowCloseReport]
+) -> None:
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.window_index == b.window_index
+        assert a.alarms == b.alarms
+        assert set(a.stabilities) == set(b.stabilities)
+        for customer, value in a.stabilities.items():
+            other = b.stabilities[customer]
+            if math.isnan(value):
+                assert math.isnan(other)
+            else:
+                assert value == other
+
+
+def _monitor(dataset) -> StabilityMonitor:
+    config = ExperimentConfig(window_months=2, alpha=2.0)
+    return StabilityMonitor.from_config(dataset.calendar, config, beta=0.5)
+
+
+def test_round_trip_mid_stream(tiny_dataset):
+    baskets = _stream(tiny_dataset)
+    cut = len(baskets) // 2
+
+    reference = _monitor(tiny_dataset)
+    expected = reference.ingest_many(baskets)
+    expected += reference.finish()
+
+    interrupted = _monitor(tiny_dataset)
+    head_reports = interrupted.ingest_many(baskets[:cut])
+    # Snapshot through a full JSON cycle — what a file sees.
+    payload = json.loads(json.dumps(interrupted.snapshot()))
+    restored = StabilityMonitor.from_snapshot(payload)
+    tail_reports = restored.ingest_many(baskets[cut:])
+    tail_reports += restored.finish()
+
+    _assert_reports_equal(head_reports + tail_reports, expected)
+    # Alarm evidence survives the restart too.
+    for customer in reference.customers():
+        assert restored.explain_alarm(customer) == reference.explain_alarm(
+            customer
+        )
+
+
+def test_save_load_file(tiny_dataset, tmp_path):
+    baskets = _stream(tiny_dataset)
+    monitor = _monitor(tiny_dataset)
+    monitor.ingest_many(baskets[: len(baskets) // 3])
+    path = save_snapshot(monitor, tmp_path / "monitor.json")
+    restored = load_snapshot(path)
+    assert restored.current_window == monitor.current_window
+    assert restored.customers() == monitor.customers()
+    leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".")]
+    assert leftovers == []
+
+
+def test_torn_snapshot_detected(tiny_dataset, tmp_path):
+    monitor = _monitor(tiny_dataset)
+    monitor.ingest_many(_stream(tiny_dataset)[:20])
+    path = save_snapshot(monitor, tmp_path / "monitor.json")
+    tear_file(path, keep_fraction=0.6)
+    with pytest.raises(SnapshotError, match="corrupt or truncated"):
+        load_snapshot(path)
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(SnapshotError, match="cannot read"):
+        load_snapshot(tmp_path / "absent.json")
+
+
+def test_version_and_schema_validation(tiny_dataset):
+    monitor = _monitor(tiny_dataset)
+    monitor.ingest_many(_stream(tiny_dataset)[:10])
+    payload = snapshot_monitor(monitor)
+
+    wrong_schema = dict(payload, schema="something-else")
+    with pytest.raises(SnapshotError, match="schema"):
+        restore_monitor(wrong_schema)
+
+    wrong_version = dict(payload, version=SNAPSHOT_VERSION + 1)
+    with pytest.raises(SnapshotError, match="version"):
+        restore_monitor(wrong_version)
+
+    del payload["customers"]
+    with pytest.raises(SnapshotError, match="customers"):
+        restore_monitor(payload)
+
+
+def test_malformed_pairs_rejected(tiny_dataset):
+    monitor = _monitor(tiny_dataset)
+    monitor.ingest_many(_stream(tiny_dataset)[:10])
+    payload = snapshot_monitor(monitor)
+    payload["customers"][0]["presence"] = [[1, 2, 3]]
+    with pytest.raises(SnapshotError, match="presence"):
+        restore_monitor(payload)
+
+
+def test_custom_significance_refused(tiny_dataset):
+    config = ExperimentConfig(window_months=2)
+    grid = config.grid(tiny_dataset.calendar)
+    monitor = StabilityMonitor(grid, significance=LinearSignificance())
+    with pytest.raises(SnapshotError, match="LinearSignificance"):
+        monitor.snapshot()

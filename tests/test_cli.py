@@ -33,6 +33,22 @@ class TestCommands:
         assert "Figure 1" in out
         assert "stability AUROC" in out
 
+    def test_figure1_checkpointed_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(
+            [*ARGS, "figure1", "--retries", "1",
+             "--checkpoint-dir", str(ckpt)]
+        ) == 0
+        first = capsys.readouterr().out
+        cells = list(ckpt.glob("*.json"))
+        assert cells
+        # Rerun against the same journal: every cell loads, same output.
+        assert main(
+            [*ARGS, "figure1", "--retries", "1",
+             "--checkpoint-dir", str(ckpt)]
+        ) == 0
+        assert capsys.readouterr().out == first
+
     def test_figure2(self, capsys):
         assert main([*ARGS, "figure2"]) == 0
         out = capsys.readouterr().out
@@ -104,6 +120,21 @@ class TestCommands:
         assert main([*ARGS, "quality", "--log", str(out_dir / "transactions.csv")]) == 0
         assert "customers:" in capsys.readouterr().out
 
+    def test_quality_lenient_quarantines_bad_rows(self, tmp_path, capsys):
+        out_dir = tmp_path / "ds"
+        main([*ARGS, "generate", "--out", str(out_dir)])
+        capsys.readouterr()
+        csv_path = out_dir / "transactions.csv"
+        lines = csv_path.read_text().splitlines()
+        lines.insert(2, "not,a,valid,row")
+        csv_path.write_text("\n".join(lines) + "\n")
+        assert main(
+            [*ARGS, "quality", "--log", str(csv_path), "--lenient"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out
+        assert "verdict:" in out
+
     def test_export_csv(self, tmp_path, capsys):
         out = tmp_path / "figure1.csv"
         assert main([*ARGS, "export", "--out", str(out)]) == 0
@@ -129,14 +160,21 @@ class TestCommands:
                 "bench",
                 "--sizes", "4",
                 "--repeat", "1",
+                "--resilience-size", "8",
                 "--json", str(out),
             ]
         ) == 0
-        assert "speedup" in capsys.readouterr().out
+        stdout = capsys.readouterr().out
+        assert "speedup" in stdout
+        assert "resilient executor" in stdout
         payload = json.loads(out.read_text())
         assert payload["benchmark"] == "stability_fit_scaling"
         assert payload["results"][0]["customers"] == 8
         assert payload["results"][0]["speedup_batch_vs_incremental"] > 0
+        resilience = payload["resilient_executor"]
+        assert resilience["scenario"] == "resilient_executor_overhead"
+        assert resilience["bare_seconds"] > 0
+        assert resilience["resilient_seconds"] > 0
 
     def test_bench_single_backend(self, capsys):
         assert main([*ARGS, "bench", "--backend", "batch", "--sizes", "4",

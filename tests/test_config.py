@@ -66,6 +66,14 @@ class TestValidation:
     def test_n_jobs_all_cores_sentinel_allowed(self):
         assert ExperimentConfig(backend="batch", n_jobs=-1).n_jobs == -1
 
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigError, match="retries must be >= 0"):
+            ExperimentConfig(retries=-1)
+
+    def test_retries_default_and_zero_allowed(self):
+        assert ExperimentConfig().retries == 2
+        assert ExperimentConfig(retries=0).retries == 0
+
 
 class TestBehaviour:
     def test_frozen(self):
