@@ -120,13 +120,22 @@ def alpha_sweep(
         ).fit(frame)
         return _auroc_at_month(bundle, model, eval_month, customers)
 
+    # Pin the dataset in every cell key: a checkpoint_dir reused against
+    # a different bundle must recompute, not alias.
+    dataset = f"d{bundle.fingerprint()}" if journal is not None else ""
     points = []
     for alpha in alphas:
         label = f"alpha={alpha:g}"
         points.append(
             _journaled_point(
                 journal,
-                ("alpha_sweep", label, f"m{eval_month}", f"w{window_months}"),
+                (
+                    "alpha_sweep",
+                    label,
+                    f"m{eval_month}",
+                    f"w{window_months}",
+                    dataset,
+                ),
                 label,
                 lambda a=alpha: fit_and_score(a),
             )
@@ -176,13 +185,20 @@ def window_sweep(
             )
         return _auroc_at_month(bundle, model, month, customers)
 
+    dataset = f"d{bundle.fingerprint()}" if journal is not None else ""
     points = []
     for window_months in window_months_list:
         label = f"w={window_months}mo"
         points.append(
             _journaled_point(
                 journal,
-                ("window_sweep", label, f"m{reference}", f"a{alpha:g}"),
+                (
+                    "window_sweep",
+                    label,
+                    f"m{reference}",
+                    f"a{alpha:g}",
+                    dataset,
+                ),
                 label,
                 lambda w=window_months: fit_and_score(w),
             )

@@ -28,7 +28,7 @@ from repro.data.validation import DatasetBundle
 from repro.errors import EvaluationError
 from repro.eval.protocol import EvaluationProtocol
 from repro.ml.metrics import auroc, lift_at_fraction, precision_recall_f1
-from repro.runtime.checkpoint import CheckpointJournal
+from repro.runtime.checkpoint import CheckpointJournal, ids_digest
 
 __all__ = ["CampaignPoint", "CampaignComparison", "compare_models"]
 
@@ -159,9 +159,15 @@ def compare_models(
         if checkpoint_dir is not None
         else None
     )
+    # The tag pins the configuration, the dataset content and the exact
+    # train/test split, so a reused checkpoint_dir never aliases cells
+    # from a different bundle, seed or cohort selection.
     tag = (
         f"w{window_months}_a{alpha:g}_s{seed}_"
-        f"b{'-'.join(f'{b:g}' for b in budgets)}"
+        f"b{'-'.join(f'{b:g}' for b in budgets)}_"
+        f"d{bundle.fingerprint()}_ids{ids_digest(train, test)}"
+        if journal is not None
+        else ""
     )
 
     def cell(name: str, month: int, compute) -> CampaignPoint:

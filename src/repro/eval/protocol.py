@@ -37,7 +37,7 @@ from repro.data.population import PopulationFrame
 from repro.data.validation import DatasetBundle
 from repro.errors import ConfigError, EvaluationError
 from repro.ml.metrics import auroc
-from repro.runtime.checkpoint import CheckpointJournal
+from repro.runtime.checkpoint import CheckpointJournal, ids_digest
 
 __all__ = ["MonthScore", "ScoreSeries", "EvaluationProtocol"]
 
@@ -141,21 +141,28 @@ class EvaluationProtocol:
         return self._journal
 
     def _config_tag(self) -> str:
-        """Cell-key component pinning the evaluated configuration, so a
-        journal directory reused with different knobs never aliases."""
+        """Cell-key component pinning the evaluated configuration *and*
+        dataset, so a journal directory reused with different knobs — or
+        against a differently-seeded/sized bundle — never aliases."""
         c = self.config
         return (
-            f"w{c.window_months}_a{c.alpha:g}_{c.backend}_"
-            f"m{c.first_month}-{c.last_month}"
+            f"w{c.window_months}_a{c.alpha:g}_{c.backend}_{c.counting}_"
+            f"m{c.first_month}-{c.last_month}_d{self.bundle.fingerprint()}"
         )
 
-    def _cell(self, name: str, month: int, compute) -> float:
+    def _cell(self, name: str, month: int, split: str, compute) -> float:
         """One journaled AUROC cell: load when finished, else compute
-        and persist atomically before returning."""
+        and persist atomically before returning.
+
+        ``split`` is an :func:`~repro.runtime.checkpoint.ids_digest` of
+        the customer sets the cell is computed on, so a different
+        train/test split (seed, fraction) or cohort selection maps to a
+        different cell instead of replaying a stale one.
+        """
         journal = self.journal()
         if journal is None:
             return compute()
-        key = (name, f"month={month}", self._config_tag())
+        key = (name, f"month={month}", f"ids={split}", self._config_tag())
         return float(journal.get_or_compute(key, lambda: float(compute())))
 
     def frame(self) -> PopulationFrame:
@@ -215,11 +222,13 @@ class EvaluationProtocol:
             if customers is not None
             else self.bundle.cohorts.all_customers()
         )
+        split = ids_digest(ids)
         points = []
         for window_index, month in self.evaluation_windows(model):
             value = self._cell(
                 "stability",
                 month,
+                split,
                 lambda k=window_index: self.auroc_of_scores(
                     model.churn_scores(k, ids), ids
                 ),
@@ -254,11 +263,12 @@ class EvaluationProtocol:
             scores = scorer.churn_scores(log, test_customers, window_index)
             return self.auroc_of_scores(scores, list(test_customers))
 
+        split = ids_digest(train_customers, test_customers)
         points = []
         for window_index, month in self.evaluation_windows(scorer):
             # A journaled cell skips the whole refit, not just the AUROC.
             value = self._cell(
-                name, month, lambda k=window_index: fit_and_score(k)
+                name, month, split, lambda k=window_index: fit_and_score(k)
             )
             points.append(
                 MonthScore(month=month, window_index=window_index, auroc=value)
@@ -283,6 +293,7 @@ class EvaluationProtocol:
             else self.bundle.cohorts.all_customers()
         )
         source = self._scorer_source(rule)
+        split = ids_digest(ids)
         points = []
         for window_index in range(grid.n_windows):
             month = grid.end_month(window_index, self.bundle.calendar)
@@ -291,6 +302,7 @@ class EvaluationProtocol:
             value = self._cell(
                 name,
                 month,
+                split,
                 lambda k=window_index: self.auroc_of_scores(
                     rule.churn_scores(source, ids, k), ids
                 ),

@@ -32,12 +32,27 @@ from pathlib import Path
 
 from repro.errors import CheckpointError
 
-__all__ = ["CheckpointJournal"]
+__all__ = ["CheckpointJournal", "ids_digest"]
 
 #: Journal file format version; bump on incompatible layout changes.
 JOURNAL_VERSION = 1
 
 _SLUG_RE = re.compile(r"[^-\w.=]+")
+
+
+def ids_digest(*groups: Sequence[int]) -> str:
+    """Short order-insensitive hash of one or more customer-id groups.
+
+    Checkpoint keys embed this to pin the exact population a cell was
+    computed on — a different train/test split (seed, fraction) or
+    cohort selection changes the digest, so a reused journal directory
+    recomputes instead of aliasing stale results.
+    """
+    h = hashlib.sha1()
+    for group in groups:
+        h.update(",".join(str(i) for i in sorted(group)).encode())
+        h.update(b";")
+    return h.hexdigest()[:10]
 
 
 class CheckpointJournal:
@@ -98,17 +113,15 @@ class CheckpointJournal:
         self.load(key)
         return True
 
-    def load(self, key: Sequence):
-        """The stored value of a finished cell.
+    def _read_payload(self, path: Path) -> dict:
+        """Read and validate one cell file (everything except key match).
 
         Raises
         ------
         CheckpointError
-            If the cell is missing, unparseable, or fails schema /
-            version / key validation.
+            If the file is unreadable, unparseable, or fails schema /
+            version / shape validation.
         """
-        parts = self._key_parts(key)
-        path = self.path_of(key)
         try:
             text = path.read_text()
         except OSError as exc:
@@ -134,6 +147,26 @@ class CheckpointJournal:
                 f"{path}: unsupported checkpoint version {payload['version']!r} "
                 f"(this build reads version {JOURNAL_VERSION})"
             )
+        if not isinstance(payload["key"], list) or not all(
+            isinstance(part, str) for part in payload["key"]
+        ):
+            raise CheckpointError(
+                f"{path}: checkpoint key is not a list of strings"
+            )
+        return payload
+
+    def load(self, key: Sequence):
+        """The stored value of a finished cell.
+
+        Raises
+        ------
+        CheckpointError
+            If the cell is missing, unparseable, or fails schema /
+            version / key validation.
+        """
+        parts = self._key_parts(key)
+        path = self.path_of(key)
+        payload = self._read_payload(path)
         if tuple(payload["key"]) != parts:
             raise CheckpointError(
                 f"{path}: checkpoint key {payload['key']!r} does not match "
@@ -168,24 +201,30 @@ class CheckpointJournal:
     # Introspection
     # ------------------------------------------------------------------
     def n_entries(self) -> int:
-        """Number of cell files currently journaled."""
-        return sum(1 for _ in self.directory.glob("*.json"))
+        """Number of valid journaled cells (same validation as :meth:`keys`)."""
+        return len(self.keys())
 
     def keys(self) -> list[tuple[str, ...]]:
         """Keys of every valid journaled cell (sorted).
 
+        Every file goes through the same schema / version / key-vs-
+        filename validation :meth:`load` applies, so the listing matches
+        exactly what :meth:`load` would accept.
+
         Raises
         ------
         CheckpointError
-            If any cell file is corrupt.
+            If any cell file is corrupt, from a foreign schema, or filed
+            under a name its own key does not map to.
         """
         keys = []
         for path in sorted(self.directory.glob("*.json")):
-            try:
-                payload = json.loads(path.read_text())
-                keys.append(tuple(payload["key"]))
-            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            payload = self._read_payload(path)
+            key = tuple(payload["key"])
+            if self.path_of(key) != path:
                 raise CheckpointError(
-                    f"{path}: corrupt checkpoint in journal listing"
-                ) from exc
+                    f"{path}: checkpoint key {list(key)!r} does not map to "
+                    f"its own filename (tampered or misplaced file)"
+                )
+            keys.append(key)
         return sorted(keys)

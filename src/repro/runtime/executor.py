@@ -19,7 +19,13 @@ raises ``BrokenProcessPool`` and the entire multi-core fit is lost.
 
 Only when the *function itself* fails in-process — a genuine kernel bug
 or bad data, not infrastructure — does :class:`~repro.errors.ExecutionError`
-propagate.
+propagate.  ``KeyboardInterrupt`` and ``SystemExit`` are never treated
+as shard failures: they abort the whole run immediately (after
+releasing the pool), so Ctrl-C during a long fit still interrupts it.
+
+Shard functions must be **pure/idempotent**: a timed-out attempt keeps
+running in its worker while the retry recomputes the same shard, so a
+side-effecting ``fn`` could observe double execution.
 
 Fault injection for tests goes through
 :class:`~repro.runtime.faults.FaultPlan`, keyed on ``(shard, attempt)``
@@ -30,7 +36,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
 from repro.errors import ConfigError, ExecutionError
@@ -141,9 +147,14 @@ def run_sharded(
     backoff_seconds:
         Base sleep between waves, doubled each wave (0 disables).
     timeout:
-        Per-shard wait in seconds; a shard exceeding it counts as failed
-        for that wave (the worker keeps running but its result is
-        discarded).
+        Wave deadline in seconds, measured from the moment the wave's
+        shards are submitted: any shard not finished by then counts as
+        failed for that wave (the worker keeps running but its result
+        is discarded).  A slow shard therefore cannot extend the
+        deadline of its siblings.  Because a timed-out attempt may
+        still complete in the background while the retry recomputes the
+        shard, ``fn`` must be pure/idempotent — it may execute more
+        than once for the same task.
     fault_plan:
         Deterministic fault injection for tests; see
         :class:`~repro.runtime.faults.FaultPlan`.
@@ -184,23 +195,41 @@ def run_sharded(
         pool = ProcessPoolExecutor(max_workers=workers)
         futures = {}
         failed = []
-        for i in pending:
-            attempts[i] += 1
-            try:
-                futures[i] = pool.submit(
-                    _guarded, fn, tasks[i], i, wave, fault_plan
-                )
-            except BaseException as exc:  # pool already broken mid-wave
-                errors[i].append(f"{type(exc).__name__}: {exc}")
-                failed.append(i)
-        for i, future in futures.items():
-            try:
-                results[i] = future.result(timeout=timeout)
-            except BaseException as exc:  # noqa: BLE001 — every failure
-                # mode (BrokenProcessPool, TimeoutError, pickling errors,
-                # in-worker exceptions) is retryable infrastructure here.
-                errors[i].append(f"{type(exc).__name__}: {exc}")
-                failed.append(i)
+        try:
+            for i in pending:
+                attempts[i] += 1
+                try:
+                    futures[i] = pool.submit(
+                        _guarded, fn, tasks[i], i, wave, fault_plan
+                    )
+                except Exception as exc:  # pool already broken mid-wave
+                    errors[i].append(f"{type(exc).__name__}: {exc}")
+                    failed.append(i)
+            # One deadline for the whole wave, measured from submission:
+            # waiting on an early slow shard cannot extend the effective
+            # deadline of the shards behind it.
+            done, _ = wait(set(futures.values()), timeout=timeout)
+            for i, future in futures.items():
+                if future not in done:
+                    errors[i].append(
+                        f"TimeoutError: shard still running {timeout}s "
+                        f"after wave submission"
+                    )
+                    failed.append(i)
+                    continue
+                try:
+                    results[i] = future.result()
+                except Exception as exc:  # noqa: BLE001 — every failure
+                    # mode (BrokenProcessPool, pickling errors, in-worker
+                    # exceptions) is retryable infrastructure here.
+                    errors[i].append(f"{type(exc).__name__}: {exc}")
+                    failed.append(i)
+        except BaseException:
+            # KeyboardInterrupt / SystemExit: the user is aborting the
+            # run — release the pool and propagate instead of recording
+            # the interrupt as a retryable shard failure.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
         # Never wait on stragglers: a timed-out worker may still be
         # running, and a broken pool cannot be drained.
         pool.shutdown(wait=not failed, cancel_futures=True)

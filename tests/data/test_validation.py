@@ -104,3 +104,43 @@ class TestBundle:
 
     def test_generated_dataset_is_valid(self, small_dataset):
         validate_bundle(small_dataset.bundle)
+
+
+class TestFingerprint:
+    def test_deterministic_and_cached(self, tiny_dataset):
+        bundle = tiny_dataset.bundle
+        assert bundle.fingerprint() == bundle.fingerprint()
+
+    def test_identical_generation_matches(self, tiny_dataset):
+        from repro.synth import ScenarioConfig, generate_dataset
+
+        twin = generate_dataset(ScenarioConfig(n_loyal=12, n_churners=12, seed=5))
+        assert twin.bundle.fingerprint() == tiny_dataset.bundle.fingerprint()
+
+    def test_seed_size_and_cohorts_all_discriminate(self, tiny_dataset):
+        from repro.synth import ScenarioConfig, generate_dataset
+
+        reference = tiny_dataset.bundle.fingerprint()
+        other_seed = generate_dataset(
+            ScenarioConfig(n_loyal=12, n_churners=12, seed=6)
+        )
+        other_size = generate_dataset(
+            ScenarioConfig(n_loyal=13, n_churners=12, seed=5)
+        )
+        assert other_seed.bundle.fingerprint() != reference
+        assert other_size.bundle.fingerprint() != reference
+
+    def test_cohort_relabel_discriminates(self, tiny_dataset):
+        bundle = tiny_dataset.bundle
+        moved = sorted(bundle.cohorts.loyal)[0]
+        relabeled = DatasetBundle(
+            log=bundle.log,
+            catalog=bundle.catalog,
+            calendar=bundle.calendar,
+            cohorts=CohortLabels(
+                loyal=bundle.cohorts.loyal - {moved},
+                churners=bundle.cohorts.churners | {moved},
+                onset_month=bundle.cohorts.onset_month,
+            ),
+        )
+        assert relabeled.fingerprint() != bundle.fingerprint()

@@ -59,6 +59,34 @@ def test_keys_listing(tmp_path):
     assert journal.keys() == [("a", "1"), ("b", "2")]
 
 
+def test_keys_listing_validates_like_load(tmp_path):
+    # keys()/n_entries() must apply the same validation as load(): a
+    # foreign-schema cell in the directory is an error, not a listing.
+    journal = CheckpointJournal(tmp_path, schema="test")
+    journal.store(("a",), 1)
+    CheckpointJournal(tmp_path, schema="other").store(("b",), 2)
+    with pytest.raises(CheckpointError, match="schema"):
+        journal.keys()
+    with pytest.raises(CheckpointError, match="schema"):
+        journal.n_entries()
+
+
+def test_keys_listing_rejects_torn_file(tmp_path):
+    journal = CheckpointJournal(tmp_path, schema="test")
+    journal.store(("a",), {"big": list(range(100))})
+    tear_file(journal.path_of(("a",)), keep_fraction=0.5)
+    with pytest.raises(CheckpointError, match="corrupt or truncated"):
+        journal.keys()
+
+
+def test_keys_listing_rejects_misplaced_file(tmp_path):
+    journal = CheckpointJournal(tmp_path, schema="test")
+    journal.store(("a",), 1)
+    journal.path_of(("a",)).rename(tmp_path / "misplaced.0000000000.json")
+    with pytest.raises(CheckpointError, match="does not map"):
+        journal.keys()
+
+
 def test_nasty_key_parts_are_filesystem_safe(tmp_path):
     journal = CheckpointJournal(tmp_path, schema="test")
     key = ("a/b: c", "../../etc", "x" * 200)

@@ -9,6 +9,10 @@ infrastructure did, with the damage visible in the
 
 from __future__ import annotations
 
+import os
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.errors import ConfigError, ExecutionError
@@ -22,6 +26,11 @@ def _square(x: int) -> int:
 
 def _always_raises(x: int) -> int:
     raise ValueError(f"kernel bug on {x}")
+
+
+def _interrupt_after_marking(directory: str) -> int:
+    Path(directory, f"call-{os.getpid()}-{time.time_ns()}").touch()
+    raise KeyboardInterrupt("simulated Ctrl-C")
 
 
 def test_clean_run_returns_results_in_order():
@@ -102,6 +111,42 @@ def test_slow_shard_times_out_then_recovers():
     )
     assert results == [64, 81]
     assert any("Timeout" in e for e in report.outcomes[0].errors)
+
+
+def test_keyboard_interrupt_aborts_instead_of_retrying(tmp_path):
+    # Ctrl-C is not a retryable shard failure: the run must abort on the
+    # first interrupt instead of burning retry waves and the serial
+    # fallback.  The marker files count how often the shard actually ran.
+    calls = tmp_path / "calls"
+    calls.mkdir()
+    with pytest.raises(KeyboardInterrupt):
+        run_sharded(
+            _interrupt_after_marking, [str(calls)], retries=3, backoff_seconds=0
+        )
+    assert len(list(calls.iterdir())) == 1
+
+
+def test_wave_deadline_is_shared_not_cumulative():
+    # Both shards sleep past the deadline; one wave deadline covers them
+    # together, the run degrades both serially and never waits out the
+    # full injected sleeps.
+    plan = FaultPlan(slow=((0, 0, 2.0), (1, 0, 2.0)))
+    started = time.perf_counter()
+    results, report = run_sharded(
+        _square,
+        [2, 3],
+        retries=0,
+        backoff_seconds=0,
+        timeout=0.2,
+        fault_plan=plan,
+    )
+    elapsed = time.perf_counter() - started
+    assert results == [4, 9]
+    assert report.n_degraded == 2
+    assert all(
+        any("Timeout" in e for e in o.errors) for o in report.outcomes
+    )
+    assert elapsed < 2.0  # did not wait for the 2s sleepers
 
 
 def test_genuine_function_bug_raises_execution_error():

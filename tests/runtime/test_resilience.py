@@ -179,3 +179,57 @@ def test_checkpoint_dir_reused_across_configs_never_aliases(
             bundle, config=config
         ).evaluate_stability_model(fit)
         assert series == plain
+
+
+def test_checkpoint_dir_reused_across_splits_never_aliases(
+    tiny_dataset, tmp_path
+):
+    # Same bundle, same config, different train/test split seeds: every
+    # cell must be keyed to its own split, so the second run recomputes
+    # instead of replaying the first run's AUROCs.
+    bundle = tiny_dataset.bundle
+    config = ExperimentConfig(window_months=2, backend="batch")
+    n_cells = None
+    for seed in (0, 1):
+        protocol = EvaluationProtocol(
+            bundle, config=config, checkpoint_dir=tmp_path
+        )
+        train, test = protocol.train_test_split(seed=seed)
+        series = protocol.evaluate_window_scorer(
+            RFMModel(bundle.calendar, config=config), "rfm", train, test
+        )
+        plain = EvaluationProtocol(bundle, config=config).evaluate_window_scorer(
+            RFMModel(bundle.calendar, config=config), "rfm", train, test
+        )
+        assert series == plain
+        n_cells = len(series.points) if n_cells is None else n_cells
+    # Both runs journaled their own cells — nothing was aliased.
+    journal = CheckpointJournal(tmp_path, schema="eval-protocol")
+    assert journal.n_entries() == 2 * n_cells
+
+
+def test_checkpoint_dir_reused_across_datasets_never_aliases(
+    tiny_dataset, tmp_path
+):
+    # A journal directory reused against a differently-seeded dataset
+    # must key cells to each bundle's content, not silently return the
+    # first dataset's results.
+    from repro.synth import ScenarioConfig, generate_dataset
+
+    other = generate_dataset(ScenarioConfig(n_loyal=12, n_churners=12, seed=6))
+    assert other.bundle.fingerprint() != tiny_dataset.bundle.fingerprint()
+
+    config = ExperimentConfig(window_months=2, backend="batch")
+    for dataset in (tiny_dataset, other):
+        bundle = dataset.bundle
+        protocol = EvaluationProtocol(
+            bundle, config=config, checkpoint_dir=tmp_path
+        )
+        fit = StabilityModel.from_config(bundle.calendar, config).fit(
+            protocol.frame()
+        )
+        series = protocol.evaluate_stability_model(fit)
+        plain = EvaluationProtocol(
+            bundle, config=config
+        ).evaluate_stability_model(fit)
+        assert series == plain
