@@ -1,7 +1,7 @@
 # Developer entry points. The offline environment lacks the `wheel`
 # package, so `install` uses the legacy setuptools path.
 
-.PHONY: install test test-faults bench bench-pytest examples figures all clean
+.PHONY: install test test-faults trace-demo bench bench-pytest examples figures all clean
 
 install:
 	python setup.py develop
@@ -13,6 +13,17 @@ test:
 # checkpoint/snapshot files, interrupted-sweep resume.
 test-faults:
 	PYTHONPATH=src python -m pytest tests/runtime -q -W error
+
+# End-to-end telemetry demo: a verbose, traced, checkpointed figure1
+# run (sharded fit + manifest), then the span-summary table.
+trace-demo:
+	mkdir -p trace-demo
+	PYTHONPATH=src python -m repro.cli -v \
+		--trace-out trace-demo/trace.jsonl \
+		--metrics-out trace-demo/metrics.json \
+		--loyal 20 --churners 20 \
+		figure1 --n-jobs 2 --checkpoint-dir trace-demo/ckpt
+	PYTHONPATH=src python -m repro.cli obs summarize trace-demo/trace.jsonl
 
 bench:
 	PYTHONPATH=src python -m repro.cli bench --json BENCH_scaling.json
@@ -35,5 +46,5 @@ figures:
 all: test bench
 
 clean:
-	rm -rf build repro.egg-info benchmarks/output .pytest_cache .hypothesis
+	rm -rf build repro.egg-info benchmarks/output trace-demo .pytest_cache .hypothesis
 	find . -name __pycache__ -type d -exec rm -rf {} +

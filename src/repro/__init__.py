@@ -26,6 +26,8 @@ Quickstart
 >>> scores = model.churn_scores(window_index=9)  # window ending month 20
 """
 
+import logging as _logging
+
 from repro.baselines import RFMModel
 from repro.config import DEFAULT_BETA_GRID, ExperimentConfig
 from repro.core import (
@@ -49,6 +51,11 @@ from repro.eval import run_figure1, run_figure2
 from repro.synth import ScenarioConfig, figure2_case_study, generate_dataset, paper_scenario
 
 __version__ = "1.0.0"
+
+# Library logging etiquette: the package root gets a NullHandler so
+# importing repro never prints; applications (and the repro CLI's
+# ``-v``/``-vv`` flags) decide what to surface.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __all__ = [
     "Basket",

@@ -9,6 +9,13 @@ Subcommands
 ``tune``       Run the 5-fold CV parameter search (E4).
 ``explain``    Explain one customer's stability at one window.
 ``bench``      Time StabilityModel fit backends and emit perf telemetry.
+``obs``        Summarize a trace JSONL emitted via ``--trace-out``.
+
+Global telemetry flags (before the subcommand): ``--trace-out`` writes
+the command's span trace as JSONL, ``--metrics-out`` writes the metrics
+registry as JSON, and ``-v``/``-vv`` surface the library's INFO/DEBUG
+logs (progress heartbeats, executor waves, checkpoint resume summaries)
+on stderr.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -16,6 +23,7 @@ Run ``python -m repro.cli <subcommand> --help`` for options.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
@@ -33,9 +41,46 @@ from repro.eval.reporting import (
     render_figure2,
 )
 from repro.eval.tables import dataset_stats
+from repro.obs import TelemetrySession
 from repro.synth.scenarios import paper_scenario
 
 __all__ = ["main", "build_parser"]
+
+#: Marker the idempotent logging setup tags its handler with.
+_LOG_HANDLER_FLAG = "_repro_cli_handler"
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Point the ``repro`` logger at stderr at the requested level.
+
+    Idempotent: re-entry (tests calling :func:`main` repeatedly) adjusts
+    the existing handler's level instead of stacking duplicates.
+    """
+    root = logging.getLogger("repro")
+    level = (
+        logging.WARNING
+        if verbosity <= 0
+        else logging.INFO
+        if verbosity == 1
+        else logging.DEBUG
+    )
+    handler = next(
+        (h for h in root.handlers if getattr(h, _LOG_HANDLER_FLAG, False)), None
+    )
+    if verbosity <= 0:
+        if handler is not None:
+            root.removeHandler(handler)
+            root.setLevel(logging.NOTSET)
+        return
+    if handler is None:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        setattr(handler, _LOG_HANDLER_FLAG, True)
+        root.addHandler(handler)
+    handler.setLevel(level)
+    root.setLevel(level)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +98,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--churners", type=int, default=150, help="defecting customers to simulate"
     )
     parser.add_argument("--seed", type=int, default=7, help="dataset seed")
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="surface library logs on stderr (-v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="record a span trace and write it here as JSONL",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="record the metrics registry and write it here as JSON",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     generate = sub.add_parser("generate", help="generate a synthetic dataset")
@@ -77,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
             "pool retry waves before a failed shard degrades to the "
             "in-process fallback (batch backend only)"
         ),
+    )
+    figure1.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the batch backend (-1 = all cores)",
     )
     figure1.add_argument(
         "--checkpoint-dir",
@@ -187,6 +257,26 @@ def build_parser() -> argparse.ArgumentParser:
             "(0 disables it)"
         ),
     )
+    bench.add_argument(
+        "--telemetry-size",
+        type=int,
+        default=200,
+        help=(
+            "per-cohort size for the telemetry-overhead scenario "
+            "(0 disables it)"
+        ),
+    )
+
+    obs = sub.add_parser(
+        "obs", help="inspect telemetry artifacts (traces, manifests)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize", help="aggregate a trace JSONL into a per-span table"
+    )
+    summarize.add_argument(
+        "trace", type=Path, help="trace JSONL written via --trace-out"
+    )
     return parser
 
 
@@ -216,10 +306,25 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         backend=args.backend,
         retries=args.retries,
+        n_jobs=args.n_jobs,
     )
     result = run_figure1(
         dataset.bundle, config=config, checkpoint_dir=args.checkpoint_dir
     )
+    if args.checkpoint_dir is not None:
+        from repro.obs import build_manifest, get_metrics, get_tracer, write_manifest
+
+        manifest = build_manifest(
+            "figure1",
+            config=config,
+            dataset_fingerprint=dataset.bundle.fingerprint(),
+            seed=args.seed,
+            execution=result.execution,
+            tracer=get_tracer(),
+            metrics=get_metrics(),
+        )
+        path = write_manifest(args.checkpoint_dir, manifest)
+        print(f"wrote run manifest to {path}")
     print(render_figure1(result))
     return 0
 
@@ -405,12 +510,31 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.errors import SchemaError
+    from repro.obs import read_trace_jsonl, render_span_summary, summarize_spans
+
+    if args.obs_command == "summarize":
+        try:
+            records = read_trace_jsonl(args.trace)
+        except (OSError, SchemaError) as exc:
+            print(f"cannot read trace: {exc}", file=sys.stderr)
+            return 1
+        if not records:
+            print(f"{args.trace}: trace is empty")
+            return 0
+        print(f"{args.trace}: {len(records)} span(s)")
+        print(render_span_summary(summarize_spans(records)))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.eval.benchmarking import (
         protocol_telemetry,
         render_scaling,
         resilience_telemetry,
         scaling_telemetry,
+        telemetry_overhead,
         write_scaling_json,
     )
 
@@ -435,6 +559,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             repeat=args.repeat,
             n_jobs=max(args.n_jobs, 2),
         )
+    if args.telemetry_size > 0:
+        telemetry["telemetry_overhead"] = telemetry_overhead(
+            size=args.telemetry_size, seed=args.seed, repeat=args.repeat
+        )
     print("stability fit scaling (best-of-%d wall clock)" % args.repeat)
     print(render_scaling(telemetry))
     if args.json is not None:
@@ -445,6 +573,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "bench": _cmd_bench,
+    "obs": _cmd_obs,
     "generate": _cmd_generate,
     "report": _cmd_report,
     "quality": _cmd_quality,
@@ -463,7 +592,15 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    _configure_logging(args.verbose)
+    session = TelemetrySession(args.trace_out, args.metrics_out)
+    with session:
+        code = _COMMANDS[args.command](args)
+    if session.trace_out is not None:
+        print(f"wrote trace to {session.trace_out}", file=sys.stderr)
+    if session.metrics_out is not None:
+        print(f"wrote metrics to {session.metrics_out}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

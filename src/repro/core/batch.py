@@ -49,6 +49,8 @@ from repro.core.windowing import WindowGrid
 from repro.data.population import PopulationFrame
 from repro.data.transactions import TransactionLog
 from repro.errors import ConfigError
+from repro.obs import span, timed_stage
+from repro.obs.metrics import STAGE_NORMALIZE, STAGE_SIGNIFICANCE
 from repro.runtime.executor import ExecutionReport, run_sharded
 from repro.runtime.faults import FaultPlan
 
@@ -162,19 +164,28 @@ class BatchStability:
 def _stability_kernel(
     population: PopulationFrame, alpha: float
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """The dense per-shard kernel: ``(stability, kept, total)`` matrices."""
+    """The dense per-shard kernel: ``(stability, kept, total)`` matrices.
+
+    The two stages are individually timed (spans + stage histograms)
+    when telemetry is on; inside a sharded fit those spans are recorded
+    in the worker and merged back by the resilient executor.
+    """
     n_pairs, n_windows = population.n_pairs, population.n_windows
-    presence = np.zeros((n_pairs, n_windows), dtype=np.float64)
-    if n_pairs:
-        presence[population.pair_rows(), population.triple_window] = 1.0
-    prior = np.zeros_like(presence)
-    prior[:, 1:] = np.cumsum(presence, axis=1)[:, :-1]
-    window_index = np.arange(n_windows, dtype=np.float64)
-    significance = significance_from_counts(prior, window_index, alpha)
-    total = _segment_sum(significance, population.pair_offsets)
-    kept = _segment_sum(significance * presence, population.pair_offsets)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        stability = np.where(total > 0.0, kept / total, np.nan)
+    with timed_stage(
+        STAGE_SIGNIFICANCE, pairs=n_pairs, windows=n_windows
+    ):
+        presence = np.zeros((n_pairs, n_windows), dtype=np.float64)
+        if n_pairs:
+            presence[population.pair_rows(), population.triple_window] = 1.0
+        prior = np.zeros_like(presence)
+        prior[:, 1:] = np.cumsum(presence, axis=1)[:, :-1]
+        window_index = np.arange(n_windows, dtype=np.float64)
+        significance = significance_from_counts(prior, window_index, alpha)
+    with timed_stage(STAGE_NORMALIZE, customers=population.n_customers):
+        total = _segment_sum(significance, population.pair_offsets)
+        kept = _segment_sum(significance * presence, population.pair_offsets)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            stability = np.where(total > 0.0, kept / total, np.nan)
     return stability, kept, total
 
 
@@ -231,21 +242,22 @@ def stability_matrix(
     validate_alpha(alpha)
     n_jobs = _resolve_n_jobs(n_jobs)
     n_customers = population.n_customers
-    if n_jobs <= 1 or n_customers < 2 * n_jobs:
-        stability, kept, total = _stability_kernel(population, alpha)
-        return BatchStability(population, stability, kept, total)
-    shards = _shard_tasks(population, alpha, n_jobs)
-    parts, report = run_sharded(
-        _shard_worker,
-        shards,
-        max_workers=len(shards),
-        retries=retries,
-        timeout=shard_timeout,
-        fault_plan=fault_plan,
-    )
-    stability = np.vstack([p[0] for p in parts])
-    kept = np.vstack([p[1] for p in parts])
-    total = np.vstack([p[2] for p in parts])
+    with span("fit.batch", customers=n_customers, n_jobs=n_jobs):
+        if n_jobs <= 1 or n_customers < 2 * n_jobs:
+            stability, kept, total = _stability_kernel(population, alpha)
+            return BatchStability(population, stability, kept, total)
+        shards = _shard_tasks(population, alpha, n_jobs)
+        parts, report = run_sharded(
+            _shard_worker,
+            shards,
+            max_workers=len(shards),
+            retries=retries,
+            timeout=shard_timeout,
+            fault_plan=fault_plan,
+        )
+        stability = np.vstack([p[0] for p in parts])
+        kept = np.vstack([p[1] for p in parts])
+        total = np.vstack([p[2] for p in parts])
     return BatchStability(population, stability, kept, total, execution=report)
 
 

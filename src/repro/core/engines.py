@@ -40,6 +40,7 @@ from repro.core.vectorized import _vectorized_masses
 from repro.core.windowing import windowed_history
 from repro.data.population import PopulationFrame
 from repro.errors import ConfigError
+from repro.obs import span
 
 __all__ = [
     "FitSpec",
@@ -141,16 +142,17 @@ class IncrementalEngine:
     def fit(self, frame: PopulationFrame, spec: FitSpec) -> EngineFit:
         log = _require_log(frame, self.name)
         trajectories: dict[int, StabilityTrajectory] = {}
-        for customer_id in frame.customer_ids:
-            cid = int(customer_id)
-            windows = windowed_history(log.history(cid), frame.grid)
-            trajectories[cid] = stability_trajectory(
-                cid,
-                windows,
-                significance=spec.significance,
-                counting=spec.counting,
-                item_weights=spec.item_weights,
-            )
+        with span("engine.fit", engine=self.name, customers=frame.n_customers):
+            for customer_id in frame.customer_ids:
+                cid = int(customer_id)
+                windows = windowed_history(log.history(cid), frame.grid)
+                trajectories[cid] = stability_trajectory(
+                    cid,
+                    windows,
+                    significance=spec.significance,
+                    counting=spec.counting,
+                    item_weights=spec.item_weights,
+                )
         return EngineFit(trajectories=trajectories)
 
 
@@ -167,23 +169,24 @@ class VectorizedEngine:
         log = _require_log(frame, self.name)
         alpha = spec.significance.alpha  # type: ignore[attr-defined]
         trajectories: dict[int, StabilityTrajectory] = {}
-        for customer_id in frame.customer_ids:
-            cid = int(customer_id)
-            windows = windowed_history(log.history(cid), frame.grid)
-            stability, kept, total = _vectorized_masses(windows, alpha=alpha)
-            trajectories[cid] = StabilityTrajectory(
-                customer_id=cid,
-                records=tuple(
-                    WindowStability(
-                        window=window,
-                        stability=float(stability[k]),
-                        kept_mass=float(kept[k]),
-                        total_mass=float(total[k]),
-                        significances={},
-                    )
-                    for k, window in enumerate(windows)
-                ),
-            )
+        with span("engine.fit", engine=self.name, customers=frame.n_customers):
+            for customer_id in frame.customer_ids:
+                cid = int(customer_id)
+                windows = windowed_history(log.history(cid), frame.grid)
+                stability, kept, total = _vectorized_masses(windows, alpha=alpha)
+                trajectories[cid] = StabilityTrajectory(
+                    customer_id=cid,
+                    records=tuple(
+                        WindowStability(
+                            window=window,
+                            stability=float(stability[k]),
+                            kept_mass=float(kept[k]),
+                            total_mass=float(total[k]),
+                            significances={},
+                        )
+                        for k, window in enumerate(windows)
+                    ),
+                )
         return EngineFit(trajectories=trajectories)
 
 
@@ -197,14 +200,15 @@ class BatchEngine:
 
     def fit(self, frame: PopulationFrame, spec: FitSpec) -> EngineFit:
         alpha = spec.significance.alpha  # type: ignore[attr-defined]
-        return EngineFit(
-            batch=stability_matrix(
-                frame,
-                alpha=alpha,
-                n_jobs=spec.n_jobs,
-                retries=spec.retries,
+        with span("engine.fit", engine=self.name, customers=frame.n_customers):
+            return EngineFit(
+                batch=stability_matrix(
+                    frame,
+                    alpha=alpha,
+                    n_jobs=spec.n_jobs,
+                    retries=spec.retries,
+                )
             )
-        )
 
 
 _REGISTRY: dict[str, StabilityEngine] = {}

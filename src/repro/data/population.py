@@ -31,6 +31,8 @@ import numpy as np
 
 from repro.data.transactions import TransactionLog
 from repro.errors import DataError
+from repro.obs import timed_stage
+from repro.obs.metrics import STAGE_CSR_BUILD
 
 if TYPE_CHECKING:  # type-only: the data layer must not import repro.core
     # at runtime (repro.core.batch imports this module)
@@ -139,57 +141,58 @@ class PopulationFrame:
         but kept in the basket columns; item sets are deduplicated per
         ``(customer, window)``.
         """
-        columnar = log.to_columnar(customers)
-        boundaries = np.asarray(grid.boundaries, dtype=np.int64)
-        n_windows = grid.n_windows
-        window = np.searchsorted(boundaries, columnar.days, side="right") - 1
-        valid = (columnar.days >= boundaries[0]) & (columnar.days < boundaries[-1])
-        cust = columnar.customer_rows()[valid]
-        window = window[valid]
-        items = columnar.items[valid]
+        with timed_stage(STAGE_CSR_BUILD, windows=grid.n_windows):
+            columnar = log.to_columnar(customers)
+            boundaries = np.asarray(grid.boundaries, dtype=np.int64)
+            n_windows = grid.n_windows
+            window = np.searchsorted(boundaries, columnar.days, side="right") - 1
+            valid = (columnar.days >= boundaries[0]) & (columnar.days < boundaries[-1])
+            cust = columnar.customer_rows()[valid]
+            window = window[valid]
+            items = columnar.items[valid]
 
-        # Sort + dedupe the (customer, item, window) triples.  When the
-        # ids fit, pack each triple into one int64 so a single sort does
-        # the job; otherwise fall back to a 3-key lexsort.
-        if len(cust):
-            item_span = int(items.max()) + 1 if items.min() >= 0 else 0
-            span = columnar.n_customers * item_span * n_windows
-            if item_span and span < 2**62:
-                key = (cust * item_span + items) * n_windows + window
-                if span <= max(1 << 22, 2 * len(key)) and span <= 1 << 25:
-                    # Dense key space: a presence bitmap + flatnonzero
-                    # yields the sorted unique keys in O(rows + span),
-                    # skipping the comparison sort inside np.unique.
-                    flags = np.zeros(span, dtype=bool)
-                    flags[key] = True
-                    key = np.flatnonzero(flags)
+            # Sort + dedupe the (customer, item, window) triples.  When the
+            # ids fit, pack each triple into one int64 so a single sort does
+            # the job; otherwise fall back to a 3-key lexsort.
+            if len(cust):
+                item_span = int(items.max()) + 1 if items.min() >= 0 else 0
+                span = columnar.n_customers * item_span * n_windows
+                if item_span and span < 2**62:
+                    key = (cust * item_span + items) * n_windows + window
+                    if span <= max(1 << 22, 2 * len(key)) and span <= 1 << 25:
+                        # Dense key space: a presence bitmap + flatnonzero
+                        # yields the sorted unique keys in O(rows + span),
+                        # skipping the comparison sort inside np.unique.
+                        flags = np.zeros(span, dtype=bool)
+                        flags[key] = True
+                        key = np.flatnonzero(flags)
+                    else:
+                        key = np.unique(key)
+                    window = key % n_windows
+                    pair_key = key // n_windows
+                    cust, items = pair_key // item_span, pair_key % item_span
                 else:
-                    key = np.unique(key)
-                window = key % n_windows
-                pair_key = key // n_windows
-                cust, items = pair_key // item_span, pair_key % item_span
-            else:
-                order = np.lexsort((window, items, cust))
-                cust, items, window = cust[order], items[order], window[order]
-                keep = np.r_[
-                    True,
-                    (cust[1:] != cust[:-1])
-                    | (items[1:] != items[:-1])
-                    | (window[1:] != window[:-1]),
+                    order = np.lexsort((window, items, cust))
+                    cust, items, window = cust[order], items[order], window[order]
+                    keep = np.r_[
+                        True,
+                        (cust[1:] != cust[:-1])
+                        | (items[1:] != items[:-1])
+                        | (window[1:] != window[:-1]),
+                    ]
+                    cust, items, window = cust[keep], items[keep], window[keep]
+                new_pair = np.r_[
+                    True, (cust[1:] != cust[:-1]) | (items[1:] != items[:-1])
                 ]
-                cust, items, window = cust[keep], items[keep], window[keep]
-            new_pair = np.r_[
-                True, (cust[1:] != cust[:-1]) | (items[1:] != items[:-1])
-            ]
-            pair_starts = np.flatnonzero(new_pair)
-        else:
-            pair_starts = np.empty(0, dtype=np.int64)
-        triple_offsets = np.r_[pair_starts, len(window)].astype(np.int64)
-        pair_items = items[pair_starts]
-        pair_cust = cust[pair_starts]
-        pair_offsets = np.searchsorted(
-            pair_cust, np.arange(columnar.n_customers + 1, dtype=np.int64)
-        )
+                pair_starts = np.flatnonzero(new_pair)
+            else:
+                pair_starts = np.empty(0, dtype=np.int64)
+            triple_offsets = np.r_[pair_starts, len(window)].astype(np.int64)
+            pair_items = items[pair_starts]
+            pair_cust = cust[pair_starts]
+            pair_offsets = np.searchsorted(
+                pair_cust, np.arange(columnar.n_customers + 1, dtype=np.int64)
+            )
         return cls(
             grid=grid,
             customer_ids=columnar.customer_ids,

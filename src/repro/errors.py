@@ -56,3 +56,8 @@ class CheckpointError(ReproError):
 class SnapshotError(ReproError):
     """A monitor snapshot cannot be produced or restored (corrupt file,
     schema/version mismatch, unsupported configuration)."""
+
+
+class ManifestError(ReproError):
+    """A run manifest is missing, corrupt or from an incompatible
+    schema/version; it will not be silently ingested."""

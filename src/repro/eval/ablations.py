@@ -12,6 +12,7 @@
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -28,6 +29,8 @@ from repro.data.population import PopulationFrame
 from repro.data.validation import DatasetBundle
 from repro.errors import EvaluationError
 from repro.eval.protocol import EvaluationProtocol
+from repro.obs import span
+from repro.obs.progress import progress
 from repro.runtime.checkpoint import CheckpointJournal
 from repro.synth.generator import SyntheticDataset
 
@@ -39,6 +42,14 @@ __all__ = [
     "ExplanationQuality",
     "explanation_quality",
 ]
+
+logger = logging.getLogger(__name__)
+
+
+def _log_resume_summary(journal: CheckpointJournal | None) -> None:
+    """One line of journal traffic after a checkpointed sweep."""
+    if journal is not None and (journal.hits or journal.misses or journal.invalid):
+        logger.info("%s journal: %s", journal.schema, journal.resume_summary())
 
 
 @dataclass(frozen=True, slots=True)
@@ -124,22 +135,26 @@ def alpha_sweep(
     # a different bundle must recompute, not alias.
     dataset = f"d{bundle.fingerprint()}" if journal is not None else ""
     points = []
-    for alpha in alphas:
-        label = f"alpha={alpha:g}"
-        points.append(
-            _journaled_point(
-                journal,
-                (
-                    "alpha_sweep",
-                    label,
-                    f"m{eval_month}",
-                    f"w{window_months}",
-                    dataset,
-                ),
-                label,
-                lambda a=alpha: fit_and_score(a),
-            )
-        )
+    with progress(len(alphas), "alpha sweep", log=logger) as reporter:
+        for alpha in alphas:
+            label = f"alpha={alpha:g}"
+            with span("eval.cell", sweep="alpha_sweep", label=label):
+                points.append(
+                    _journaled_point(
+                        journal,
+                        (
+                            "alpha_sweep",
+                            label,
+                            f"m{eval_month}",
+                            f"w{window_months}",
+                            dataset,
+                        ),
+                        label,
+                        lambda a=alpha: fit_and_score(a),
+                    )
+                )
+            reporter.advance(key=label)
+    _log_resume_summary(journal)
     return points
 
 
@@ -187,22 +202,26 @@ def window_sweep(
 
     dataset = f"d{bundle.fingerprint()}" if journal is not None else ""
     points = []
-    for window_months in window_months_list:
-        label = f"w={window_months}mo"
-        points.append(
-            _journaled_point(
-                journal,
-                (
-                    "window_sweep",
-                    label,
-                    f"m{reference}",
-                    f"a{alpha:g}",
-                    dataset,
-                ),
-                label,
-                lambda w=window_months: fit_and_score(w),
-            )
-        )
+    with progress(len(window_months_list), "window sweep", log=logger) as reporter:
+        for window_months in window_months_list:
+            label = f"w={window_months}mo"
+            with span("eval.cell", sweep="window_sweep", label=label):
+                points.append(
+                    _journaled_point(
+                        journal,
+                        (
+                            "window_sweep",
+                            label,
+                            f"m{reference}",
+                            f"a{alpha:g}",
+                            dataset,
+                        ),
+                        label,
+                        lambda w=window_months: fit_and_score(w),
+                    )
+                )
+            reporter.advance(key=label)
+    _log_resume_summary(journal)
     return points
 
 

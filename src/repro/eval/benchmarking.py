@@ -27,6 +27,7 @@ __all__ = [
     "scaling_telemetry",
     "protocol_telemetry",
     "resilience_telemetry",
+    "telemetry_overhead",
     "write_scaling_json",
     "render_scaling",
 ]
@@ -273,6 +274,78 @@ def resilience_telemetry(
     }
 
 
+def telemetry_overhead(
+    size: int = 200,
+    seed: int = 13,
+    repeat: int = 3,
+    window_months: int = 2,
+    alpha: float = 2.0,
+    first_month: int = 12,
+    last_month: int = 24,
+) -> dict:
+    """Cost of *recording* telemetry on the full ROC sweep.
+
+    Runs the frame-based Figure-1-style sweep twice per repetition,
+    interleaved: once with the default no-op tracer/registry and once
+    with a recording :class:`~repro.obs.Tracer` plus
+    :class:`~repro.obs.MetricsRegistry` installed.  Both sweeps produce
+    bit-identical AUROC (pinned by differential tests); the gap is the
+    pure cost of span/instrument bookkeeping, pinned below 3% by the
+    acceptance criteria.  ``size`` is per-cohort (total customers =
+    ``2 * size``).
+    """
+    if repeat < 1:
+        raise ConfigError(f"repeat must be >= 1, got {repeat}")
+    from repro.eval.protocol import EvaluationProtocol
+    from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
+
+    dataset = generate_dataset(
+        ScenarioConfig(n_loyal=size, n_churners=size, seed=seed)
+    )
+    bundle = dataset.bundle
+    config = ExperimentConfig(
+        window_months=window_months,
+        alpha=alpha,
+        first_month=first_month,
+        last_month=last_month,
+        backend="batch",
+    )
+    train, test = EvaluationProtocol(bundle, config=config).train_test_split(
+        seed=seed
+    )
+    # One untimed warmup so neither arm pays the first-call cost of
+    # allocator/numpy cache priming — on a ~0.1s sweep that one-off cost
+    # would otherwise dwarf the few-percent effect being measured.
+    _roc_sweep_frame(bundle, config, train, test)
+    disabled = float("inf")
+    recording = float("inf")
+    n_spans = 0
+    for _ in range(repeat):
+        start = time.perf_counter()
+        _roc_sweep_frame(bundle, config, train, test)
+        disabled = min(disabled, time.perf_counter() - start)
+        tracer, registry = Tracer(), MetricsRegistry()
+        with use_tracer(tracer), use_metrics(registry):
+            start = time.perf_counter()
+            _roc_sweep_frame(bundle, config, train, test)
+            recording = min(recording, time.perf_counter() - start)
+        n_spans = len(tracer.records)
+    return {
+        "scenario": "telemetry_overhead",
+        "customers": bundle.log.n_customers,
+        "window_months": window_months,
+        "alpha": alpha,
+        "first_month": first_month,
+        "last_month": last_month,
+        "seed": seed,
+        "repeat": repeat,
+        "spans_per_sweep": n_spans,
+        "disabled_seconds": disabled,
+        "recording_seconds": recording,
+        "overhead_pct": (recording - disabled) / disabled * 100.0,
+    }
+
+
 def write_scaling_json(path: Path | str, telemetry: dict) -> None:
     """Persist telemetry as indented JSON (stable key order for diffs)."""
     Path(path).write_text(json.dumps(telemetry, indent=2, sort_keys=True) + "\n")
@@ -317,6 +390,18 @@ def render_scaling(telemetry: dict) -> str:
                 bare=resilience["bare_seconds"],
                 res=resilience["resilient_seconds"],
                 overhead=resilience["overhead_pct"],
+            )
+        )
+    overhead = telemetry.get("telemetry_overhead")
+    if overhead is not None:
+        table += (
+            "\n\ntelemetry ({customers} customers, {spans} spans/sweep): "
+            "off {off:.3f}s, on {on:.3f}s ({pct:+.1f}% overhead)".format(
+                customers=overhead["customers"],
+                spans=overhead["spans_per_sweep"],
+                off=overhead["disabled_seconds"],
+                on=overhead["recording_seconds"],
+                pct=overhead["overhead_pct"],
             )
         )
     return table

@@ -11,6 +11,7 @@ random).
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -28,9 +29,13 @@ from repro.data.validation import DatasetBundle
 from repro.errors import EvaluationError
 from repro.eval.protocol import EvaluationProtocol
 from repro.ml.metrics import auroc, lift_at_fraction, precision_recall_f1
+from repro.obs import span
+from repro.obs.progress import progress
 from repro.runtime.checkpoint import CheckpointJournal, ids_digest
 
 __all__ = ["CampaignPoint", "CampaignComparison", "compare_models"]
+
+logger = logging.getLogger(__name__)
 
 #: Targeting budgets evaluated (fractions of the customer base).
 BUDGETS = (0.05, 0.10, 0.20)
@@ -172,12 +177,13 @@ def compare_models(
 
     def cell(name: str, month: int, compute) -> CampaignPoint:
         """One journaled campaign cell; a hit skips the scorer refit."""
-        if journal is None:
-            return compute()
-        key = ("campaign", name, f"m{month}", tag)
-        payload = journal.get_or_compute(
-            key, lambda: _point_to_payload(compute())
-        )
+        with span("eval.cell", scorer=name, month=month):
+            if journal is None:
+                return compute()
+            key = ("campaign", name, f"m{month}", tag)
+            payload = journal.get_or_compute(
+                key, lambda: _point_to_payload(compute())
+            )
         return _point_from_payload(name, month, payload)
 
     # Fitted lazily so a fully journaled rerun skips the fit entirely.
@@ -221,43 +227,50 @@ def compare_models(
         )
 
     points: list[CampaignPoint] = []
-    for month in months:
-        window = month_to_window[month]
-        points.append(
-            cell(
-                "stability",
-                month,
-                lambda k=window, m=month: _campaign_metrics(
+    n_cells = len(months) * (1 + len(trainable) + len(rules))
+    with progress(n_cells, "campaign comparison", log=logger) as reporter:
+        for month in months:
+            window = month_to_window[month]
+            points.append(
+                cell(
                     "stability",
-                    m,
-                    stability().churn_scores(k, test),
-                    labels,
-                    budgets,
-                ),
-            )
-        )
-        for name, model in trainable.items():
-            points.append(
-                cell(
-                    name,
                     month,
-                    lambda n=name, mo=model, m=month, k=window: fit_and_measure(
-                        n, mo, m, k
-                    ),
-                )
-            )
-        for name, rule in rules.items():
-            points.append(
-                cell(
-                    name,
-                    month,
-                    lambda n=name, r=rule, m=month, k=window: _campaign_metrics(
-                        n,
+                    lambda k=window, m=month: _campaign_metrics(
+                        "stability",
                         m,
-                        r.churn_scores(bundle.log, test, k),
+                        stability().churn_scores(k, test),
                         labels,
                         budgets,
                     ),
                 )
             )
+            reporter.advance(key=f"stability m{month}")
+            for name, model in trainable.items():
+                points.append(
+                    cell(
+                        name,
+                        month,
+                        lambda n=name, mo=model, m=month, k=window: fit_and_measure(
+                            n, mo, m, k
+                        ),
+                    )
+                )
+                reporter.advance(key=f"{name} m{month}")
+            for name, rule in rules.items():
+                points.append(
+                    cell(
+                        name,
+                        month,
+                        lambda n=name, r=rule, m=month, k=window: _campaign_metrics(
+                            n,
+                            m,
+                            r.churn_scores(bundle.log, test, k),
+                            labels,
+                            budgets,
+                        ),
+                    )
+                )
+                reporter.advance(key=f"{name} m{month}")
+    if journal is not None and (journal.hits or journal.misses or journal.invalid):
+        logger.info("%s journal: %s", journal.schema, journal.resume_summary())
     return CampaignComparison(points=tuple(points), budgets=tuple(budgets))

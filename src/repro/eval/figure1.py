@@ -13,7 +13,8 @@ disjoint, stratified training split at each window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.baselines.rfm import RFMModel
@@ -21,19 +22,27 @@ from repro.config import ExperimentConfig
 from repro.core.model import StabilityModel
 from repro.data.validation import DatasetBundle
 from repro.eval.protocol import EvaluationProtocol, ScoreSeries
+from repro.runtime.executor import ExecutionReport
 
 __all__ = ["Figure1Result", "run_figure1"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
 class Figure1Result:
-    """The two AUROC curves of Figure 1 plus the experiment's metadata."""
+    """The two AUROC curves of Figure 1 plus the experiment's metadata.
+
+    ``execution`` carries the resilient executor's report for sharded
+    stability fits (``None`` for serial fits).
+    """
 
     stability: ScoreSeries
     rfm: ScoreSeries
     onset_month: int
     window_months: int
     alpha: float
+    execution: ExecutionReport | None = field(default=None, compare=False)
 
     def months(self) -> list[int]:
         return self.stability.months()
@@ -96,10 +105,14 @@ def run_figure1(
     stability_model = StabilityModel.from_config(bundle.calendar, config).fit(
         protocol.frame()
     )
+    execution = stability_model.execution_report
+    if execution is not None:
+        logger.info("stability fit: %s", execution.summary())
     stability_series = protocol.evaluate_stability_model(stability_model, test_ids)
 
     rfm_model = RFMModel(bundle.calendar, config=config)
     rfm_series = protocol.evaluate_window_scorer(rfm_model, "rfm", train_ids, test_ids)
+    protocol.log_resume_summary()
 
     return Figure1Result(
         stability=stability_series,
@@ -107,4 +120,5 @@ def run_figure1(
         onset_month=bundle.cohorts.onset_month,
         window_months=config.window_months,
         alpha=config.alpha,
+        execution=execution,
     )

@@ -25,6 +25,7 @@ completed cells (including the per-window scorer refits they imply).
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -37,9 +38,14 @@ from repro.data.population import PopulationFrame
 from repro.data.validation import DatasetBundle
 from repro.errors import ConfigError, EvaluationError
 from repro.ml.metrics import auroc
+from repro.obs import metrics as obs_metrics
+from repro.obs import span
+from repro.obs.progress import progress
 from repro.runtime.checkpoint import CheckpointJournal, ids_digest
 
 __all__ = ["MonthScore", "ScoreSeries", "EvaluationProtocol"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -159,11 +165,31 @@ class EvaluationProtocol:
         train/test split (seed, fraction) or cohort selection maps to a
         different cell instead of replaying a stale one.
         """
+        metrics = obs_metrics.get_metrics()
         journal = self.journal()
-        if journal is None:
-            return compute()
-        key = (name, f"month={month}", f"ids={split}", self._config_tag())
-        return float(journal.get_or_compute(key, lambda: float(compute())))
+        with span("eval.cell", scorer=name, month=month):
+            if journal is None:
+                metrics.counter(obs_metrics.CELLS_COMPUTED).inc()
+                return compute()
+            key = (name, f"month={month}", f"ids={split}", self._config_tag())
+            misses = journal.misses
+            value = float(journal.get_or_compute(key, lambda: float(compute())))
+        if journal.misses > misses:
+            metrics.counter(obs_metrics.CELLS_COMPUTED).inc()
+        else:
+            metrics.counter(obs_metrics.CELLS_REPLAYED).inc()
+        return value
+
+    def log_resume_summary(self) -> None:
+        """Log one line of journal traffic (no-op without a journal).
+
+        E.g. ``"eval-protocol journal: replayed 84 cell(s), computed
+        36"`` — emitted at INFO by the sweeps (figure1, ablations, the
+        campaign) once their cells are done.
+        """
+        journal = self._journal
+        if journal is not None and (journal.hits or journal.misses or journal.invalid):
+            logger.info("%s journal: %s", journal.schema, journal.resume_summary())
 
     def frame(self) -> PopulationFrame:
         """The bundle's columnar frame on the protocol's grid.
@@ -223,19 +249,22 @@ class EvaluationProtocol:
             else self.bundle.cohorts.all_customers()
         )
         split = ids_digest(ids)
+        windows = self.evaluation_windows(model)
         points = []
-        for window_index, month in self.evaluation_windows(model):
-            value = self._cell(
-                "stability",
-                month,
-                split,
-                lambda k=window_index: self.auroc_of_scores(
-                    model.churn_scores(k, ids), ids
-                ),
-            )
-            points.append(
-                MonthScore(month=month, window_index=window_index, auroc=value)
-            )
+        with progress(len(windows), "eval stability", log=logger) as reporter:
+            for window_index, month in windows:
+                value = self._cell(
+                    "stability",
+                    month,
+                    split,
+                    lambda k=window_index: self.auroc_of_scores(
+                        model.churn_scores(k, ids), ids
+                    ),
+                )
+                points.append(
+                    MonthScore(month=month, window_index=window_index, auroc=value)
+                )
+                reporter.advance(key=f"month={month}")
         return ScoreSeries(name="stability", points=tuple(points))
 
     def evaluate_window_scorer(
@@ -264,15 +293,18 @@ class EvaluationProtocol:
             return self.auroc_of_scores(scores, list(test_customers))
 
         split = ids_digest(train_customers, test_customers)
+        windows = self.evaluation_windows(scorer)
         points = []
-        for window_index, month in self.evaluation_windows(scorer):
-            # A journaled cell skips the whole refit, not just the AUROC.
-            value = self._cell(
-                name, month, split, lambda k=window_index: fit_and_score(k)
-            )
-            points.append(
-                MonthScore(month=month, window_index=window_index, auroc=value)
-            )
+        with progress(len(windows), f"eval {name}", log=logger) as reporter:
+            for window_index, month in windows:
+                # A journaled cell skips the whole refit, not just the AUROC.
+                value = self._cell(
+                    name, month, split, lambda k=window_index: fit_and_score(k)
+                )
+                points.append(
+                    MonthScore(month=month, window_index=window_index, auroc=value)
+                )
+                reporter.advance(key=f"month={month}")
         return ScoreSeries(name=name, points=tuple(points))
 
     def evaluate_rule(
@@ -294,22 +326,28 @@ class EvaluationProtocol:
         )
         source = self._scorer_source(rule)
         split = ids_digest(ids)
+        months = [
+            (k, grid.end_month(k, self.bundle.calendar))
+            for k in range(grid.n_windows)
+            if self.first_month
+            <= grid.end_month(k, self.bundle.calendar)
+            <= self.last_month
+        ]
         points = []
-        for window_index in range(grid.n_windows):
-            month = grid.end_month(window_index, self.bundle.calendar)
-            if not self.first_month <= month <= self.last_month:
-                continue
-            value = self._cell(
-                name,
-                month,
-                split,
-                lambda k=window_index: self.auroc_of_scores(
-                    rule.churn_scores(source, ids, k), ids
-                ),
-            )
-            points.append(
-                MonthScore(month=month, window_index=window_index, auroc=value)
-            )
+        with progress(len(months), f"eval {name}", log=logger) as reporter:
+            for window_index, month in months:
+                value = self._cell(
+                    name,
+                    month,
+                    split,
+                    lambda k=window_index: self.auroc_of_scores(
+                        rule.churn_scores(source, ids, k), ids
+                    ),
+                )
+                points.append(
+                    MonthScore(month=month, window_index=window_index, auroc=value)
+                )
+                reporter.advance(key=f"month={month}")
         if not points:
             raise EvaluationError(
                 f"no evaluation window ends within months "

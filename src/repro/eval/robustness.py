@@ -19,6 +19,7 @@ synthetic substrate can:
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -28,6 +29,8 @@ from repro.config import ExperimentConfig
 from repro.core.detector import ThresholdDetector
 from repro.core.model import StabilityModel
 from repro.eval.protocol import EvaluationProtocol
+from repro.obs import span
+from repro.obs.progress import progress
 from repro.runtime.checkpoint import CheckpointJournal
 from repro.synth.generator import ScenarioConfig, generate_dataset
 from repro.synth.scenarios import ATTRITION_MECHANISMS, mechanism_scenario
@@ -38,6 +41,13 @@ __all__ = [
     "VacationPoint",
     "vacation_sensitivity",
 ]
+
+logger = logging.getLogger(__name__)
+
+
+def _log_resume_summary(journal: CheckpointJournal | None) -> None:
+    if journal is not None and (journal.hits or journal.misses or journal.invalid):
+        logger.info("%s journal: %s", journal.schema, journal.resume_summary())
 
 
 @dataclass(frozen=True)
@@ -99,20 +109,24 @@ def mechanism_crossover(
         }
 
     results = []
-    for mechanism in sorted(ATTRITION_MECHANISMS):
-        if journal is None:
-            payload = run_mechanism(mechanism)
-        else:
-            key = (
-                "mechanism_crossover",
-                mechanism,
-                f"w{window_months}_a{alpha:g}_s{seed}_"
-                f"n{n_loyal}-{n_churners}_"
-                f"m{'-'.join(str(m) for m in months)}",
-            )
-            payload = journal.get_or_compute(
-                key, lambda m=mechanism: run_mechanism(m)
-            )
+    mechanisms = sorted(ATTRITION_MECHANISMS)
+    reporter = progress(len(mechanisms), "mechanism crossover", log=logger)
+    for mechanism in mechanisms:
+        with span("eval.cell", sweep="mechanism_crossover", label=mechanism):
+            if journal is None:
+                payload = run_mechanism(mechanism)
+            else:
+                key = (
+                    "mechanism_crossover",
+                    mechanism,
+                    f"w{window_months}_a{alpha:g}_s{seed}_"
+                    f"n{n_loyal}-{n_churners}_"
+                    f"m{'-'.join(str(m) for m in months)}",
+                )
+                payload = journal.get_or_compute(
+                    key, lambda m=mechanism: run_mechanism(m)
+                )
+        reporter.advance(key=mechanism)
         results.append(
             MechanismResult(
                 mechanism=mechanism,
@@ -120,6 +134,8 @@ def mechanism_crossover(
                 rfm_auroc={int(m): float(v) for m, v in payload["rfm"]},
             )
         )
+    reporter.finish()
+    _log_resume_summary(journal)
     return results
 
 
@@ -200,23 +216,28 @@ def vacation_sensitivity(
         }
 
     points = []
-    for prob in vacation_probs:
-        if journal is None:
-            payload = run_prob(prob)
-        else:
-            key = (
-                "vacation_sensitivity",
-                f"p{float(prob):g}",
-                f"w{window_months}_b{beta:g}_s{seed}_m{eval_month}_"
-                f"n{n_loyal}-{n_churners}_"
-                f"d{vacation_duration_days[0]}-{vacation_duration_days[1]}",
+    with progress(len(vacation_probs), "vacation sensitivity", log=logger) as reporter:
+        for prob in vacation_probs:
+            label = f"p{float(prob):g}"
+            with span("eval.cell", sweep="vacation_sensitivity", label=label):
+                if journal is None:
+                    payload = run_prob(prob)
+                else:
+                    key = (
+                        "vacation_sensitivity",
+                        label,
+                        f"w{window_months}_b{beta:g}_s{seed}_m{eval_month}_"
+                        f"n{n_loyal}-{n_churners}_"
+                        f"d{vacation_duration_days[0]}-{vacation_duration_days[1]}",
+                    )
+                    payload = journal.get_or_compute(key, lambda p=prob: run_prob(p))
+            reporter.advance(key=label)
+            points.append(
+                VacationPoint(
+                    vacation_prob=float(prob),
+                    auroc=float(payload["auroc"]),
+                    loyal_false_alarm_rate=float(payload["loyal_false_alarm_rate"]),
+                )
             )
-            payload = journal.get_or_compute(key, lambda p=prob: run_prob(p))
-        points.append(
-            VacationPoint(
-                vacation_prob=float(prob),
-                auroc=float(payload["auroc"]),
-                loyal_false_alarm_rate=float(payload["loyal_false_alarm_rate"]),
-            )
-        )
+    _log_resume_summary(journal)
     return points

@@ -1,0 +1,314 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The runtime and evaluation layers report *what happened* through named
+instruments — checkpoint hits and misses, shard retries and degrades,
+cells computed versus replayed, per-stage engine timings — without
+knowing whether anyone is listening:
+
+* the process-wide default registry is :data:`NULL_METRICS`, whose
+  instruments are shared no-op singletons, so an uninstrumented run pays
+  one dict lookup per observation and allocates nothing;
+* with a recording :class:`MetricsRegistry` installed (``--metrics-out``
+  or :class:`~repro.obs.TelemetrySession`), every observation lands in a
+  named instrument and the registry serialises to one JSON object.
+
+Worker processes carry their own registry; its raw state travels back
+to the parent as a :meth:`MetricsRegistry.dump` payload and is folded in
+by :meth:`MetricsRegistry.merge` (counters add, histograms concatenate,
+gauges last-write-wins) — the metrics side of the worker-span merge in
+:func:`~repro.runtime.executor.run_sharded`.
+
+Instrument names used across the codebase are declared here as
+constants so the taxonomy has one home (see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.errors import SchemaError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    "metrics_enabled",
+    # instrument taxonomy
+    "CHECKPOINT_HITS",
+    "CHECKPOINT_MISSES",
+    "CHECKPOINT_INVALID",
+    "SHARD_RETRIES",
+    "SHARD_TIMEOUTS",
+    "SHARD_DEGRADED",
+    "CELLS_COMPUTED",
+    "CELLS_REPLAYED",
+    "STAGE_CSR_BUILD",
+    "STAGE_SIGNIFICANCE",
+    "STAGE_NORMALIZE",
+]
+
+# ----------------------------------------------------------------------
+# Instrument taxonomy (DESIGN.md §7): one canonical name per event.
+# ----------------------------------------------------------------------
+#: Journaled sweep cells replayed from / missing in a checkpoint journal.
+CHECKPOINT_HITS = "checkpoint.hits"
+CHECKPOINT_MISSES = "checkpoint.misses"
+#: Cell files rejected as corrupt / foreign during a resume.
+CHECKPOINT_INVALID = "checkpoint.invalid"
+#: Failed pool attempts (each sends its shard to another wave or, after
+#: the final wave, to the serial fallback).
+SHARD_RETRIES = "executor.shard_retries"
+#: The subset of failed attempts caused by the wave deadline.
+SHARD_TIMEOUTS = "executor.shard_timeouts"
+#: Shards recomputed serially in the parent after exhausting retries.
+SHARD_DEGRADED = "executor.shard_degraded"
+#: Sweep cells actually computed this run vs. replayed from a journal.
+CELLS_COMPUTED = "sweep.cells_computed"
+CELLS_REPLAYED = "sweep.cells_replayed"
+#: Engine fit stage timings (seconds, histograms).
+STAGE_CSR_BUILD = "engine.stage.csr_build_s"
+STAGE_SIGNIFICANCE = "engine.stage.significance_s"
+STAGE_NORMALIZE = "engine.stage.normalize_s"
+
+#: Serialized registry format version.
+METRICS_VERSION = 1
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A distribution of observed values (timings, sizes)."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def summary(self) -> dict:
+        """count / total / p50 / p95 / max of the observations."""
+        from repro.obs.trace import _percentile
+
+        ordered = sorted(self.values)
+        return {
+            "count": len(ordered),
+            "total": sum(ordered),
+            "p50": _percentile(ordered, 0.50),
+            "p95": _percentile(ordered, 0.95),
+            "max": ordered[-1] if ordered else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """A recording registry: instruments are created on first use."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str) -> int:
+        """Current value of a counter (0 when never incremented)."""
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0
+
+    def to_dict(self) -> dict:
+        """Aggregated snapshot: histogram distributions are summarized."""
+        return {
+            "schema": "repro-metrics",
+            "version": METRICS_VERSION,
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def dump(self) -> dict:
+        """Raw, mergeable state (histograms keep their observations)."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histogram_values": {
+                n: list(h.values) for n, h in self._histograms.items()
+            },
+        }
+
+    def merge(self, delta: dict) -> None:
+        """Fold a :meth:`dump` payload (e.g. from a worker process) in.
+
+        Raises
+        ------
+        SchemaError
+            If the payload is not a registry dump.
+        """
+        if not isinstance(delta, dict):
+            raise SchemaError(f"metrics delta is not an object: {delta!r}")
+        for field in ("counters", "gauges", "histogram_values"):
+            if field not in delta or not isinstance(delta[field], dict):
+                raise SchemaError(f"metrics delta missing {field!r}: {delta!r}")
+        for name, value in delta["counters"].items():
+            self.counter(name).inc(int(value))
+        for name, value in delta["gauges"].items():
+            if value is not None:
+                self.gauge(name).set(float(value))
+        for name, values in delta["histogram_values"].items():
+            self.histogram(name).values.extend(float(v) for v in values)
+
+    def export_json(self, path: str | Path) -> Path:
+        """Write the aggregated snapshot atomically as indented JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+
+class _NullInstrument:
+    """The shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    values: tuple = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {"count": 0, "total": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def counter_value(self, name: str) -> int:
+        return 0
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro-metrics",
+            "version": METRICS_VERSION,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def dump(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histogram_values": {}}
+
+    def merge(self, delta: dict) -> None:
+        pass
+
+
+#: Process-wide default: metrics off.
+NULL_METRICS = NullMetrics()
+
+_ACTIVE: MetricsRegistry | NullMetrics = NULL_METRICS
+
+
+def get_metrics() -> MetricsRegistry | NullMetrics:
+    """The process-local active registry (:data:`NULL_METRICS` by default)."""
+    return _ACTIVE
+
+
+def set_metrics(registry: MetricsRegistry | NullMetrics | None) -> MetricsRegistry | NullMetrics:
+    """Install a registry as the active one; returns the previous registry."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry if registry is not None else NULL_METRICS
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry | NullMetrics):
+    """Scope a registry: active inside the ``with``, restored after."""
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)
+
+
+def metrics_enabled() -> bool:
+    """Whether the active registry records anything."""
+    return _ACTIVE.enabled

@@ -1,0 +1,139 @@
+"""Heartbeat progress reporting for long sweeps.
+
+A full evaluation sweep is a sequence of independent cells — (scorer,
+month) AUROC points, ablation configurations, campaign rows.  On a large
+population each cell is seconds of work and the sweep is minutes of
+silence.  :class:`ProgressReporter` turns that silence into a heartbeat::
+
+    reporter = progress(len(cells), "figure1 sweep")
+    for cell in cells:
+        ...
+        reporter.advance(key=f"month={cell.month}")
+    reporter.finish()
+
+Each heartbeat line carries cells done / total, the observed cells/sec,
+an ETA extrapolated from it and the most recent cell key.  Emission goes
+through stdlib logging at INFO (``-v`` on the CLI), is rate-limited to
+one line per ``min_interval`` seconds, and always fires on the first and
+final cell, so short sweeps still report once.
+
+The :func:`progress` factory hands back the shared :data:`NULL_PROGRESS`
+when the target logger would drop INFO records, so un-verbose runs pay a
+single ``isEnabledFor`` check per sweep — not per cell.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+__all__ = ["ProgressReporter", "NullProgress", "NULL_PROGRESS", "progress"]
+
+logger = logging.getLogger(__name__)
+
+
+class ProgressReporter:
+    """Logs sweep progress (done/total, rate, ETA, current cell)."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str,
+        log: logging.Logger | None = None,
+        min_interval: float = 1.0,
+        clock=time.perf_counter,
+    ) -> None:
+        self.total = max(int(total), 0)
+        self.label = label
+        self.done = 0
+        self._log = log if log is not None else logger
+        self._min_interval = min_interval
+        self._clock = clock
+        self._started = clock()
+        self._last_emit: float | None = None
+
+    # ------------------------------------------------------------------
+    def advance(self, key: str | None = None, n: int = 1) -> None:
+        """Mark ``n`` cells finished; ``key`` names the current cell."""
+        self.done += n
+        now = self._clock()
+        due = (
+            self._last_emit is None
+            or self.done >= self.total
+            or now - self._last_emit >= self._min_interval
+        )
+        if due:
+            self._last_emit = now
+            self._emit(now, key)
+
+    def finish(self) -> None:
+        """Log the closing line (total cells, wall time, overall rate)."""
+        elapsed = max(self._clock() - self._started, 1e-9)
+        self._log.info(
+            "%s: finished %d cell(s) in %.2fs (%.1f cells/s)",
+            self.label,
+            self.done,
+            elapsed,
+            self.done / elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def _emit(self, now: float, key: str | None) -> None:
+        elapsed = max(now - self._started, 1e-9)
+        rate = self.done / elapsed
+        remaining = max(self.total - self.done, 0)
+        eta = remaining / rate if rate > 0 else float("inf")
+        self._log.info(
+            "%s: %d/%d cells (%.1f cells/s, ETA %.1fs)%s",
+            self.label,
+            self.done,
+            self.total,
+            rate,
+            eta,
+            f" [{key}]" if key else "",
+        )
+
+    # Context-manager sugar: ``with progress(...) as reporter:``.
+    def __enter__(self) -> "ProgressReporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.finish()
+        return False
+
+
+class NullProgress:
+    """The disabled reporter: every operation is a no-op."""
+
+    total = 0
+    done = 0
+
+    def advance(self, key: str | None = None, n: int = 1) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullProgress":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The shared no-op reporter.
+NULL_PROGRESS = NullProgress()
+
+
+def progress(
+    total: int,
+    label: str,
+    log: logging.Logger | None = None,
+    min_interval: float = 1.0,
+) -> ProgressReporter | NullProgress:
+    """A live reporter when the logger emits INFO, else the shared no-op."""
+    target = log if log is not None else logger
+    if not target.isEnabledFor(logging.INFO):
+        return NULL_PROGRESS
+    return ProgressReporter(total, label, log=target, min_interval=min_interval)

@@ -1,0 +1,436 @@
+"""Structured span tracing: nested wall/CPU timings as serializable records.
+
+A :class:`Tracer` records *spans* — named, attributed, nested timing
+intervals — as flat :class:`SpanRecord` values::
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("fit.batch", customer_count=400):
+            ...
+    write_trace_jsonl("trace.jsonl", tracer.records)
+
+Design rules (the tentpole's contract):
+
+* **Zero-cost when disabled.**  The process-wide active tracer defaults
+  to :data:`NULL_TRACER`, whose :meth:`~NullTracer.span` returns a shared
+  no-op context manager: an uninstrumented run pays one attribute check
+  and nothing else — no allocation, no clock reads.
+* **Observation only.**  Spans time code; they never change what it
+  computes.  Scores with tracing on are bit-identical to tracing off
+  (pinned by differential tests).
+* **Process-mergeable.**  Spans produced inside worker processes travel
+  back as plain dicts and are adopted into the parent trace by
+  :meth:`Tracer.merge`, which re-identifies them and re-parents their
+  roots under the parent's current span — this is how
+  :func:`~repro.runtime.executor.run_sharded` stitches worker-side shard
+  spans into one coherent trace.
+
+The JSONL export is one record per line; :func:`read_trace_jsonl`
+validates on the way back in (a torn or foreign file raises
+:class:`~repro.errors.SchemaError` instead of feeding garbage to the
+summary).  :func:`summarize_spans` aggregates a trace per span name
+(count, total, p50, p95) for the ``repro obs summarize`` subcommand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from collections.abc import Iterable, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import SchemaError
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "span",
+    "tracing_enabled",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "summarize_spans",
+    "render_span_summary",
+]
+
+#: JSONL record fields every span must carry.
+_REQUIRED_FIELDS = (
+    "name",
+    "span_id",
+    "parent_id",
+    "start_unix",
+    "wall_s",
+    "cpu_s",
+    "pid",
+    "attrs",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One finished span, flat and JSON-serialisable.
+
+    Attributes
+    ----------
+    name:
+        Span name from the project taxonomy (e.g. ``"engine.fit"``).
+    span_id, parent_id:
+        Trace-local identity; ``parent_id`` is ``None`` for roots.
+        :meth:`Tracer.merge` rewrites both when adopting foreign spans.
+    start_unix:
+        Wall-clock start (``time.time()``), comparable across processes.
+    wall_s, cpu_s:
+        Elapsed wall and CPU (``time.process_time``) seconds.
+    pid:
+        Process that produced the span — worker spans keep their worker
+        pid through a merge, so a trace shows where work actually ran.
+    attrs:
+        Free-form JSON-serialisable attributes (counts, shard ids, …).
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_unix: float
+    wall_s: float
+    cpu_s: float
+    pid: int
+    attrs: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix": self.start_unix,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "pid": self.pid,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SpanRecord":
+        """Validate and revive one serialized span.
+
+        Raises
+        ------
+        SchemaError
+            If the payload is not a span record (missing fields, wrong
+            shapes) — a torn trace file must fail loudly.
+        """
+        if not isinstance(payload, Mapping):
+            raise SchemaError(f"span record is not an object: {payload!r}")
+        for field_name in _REQUIRED_FIELDS:
+            if field_name not in payload:
+                raise SchemaError(f"span record missing {field_name!r}: {payload!r}")
+        if not isinstance(payload["name"], str) or not payload["name"]:
+            raise SchemaError(f"span name must be a non-empty string: {payload!r}")
+        if not isinstance(payload["attrs"], Mapping):
+            raise SchemaError(f"span attrs must be an object: {payload!r}")
+        parent = payload["parent_id"]
+        return cls(
+            name=payload["name"],
+            span_id=int(payload["span_id"]),
+            parent_id=None if parent is None else int(parent),
+            start_unix=float(payload["start_unix"]),
+            wall_s=float(payload["wall_s"]),
+            cpu_s=float(payload["cpu_s"]),
+            pid=int(payload["pid"]),
+            attrs=dict(payload["attrs"]),
+        )
+
+
+class _Span:
+    """An open span; records itself into its tracer on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "span_id", "parent_id", "_start", "_t0", "_c0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        self.parent_id = tracer._stack[-1] if tracer._stack else None
+        tracer._stack.append(self.span_id)
+        self._start = time.time()
+        self._c0 = time.process_time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._c0
+        tracer = self._tracer
+        tracer._stack.pop()
+        attrs = self._attrs
+        if exc_type is not None:
+            attrs = {**attrs, "error": exc_type.__name__}
+        tracer._records.append(
+            SpanRecord(
+                name=self._name,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                start_unix=self._start,
+                wall_s=wall,
+                cpu_s=cpu,
+                pid=os.getpid(),
+                attrs=attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """A recording tracer: every closed span becomes a :class:`SpanRecord`."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._records: list[SpanRecord] = []
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    @property
+    def records(self) -> tuple[SpanRecord, ...]:
+        """Finished spans, in completion order (children before parents)."""
+        return tuple(self._records)
+
+    def span(self, name: str, **attrs) -> _Span:
+        """Open a span; use as a context manager."""
+        return _Span(self, name, attrs)
+
+    def current_span_id(self) -> int | None:
+        """Id of the innermost open span (``None`` at the top level)."""
+        return self._stack[-1] if self._stack else None
+
+    def to_dicts(self) -> list[dict]:
+        """All finished spans as plain dicts (picklable, JSON-ready)."""
+        return [record.to_dict() for record in self._records]
+
+    def merge(
+        self,
+        records: Iterable[SpanRecord | Mapping],
+        parent_id: int | None = None,
+    ) -> int:
+        """Adopt spans produced by a foreign tracer (e.g. a worker process).
+
+        Every foreign span gets a fresh id in this trace; internal
+        parent/child links are preserved, and foreign *roots* are
+        re-parented under ``parent_id`` (default: this tracer's current
+        open span), so a merged trace stays one connected tree.  Returns
+        the number of spans adopted.
+        """
+        if parent_id is None:
+            parent_id = self.current_span_id()
+        revived = [
+            record if isinstance(record, SpanRecord) else SpanRecord.from_dict(record)
+            for record in records
+        ]
+        id_map: dict[int, int] = {}
+        for record in revived:
+            id_map[record.span_id] = self._next_id
+            self._next_id += 1
+        for record in revived:
+            new_parent = (
+                parent_id
+                if record.parent_id is None
+                else id_map.get(record.parent_id, parent_id)
+            )
+            self._records.append(
+                dataclasses.replace(
+                    record, span_id=id_map[record.span_id], parent_id=new_parent
+                )
+            )
+        return len(revived)
+
+
+class _NullSpan:
+    """The shared do-nothing span of :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The one no-op span every disabled instrumentation point shares.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def merge(self, records, parent_id=None) -> int:
+        return 0
+
+    def current_span_id(self) -> None:
+        return None
+
+    @property
+    def records(self) -> tuple:
+        return ()
+
+    def to_dicts(self) -> list:
+        return []
+
+
+#: Process-wide default: tracing off.
+NULL_TRACER = NullTracer()
+
+_ACTIVE: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-local active tracer (:data:`NULL_TRACER` by default)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install a tracer as the active one; returns the previous tracer."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer):
+    """Scope a tracer: active inside the ``with``, restored after."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **attrs):
+    """Open a span on the active tracer (no-op when tracing is off)."""
+    active = _ACTIVE
+    if active is NULL_TRACER:
+        return NULL_SPAN
+    return active.span(name, **attrs)
+
+
+def tracing_enabled() -> bool:
+    """Whether the active tracer records anything."""
+    return _ACTIVE.enabled
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trip
+# ----------------------------------------------------------------------
+def write_trace_jsonl(path: str | Path, records: Iterable[SpanRecord]) -> Path:
+    """Write spans as JSON Lines, atomically (temp file + ``os.replace``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = "".join(
+        json.dumps(record.to_dict(), sort_keys=True) + "\n" for record in records
+    )
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(lines)
+    os.replace(tmp, path)
+    return path
+
+
+def read_trace_jsonl(path: str | Path) -> list[SpanRecord]:
+    """Read and validate a span JSONL file.
+
+    Raises
+    ------
+    SchemaError
+        On unparseable lines or records that are not spans — a torn or
+        foreign file is rejected, never silently summarized.
+    """
+    path = Path(path)
+    records = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(
+                f"{path}:{lineno}: corrupt trace line (invalid JSON)"
+            ) from exc
+        records.append(SpanRecord.from_dict(payload))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[int(rank)]
+
+
+def summarize_spans(records: Iterable[SpanRecord]) -> dict[str, dict]:
+    """Per-span-name aggregates: count, total/p50/p95/max wall seconds.
+
+    Names are returned sorted by total wall time, heaviest first — the
+    order a human scanning for the bottleneck wants.
+    """
+    by_name: dict[str, list[float]] = {}
+    cpu_by_name: dict[str, float] = {}
+    for record in records:
+        by_name.setdefault(record.name, []).append(record.wall_s)
+        cpu_by_name[record.name] = cpu_by_name.get(record.name, 0.0) + record.cpu_s
+    summary = {}
+    for name, walls in by_name.items():
+        walls.sort()
+        summary[name] = {
+            "count": len(walls),
+            "total_s": sum(walls),
+            "p50_s": _percentile(walls, 0.50),
+            "p95_s": _percentile(walls, 0.95),
+            "max_s": walls[-1],
+            "cpu_s": cpu_by_name[name],
+        }
+    return dict(
+        sorted(summary.items(), key=lambda item: -item[1]["total_s"])
+    )
+
+
+def render_span_summary(summary: dict[str, dict]) -> str:
+    """The ``repro obs summarize`` table for one trace's aggregates."""
+    from repro.eval.reporting import format_table
+
+    rows = [
+        (
+            name,
+            stats["count"],
+            f"{stats['total_s']:.4f}",
+            f"{stats['p50_s']:.4f}",
+            f"{stats['p95_s']:.4f}",
+            f"{stats['max_s']:.4f}",
+        )
+        for name, stats in summary.items()
+    ]
+    return format_table(
+        ("span", "count", "total s", "p50 s", "p95 s", "max s"), rows
+    )

@@ -25,14 +25,18 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import re
 from collections.abc import Callable, Sequence
 from pathlib import Path
 
 from repro.errors import CheckpointError
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["CheckpointJournal", "ids_digest"]
+
+logger = logging.getLogger(__name__)
 
 #: Journal file format version; bump on incompatible layout changes.
 JOURNAL_VERSION = 1
@@ -69,12 +73,21 @@ class CheckpointJournal:
         at load time.
     """
 
+    #: Filenames in the journal directory that are not cell files (the
+    #: run manifest lives next to the cells; see repro.obs.manifest).
+    RESERVED_NAMES = frozenset({"manifest.json"})
+
     def __init__(self, directory: str | Path, schema: str = "cells") -> None:
         if not schema:
             raise CheckpointError("journal schema name must be non-empty")
         self.directory = Path(directory)
         self.schema = schema
         self.directory.mkdir(parents=True, exist_ok=True)
+        # Per-run resume accounting (see resume_summary); the process
+        # metrics registry mirrors these under checkpoint.* instruments.
+        self.hits = 0
+        self.misses = 0
+        self.invalid = 0
 
     # ------------------------------------------------------------------
     # Keys and paths
@@ -189,13 +202,42 @@ class CheckpointJournal:
         os.replace(tmp, path)
 
     def get_or_compute(self, key: Sequence, compute: Callable[[], object]):
-        """Return the journaled value, computing and storing it if absent."""
+        """Return the journaled value, computing and storing it if absent.
+
+        Every call is accounted: a replayed cell counts as a *hit*, a
+        computed one as a *miss*, and a cell file that fails validation
+        as *invalid* (the :class:`~repro.errors.CheckpointError` still
+        propagates — corrupt state is never silently recomputed).
+        """
         path = self.path_of(key)
+        metrics = obs_metrics.get_metrics()
         if path.exists():
-            return self.load(key)
+            try:
+                value = self.load(key)
+            except CheckpointError:
+                self.invalid += 1
+                metrics.counter(obs_metrics.CHECKPOINT_INVALID).inc()
+                raise
+            self.hits += 1
+            metrics.counter(obs_metrics.CHECKPOINT_HITS).inc()
+            logger.debug("checkpoint hit: %s", list(self._key_parts(key)))
+            return value
+        self.misses += 1
+        metrics.counter(obs_metrics.CHECKPOINT_MISSES).inc()
         value = compute()
         self.store(key, value)
         return value
+
+    def resume_summary(self) -> str:
+        """One log line of this run's journal traffic.
+
+        E.g. ``"replayed 84 cell(s), computed 36"`` — the resume story of
+        a checkpointed sweep in the shape the satellite sweeps log it.
+        """
+        summary = f"replayed {self.hits} cell(s), computed {self.misses}"
+        if self.invalid:
+            summary += f", rejected {self.invalid} invalid"
+        return summary
 
     # ------------------------------------------------------------------
     # Introspection
@@ -219,6 +261,8 @@ class CheckpointJournal:
         """
         keys = []
         for path in sorted(self.directory.glob("*.json")):
+            if path.name in self.RESERVED_NAMES:
+                continue
             payload = self._read_payload(path)
             key = tuple(payload["key"])
             if self.path_of(key) != path:

@@ -30,19 +30,31 @@ side-effecting ``fn`` could observe double execution.
 Fault injection for tests goes through
 :class:`~repro.runtime.faults.FaultPlan`, keyed on ``(shard, attempt)``
 so every simulated crash is deterministic.
+
+When telemetry is on in the parent (see :mod:`repro.obs`), each worker
+attempt runs under its own recording tracer/registry; the worker's spans
+and metric deltas travel back with the result and are merged into the
+parent trace (:class:`_ShardTelemetry`), so a single trace shows
+worker-side shard timings stitched under the parent's sweep spans.  With
+telemetry off, workers return bare results — zero wrapping, zero cost.
 """
 
 from __future__ import annotations
 
+import logging
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
 from repro.errors import ConfigError, ExecutionError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.faults import FaultPlan
 
 __all__ = ["ShardOutcome", "ExecutionReport", "run_sharded"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -111,13 +123,45 @@ class ExecutionReport:
         )
 
 
+@dataclass(frozen=True)
+class _ShardTelemetry:
+    """A worker attempt's result plus the telemetry it produced.
+
+    ``spans`` are the worker tracer's records as plain dicts and
+    ``metrics`` the worker registry's raw dump; both are merged into the
+    parent's active tracer/registry when the future is harvested.
+    """
+
+    result: object
+    spans: tuple[dict, ...]
+    metrics: dict
+
+
 def _guarded(
-    fn: Callable, task, shard: int, attempt: int, plan: FaultPlan | None
+    fn: Callable,
+    task,
+    shard: int,
+    attempt: int,
+    plan: FaultPlan | None,
+    capture: bool = False,
 ):
-    """Worker-side wrapper: apply any injected fault, then compute."""
+    """Worker-side wrapper: apply any injected fault, then compute.
+
+    With ``capture`` the computation runs under a fresh recording
+    tracer/registry whose output rides back with the result (the
+    telemetry never touches the result value itself, so traced and
+    untraced runs stay bit-identical).
+    """
     if plan is not None:
         plan.apply(shard, attempt)
-    return fn(task)
+    if not capture:
+        return fn(task)
+    tracer = obs_trace.Tracer()
+    registry = obs_metrics.MetricsRegistry()
+    with obs_trace.use_tracer(tracer), obs_metrics.use_metrics(registry):
+        with tracer.span("executor.shard", shard=shard, attempt=attempt):
+            result = fn(task)
+    return _ShardTelemetry(result, tuple(tracer.to_dicts()), registry.dump())
 
 
 def run_sharded(
@@ -186,65 +230,95 @@ def run_sharded(
     errors: list[list[str]] = [[] for _ in range(n)]
     degraded: set[int] = set()
 
+    # Telemetry is captured in workers only when the parent is actually
+    # recording; a disabled run ships no wrappers at all.
+    tracer = obs_trace.get_tracer()
+    registry = obs_metrics.get_metrics()
+    capture = tracer.enabled or registry.enabled
+
+    def harvest(value):
+        """Unwrap a worker result, folding its telemetry into the parent."""
+        if capture and isinstance(value, _ShardTelemetry):
+            tracer.merge(value.spans)
+            registry.merge(value.metrics)
+            return value.result
+        return value
+
     pending = list(range(n))
     wave = 0
-    while pending and wave <= retries:
-        if wave > 0 and backoff_seconds > 0:
-            time.sleep(backoff_seconds * (2 ** (wave - 1)))
-        workers = min(max_workers or len(pending), len(pending))
-        pool = ProcessPoolExecutor(max_workers=workers)
-        futures = {}
-        failed = []
-        try:
-            for i in pending:
-                attempts[i] += 1
+    with tracer.span("executor.run_sharded", n_shards=n, retries=retries):
+        while pending and wave <= retries:
+            if wave > 0 and backoff_seconds > 0:
+                time.sleep(backoff_seconds * (2 ** (wave - 1)))
+            workers = min(max_workers or len(pending), len(pending))
+            pool = ProcessPoolExecutor(max_workers=workers)
+            futures = {}
+            failed = []
+            with tracer.span(
+                "executor.wave", wave=wave, pending=len(pending), workers=workers
+            ):
                 try:
-                    futures[i] = pool.submit(
-                        _guarded, fn, tasks[i], i, wave, fault_plan
-                    )
-                except Exception as exc:  # pool already broken mid-wave
-                    errors[i].append(f"{type(exc).__name__}: {exc}")
-                    failed.append(i)
-            # One deadline for the whole wave, measured from submission:
-            # waiting on an early slow shard cannot extend the effective
-            # deadline of the shards behind it.
-            done, _ = wait(set(futures.values()), timeout=timeout)
-            for i, future in futures.items():
-                if future not in done:
-                    errors[i].append(
-                        f"TimeoutError: shard still running {timeout}s "
-                        f"after wave submission"
-                    )
-                    failed.append(i)
-                    continue
-                try:
-                    results[i] = future.result()
-                except Exception as exc:  # noqa: BLE001 — every failure
-                    # mode (BrokenProcessPool, pickling errors, in-worker
-                    # exceptions) is retryable infrastructure here.
-                    errors[i].append(f"{type(exc).__name__}: {exc}")
-                    failed.append(i)
-        except BaseException:
-            # KeyboardInterrupt / SystemExit: the user is aborting the
-            # run — release the pool and propagate instead of recording
-            # the interrupt as a retryable shard failure.
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
-        # Never wait on stragglers: a timed-out worker may still be
-        # running, and a broken pool cannot be drained.
-        pool.shutdown(wait=not failed, cancel_futures=True)
-        pending = failed
-        wave += 1
+                    for i in pending:
+                        attempts[i] += 1
+                        try:
+                            futures[i] = pool.submit(
+                                _guarded, fn, tasks[i], i, wave, fault_plan, capture
+                            )
+                        except Exception as exc:  # pool already broken mid-wave
+                            errors[i].append(f"{type(exc).__name__}: {exc}")
+                            failed.append(i)
+                    # One deadline for the whole wave, measured from
+                    # submission: waiting on an early slow shard cannot
+                    # extend the effective deadline of the shards behind it.
+                    done, _ = wait(set(futures.values()), timeout=timeout)
+                    for i, future in futures.items():
+                        if future not in done:
+                            errors[i].append(
+                                f"TimeoutError: shard still running {timeout}s "
+                                f"after wave submission"
+                            )
+                            registry.counter(obs_metrics.SHARD_TIMEOUTS).inc()
+                            failed.append(i)
+                            continue
+                        try:
+                            results[i] = harvest(future.result())
+                        except Exception as exc:  # noqa: BLE001 — every failure
+                            # mode (BrokenProcessPool, pickling errors, in-worker
+                            # exceptions) is retryable infrastructure here.
+                            errors[i].append(f"{type(exc).__name__}: {exc}")
+                            failed.append(i)
+                except BaseException:
+                    # KeyboardInterrupt / SystemExit: the user is aborting the
+                    # run — release the pool and propagate instead of recording
+                    # the interrupt as a retryable shard failure.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+            # Never wait on stragglers: a timed-out worker may still be
+            # running, and a broken pool cannot be drained.
+            pool.shutdown(wait=not failed, cancel_futures=True)
+            if failed:
+                registry.counter(obs_metrics.SHARD_RETRIES).inc(len(failed))
+                logger.info(
+                    "wave %d: %d of %d shard(s) failed%s",
+                    wave,
+                    len(failed),
+                    len(pending),
+                    " (degrading)" if wave >= retries else ", retrying",
+                )
+            pending = failed
+            wave += 1
 
-    for i in pending:
-        degraded.add(i)
-        try:
-            results[i] = fn(tasks[i])
-        except Exception as exc:
-            raise ExecutionError(
-                f"shard {i} failed in-process after {attempts[i]} pool "
-                f"attempt(s): {exc}"
-            ) from exc
+        for i in pending:
+            degraded.add(i)
+            registry.counter(obs_metrics.SHARD_DEGRADED).inc()
+            try:
+                with tracer.span("executor.shard", shard=i, degraded=True):
+                    results[i] = fn(tasks[i])
+            except Exception as exc:
+                raise ExecutionError(
+                    f"shard {i} failed in-process after {attempts[i]} pool "
+                    f"attempt(s): {exc}"
+                ) from exc
 
     report = ExecutionReport(
         n_shards=n,

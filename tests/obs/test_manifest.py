@@ -1,0 +1,135 @@
+"""Tests for run manifests: round-trip, validation, journal coexistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.errors import ManifestError
+from repro.obs.manifest import (
+    MANIFEST_NAME,
+    RunManifest,
+    build_manifest,
+    config_fingerprint,
+    read_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.runtime.checkpoint import CheckpointJournal
+
+
+class TestFingerprint:
+    def test_order_insensitive(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == config_fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+    def test_value_sensitive(self):
+        assert config_fingerprint({"a": 1}) != config_fingerprint({"a": 2})
+
+
+class TestBuildManifest:
+    def test_from_experiment_config(self):
+        config = ExperimentConfig(window_months=2, alpha=2.0, backend="batch")
+        manifest = build_manifest("figure1", config=config, seed=7)
+        assert manifest.experiment == "figure1"
+        assert manifest.backend == "batch"
+        assert manifest.seed == 7
+        assert manifest.config["alpha"] == 2.0
+        assert manifest.config_fingerprint == config_fingerprint(manifest.config)
+        assert manifest.created_unix > 0
+
+    def test_telemetry_rollups_only_when_enabled(self):
+        tracer = Tracer()
+        with tracer.span("engine.fit"):
+            pass
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        manifest = build_manifest(
+            "figure1", config={"x": 1}, tracer=tracer, metrics=registry
+        )
+        assert "engine.fit" in manifest.spans
+        assert manifest.metrics["counters"] == {"c": 1}
+
+    def test_disabled_telemetry_leaves_rollups_empty(self):
+        from repro.obs.metrics import NULL_METRICS
+        from repro.obs.trace import NULL_TRACER
+
+        manifest = build_manifest(
+            "figure1", config={}, tracer=NULL_TRACER, metrics=NULL_METRICS
+        )
+        assert manifest.spans == {}
+        assert manifest.metrics == {}
+
+
+class TestRoundTrip:
+    def test_write_to_directory_and_read_back(self, tmp_path):
+        manifest = build_manifest("ablation", config={"alpha": 2.0}, seed=3)
+        path = write_manifest(tmp_path, manifest)
+        assert path.name == MANIFEST_NAME
+        revived = read_manifest(tmp_path)  # dir or file both resolve
+        assert revived == manifest
+        assert read_manifest(path) == manifest
+
+    def test_write_to_explicit_json_path(self, tmp_path):
+        manifest = build_manifest("campaign", config={})
+        path = write_manifest(tmp_path / "sub" / "run.json", manifest)
+        assert path == tmp_path / "sub" / "run.json"
+        assert read_manifest(path) == manifest
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError, match="cannot read"):
+            read_manifest(tmp_path / "absent.json")
+
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        path.write_text('{"schema": "repro-run-mani')
+        with pytest.raises(ManifestError, match="corrupt or truncated"):
+            read_manifest(path)
+
+    def test_foreign_schema(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        path.write_text(json.dumps({"schema": "something-else", "version": 1}))
+        with pytest.raises(ManifestError, match="not a run manifest"):
+            read_manifest(path)
+
+    def test_future_version(self, tmp_path):
+        manifest = build_manifest("x", config={})
+        payload = manifest.to_dict()
+        payload["version"] = 99
+        path = tmp_path / MANIFEST_NAME
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ManifestError, match="unsupported manifest version"):
+            read_manifest(path)
+
+    def test_missing_required_field(self):
+        with pytest.raises(ManifestError, match="missing 'config'"):
+            RunManifest.from_dict(
+                {
+                    "schema": "repro-run-manifest",
+                    "version": 1,
+                    "experiment": "x",
+                    "config_fingerprint": "abc",
+                }
+            )
+
+
+class TestJournalCoexistence:
+    def test_manifest_does_not_disturb_the_journal(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, schema="eval-protocol")
+        journal.get_or_compute(("auroc", "month=20"), lambda: 0.9)
+        write_manifest(tmp_path, build_manifest("figure1", config={"alpha": 2.0}))
+
+        # The journal listing skips the reserved manifest name...
+        rescan = CheckpointJournal(tmp_path, schema="eval-protocol")
+        assert len(rescan.keys()) == 1
+        # ...and the cell still replays.
+        assert rescan.get_or_compute(("auroc", "month=20"), lambda: -1.0) == 0.9
+        assert rescan.hits == 1
+        # The manifest survives alongside the cells.
+        assert read_manifest(tmp_path).experiment == "figure1"

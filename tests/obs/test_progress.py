@@ -1,0 +1,104 @@
+"""Tests for the heartbeat progress reporter."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.obs.progress import NULL_PROGRESS, ProgressReporter, progress
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _reporter(total: int, caplog, min_interval: float = 10.0):
+    clock = _FakeClock()
+    log = logging.getLogger("test.progress")
+    reporter = ProgressReporter(
+        total, "sweep", log=log, min_interval=min_interval, clock=clock
+    )
+    return reporter, clock
+
+
+class TestProgressReporter:
+    def test_first_cell_always_emits(self, caplog):
+        reporter, _ = _reporter(5, caplog)
+        with caplog.at_level(logging.INFO, logger="test.progress"):
+            reporter.advance(key="month=20")
+        assert len(caplog.records) == 1
+        assert "1/5 cells" in caplog.text
+        assert "[month=20]" in caplog.text
+
+    def test_rate_limited_between_first_and_last(self, caplog):
+        reporter, clock = _reporter(10, caplog, min_interval=10.0)
+        with caplog.at_level(logging.INFO, logger="test.progress"):
+            reporter.advance()  # first: emits
+            clock.now = 1.0
+            reporter.advance()  # 1s < 10s interval: silent
+            clock.now = 2.0
+            reporter.advance()  # still silent
+        assert len(caplog.records) == 1
+
+    def test_interval_elapsed_emits_again(self, caplog):
+        reporter, clock = _reporter(10, caplog, min_interval=10.0)
+        with caplog.at_level(logging.INFO, logger="test.progress"):
+            reporter.advance()
+            clock.now = 11.0
+            reporter.advance()
+        assert len(caplog.records) == 2
+        assert "2/10 cells" in caplog.records[1].getMessage()
+
+    def test_final_cell_always_emits(self, caplog):
+        reporter, clock = _reporter(3, caplog, min_interval=100.0)
+        with caplog.at_level(logging.INFO, logger="test.progress"):
+            reporter.advance()  # first
+            clock.now = 1.0
+            reporter.advance()  # silent
+            clock.now = 2.0
+            reporter.advance()  # last: emits despite the interval
+        assert len(caplog.records) == 2
+        assert "3/3 cells" in caplog.records[-1].getMessage()
+
+    def test_finish_reports_totals(self, caplog):
+        reporter, clock = _reporter(2, caplog)
+        with caplog.at_level(logging.INFO, logger="test.progress"):
+            reporter.advance(n=2)
+            clock.now = 4.0
+            reporter.finish()
+        closing = caplog.records[-1].getMessage()
+        assert "finished 2 cell(s)" in closing
+        assert "0.5 cells/s" in closing
+
+    def test_context_manager_finishes_on_clean_exit_only(self, caplog):
+        reporter, _ = _reporter(1, caplog)
+        with caplog.at_level(logging.INFO, logger="test.progress"):
+            try:
+                with reporter:
+                    raise RuntimeError("interrupted sweep")
+            except RuntimeError:
+                pass
+        assert "finished" not in caplog.text
+
+
+class TestProgressFactory:
+    def test_returns_null_when_info_is_disabled(self):
+        quiet = logging.getLogger("test.progress.quiet")
+        quiet.setLevel(logging.WARNING)
+        quiet.propagate = False
+        assert progress(10, "sweep", log=quiet) is NULL_PROGRESS
+
+    def test_returns_live_reporter_when_info_is_enabled(self):
+        loud = logging.getLogger("test.progress.loud")
+        loud.setLevel(logging.INFO)
+        reporter = progress(10, "sweep", log=loud)
+        assert isinstance(reporter, ProgressReporter)
+
+    def test_null_progress_is_inert(self):
+        NULL_PROGRESS.advance(key="x")
+        NULL_PROGRESS.finish()
+        with NULL_PROGRESS as reporter:
+            assert reporter is NULL_PROGRESS

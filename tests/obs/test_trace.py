@@ -1,0 +1,184 @@
+"""Tests for the span tracer: nesting, merging, JSONL round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    read_trace_jsonl,
+    render_span_summary,
+    set_tracer,
+    span,
+    summarize_spans,
+    tracing_enabled,
+    use_tracer,
+    write_trace_jsonl,
+)
+
+
+class TestTracer:
+    def test_nesting_records_children_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer", level=1):
+            with tracer.span("inner"):
+                pass
+        names = [r.name for r in tracer.records]
+        assert names == ["inner", "outer"]
+        inner, outer = tracer.records
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert outer.attrs == {"level": 1}
+
+    def test_wall_and_cpu_are_recorded(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            sum(range(10_000))
+        record = tracer.records[0]
+        assert record.wall_s >= 0.0
+        assert record.cpu_s >= 0.0
+        assert record.pid > 0
+
+    def test_exception_tags_the_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        record = tracer.records[0]
+        assert record.attrs["error"] == "ValueError"
+        assert not tracer._stack  # the stack unwound cleanly
+
+    def test_current_span_id_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span_id() is None
+        with tracer.span("a") as a:
+            assert tracer.current_span_id() == a.span_id
+        assert tracer.current_span_id() is None
+
+
+class TestActiveTracer:
+    def test_default_is_null_and_span_is_shared_noop(self):
+        assert get_tracer() is NULL_TRACER
+        assert span("anything", x=1) is NULL_SPAN
+        assert not tracing_enabled()
+
+    def test_use_tracer_scopes_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            assert tracing_enabled()
+            with span("scoped"):
+                pass
+        assert get_tracer() is NULL_TRACER
+        assert [r.name for r in tracer.records] == ["scoped"]
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert previous is NULL_TRACER
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+
+
+class TestMerge:
+    def test_merge_preserves_internal_links_and_reparents_roots(self):
+        worker = Tracer()
+        with worker.span("root"):
+            with worker.span("child"):
+                pass
+        parent = Tracer()
+        with parent.span("sweep") as sweep:
+            adopted = parent.merge(worker.to_dicts())
+        assert adopted == 2
+        by_name = {r.name: r for r in parent.records}
+        assert by_name["root"].parent_id == sweep.span_id
+        assert by_name["child"].parent_id == by_name["root"].span_id
+        # Fresh ids: no collision with the parent's own spans.
+        assert len({r.span_id for r in parent.records}) == 3
+
+    def test_merge_outside_any_span_keeps_roots_rootless(self):
+        worker = Tracer()
+        with worker.span("root"):
+            pass
+        parent = Tracer()
+        parent.merge(worker.to_dicts())
+        assert parent.records[0].parent_id is None
+
+    def test_merge_rejects_garbage(self):
+        parent = Tracer()
+        with pytest.raises(SchemaError):
+            parent.merge([{"not": "a span"}])
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_is_lossless(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", n=3):
+            with tracer.span("inner"):
+                pass
+        path = write_trace_jsonl(tmp_path / "trace.jsonl", tracer.records)
+        revived = read_trace_jsonl(path)
+        assert revived == list(tracer.records)
+
+    def test_corrupt_line_raises_schema_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "ok"\n')
+        with pytest.raises(SchemaError, match="corrupt trace line"):
+            read_trace_jsonl(path)
+
+    def test_foreign_record_raises_schema_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps({"name": "x", "span_id": 1}) + "\n")
+        with pytest.raises(SchemaError, match="missing"):
+            read_trace_jsonl(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        path = write_trace_jsonl(tmp_path / "t.jsonl", tracer.records)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_trace_jsonl(path)) == 1
+
+
+class TestSummaries:
+    def _records(self, walls: list[float], name: str = "stage") -> list[SpanRecord]:
+        return [
+            SpanRecord(
+                name=name,
+                span_id=i + 1,
+                parent_id=None,
+                start_unix=0.0,
+                wall_s=w,
+                cpu_s=w / 2,
+                pid=1,
+                attrs={},
+            )
+            for i, w in enumerate(walls)
+        ]
+
+    def test_summarize_aggregates_per_name(self):
+        records = self._records([0.1, 0.2, 0.3]) + self._records([1.0], name="big")
+        summary = summarize_spans(records)
+        assert list(summary) == ["big", "stage"]  # heaviest first
+        stage = summary["stage"]
+        assert stage["count"] == 3
+        assert stage["total_s"] == pytest.approx(0.6)
+        assert stage["p50_s"] == pytest.approx(0.2)
+        assert stage["max_s"] == pytest.approx(0.3)
+        assert stage["cpu_s"] == pytest.approx(0.3)
+
+    def test_render_span_summary_is_a_table(self):
+        rendered = render_span_summary(summarize_spans(self._records([0.5])))
+        assert "span" in rendered
+        assert "stage" in rendered
+        assert "p95 s" in rendered

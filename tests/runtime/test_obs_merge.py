@@ -1,0 +1,126 @@
+"""Worker-span merging through the resilient executor.
+
+With telemetry on, every worker attempt records its own spans/metrics
+and ships them back with the result; :func:`run_sharded` stitches them
+into the parent trace.  The invariant: telemetry changes what is
+*observed*, never what is *computed* — fault injection included.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.metrics import (
+    SHARD_DEGRADED,
+    SHARD_RETRIES,
+    MetricsRegistry,
+    use_metrics,
+)
+from repro.obs.trace import Tracer, span, use_tracer
+from repro.runtime.executor import run_sharded
+from repro.runtime.faults import FaultPlan
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _square_traced(x: int) -> int:
+    # Spans opened inside the worker land on its fresh tracer and ride
+    # back to the parent with the result.
+    with span("worker.kernel", x=x):
+        return x * x
+
+
+def test_clean_run_merges_one_shard_span_per_task():
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        results, report = run_sharded(_square, [1, 2, 3])
+    assert results == [1, 4, 9]
+    assert report.fault_free
+    shard_spans = [r for r in tracer.records if r.name == "executor.shard"]
+    assert len(shard_spans) == 3
+    assert {s.attrs["shard"] for s in shard_spans} == {0, 1, 2}
+    # Worker spans keep their worker pid and hang under a parent wave span.
+    waves = {r.span_id for r in tracer.records if r.name == "executor.wave"}
+    parent_pid = os.getpid()
+    for shard_span in shard_spans:
+        assert shard_span.pid != parent_pid
+        assert shard_span.parent_id in waves
+    assert any(r.name == "executor.run_sharded" for r in tracer.records)
+
+
+def test_function_spans_nest_under_the_shard_span():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        results, _ = run_sharded(_square_traced, [4, 5])
+    assert results == [16, 25]
+    by_id = {r.span_id: r for r in tracer.records}
+    kernels = [r for r in tracer.records if r.name == "worker.kernel"]
+    assert len(kernels) == 2
+    for kernel in kernels:
+        assert by_id[kernel.parent_id].name == "executor.shard"
+
+
+def test_retried_shard_merges_only_the_successful_attempt():
+    # Shard 1's first attempt dies before fn runs, so only the retry's
+    # telemetry comes back; the retry counter still records the failure.
+    plan = FaultPlan(errors=((1, 0),))
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        results, report = run_sharded(_square, [1, 2, 3], fault_plan=plan)
+    assert results == [1, 4, 9]
+    assert report.outcomes[1].pool_attempts == 2
+    assert registry.counter_value(SHARD_RETRIES) == 1
+    assert registry.counter_value(SHARD_DEGRADED) == 0
+    retried = [
+        r
+        for r in tracer.records
+        if r.name == "executor.shard" and r.attrs.get("shard") == 1
+    ]
+    assert len(retried) == 1
+    assert retried[0].attrs["attempt"] == 1
+
+
+def test_degraded_shard_is_traced_in_the_parent_process():
+    # Crashing every allowed attempt forces the serial fallback, which is
+    # traced directly on the parent tracer (no merge involved).
+    plan = FaultPlan(crashes=((0, 0),))
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        results, report = run_sharded(
+            _square, [6, 7], retries=0, backoff_seconds=0, fault_plan=plan
+        )
+    assert results == [36, 49]
+    # The crash breaks the whole pool, so the sibling shard may also fail
+    # its only attempt and degrade alongside shard 0.
+    assert report.outcomes[0].degraded
+    assert registry.counter_value(SHARD_DEGRADED) == report.n_degraded
+    assert registry.counter_value(SHARD_RETRIES) >= 1
+    degraded = [
+        r
+        for r in tracer.records
+        if r.name == "executor.shard" and r.attrs.get("degraded")
+    ]
+    assert len(degraded) == report.n_degraded
+    assert all(r.pid == os.getpid() for r in degraded)
+
+
+def test_results_are_identical_with_telemetry_on_and_off():
+    plan = FaultPlan(errors=((0, 0),))
+    plain, _ = run_sharded(_square, [3, 4, 5], fault_plan=plan)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        traced, _ = run_sharded(_square, [3, 4, 5], fault_plan=plan)
+    assert traced == plain == [9, 16, 25]
+    assert tracer.records  # telemetry actually recorded something
+
+
+def test_disabled_telemetry_records_nothing():
+    results, report = run_sharded(_square, [1, 2])
+    assert results == [1, 4]
+    assert report.fault_free

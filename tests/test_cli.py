@@ -183,6 +183,21 @@ class TestCommands:
         assert "batch s" in out
         assert "incremental s" not in out
 
+    def test_bench_telemetry_overhead_section(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "telemetry.json"
+        assert main(
+            [*ARGS, "bench", "--backend", "batch", "--sizes", "4",
+             "--repeat", "1", "--telemetry-size", "8", "--json", str(out)]
+        ) == 0
+        assert "% overhead" in capsys.readouterr().out
+        overhead = json.loads(out.read_text())["telemetry_overhead"]
+        assert overhead["scenario"] == "telemetry_overhead"
+        assert overhead["spans_per_sweep"] > 0
+        assert overhead["disabled_seconds"] > 0
+        assert overhead["recording_seconds"] > 0
+
     def test_generated_dataset_round_trips(self, tmp_path):
         from repro.data.io import read_cohorts_json, read_log_csv
 
@@ -192,3 +207,104 @@ class TestCommands:
         cohorts = read_cohorts_json(out_dir / "cohorts.json")
         assert log.n_customers == 16
         assert cohorts.n_loyal == 8
+
+
+class TestTelemetry:
+    def test_trace_and_metrics_outputs(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["--trace-out", str(trace), "--metrics-out", str(metrics),
+             *ARGS, "figure1"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert f"wrote trace to {trace}" in captured.err
+        assert f"wrote metrics to {metrics}" in captured.err
+
+        from repro.obs import read_trace_jsonl
+
+        names = {r.name for r in read_trace_jsonl(trace)}
+        assert "engine.fit" in names
+        assert "eval.cell" in names
+
+        import json
+
+        payload = json.loads(metrics.read_text())
+        assert payload["schema"] == "repro-metrics"
+        assert payload["counters"]["sweep.cells_computed"] > 0
+
+    def test_telemetry_does_not_change_output(self, tmp_path, capsys):
+        assert main([*ARGS, "figure1"]) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            ["--trace-out", str(tmp_path / "t.jsonl"), *ARGS, "figure1"]
+        ) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_obs_summarize(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main(["--trace-out", str(trace), *ARGS, "figure1"])
+        capsys.readouterr()
+        assert main([*ARGS, "obs", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span(s)" in out
+        assert "engine.fit" in out
+        assert "p95 s" in out
+
+    def test_obs_summarize_corrupt_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{torn json\n")
+        assert main([*ARGS, "obs", "summarize", str(bad)]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_obs_summarize_missing_trace(self, tmp_path, capsys):
+        assert main([*ARGS, "obs", "summarize", str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_checkpointed_run_writes_a_manifest(self, tmp_path, capsys):
+        from repro.obs import read_manifest
+
+        ckpt = tmp_path / "ckpt"
+        assert main(
+            ["--trace-out", str(tmp_path / "t.jsonl"),
+             *ARGS, "figure1", "--checkpoint-dir", str(ckpt)]
+        ) == 0
+        assert "wrote run manifest" in capsys.readouterr().out
+        manifest = read_manifest(ckpt)
+        assert manifest.experiment == "figure1"
+        assert manifest.seed == 2
+        assert manifest.config["window_months"] == 2
+        assert manifest.dataset_fingerprint
+        assert manifest.spans  # tracing was on, so the rollup is embedded
+
+    def test_verbose_surfaces_progress_heartbeats(self, tmp_path, capsys):
+        assert main(["-v", *ARGS, "figure1"]) == 0
+        err = capsys.readouterr().err
+        assert "eval stability" in err
+        assert "cells" in err
+
+    def test_logging_reconfiguration_is_idempotent(self, capsys):
+        import logging
+
+        from repro.cli import _LOG_HANDLER_FLAG
+
+        root = logging.getLogger("repro")
+        try:
+            main(["-v", *ARGS, "stats"])
+            main(["-v", *ARGS, "stats"])
+            tagged = [
+                h for h in root.handlers
+                if getattr(h, _LOG_HANDLER_FLAG, False)
+            ]
+            assert len(tagged) == 1
+            # Dropping -v removes the handler again.
+            main([*ARGS, "stats"])
+            assert not any(
+                getattr(h, _LOG_HANDLER_FLAG, False) for h in root.handlers
+            )
+        finally:
+            for handler in list(root.handlers):
+                if getattr(handler, _LOG_HANDLER_FLAG, False):
+                    root.removeHandler(handler)
+            root.setLevel(logging.NOTSET)
+            capsys.readouterr()
