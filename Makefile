@@ -1,13 +1,27 @@
 # Developer entry points. The offline environment lacks the `wheel`
 # package, so `install` uses the legacy setuptools path.
 
-.PHONY: install test test-faults trace-demo bench bench-pytest examples figures all clean
+.PHONY: install test test-faults lint typecheck trace-demo bench bench-pytest examples figures all clean
 
 install:
 	python setup.py develop
 
 test:
 	pytest tests/
+
+# The repo's own AST lint: determinism, atomic I/O, exception
+# discipline, float equality, telemetry taxonomy, annotation coverage
+# (see DESIGN.md §8).  Exits non-zero on any finding not grandfathered
+# in lint-baseline.json.
+lint:
+	PYTHONPATH=src python -m repro.analysis
+
+# Gradual strict typing gate over the fully annotated packages
+# (configured under [tool.mypy] in pyproject.toml).  Requires mypy;
+# the offline container enforces the annotation half via `make lint`
+# (rule TYP001) instead.
+typecheck:
+	mypy --config-file pyproject.toml
 
 # The resilience suite under -W error: injected worker crashes, torn
 # checkpoint/snapshot files, interrupted-sweep resume.

@@ -1,0 +1,60 @@
+"""Machine-checked invariants: the :mod:`repro.analysis` lint engine.
+
+PRs 1–4 built a stack whose guarantees — bit-identical scores across
+engines, resumable checkpointed sweeps, observation-only telemetry —
+rest on cross-cutting invariants that no unit test can pin directly:
+
+* no unseeded randomness or wall-clock reads in score paths,
+* every persisted artifact written atomically (write-then-rename),
+* ``except Exception`` never swallowing a failure silently,
+* no float ``==`` in scoring code,
+* span/metric names drawn from the canonical taxonomy of
+  :mod:`repro.obs.metrics`.
+
+Until this package existed only code review guarded them.
+:mod:`repro.analysis` makes each one a registered AST rule
+(:mod:`repro.analysis.rules`) producing structured
+:class:`~repro.analysis.findings.Finding` records, compared against a
+repo-committed baseline (:mod:`repro.analysis.baseline`) so
+grandfathered findings don't block while new ones fail the build.
+
+Run it as ``repro-attrition lint`` or ``python -m repro.analysis``;
+both exit non-zero on findings not covered by the baseline.  See
+DESIGN.md §8 for the rule-by-rule contract map.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.engine import (
+    AnalysisReport,
+    FileContext,
+    Rule,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    get_rule,
+    iter_source_files,
+    register_rule,
+    run_analysis,
+)
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "get_rule",
+    "iter_source_files",
+    "register_rule",
+    "run_analysis",
+]
+
+# Importing the rule pack registers every rule with the engine.
+from repro.analysis import rules as _rules  # noqa: E402,F401

@@ -1,0 +1,147 @@
+"""The repo-committed grandfather list: :class:`Baseline`.
+
+A baseline entry acknowledges one existing finding so it stops failing
+the build while every *new* finding still does.  Entries match on
+``(rule, path, stripped line text)`` — content, not line numbers — so
+edits elsewhere in a file don't orphan them.  Every entry carries a
+one-line ``justification``; an entry that no longer matches anything is
+reported as stale so the file shrinks toward empty instead of rotting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.errors import SchemaError
+
+__all__ = ["Baseline", "BaselineEntry", "BASELINE_NAME"]
+
+#: Conventional baseline filename at the repo root.
+BASELINE_NAME = "lint-baseline.json"
+
+_SCHEMA = "repro-lint-baseline"
+_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One grandfathered finding with its justification."""
+
+    rule: str
+    path: str
+    line_text: str
+    justification: str
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this entry covers ``finding``."""
+        return (
+            self.rule == finding.rule
+            and self.path == finding.path
+            and self.line_text == finding.line_text
+        )
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line_text": self.line_text,
+            "justification": self.justification,
+        }
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An ordered set of :class:`BaselineEntry` records."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition ``findings`` into ``(new, baselined, unused entries)``."""
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        used: set[BaselineEntry] = set()
+        for finding in findings:
+            entry = next(
+                (e for e in self.entries if e.matches(finding)), None
+            )
+            if entry is None:
+                new.append(finding)
+            else:
+                baselined.append(finding)
+                used.add(entry)
+        unused = [e for e in self.entries if e not in used]
+        return new, baselined, unused
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path | str) -> Baseline:
+        """Read a baseline file.
+
+        Raises
+        ------
+        SchemaError
+            If the file is not a valid baseline document (corrupt
+            grandfather lists must never silently allow findings).
+        """
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise SchemaError(f"{path}: cannot read baseline: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"{path}: baseline is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
+            raise SchemaError(f"{path}: not a {_SCHEMA} document")
+        if payload.get("version") != _VERSION:
+            raise SchemaError(
+                f"{path}: unsupported baseline version {payload.get('version')!r}"
+            )
+        raw = payload.get("entries")
+        if not isinstance(raw, list):
+            raise SchemaError(f"{path}: baseline entries must be a list")
+        entries = []
+        for i, item in enumerate(raw):
+            if not isinstance(item, dict):
+                raise SchemaError(f"{path}: entry {i} is not an object")
+            try:
+                entry = BaselineEntry(
+                    rule=str(item["rule"]),
+                    path=str(item["path"]),
+                    line_text=str(item["line_text"]),
+                    justification=str(item["justification"]),
+                )
+            except KeyError as exc:
+                raise SchemaError(
+                    f"{path}: entry {i} is missing field {exc.args[0]!r}"
+                ) from None
+            if not entry.justification.strip():
+                raise SchemaError(
+                    f"{path}: entry {i} ({entry.rule} in {entry.path}) has an "
+                    "empty justification — every grandfathered finding must "
+                    "say why"
+                )
+            entries.append(entry)
+        return cls(entries=tuple(entries))
+
+    @classmethod
+    def load_or_empty(cls, path: Path | str) -> Baseline:
+        """Like :meth:`load`, but a missing file is an empty baseline."""
+        if not Path(path).exists():
+            return cls(entries=())
+        return cls.load(path)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": _SCHEMA,
+            "version": _VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def dumps(self) -> str:
+        """The canonical serialised form (indented, trailing newline)."""
+        return json.dumps(self.to_dict(), indent=2) + "\n"

@@ -1,0 +1,130 @@
+"""The ``lint`` entry point, shared by the umbrella CLI and ``-m``.
+
+``repro-attrition lint`` and ``python -m repro.analysis`` run the same
+code: lint the given paths (default: the ``src/repro`` tree), subtract
+the committed baseline, print the report, and exit non-zero when
+anything *new* fired.  ``--format json --output findings.json`` is what
+CI uploads as a build artifact on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import BASELINE_NAME, Baseline
+from repro.analysis.engine import all_rules, get_rule, run_analysis
+from repro.errors import ConfigError, SchemaError
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def default_paths() -> list[Path]:
+    """The tree to lint when none is given: ``src/repro`` if present,
+    else the installed ``repro`` package directory."""
+    src = Path("src/repro")
+    if src.is_dir():
+        return [src]
+    import repro
+
+    return [Path(repro.__file__).parent]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on ``parser`` (shared with the CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to lint (default: the src/repro tree)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=(
+            f"baseline file of grandfathered findings (default: "
+            f"./{BASELINE_NAME} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every finding as new",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="report format (json is what CI archives)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the report to this file (same format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    paths = [Path(p) for p in args.paths] or default_paths()
+    try:
+        rules = (
+            None
+            if args.rules is None
+            else [get_rule(rule_id.strip()) for rule_id in args.rules.split(",")]
+        )
+        if args.no_baseline:
+            baseline = Baseline(entries=())
+        elif args.baseline is not None:
+            baseline = Baseline.load(args.baseline)
+        else:
+            baseline = Baseline.load_or_empty(Path.cwd() / BASELINE_NAME)
+        report = run_analysis(
+            paths, baseline=baseline, root=Path.cwd(), rules=rules
+        )
+    except (ConfigError, SchemaError, OSError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    rendered = (
+        report.render()
+        if args.fmt == "text"
+        else json.dumps(report.to_dict(), indent=2) + "\n"
+    )
+    print(rendered, end="" if rendered.endswith("\n") else "\n")
+    if args.output is not None:
+        from repro.atomicio import atomic_write_text
+
+        atomic_write_text(
+            args.output,
+            rendered if rendered.endswith("\n") else rendered + "\n",
+        )
+    return 0 if report.clean else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.analysis`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST invariant linter for the repro stack (DESIGN.md §8)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

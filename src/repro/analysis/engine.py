@@ -1,0 +1,336 @@
+"""Rule registry and file walker for the static-analysis engine.
+
+A :class:`Rule` inspects one parsed file (:class:`FileContext`) and
+yields :class:`~repro.analysis.findings.Finding` records.  Rules are
+singletons registered at import time via :func:`register_rule`;
+importing :mod:`repro.analysis.rules` loads the standard pack.
+
+Suppression happens at two levels:
+
+* **inline pragma** — a ``# lint: allow[RULE001] reason`` comment on the
+  offending line silences that rule for that line (use for patterns that
+  are intentional and locally justified);
+* **baseline** — a repo-committed :class:`~repro.analysis.baseline.Baseline`
+  file matches findings by ``(rule, path, line text)`` so grandfathered
+  violations don't block the build while anything *new* still does.
+"""
+
+from __future__ import annotations
+
+import ast
+import contextlib
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding
+from repro.errors import ConfigError
+
+__all__ = [
+    "AnalysisReport",
+    "FileContext",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "get_rule",
+    "iter_source_files",
+    "register_rule",
+    "run_analysis",
+]
+
+#: ``# lint: allow[DET001]`` / ``# lint: allow[DET001,FLT001] why``.
+_PRAGMA = re.compile(r"#\s*lint:\s*allow\[([A-Z0-9_,\s]+)\]")
+
+_RULE_ID = re.compile(r"^[A-Z]{2,8}\d{3}$")
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """One parsed source file as rules see it.
+
+    Attributes
+    ----------
+    path:
+        Filesystem path of the file (as given to the engine).
+    rel:
+        Repo-relative POSIX path reported in findings.
+    module:
+        Dotted module name (``repro.core.batch``); rules scope on it.
+    source:
+        Full file text.
+    tree:
+        Parsed ``ast`` module node.
+    lines:
+        Source split into lines (for pragma checks and line text).
+    """
+
+    path: Path
+    rel: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str, suggestion: str = ""
+    ) -> Finding:
+        """A :class:`Finding` anchored at ``node`` in this file."""
+        line = getattr(node, "lineno", 1)
+        text = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        return Finding(
+            rule=rule,
+            path=self.rel,
+            line=line,
+            message=message,
+            suggestion=suggestion,
+            line_text=text,
+        )
+
+    def allowed(self, rule: str, line: int) -> bool:
+        """Whether an inline pragma on ``line`` silences ``rule``."""
+        if not 0 < line <= len(self.lines):
+            return False
+        match = _PRAGMA.search(self.lines[line - 1])
+        if match is None:
+            return False
+        allowed = {part.strip() for part in match.group(1).split(",")}
+        return rule in allowed
+
+
+class Rule:
+    """Base class for one statically checkable invariant.
+
+    Subclasses set :attr:`rule_id` and :attr:`summary`, restrict their
+    scope via :meth:`applies`, and implement :meth:`check`.
+    """
+
+    #: Stable identifier, e.g. ``"DET001"``.
+    rule_id: str = ""
+    #: One-line description of the protected contract.
+    summary: str = ""
+
+    def applies(self, ctx: FileContext) -> bool:
+        """Whether this rule inspects ``ctx`` at all (default: yes)."""
+        del ctx
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield one finding per violation in ``ctx``."""
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str, suggestion: str = ""
+    ) -> Finding:
+        """Shorthand for :meth:`FileContext.finding` with this rule's id."""
+        return ctx.finding(self.rule_id, node, message, suggestion)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    rule = cls()
+    if not _RULE_ID.match(rule.rule_id):
+        raise ConfigError(f"invalid rule id {rule.rule_id!r} on {cls.__name__}")
+    if rule.rule_id in _REGISTRY:
+        raise ConfigError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ordered by id."""
+    return tuple(rule for _, rule in sorted(_REGISTRY.items()))
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by id.
+
+    Raises
+    ------
+    ConfigError
+        If no rule with that id is registered.
+    """
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown rule {rule_id!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# File walking / module naming
+# ----------------------------------------------------------------------
+def iter_source_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths``, skipping ``__pycache__``."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for path in sorted(entry.rglob("*.py")):
+                if "__pycache__" not in path.parts:
+                    yield path
+        elif entry.suffix == ".py":
+            yield entry
+        else:
+            raise ConfigError(f"not a Python file or directory: {entry}")
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name inferred from a ``src``-layout path."""
+    parts = path.with_suffix("").parts
+    for anchor in ("src", "repro"):
+        if anchor in parts:
+            start = parts.index(anchor)
+            if anchor == "src":
+                start += 1
+            dotted = parts[start:]
+            if dotted and dotted[-1] == "__init__":
+                dotted = dotted[:-1]
+            return ".".join(dotted)
+    return path.stem
+
+
+def _relative(path: Path, root: Path | None) -> str:
+    if root is not None:
+        with contextlib.suppress(ValueError):
+            return path.resolve().relative_to(root.resolve()).as_posix()
+    return path.as_posix()
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+def analyze_file(
+    path: Path | str,
+    *,
+    module: str | None = None,
+    root: Path | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Run rules over one file; pragma-suppressed findings are dropped.
+
+    ``module`` overrides the inferred dotted module name (tests use this
+    to place fixture files in a target package's scope).  A file that
+    does not parse yields a single ``SYN000`` finding rather than
+    raising, so one broken file cannot hide findings in the rest of a
+    sweep.
+    """
+    path = Path(path)
+    source = path.read_text()
+    rel = _relative(path, root)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="SYN000",
+                path=rel,
+                line=exc.lineno or 1,
+                message=f"file does not parse: {exc.msg}",
+                suggestion="fix the syntax error so the invariants can be checked",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        rel=rel,
+        module=module if module is not None else _module_name(path),
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+    )
+    found: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.allowed(finding.rule, finding.line):
+                found.append(finding)
+    return found
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    *,
+    root: Path | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> tuple[list[Finding], int]:
+    """Run rules over every file under ``paths``.
+
+    Returns ``(findings, n_files)`` with findings ordered by path then
+    line.
+    """
+    rules = tuple(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    n_files = 0
+    for path in iter_source_files(paths):
+        n_files += 1
+        findings.extend(analyze_file(path, root=root, rules=rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, n_files
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The outcome of one lint run, split against the baseline."""
+
+    new: tuple[Finding, ...]
+    baselined: tuple[Finding, ...]
+    unused_baseline: tuple[BaselineEntry, ...]
+    n_files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing new fired (baselined findings are fine)."""
+        return not self.new
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines: list[str] = [finding.render() for finding in self.new]
+        for entry in self.unused_baseline:
+            lines.append(
+                f"{entry.path}: baseline entry for {entry.rule} "
+                f"({entry.line_text!r}) no longer matches anything — remove it"
+            )
+        lines.append(
+            f"{self.n_files} file(s): {len(self.new)} new finding(s), "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.unused_baseline)} stale baseline entr(y/ies)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form for CI artifacts."""
+        return {
+            "schema": "repro-lint-report",
+            "version": 1,
+            "n_files": self.n_files,
+            "new": [f.to_dict() for f in self.new],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "unused_baseline": [e.to_dict() for e in self.unused_baseline],
+        }
+
+
+def run_analysis(
+    paths: Sequence[Path | str],
+    *,
+    baseline: Baseline | None = None,
+    root: Path | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> AnalysisReport:
+    """Lint ``paths`` and split the findings against ``baseline``."""
+    findings, n_files = analyze_paths(paths, root=root, rules=rules)
+    if baseline is None:
+        baseline = Baseline(entries=())
+    new, baselined, unused = baseline.split(findings)
+    return AnalysisReport(
+        new=tuple(new),
+        baselined=tuple(baselined),
+        unused_baseline=tuple(unused),
+        n_files=n_files,
+    )

@@ -1,0 +1,53 @@
+"""The structured result of one rule firing: :class:`Finding`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One invariant violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier, e.g. ``"DET001"``.
+    path:
+        Repo-relative POSIX path of the offending file.
+    line:
+        1-based line number of the offending node.
+    message:
+        What contract the code breaks, in one sentence.
+    suggestion:
+        How to bring the code back into compliance.
+    line_text:
+        The stripped source line, used for baseline matching (baselines
+        key on content, not line numbers, so unrelated edits above a
+        grandfathered finding don't orphan its entry).
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suggestion: str = ""
+    line_text: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        """One ``path:line: RULE message`` diagnostic line."""
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.suggestion:
+            text += f" ({self.suggestion})"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (``--format json`` / CI artifacts)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suggestion": self.suggestion,
+            "line_text": self.line_text,
+        }

@@ -1,0 +1,25 @@
+"""The standard rule pack.
+
+Importing this package registers every rule with the engine registry in
+:mod:`repro.analysis.engine`.  Each module encodes one family of
+contracts the PR-1…PR-4 stack depends on; DESIGN.md §8 maps every rule
+id to the guarantee it protects.
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    atomic_io,
+    determinism,
+    error_handling,
+    float_equality,
+    observability,
+    typing_gate,
+)
+
+__all__ = [
+    "atomic_io",
+    "determinism",
+    "error_handling",
+    "float_equality",
+    "observability",
+    "typing_gate",
+]

@@ -1,0 +1,127 @@
+"""IO001 — persisted artifacts are written atomically.
+
+Checkpoint cells, monitor snapshots, run manifests, trace JSONL and
+metrics JSON share one durability contract (DESIGN.md §6): a file under
+its final name is either complete or absent — a kill mid-write must
+never leave a torn artifact for a resume to ingest.  The idiom is
+write-to-temp + ``os.replace``, packaged once as
+:func:`repro.atomicio.atomic_write_text` /
+:func:`~repro.atomicio.atomic_write_json`.
+
+IO001 flags direct write-mode ``open`` / ``Path.open`` calls,
+``write_text`` / ``write_bytes``, and streaming ``json.dump`` in the
+persistence layers (``repro.runtime``, ``repro.obs``) unless the
+enclosing function itself performs the rename (calls ``os.replace``),
+i.e. *is* an inlined atomic writer.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext, Rule, register_rule
+from repro.analysis.findings import Finding
+
+__all__ = ["NonAtomicWrite"]
+
+_WRITE_MODES = frozenset("wax")
+
+
+def _mode_argument(node: ast.Call, func: ast.expr) -> ast.expr | None:
+    """The mode argument of an ``open``-style call, if present."""
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            return keyword.value
+    # builtin open(path, mode) has mode second; Path.open(mode) first.
+    index = 1 if isinstance(func, ast.Name) else 0
+    if len(node.args) > index:
+        return node.args[index]
+    return None
+
+
+def _is_write_mode(mode: ast.expr | None) -> bool:
+    if mode is None:
+        return False  # default "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(ch in _WRITE_MODES for ch in mode.value) or "+" in mode.value
+    return True  # dynamic mode: assume the worst
+
+
+class _ScopeCollector(ast.NodeVisitor):
+    """Per-function (and module-level) write calls and os.replace calls."""
+
+    def __init__(self) -> None:
+        #: function node (or None for module level) -> list of write calls
+        self.writes: dict[ast.AST | None, list[tuple[ast.Call, str]]] = {}
+        #: scopes that call os.replace themselves
+        self.renames: set[ast.AST | None] = set()
+        self._stack: list[ast.AST | None] = [None]
+
+    # ------------------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._stack.append(node)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._stack.append(node)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        scope = self._stack[-1]
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            if _is_write_mode(_mode_argument(node, func)):
+                self.writes.setdefault(scope, []).append((node, "open(..., 'w')"))
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "open" and _is_write_mode(_mode_argument(node, func)):
+                self.writes.setdefault(scope, []).append(
+                    (node, ".open(..., 'w')")
+                )
+            elif func.attr in ("write_text", "write_bytes"):
+                self.writes.setdefault(scope, []).append((node, f".{func.attr}()"))
+            elif func.attr == "dump" and (
+                isinstance(func.value, ast.Name) and func.value.id == "json"
+            ):
+                self.writes.setdefault(scope, []).append((node, "json.dump()"))
+            elif (
+                func.attr == "replace"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "os"
+            ):
+                self.renames.add(scope)
+        self.generic_visit(node)
+
+
+@register_rule
+class NonAtomicWrite(Rule):
+    """IO001: persistence layers write via the atomic helper only."""
+
+    rule_id = "IO001"
+    summary = (
+        "runtime/obs writes go through repro.atomicio (write-temp-then-"
+        "rename); a torn artifact must be impossible"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module.startswith(("repro.runtime", "repro.obs"))
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        collector = _ScopeCollector()
+        collector.visit(ctx.tree)
+        for scope, writes in collector.writes.items():
+            if scope in collector.renames:
+                # This function is itself an inlined write-temp-then-
+                # rename; the rename makes the write atomic.
+                continue
+            for node, label in writes:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"non-atomic {label} in a persistence module — a kill "
+                    "mid-write leaves a torn artifact under the final name",
+                    "route the write through repro.atomicio."
+                    "atomic_write_text/atomic_write_json",
+                )

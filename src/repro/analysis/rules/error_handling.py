@@ -1,0 +1,141 @@
+"""ERR001 — exceptions are handled loudly or not at all.
+
+The resilient executor's contract (DESIGN.md §6) hinges on *which*
+exceptions are caught where: ``except Exception`` marks a shard attempt
+as retryable **and records it** (error list, metrics counter, structured
+:class:`~repro.runtime.executor.ExecutionReport`), while
+``KeyboardInterrupt`` / ``SystemExit`` must always propagate so Ctrl-C
+aborts a run instead of being retried as a "shard failure".  The
+checkpoint/snapshot/manifest loaders likewise convert low-level errors
+into typed ``ReproError`` subclasses rather than swallowing them.
+
+ERR001 therefore flags:
+
+* a bare ``except:`` anywhere in ``repro`` — it catches
+  ``KeyboardInterrupt``/``SystemExit`` and hides the interrupt contract;
+* ``except BaseException`` that does not re-raise — same problem;
+* in the runtime/obs layers, an ``except Exception`` handler that
+  neither raises nor visibly records the failure (appending to an error
+  list, bumping a metric, logging, or constructing a structured
+  ``*Error`` / ``*Report``) — a silently swallowed infrastructure
+  failure would surface later as "bit-identical results" that aren't.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext, Rule, register_rule
+from repro.analysis.findings import Finding
+
+__all__ = ["ExceptionDiscipline"]
+
+#: Method calls that count as visibly recording a failure.
+_RECORDING_CALLS = frozenset(
+    {
+        "append",
+        "add",
+        "inc",
+        "observe",
+        "log",
+        "debug",
+        "info",
+        "warning",
+        "error",
+        "exception",
+        "critical",
+        "warn",
+    }
+)
+
+
+def _catches(handler: ast.ExceptHandler, name: str) -> bool:
+    """Whether the handler's type names ``name`` (directly or in a tuple)."""
+    node = handler.type
+    if node is None:
+        return False
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    for element in elements:
+        if isinstance(element, ast.Name) and element.id == name:
+            return True
+        if isinstance(element, ast.Attribute) and element.attr == name:
+            return True
+    return False
+
+
+def _handles_visibly(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or records the failure."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _RECORDING_CALLS:
+                return True
+            label = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else ""
+            )
+            if label.endswith(("Error", "Failure", "Report", "Warning")):
+                return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register_rule
+class ExceptionDiscipline(Rule):
+    """ERR001: no silent swallowing; interrupts always propagate."""
+
+    rule_id = "ERR001"
+    summary = (
+        "no bare except; except BaseException must re-raise; runtime/obs "
+        "except Exception must raise or record"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module.startswith("repro")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        strict_scope = ctx.module.startswith(("repro.runtime", "repro.obs"))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare except: catches KeyboardInterrupt/SystemExit, so "
+                    "Ctrl-C during a sweep would be swallowed",
+                    "catch Exception (or a narrower type) and let "
+                    "interrupts propagate",
+                )
+            elif _catches(node, "BaseException") and not _reraises(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "except BaseException without re-raise swallows "
+                    "KeyboardInterrupt/SystemExit",
+                    "re-raise after cleanup (the executor's abort path "
+                    "does pool.shutdown(); raise)",
+                )
+            elif (
+                strict_scope
+                and _catches(node, "Exception")
+                and not _handles_visibly(node)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "except Exception here neither raises nor records the "
+                    "failure; a swallowed infrastructure error breaks the "
+                    "bit-identical-results contract silently",
+                    "re-raise as a typed ReproError, or record it "
+                    "(ExecutionReport errors, metrics counter, logger)",
+                )

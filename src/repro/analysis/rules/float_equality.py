@@ -1,0 +1,65 @@
+"""FLT001 — no float ``==`` in scoring code.
+
+Stability scores travel three routes that must agree bit-for-bit:
+computed in-process, recomputed in a worker, and replayed from a
+checkpoint cell (where floats round-trip via ``repr``-exact JSON, the
+PR-3 convention).  Code that branches on ``x == 0.3`` works on one route
+and breaks on another the moment an intermediate is computed in a
+different order.  FLT001 flags ``==`` / ``!=`` against float literals in
+the scoring layers (``repro.core``, ``repro.eval``); compare with a
+tolerance (``math.isclose``), restructure to an integer/ordinal
+comparison, or — for persisted values — rely on the repr-exact JSON
+round-trip and compare the serialised form.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext, Rule, register_rule
+from repro.analysis.findings import Finding
+
+__all__ = ["FloatEquality"]
+
+
+@register_rule
+class FloatEquality(Rule):
+    """FLT001: scoring code never compares floats with ``==``/``!=``."""
+
+    rule_id = "FLT001"
+    summary = "no ==/!= against float literals in core/eval scoring code"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module.startswith(("repro.core", "repro.eval"))
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                pair = (operands[i], operands[i + 1])
+                if any(self._is_float_literal(operand) for operand in pair):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "float equality comparison in scoring code; exact "
+                        "equality is route-dependent (in-process vs worker "
+                        "vs checkpoint replay)",
+                        "use math.isclose / an ordinal comparison, or the "
+                        "repr-exact JSON float convention for persisted "
+                        "values",
+                    )
+                    break  # one finding per comparison chain
+
+    @staticmethod
+    def _is_float_literal(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        # -0.5 / +1.0 parse as UnaryOp around the literal
+        if isinstance(node, ast.UnaryOp) and isinstance(node.operand, ast.Constant):
+            return isinstance(node.operand.value, float)
+        return False

@@ -1,0 +1,108 @@
+"""OBS001 — span/metric names come from the canonical taxonomy.
+
+The telemetry spine (PR 4) only stays queryable if every call site uses
+the instrument names declared in :mod:`repro.obs.metrics` — a typo'd
+``"executor.shard_retrys"`` counter would record faithfully and be found
+by nobody.  OBS001 checks every literal name passed to
+``counter()`` / ``gauge()`` / ``histogram()`` / ``span()`` /
+``timed_stage()`` against ``CANONICAL_METRIC_NAMES`` /
+``CANONICAL_SPAN_NAMES``, and every ``obs_metrics.<CONSTANT>`` attribute
+reference against the module's actual exports.  The taxonomy is
+imported live from :mod:`repro.obs.metrics`, never copied here, so rule
+and registry cannot drift apart (a test pins this).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext, Rule, register_rule
+from repro.analysis.findings import Finding
+
+__all__ = ["CanonicalInstrumentNames"]
+
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+_SPAN_CALLABLES = frozenset({"span", "timed_stage"})
+
+
+def _taxonomy() -> tuple[frozenset[str], frozenset[str], frozenset[str]]:
+    """(metric names, span names, constant attribute names) — live import."""
+    from repro.obs import metrics as obs_metrics
+
+    constants = frozenset(
+        name
+        for name in dir(obs_metrics)
+        if name.isupper() and isinstance(getattr(obs_metrics, name), str)
+    )
+    return (
+        obs_metrics.CANONICAL_METRIC_NAMES,
+        obs_metrics.CANONICAL_SPAN_NAMES,
+        constants,
+    )
+
+
+@register_rule
+class CanonicalInstrumentNames(Rule):
+    """OBS001: no ad-hoc instrument/span names outside the taxonomy."""
+
+    rule_id = "OBS001"
+    summary = (
+        "span/counter/gauge/histogram names must come from the canonical "
+        "taxonomy in repro.obs.metrics"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        # The observation layer itself passes names through as
+        # parameters; the analysis package quotes names in messages.
+        return ctx.module.startswith("repro") and not ctx.module.startswith(
+            ("repro.obs", "repro.analysis")
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        metric_names, span_names, constant_names = _taxonomy()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                callee = func.attr
+            elif isinstance(func, ast.Name):
+                callee = func.id
+            else:
+                continue
+            if callee in _METRIC_METHODS:
+                kind, canonical = "instrument", metric_names
+            elif callee in _SPAN_CALLABLES:
+                kind, canonical = "span", span_names
+            else:
+                continue
+            name_arg = node.args[0]
+            if (
+                isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)
+                and name_arg.value not in canonical
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{kind} name {name_arg.value!r} is not in the "
+                    "canonical taxonomy of repro.obs.metrics",
+                    "add the name as a constant to repro.obs.metrics "
+                    "(and DESIGN.md §7) or use an existing one",
+                )
+            elif (
+                # obs_metrics.SHARD_RETRIES style: the constant must
+                # actually exist in the taxonomy module.
+                isinstance(name_arg, ast.Attribute)
+                and name_arg.attr.isupper()
+                and name_arg.attr not in constant_names
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{kind} name constant {name_arg.attr!r} does not "
+                    "exist in repro.obs.metrics",
+                    "declare the constant in the taxonomy first",
+                )
+            # Plain variables are out of static reach: skip.

@@ -1,0 +1,80 @@
+"""TYP001 — the strict-typed packages stay fully annotated.
+
+The contract-bearing layers — :mod:`repro.config`, :mod:`repro.errors`,
+:mod:`repro.atomicio`, :mod:`repro.core`, :mod:`repro.runtime`,
+:mod:`repro.obs` and this package itself — are gated by
+``mypy --strict`` in CI (see ``[tool.mypy]`` in ``pyproject.toml``).
+mypy is not importable in every environment this repo runs in, so
+TYP001 enforces the load-bearing prefix of that gate with the stdlib
+``ast``: every function in a gated module must annotate its return type
+and every parameter (including ``*args`` / ``**kwargs``; ``self`` /
+``cls`` excepted).  An unannotated def is exactly where
+``disallow_untyped_defs`` would fail first, and is also where type
+drift between the engines' shared dataclasses starts.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext, Rule, register_rule
+from repro.analysis.findings import Finding
+
+__all__ = ["StrictAnnotations", "GATED_MODULES", "GATED_PREFIXES"]
+
+#: Modules gated exactly.
+GATED_MODULES = frozenset({"repro.config", "repro.errors", "repro.atomicio"})
+#: Package prefixes gated recursively.
+GATED_PREFIXES = ("repro.core", "repro.runtime", "repro.obs", "repro.analysis")
+
+
+@register_rule
+class StrictAnnotations(Rule):
+    """TYP001: gated modules annotate every def completely."""
+
+    rule_id = "TYP001"
+    summary = (
+        "strict-typed packages (config/errors/atomicio/core/runtime/obs/"
+        "analysis) must annotate every parameter and return type"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module in GATED_MODULES or ctx.module.startswith(
+            GATED_PREFIXES
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            gaps = self._gaps(node)
+            if gaps:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.name}() is missing annotations: "
+                    f"{', '.join(gaps)} (mypy --strict gate)",
+                    "annotate every parameter and the return type",
+                )
+
+    @staticmethod
+    def _gaps(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+        gaps: list[str] = []
+        if node.returns is None:
+            gaps.append("return type")
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                gaps.append(arg.arg)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                gaps.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            gaps.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            gaps.append(f"**{args.kwarg.arg}")
+        return gaps

@@ -1,0 +1,63 @@
+"""The one atomic write-then-rename helper: :func:`atomic_write_text`.
+
+Every artifact this stack persists — checkpoint cells, monitor
+snapshots, run manifests, trace JSONL, metrics JSON — must be readable
+or absent, never torn: a kill or crash mid-write may cost the artifact,
+but a resume must never ingest half a file.  The idiom is always the
+same (write a same-directory temp file, then ``os.replace`` over the
+target, which POSIX guarantees atomic within a filesystem), so it lives
+here once instead of being re-inlined per module.
+
+Rule ``IO001`` in :mod:`repro.analysis` rejects direct write-mode
+``open`` / ``write_text`` / ``json.dump`` calls in the persistence
+layers (``repro.runtime``, ``repro.obs``) that do not route through
+these helpers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp-then-rename).
+
+    Parent directories are created as needed.  The temp file carries the
+    writing pid so concurrent writers in different processes cannot
+    collide on the temp name; the final ``os.replace`` makes whichever
+    finishes last win with a complete file either way.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except OSError:
+        # Never leave the temp file behind on a failed write/rename; the
+        # original target (if any) is still intact.
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def atomic_write_json(
+    path: str | Path,
+    payload: object,
+    *,
+    indent: int | None = None,
+    sort_keys: bool = True,
+) -> Path:
+    """Serialise ``payload`` as JSON and write it atomically.
+
+    The document always ends with a newline; ``sort_keys`` defaults to
+    True so serialised artifacts are byte-stable across runs (the
+    repr-exact float convention from the checkpoint layer relies on
+    deterministic serialisation).
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_text(path, text)

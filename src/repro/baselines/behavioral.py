@@ -178,7 +178,7 @@ class BehavioralModel:
         cohorts: CohortLabels,
         window_index: int,
         customers: Iterable[int] | None = None,
-    ) -> "BehavioralModel":
+    ) -> BehavioralModel:
         """Train at one evaluation window (protocol-compatible)."""
         train_ids = (
             list(customers) if customers is not None else cohorts.all_customers()
@@ -206,4 +206,4 @@ class BehavioralModel:
         ids, features = self._matrix(log, customers, index)
         features = impute_finite(features)
         probabilities = self._classifier.predict_proba(self._scaler.transform(features))
-        return dict(zip(ids, (float(p) for p in probabilities)))
+        return dict(zip(ids, (float(p) for p in probabilities), strict=True))

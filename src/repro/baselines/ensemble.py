@@ -58,7 +58,7 @@ def rank_normalise(scores: dict[int, float]) -> dict[int, float]:
         quantiles = np.asarray([0.5])
     else:
         quantiles = ranks / (len(values) - 1)
-    return {c: float(q) for c, q in zip(ids, quantiles)}
+    return {c: float(q) for c, q in zip(ids, quantiles, strict=True)}
 
 
 class StabilityMember:
@@ -87,7 +87,7 @@ class StabilityMember:
         cohorts: CohortLabels,
         window_index: int,
         customers: Iterable[int] | None = None,
-    ) -> "StabilityMember":
+    ) -> StabilityMember:
         del cohorts, window_index, customers  # unsupervised: nothing to learn
         if not self.model.is_fitted:
             self.model.fit(log)
@@ -172,7 +172,7 @@ class RankAverageEnsemble:
         cohorts: CohortLabels,
         window_index: int,
         customers: Iterable[int] | None = None,
-    ) -> "RankAverageEnsemble":
+    ) -> RankAverageEnsemble:
         """Fit every member at the evaluation window."""
         ids = list(customers) if customers is not None else None
         for member in self.members:
@@ -189,7 +189,7 @@ class RankAverageEnsemble:
         ids = list(customers)
         total = {c: 0.0 for c in ids}
         weight_sum = sum(self.weights)
-        for member, weight in zip(self.members, self.weights):
+        for member, weight in zip(self.members, self.weights, strict=True):
             normalised = rank_normalise(
                 member.churn_scores(log, ids, window_index)
             )

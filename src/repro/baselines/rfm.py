@@ -351,7 +351,7 @@ class RFMModel:
         cohorts: CohortLabels,
         window_index: int,
         customers: Iterable[int] | None = None,
-    ) -> "RFMModel":
+    ) -> RFMModel:
         """Train the logistic regression at one evaluation window.
 
         Parameters
@@ -399,7 +399,7 @@ class RFMModel:
         ids, features = rfm_matrix(log, customers, self.grid, index)
         features = impute_finite(features)
         probabilities = self._classifier.predict_proba(self._scaler.transform(features))
-        return dict(zip(ids, (float(p) for p in probabilities)))
+        return dict(zip(ids, (float(p) for p in probabilities), strict=True))
 
     @property
     def coefficients(self) -> np.ndarray:

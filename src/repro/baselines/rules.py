@@ -64,7 +64,7 @@ class RecencyRule:
             recency = matrix[:, _RECENCY_COLUMN]
             return {
                 customer_id: float(value / elapsed)
-                for customer_id, value in zip(ids, recency)
+                for customer_id, value in zip(ids, recency, strict=True)
             }
         scores: dict[int, float] = {}
         for customer_id in customers:
@@ -123,7 +123,7 @@ class FrequencyDropRule:
             )
             return {
                 customer_id: float(value)
-                for customer_id, value in zip(ids, score)
+                for customer_id, value in zip(ids, score, strict=True)
             }
         scores: dict[int, float] = {}
         for customer_id in customers:
@@ -157,4 +157,4 @@ class RandomBaseline:
         del log
         rng = np.random.default_rng((self.seed, window_index))
         ids = list(customers)
-        return dict(zip(ids, rng.random(len(ids)).tolist()))
+        return dict(zip(ids, rng.random(len(ids)).tolist(), strict=True))

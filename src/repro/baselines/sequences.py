@@ -173,7 +173,7 @@ class SequenceModel:
         cohorts: CohortLabels,
         window_index: int,
         customers: Iterable[int] | None = None,
-    ) -> "SequenceModel":
+    ) -> SequenceModel:
         """Train at one evaluation window (protocol-compatible)."""
         train_ids = (
             list(customers) if customers is not None else cohorts.all_customers()
@@ -201,4 +201,4 @@ class SequenceModel:
         ids, features = self._matrix(log, customers, index)
         features = impute_finite(features)
         probabilities = self._classifier.predict_proba(self._scaler.transform(features))
-        return dict(zip(ids, (float(p) for p in probabilities)))
+        return dict(zip(ids, (float(p) for p in probabilities), strict=True))

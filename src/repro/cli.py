@@ -10,6 +10,7 @@ Subcommands
 ``explain``    Explain one customer's stability at one window.
 ``bench``      Time StabilityModel fit backends and emit perf telemetry.
 ``obs``        Summarize a trace JSONL emitted via ``--trace-out``.
+``lint``       Statically check the determinism/atomicity invariants.
 
 Global telemetry flags (before the subcommand): ``--trace-out`` writes
 the command's span trace as JSONL, ``--metrics-out`` writes the metrics
@@ -266,6 +267,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(0 disables it)"
         ),
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help=(
+            "statically check the determinism/atomicity/typing invariants "
+            "(AST rules DET/IO/ERR/FLT/OBS/TYP, DESIGN.md §8)"
+        ),
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     obs = sub.add_parser(
         "obs", help="inspect telemetry artifacts (traces, manifests)"
@@ -563,7 +575,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         telemetry["telemetry_overhead"] = telemetry_overhead(
             size=args.telemetry_size, seed=args.seed, repeat=args.repeat
         )
-    print("stability fit scaling (best-of-%d wall clock)" % args.repeat)
+    print(f"stability fit scaling (best-of-{args.repeat} wall clock)")
     print(render_scaling(telemetry))
     if args.json is not None:
         write_scaling_json(args.json, telemetry)
@@ -571,8 +583,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
     "obs": _cmd_obs,
     "generate": _cmd_generate,
     "report": _cmd_report,

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep repro.config
     # importable from inside repro.core modules without a cycle
     from repro.core.significance import ExponentialSignificance
     from repro.core.windowing import WindowGrid
+    from repro.data.calendar import StudyCalendar
 
 __all__ = ["ExperimentConfig", "DEFAULT_BETA_GRID"]
 
@@ -98,7 +99,7 @@ class ExperimentConfig:
         object.__setattr__(self, "beta_grid", tuple(float(b) for b in self.beta_grid))
         if any(not 0.0 <= b <= 1.0 for b in self.beta_grid):
             raise ConfigError(f"beta_grid values must be in [0, 1], got {self.beta_grid}")
-        if any(b >= e for b, e in zip(self.beta_grid, self.beta_grid[1:])):
+        if any(b >= e for b, e in zip(self.beta_grid, self.beta_grid[1:], strict=False)):
             raise ConfigError("beta_grid must be strictly increasing")
         if self.first_month > self.last_month:
             raise ConfigError(
@@ -124,18 +125,18 @@ class ExperimentConfig:
             )
 
     # ------------------------------------------------------------------
-    def grid(self, calendar) -> "WindowGrid":
+    def grid(self, calendar: StudyCalendar) -> WindowGrid:
         """The monthly window grid this config induces on a calendar."""
         from repro.core.windowing import WindowGrid
 
         return WindowGrid.monthly(calendar, self.window_months)
 
-    def significance(self) -> "ExponentialSignificance":
+    def significance(self) -> ExponentialSignificance:
         """The paper's exponential significance rule at this ``alpha``."""
         from repro.core.significance import ExponentialSignificance
 
         return ExponentialSignificance(self.alpha)
 
-    def evolve(self, **changes) -> "ExperimentConfig":
+    def evolve(self, **changes: object) -> ExperimentConfig:
         """A new validated config with the given fields replaced."""
         return dataclasses.replace(self, **changes)

@@ -189,7 +189,9 @@ def _stability_kernel(
     return stability, kept, total
 
 
-def _shard_worker(args: tuple[PopulationFrame, float]):
+def _shard_worker(
+    args: tuple[PopulationFrame, float],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     population, alpha = args
     return _stability_kernel(population, alpha)
 
@@ -210,7 +212,7 @@ def _shard_tasks(
     bounds = np.linspace(0, population.n_customers, n_jobs + 1).astype(int)
     return [
         (population.shard(int(lo), int(hi)), alpha)
-        for lo, hi in zip(bounds[:-1], bounds[1:])
+        for lo, hi in zip(bounds[:-1], bounds[1:], strict=True)
         if hi > lo
     ]
 
@@ -315,5 +317,5 @@ def batch_churn_scores(
         churn = np.where(total > 0.0, 1.0 - kept / total, 0.5)
     return {
         int(customer_id): float(score)
-        for customer_id, score in zip(population.customer_ids, churn)
+        for customer_id, score in zip(population.customer_ids, churn, strict=True)
     }

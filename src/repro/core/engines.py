@@ -121,7 +121,7 @@ def _require_serial(spec: FitSpec, name: str) -> None:
         )
 
 
-def _require_log(frame: PopulationFrame, name: str):
+def _require_log(frame: PopulationFrame, name: str) -> None:
     if frame.log is None:
         raise ConfigError(
             f"backend {name!r} needs the frame's source log, but this "

@@ -23,6 +23,7 @@ are registered implementations of one protocol, not an if/elif chain.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -42,6 +43,9 @@ from repro.data.calendar import StudyCalendar
 from repro.data.population import PopulationFrame
 from repro.data.transactions import TransactionLog
 from repro.errors import ConfigError, DataError, NotFittedError
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import ExecutionReport
 
 __all__ = ["StabilityModel", "BACKENDS"]
 
@@ -178,7 +182,7 @@ class StabilityModel:
     @classmethod
     def from_config(
         cls, calendar: StudyCalendar, config: ExperimentConfig
-    ) -> "StabilityModel":
+    ) -> StabilityModel:
         """The model a validated config describes."""
         return cls(calendar, config=config)
 
@@ -208,7 +212,7 @@ class StabilityModel:
         self,
         log: TransactionLog | PopulationFrame,
         customers: Iterable[int] | None = None,
-    ) -> "StabilityModel":
+    ) -> StabilityModel:
         """Compute stability trajectories for customers in the log.
 
         Parameters
@@ -291,7 +295,7 @@ class StabilityModel:
         return self._trajectories is not None or self._batch is not None
 
     @property
-    def execution_report(self):
+    def execution_report(self) -> ExecutionReport | None:
         """The resilient executor's report for the last sharded batch fit.
 
         ``None`` unless the fit ran ``backend="batch"`` with ``n_jobs >
@@ -385,7 +389,7 @@ class StabilityModel:
             churn = np.where(np.isnan(stability), 0.5, 1.0 - stability)
             return {
                 int(customer_id): float(score)
-                for customer_id, score in zip(ids, churn)
+                for customer_id, score in zip(ids, churn, strict=True)
             }
         return {
             customer_id: self.trajectory(customer_id).churn_score(window_index)

@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,6 +36,10 @@ from repro.core.significance import ExponentialSignificance, SignificanceFunctio
 from repro.core.windowing import WindowGrid
 from repro.data.basket import Basket
 from repro.errors import ConfigError, DataError
+
+if TYPE_CHECKING:
+    from repro.config import ExperimentConfig
+    from repro.data.calendar import StudyCalendar
 
 __all__ = ["CustomerState", "WindowCloseReport", "StabilityMonitor"]
 
@@ -130,11 +135,11 @@ class StabilityMonitor:
     @classmethod
     def from_config(
         cls,
-        calendar,
-        config,
+        calendar: StudyCalendar,
+        config: ExperimentConfig,
         beta: float = 0.5,
         first_alarm_window: int = 0,
-    ) -> "StabilityMonitor":
+    ) -> StabilityMonitor:
         """Build a monitor from the shared :class:`~repro.config.ExperimentConfig`.
 
         Uses the config's grid (``window_months``), significance
@@ -272,7 +277,7 @@ class StabilityMonitor:
         return snapshot_monitor(self)
 
     @classmethod
-    def from_snapshot(cls, payload: dict) -> "StabilityMonitor":
+    def from_snapshot(cls, payload: dict) -> StabilityMonitor:
         """Rebuild a monitor from a :meth:`snapshot` payload.
 
         Raises
@@ -390,7 +395,10 @@ class StabilityMonitor:
                 missing={
                     item: float(sig)
                     for item, sig, was_kept in zip(
-                        flat_items[lo:hi], significance[lo:hi], flat_kept[lo:hi]
+                        flat_items[lo:hi],
+                        significance[lo:hi],
+                        flat_kept[lo:hi],
+                        strict=True,
                     )
                     if not was_kept and sig > 0.0
                 },

@@ -70,11 +70,11 @@ class WindowGrid:
     def __post_init__(self) -> None:
         if len(self.boundaries) < 2:
             raise ConfigError("a window grid needs at least one window")
-        if any(b >= e for b, e in zip(self.boundaries, self.boundaries[1:])):
+        if any(b >= e for b, e in zip(self.boundaries, self.boundaries[1:], strict=False)):
             raise ConfigError("window boundaries must be strictly increasing")
 
     @classmethod
-    def monthly(cls, calendar: StudyCalendar, months_per_window: int) -> "WindowGrid":
+    def monthly(cls, calendar: StudyCalendar, months_per_window: int) -> WindowGrid:
         """Grid of ``months_per_window``-month windows covering the study.
 
         A trailing partial window (when the study length is not a
@@ -95,7 +95,7 @@ class WindowGrid:
         return cls(boundaries=boundaries, months_per_window=months_per_window)
 
     @classmethod
-    def daily(cls, total_days: int, days_per_window: int) -> "WindowGrid":
+    def daily(cls, total_days: int, days_per_window: int) -> WindowGrid:
         """Grid of fixed ``days_per_window`` windows over ``total_days`` days."""
         if days_per_window <= 0:
             raise ConfigError(f"days_per_window must be positive, got {days_per_window}")

@@ -55,7 +55,7 @@ class Basket:
         day: int,
         items: Iterable[int],
         monetary: float = 0.0,
-    ) -> "Basket":
+    ) -> Basket:
         """Convenience constructor accepting any iterable of item ids."""
         return cls(
             customer_id=customer_id,
@@ -69,7 +69,7 @@ class Basket:
         """Number of distinct items in the basket."""
         return len(self.items)
 
-    def abstracted(self, mapping) -> "Basket":
+    def abstracted(self, mapping) -> Basket:
         """Return a copy with each item id mapped through ``mapping``.
 
         ``mapping`` is a callable ``item_id -> item_id`` (typically

@@ -82,7 +82,7 @@ class StudyCalendar:
             raise ConfigError(f"n_months must be positive, got {self.n_months}")
 
     @classmethod
-    def paper(cls) -> "StudyCalendar":
+    def paper(cls) -> StudyCalendar:
         """The calendar of the paper's dataset: May 2012, 28 months."""
         return cls(start=PAPER_STUDY_START, n_months=PAPER_STUDY_MONTHS)
 

@@ -107,7 +107,7 @@ class CohortLabels:
     # ------------------------------------------------------------------
     # Manipulation
     # ------------------------------------------------------------------
-    def restricted_to(self, customer_ids: Iterable[int]) -> "CohortLabels":
+    def restricted_to(self, customer_ids: Iterable[int]) -> CohortLabels:
         """Labels restricted to a subset of customers (for CV folds)."""
         keep = set(customer_ids)
         churners = self.churners & keep

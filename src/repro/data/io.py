@@ -18,6 +18,7 @@ import csv
 import json
 from pathlib import Path
 
+from repro.atomicio import atomic_write_json
 from repro.data.basket import Basket
 from repro.data.cohorts import CohortLabels
 from repro.data.items import Catalog
@@ -234,7 +235,7 @@ def write_cohorts_json(cohorts: CohortLabels, path: str | Path) -> None:
         "onset_month": cohorts.onset_month,
         "churner_onsets": {str(k): v for k, v in sorted(cohorts.churner_onsets.items())},
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(path, payload, indent=2, sort_keys=False)
 
 
 def read_cohorts_json(path: str | Path) -> CohortLabels:

@@ -133,7 +133,7 @@ class PopulationFrame:
         log: TransactionLog,
         grid: WindowGrid,
         customers: Iterable[int] | None = None,
-    ) -> "PopulationFrame":
+    ) -> PopulationFrame:
         """Encode a log (or a customer subset) in one columnar pass.
 
         Baskets outside the grid are dropped from the presence triples
@@ -287,7 +287,7 @@ class PopulationFrame:
                 sets[self.triple_window[t]].add(item)
         return [frozenset(s) for s in sets]
 
-    def shard(self, lo: int, hi: int) -> "PopulationFrame":
+    def shard(self, lo: int, hi: int) -> PopulationFrame:
         """The sub-population of customer rows ``[lo, hi)`` (rebased CSR).
 
         The source-log reference is dropped: shards exist to cross

@@ -55,7 +55,7 @@ class EventStore:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def empty(cls) -> "EventStore":
+    def empty(cls) -> EventStore:
         """An event store with zero rows."""
         return cls(
             customer_id=np.empty(0, dtype=np.int64),
@@ -66,7 +66,7 @@ class EventStore:
         )
 
     @classmethod
-    def from_log(cls, log: TransactionLog) -> "EventStore":
+    def from_log(cls, log: TransactionLog) -> EventStore:
         """Flatten a transaction log into columnar events.
 
         Receipt ids are assigned densely in (customer, day) iteration
@@ -136,7 +136,7 @@ class EventStore:
     # ------------------------------------------------------------------
     # Filtering
     # ------------------------------------------------------------------
-    def _masked(self, mask: np.ndarray) -> "EventStore":
+    def _masked(self, mask: np.ndarray) -> EventStore:
         return EventStore(
             customer_id=self.customer_id[mask],
             receipt_id=self.receipt_id[mask],
@@ -145,13 +145,13 @@ class EventStore:
             monetary=self.monetary[mask],
         )
 
-    def filter_days(self, begin: int, end: int) -> "EventStore":
+    def filter_days(self, begin: int, end: int) -> EventStore:
         """Rows whose day falls in the half-open interval ``[begin, end)``."""
         if end < begin:
             raise DataError(f"invalid day interval: [{begin}, {end})")
         return self._masked((self.day >= begin) & (self.day < end))
 
-    def filter_customers(self, customer_ids) -> "EventStore":
+    def filter_customers(self, customer_ids) -> EventStore:
         """Rows belonging to the given customers."""
         wanted = np.asarray(sorted(set(int(c) for c in customer_ids)), dtype=np.int64)
         return self._masked(np.isin(self.customer_id, wanted))

@@ -109,7 +109,7 @@ class PartitionedLogWriter:
             raise ConfigError(f"shard {shard} out of range [0, {self.n_shards})")
         return self.directory / f"shard-{shard:04d}.csv"
 
-    def __enter__(self) -> "PartitionedLogWriter":
+    def __enter__(self) -> PartitionedLogWriter:
         self.directory.mkdir(parents=True, exist_ok=True)
         self._handles = [
             self.shard_path(shard).open("w", newline="")

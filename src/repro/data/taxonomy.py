@@ -117,7 +117,7 @@ class Taxonomy:
         return node
 
     @classmethod
-    def from_catalog(cls, catalog: Catalog) -> "Taxonomy":
+    def from_catalog(cls, catalog: Catalog) -> Taxonomy:
         """Build the full taxonomy tree of a catalog."""
         taxonomy = cls()
         for segment in catalog.segments():

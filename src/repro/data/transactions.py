@@ -244,7 +244,7 @@ class TransactionLog:
     # ------------------------------------------------------------------
     # Transformation
     # ------------------------------------------------------------------
-    def filter_customers(self, customer_ids: Iterable[int]) -> "TransactionLog":
+    def filter_customers(self, customer_ids: Iterable[int]) -> TransactionLog:
         """New log restricted to the given customers (missing ids ignored)."""
         selected = TransactionLog()
         for customer_id in customer_ids:
@@ -254,7 +254,7 @@ class TransactionLog:
                 selected._n_baskets += len(history)
         return selected
 
-    def filter_days(self, begin: int, end: int) -> "TransactionLog":
+    def filter_days(self, begin: int, end: int) -> TransactionLog:
         """New log with baskets in the half-open day interval ``[begin, end)``."""
         if end < begin:
             raise DataError(f"invalid day interval: [{begin}, {end})")
@@ -266,7 +266,7 @@ class TransactionLog:
                 clipped._n_baskets += len(kept)
         return clipped
 
-    def abstracted(self, mapping: Callable[[int], int]) -> "TransactionLog":
+    def abstracted(self, mapping: Callable[[int], int]) -> TransactionLog:
         """New log with every basket's items mapped through ``mapping``.
 
         Typically used with ``catalog.segment_of`` composition to lift a
@@ -278,7 +278,7 @@ class TransactionLog:
             lifted._n_baskets += len(history)
         return lifted
 
-    def merged_with(self, other: "TransactionLog") -> "TransactionLog":
+    def merged_with(self, other: TransactionLog) -> TransactionLog:
         """New log with the union of both logs' baskets."""
         merged = TransactionLog(self)
         merged.extend(other)

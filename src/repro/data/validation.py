@@ -81,7 +81,7 @@ class DatasetBundle:
         catalog: Catalog,
         calendar: StudyCalendar,
         cohorts: CohortLabels,
-    ) -> "DatasetBundle":
+    ) -> DatasetBundle:
         """Construct after running all cross-validation checks."""
         bundle = cls(log=log, catalog=catalog, calendar=calendar, cohorts=cohorts)
         validate_bundle(bundle)

@@ -12,11 +12,11 @@ model (so no backend benefits from caches), dataset generation excluded.
 
 from __future__ import annotations
 
-import json
 import time
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.atomicio import atomic_write_json
 from repro.config import ExperimentConfig
 from repro.core.model import BACKENDS, StabilityModel
 from repro.errors import ConfigError
@@ -348,7 +348,7 @@ def telemetry_overhead(
 
 def write_scaling_json(path: Path | str, telemetry: dict) -> None:
     """Persist telemetry as indented JSON (stable key order for diffs)."""
-    Path(path).write_text(json.dumps(telemetry, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(path, telemetry, indent=2)
 
 
 def render_scaling(telemetry: dict) -> str:
@@ -372,36 +372,27 @@ def render_scaling(telemetry: dict) -> str:
     if protocol is not None:
         paths = protocol["paths"]
         table += (
-            "\n\nfull ROC sweep ({customers} customers): "
-            "legacy {legacy:.3f}s, frame {frame:.3f}s ({speedup:.1f}x)".format(
-                customers=protocol["customers"],
-                legacy=paths["legacy_incremental"]["sweep_seconds"],
-                frame=paths["frame_batch"]["sweep_seconds"],
-                speedup=protocol["speedup_frame_vs_legacy"],
-            )
+            f"\n\nfull ROC sweep ({protocol['customers']} customers): "
+            f"legacy {paths['legacy_incremental']['sweep_seconds']:.3f}s, "
+            f"frame {paths['frame_batch']['sweep_seconds']:.3f}s "
+            f"({protocol['speedup_frame_vs_legacy']:.1f}x)"
         )
     resilience = telemetry.get("resilient_executor")
     if resilience is not None:
         table += (
-            "\n\nresilient executor ({customers} customers, {n_jobs} shards): "
-            "bare {bare:.3f}s, resilient {res:.3f}s ({overhead:+.1f}% overhead)".format(
-                customers=resilience["customers"],
-                n_jobs=resilience["n_jobs"],
-                bare=resilience["bare_seconds"],
-                res=resilience["resilient_seconds"],
-                overhead=resilience["overhead_pct"],
-            )
+            f"\n\nresilient executor ({resilience['customers']} customers, "
+            f"{resilience['n_jobs']} shards): "
+            f"bare {resilience['bare_seconds']:.3f}s, "
+            f"resilient {resilience['resilient_seconds']:.3f}s "
+            f"({resilience['overhead_pct']:+.1f}% overhead)"
         )
     overhead = telemetry.get("telemetry_overhead")
     if overhead is not None:
         table += (
-            "\n\ntelemetry ({customers} customers, {spans} spans/sweep): "
-            "off {off:.3f}s, on {on:.3f}s ({pct:+.1f}% overhead)".format(
-                customers=overhead["customers"],
-                spans=overhead["spans_per_sweep"],
-                off=overhead["disabled_seconds"],
-                on=overhead["recording_seconds"],
-                pct=overhead["overhead_pct"],
-            )
+            f"\n\ntelemetry ({overhead['customers']} customers, "
+            f"{overhead['spans_per_sweep']} spans/sweep): "
+            f"off {overhead['disabled_seconds']:.3f}s, "
+            f"on {overhead['recording_seconds']:.3f}s "
+            f"({overhead['overhead_pct']:+.1f}% overhead)"
         )
     return table

@@ -127,17 +127,18 @@ def render_customer_report(
 
     if report.forecast is not None:
         forecast = report.forecast
-        if forecast.windows_to_threshold == 0.0:
+        if forecast.windows_to_threshold is None:
+            if forecast.slope < 0:
+                outlook = "declining, but no crossing predicted"
+            else:
+                outlook = "stable or improving"
+        elif forecast.windows_to_threshold <= 0.0:
             outlook = "already at/below the defection threshold"
-        elif forecast.windows_to_threshold is not None:
+        else:
             outlook = (
                 f"predicted to cross the threshold in "
                 f"{forecast.windows_to_threshold:.1f} windows"
             )
-        elif forecast.slope < 0:
-            outlook = "declining, but no crossing predicted"
-        else:
-            outlook = "stable or improving"
         lines.append(
             f"trend: level {forecast.level:.2f}, slope {forecast.slope:+.3f} "
             f"per window — {outlook}"

@@ -202,7 +202,7 @@ class EvaluationProtocol:
             self._frame = PopulationFrame.from_log(self.bundle.log, grid)
         return self._frame
 
-    def _scorer_source(self, scorer) -> "PopulationFrame | object":
+    def _scorer_source(self, scorer) -> PopulationFrame | object:
         """What to feed a scorer: the shared frame when it understands
         frames, the raw log otherwise (legacy duck type)."""
         if getattr(scorer, "supports_frame", False):

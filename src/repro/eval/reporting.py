@@ -40,7 +40,7 @@ def format_table(
         for i in range(len(header))
     ]
     def fmt_row(row: Sequence[str]) -> str:
-        return indent + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)).rstrip()
+        return indent + "  ".join(str(c).ljust(w) for c, w in zip(row, widths, strict=True)).rstrip()
 
     lines = [fmt_row([str(h) for h in header])]
     lines.append(indent + "  ".join("-" * w for w in widths))

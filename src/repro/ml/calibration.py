@@ -113,7 +113,7 @@ class PlattCalibrator:
         self._model = LogisticRegression(l2=l2)
         self._fitted = False
 
-    def fit(self, scores: np.ndarray, y_true: np.ndarray) -> "PlattCalibrator":
+    def fit(self, scores: np.ndarray, y_true: np.ndarray) -> PlattCalibrator:
         """Learn the score -> probability mapping."""
         scores = np.asarray(scores, dtype=np.float64)
         if scores.ndim != 1:

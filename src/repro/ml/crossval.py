@@ -148,7 +148,7 @@ def grid_search(
     names = sorted(param_grid)
     table: list[tuple[dict, float, list[float]]] = []
     for values in itertools.product(*(param_grid[name] for name in names)):
-        params = dict(zip(names, values))
+        params = dict(zip(names, values, strict=True))
         fold_scores = [float(score_fn(params, train, test)) for train, test in folds]
         table.append((params, float(np.mean(fold_scores)), fold_scores))
     best_params, best_score, _ = max(table, key=lambda entry: entry[1])

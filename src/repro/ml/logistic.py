@@ -93,7 +93,7 @@ class LogisticRegression:
             raise DataError("X contains non-finite values; impute before fitting")
         return X, y
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+    def fit(self, X: np.ndarray, y: np.ndarray) -> LogisticRegression:
         """Fit by Newton/IRLS, falling back to gradient descent if needed."""
         X, y = self._validate_inputs(X, y)
         n_samples, n_features = X.shape

@@ -56,7 +56,7 @@ class StandardScaler:
         self.mean_: np.ndarray | None = None
         self.scale_: np.ndarray | None = None
 
-    def fit(self, matrix: np.ndarray) -> "StandardScaler":
+    def fit(self, matrix: np.ndarray) -> StandardScaler:
         """Learn per-column mean and standard deviation."""
         matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.ndim != 2:

@@ -35,6 +35,8 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
+from types import TracebackType
+from typing import TYPE_CHECKING
 
 from repro.obs.manifest import (
     MANIFEST_NAME,
@@ -67,6 +69,9 @@ from repro.obs.trace import (
     use_tracer,
     write_trace_jsonl,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.trace import _NullSpan, _Span
 
 __all__ = [
     "MANIFEST_NAME",
@@ -111,24 +116,34 @@ class _StageTimer:
 
     __slots__ = ("_name", "_span", "_metrics", "_t0")
 
-    def __init__(self, name: str, span_cm, metrics) -> None:
+    def __init__(
+        self,
+        name: str,
+        span_cm: _Span | _NullSpan,
+        metrics: MetricsRegistry | NullMetrics,
+    ) -> None:
         self._name = name
         self._span = span_cm
         self._metrics = metrics
 
-    def __enter__(self) -> "_StageTimer":
+    def __enter__(self) -> _StageTimer:
         self._span.__enter__()
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         elapsed = time.perf_counter() - self._t0
         self._span.__exit__(exc_type, exc, tb)
         self._metrics.histogram(self._name).observe(elapsed)
         return False
 
 
-def timed_stage(name: str, **attrs):
+def timed_stage(name: str, **attrs: object) -> _StageTimer | _NullSpan:
     """Time one engine stage: a span *and* a histogram observation.
 
     With both telemetry sinks disabled this returns the shared no-op
@@ -162,21 +177,26 @@ class TelemetrySession:
         self.metrics: MetricsRegistry | None = (
             MetricsRegistry() if self.metrics_out else None
         )
-        self._prev_tracer = None
-        self._prev_metrics = None
+        self._prev_tracer: Tracer | NullTracer | None = None
+        self._prev_metrics: MetricsRegistry | NullMetrics | None = None
 
     @property
     def active(self) -> bool:
         return self.tracer is not None or self.metrics is not None
 
-    def __enter__(self) -> "TelemetrySession":
+    def __enter__(self) -> TelemetrySession:
         if self.tracer is not None:
             self._prev_tracer = set_tracer(self.tracer)
         if self.metrics is not None:
             self._prev_metrics = set_metrics(self.metrics)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         if self.tracer is not None:
             set_tracer(self._prev_tracer)
             write_trace_jsonl(self.trace_out, self.tracer.records)

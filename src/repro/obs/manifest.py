@@ -23,12 +23,18 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
+from repro.atomicio import atomic_write_json
 from repro.errors import ManifestError
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry, NullMetrics
+    from repro.obs.trace import NullTracer, Tracer
+    from repro.runtime.executor import ExecutionReport
 
 __all__ = [
     "MANIFEST_NAME",
@@ -74,7 +80,7 @@ class RunManifest:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "RunManifest":
+    def from_dict(cls, payload: dict) -> RunManifest:
         """Validate and revive a serialized manifest.
 
         Raises
@@ -113,7 +119,7 @@ class RunManifest:
         )
 
 
-def _execution_payload(report) -> dict | None:
+def _execution_payload(report: ExecutionReport | None) -> dict | None:
     """An :class:`~repro.runtime.executor.ExecutionReport` as a rollup."""
     if report is None:
         return None
@@ -131,12 +137,12 @@ def _execution_payload(report) -> dict | None:
 
 def build_manifest(
     experiment: str,
-    config=None,
+    config: object = None,
     dataset_fingerprint: str | None = None,
     seed: int | None = None,
-    execution=None,
-    tracer=None,
-    metrics=None,
+    execution: ExecutionReport | None = None,
+    tracer: Tracer | NullTracer | None = None,
+    metrics: MetricsRegistry | NullMetrics | None = None,
 ) -> RunManifest:
     """Assemble a manifest from the run's live objects.
 
@@ -191,10 +197,7 @@ def write_manifest(directory: str | Path, manifest: RunManifest) -> Path:
         target = target / MANIFEST_NAME
     else:
         target.parent.mkdir(parents=True, exist_ok=True)
-    tmp = target.with_name(f".{target.name}.tmp-{os.getpid()}")
-    tmp.write_text(json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, target)
-    return target
+    return atomic_write_json(target, manifest.to_dict(), indent=2)
 
 
 def read_manifest(path: str | Path) -> RunManifest:

@@ -24,11 +24,11 @@ constants so the taxonomy has one home (see DESIGN.md §7).
 
 from __future__ import annotations
 
-import json
-import os
+from collections.abc import Iterator
 from contextlib import contextmanager
 from pathlib import Path
 
+from repro.atomicio import atomic_write_json
 from repro.errors import SchemaError
 
 __all__ = [
@@ -54,6 +54,16 @@ __all__ = [
     "STAGE_CSR_BUILD",
     "STAGE_SIGNIFICANCE",
     "STAGE_NORMALIZE",
+    # span taxonomy
+    "SPAN_RUN_SHARDED",
+    "SPAN_WAVE",
+    "SPAN_SHARD",
+    "SPAN_EVAL_CELL",
+    "SPAN_ENGINE_FIT",
+    "SPAN_FIT_BATCH",
+    # canonical name sets (consumed by repro.analysis rule OBS001)
+    "CANONICAL_METRIC_NAMES",
+    "CANONICAL_SPAN_NAMES",
 ]
 
 # ----------------------------------------------------------------------
@@ -78,6 +88,59 @@ CELLS_REPLAYED = "sweep.cells_replayed"
 STAGE_CSR_BUILD = "engine.stage.csr_build_s"
 STAGE_SIGNIFICANCE = "engine.stage.significance_s"
 STAGE_NORMALIZE = "engine.stage.normalize_s"
+
+# ----------------------------------------------------------------------
+# Span taxonomy: every tracer span name used across the stack.  New
+# instrumentation adds its name *here first*; rule OBS001 in
+# repro.analysis rejects literal span/instrument names that are not in
+# the canonical sets below, so the taxonomy cannot drift silently.
+# ----------------------------------------------------------------------
+#: One resilient sharded run (children: waves, shards).
+SPAN_RUN_SHARDED = "executor.run_sharded"
+#: One pool wave inside a sharded run.
+SPAN_WAVE = "executor.wave"
+#: One shard attempt (worker-side, or degraded in the parent).
+SPAN_SHARD = "executor.shard"
+#: One scored sweep cell (protocol / ablations / campaign / robustness).
+SPAN_EVAL_CELL = "eval.cell"
+#: One engine fit through the registry.
+SPAN_ENGINE_FIT = "engine.fit"
+#: The batched population fit (possibly sharded).
+SPAN_FIT_BATCH = "fit.batch"
+
+#: Every canonical counter/gauge/histogram name.
+CANONICAL_METRIC_NAMES: frozenset[str] = frozenset(
+    {
+        CHECKPOINT_HITS,
+        CHECKPOINT_MISSES,
+        CHECKPOINT_INVALID,
+        SHARD_RETRIES,
+        SHARD_TIMEOUTS,
+        SHARD_DEGRADED,
+        CELLS_COMPUTED,
+        CELLS_REPLAYED,
+        STAGE_CSR_BUILD,
+        STAGE_SIGNIFICANCE,
+        STAGE_NORMALIZE,
+    }
+)
+
+#: Every canonical span name.  The engine-stage histogram names double
+#: as span names because :func:`repro.obs.timed_stage` opens a span and
+#: observes a histogram under the same name.
+CANONICAL_SPAN_NAMES: frozenset[str] = frozenset(
+    {
+        SPAN_RUN_SHARDED,
+        SPAN_WAVE,
+        SPAN_SHARD,
+        SPAN_EVAL_CELL,
+        SPAN_ENGINE_FIT,
+        SPAN_FIT_BATCH,
+        STAGE_CSR_BUILD,
+        STAGE_SIGNIFICANCE,
+        STAGE_NORMALIZE,
+    }
+)
 
 #: Serialized registry format version.
 METRICS_VERSION = 1
@@ -215,12 +278,7 @@ class MetricsRegistry:
 
     def export_json(self, path: str | Path) -> Path:
         """Write the aggregated snapshot atomically as indented JSON."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
-        os.replace(tmp, path)
-        return path
+        return atomic_write_json(path, self.to_dict(), indent=2)
 
 
 class _NullInstrument:
@@ -300,7 +358,9 @@ def set_metrics(registry: MetricsRegistry | NullMetrics | None) -> MetricsRegist
 
 
 @contextmanager
-def use_metrics(registry: MetricsRegistry | NullMetrics):
+def use_metrics(
+    registry: MetricsRegistry | NullMetrics,
+) -> Iterator[MetricsRegistry | NullMetrics]:
     """Scope a registry: active inside the ``with``, restored after."""
     previous = set_metrics(registry)
     try:

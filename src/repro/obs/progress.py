@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import logging
 import time
+from collections.abc import Callable
+from types import TracebackType
 
 __all__ = ["ProgressReporter", "NullProgress", "NULL_PROGRESS", "progress"]
 
@@ -41,7 +43,7 @@ class ProgressReporter:
         label: str,
         log: logging.Logger | None = None,
         min_interval: float = 1.0,
-        clock=time.perf_counter,
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.total = max(int(total), 0)
         self.label = label
@@ -94,10 +96,15 @@ class ProgressReporter:
         )
 
     # Context-manager sugar: ``with progress(...) as reporter:``.
-    def __enter__(self) -> "ProgressReporter":
+    def __enter__(self) -> ProgressReporter:
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         if exc_type is None:
             self.finish()
         return False
@@ -115,10 +122,15 @@ class NullProgress:
     def finish(self) -> None:
         pass
 
-    def __enter__(self) -> "NullProgress":
+    def __enter__(self) -> NullProgress:
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 

@@ -38,11 +38,13 @@ import dataclasses
 import json
 import os
 import time
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
+from types import TracebackType
 
+from repro.atomicio import atomic_write_text
 from repro.errors import SchemaError
 
 __all__ = [
@@ -119,7 +121,7 @@ class SpanRecord:
         }
 
     @classmethod
-    def from_dict(cls, payload: Mapping) -> "SpanRecord":
+    def from_dict(cls, payload: Mapping) -> SpanRecord:
         """Validate and revive one serialized span.
 
         Raises
@@ -155,12 +157,12 @@ class _Span:
 
     __slots__ = ("_tracer", "_name", "_attrs", "span_id", "parent_id", "_start", "_t0", "_c0")
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+    def __init__(self, tracer: Tracer, name: str, attrs: dict) -> None:
         self._tracer = tracer
         self._name = name
         self._attrs = attrs
 
-    def __enter__(self) -> "_Span":
+    def __enter__(self) -> _Span:
         tracer = self._tracer
         self.span_id = tracer._next_id
         tracer._next_id += 1
@@ -171,7 +173,12 @@ class _Span:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         wall = time.perf_counter() - self._t0
         cpu = time.process_time() - self._c0
         tracer = self._tracer
@@ -209,7 +216,7 @@ class Tracer:
         """Finished spans, in completion order (children before parents)."""
         return tuple(self._records)
 
-    def span(self, name: str, **attrs) -> _Span:
+    def span(self, name: str, **attrs: object) -> _Span:
         """Open a span; use as a context manager."""
         return _Span(self, name, attrs)
 
@@ -263,10 +270,15 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self) -> "_NullSpan":
+    def __enter__(self) -> _NullSpan:
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 
@@ -279,20 +291,24 @@ class NullTracer:
 
     enabled = False
 
-    def span(self, name: str, **attrs) -> _NullSpan:
+    def span(self, name: str, **attrs: object) -> _NullSpan:
         return NULL_SPAN
 
-    def merge(self, records, parent_id=None) -> int:
+    def merge(
+        self,
+        records: Iterable[SpanRecord | Mapping],
+        parent_id: int | None = None,
+    ) -> int:
         return 0
 
     def current_span_id(self) -> None:
         return None
 
     @property
-    def records(self) -> tuple:
+    def records(self) -> tuple[SpanRecord, ...]:
         return ()
 
-    def to_dicts(self) -> list:
+    def to_dicts(self) -> list[dict]:
         return []
 
 
@@ -316,7 +332,7 @@ def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
 
 
 @contextmanager
-def use_tracer(tracer: Tracer | NullTracer):
+def use_tracer(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
     """Scope a tracer: active inside the ``with``, restored after."""
     previous = set_tracer(tracer)
     try:
@@ -325,7 +341,7 @@ def use_tracer(tracer: Tracer | NullTracer):
         set_tracer(previous)
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: object) -> _Span | _NullSpan:
     """Open a span on the active tracer (no-op when tracing is off)."""
     active = _ACTIVE
     if active is NULL_TRACER:
@@ -343,15 +359,10 @@ def tracing_enabled() -> bool:
 # ----------------------------------------------------------------------
 def write_trace_jsonl(path: str | Path, records: Iterable[SpanRecord]) -> Path:
     """Write spans as JSON Lines, atomically (temp file + ``os.replace``)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     lines = "".join(
         json.dumps(record.to_dict(), sort_keys=True) + "\n" for record in records
     )
-    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-    tmp.write_text(lines)
-    os.replace(tmp, path)
-    return path
+    return atomic_write_text(path, lines)
 
 
 def read_trace_jsonl(path: str | Path) -> list[SpanRecord]:

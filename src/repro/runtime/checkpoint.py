@@ -26,11 +26,11 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
-import os
 import re
 from collections.abc import Callable, Sequence
 from pathlib import Path
 
+from repro.atomicio import atomic_write_json
 from repro.errors import CheckpointError
 from repro.obs import metrics as obs_metrics
 
@@ -168,7 +168,7 @@ class CheckpointJournal:
             )
         return payload
 
-    def load(self, key: Sequence):
+    def load(self, key: Sequence) -> object:
         """The stored value of a finished cell.
 
         Raises
@@ -187,7 +187,7 @@ class CheckpointJournal:
             )
         return payload["value"]
 
-    def store(self, key: Sequence, value) -> None:
+    def store(self, key: Sequence, value: object) -> None:
         """Persist one finished cell atomically (write-temp-then-rename)."""
         parts = self._key_parts(key)
         path = self.path_of(key)
@@ -197,11 +197,9 @@ class CheckpointJournal:
             "key": list(parts),
             "value": value,
         }
-        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
-        os.replace(tmp, path)
+        atomic_write_json(path, payload)
 
-    def get_or_compute(self, key: Sequence, compute: Callable[[], object]):
+    def get_or_compute(self, key: Sequence, compute: Callable[[], object]) -> object:
         """Return the journaled value, computing and storing it if absent.
 
         Every call is accounted: a replayed cell counts as a *hit*, a

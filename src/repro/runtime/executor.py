@@ -139,12 +139,12 @@ class _ShardTelemetry:
 
 def _guarded(
     fn: Callable,
-    task,
+    task: object,
     shard: int,
     attempt: int,
     plan: FaultPlan | None,
     capture: bool = False,
-):
+) -> object:
     """Worker-side wrapper: apply any injected fault, then compute.
 
     With ``capture`` the computation runs under a fresh recording
@@ -158,9 +158,12 @@ def _guarded(
         return fn(task)
     tracer = obs_trace.Tracer()
     registry = obs_metrics.MetricsRegistry()
-    with obs_trace.use_tracer(tracer), obs_metrics.use_metrics(registry):
-        with tracer.span("executor.shard", shard=shard, attempt=attempt):
-            result = fn(task)
+    with (
+        obs_trace.use_tracer(tracer),
+        obs_metrics.use_metrics(registry),
+        tracer.span("executor.shard", shard=shard, attempt=attempt),
+    ):
+        result = fn(task)
     return _ShardTelemetry(result, tuple(tracer.to_dicts()), registry.dump())
 
 
@@ -236,7 +239,7 @@ def run_sharded(
     registry = obs_metrics.get_metrics()
     capture = tracer.enabled or registry.enabled
 
-    def harvest(value):
+    def harvest(value: object) -> object:
         """Unwrap a worker result, folding its telemetry into the parent."""
         if capture and isinstance(value, _ShardTelemetry):
             tracer.merge(value.spans)

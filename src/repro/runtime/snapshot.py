@@ -35,10 +35,10 @@ from __future__ import annotations
 
 import json
 import math
-import os
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.atomicio import atomic_write_json
 from repro.errors import SnapshotError
 
 if TYPE_CHECKING:
@@ -57,7 +57,7 @@ SNAPSHOT_SCHEMA = "repro.stability-monitor"
 SNAPSHOT_VERSION = 1
 
 
-def snapshot_monitor(monitor: "StabilityMonitor") -> dict:
+def snapshot_monitor(monitor: StabilityMonitor) -> dict:
     """The monitor's complete state as a JSON-serialisable payload.
 
     Raises
@@ -118,7 +118,7 @@ def snapshot_monitor(monitor: "StabilityMonitor") -> dict:
     }
 
 
-def _require(payload: dict, field: str, kind: type | tuple[type, ...]):
+def _require(payload: dict, field: str, kind: type | tuple[type, ...]) -> object:
     if field not in payload:
         raise SnapshotError(f"snapshot missing field {field!r}")
     value = payload[field]
@@ -130,7 +130,7 @@ def _require(payload: dict, field: str, kind: type | tuple[type, ...]):
     return value
 
 
-def _int_pairs(raw, field: str) -> list[tuple[int, float]]:
+def _int_pairs(raw: object, field: str) -> list[tuple[int, float]]:
     if not isinstance(raw, list) or any(
         not isinstance(pair, list) or len(pair) != 2 for pair in raw
     ):
@@ -138,7 +138,7 @@ def _int_pairs(raw, field: str) -> list[tuple[int, float]]:
     return [(int(a), b) for a, b in raw]
 
 
-def restore_monitor(payload: dict) -> "StabilityMonitor":
+def restore_monitor(payload: dict) -> StabilityMonitor:
     """Rebuild a monitor from a :func:`snapshot_monitor` payload.
 
     Raises
@@ -215,17 +215,14 @@ def restore_monitor(payload: dict) -> "StabilityMonitor":
     return monitor
 
 
-def save_snapshot(monitor: "StabilityMonitor", path: str | Path) -> Path:
+def save_snapshot(monitor: StabilityMonitor, path: str | Path) -> Path:
     """Write a monitor snapshot atomically (temp-then-rename)."""
     path = Path(path)
     payload = snapshot_monitor(monitor)
-    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-    tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
-    os.replace(tmp, path)
-    return path
+    return atomic_write_json(path, payload)
 
 
-def load_snapshot(path: str | Path) -> "StabilityMonitor":
+def load_snapshot(path: str | Path) -> StabilityMonitor:
     """Restore a monitor from a snapshot file.
 
     Raises

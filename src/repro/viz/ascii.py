@@ -159,7 +159,7 @@ def histogram(
     ]
     label_width = max(len(label) for label in label_pairs)
     lines = [title] if title else []
-    for label, count in zip(label_pairs, counts):
+    for label, count in zip(label_pairs, counts, strict=True):
         bar = "#" * (round(count / peak * width) if peak else 0)
         lines.append(f"{label.rjust(label_width)} |{bar} {count}")
     return "\n".join(lines)

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 import csv
-import json
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
+from repro.atomicio import atomic_write_json
 from repro.errors import ConfigError
 
 __all__ = ["write_series_csv", "write_series_json"]
@@ -54,4 +54,4 @@ def write_series_json(
     }
     if metadata:
         payload["metadata"] = dict(metadata)
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(path, payload, indent=2, sort_keys=False)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the static-analysis suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Finding, analyze_file, get_rule
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Lint a source snippet as if it lived at a given dotted module.
+
+    Returns the findings for one rule only, so fixture files can violate
+    other rules (e.g. TYP001) without polluting the assertion.
+    """
+
+    def run(source: str, *, module: str, rule: str) -> list[Finding]:
+        path = tmp_path / "fixture.py"
+        path.write_text(source)
+        return analyze_file(path, module=module, rules=[get_rule(rule)])
+
+    return run
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[2]

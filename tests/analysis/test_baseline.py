@@ -1,0 +1,108 @@
+"""Baseline file semantics: content-keyed matching and strict loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, Finding
+from repro.errors import SchemaError
+
+
+def _finding(**overrides) -> Finding:
+    base = {
+        "rule": "FLT001",
+        "path": "src/repro/core/x.py",
+        "line": 10,
+        "message": "float equality",
+        "suggestion": "isclose",
+        "line_text": "if x == 0.0:",
+    }
+    base.update(overrides)
+    return Finding(**base)
+
+
+def _entry(**overrides) -> BaselineEntry:
+    base = {
+        "rule": "FLT001",
+        "path": "src/repro/core/x.py",
+        "line_text": "if x == 0.0:",
+        "justification": "sentinel comparison",
+    }
+    base.update(overrides)
+    return BaselineEntry(**base)
+
+
+class TestMatching:
+    def test_matches_on_content_not_line_number(self):
+        entry = _entry()
+        assert entry.matches(_finding(line=10))
+        assert entry.matches(_finding(line=999))
+
+    def test_rule_path_and_text_must_all_match(self):
+        entry = _entry()
+        assert not entry.matches(_finding(rule="DET001"))
+        assert not entry.matches(_finding(path="src/repro/core/y.py"))
+        assert not entry.matches(_finding(line_text="if x == 1.0:"))
+
+    def test_split_reports_stale_entries(self):
+        baseline = Baseline(entries=(_entry(), _entry(path="gone.py")))
+        new, baselined, unused = baseline.split([_finding()])
+        assert new == []
+        assert len(baselined) == 1
+        assert [e.path for e in unused] == ["gone.py"]
+
+
+class TestLoading:
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline(entries=(_entry(),))
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(baseline.dumps())
+        assert Baseline.load(path) == baseline
+
+    def test_load_or_empty_on_missing_file(self, tmp_path):
+        assert Baseline.load_or_empty(tmp_path / "nope.json") == Baseline()
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated")
+        with pytest.raises(SchemaError, match="not valid JSON"):
+            Baseline.load(path)
+
+    def test_foreign_schema_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something-else", "version": 1}))
+        with pytest.raises(SchemaError, match="not a repro-lint-baseline"):
+            Baseline.load(path)
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {"schema": "repro-lint-baseline", "version": 99, "entries": []}
+            )
+        )
+        with pytest.raises(SchemaError, match="version"):
+            Baseline.load(path)
+
+    def test_missing_field_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro-lint-baseline",
+                    "version": 1,
+                    "entries": [{"rule": "FLT001", "path": "x.py"}],
+                }
+            )
+        )
+        with pytest.raises(SchemaError, match="missing field"):
+            Baseline.load(path)
+
+    def test_empty_justification_raises(self, tmp_path):
+        payload = Baseline(entries=(_entry(justification="  "),)).to_dict()
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SchemaError, match="justification"):
+            Baseline.load(path)

@@ -1,0 +1,130 @@
+"""Exit-code and output contracts of ``repro-attrition lint`` / ``-m``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cli import main
+
+
+def _clean_tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "clean.py").write_text("x = 1\n")
+    return pkg
+
+
+def _dirty_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text(
+        "import time\n\n\ndef stamp() -> float:\n    return time.time()\n"
+    )
+    return pkg
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        assert main([str(_clean_tree(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "0 new finding(s)" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        assert main([str(_dirty_tree(tmp_path)), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        assert main([str(_clean_tree(tmp_path)), "--rules", "NOPE999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_corrupt_baseline_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{nope")
+        code = main(
+            [str(_clean_tree(tmp_path)), "--baseline", str(bad)]
+        )
+        assert code == 2
+        assert "lint:" in capsys.readouterr().err
+
+
+class TestSelectionAndOutput:
+    def test_rules_filter_limits_the_run(self, tmp_path, capsys):
+        # The dirty tree violates DET002 (and TYP001-irrelevant here);
+        # restricting to FLT001 must come back clean.
+        code = main(
+            [str(_dirty_tree(tmp_path)), "--no-baseline", "--rules", "FLT001"]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "TYP001" in out
+
+    def test_json_output_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "findings.json"
+        code = main(
+            [
+                str(_dirty_tree(tmp_path)),
+                "--no-baseline",
+                "--format",
+                "json",
+                "--output",
+                str(artifact),
+            ]
+        )
+        assert code == 1
+        capsys.readouterr()
+        payload = json.loads(artifact.read_text())
+        assert payload["schema"] == "repro-lint-report"
+        assert any(f["rule"] == "DET002" for f in payload["new"])
+
+    def test_baseline_file_absorbs_findings(self, tmp_path, capsys):
+        tree = _dirty_tree(tmp_path)
+        # First run captures the finding, second run baselines it.
+        code = main(
+            [
+                str(tree),
+                "--no-baseline",
+                "--format",
+                "json",
+                "--output",
+                str(tmp_path / "report.json"),
+            ]
+        )
+        assert code == 1
+        capsys.readouterr()
+        report = json.loads((tmp_path / "report.json").read_text())
+        entries = [
+            {
+                "rule": f["rule"],
+                "path": f["path"],
+                "line_text": f["line_text"],
+                "justification": "fixture grandfathering",
+            }
+            for f in report["new"]
+        ]
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "schema": "repro-lint-baseline",
+                    "version": 1,
+                    "entries": entries,
+                }
+            )
+        )
+        assert main([str(tree), "--baseline", str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+
+class TestUmbrellaCli:
+    def test_lint_subcommand_is_wired(self, tmp_path, capsys):
+        from repro.cli import main as umbrella
+
+        code = umbrella(["lint", str(_clean_tree(tmp_path))])
+        assert code == 0
+        assert "0 new finding(s)" in capsys.readouterr().out

@@ -1,0 +1,194 @@
+"""Engine mechanics: registry, pragmas, parse failures, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    Baseline,
+    BaselineEntry,
+    Finding,
+    all_rules,
+    analyze_file,
+    get_rule,
+    iter_source_files,
+    run_analysis,
+)
+from repro.analysis.engine import Rule, _module_name, register_rule
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_standard_pack_is_registered(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == sorted(ids)
+        for expected in (
+            "DET001",
+            "DET002",
+            "ERR001",
+            "FLT001",
+            "IO001",
+            "OBS001",
+            "TYP001",
+        ):
+            assert expected in ids
+
+    def test_every_rule_documents_itself(self):
+        for rule in all_rules():
+            assert rule.summary, rule.rule_id
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ConfigError, match="unknown rule"):
+            get_rule("NOPE999")
+
+    def test_invalid_rule_id_is_rejected(self):
+        class Bad(Rule):
+            rule_id = "lowercase1"
+            summary = "bad"
+
+        with pytest.raises(ConfigError, match="invalid rule id"):
+            register_rule(Bad)
+
+    def test_duplicate_rule_id_is_rejected(self):
+        class Clone(Rule):
+            rule_id = "DET001"
+            summary = "duplicate"
+
+        with pytest.raises(ConfigError, match="duplicate rule id"):
+            register_rule(Clone)
+
+
+class TestModuleNaming:
+    @pytest.mark.parametrize(
+        ("path", "expected"),
+        [
+            ("src/repro/core/batch.py", "repro.core.batch"),
+            ("src/repro/__init__.py", "repro"),
+            ("repro/obs/trace.py", "repro.obs.trace"),
+            ("standalone.py", "standalone"),
+        ],
+    )
+    def test_inference(self, path, expected):
+        from pathlib import Path
+
+        assert _module_name(Path(path)) == expected
+
+
+class TestAnalyzeFile:
+    def test_syntax_error_becomes_syn000(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        findings = analyze_file(path, module="repro.core.broken")
+        assert len(findings) == 1
+        assert findings[0].rule == "SYN000"
+        assert "does not parse" in findings[0].message
+
+    def test_pragma_covers_multiple_rules(self, tmp_path):
+        path = tmp_path / "fixture.py"
+        path.write_text(
+            "import time\n"
+            "stamp = time.time()  # lint: allow[DET002, IO001] fixture\n"
+        )
+        findings = analyze_file(path, module="repro.core.fixture")
+        assert [f for f in findings if f.rule == "DET002"] == []
+
+    def test_pragma_does_not_cover_other_rules(self, tmp_path):
+        path = tmp_path / "fixture.py"
+        path.write_text(
+            "import time\n"
+            "stamp = time.time()  # lint: allow[FLT001] wrong rule\n"
+        )
+        findings = analyze_file(path, module="repro.core.fixture")
+        assert [f.rule for f in findings] == ["DET002"]
+
+    def test_iter_source_files_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "pkg" / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.pyc.py").write_text("x = 1\n")
+        found = list(iter_source_files([tmp_path]))
+        assert [p.name for p in found] == ["a.py"]
+
+    def test_iter_source_files_rejects_non_python(self, tmp_path):
+        target = tmp_path / "data.json"
+        target.write_text("{}")
+        with pytest.raises(ConfigError, match="not a Python file"):
+            list(iter_source_files([target]))
+
+
+class TestAnalysisReport:
+    def _finding(self, rule="DET001", line=3):
+        return Finding(
+            rule=rule,
+            path="src/repro/x.py",
+            line=line,
+            message="msg",
+            suggestion="fix",
+            line_text="x = bad()",
+        )
+
+    def test_clean_means_no_new_findings(self):
+        report = AnalysisReport(
+            new=(), baselined=(self._finding(),), unused_baseline=(), n_files=3
+        )
+        assert report.clean
+
+    def test_render_includes_findings_and_summary(self):
+        report = AnalysisReport(
+            new=(self._finding(),), baselined=(), unused_baseline=(), n_files=1
+        )
+        text = report.render()
+        assert "src/repro/x.py:3: DET001 msg (fix)" in text
+        assert "1 new finding(s)" in text
+
+    def test_stale_baseline_entries_are_called_out(self):
+        entry = BaselineEntry(
+            rule="FLT001",
+            path="src/repro/gone.py",
+            line_text="x == 0.0",
+            justification="was needed once",
+        )
+        report = AnalysisReport(
+            new=(), baselined=(), unused_baseline=(entry,), n_files=1
+        )
+        assert "no longer matches anything" in report.render()
+
+    def test_to_dict_is_json_schema_stable(self):
+        report = AnalysisReport(
+            new=(self._finding(),), baselined=(), unused_baseline=(), n_files=1
+        )
+        payload = report.to_dict()
+        assert payload["schema"] == "repro-lint-report"
+        assert payload["new"][0]["rule"] == "DET001"
+        assert payload["new"][0]["line"] == 3
+
+
+class TestRunAnalysis:
+    def test_baseline_absorbs_known_findings(self, tmp_path):
+        path = tmp_path / "fixture.py"
+        path.write_text("import time\nstamp = time.time()\n")
+        findings = analyze_file(path, module="repro.core.fixture")
+        (det,) = [f for f in findings if f.rule == "DET002"]
+        baseline = Baseline(
+            entries=(
+                BaselineEntry(
+                    rule=det.rule,
+                    path=det.path,
+                    line_text=det.line_text,
+                    justification="fixture",
+                ),
+            )
+        )
+        new, baselined, unused = baseline.split([det])
+        assert new == []
+        assert baselined == [det]
+        assert unused == []
+
+    def test_run_analysis_counts_files(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "b.py").write_text("y = 2\n")
+        report = run_analysis([tmp_path])
+        assert report.n_files == 2
+        assert report.clean

@@ -1,0 +1,49 @@
+"""The live tree obeys its own invariants, modulo the committed baseline.
+
+This is the in-suite mirror of CI's ``static-analysis`` job: linting
+``src/repro`` with the repo's ``lint-baseline.json`` must produce zero
+new findings and zero stale entries, and the baseline itself must stay
+small and justified (the grandfather list shrinks, it does not grow).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Baseline, run_analysis
+from repro.analysis.baseline import BASELINE_NAME
+
+#: Hard cap on grandfathered findings (PR acceptance criterion).
+MAX_BASELINE_ENTRIES = 5
+
+
+def test_src_repro_is_lint_clean(repo_root):
+    baseline = Baseline.load(repo_root / BASELINE_NAME)
+    report = run_analysis(
+        [repo_root / "src" / "repro"], baseline=baseline, root=repo_root
+    )
+    assert report.clean, "\n" + report.render()
+    assert report.unused_baseline == (), "\n" + report.render()
+    assert report.n_files > 50  # the sweep actually covered the tree
+
+
+def test_baseline_is_small_and_justified(repo_root):
+    baseline = Baseline.load(repo_root / BASELINE_NAME)
+    assert len(baseline.entries) <= MAX_BASELINE_ENTRIES
+    for entry in baseline.entries:
+        assert entry.justification.strip()
+        # Justifications must explain, not hand-wave.
+        assert len(entry.justification) >= 20, entry
+
+
+def test_fixture_suite_and_live_rules_agree(repo_root):
+    """Every registered rule is exercised by the fixture suite."""
+    from pathlib import Path
+
+    from repro.analysis import all_rules
+
+    fixtures = (
+        Path(__file__).parent / "test_rules.py"
+    ).read_text()
+    for rule in all_rules():
+        assert rule.rule_id in fixtures, (
+            f"{rule.rule_id} has no firing/silent fixture coverage"
+        )

@@ -1,0 +1,558 @@
+"""Per-rule fixtures: each rule fires on its violation and stays silent
+on the compliant twin.  The firing assertions are golden — rule id,
+line and message fragment — so a rule that drifts to a different node
+or wording fails loudly."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def _src(body: str) -> str:
+    return textwrap.dedent(body).lstrip("\n")
+
+
+class TestDET001UnseededRandomness:
+    def test_stdlib_random_module_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                import random
+
+                def pick() -> float:
+                    return random.random()
+                """
+            ),
+            module="repro.synth.streams",
+            rule="DET001",
+        )
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "DET001"
+        assert f.line == 4
+        assert "hidden global state" in f.message
+        assert "default_rng" in f.suggestion
+
+    def test_from_random_import_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                from random import choice
+
+                def pick(items: list) -> object:
+                    return choice(items)
+                """
+            ),
+            module="repro.synth.streams",
+            rule="DET001",
+        )
+        assert [f.line for f in findings] == [4]
+        assert "choice()" in findings[0].message
+
+    def test_numpy_legacy_api_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                import numpy as np
+
+                def noise(n: int) -> object:
+                    return np.random.rand(n)
+                """
+            ),
+            module="repro.core.batch",
+            rule="DET001",
+        )
+        assert len(findings) == 1
+        assert "legacy" in findings[0].message
+
+    def test_unseeded_default_rng_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                import numpy as np
+
+                def make_rng() -> object:
+                    return np.random.default_rng()
+                """
+            ),
+            module="repro.core.batch",
+            rule="DET001",
+        )
+        assert len(findings) == 1
+        assert "without a seed" in findings[0].message
+
+    def test_seeded_generator_is_silent(self, lint):
+        findings = lint(
+            _src(
+                """
+                import numpy as np
+
+                def make_rng(seed: int) -> object:
+                    return np.random.default_rng(seed)
+
+                def spawn(seed: int) -> object:
+                    return np.random.SeedSequence(seed).spawn(4)
+                """
+            ),
+            module="repro.core.batch",
+            rule="DET001",
+        )
+        assert findings == []
+
+    def test_outside_repro_is_out_of_scope(self, lint):
+        findings = lint(
+            "import random\nx = random.random()\n",
+            module="scripts.demo",
+            rule="DET001",
+        )
+        assert findings == []
+
+    def test_inline_pragma_suppresses(self, lint):
+        findings = lint(
+            _src(
+                """
+                import random
+
+                x = random.random()  # lint: allow[DET001] demo fixture
+                """
+            ),
+            module="repro.synth.streams",
+            rule="DET001",
+        )
+        assert findings == []
+
+
+class TestDET002WallClockRead:
+    def test_time_time_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                import time
+
+                def stamp() -> float:
+                    return time.time()
+                """
+            ),
+            module="repro.core.model",
+            rule="DET002",
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 4
+        assert "time.time()" in findings[0].message
+
+    def test_from_time_import_time_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                from time import time
+
+                def stamp() -> float:
+                    return time()
+                """
+            ),
+            module="repro.core.model",
+            rule="DET002",
+        )
+        assert len(findings) == 1
+
+    def test_datetime_now_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                import datetime
+
+                def stamp() -> object:
+                    return datetime.datetime.now()
+                """
+            ),
+            module="repro.eval.protocol",
+            rule="DET002",
+        )
+        assert len(findings) == 1
+
+    def test_perf_counter_is_fine_everywhere(self, lint):
+        findings = lint(
+            _src(
+                """
+                import time
+
+                def interval() -> float:
+                    return time.perf_counter()
+                """
+            ),
+            module="repro.core.model",
+            rule="DET002",
+        )
+        assert findings == []
+
+    def test_obs_layer_may_read_the_clock(self, lint):
+        source = "import time\nstamp = time.time()\n"
+        assert lint(source, module="repro.obs.manifest", rule="DET002") == []
+        assert (
+            lint(source, module="repro.runtime.executor", rule="DET002") == []
+        )
+        # ... but the rest of the runtime may not.
+        assert (
+            lint(source, module="repro.runtime.checkpoint", rule="DET002")
+            != []
+        )
+
+
+class TestIO001NonAtomicWrite:
+    def test_plain_write_in_runtime_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                def persist(path: str, text: str) -> None:
+                    with open(path, "w") as fh:
+                        fh.write(text)
+                """
+            ),
+            module="repro.runtime.journal",
+            rule="IO001",
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "IO001"
+        assert "atomic" in (findings[0].message + findings[0].suggestion)
+
+    def test_write_text_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                from pathlib import Path
+
+                def persist(path: Path, text: str) -> None:
+                    path.write_text(text)
+                """
+            ),
+            module="repro.obs.export",
+            rule="IO001",
+        )
+        assert len(findings) == 1
+
+    def test_inlined_replace_protocol_is_silent(self, lint):
+        findings = lint(
+            _src(
+                """
+                import os
+
+                def persist(path: str, text: str) -> None:
+                    tmp = path + ".tmp"
+                    with open(tmp, "w") as fh:
+                        fh.write(text)
+                    os.replace(tmp, path)
+                """
+            ),
+            module="repro.runtime.journal",
+            rule="IO001",
+        )
+        assert findings == []
+
+    def test_reads_are_silent(self, lint):
+        findings = lint(
+            _src(
+                """
+                def load(path: str) -> str:
+                    with open(path) as fh:
+                        return fh.read()
+                """
+            ),
+            module="repro.runtime.journal",
+            rule="IO001",
+        )
+        assert findings == []
+
+    def test_outside_durable_layers_is_out_of_scope(self, lint):
+        findings = lint(
+            _src(
+                """
+                def persist(path: str, text: str) -> None:
+                    with open(path, "w") as fh:
+                        fh.write(text)
+                """
+            ),
+            module="repro.viz.export",
+            rule="IO001",
+        )
+        assert findings == []
+
+
+class TestERR001ExceptionDiscipline:
+    def test_bare_except_fires_anywhere(self, lint):
+        findings = lint(
+            _src(
+                """
+                def risky() -> None:
+                    try:
+                        pass
+                    except:
+                        pass
+                """
+            ),
+            module="repro.viz.ascii",
+            rule="ERR001",
+        )
+        assert len(findings) == 1
+        assert "bare except" in findings[0].message
+
+    def test_swallowed_exception_in_runtime_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                def risky() -> None:
+                    try:
+                        pass
+                    except Exception:
+                        pass
+                """
+            ),
+            module="repro.runtime.executor",
+            rule="ERR001",
+        )
+        assert len(findings) == 1
+
+    def test_recorded_exception_in_runtime_is_silent(self, lint):
+        findings = lint(
+            _src(
+                """
+                def risky(errors: list) -> None:
+                    try:
+                        pass
+                    except Exception as exc:
+                        errors.append(str(exc))
+                """
+            ),
+            module="repro.runtime.executor",
+            rule="ERR001",
+        )
+        assert findings == []
+
+    def test_reraised_exception_is_silent(self, lint):
+        findings = lint(
+            _src(
+                """
+                def risky() -> None:
+                    try:
+                        pass
+                    except Exception as exc:
+                        raise RuntimeError("wrapped") from exc
+                """
+            ),
+            module="repro.runtime.checkpoint",
+            rule="ERR001",
+        )
+        assert findings == []
+
+    def test_base_exception_without_reraise_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                def risky() -> None:
+                    try:
+                        pass
+                    except BaseException:
+                        pass
+                """
+            ),
+            module="repro.core.model",
+            rule="ERR001",
+        )
+        assert len(findings) == 1
+
+    def test_base_exception_with_reraise_is_silent(self, lint):
+        findings = lint(
+            _src(
+                """
+                def risky(pool: object) -> None:
+                    try:
+                        pass
+                    except BaseException:
+                        pool.shutdown()
+                        raise
+                """
+            ),
+            module="repro.runtime.executor",
+            rule="ERR001",
+        )
+        assert findings == []
+
+
+class TestFLT001FloatEquality:
+    def test_float_literal_equality_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                def classify(x: float) -> bool:
+                    return x == 1.0
+                """
+            ),
+            module="repro.core.trend",
+            rule="FLT001",
+        )
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "FLT001"
+        assert f.line == 2
+        assert "float equality" in f.message
+        assert "isclose" in f.suggestion
+
+    def test_not_equal_fires_too(self, lint):
+        findings = lint(
+            "def f(x: float) -> bool:\n    return x != 0.5\n",
+            module="repro.eval.metrics",
+            rule="FLT001",
+        )
+        assert len(findings) == 1
+
+    def test_integer_equality_is_silent(self, lint):
+        findings = lint(
+            "def f(n: int) -> bool:\n    return n == 0\n",
+            module="repro.core.trend",
+            rule="FLT001",
+        )
+        assert findings == []
+
+    def test_ordering_comparisons_are_silent(self, lint):
+        findings = lint(
+            "def f(x: float) -> bool:\n    return x <= 1.0\n",
+            module="repro.core.trend",
+            rule="FLT001",
+        )
+        assert findings == []
+
+    def test_outside_core_eval_is_out_of_scope(self, lint):
+        findings = lint(
+            "def f(x: float) -> bool:\n    return x == 1.0\n",
+            module="repro.viz.ascii",
+            rule="FLT001",
+        )
+        assert findings == []
+
+
+class TestOBS001CanonicalInstrumentNames:
+    def test_unknown_metric_literal_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                from repro.obs import metrics as obs_metrics
+
+                def record() -> None:
+                    obs_metrics.get_metrics().counter("bogus.metric").inc()
+                """
+            ),
+            module="repro.runtime.checkpoint",
+            rule="OBS001",
+        )
+        assert len(findings) == 1
+        assert "'bogus.metric'" in findings[0].message
+        assert "taxonomy" in findings[0].message
+
+    def test_unknown_span_literal_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                from repro.obs import trace as obs_trace
+
+                def work() -> None:
+                    with obs_trace.span("bogus.span"):
+                        pass
+                """
+            ),
+            module="repro.core.engines",
+            rule="OBS001",
+        )
+        assert len(findings) == 1
+
+    def test_canonical_names_are_silent(self, lint):
+        findings = lint(
+            _src(
+                """
+                from repro.obs import metrics as obs_metrics
+                from repro.obs import trace as obs_trace
+
+                def record() -> None:
+                    registry = obs_metrics.get_metrics()
+                    registry.counter(obs_metrics.CHECKPOINT_HITS).inc()
+                    with obs_trace.span("executor.shard", shard=1):
+                        pass
+                """
+            ),
+            module="repro.runtime.checkpoint",
+            rule="OBS001",
+        )
+        assert findings == []
+
+    def test_nonexistent_constant_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                from repro.obs import metrics as obs_metrics
+
+                def record() -> None:
+                    obs_metrics.get_metrics().counter(
+                        obs_metrics.NO_SUCH_COUNTER
+                    ).inc()
+                """
+            ),
+            module="repro.runtime.checkpoint",
+            rule="OBS001",
+        )
+        assert len(findings) == 1
+        assert "NO_SUCH_COUNTER" in findings[0].message
+
+    def test_obs_package_itself_is_out_of_scope(self, lint):
+        findings = lint(
+            'x = __import__("repro.obs.trace").span("whatever.name")\n',
+            module="repro.obs.trace",
+            rule="OBS001",
+        )
+        assert findings == []
+
+
+class TestTYP001StrictAnnotations:
+    def test_unannotated_def_in_gated_module_fires(self, lint):
+        findings = lint(
+            "def f(x):\n    return x\n",
+            module="repro.core.model",
+            rule="TYP001",
+        )
+        assert len(findings) == 1
+        f = findings[0]
+        assert "f() is missing annotations" in f.message
+        assert "return type" in f.message
+        assert "x" in f.message
+
+    def test_missing_kwargs_annotation_fires(self, lint):
+        findings = lint(
+            "def f(x: int, **kw) -> int:\n    return x\n",
+            module="repro.obs.trace",
+            rule="TYP001",
+        )
+        assert len(findings) == 1
+        assert "**kw" in findings[0].message
+
+    def test_fully_annotated_is_silent(self, lint):
+        findings = lint(
+            _src(
+                """
+                class C:
+                    def method(self, x: int, *args: object) -> int:
+                        return x
+
+                    @classmethod
+                    def make(cls) -> "C":
+                        return cls()
+                """
+            ),
+            module="repro.runtime.snapshot",
+            rule="TYP001",
+        )
+        assert findings == []
+
+    def test_ungated_modules_are_out_of_scope(self, lint):
+        findings = lint(
+            "def f(x):\n    return x\n",
+            module="repro.viz.ascii",
+            rule="TYP001",
+        )
+        assert findings == []

@@ -1,0 +1,72 @@
+"""OBS001's taxonomy stays in lock-step with repro.obs.metrics.
+
+The rule checks instrument names against ``CANONICAL_METRIC_NAMES`` /
+``CANONICAL_SPAN_NAMES`` *live* (imported, not copied), so the only way
+the gate can rot is if the frozensets and the module's constants drift
+apart.  These tests pin that correspondence in both directions.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics as obs_metrics
+
+
+def _string_constants() -> dict[str, str]:
+    return {
+        name: value
+        for name, value in vars(obs_metrics).items()
+        if name.isupper()
+        and isinstance(value, str)
+        and not name.startswith("_")
+    }
+
+
+def test_every_metric_constant_is_canonical():
+    constants = _string_constants()
+    metric_names = {
+        v
+        for k, v in constants.items()
+        if k.startswith(("CHECKPOINT_", "SHARD_", "CELLS_", "STAGE_"))
+    }
+    assert metric_names <= obs_metrics.CANONICAL_METRIC_NAMES
+
+
+def test_every_span_constant_is_canonical():
+    constants = _string_constants()
+    span_names = {v for k, v in constants.items() if k.startswith("SPAN_")}
+    assert span_names <= obs_metrics.CANONICAL_SPAN_NAMES
+
+
+def test_canonical_sets_contain_only_declared_constants():
+    declared = set(_string_constants().values())
+    assert obs_metrics.CANONICAL_METRIC_NAMES <= declared
+    assert obs_metrics.CANONICAL_SPAN_NAMES <= declared
+
+
+def test_stage_names_are_valid_span_names_too():
+    """timed_stage() opens a span under the histogram's metric name."""
+    constants = _string_constants()
+    stage_names = {
+        v for k, v in constants.items() if k.startswith("STAGE_")
+    }
+    assert stage_names <= obs_metrics.CANONICAL_SPAN_NAMES
+
+
+def test_obs001_reads_the_taxonomy_live(tmp_path):
+    """Adding a constant to the module is enough — no rule edit needed."""
+    from repro.analysis import analyze_file, get_rule
+
+    source = (
+        "from repro.obs import metrics as obs_metrics\n"
+        "from repro.obs import trace as obs_trace\n"
+        "\n"
+        "def work() -> None:\n"
+    )
+    for name in sorted(obs_metrics.CANONICAL_SPAN_NAMES):
+        source += f"    with obs_trace.span({name!r}):\n        pass\n"
+    path = tmp_path / "all_spans.py"
+    path.write_text(source)
+    findings = analyze_file(
+        path, module="repro.core.fixture", rules=[get_rule("OBS001")]
+    )
+    assert findings == []

@@ -36,7 +36,7 @@ class TestExtractBehavioral:
     def test_includes_rfm_prefix(self, grid):
         history = _history([(0, [1], 3.0), (30, [1], 7.0)])
         features = extract_behavioral(1, history, grid, 4)
-        values = dict(zip(BEHAVIORAL_FEATURE_NAMES, features.as_array()))
+        values = dict(zip(BEHAVIORAL_FEATURE_NAMES, features.as_array(), strict=True))
         assert values["monetary_total"] == 10.0
         assert values["frequency_total"] == 2.0
 

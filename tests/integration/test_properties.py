@@ -93,7 +93,7 @@ class TestEngineEquivalence:
                 log, [customer]
             )
             slow = model.trajectory(customer).values()
-            for a, b in zip(fast, slow):
+            for a, b in zip(fast, slow, strict=True):
                 if math.isnan(b):
                     assert math.isnan(a)
                 else:

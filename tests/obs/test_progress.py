@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import logging
 
+import pytest
+
 from repro.obs.progress import NULL_PROGRESS, ProgressReporter, progress
 
 
@@ -75,12 +77,12 @@ class TestProgressReporter:
 
     def test_context_manager_finishes_on_clean_exit_only(self, caplog):
         reporter, _ = _reporter(1, caplog)
-        with caplog.at_level(logging.INFO, logger="test.progress"):
-            try:
-                with reporter:
-                    raise RuntimeError("interrupted sweep")
-            except RuntimeError:
-                pass
+        with (
+            caplog.at_level(logging.INFO, logger="test.progress"),
+            pytest.raises(RuntimeError),
+            reporter,
+        ):
+            raise RuntimeError("interrupted sweep")
         assert "finished" not in caplog.text
 
 

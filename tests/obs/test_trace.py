@@ -27,9 +27,8 @@ from repro.obs.trace import (
 class TestTracer:
     def test_nesting_records_children_before_parents(self):
         tracer = Tracer()
-        with tracer.span("outer", level=1):
-            with tracer.span("inner"):
-                pass
+        with tracer.span("outer", level=1), tracer.span("inner"):
+            pass
         names = [r.name for r in tracer.records]
         assert names == ["inner", "outer"]
         inner, outer = tracer.records
@@ -48,9 +47,8 @@ class TestTracer:
 
     def test_exception_tags_the_span_and_propagates(self):
         tracer = Tracer()
-        with pytest.raises(ValueError):
-            with tracer.span("failing"):
-                raise ValueError("boom")
+        with pytest.raises(ValueError), tracer.span("failing"):
+            raise ValueError("boom")
         record = tracer.records[0]
         assert record.attrs["error"] == "ValueError"
         assert not tracer._stack  # the stack unwound cleanly
@@ -92,9 +90,8 @@ class TestActiveTracer:
 class TestMerge:
     def test_merge_preserves_internal_links_and_reparents_roots(self):
         worker = Tracer()
-        with worker.span("root"):
-            with worker.span("child"):
-                pass
+        with worker.span("root"), worker.span("child"):
+            pass
         parent = Tracer()
         with parent.span("sweep") as sweep:
             adopted = parent.merge(worker.to_dicts())
@@ -122,9 +119,8 @@ class TestMerge:
 class TestJsonlRoundTrip:
     def test_round_trip_is_lossless(self, tmp_path):
         tracer = Tracer()
-        with tracer.span("outer", n=3):
-            with tracer.span("inner"):
-                pass
+        with tracer.span("outer", n=3), tracer.span("inner"):
+            pass
         path = write_trace_jsonl(tmp_path / "trace.jsonl", tracer.records)
         revived = read_trace_jsonl(path)
         assert revived == list(tracer.records)

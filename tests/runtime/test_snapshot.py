@@ -35,7 +35,7 @@ def _assert_reports_equal(
     left: list[WindowCloseReport], right: list[WindowCloseReport]
 ) -> None:
     assert len(left) == len(right)
-    for a, b in zip(left, right):
+    for a, b in zip(left, right, strict=True):
         assert a.window_index == b.window_index
         assert a.alarms == b.alarms
         assert set(a.stabilities) == set(b.stabilities)
