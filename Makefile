@@ -1,7 +1,7 @@
 # Developer entry points. The offline environment lacks the `wheel`
 # package, so `install` uses the legacy setuptools path.
 
-.PHONY: install test test-faults lint typecheck trace-demo bench bench-pytest examples figures all clean
+.PHONY: install test test-faults lint typecheck trace-demo bench bench-pytest bench-slab-smoke examples figures all clean
 
 install:
 	python setup.py develop
@@ -44,6 +44,12 @@ bench:
 
 bench-pytest:
 	pytest benchmarks/ --benchmark-only
+
+# Fast out-of-core smoke cell: 1k customers, mmap-vs-in-RAM differential
+# plus an absolute traced-peak budget (also the CI bench-smoke job).
+bench-slab-smoke:
+	REPRO_SLAB_SIZES=1000 REPRO_SLAB_PEAK_BUDGET_MB=256 \
+		pytest benchmarks/bench_slab_grid.py --benchmark-only -q
 
 examples:
 	@for script in examples/*.py; do \

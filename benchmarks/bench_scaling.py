@@ -18,11 +18,13 @@ from __future__ import annotations
 from pathlib import Path
 
 from benchmarks.conftest import save_artifact
-from repro.core.model import BACKENDS, StabilityModel
+from repro.config import ExperimentConfig
+from repro.core.engines import available_engines
+from repro.core.model import StabilityModel
 from repro.eval.benchmarking import (
+    merge_scaling_json,
     render_scaling,
     scaling_telemetry,
-    write_scaling_json,
 )
 from repro.synth import ScenarioConfig, generate_dataset
 
@@ -35,16 +37,18 @@ SEED = 13
 
 
 def _fit_stability(dataset, backend: str = "incremental"):
-    model = StabilityModel(
-        dataset.calendar, window_months=2, alpha=2.0, backend=backend
+    model = StabilityModel.from_config(
+        dataset.calendar,
+        ExperimentConfig(window_months=2, alpha=2.0, backend=backend),
     )
     model.fit(dataset.log)
     return model
 
 
 def test_stability_fit_scaling(benchmark, output_dir):
+    backends = available_engines()
     telemetry = scaling_telemetry(
-        sizes=SIZES, seed=SEED, backends=BACKENDS, repeat=3
+        sizes=SIZES, seed=SEED, backends=backends, repeat=3
     )
     text = "\n".join(
         [
@@ -53,7 +57,7 @@ def test_stability_fit_scaling(benchmark, output_dir):
         ]
     )
     save_artifact(output_dir, "scaling.txt", text)
-    write_scaling_json(TELEMETRY_PATH, telemetry)
+    merge_scaling_json(TELEMETRY_PATH, telemetry)
 
     # The timed benchmark: the batch backend on the largest population.
     largest = generate_dataset(
@@ -65,7 +69,7 @@ def test_stability_fit_scaling(benchmark, output_dir):
 
     # Linearity: per-customer cost must not blow up with population size,
     # for any backend.
-    for name in BACKENDS:
+    for name in backends:
         per_customer = [
             entry["backends"][name]["ms_per_customer"]
             for entry in telemetry["results"]

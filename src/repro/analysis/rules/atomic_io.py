@@ -10,9 +10,12 @@ write-to-temp + ``os.replace``, packaged once as
 
 IO001 flags direct write-mode ``open`` / ``Path.open`` calls,
 ``write_text`` / ``write_bytes``, and streaming ``json.dump`` in the
-persistence layers (``repro.runtime``, ``repro.obs``) unless the
-enclosing function itself performs the rename (calls ``os.replace``),
-i.e. *is* an inlined atomic writer.
+persistence layers (``repro.runtime``, ``repro.obs``, and the on-disk
+slab store ``repro.data.slabs``) unless the enclosing function itself
+performs the rename (calls ``os.replace``), i.e. *is* an inlined atomic
+writer.  Streamed artifacts too large to assemble in memory route
+through :class:`repro.atomicio.AtomicBinaryWriter`, which carries the
+same temp-then-rename guarantee.
 """
 
 from __future__ import annotations
@@ -101,12 +104,14 @@ class NonAtomicWrite(Rule):
 
     rule_id = "IO001"
     summary = (
-        "runtime/obs writes go through repro.atomicio (write-temp-then-"
-        "rename); a torn artifact must be impossible"
+        "runtime/obs/slab-store writes go through repro.atomicio (write-"
+        "temp-then-rename); a torn artifact must be impossible"
     )
 
     def applies(self, ctx: FileContext) -> bool:
-        return ctx.module.startswith(("repro.runtime", "repro.obs"))
+        return ctx.module.startswith(
+            ("repro.runtime", "repro.obs", "repro.data.slabs")
+        )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         collector = _ScopeCollector()

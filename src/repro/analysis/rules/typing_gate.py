@@ -24,7 +24,9 @@ from repro.analysis.findings import Finding
 __all__ = ["StrictAnnotations", "GATED_MODULES", "GATED_PREFIXES"]
 
 #: Modules gated exactly.
-GATED_MODULES = frozenset({"repro.config", "repro.errors", "repro.atomicio"})
+GATED_MODULES = frozenset(
+    {"repro.config", "repro.errors", "repro.atomicio", "repro.data.slabs"}
+)
 #: Package prefixes gated recursively.
 GATED_PREFIXES = ("repro.core", "repro.runtime", "repro.obs", "repro.analysis")
 

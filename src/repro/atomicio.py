@@ -19,8 +19,10 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+from types import TracebackType
+from typing import BinaryIO
 
-__all__ = ["atomic_write_text", "atomic_write_json"]
+__all__ = ["atomic_write_text", "atomic_write_json", "AtomicBinaryWriter"]
 
 
 def atomic_write_text(path: str | Path, text: str) -> Path:
@@ -61,3 +63,70 @@ def atomic_write_json(
     """
     text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
     return atomic_write_text(path, text)
+
+
+class AtomicBinaryWriter:
+    """Streamed binary writes with the same temp-then-rename guarantee.
+
+    For artifacts too large to assemble in memory (the memory-mapped
+    slab columns): bytes stream into a same-directory temp file and the
+    target name only ever comes into existence — complete — on
+    :meth:`commit` (fsync + ``os.replace``).  :meth:`abort` (or an
+    exception inside the ``with`` block) removes the temp file and
+    leaves any previous target untouched.  May be used as a context
+    manager (commits on clean exit) or held open across a longer build
+    loop with an explicit ``commit()``/``abort()``.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._tmp = self.path.with_name(f".{self.path.name}.tmp-{os.getpid()}")
+        self._handle: BinaryIO | None = open(self._tmp, "wb")
+        self.nbytes = 0
+
+    def write(self, data: bytes) -> int:
+        """Append raw bytes; returns the number written."""
+        if self._handle is None:
+            raise ValueError(f"writer for {self.path} is already closed")
+        written = self._handle.write(data)
+        self.nbytes += written
+        return written
+
+    def commit(self) -> Path:
+        """Flush, fsync and atomically rename the temp file into place."""
+        if self._handle is None:
+            raise ValueError(f"writer for {self.path} is already closed")
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            os.replace(self._tmp, self.path)
+        except OSError:
+            self._handle = None
+            self._tmp.unlink(missing_ok=True)
+            raise
+        self._handle = None
+        return self.path
+
+    def abort(self) -> None:
+        """Discard everything written; the previous target survives."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._tmp.unlink(missing_ok=True)
+
+    def __enter__(self) -> AtomicBinaryWriter:
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+        return False

@@ -267,6 +267,21 @@ def build_parser() -> argparse.ArgumentParser:
             "(0 disables it)"
         ),
     )
+    bench.add_argument(
+        "--slab-sizes",
+        type=int,
+        nargs="*",
+        default=None,
+        help=(
+            "total-customer sizes for the out-of-core slab grid "
+            "(mmap vs in-RAM; omit to skip, e.g. --slab-sizes 1000 10000 100000)"
+        ),
+    )
+    bench.add_argument(
+        "--slab-million",
+        action="store_true",
+        help="append a 1,000,000-customer cell to the slab grid (slow)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -546,6 +561,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         render_scaling,
         resilience_telemetry,
         scaling_telemetry,
+        slab_grid_telemetry,
         telemetry_overhead,
         write_scaling_json,
     )
@@ -574,6 +590,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.telemetry_size > 0:
         telemetry["telemetry_overhead"] = telemetry_overhead(
             size=args.telemetry_size, seed=args.seed, repeat=args.repeat
+        )
+    slab_sizes = list(args.slab_sizes) if args.slab_sizes else []
+    if args.slab_million:
+        slab_sizes.append(1_000_000)
+    if slab_sizes:
+        telemetry["slab_grid"] = slab_grid_telemetry(
+            sizes=tuple(slab_sizes), seed=args.seed
         )
     print(f"stability fit scaling (best-of-{args.repeat} wall clock)")
     print(render_scaling(telemetry))

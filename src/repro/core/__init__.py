@@ -13,9 +13,7 @@ Layered exactly as Section 2 of the paper:
 
 from repro.core.batch import (
     BatchStability,
-    PopulationWindows,
     batch_churn_scores,
-    encode_population,
     significance_from_counts,
     stability_matrix,
 )
@@ -32,6 +30,7 @@ from repro.core.engines import (
     EngineFit,
     FitSpec,
     available_engines,
+    frame_windowed_history,
     get_engine,
     register_engine,
 )
@@ -42,7 +41,7 @@ from repro.core.explanation import (
     explain_trajectory,
     explain_window,
 )
-from repro.core.model import BACKENDS, StabilityModel
+from repro.core.model import StabilityModel
 from repro.core.significance import (
     COUNTING_SCHEMES,
     validate_alpha,
@@ -62,17 +61,15 @@ from repro.core.windowing import Window, WindowGrid, windowed_history
 
 __all__ = [
     "Alarm",
-    "BACKENDS",
     "BatchStability",
     "COUNTING_SCHEMES",
     "EngineFit",
     "FitSpec",
-    "PopulationWindows",
     "available_engines",
+    "frame_windowed_history",
     "get_engine",
     "register_engine",
     "batch_churn_scores",
-    "encode_population",
     "significance_from_counts",
     "stability_matrix",
     "validate_alpha",

@@ -9,8 +9,7 @@ whole-population throughput rather than per-customer clarity:
   triples grouped CSR-style by ``(customer, item)`` pair — the
   :class:`~repro.data.population.PopulationFrame` data plane, which
   since its promotion to :mod:`repro.data` also feeds the evaluation
-  protocol and the RFM baselines (``PopulationWindows`` remains as a
-  deprecated alias);
+  protocol and the RFM baselines;
 * significance and stability for **all customers × all windows** come out
   of a handful of numpy segment operations
   (:func:`stability_matrix`): per-pair shifted cumulative presence
@@ -26,7 +25,15 @@ whole-population throughput rather than per-customer clarity:
   worker dies (OOM kill, pickling failure, timeout) is retried with
   backoff and finally recomputed serially in-process, so the fit always
   completes with bit-identical results and an attached
-  :class:`~repro.runtime.executor.ExecutionReport`.
+  :class:`~repro.runtime.executor.ExecutionReport`;
+* a frame memory-mapped from an on-disk slab store
+  (:meth:`PopulationFrame.from_slabs`, ``store_path`` set) fits
+  **out-of-core**: the serial path runs the kernel one store shard at a
+  time so the dense per-shard matrices are the only transient
+  allocation, and the sharded path sends workers a slab *reference*
+  (store path + customer row range) instead of a pickled frame — each
+  worker maps the store itself, keeping fork/spawn payloads and
+  per-worker RSS flat as the population grows.
 
 Like :mod:`repro.core.vectorized`, only the exponential significance and
 the ``"paper"`` counting scheme are supported; anything else stays on the
@@ -56,9 +63,7 @@ from repro.runtime.faults import FaultPlan
 
 __all__ = [
     "PopulationFrame",
-    "PopulationWindows",
     "BatchStability",
-    "encode_population",
     "stability_matrix",
     "batch_churn_scores",
     "significance_from_counts",
@@ -109,25 +114,6 @@ def _segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     if nonempty.any():
         out[nonempty] = np.add.reduceat(values, starts[nonempty], axis=0)
     return out
-
-
-#: Deprecated alias: the CSR population encoding now lives in
-#: :class:`repro.data.population.PopulationFrame`.
-PopulationWindows = PopulationFrame
-
-
-def encode_population(
-    log: TransactionLog,
-    grid: WindowGrid,
-    customers: Iterable[int] | None = None,
-) -> PopulationFrame:
-    """Windowed presence triples for a whole population, in one pass.
-
-    Deprecated alias of :meth:`PopulationFrame.from_log
-    <repro.data.population.PopulationFrame.from_log>`, kept for one
-    release.
-    """
-    return PopulationFrame.from_log(log, grid, customers)
 
 
 @dataclass(frozen=True)
@@ -196,6 +182,73 @@ def _shard_worker(
     return _stability_kernel(population, alpha)
 
 
+def _stack_parts(
+    parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate per-shard ``(stability, kept, total)`` row blocks."""
+    return (
+        np.vstack([p[0] for p in parts]),
+        np.vstack([p[1] for p in parts]),
+        np.vstack([p[2] for p in parts]),
+    )
+
+
+def _clip_bounds(
+    bounds: list[tuple[int, int]], lo: int, hi: int
+) -> list[tuple[int, int]]:
+    """The store shard ranges intersected with customer rows ``[lo, hi)``."""
+    clipped = [
+        (max(b_lo, lo), min(b_hi, hi))
+        for b_lo, b_hi in bounds
+        if min(b_hi, hi) > max(b_lo, lo)
+    ]
+    return clipped or ([(lo, hi)] if hi > lo else [])
+
+
+def _out_of_core_kernel(
+    population: PopulationFrame, alpha: float, lo: int, hi: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The kernel over rows ``[lo, hi)`` of a slab-backed frame, chunked.
+
+    Runs one store shard at a time so the dense significance/presence
+    matrices — the fit's dominant allocation — never exceed one shard's
+    worth; the memory-mapped columns page in and out underneath.  Row
+    blocks concatenate to exactly the single-kernel result because
+    customers are independent and :func:`_segment_sum` reduces each
+    customer's segment in isolation.
+    """
+    from repro.data.slabs import open_slab_store
+
+    assert population.store_path is not None
+    store = open_slab_store(population.store_path)
+    bounds = _clip_bounds(store.shard_bounds(), lo, hi)
+    if not bounds:
+        return _stability_kernel(population.shard(lo, hi), alpha)
+    return _stack_parts(
+        [
+            _stability_kernel(population.shard(b_lo, b_hi), alpha)
+            for b_lo, b_hi in bounds
+        ]
+    )
+
+
+def _slab_shard_worker(
+    args: tuple[str, int, int, float],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Worker entry for slab-reference tasks: map the store, fit a range.
+
+    The task is ``(store_path, lo, hi, alpha)`` — a few hundred bytes on
+    the wire regardless of population size.  The worker memory-maps the
+    store itself and chunks over its shard layout, so worker RSS is
+    bounded by one store shard, not the task's whole row range.
+    """
+    store_path, lo, hi, alpha = args
+    from repro.data.slabs import open_slab_store
+
+    frame = open_slab_store(store_path).frame()
+    return _out_of_core_kernel(frame, alpha, lo, hi)
+
+
 def _resolve_n_jobs(n_jobs: int | None) -> int:
     if n_jobs is None:
         return 1
@@ -212,6 +265,19 @@ def _shard_tasks(
     bounds = np.linspace(0, population.n_customers, n_jobs + 1).astype(int)
     return [
         (population.shard(int(lo), int(hi)), alpha)
+        for lo, hi in zip(bounds[:-1], bounds[1:], strict=True)
+        if hi > lo
+    ]
+
+
+def _slab_shard_tasks(
+    population: PopulationFrame, alpha: float, n_jobs: int
+) -> list[tuple[str, int, int, float]]:
+    """Slab-reference tasks: ``(store_path, lo, hi, alpha)`` per worker."""
+    assert population.store_path is not None
+    bounds = np.linspace(0, population.n_customers, n_jobs + 1).astype(int)
+    return [
+        (population.store_path, int(lo), int(hi), alpha)
         for lo, hi in zip(bounds[:-1], bounds[1:], strict=True)
         if hi > lo
     ]
@@ -244,22 +310,36 @@ def stability_matrix(
     validate_alpha(alpha)
     n_jobs = _resolve_n_jobs(n_jobs)
     n_customers = population.n_customers
+    slab_backed = population.store_path is not None
     with span("fit.batch", customers=n_customers, n_jobs=n_jobs):
         if n_jobs <= 1 or n_customers < 2 * n_jobs:
-            stability, kept, total = _stability_kernel(population, alpha)
+            if slab_backed:
+                stability, kept, total = _out_of_core_kernel(
+                    population, alpha, 0, n_customers
+                )
+            else:
+                stability, kept, total = _stability_kernel(population, alpha)
             return BatchStability(population, stability, kept, total)
-        shards = _shard_tasks(population, alpha, n_jobs)
-        parts, report = run_sharded(
-            _shard_worker,
-            shards,
-            max_workers=len(shards),
-            retries=retries,
-            timeout=shard_timeout,
-            fault_plan=fault_plan,
-        )
-        stability = np.vstack([p[0] for p in parts])
-        kept = np.vstack([p[1] for p in parts])
-        total = np.vstack([p[2] for p in parts])
+        if slab_backed:
+            parts, report = run_sharded(
+                _slab_shard_worker,
+                _slab_shard_tasks(population, alpha, n_jobs),
+                max_workers=n_jobs,
+                retries=retries,
+                timeout=shard_timeout,
+                fault_plan=fault_plan,
+            )
+        else:
+            shards = _shard_tasks(population, alpha, n_jobs)
+            parts, report = run_sharded(
+                _shard_worker,
+                shards,
+                max_workers=len(shards),
+                retries=retries,
+                timeout=shard_timeout,
+                fault_plan=fault_plan,
+            )
+        stability, kept, total = _stack_parts(parts)
     return BatchStability(population, stability, kept, total, execution=report)
 
 
@@ -302,7 +382,7 @@ def batch_churn_scores(
             f"window index {window_index} out of range [0, {grid.n_windows})"
         )
     validate_alpha(alpha)
-    population = encode_population(log, grid, customers)
+    population = PopulationFrame.from_log(log, grid, customers)
     pair_rows = population.pair_rows()
     before = population.triple_window < window_index
     prior = np.bincount(

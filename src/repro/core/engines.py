@@ -37,15 +37,18 @@ from repro.core.stability import (
     stability_trajectory,
 )
 from repro.core.vectorized import _vectorized_masses
-from repro.core.windowing import windowed_history
+from repro.core.windowing import Window, windowed_history
 from repro.data.population import PopulationFrame
 from repro.errors import ConfigError
 from repro.obs import span
+
+import numpy as np
 
 __all__ = [
     "FitSpec",
     "EngineFit",
     "StabilityEngine",
+    "frame_windowed_history",
     "register_engine",
     "get_engine",
     "available_engines",
@@ -121,14 +124,49 @@ def _require_serial(spec: FitSpec, name: str) -> None:
         )
 
 
-def _require_log(frame: PopulationFrame, name: str) -> None:
-    if frame.log is None:
-        raise ConfigError(
-            f"backend {name!r} needs the frame's source log, but this "
-            "PopulationFrame carries none (shards drop it); fit from a "
-            "frame built by PopulationFrame.from_log"
+def frame_windowed_history(frame: PopulationFrame, row: int) -> list[Window]:
+    """One customer's windowed database ``D_i^w`` rebuilt from the columns.
+
+    The log-free equivalent of :func:`~repro.core.windowing.windowed_history`
+    for frames that carry no source log (slab-backed frames, shards):
+    per-window item sets come from the presence triples, basket counts
+    and monetary totals from the basket columns.  The basket columns are
+    day-sorted with ties in history order, so the sequential monetary
+    accumulation reproduces the log path's float-for-float.
+    """
+    grid = frame.grid
+    item_sets = frame.window_items(row)
+    lo, hi = int(frame.basket_offsets[row]), int(frame.basket_offsets[row + 1])
+    days = frame.basket_days[lo:hi]
+    monetary = frame.basket_monetary[lo:hi]
+    windows: list[Window] = []
+    for k in range(grid.n_windows):
+        begin, end = grid.bounds(k)
+        b_lo = int(np.searchsorted(days, begin, side="left"))
+        b_hi = int(np.searchsorted(days, end, side="left"))
+        total = 0.0
+        for value in monetary[b_lo:b_hi]:
+            total += float(value)
+        windows.append(
+            Window(
+                index=k,
+                begin_day=begin,
+                end_day=end,
+                items=item_sets[k],
+                n_baskets=b_hi - b_lo,
+                monetary=total,
+            )
         )
-    return frame.log
+    return windows
+
+
+def _customer_windows(
+    frame: PopulationFrame, row: int, customer_id: int
+) -> list[Window]:
+    """Windowed history via the source log when present, else the columns."""
+    if frame.log is not None:
+        return windowed_history(frame.log.history(customer_id), frame.grid)
+    return frame_windowed_history(frame, row)
 
 
 class IncrementalEngine:
@@ -140,12 +178,11 @@ class IncrementalEngine:
         _require_serial(spec, self.name)
 
     def fit(self, frame: PopulationFrame, spec: FitSpec) -> EngineFit:
-        log = _require_log(frame, self.name)
         trajectories: dict[int, StabilityTrajectory] = {}
         with span("engine.fit", engine=self.name, customers=frame.n_customers):
-            for customer_id in frame.customer_ids:
+            for row, customer_id in enumerate(frame.customer_ids):
                 cid = int(customer_id)
-                windows = windowed_history(log.history(cid), frame.grid)
+                windows = _customer_windows(frame, row, cid)
                 trajectories[cid] = stability_trajectory(
                     cid,
                     windows,
@@ -166,13 +203,12 @@ class VectorizedEngine:
         _require_serial(spec, self.name)
 
     def fit(self, frame: PopulationFrame, spec: FitSpec) -> EngineFit:
-        log = _require_log(frame, self.name)
         alpha = spec.significance.alpha  # type: ignore[attr-defined]
         trajectories: dict[int, StabilityTrajectory] = {}
         with span("engine.fit", engine=self.name, customers=frame.n_customers):
-            for customer_id in frame.customer_ids:
+            for row, customer_id in enumerate(frame.customer_ids):
                 cid = int(customer_id)
-                windows = windowed_history(log.history(cid), frame.grid)
+                windows = _customer_windows(frame, row, cid)
                 stability, kept, total = _vectorized_masses(windows, alpha=alpha)
                 trajectories[cid] = StabilityTrajectory(
                     customer_id=cid,

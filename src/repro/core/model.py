@@ -30,7 +30,7 @@ import numpy as np
 from repro.config import ExperimentConfig
 from repro.core.batch import BatchStability
 from repro.core.detector import Alarm, ThresholdDetector
-from repro.core.engines import FitSpec, available_engines, get_engine
+from repro.core.engines import FitSpec, frame_windowed_history, get_engine
 from repro.core.explanation import DropExplanation, explain_window
 from repro.core.significance import ExponentialSignificance, SignificanceFunction
 from repro.core.stability import (
@@ -47,11 +47,7 @@ from repro.errors import ConfigError, DataError, NotFittedError
 if TYPE_CHECKING:
     from repro.runtime.executor import ExecutionReport
 
-__all__ = ["StabilityModel", "BACKENDS"]
-
-#: Deprecated alias of :func:`repro.core.engines.available_engines`;
-#: kept for one release.
-BACKENDS = available_engines()
+__all__ = ["StabilityModel"]
 
 
 class StabilityModel:
@@ -63,54 +59,35 @@ class StabilityModel:
         Study calendar the transaction log's day offsets refer to.
     window_months:
         Window span ``w`` in whole months (the paper uses 2).
-        Deprecated in favour of ``config``.
     alpha:
         Base of the exponential significance rule (the paper uses 2).
-        Ignored when ``significance`` is given explicitly.  Deprecated in
-        favour of ``config``.
+        Ignored when ``significance`` is given explicitly.
     significance:
         Custom significance rule; overrides ``alpha``.
-    counting:
-        Absence-counting scheme, see
-        :class:`~repro.core.significance.SignificanceTracker`.
-        Deprecated in favour of ``config``.
     item_weights:
         Optional per-item weights (e.g. segment prices) producing
         revenue-weighted stability; see
         :func:`~repro.core.stability.stability_trajectory`.
-    backend:
-        Name of a registered fit/score engine
-        (:mod:`repro.core.engines`).  Deprecated in favour of ``config``:
-
-        * ``"incremental"`` (default) — the flexible per-customer engine;
-          supports every significance rule, counting scheme and item
-          weighting, and keeps full per-window significance snapshots.
-        * ``"vectorized"`` — per-customer numpy kernel
-          (:mod:`repro.core.vectorized`).
-        * ``"batch"`` — the population-scale engine
-          (:mod:`repro.core.batch`): the whole log is encoded once into
-          a columnar :class:`~repro.data.population.PopulationFrame` and
-          all customers × all windows are computed in a handful of numpy
-          segment operations.
-
-        The numpy backends support only the paper's exponential
-        significance with the ``"paper"`` counting scheme and no item
-        weights (a :class:`~repro.errors.ConfigError` otherwise).  Their
-        stability values agree exactly with the incremental engine
-        (differentially tested); their trajectories materialise lazily
-        and carry window item sets but not per-window significance
-        snapshots or basket counts — :meth:`explain` transparently
-        recomputes the needed snapshots through the incremental engine.
-    n_jobs:
-        Number of worker processes for ``backend="batch"`` fits (``-1``
-        = all cores).  The customer axis is sharded across a
-        ``ProcessPoolExecutor``; results are identical to ``n_jobs=1``.
-        Deprecated in favour of ``config``.
     config:
         The validated :class:`~repro.config.ExperimentConfig` carrying
         ``window_months`` / ``alpha`` / ``backend`` / ``n_jobs`` /
-        ``counting`` in one object.  When given, the individual keyword
-        arguments above must be left at their defaults.
+        ``counting`` in one object.  When given, ``window_months`` and
+        ``alpha`` must be left at their defaults.
+
+        Engine selection lives on the config: ``backend`` names a
+        registered fit/score engine (:mod:`repro.core.engines`) —
+        ``"incremental"`` (default, flexible, every significance rule /
+        counting scheme / item weighting, full per-window significance
+        snapshots), ``"vectorized"`` (per-customer numpy kernel) or
+        ``"batch"`` (population-scale columnar engine, optionally
+        sharded over ``n_jobs`` worker processes).  The numpy backends
+        support only the paper's exponential significance with the
+        ``"paper"`` counting scheme and no item weights
+        (a :class:`~repro.errors.ConfigError` otherwise); their
+        stability values agree exactly with the incremental engine
+        (differentially tested), and :meth:`explain` transparently
+        recomputes missing significance snapshots through the
+        incremental engine.
 
     Examples
     --------
@@ -131,17 +108,14 @@ class StabilityModel:
         window_months: int = 2,
         alpha: float = 2.0,
         significance: SignificanceFunction | None = None,
-        counting: str = "paper",
         item_weights: dict[int, float] | None = None,
-        backend: str = "incremental",
-        n_jobs: int = 1,
         config: ExperimentConfig | None = None,
     ) -> None:
         if config is None:
-            # Legacy keyword-argument shim (deprecated, one release):
-            # fold the loose kwargs into the canonical config.  When a
-            # non-exponential rule is supplied, alpha is meaningless —
-            # keep the config's default so it cannot trip validation.
+            # Convenience construction: fold the loose kwargs into the
+            # canonical config.  When a non-exponential rule is supplied,
+            # alpha is meaningless — keep the config's default so it
+            # cannot trip validation.
             if significance is not None and not isinstance(
                 significance, ExponentialSignificance
             ):
@@ -151,9 +125,6 @@ class StabilityModel:
             config = ExperimentConfig(
                 window_months=window_months,
                 alpha=alpha,
-                backend=backend,
-                n_jobs=n_jobs,
-                counting=counting,
             )
         self.config = config
         self.calendar = calendar
@@ -409,10 +380,17 @@ class StabilityModel:
         self.trajectory(customer_id)  # validates fitted state + customer id
         key = (customer_id, self.config)
         if key not in self._snapshot_cache:
-            assert self._fit_log is not None
-            windows = windowed_history(
-                self._fit_log.history(customer_id), self.grid
-            )
+            if self._fit_log is not None:
+                windows = windowed_history(
+                    self._fit_log.history(customer_id), self.grid
+                )
+            else:
+                # Log-less fit (slab-backed / sharded frame): rebuild the
+                # windowed history from the columnar levels instead.
+                assert self._frame is not None
+                windows = frame_windowed_history(
+                    self._frame, self._frame.row_of(customer_id)
+                )
             self._snapshot_cache[key] = stability_trajectory(
                 customer_id,
                 windows,

@@ -241,9 +241,17 @@ class SignificanceTracker:
         return {item: self.significance_of(item) for item in self._presence}
 
     def observe_window(self, items: Iterable[int]) -> None:
-        """Fold window contents ``u_k`` into the counts."""
+        """Fold window contents ``u_k`` into the counts.
+
+        Items are folded in sorted order so the snapshot dict's
+        iteration order — and with it every downstream float
+        accumulation — is a function of the window *contents*, never of
+        the hash-table layout of the set that delivered them.  That is
+        what lets a log-built and a column-rebuilt history produce
+        bit-identical trajectories.
+        """
         window_index = self._n_windows
-        for item in set(items):
+        for item in sorted(set(items)):
             if item not in self._presence:
                 self._presence[item] = 1
                 self._first_seen[item] = window_index

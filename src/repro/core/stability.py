@@ -180,7 +180,11 @@ def stability_trajectory(
                 for item, sig in snapshot.items()
             }
         total_mass = sum(snapshot.values())
-        kept_mass = sum(snapshot.get(item, 0.0) for item in window.items)
+        # Sorted so the sum's rounding is set-layout independent (the
+        # snapshot dict itself is already in canonical order).
+        kept_mass = sum(
+            snapshot.get(item, 0.0) for item in sorted(window.items)
+        )
         if total_mass > 0.0:
             stability = kept_mass / total_mass
         else:

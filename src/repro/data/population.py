@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -37,8 +38,9 @@ from repro.obs.metrics import STAGE_CSR_BUILD
 if TYPE_CHECKING:  # type-only: the data layer must not import repro.core
     # at runtime (repro.core.batch imports this module)
     from repro.core.windowing import WindowGrid
+    from repro.data.slabs import SlabStore
 
-__all__ = ["PopulationFrame", "range_segment_sums"]
+__all__ = ["PopulationFrame", "range_segment_sums", "csr_from_triples"]
 
 
 def range_segment_sums(
@@ -71,6 +73,69 @@ def range_segment_sums(
         pairs = pairs[:-1]
     out[rows] = np.add.reduceat(values, pairs)[0::2]
     return out
+
+
+def csr_from_triples(
+    cust: np.ndarray,
+    items: np.ndarray,
+    window: np.ndarray,
+    n_customers: int,
+    n_windows: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Sort + dedupe ``(customer, item, window)`` presence triples.
+
+    ``cust`` holds customer *rows* in ``[0, n_customers)``; the inputs
+    may contain duplicates in any order.  Returns the two CSR levels of
+    :class:`PopulationFrame` — ``(pair_offsets, pair_items,
+    triple_offsets, triple_window)`` — exactly as :meth:`from_log`
+    builds them, which is what lets the out-of-core slab builder
+    (:mod:`repro.data.slabs`) produce bit-identical frames shard by
+    shard.
+
+    When the ids fit, each triple packs into one int64 so a single sort
+    does the job; otherwise a 3-key lexsort takes over.  Both paths
+    yield the same sorted unique triples.
+    """
+    if len(cust):
+        item_span = int(items.max()) + 1 if items.min() >= 0 else 0
+        span = n_customers * item_span * n_windows
+        if item_span and span < 2**62:
+            key = (cust * item_span + items) * n_windows + window
+            if span <= max(1 << 22, 2 * len(key)) and span <= 1 << 25:
+                # Dense key space: a presence bitmap + flatnonzero
+                # yields the sorted unique keys in O(rows + span),
+                # skipping the comparison sort inside np.unique.
+                flags = np.zeros(span, dtype=bool)
+                flags[key] = True
+                key = np.flatnonzero(flags)
+            else:
+                key = np.unique(key)
+            window = key % n_windows
+            pair_key = key // n_windows
+            cust, items = pair_key // item_span, pair_key % item_span
+        else:
+            order = np.lexsort((window, items, cust))
+            cust, items, window = cust[order], items[order], window[order]
+            keep = np.r_[
+                True,
+                (cust[1:] != cust[:-1])
+                | (items[1:] != items[:-1])
+                | (window[1:] != window[:-1]),
+            ]
+            cust, items, window = cust[keep], items[keep], window[keep]
+        new_pair = np.r_[
+            True, (cust[1:] != cust[:-1]) | (items[1:] != items[:-1])
+        ]
+        pair_starts = np.flatnonzero(new_pair)
+    else:
+        pair_starts = np.empty(0, dtype=np.int64)
+    triple_offsets = np.r_[pair_starts, len(window)].astype(np.int64)
+    pair_items = items[pair_starts]
+    pair_cust = cust[pair_starts]
+    pair_offsets = np.searchsorted(
+        pair_cust, np.arange(n_customers + 1, dtype=np.int64)
+    ).astype(np.int64)
+    return pair_offsets, pair_items, triple_offsets, window
 
 
 @dataclass(frozen=True)
@@ -110,6 +175,11 @@ class PopulationFrame:
         (object-level) engines and the explanation layer can reach the
         raw baskets without a second argument.  Dropped by :meth:`shard`
         so worker-process payloads stay columnar.
+    store_path:
+        Directory of the slab store this frame is memory-mapped from,
+        or ``None`` for in-RAM frames.  Sharded fits use it to hand
+        workers a slab reference (path + row range) instead of a
+        pickled frame.
     """
 
     grid: WindowGrid
@@ -123,6 +193,7 @@ class PopulationFrame:
     triple_window: np.ndarray
     item_vocab: np.ndarray
     log: TransactionLog | None = field(default=None, repr=False, compare=False)
+    store_path: str | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Construction
@@ -150,48 +221,10 @@ class PopulationFrame:
             cust = columnar.customer_rows()[valid]
             window = window[valid]
             items = columnar.items[valid]
-
-            # Sort + dedupe the (customer, item, window) triples.  When the
-            # ids fit, pack each triple into one int64 so a single sort does
-            # the job; otherwise fall back to a 3-key lexsort.
-            if len(cust):
-                item_span = int(items.max()) + 1 if items.min() >= 0 else 0
-                span = columnar.n_customers * item_span * n_windows
-                if item_span and span < 2**62:
-                    key = (cust * item_span + items) * n_windows + window
-                    if span <= max(1 << 22, 2 * len(key)) and span <= 1 << 25:
-                        # Dense key space: a presence bitmap + flatnonzero
-                        # yields the sorted unique keys in O(rows + span),
-                        # skipping the comparison sort inside np.unique.
-                        flags = np.zeros(span, dtype=bool)
-                        flags[key] = True
-                        key = np.flatnonzero(flags)
-                    else:
-                        key = np.unique(key)
-                    window = key % n_windows
-                    pair_key = key // n_windows
-                    cust, items = pair_key // item_span, pair_key % item_span
-                else:
-                    order = np.lexsort((window, items, cust))
-                    cust, items, window = cust[order], items[order], window[order]
-                    keep = np.r_[
-                        True,
-                        (cust[1:] != cust[:-1])
-                        | (items[1:] != items[:-1])
-                        | (window[1:] != window[:-1]),
-                    ]
-                    cust, items, window = cust[keep], items[keep], window[keep]
-                new_pair = np.r_[
-                    True, (cust[1:] != cust[:-1]) | (items[1:] != items[:-1])
-                ]
-                pair_starts = np.flatnonzero(new_pair)
-            else:
-                pair_starts = np.empty(0, dtype=np.int64)
-            triple_offsets = np.r_[pair_starts, len(window)].astype(np.int64)
-            pair_items = items[pair_starts]
-            pair_cust = cust[pair_starts]
-            pair_offsets = np.searchsorted(
-                pair_cust, np.arange(columnar.n_customers + 1, dtype=np.int64)
+            pair_offsets, pair_items, triple_offsets, triple_window = (
+                csr_from_triples(
+                    cust, items, window, columnar.n_customers, n_windows
+                )
             )
         return cls(
             grid=grid,
@@ -199,12 +232,48 @@ class PopulationFrame:
             basket_offsets=columnar.basket_offsets,
             basket_days=columnar.basket_days,
             basket_monetary=columnar.basket_monetary,
-            pair_offsets=pair_offsets.astype(np.int64),
+            pair_offsets=pair_offsets,
             pair_items=pair_items,
             triple_offsets=triple_offsets,
-            triple_window=window,
+            triple_window=triple_window,
             item_vocab=np.unique(pair_items),
             log=log,
+        )
+
+    @classmethod
+    def from_slabs(cls, store: SlabStore | str | Path) -> PopulationFrame:
+        """Memory-mapped construction from an on-disk slab store.
+
+        Every CSR level is an ``np.memmap`` view over the store's column
+        files: nothing is materialised in RAM until a kernel actually
+        touches the pages, and :meth:`shard` slices stay zero-copy views
+        of the mapping.  The resulting frame carries no source log
+        (engines reconstruct per-window histories from the columns) and
+        remembers its ``store_path`` so sharded fits can hand workers a
+        slab *reference* instead of a pickled frame.
+
+        Raises
+        ------
+        SlabStoreError
+            If the store is missing, torn, stale or version-incompatible
+            (see :func:`repro.data.slabs.open_slab_store`).
+        """
+        from repro.data.slabs import SlabStore, open_slab_store
+
+        if not isinstance(store, SlabStore):
+            store = open_slab_store(store)
+        return cls(
+            grid=store.grid(),
+            customer_ids=store.column("customer_ids"),
+            basket_offsets=store.column("basket_offsets"),
+            basket_days=store.column("basket_days"),
+            basket_monetary=store.column("basket_monetary"),
+            pair_offsets=store.column("pair_offsets"),
+            pair_items=store.column("pair_items"),
+            triple_offsets=store.column("triple_offsets"),
+            triple_window=store.column("triple_window"),
+            item_vocab=store.column("item_vocab"),
+            store_path=str(store.directory),
         )
 
     # ------------------------------------------------------------------
@@ -291,8 +360,21 @@ class PopulationFrame:
         """The sub-population of customer rows ``[lo, hi)`` (rebased CSR).
 
         The source-log reference is dropped: shards exist to cross
-        process boundaries and must stay pure columnar data.
+        process boundaries and must stay pure columnar data.  On a
+        memory-mapped frame every slice below stays a zero-copy view of
+        the mapping (minus the small rebased offset arrays).
+
+        Raises
+        ------
+        DataError
+            If the range is not within ``0 <= lo <= hi <= n_customers``;
+            the message names the offending range.
         """
+        if not 0 <= lo <= hi <= self.n_customers:
+            raise DataError(
+                f"shard range [{lo}, {hi}) out of bounds for a frame of "
+                f"{self.n_customers} customers"
+            )
         pair_lo, pair_hi = self.pair_offsets[lo], self.pair_offsets[hi]
         triple_lo = self.triple_offsets[pair_lo]
         triple_hi = self.triple_offsets[pair_hi]

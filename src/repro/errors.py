@@ -61,3 +61,9 @@ class SnapshotError(ReproError):
 class ManifestError(ReproError):
     """A run manifest is missing, corrupt or from an incompatible
     schema/version; it will not be silently ingested."""
+
+
+class SlabStoreError(DataError):
+    """An on-disk slab store is torn, stale or from an incompatible
+    version (missing/truncated column files, manifest mismatch); it will
+    not be silently memory-mapped."""

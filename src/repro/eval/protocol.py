@@ -102,6 +102,10 @@ class EvaluationProtocol:
         The shared :class:`~repro.config.ExperimentConfig`; its
         ``window_months`` / ``first_month`` / ``last_month`` fields are
         validated once and drive the whole evaluation.
+    frame:
+        Optional pre-built :class:`~repro.data.population.PopulationFrame`
+        (e.g. a memory-mapped slab-backed frame) used instead of lazily
+        encoding ``bundle.log``; its grid must match the config's.
     checkpoint_dir:
         Optional journal directory making the evaluation resumable:
         each finished ``(scorer, month, config)`` AUROC cell is written
@@ -117,6 +121,7 @@ class EvaluationProtocol:
         last_month: int = 24,
         config: ExperimentConfig | None = None,
         checkpoint_dir: str | Path | None = None,
+        frame: PopulationFrame | None = None,
     ) -> None:
         if config is None:
             config = ExperimentConfig(
@@ -131,7 +136,12 @@ class EvaluationProtocol:
         self.last_month = config.last_month
         self.checkpoint_dir = checkpoint_dir
         self._journal: CheckpointJournal | None = None
-        self._frame: PopulationFrame | None = None
+        if frame is not None and frame.grid != config.grid(bundle.calendar):
+            raise ConfigError(
+                "injected frame's grid does not match the protocol's "
+                "config; build it with the same ExperimentConfig"
+            )
+        self._frame: PopulationFrame | None = frame
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -54,6 +54,8 @@ __all__ = [
     "STAGE_CSR_BUILD",
     "STAGE_SIGNIFICANCE",
     "STAGE_NORMALIZE",
+    "SLAB_STORE_HITS",
+    "SLAB_STORE_MISSES",
     # span taxonomy
     "SPAN_RUN_SHARDED",
     "SPAN_WAVE",
@@ -61,6 +63,8 @@ __all__ = [
     "SPAN_EVAL_CELL",
     "SPAN_ENGINE_FIT",
     "SPAN_FIT_BATCH",
+    "SPAN_SLAB_BUILD",
+    "SPAN_SLAB_OPEN",
     # canonical name sets (consumed by repro.analysis rule OBS001)
     "CANONICAL_METRIC_NAMES",
     "CANONICAL_SPAN_NAMES",
@@ -88,6 +92,10 @@ CELLS_REPLAYED = "sweep.cells_replayed"
 STAGE_CSR_BUILD = "engine.stage.csr_build_s"
 STAGE_SIGNIFICANCE = "engine.stage.significance_s"
 STAGE_NORMALIZE = "engine.stage.normalize_s"
+#: Slab-store cache outcomes: an ensure-call found a valid store keyed by
+#: the dataset fingerprint (hit) or had to build one (miss).
+SLAB_STORE_HITS = "slab.store_hits"
+SLAB_STORE_MISSES = "slab.store_misses"
 
 # ----------------------------------------------------------------------
 # Span taxonomy: every tracer span name used across the stack.  New
@@ -107,6 +115,10 @@ SPAN_EVAL_CELL = "eval.cell"
 SPAN_ENGINE_FIT = "engine.fit"
 #: The batched population fit (possibly sharded).
 SPAN_FIT_BATCH = "fit.batch"
+#: One out-of-core slab-store build (stream → spill → columnar slabs).
+SPAN_SLAB_BUILD = "slab.build"
+#: Validating + memory-mapping an existing slab store.
+SPAN_SLAB_OPEN = "slab.open"
 
 #: Every canonical counter/gauge/histogram name.
 CANONICAL_METRIC_NAMES: frozenset[str] = frozenset(
@@ -122,6 +134,8 @@ CANONICAL_METRIC_NAMES: frozenset[str] = frozenset(
         STAGE_CSR_BUILD,
         STAGE_SIGNIFICANCE,
         STAGE_NORMALIZE,
+        SLAB_STORE_HITS,
+        SLAB_STORE_MISSES,
     }
 )
 
@@ -136,6 +150,8 @@ CANONICAL_SPAN_NAMES: frozenset[str] = frozenset(
         SPAN_EVAL_CELL,
         SPAN_ENGINE_FIT,
         SPAN_FIT_BATCH,
+        SPAN_SLAB_BUILD,
+        SPAN_SLAB_OPEN,
         STAGE_CSR_BUILD,
         STAGE_SIGNIFICANCE,
         STAGE_NORMALIZE,

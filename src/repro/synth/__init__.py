@@ -22,6 +22,7 @@ from repro.synth.scenarios import (
     paper_scenario,
 )
 from repro.synth.shopping import segment_prices, simulate_customer
+from repro.synth.stream import synthetic_slab_stream
 
 __all__ = [
     "ARCHETYPES",
@@ -44,4 +45,5 @@ __all__ = [
     "sample_schedule",
     "segment_prices",
     "simulate_customer",
+    "synthetic_slab_stream",
 ]

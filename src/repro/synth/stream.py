@@ -1,0 +1,90 @@
+"""Unbounded-scale synthetic purchase streams for the slab data plane.
+
+The scenario generator (:mod:`repro.synth.generator`) builds rich,
+per-customer :class:`~repro.data.basket.Basket` objects — faithful but
+far too slow and memory-hungry for 100k+ customer benchmarks.  This
+module generates the same *shape* of data (habitual assortments, repeat
+visits, per-receipt spend) directly as columnar
+:class:`~repro.data.slabs.SlabChunk` batches, one bounded chunk of
+customers at a time, so a million-customer stream never holds more than
+``chunk_customers`` worth of rows in RAM.
+
+Determinism: a single :class:`numpy.random.Generator` seeded once drives
+the whole stream, so identical parameters produce identical chunks —
+the slab-vs-in-RAM differential benchmarks depend on replaying the same
+stream twice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.data.slabs import SlabChunk
+from repro.errors import ConfigError
+
+__all__ = ["synthetic_slab_stream"]
+
+
+def synthetic_slab_stream(
+    n_customers: int,
+    n_days: int,
+    *,
+    seed: int = 13,
+    vocab_size: int = 1000,
+    items_per_customer: int = 8,
+    baskets_per_customer: int = 30,
+    items_per_basket: int = 3,
+    chunk_customers: int = 2048,
+) -> Iterator[SlabChunk]:
+    """Yield a deterministic purchase stream as bounded slab chunks.
+
+    Each customer holds a fixed assortment of ``items_per_customer``
+    products drawn from a ``vocab_size`` catalogue and makes
+    ``baskets_per_customer`` visits on uniform random days in
+    ``[0, n_days)``, each visit buying ``items_per_basket`` of their
+    assortment (with repetition — the presence encoding deduplicates).
+    Peak working set is one chunk: ``O(chunk_customers *
+    baskets_per_customer * items_per_basket)`` rows.
+    """
+    if n_customers < 0:
+        raise ConfigError(f"n_customers must be >= 0, got {n_customers}")
+    if n_days < 1:
+        raise ConfigError(f"n_days must be >= 1, got {n_days}")
+    if items_per_customer > vocab_size:
+        raise ConfigError(
+            f"items_per_customer={items_per_customer} exceeds "
+            f"vocab_size={vocab_size}"
+        )
+    if chunk_customers < 1:
+        raise ConfigError(f"chunk_customers must be >= 1, got {chunk_customers}")
+    rng = np.random.default_rng(seed)
+    for first in range(0, n_customers, chunk_customers):
+        size = min(chunk_customers, n_customers - first)
+        # Customer ids are 1-based so id 0 never collides with "missing".
+        ids = np.arange(first + 1, first + size + 1, dtype=np.int64)
+        # Per-customer assortment: first items_per_customer slots of a
+        # random permutation of the catalogue (vectorised, no replacement).
+        keys = rng.random((size, vocab_size))
+        assortment = np.argpartition(keys, items_per_customer - 1, axis=1)[
+            :, :items_per_customer
+        ].astype(np.int64)
+
+        baskets = baskets_per_customer
+        days = rng.integers(0, n_days, size=(size, baskets), dtype=np.int64)
+        monetary = np.round(rng.uniform(5.0, 50.0, size=(size, baskets)), 2)
+        picks = rng.integers(
+            0, items_per_customer, size=(size, baskets, items_per_basket)
+        )
+        items = np.take_along_axis(
+            assortment[:, None, :].repeat(baskets, axis=1), picks, axis=2
+        )
+        yield SlabChunk(
+            basket_customer=np.repeat(ids, baskets),
+            basket_day=days.reshape(-1),
+            basket_monetary=monetary.reshape(-1),
+            item_customer=np.repeat(ids, baskets * items_per_basket),
+            item_day=np.repeat(days.reshape(-1), items_per_basket),
+            item_id=items.reshape(-1),
+        )

@@ -1,4 +1,4 @@
-"""Tests for repro.baselines.rfm_model."""
+"""Tests for repro.baselines.rfm (the RFM baseline model)."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.rfm import FEATURE_NAMES
-from repro.baselines.rfm_model import RFMModel
+from repro.baselines.rfm import RFMModel
 from repro.errors import ConfigError, NotFittedError
 from repro.ml.metrics import auroc
 

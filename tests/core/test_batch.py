@@ -19,7 +19,6 @@ import pytest
 from repro.core.batch import (
     _segment_sum,
     batch_churn_scores,
-    encode_population,
     significance_from_counts,
     stability_matrix,
 )
@@ -28,6 +27,7 @@ from repro.core.stability import stability_trajectory
 from repro.core.vectorized import vectorized_stability
 from repro.core.windowing import WindowGrid, windowed_history
 from repro.data.basket import Basket
+from repro.data.population import PopulationFrame
 from repro.data.transactions import TransactionLog
 from repro.errors import ConfigError, ConfigWarning, DataError
 
@@ -62,7 +62,7 @@ def _assert_cell_equal(fast: float, reference: float) -> None:
 
 
 def _assert_all_backends_agree(log: TransactionLog, grid: WindowGrid, alpha: float):
-    result = stability_matrix(encode_population(log, grid), alpha=alpha)
+    result = stability_matrix(PopulationFrame.from_log(log, grid), alpha=alpha)
     assert list(result.customer_ids) == log.customers()
     for row, customer_id in enumerate(result.customer_ids):
         windows = windowed_history(log.history(int(customer_id)), grid)
@@ -96,7 +96,7 @@ class TestDifferential:
         log.add(Basket.of(customer_id=1, day=45, items=[7]))
         log.add(Basket.of(customer_id=1, day=55, items=[7]))
         grid = WindowGrid.daily(total_days=80, days_per_window=10)
-        result = stability_matrix(encode_population(log, grid))
+        result = stability_matrix(PopulationFrame.from_log(log, grid))
         # Windows 0..4 have no prior mass (prior purchases start in w4).
         assert all(math.isnan(v) for v in result.stability[0, :5])
         assert result.stability[0, 5] == 1.0
@@ -116,7 +116,7 @@ class TestDifferential:
             log.add(Basket.of(customer_id=1, day=day, items=[1, 2]))
         log.add(Basket.of(customer_id=1, day=1500, items=[1]))
         grid = WindowGrid.daily(total_days=1502, days_per_window=1)
-        result = stability_matrix(encode_population(log, grid), alpha=8.0)
+        result = stability_matrix(PopulationFrame.from_log(log, grid), alpha=8.0)
         assert result.stability[0, 1500] == pytest.approx(0.5)
         reference = stability_trajectory(
             1,
@@ -156,7 +156,7 @@ class TestEncoding:
 
     def test_structure(self, log):
         grid = WindowGrid.daily(total_days=30, days_per_window=10)
-        population = encode_population(log, grid)
+        population = PopulationFrame.from_log(log, grid)
         assert list(population.customer_ids) == [1, 2, 9]
         assert population.n_windows == 3
         # Customer 1 owns pairs for items 5 and 6; customer 9 none in-grid.
@@ -168,7 +168,7 @@ class TestEncoding:
 
     def test_window_items_reconstruction(self, log):
         grid = WindowGrid.daily(total_days=30, days_per_window=10)
-        population = encode_population(log, grid)
+        population = PopulationFrame.from_log(log, grid)
         assert population.window_items(0) == [
             frozenset({5, 6}),
             frozenset(),
@@ -178,14 +178,14 @@ class TestEncoding:
 
     def test_customer_subset_and_unknown(self, log):
         grid = WindowGrid.daily(total_days=30, days_per_window=10)
-        population = encode_population(log, grid, customers=[2])
+        population = PopulationFrame.from_log(log, grid, customers=[2])
         assert list(population.customer_ids) == [2]
         with pytest.raises(DataError):
-            encode_population(log, grid, customers=[777])
+            PopulationFrame.from_log(log, grid, customers=[777])
 
     def test_shard_roundtrip(self, log):
         grid = WindowGrid.daily(total_days=30, days_per_window=10)
-        population = encode_population(log, grid)
+        population = PopulationFrame.from_log(log, grid)
         full = stability_matrix(population).stability
         parts = [
             stability_matrix(population.shard(i, i + 1)).stability
@@ -276,7 +276,7 @@ class TestParallelFit:
         rng = random.Random(5)
         log = _random_log(rng, n_customers=9, n_days=60, item_pool=6)
         grid = WindowGrid.daily(total_days=60, days_per_window=10)
-        population = encode_population(log, grid)
+        population = PopulationFrame.from_log(log, grid)
         serial = stability_matrix(population, n_jobs=1)
         parallel = stability_matrix(population, n_jobs=3)
         np.testing.assert_array_equal(serial.stability, parallel.stability)
@@ -287,7 +287,7 @@ class TestParallelFit:
         log = TransactionLog()
         log.add(Basket.of(customer_id=1, day=0, items=[1]))
         grid = WindowGrid.daily(total_days=10, days_per_window=10)
-        population = encode_population(log, grid)
+        population = PopulationFrame.from_log(log, grid)
         with pytest.raises(ConfigError):
             stability_matrix(population, n_jobs=0)
 
@@ -296,7 +296,7 @@ class TestParallelFit:
         log.add(Basket.of(customer_id=1, day=0, items=[1]))
         log.add(Basket.of(customer_id=1, day=12, items=[1]))
         grid = WindowGrid.daily(total_days=20, days_per_window=10)
-        population = encode_population(log, grid)
+        population = PopulationFrame.from_log(log, grid)
         result = stability_matrix(population, n_jobs=8)  # falls back to serial
         assert result.stability.shape == (1, 2)
 
@@ -307,13 +307,13 @@ class TestAlphaValidation:
         log.add(Basket.of(customer_id=1, day=0, items=[1]))
         grid = WindowGrid.daily(total_days=10, days_per_window=10)
         with pytest.raises(ConfigError):
-            stability_matrix(encode_population(log, grid), alpha=0.0)
+            stability_matrix(PopulationFrame.from_log(log, grid), alpha=0.0)
 
     def test_alpha_at_most_one_warns(self):
         log = TransactionLog()
         log.add(Basket.of(customer_id=1, day=0, items=[1]))
         grid = WindowGrid.daily(total_days=10, days_per_window=10)
-        population = encode_population(log, grid)
+        population = PopulationFrame.from_log(log, grid)
         with pytest.warns(ConfigWarning):
             stability_matrix(population, alpha=1.0)
         with pytest.warns(ConfigWarning):

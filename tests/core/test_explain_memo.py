@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 import repro.core.model as model_module
+from repro.config import ExperimentConfig
 from repro.core.model import StabilityModel
 
 
@@ -30,7 +31,9 @@ def kernel_calls(monkeypatch):
 
 def test_second_explain_does_no_kernel_work(small_dataset, kernel_calls):
     churners = sorted(small_dataset.cohorts.churners)[:2]
-    model = StabilityModel(small_dataset.calendar, backend="batch").fit(
+    model = StabilityModel(
+        small_dataset.calendar, config=ExperimentConfig(backend="batch")
+    ).fit(
         small_dataset.log, churners
     )
     customer = churners[0]
@@ -46,7 +49,9 @@ def test_second_explain_does_no_kernel_work(small_dataset, kernel_calls):
 
 def test_each_customer_recomputed_once(small_dataset, kernel_calls):
     churners = sorted(small_dataset.cohorts.churners)[:2]
-    model = StabilityModel(small_dataset.calendar, backend="batch").fit(
+    model = StabilityModel(
+        small_dataset.calendar, config=ExperimentConfig(backend="batch")
+    ).fit(
         small_dataset.log, churners
     )
     for customer in churners:
@@ -57,7 +62,9 @@ def test_each_customer_recomputed_once(small_dataset, kernel_calls):
 
 def test_refit_invalidates_memo(small_dataset, kernel_calls):
     churners = sorted(small_dataset.cohorts.churners)[:1]
-    model = StabilityModel(small_dataset.calendar, backend="batch").fit(
+    model = StabilityModel(
+        small_dataset.calendar, config=ExperimentConfig(backend="batch")
+    ).fit(
         small_dataset.log, churners
     )
     model.explain(churners[0], 9)

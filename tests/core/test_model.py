@@ -6,6 +6,7 @@ import math
 
 import pytest
 
+from repro.config import ExperimentConfig
 from repro.core.model import StabilityModel
 from repro.core.significance import FrequencyRatioSignificance
 from repro.data.basket import Basket
@@ -128,33 +129,44 @@ def _churn_log(calendar) -> TransactionLog:
 class TestBackends:
     def test_unknown_backend_rejected(self, calendar):
         with pytest.raises(ConfigError, match="backend"):
-            StabilityModel(calendar, backend="gpu")
+            StabilityModel(calendar, config=ExperimentConfig(backend="gpu"))
 
     def test_custom_significance_requires_incremental(self, calendar):
         with pytest.raises(ConfigError):
             StabilityModel(
                 calendar,
                 significance=FrequencyRatioSignificance(),
-                backend="batch",
+                config=ExperimentConfig(backend="batch"),
             )
 
     def test_custom_counting_requires_incremental(self, calendar):
         with pytest.raises(ConfigError):
-            StabilityModel(calendar, counting="since-first-seen", backend="batch")
+            StabilityModel(
+                calendar,
+                config=ExperimentConfig(counting="since-first-seen", backend="batch"),
+            )
 
     def test_item_weights_require_incremental(self, calendar):
         with pytest.raises(ConfigError):
-            StabilityModel(calendar, item_weights={1: 2.0}, backend="vectorized")
+            StabilityModel(
+                calendar,
+                item_weights={1: 2.0},
+                config=ExperimentConfig(backend="vectorized"),
+            )
 
     def test_n_jobs_requires_batch(self, calendar):
         with pytest.raises(ConfigError):
-            StabilityModel(calendar, backend="vectorized", n_jobs=2)
+            StabilityModel(
+                calendar, config=ExperimentConfig(backend="vectorized", n_jobs=2)
+            )
 
     @pytest.mark.parametrize("backend", ["vectorized", "batch"])
     def test_trajectories_match_incremental(self, calendar, backend):
         log = _churn_log(calendar)
         reference = StabilityModel(calendar, window_months=2).fit(log)
-        fast = StabilityModel(calendar, window_months=2, backend=backend).fit(log)
+        fast = StabilityModel(
+            calendar, config=ExperimentConfig(window_months=2, backend=backend)
+        ).fit(log)
         assert fast.customers() == reference.customers()
         for customer in reference.customers():
             slow_t = reference.trajectory(customer)
@@ -172,7 +184,9 @@ class TestBackends:
     def test_churn_scores_and_detect_match(self, calendar, backend):
         log = _churn_log(calendar)
         reference = StabilityModel(calendar, window_months=2).fit(log)
-        fast = StabilityModel(calendar, window_months=2, backend=backend).fit(log)
+        fast = StabilityModel(
+            calendar, config=ExperimentConfig(window_months=2, backend=backend)
+        ).fit(log)
         for k in range(reference.n_windows):
             slow = reference.churn_scores(k)
             quick = fast.churn_scores(k)
@@ -192,7 +206,9 @@ class TestBackends:
     def test_batch_explain_matches_incremental(self, calendar):
         log = _churn_log(calendar)
         reference = StabilityModel(calendar, window_months=2).fit(log)
-        fast = StabilityModel(calendar, window_months=2, backend="batch").fit(log)
+        fast = StabilityModel(
+            calendar, config=ExperimentConfig(window_months=2, backend="batch")
+        ).fit(log)
         k = next(
             k
             for k in range(reference.n_windows)
@@ -204,23 +220,29 @@ class TestBackends:
         assert [m.item for m in quick.missing] == [m.item for m in slow.missing]
 
     def test_batch_trajectory_is_cached(self, calendar):
-        model = StabilityModel(calendar, backend="batch").fit(_churn_log(calendar))
+        model = StabilityModel(
+            calendar, config=ExperimentConfig(backend="batch")
+        ).fit(_churn_log(calendar))
         assert model.trajectory(1) is model.trajectory(1)
 
     def test_batch_unknown_customer(self, calendar):
-        model = StabilityModel(calendar, backend="batch").fit(_churn_log(calendar))
+        model = StabilityModel(
+            calendar, config=ExperimentConfig(backend="batch")
+        ).fit(_churn_log(calendar))
         with pytest.raises(DataError, match="not fitted"):
             model.trajectory(999)
 
     def test_batch_unfitted_raises(self, calendar):
-        model = StabilityModel(calendar, backend="batch")
+        model = StabilityModel(calendar, config=ExperimentConfig(backend="batch"))
         with pytest.raises(NotFittedError):
             model.customers()
 
     def test_parallel_fit_matches_serial(self, calendar):
         log = _churn_log(calendar)
-        serial = StabilityModel(calendar, backend="batch").fit(log)
-        parallel = StabilityModel(calendar, backend="batch", n_jobs=2).fit(log)
+        serial = StabilityModel(calendar, config=ExperimentConfig(backend="batch")).fit(log)
+        parallel = StabilityModel(
+            calendar, config=ExperimentConfig(backend="batch", n_jobs=2)
+        ).fit(log)
         for customer in serial.customers():
             for k in range(serial.n_windows):
                 a = serial.stability_at(customer, k)

@@ -126,6 +126,44 @@ class TestShard:
     def test_shard_drops_log_reference(self, mixed_frame):
         assert mixed_frame.shard(0, 2).log is None
 
+    def test_empty_shard_is_valid(self, mixed_frame):
+        for lo in range(mixed_frame.n_customers + 1):
+            empty = mixed_frame.shard(lo, lo)
+            assert empty.n_customers == 0
+            assert len(empty.customer_ids) == 0
+            # Every CSR level keeps its leading zero.
+            assert list(empty.basket_offsets) == [0]
+            assert list(empty.pair_offsets) == [0]
+            assert list(empty.triple_offsets) == [0]
+
+    def test_single_customer_shards_tile_the_frame(self, mixed_frame):
+        for row in range(mixed_frame.n_customers):
+            single = mixed_frame.shard(row, row + 1)
+            assert single.n_customers == 1
+            assert single.customer_ids[0] == mixed_frame.customer_ids[row]
+            assert single.window_items(0) == mixed_frame.window_items(row)
+            assert np.array_equal(
+                single.basket_days,
+                mixed_frame.basket_days[
+                    mixed_frame.basket_offsets[row] : mixed_frame.basket_offsets[
+                        row + 1
+                    ]
+                ],
+            )
+
+    @pytest.mark.parametrize(
+        "lo, hi",
+        [(-1, 2), (0, 4), (2, 1), (4, 4), (-2, -1)],
+    )
+    def test_out_of_range_bounds_rejected_naming_range(self, mixed_frame, lo, hi):
+        with pytest.raises(DataError, match=rf"\[{lo}, {hi}\)"):
+            mixed_frame.shard(lo, hi)
+
+    def test_full_range_shard_equals_frame(self, mixed_frame):
+        whole = mixed_frame.shard(0, mixed_frame.n_customers)
+        assert np.array_equal(whole.customer_ids, mixed_frame.customer_ids)
+        assert np.array_equal(whole.pair_items, mixed_frame.pair_items)
+
 
 class TestBasketKernels:
     def test_baskets_before_counts(self, mixed_log, mixed_frame):

@@ -121,6 +121,53 @@ class TestPartitionedLog:
         assert days == sorted(days)
         assert len(merged) == log.n_baskets
 
+    def test_merge_ordering_differential_with_duplicate_days(
+        self, tmp_path
+    ):
+        """The k-way merge is *stable across shards*: equal day keys
+        resolve by shard index, so the merged stream is byte-identical
+        to a stable day-sort of the shards' own concatenation — however
+        interleaved or duplicated the day keys are."""
+        log = TransactionLog()
+        # Heavy day-key collisions: every customer visits every 5th day,
+        # so each merge step must break a tie between shards.
+        for customer in range(7):
+            for day in range(0, 40, 5):
+                log.add(
+                    Basket.of(
+                        customer,
+                        day,
+                        items=[customer + 1, 50 + day],
+                        monetary=float(customer) + day / 100.0,
+                    )
+                )
+        n_shards = 3
+        directory = tmp_path / "shards"
+        with PartitionedLogWriter(directory, n_shards=n_shards) as writer:
+            writer.write_all(sorted(log, key=lambda b: b.day))
+
+        merged = list(iter_partitioned_log(directory, merge_by_day=True))
+
+        # Reference: concatenate the shard streams in shard order, then
+        # stable-sort on the day key alone.
+        concatenated = [
+            basket
+            for shard in range(n_shards)
+            for basket in iter_partitioned_log(directory, shards=[shard])
+        ]
+        reference = sorted(concatenated, key=lambda b: b.day)
+
+        assert [
+            (b.customer_id, b.day, b.items, b.monetary) for b in merged
+        ] == [(b.customer_id, b.day, b.items, b.monetary) for b in reference]
+
+        # Byte-identical once serialised back to the canonical CSV form.
+        write_log_csv(TransactionLog(merged), tmp_path / "merged.csv")
+        write_log_csv(TransactionLog(reference), tmp_path / "reference.csv")
+        assert (tmp_path / "merged.csv").read_bytes() == (
+            tmp_path / "reference.csv"
+        ).read_bytes()
+
     def test_merged_stream_feeds_monitor(self, log, tmp_path):
         directory = tmp_path / "shards"
         baskets = sorted(log, key=lambda b: b.day)
