@@ -1,7 +1,7 @@
 # Developer entry points. The offline environment lacks the `wheel`
 # package, so `install` uses the legacy setuptools path.
 
-.PHONY: install test test-faults lint typecheck trace-demo bench bench-pytest bench-slab-smoke examples figures all clean
+.PHONY: install test test-faults lint typecheck trace-demo serve-demo bench bench-pytest bench-slab-smoke examples figures all clean
 
 install:
 	python setup.py develop
@@ -39,6 +39,22 @@ trace-demo:
 		figure1 --n-jobs 2 --checkpoint-dir trace-demo/ckpt
 	PYTHONPATH=src python -m repro.cli obs summarize trace-demo/trace.jsonl
 
+# Streaming-serving demo: record a synthetic basket stream, serve it in
+# two interrupted legs (mid-run stop + checkpoint resume), prove the
+# final scores bit-identical to the offline batch sweep, then show the
+# run manifest location.  See DESIGN.md §10.
+serve-demo:
+	mkdir -p serve-demo
+	PYTHONPATH=src python -m repro.cli --loyal 25 --churners 25 \
+		record --out serve-demo/stream.jsonl
+	PYTHONPATH=src python -m repro.cli -v serve serve-demo/stream.jsonl \
+		--checkpoint-dir serve-demo/ckpt --batch-size 400 --n-shards 2 \
+		--no-api --max-batches 3; test $$? -eq 3
+	PYTHONPATH=src python -m repro.cli -v serve serve-demo/stream.jsonl \
+		--checkpoint-dir serve-demo/ckpt --batch-size 400 --n-shards 2 \
+		--no-api --parity-check
+	@echo "run manifest: serve-demo/ckpt/manifest.json"
+
 bench:
 	PYTHONPATH=src python -m repro.cli bench --json BENCH_scaling.json
 
@@ -66,5 +82,5 @@ figures:
 all: test bench
 
 clean:
-	rm -rf build repro.egg-info benchmarks/output trace-demo .pytest_cache .hypothesis
+	rm -rf build repro.egg-info benchmarks/output trace-demo serve-demo .pytest_cache .hypothesis
 	find . -name __pycache__ -type d -exec rm -rf {} +

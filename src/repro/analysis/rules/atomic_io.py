@@ -10,8 +10,9 @@ write-to-temp + ``os.replace``, packaged once as
 
 IO001 flags direct write-mode ``open`` / ``Path.open`` calls,
 ``write_text`` / ``write_bytes``, and streaming ``json.dump`` in the
-persistence layers (``repro.runtime``, ``repro.obs``, and the on-disk
-slab store ``repro.data.slabs``) unless the enclosing function itself
+persistence layers (``repro.runtime``, ``repro.obs``, the on-disk slab
+store ``repro.data.slabs``, and the serving checkpoints
+``repro.serve``) unless the enclosing function itself
 performs the rename (calls ``os.replace``), i.e. *is* an inlined atomic
 writer.  Streamed artifacts too large to assemble in memory route
 through :class:`repro.atomicio.AtomicBinaryWriter`, which carries the
@@ -110,7 +111,7 @@ class NonAtomicWrite(Rule):
 
     def applies(self, ctx: FileContext) -> bool:
         return ctx.module.startswith(
-            ("repro.runtime", "repro.obs", "repro.data.slabs")
+            ("repro.runtime", "repro.obs", "repro.data.slabs", "repro.serve")
         )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -28,7 +28,13 @@ GATED_MODULES = frozenset(
     {"repro.config", "repro.errors", "repro.atomicio", "repro.data.slabs"}
 )
 #: Package prefixes gated recursively.
-GATED_PREFIXES = ("repro.core", "repro.runtime", "repro.obs", "repro.analysis")
+GATED_PREFIXES = (
+    "repro.core",
+    "repro.runtime",
+    "repro.obs",
+    "repro.analysis",
+    "repro.serve",
+)
 
 
 @register_rule

@@ -11,6 +11,8 @@ Subcommands
 ``bench``      Time StabilityModel fit backends and emit perf telemetry.
 ``obs``        Summarize a trace JSONL emitted via ``--trace-out``.
 ``lint``       Statically check the determinism/atomicity invariants.
+``record``     Record a synthetic scenario as a replayable basket stream.
+``serve``      Serve a recorded stream: score, checkpoint, status API.
 
 Global telemetry flags (before the subcommand): ``--trace-out`` writes
 the command's span trace as JSONL, ``--metrics-out`` writes the metrics
@@ -293,6 +295,90 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.cli import add_lint_arguments
 
     add_lint_arguments(lint)
+
+    record = sub.add_parser(
+        "record",
+        help="record a synthetic scenario as a replayable basket stream",
+    )
+    record.add_argument(
+        "--out", type=Path, required=True, help="stream file to write (JSONL)"
+    )
+    record.add_argument(
+        "--months", type=int, default=28, help="study length in months"
+    )
+    record.add_argument(
+        "--onset-month", type=int, default=18, help="mean attrition onset month"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "serve a recorded stream: sharded scoring, per-batch durable "
+            "checkpoints, status/score API"
+        ),
+    )
+    serve.add_argument(
+        "stream", type=Path, help="recorded stream file (see `record`)"
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        required=True,
+        help=(
+            "durable run directory (cursor + per-shard state + manifest); "
+            "an existing valid checkpoint there is resumed"
+        ),
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="checkpoint after at least this many baskets (whole days)",
+    )
+    serve.add_argument(
+        "--n-shards", type=int, default=1, help="customer shard count"
+    )
+    serve.add_argument(
+        "--parallel",
+        action="store_true",
+        help="process shards in worker processes (bit-identical either way)",
+    )
+    serve.add_argument("--window-months", type=int, default=2)
+    serve.add_argument("--alpha", type=float, default=2.0)
+    serve.add_argument(
+        "--beta", type=float, default=0.5, help="alarm threshold on stability"
+    )
+    serve.add_argument(
+        "--first-alarm-window",
+        type=int,
+        default=0,
+        help="suppress alarms before this window index",
+    )
+    serve.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        help="stop (resumable) after this many batches this run",
+    )
+    serve.add_argument(
+        "--status-port",
+        type=int,
+        default=0,
+        help="status API port (0 = ephemeral, printed on stderr)",
+    )
+    serve.add_argument(
+        "--no-api",
+        action="store_true",
+        help="do not start the HTTP status API",
+    )
+    serve.add_argument(
+        "--parity-check",
+        action="store_true",
+        help=(
+            "after a finished run, recompute the offline batch sweep and "
+            "fail (exit 1) unless the score tables are bit-identical"
+        ),
+    )
 
     obs = sub.add_parser(
         "obs", help="inspect telemetry artifacts (traces, manifests)"
@@ -612,9 +698,150 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.synth.stream import record_stream, stream_fingerprint
+
+    dataset = paper_scenario(
+        n_loyal=args.loyal,
+        n_churners=args.churners,
+        seed=args.seed,
+        n_months=args.months,
+        onset_month=args.onset_month,
+    )
+    baskets = sorted(dataset.log, key=lambda b: (b.day, b.customer_id))
+    path = record_stream(
+        baskets,
+        args.out,
+        calendar=dataset.calendar,
+        meta={
+            "seed": args.seed,
+            "n_loyal": args.loyal,
+            "n_churners": args.churners,
+        },
+    )
+    print(
+        f"recorded {len(baskets)} baskets / "
+        f"{dataset.log.n_customers} customers to {path} "
+        f"(fingerprint {stream_fingerprint(path)})"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve import (
+        StatusBoard,
+        StatusServer,
+        offline_sweep_stream,
+        serve_stream,
+    )
+
+    if not args.stream.exists():
+        print(f"stream file not found: {args.stream}", file=sys.stderr)
+        return 1
+    config = ExperimentConfig(
+        window_months=args.window_months, alpha=args.alpha
+    )
+    stop_requested = {"flag": False}
+
+    def _request_stop(signum: int, frame: object) -> None:
+        del frame
+        stop_requested["flag"] = True
+        print(
+            f"signal {signum}: stopping after the current batch commits "
+            "(rerun to resume)",
+            file=sys.stderr,
+        )
+
+    previous = {
+        sig: signal.signal(sig, _request_stop)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    board = StatusBoard()
+    server: StatusServer | None = None
+    try:
+        if not args.no_api:
+            server = StatusServer(board, port=args.status_port)
+            print(
+                f"status API on http://127.0.0.1:{server.start()}/status",
+                file=sys.stderr,
+            )
+        result = serve_stream(
+            args.stream,
+            args.checkpoint_dir,
+            batch_size=args.batch_size,
+            n_shards=args.n_shards,
+            parallel=args.parallel,
+            config=config,
+            beta=args.beta,
+            first_alarm_window=args.first_alarm_window,
+            status=board,
+            max_batches=args.max_batches,
+            should_stop=lambda: stop_requested["flag"],
+        )
+    finally:
+        if server is not None:
+            server.stop()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    counters = result.counters
+    print(
+        f"served {result.batches_this_run} batch(es) this run "
+        f"({result.batches_reworked} reworked), cursor at "
+        f"{result.day_batches_consumed} day(s)"
+        f"{' [resumed]' if result.resumed else ''}"
+    )
+    print(
+        format_table(
+            ("counter", "value"),
+            [
+                ("ingested", counters.ingested),
+                ("scored", counters.scored),
+                ("flagged", counters.flagged),
+                ("checkpointed", counters.checkpointed),
+            ],
+        )
+    )
+    flagged = sum(1 for f in result.flags.values() if f)
+    print(
+        f"{flagged}/{len(result.flags)} customers flagged; "
+        f"score fingerprint {result.fingerprint()}"
+    )
+    if not result.finished:
+        print(
+            f"interrupted; rerun with the same --checkpoint-dir to resume "
+            f"from {result.checkpoint_dir}",
+            file=sys.stderr,
+        )
+        return 3
+    if args.parity_check:
+        reference = offline_sweep_stream(
+            args.stream,
+            config=config,
+            beta=args.beta,
+            first_alarm_window=args.first_alarm_window,
+        )
+        if reference.fingerprint() != result.fingerprint():
+            print(
+                f"PARITY MISMATCH: offline sweep fingerprint "
+                f"{reference.fingerprint()} != served "
+                f"{result.fingerprint()}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"parity OK: offline sweep matches bit-for-bit "
+            f"({reference.fingerprint()})"
+        )
+    return 0
+
+
 _COMMANDS = {
     "bench": _cmd_bench,
     "lint": _cmd_lint,
+    "record": _cmd_record,
+    "serve": _cmd_serve,
     "obs": _cmd_obs,
     "generate": _cmd_generate,
     "report": _cmd_report,

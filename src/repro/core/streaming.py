@@ -246,6 +246,39 @@ class StabilityMonitor:
             reports.extend(self.ingest(basket))
         return reports
 
+    def advance_to_day(self, day: int) -> list[WindowCloseReport]:
+        """Advance the stream clock to ``day`` without ingesting a basket.
+
+        Closes (and scores) every window that ends on or before ``day``,
+        exactly as ingesting a basket dated ``day`` would, but leaves all
+        per-customer item sets untouched.  This is what keeps a pool of
+        customer-partitioned monitors aligned: every shard sees every
+        day of the stream, even days on which none of *its* customers
+        shopped, so all shards close the same windows at the same time
+        (see :class:`repro.serve.ShardedMonitorPool`).
+
+        Raises
+        ------
+        DataError
+            If ``day`` regresses, lies outside the grid, or the monitor
+            is already finished.
+        """
+        if self._finished:
+            raise DataError("monitor already finished")
+        window = self.grid.window_of_day(day)
+        if window is None:
+            raise DataError(f"day {day} is outside the monitor's grid")
+        if day < self._last_day_seen:
+            raise DataError(
+                f"the stream clock must advance in day order: got day "
+                f"{day} after day {self._last_day_seen}"
+            )
+        self._last_day_seen = day
+        reports = []
+        while self._current_window < window:
+            reports.append(self._close_current_window())
+        return reports
+
     def finish(self) -> list[WindowCloseReport]:
         """Close every remaining window and end the stream."""
         if self._finished:
@@ -262,8 +295,13 @@ class StabilityMonitor:
     def snapshot(self) -> dict:
         """The monitor's complete state as a versioned JSON payload.
 
-        See :mod:`repro.runtime.snapshot` for the format and the
-        round-trip guarantee (a restored monitor emits identical
+        This is a thin delegation to the **one** snapshot codec,
+        :func:`repro.runtime.snapshot.snapshot_monitor` — the serving
+        layer, the checkpoint files and the tests all read and write
+        exactly this format (schema + version validated on restore, with
+        the found-vs-expected version named on drift).  See
+        :mod:`repro.runtime.snapshot` for the format and the round-trip
+        guarantee (a restored monitor emits identical
         :class:`WindowCloseReport` objects thereafter).
 
         Raises

@@ -63,6 +63,12 @@ class ManifestError(ReproError):
     schema/version; it will not be silently ingested."""
 
 
+class ServeError(ReproError):
+    """The serving layer cannot make progress: invalid serving
+    configuration, or a checkpoint that does not belong to the stream
+    being served."""
+
+
 class SlabStoreError(DataError):
     """An on-disk slab store is torn, stale or from an incompatible
     version (missing/truncated column files, manifest mismatch); it will

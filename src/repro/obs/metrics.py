@@ -56,6 +56,12 @@ __all__ = [
     "STAGE_NORMALIZE",
     "SLAB_STORE_HITS",
     "SLAB_STORE_MISSES",
+    "SERVE_INGESTED",
+    "SERVE_SCORED",
+    "SERVE_FLAGGED",
+    "SERVE_CHECKPOINTED",
+    "SERVE_BATCHES_REWORKED",
+    "SERVE_CURSOR_INVALID",
     # span taxonomy
     "SPAN_RUN_SHARDED",
     "SPAN_WAVE",
@@ -65,6 +71,9 @@ __all__ = [
     "SPAN_FIT_BATCH",
     "SPAN_SLAB_BUILD",
     "SPAN_SLAB_OPEN",
+    "SPAN_SERVE_RUN",
+    "SPAN_SERVE_CHECKPOINT",
+    "STAGE_SERVE_BATCH",
     # canonical name sets (consumed by repro.analysis rule OBS001)
     "CANONICAL_METRIC_NAMES",
     "CANONICAL_SPAN_NAMES",
@@ -96,6 +105,19 @@ STAGE_NORMALIZE = "engine.stage.normalize_s"
 #: the dataset fingerprint (hit) or had to build one (miss).
 SLAB_STORE_HITS = "slab.store_hits"
 SLAB_STORE_MISSES = "slab.store_misses"
+#: Serving-loop counters (Snippet-2 runbook semantics, DESIGN.md §10):
+#: baskets ingested, (customer, window) scores emitted, alarms raised,
+#: batches committed (state + cursor durable).
+SERVE_INGESTED = "serve.ingested"
+SERVE_SCORED = "serve.scored"
+SERVE_FLAGGED = "serve.flagged"
+SERVE_CHECKPOINTED = "serve.checkpointed"
+#: Batches re-processed on resume because a crash landed between the
+#: state write and the cursor commit (provably <= 1 per crash).
+SERVE_BATCHES_REWORKED = "serve.batches_reworked"
+#: Resumes that found an unusable cursor (torn file, stream/config
+#: mismatch) and fell back to restarting from the stream head.
+SERVE_CURSOR_INVALID = "serve.cursor_invalid"
 
 # ----------------------------------------------------------------------
 # Span taxonomy: every tracer span name used across the stack.  New
@@ -119,6 +141,13 @@ SPAN_FIT_BATCH = "fit.batch"
 SPAN_SLAB_BUILD = "slab.build"
 #: Validating + memory-mapping an existing slab store.
 SPAN_SLAB_OPEN = "slab.open"
+#: One serving run over a recorded stream (children: batches,
+#: checkpoints).
+SPAN_SERVE_RUN = "serve.run"
+#: One durable checkpoint: per-shard state write + cursor commit.
+SPAN_SERVE_CHECKPOINT = "serve.checkpoint"
+#: One ingest/score batch (span *and* histogram via timed_stage).
+STAGE_SERVE_BATCH = "serve.batch_s"
 
 #: Every canonical counter/gauge/histogram name.
 CANONICAL_METRIC_NAMES: frozenset[str] = frozenset(
@@ -136,6 +165,13 @@ CANONICAL_METRIC_NAMES: frozenset[str] = frozenset(
         STAGE_NORMALIZE,
         SLAB_STORE_HITS,
         SLAB_STORE_MISSES,
+        SERVE_INGESTED,
+        SERVE_SCORED,
+        SERVE_FLAGGED,
+        SERVE_CHECKPOINTED,
+        SERVE_BATCHES_REWORKED,
+        SERVE_CURSOR_INVALID,
+        STAGE_SERVE_BATCH,
     }
 )
 
@@ -152,9 +188,12 @@ CANONICAL_SPAN_NAMES: frozenset[str] = frozenset(
         SPAN_FIT_BATCH,
         SPAN_SLAB_BUILD,
         SPAN_SLAB_OPEN,
+        SPAN_SERVE_RUN,
+        SPAN_SERVE_CHECKPOINT,
         STAGE_CSR_BUILD,
         STAGE_SIGNIFICANCE,
         STAGE_NORMALIZE,
+        STAGE_SERVE_BATCH,
     }
 )
 

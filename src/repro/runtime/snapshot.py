@@ -160,8 +160,8 @@ def restore_monitor(payload: dict) -> StabilityMonitor:
     version = _require(payload, "version", int)
     if version != SNAPSHOT_VERSION:
         raise SnapshotError(
-            f"unsupported snapshot version {version} "
-            f"(this build reads version {SNAPSHOT_VERSION})"
+            f"snapshot version drift: found version {version}, "
+            f"expected version {SNAPSHOT_VERSION}"
         )
     grid_payload = _require(payload, "grid", dict)
     boundaries = _require(grid_payload, "boundaries", list)

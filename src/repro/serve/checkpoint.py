@@ -1,0 +1,281 @@
+"""Durable serve checkpoints: state dirs sealed by an atomic cursor.
+
+The serving loop's crash contract — *max rework after a crash is one
+batch* — is carried entirely by the write ordering here:
+
+1. :meth:`ServeCheckpoint.write_state` writes the batch's artifacts
+   (one snapshot file per shard plus the upserted score table) into a
+   **new** commit-indexed directory, each file atomically;
+2. :meth:`ServeCheckpoint.commit` atomically replaces ``cursor.json``
+   — the single commit point — with a cursor referencing that
+   directory, then prunes superseded state directories.
+
+A crash before the commit leaves the previous cursor (and its intact
+state directory) authoritative: the resumed run replays exactly the one
+uncommitted batch.  The orphaned newer state directory doubles as the
+rework marker — :meth:`ServeCheckpoint.load` reports it so the loop can
+count the rework in telemetry.
+
+A cursor is only trusted when it matches the run being resumed: the
+recorded stream's content fingerprint, the serving-config fingerprint
+and the shard count are all pinned inside it.  Any mismatch — or a
+torn/corrupt cursor, or missing state files — raises
+:class:`CursorInvalid`, and the loop falls back to restarting from the
+stream head (Snippet-2 semantics: idempotent score upsert, warning
+logged) rather than resuming into the wrong data.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.atomicio import atomic_write_json
+from repro.errors import ServeError
+
+__all__ = [
+    "CURSOR_NAME",
+    "CURSOR_SCHEMA",
+    "CURSOR_VERSION",
+    "SCORES_NAME",
+    "CursorInvalid",
+    "ServeCursor",
+    "LoadedCheckpoint",
+    "ServeCheckpoint",
+]
+
+CURSOR_NAME = "cursor.json"
+CURSOR_SCHEMA = "repro.serve-cursor"
+CURSOR_VERSION = 1
+#: Score-table file inside each state directory.
+SCORES_NAME = "scores.json"
+
+#: Counter names a cursor persists (the Snippet-2 runbook quartet).
+_COUNTER_KEYS = ("ingested", "scored", "flagged", "checkpointed")
+
+
+class CursorInvalid(ServeError):
+    """The checkpoint cannot be resumed from: torn cursor, foreign
+    schema/version, or a stream/config/shard mismatch.  The serving loop
+    treats this as "restart from the stream head", never as fatal."""
+
+
+@dataclass(frozen=True)
+class ServeCursor:
+    """The committed position of a serving run.
+
+    ``commit_index`` names the state directory holding the shard
+    snapshots and score table as of this commit;
+    ``day_batches_consumed`` is the replay skip count (whole days — a
+    checkpoint batch never splits a day).  Counters ride inside the
+    cursor so a resume restores them atomically with the position.
+    """
+
+    commit_index: int
+    day_batches_consumed: int
+    counters: dict[str, int]
+    stream_fingerprint: str
+    serve_fingerprint: str
+    n_shards: int
+    finished: bool
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": CURSOR_SCHEMA,
+            "version": CURSOR_VERSION,
+            "commit_index": self.commit_index,
+            "day_batches_consumed": self.day_batches_consumed,
+            "counters": {
+                key: int(self.counters.get(key, 0)) for key in _COUNTER_KEYS
+            },
+            "stream_fingerprint": self.stream_fingerprint,
+            "serve_fingerprint": self.serve_fingerprint,
+            "n_shards": self.n_shards,
+            "finished": self.finished,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> ServeCursor:
+        """Validate and revive a cursor payload.
+
+        Raises
+        ------
+        CursorInvalid
+            On any schema/version/shape mismatch (version drift names
+            the found and expected versions).
+        """
+        if not isinstance(payload, dict):
+            raise CursorInvalid(f"cursor is not a JSON object: {payload!r}")
+        if payload.get("schema") != CURSOR_SCHEMA:
+            raise CursorInvalid(
+                f"cursor schema {payload.get('schema')!r} is not "
+                f"{CURSOR_SCHEMA!r}"
+            )
+        if payload.get("version") != CURSOR_VERSION:
+            raise CursorInvalid(
+                f"cursor version drift: found version "
+                f"{payload.get('version')!r}, expected version "
+                f"{CURSOR_VERSION}"
+            )
+        counters = payload.get("counters")
+        if not isinstance(counters, dict):
+            raise CursorInvalid("cursor counters must be an object")
+        try:
+            return cls(
+                commit_index=int(payload["commit_index"]),
+                day_batches_consumed=int(payload["day_batches_consumed"]),
+                counters={
+                    key: int(counters.get(key, 0)) for key in _COUNTER_KEYS
+                },
+                stream_fingerprint=str(payload["stream_fingerprint"]),
+                serve_fingerprint=str(payload["serve_fingerprint"]),
+                n_shards=int(payload["n_shards"]),
+                finished=bool(payload["finished"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CursorInvalid(f"cursor missing or malformed field: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class LoadedCheckpoint:
+    """Everything a resume needs, read back from a valid checkpoint."""
+
+    cursor: ServeCursor
+    shard_payloads: list[dict]
+    scores: dict
+    #: A state directory newer than the cursor exists: a previous run
+    #: crashed between its state write and the cursor commit, so the
+    #: resumed run will rework exactly that one batch.
+    orphaned_state: bool
+
+
+class ServeCheckpoint:
+    """One serving run's checkpoint directory (see module docstring)."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    @property
+    def cursor_path(self) -> Path:
+        return self.directory / CURSOR_NAME
+
+    def state_dir(self, commit_index: int) -> Path:
+        """The state directory of one commit."""
+        return self.directory / f"state-{commit_index:06d}"
+
+    # ------------------------------------------------------------------
+    # Write protocol: state first, cursor second (the commit point).
+    # ------------------------------------------------------------------
+    def write_state(
+        self,
+        commit_index: int,
+        shard_payloads: list[dict],
+        scores: dict,
+    ) -> Path:
+        """Write one commit's shard snapshots + score table (atomically
+        per file, into a directory the current cursor does not reference
+        yet — so a crash mid-write cannot tear the committed state)."""
+        directory = self.state_dir(commit_index)
+        for shard, payload in enumerate(shard_payloads):
+            atomic_write_json(directory / f"shard-{shard:04d}.json", payload)
+        atomic_write_json(directory / SCORES_NAME, scores)
+        return directory
+
+    def commit(self, cursor: ServeCursor) -> Path:
+        """Atomically advance the cursor, then prune superseded state."""
+        path = atomic_write_json(self.cursor_path, cursor.to_payload())
+        self._prune(keep=cursor.commit_index)
+        return path
+
+    def _prune(self, keep: int) -> None:
+        kept = self.state_dir(keep)
+        for candidate in sorted(self.directory.glob("state-*")):
+            if candidate.is_dir() and candidate != kept:
+                shutil.rmtree(candidate, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        *,
+        stream_fingerprint: str,
+        serve_fingerprint: str,
+        n_shards: int,
+    ) -> LoadedCheckpoint | None:
+        """Read the committed checkpoint back for a resume.
+
+        Returns ``None`` when no cursor exists (a fresh start, not an
+        error).
+
+        Raises
+        ------
+        CursorInvalid
+            If the cursor or its referenced state cannot be trusted:
+            torn/corrupt files, schema or version drift, or a
+            stream/config/shard mismatch with the run being resumed.
+        """
+        if not self.cursor_path.exists():
+            return None
+        try:
+            text = self.cursor_path.read_text()
+        except OSError as exc:
+            raise CursorInvalid(
+                f"{self.cursor_path}: cannot read cursor: {exc}"
+            ) from exc
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CursorInvalid(
+                f"{self.cursor_path}: torn or corrupt cursor (invalid JSON)"
+            ) from exc
+        cursor = ServeCursor.from_payload(payload)
+        if cursor.stream_fingerprint != stream_fingerprint:
+            raise CursorInvalid(
+                f"cursor was recorded over stream "
+                f"{cursor.stream_fingerprint}, resuming over "
+                f"{stream_fingerprint}"
+            )
+        if cursor.serve_fingerprint != serve_fingerprint:
+            raise CursorInvalid(
+                f"cursor was recorded under serving config "
+                f"{cursor.serve_fingerprint}, resuming under "
+                f"{serve_fingerprint}"
+            )
+        if cursor.n_shards != n_shards:
+            raise CursorInvalid(
+                f"cursor has {cursor.n_shards} shard(s), resuming with "
+                f"{n_shards}"
+            )
+        directory = self.state_dir(cursor.commit_index)
+        shard_payloads: list[dict] = []
+        for shard in range(n_shards):
+            shard_payloads.append(
+                self._read_json(directory / f"shard-{shard:04d}.json")
+            )
+        scores = self._read_json(directory / SCORES_NAME)
+        return LoadedCheckpoint(
+            cursor=cursor,
+            shard_payloads=shard_payloads,
+            scores=scores,
+            orphaned_state=self.state_dir(cursor.commit_index + 1).exists(),
+        )
+
+    @staticmethod
+    def _read_json(path: Path) -> dict:
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise CursorInvalid(
+                f"{path}: committed state file is missing or unreadable: "
+                f"{exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise CursorInvalid(
+                f"{path}: committed state file is torn (invalid JSON)"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise CursorInvalid(f"{path}: state file is not a JSON object")
+        return payload

@@ -1,0 +1,681 @@
+"""The serving loop: replay → score → checkpoint, crash-rework ≤ 1 batch.
+
+:func:`serve_stream` is the daemon's engine room.  It consumes a
+recorded day-ordered basket stream (:mod:`repro.synth.stream`) in
+checkpoint batches — consecutive whole days until at least
+``batch_size`` baskets accumulate — plays each batch through a
+:class:`~repro.serve.pool.ShardedMonitorPool`, upserts the resulting
+scores/flags into an idempotent score table, and makes the batch
+durable through :class:`~repro.serve.checkpoint.ServeCheckpoint`'s
+state-then-cursor protocol.  The FeedForward streaming-batch runbook
+(SNIPPETS.md Snippet 2) is the contract:
+
+* counters ``ingested`` / ``scored`` / ``flagged`` / ``checkpointed``
+  are cumulative across resumes (they ride inside the committed
+  cursor, so a resume restores them atomically with the position);
+* a crash at any point costs at most **one batch** of rework — the
+  cursor commit is the only point of no return, and everything written
+  before it is re-derived identically on replay;
+* an unusable cursor (torn file, version drift, stream or config
+  fingerprint mismatch) is not fatal: the loop logs a warning, counts
+  ``serve.cursor_invalid`` and restarts from the stream head, relying
+  on the score table's idempotent upsert semantics.
+
+The headline invariant — pinned by the parity tests and checkable via
+:func:`score_fingerprint` — is that serving a recorded stream to
+completion is **bit-identical** to :func:`offline_sweep` (one
+:class:`~repro.core.streaming.StabilityMonitor` over the same log),
+regardless of shard count, parallelism, or how many times the run was
+killed and resumed along the way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import math
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.config import ExperimentConfig
+from repro.core.streaming import StabilityMonitor, WindowCloseReport
+from repro.errors import ConfigError, SnapshotError
+from repro.obs import build_manifest, get_metrics, get_tracer, timed_stage, write_manifest
+from repro.obs import metrics as obs_metrics
+from repro.obs.manifest import config_fingerprint
+from repro.serve.checkpoint import (
+    CursorInvalid,
+    ServeCheckpoint,
+    ServeCursor,
+)
+from repro.serve.pool import ShardedMonitorPool
+from repro.synth.stream import (
+    read_stream_header,
+    replay_stream,
+    stream_calendar,
+    stream_fingerprint,
+)
+
+if TYPE_CHECKING:
+    from repro.data.basket import Basket
+    from repro.data.calendar import StudyCalendar
+    from repro.data.streams import DayBatch
+    from repro.runtime.faults import FaultPlan
+    from repro.serve.api import StatusBoard
+
+__all__ = [
+    "ServeCounters",
+    "ServeResult",
+    "OfflineSweep",
+    "serve_stream",
+    "offline_sweep",
+    "offline_sweep_stream",
+    "score_fingerprint",
+]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ServeCounters:
+    """The runbook's cumulative counter quartet (see module docstring)."""
+
+    #: Baskets played into the monitors.
+    ingested: int = 0
+    #: (customer, window) stability scores emitted at window closes.
+    scored: int = 0
+    #: Alarms raised (distinct (customer, window) threshold crossings).
+    flagged: int = 0
+    #: Data batches made durable (state written *and* cursor committed).
+    checkpointed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, int]) -> ServeCounters:
+        return cls(
+            ingested=int(payload.get("ingested", 0)),
+            scored=int(payload.get("scored", 0)),
+            flagged=int(payload.get("flagged", 0)),
+            checkpointed=int(payload.get("checkpointed", 0)),
+        )
+
+
+@dataclass
+class _CustomerRecord:
+    """Mutable score-table entry; frozen into the result at the end."""
+
+    stability: float = math.nan
+    flagged: bool = False
+    alarm_windows: dict[int, float] = field(default_factory=dict)
+
+
+_ScoreTable = dict[int, _CustomerRecord]
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """What one :func:`serve_stream` invocation produced."""
+
+    #: Final stability per customer (``nan`` when never defined).
+    scores: dict[int, float]
+    #: Whether each customer ever alarmed.
+    flags: dict[int, bool]
+    #: Every (window, stability) alarm per customer, window-ordered.
+    alarm_windows: dict[int, tuple[tuple[int, float], ...]]
+    #: Cumulative runbook counters (across resumes).
+    counters: ServeCounters
+    #: Data batches processed by *this* invocation (rework included).
+    batches_this_run: int
+    #: Batches this invocation re-processed because a previous run
+    #: crashed between state write and cursor commit (0 or 1).
+    batches_reworked: int
+    #: Committed replay position, in whole day batches.
+    day_batches_consumed: int
+    resumed: bool
+    #: True when the stream was served to completion (windows closed,
+    #: final cursor committed); False after an interruption.
+    finished: bool
+    checkpoint_dir: Path
+
+    def fingerprint(self) -> str:
+        """Canonical digest of scores/flags/alarms (parity checks)."""
+        return score_fingerprint(self.scores, self.flags, self.alarm_windows)
+
+
+@dataclass(frozen=True)
+class OfflineSweep:
+    """The offline reference result (single monitor over the full log)."""
+
+    scores: dict[int, float]
+    flags: dict[int, bool]
+    alarm_windows: dict[int, tuple[tuple[int, float], ...]]
+
+    def fingerprint(self) -> str:
+        return score_fingerprint(self.scores, self.flags, self.alarm_windows)
+
+
+def score_fingerprint(
+    scores: dict[int, float],
+    flags: dict[int, bool],
+    alarm_windows: dict[int, tuple[tuple[int, float], ...]],
+) -> str:
+    """Short canonical digest of a score table.
+
+    Floats serialise at ``repr`` precision and ``nan`` maps to ``null``,
+    so two tables fingerprint equal iff they are bit-identical — the
+    serving parity checks (serial vs sharded vs resumed vs offline)
+    compare exactly this.
+    """
+    canonical = {
+        str(customer_id): [
+            None
+            if math.isnan(scores[customer_id])
+            else scores[customer_id],
+            bool(flags.get(customer_id, False)),
+            [[w, s] for w, s in alarm_windows.get(customer_id, ())],
+        ]
+        for customer_id in sorted(scores)
+    }
+    digest = hashlib.sha1(
+        json.dumps(canonical, sort_keys=True).encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Score table: idempotent upsert from window-close reports.
+# ----------------------------------------------------------------------
+def _apply_reports(
+    table: _ScoreTable,
+    reports: Iterable[WindowCloseReport],
+    counters: ServeCounters,
+    status: StatusBoard | None,
+) -> None:
+    """Upsert reports into the table; counters track *new* information
+    only, so replaying an already-counted batch after a crash (whose
+    counters were not committed) re-counts it exactly once overall."""
+    touched: set[int] = set()
+    for report in reports:
+        for customer_id, stability in report.stabilities.items():
+            record = table.setdefault(customer_id, _CustomerRecord())
+            record.stability = stability
+            counters.scored += 1
+            touched.add(customer_id)
+        for alarm in report.alarms:
+            record = table[alarm.customer_id]
+            record.flagged = True
+            if alarm.window_index not in record.alarm_windows:
+                record.alarm_windows[alarm.window_index] = alarm.stability
+                counters.flagged += 1
+    if status is not None:
+        for customer_id in sorted(touched):
+            record = table[customer_id]
+            status.upsert_customer(
+                customer_id,
+                record.stability,
+                record.flagged,
+                tuple(sorted(record.alarm_windows.items())),
+            )
+
+
+def _freeze_table(
+    table: _ScoreTable,
+) -> tuple[
+    dict[int, float],
+    dict[int, bool],
+    dict[int, tuple[tuple[int, float], ...]],
+]:
+    scores: dict[int, float] = {}
+    flags: dict[int, bool] = {}
+    alarm_windows: dict[int, tuple[tuple[int, float], ...]] = {}
+    for customer_id in sorted(table):
+        record = table[customer_id]
+        scores[customer_id] = record.stability
+        flags[customer_id] = record.flagged
+        alarm_windows[customer_id] = tuple(
+            sorted(record.alarm_windows.items())
+        )
+    return scores, flags, alarm_windows
+
+
+def _table_to_payload(table: _ScoreTable) -> dict:
+    return {
+        "customers": {
+            str(customer_id): {
+                "stability": None
+                if math.isnan(record.stability)
+                else record.stability,
+                "flagged": record.flagged,
+                "alarm_windows": [
+                    [w, s] for w, s in sorted(record.alarm_windows.items())
+                ],
+            }
+            for customer_id, record in sorted(table.items())
+        }
+    }
+
+
+def _table_from_payload(payload: dict) -> _ScoreTable:
+    table: _ScoreTable = {}
+    customers = payload.get("customers", {})
+    if not isinstance(customers, dict):
+        raise CursorInvalid("score table payload is malformed")
+    for key, record in customers.items():
+        if not isinstance(record, dict):
+            raise CursorInvalid(f"score record for customer {key} malformed")
+        stability = record.get("stability")
+        table[int(key)] = _CustomerRecord(
+            stability=math.nan if stability is None else float(stability),
+            flagged=bool(record.get("flagged", False)),
+            alarm_windows={
+                int(w): float(s)
+                for w, s in record.get("alarm_windows", [])
+            },
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Offline reference
+# ----------------------------------------------------------------------
+def offline_sweep(
+    baskets: Iterable[Basket],
+    calendar: StudyCalendar,
+    *,
+    config: ExperimentConfig | None = None,
+    beta: float = 0.5,
+    first_alarm_window: int = 0,
+) -> OfflineSweep:
+    """The batch reference: one monitor over the whole log, no serving.
+
+    Serving a recorded stream to completion must produce a table with
+    an identical :func:`score_fingerprint` — that equality is the
+    serving layer's correctness contract.
+    """
+    config = config if config is not None else ExperimentConfig()
+    monitor = StabilityMonitor.from_config(
+        calendar, config, beta=beta, first_alarm_window=first_alarm_window
+    )
+    reports = monitor.ingest_many(baskets)
+    reports.extend(monitor.finish())
+    table: _ScoreTable = {}
+    _apply_reports(table, reports, ServeCounters(), None)
+    scores, flags, alarm_windows = _freeze_table(table)
+    return OfflineSweep(
+        scores=scores, flags=flags, alarm_windows=alarm_windows
+    )
+
+
+def offline_sweep_stream(
+    stream_path: str | Path,
+    *,
+    config: ExperimentConfig | None = None,
+    beta: float = 0.5,
+    first_alarm_window: int = 0,
+) -> OfflineSweep:
+    """:func:`offline_sweep` over a recorded stream file."""
+    header = read_stream_header(stream_path)
+    calendar = stream_calendar(header)
+    baskets = (
+        basket
+        for batch in replay_stream(stream_path)
+        for basket in batch.baskets
+    )
+    return offline_sweep(
+        baskets,
+        calendar,
+        config=config,
+        beta=beta,
+        first_alarm_window=first_alarm_window,
+    )
+
+
+# ----------------------------------------------------------------------
+# The serving loop
+# ----------------------------------------------------------------------
+def serve_stream(
+    stream_path: str | Path,
+    checkpoint_dir: str | Path,
+    *,
+    batch_size: int = 256,
+    n_shards: int = 1,
+    parallel: bool = False,
+    config: ExperimentConfig | None = None,
+    beta: float = 0.5,
+    first_alarm_window: int = 0,
+    retries: int = 2,
+    timeout: float | None = None,
+    fault_plan: FaultPlan | None = None,
+    status: StatusBoard | None = None,
+    max_batches: int | None = None,
+    should_stop: Callable[[], bool] | None = None,
+    on_state_written: Callable[[int], None] | None = None,
+) -> ServeResult:
+    """Serve a recorded stream with per-batch durable checkpoints.
+
+    Parameters
+    ----------
+    stream_path:
+        A recorded stream written by
+        :func:`repro.synth.stream.record_stream`.
+    checkpoint_dir:
+        Durable run directory (cursor + state dirs + run manifest); an
+        existing valid checkpoint there is resumed automatically.
+    batch_size:
+        Checkpoint cadence: a batch is the smallest run of consecutive
+        whole days holding at least this many baskets (days are atomic,
+        so the resume cursor counts whole days).
+    n_shards, parallel, retries, timeout, fault_plan:
+        Shard-pool shape; see :class:`~repro.serve.pool.ShardedMonitorPool`.
+    config, beta, first_alarm_window:
+        Scoring configuration (the same objects the offline protocol
+        takes, so parity is comparing like with like).
+    status:
+        Optional :class:`~repro.serve.api.StatusBoard` kept current
+        with phase/counters/cursor/scores.
+    max_batches:
+        Stop (resumable, ``finished=False``) after this many data
+        batches this run — deterministic partial runs for tests/CI.
+    should_stop:
+        Polled between batches; returning True stops the run cleanly
+        after the current batch's commit (the CLI wires SIGTERM here).
+    on_state_written:
+        Test hook invoked *between* a batch's state write and its
+        cursor commit — raising from it simulates the worst-case crash
+        point for the rework-bound tests.
+
+    Raises
+    ------
+    ConfigError
+        On invalid serving parameters.
+    SchemaError
+        If the stream file is not a valid recorded stream.
+    """
+    if batch_size < 1:
+        raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+    if n_shards < 1:
+        raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+    if max_batches is not None and max_batches < 1:
+        raise ConfigError(f"max_batches must be >= 1, got {max_batches}")
+    stream = Path(stream_path)
+    config = config if config is not None else ExperimentConfig()
+    header = read_stream_header(stream)
+    calendar = stream_calendar(header)
+    stream_fp = stream_fingerprint(stream)
+    serve_fp = config_fingerprint(
+        {
+            **dataclasses.asdict(config),
+            "beta": beta,
+            "first_alarm_window": first_alarm_window,
+            "n_shards": n_shards,
+        }
+    )
+    checkpoint = ServeCheckpoint(checkpoint_dir)
+    registry = get_metrics()
+    tracer = get_tracer()
+
+    counters = ServeCounters()
+    table: _ScoreTable = {}
+    pool: ShardedMonitorPool | None = None
+    resumed = False
+    reworked = 0
+    commit_index = 0
+    day_batches_consumed = 0
+    already_finished = False
+
+    # ------------------------------------------------------------------
+    # Resume (or fall back to the stream head on an invalid cursor).
+    # ------------------------------------------------------------------
+    loaded = None
+    try:
+        loaded = checkpoint.load(
+            stream_fingerprint=stream_fp,
+            serve_fingerprint=serve_fp,
+            n_shards=n_shards,
+        )
+        if loaded is not None:
+            pool = ShardedMonitorPool.from_snapshots(
+                loaded.shard_payloads,
+                parallel=parallel,
+                retries=retries,
+                timeout=timeout,
+                fault_plan=fault_plan,
+            )
+            table = _table_from_payload(loaded.scores)
+    except (CursorInvalid, SnapshotError) as exc:
+        logger.warning(
+            "cursor invalid on resume, restarting from stream head: %s", exc
+        )
+        registry.counter(obs_metrics.SERVE_CURSOR_INVALID).inc()
+        loaded = None
+        pool = None
+        table = {}
+    if loaded is not None and pool is not None:
+        cursor = loaded.cursor
+        counters = ServeCounters.from_dict(cursor.counters)
+        commit_index = cursor.commit_index
+        day_batches_consumed = cursor.day_batches_consumed
+        resumed = True
+        already_finished = cursor.finished
+        if loaded.orphaned_state and not already_finished:
+            # The previous run crashed between state write and cursor
+            # commit: the batch after the committed one is reworked now.
+            reworked = 1
+            registry.counter(obs_metrics.SERVE_BATCHES_REWORKED).inc()
+            logger.info(
+                "resume found an uncommitted state write after commit %d; "
+                "reworking exactly one batch",
+                commit_index,
+            )
+    if pool is None:
+        pool = ShardedMonitorPool.create(
+            config.grid(calendar),
+            n_shards=n_shards,
+            beta=beta,
+            significance=config.significance(),
+            counting=config.counting,
+            first_alarm_window=first_alarm_window,
+            parallel=parallel,
+            retries=retries,
+            timeout=timeout,
+            fault_plan=fault_plan,
+        )
+
+    if status is not None:
+        status.set_run_info(
+            stream=str(stream),
+            stream_fingerprint=stream_fp,
+            serve_fingerprint=serve_fp,
+            n_shards=n_shards,
+            batch_size=batch_size,
+            parallel=parallel,
+        )
+        status.set_phase("resuming" if resumed else "starting")
+        status.set_counters(counters.as_dict())
+        status.set_checkpoint(
+            commit_index=commit_index,
+            day_batches_consumed=day_batches_consumed,
+            finished=already_finished,
+        )
+        for customer_id in sorted(table):
+            record = table[customer_id]
+            status.upsert_customer(
+                customer_id,
+                record.stability,
+                record.flagged,
+                tuple(sorted(record.alarm_windows.items())),
+            )
+
+    def make_cursor(finished: bool) -> ServeCursor:
+        return ServeCursor(
+            commit_index=commit_index,
+            day_batches_consumed=day_batches_consumed,
+            counters=counters.as_dict(),
+            stream_fingerprint=stream_fp,
+            serve_fingerprint=serve_fp,
+            n_shards=n_shards,
+            finished=finished,
+        )
+
+    def build_result(*, batches_this_run: int, finished: bool) -> ServeResult:
+        scores, flags, alarm_windows = _freeze_table(table)
+        return ServeResult(
+            scores=scores,
+            flags=flags,
+            alarm_windows=alarm_windows,
+            counters=counters,
+            batches_this_run=batches_this_run,
+            batches_reworked=reworked,
+            day_batches_consumed=day_batches_consumed,
+            resumed=resumed,
+            finished=finished,
+            checkpoint_dir=checkpoint.directory,
+        )
+
+    if already_finished:
+        # The stream was already served to completion: a no-op resume.
+        logger.info(
+            "checkpoint at %s is already finished; nothing to serve",
+            checkpoint.directory,
+        )
+        if status is not None:
+            status.set_phase("finished")
+        return build_result(batches_this_run=0, finished=True)
+
+    # ------------------------------------------------------------------
+    # The loop proper.
+    # ------------------------------------------------------------------
+    batches_this_run = 0
+    interrupted = False
+    active_pool = pool
+
+    def commit_state(finished: bool) -> None:
+        """State first, hook, then the cursor — the one commit point."""
+        with tracer.span(
+            obs_metrics.SPAN_SERVE_CHECKPOINT,
+            commit=commit_index,
+            finished=finished,
+        ):
+            checkpoint.write_state(
+                commit_index,
+                active_pool.snapshot_shards(),
+                _table_to_payload(table),
+            )
+            if on_state_written is not None:
+                on_state_written(commit_index)
+            checkpoint.commit(make_cursor(finished))
+
+    def process_batch(group: list[DayBatch]) -> None:
+        nonlocal commit_index, day_batches_consumed
+        n_baskets = sum(b.n_baskets for b in group)
+        if status is not None:
+            status.set_phase("serving")
+        with timed_stage(
+            obs_metrics.STAGE_SERVE_BATCH,
+            days=len(group),
+            baskets=n_baskets,
+        ):
+            reports = active_pool.process_batch(group)
+        counters.ingested += n_baskets
+        registry.counter(obs_metrics.SERVE_INGESTED).inc(n_baskets)
+        scored_before = counters.scored
+        flagged_before = counters.flagged
+        _apply_reports(table, reports, counters, status)
+        registry.counter(obs_metrics.SERVE_SCORED).inc(
+            counters.scored - scored_before
+        )
+        registry.counter(obs_metrics.SERVE_FLAGGED).inc(
+            counters.flagged - flagged_before
+        )
+        day_batches_consumed += len(group)
+        commit_index += 1
+        counters.checkpointed += 1
+        if status is not None:
+            status.set_phase("checkpointing")
+        commit_state(finished=False)
+        registry.counter(obs_metrics.SERVE_CHECKPOINTED).inc()
+        if status is not None:
+            status.set_counters(counters.as_dict())
+            status.set_checkpoint(
+                commit_index=commit_index,
+                day_batches_consumed=day_batches_consumed,
+                finished=False,
+            )
+
+    with tracer.span(
+        obs_metrics.SPAN_SERVE_RUN,
+        stream=str(stream),
+        n_shards=n_shards,
+        resumed=resumed,
+    ):
+        pending: list[DayBatch] = []
+        pending_baskets = 0
+        for day_batch in replay_stream(stream, skip_days=day_batches_consumed):
+            pending.append(day_batch)
+            pending_baskets += day_batch.n_baskets
+            if pending_baskets < batch_size:
+                continue
+            process_batch(pending)
+            batches_this_run += 1
+            pending = []
+            pending_baskets = 0
+            if max_batches is not None and batches_this_run >= max_batches:
+                interrupted = True
+                break
+            if should_stop is not None and should_stop():
+                interrupted = True
+                break
+        if not interrupted:
+            if pending:
+                process_batch(pending)
+                batches_this_run += 1
+            # End of stream: close the remaining windows and seal the
+            # run under its own commit index (never overwriting the
+            # committed state in place — a crash mid-seal must leave
+            # the last data commit authoritative).
+            final_reports = active_pool.finish()
+            _apply_reports(table, final_reports, counters, status)
+            commit_index += 1
+            commit_state(finished=True)
+            if status is not None:
+                status.set_counters(counters.as_dict())
+                status.set_checkpoint(
+                    commit_index=commit_index,
+                    day_batches_consumed=day_batches_consumed,
+                    finished=True,
+                )
+                status.set_phase("finished")
+        elif status is not None:
+            status.set_phase("interrupted")
+
+    manifest = build_manifest(
+        "serve",
+        config=config,
+        dataset_fingerprint=stream_fp,
+        execution=active_pool.last_report,
+        tracer=tracer,
+        metrics=registry,
+    )
+    write_manifest(checkpoint.directory, manifest)
+    if status is not None:
+        status.set_manifest(manifest.to_dict())
+    logger.info(
+        "served %d batch(es) this run (%d reworked): ingested=%d scored=%d "
+        "flagged=%d checkpointed=%d%s",
+        batches_this_run,
+        reworked,
+        counters.ingested,
+        counters.scored,
+        counters.flagged,
+        counters.checkpointed,
+        "" if interrupted else " [stream complete]",
+    )
+    return build_result(
+        batches_this_run=batches_this_run, finished=not interrupted
+    )

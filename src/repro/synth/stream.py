@@ -17,14 +17,31 @@ stream twice.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+import datetime as _dt
+import hashlib
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
 
 import numpy as np
 
+from repro.atomicio import AtomicBinaryWriter
+from repro.data.basket import Basket
+from repro.data.calendar import StudyCalendar
 from repro.data.slabs import SlabChunk
-from repro.errors import ConfigError
+from repro.data.streams import DayBatch, iter_day_batches
+from repro.errors import ConfigError, SchemaError
 
-__all__ = ["synthetic_slab_stream"]
+__all__ = [
+    "synthetic_slab_stream",
+    "RECORDED_STREAM_SCHEMA",
+    "RECORDED_STREAM_VERSION",
+    "record_stream",
+    "read_stream_header",
+    "stream_calendar",
+    "replay_stream",
+    "stream_fingerprint",
+]
 
 
 def synthetic_slab_stream(
@@ -88,3 +105,211 @@ def synthetic_slab_stream(
             item_day=np.repeat(days.reshape(-1), items_per_basket),
             item_id=items.reshape(-1),
         )
+
+
+# ----------------------------------------------------------------------
+# Recorded streams: the record-workload-then-replay harness.
+#
+# A *recorded stream* is the serving layer's deterministic test fixture:
+# a JSONL file whose first line is a self-describing header and whose
+# every subsequent line is one day's baskets.  Recording a synthetic
+# scenario once and replaying the file through `repro.serve` makes every
+# serving test exactly reproducible — same bytes in, same scores out —
+# and the file's content fingerprint is what the serve checkpoint cursor
+# pins itself to.
+# ----------------------------------------------------------------------
+
+RECORDED_STREAM_SCHEMA = "repro.recorded-stream"
+RECORDED_STREAM_VERSION = 1
+
+
+def record_stream(
+    baskets: Iterable[Basket],
+    path: str | Path,
+    *,
+    calendar: StudyCalendar,
+    meta: dict[str, object] | None = None,
+) -> Path:
+    """Record a day-ordered basket stream as a JSONL fixture, atomically.
+
+    The file is written through
+    :class:`~repro.atomicio.AtomicBinaryWriter` (write-temp-then-rename),
+    so a killed recording never leaves a truncated fixture under the
+    final name.  Line 1 is the header (schema, version, the calendar the
+    day offsets refer to, optional metadata); every further line is one
+    :class:`~repro.data.streams.DayBatch` as
+    ``{"day": d, "baskets": [[customer_id, [items...], monetary], ...]}``.
+    Monetary values serialise at ``repr`` precision, so a record/replay
+    round trip is bit-exact.
+
+    Raises
+    ------
+    DataError
+        If the basket stream is not day-ordered (via
+        :func:`~repro.data.streams.iter_day_batches`).
+    """
+    path = Path(path)
+    header = {
+        "schema": RECORDED_STREAM_SCHEMA,
+        "version": RECORDED_STREAM_VERSION,
+        "calendar": {
+            "start": calendar.start.isoformat(),
+            "n_months": calendar.n_months,
+        },
+        "meta": dict(meta) if meta else {},
+    }
+    with AtomicBinaryWriter(path) as writer:
+        writer.write((json.dumps(header, sort_keys=True) + "\n").encode())
+        for batch in iter_day_batches(baskets):
+            line = {
+                "day": batch.day,
+                "baskets": [
+                    [
+                        basket.customer_id,
+                        sorted(basket.items),
+                        basket.monetary,
+                    ]
+                    for basket in batch.baskets
+                ],
+            }
+            writer.write((json.dumps(line, sort_keys=True) + "\n").encode())
+    return path
+
+
+def _header_error(path: Path, reason: str) -> SchemaError:
+    return SchemaError(f"{path}: not a recorded stream ({reason})")
+
+
+def read_stream_header(path: str | Path) -> dict[str, object]:
+    """Read and validate the header line of a recorded stream.
+
+    Raises
+    ------
+    SchemaError
+        If the file is missing, empty, unparseable, from a foreign
+        schema, or from an incompatible version (the message names the
+        found and expected versions).
+    """
+    path = Path(path)
+    try:
+        with path.open() as handle:
+            first = handle.readline()
+    except OSError as exc:
+        raise _header_error(path, f"cannot read: {exc}") from exc
+    if not first:
+        raise _header_error(path, "empty file")
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise _header_error(path, "corrupt header line") from exc
+    if not isinstance(header, dict):
+        raise _header_error(path, "header is not an object")
+    if header.get("schema") != RECORDED_STREAM_SCHEMA:
+        raise _header_error(
+            path, f"schema {header.get('schema')!r} is not {RECORDED_STREAM_SCHEMA!r}"
+        )
+    if header.get("version") != RECORDED_STREAM_VERSION:
+        raise _header_error(
+            path,
+            f"found version {header.get('version')!r}, expected version "
+            f"{RECORDED_STREAM_VERSION}",
+        )
+    cal = header.get("calendar")
+    if not isinstance(cal, dict) or "start" not in cal or "n_months" not in cal:
+        raise _header_error(path, "missing or malformed calendar")
+    return header
+
+
+def stream_calendar(header: dict[str, object]) -> StudyCalendar:
+    """The :class:`~repro.data.calendar.StudyCalendar` a header declares."""
+    cal = header["calendar"]
+    assert isinstance(cal, dict)
+    return StudyCalendar(
+        start=_dt.date.fromisoformat(str(cal["start"])),
+        n_months=int(str(cal["n_months"])),
+    )
+
+
+def replay_stream(
+    path: str | Path, *, skip_days: int = 0
+) -> Iterator[DayBatch]:
+    """Replay a recorded stream as day batches, in recorded order.
+
+    ``skip_days`` drops the first N day batches without parsing their
+    baskets — the serve cursor's resume path ("skip already-fetched
+    pages").  Validation failures raise
+    :class:`~repro.errors.SchemaError` naming the offending line; day
+    regressions raise it too (a recorded fixture is day-ordered by
+    construction, so regression means the file was edited or torn).
+    """
+    path = Path(path)
+    if skip_days < 0:
+        raise ConfigError(f"skip_days must be >= 0, got {skip_days}")
+    read_stream_header(path)  # validate before yielding anything
+    last_day = -1
+    with path.open() as handle:
+        handle.readline()  # header, validated above
+        for line_no, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            if line_no - 2 < skip_days:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(
+                    f"{path}:{line_no}: corrupt or truncated day batch"
+                ) from exc
+            batch = _parse_day_batch(path, line_no, payload)
+            if batch.day <= last_day and last_day >= 0:
+                raise SchemaError(
+                    f"{path}:{line_no}: day {batch.day} does not advance "
+                    f"past day {last_day}"
+                )
+            last_day = batch.day
+            yield batch
+
+
+def _parse_day_batch(path: Path, line_no: int, payload: object) -> DayBatch:
+    if (
+        not isinstance(payload, dict)
+        or not isinstance(payload.get("day"), int)
+        or not isinstance(payload.get("baskets"), list)
+    ):
+        raise SchemaError(f"{path}:{line_no}: malformed day batch")
+    day = payload["day"]
+    baskets = []
+    for record in payload["baskets"]:
+        if not isinstance(record, list) or len(record) != 3:
+            raise SchemaError(
+                f"{path}:{line_no}: malformed basket record {record!r}"
+            )
+        customer_id, items, monetary = record
+        try:
+            baskets.append(
+                Basket.of(
+                    customer_id=int(customer_id),
+                    day=day,
+                    items=[int(item) for item in items],
+                    monetary=float(monetary),
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"{path}:{line_no}: {exc}") from exc
+    return DayBatch(day=day, baskets=tuple(baskets))
+
+
+def stream_fingerprint(path: str | Path) -> str:
+    """Short content digest of a recorded stream file.
+
+    The serve checkpoint stores this next to its cursor: a cursor is
+    only valid against the exact bytes it was recorded over, so a
+    re-recorded or edited stream invalidates the cursor (triggering the
+    restart-from-head fallback) instead of resuming into the wrong data.
+    """
+    digest = hashlib.sha1()
+    path = Path(path)
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()[:16]

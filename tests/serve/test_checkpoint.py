@@ -1,0 +1,158 @@
+"""Tests for the serve checkpoint protocol (state dirs + atomic cursor)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.faults import tear_file
+from repro.serve import CursorInvalid, ServeCheckpoint, ServeCursor
+from repro.serve.checkpoint import CURSOR_SCHEMA, CURSOR_VERSION
+
+
+def _cursor(**overrides) -> ServeCursor:
+    base = dict(
+        commit_index=3,
+        day_batches_consumed=17,
+        counters={"ingested": 100, "scored": 40, "flagged": 2, "checkpointed": 3},
+        stream_fingerprint="aaaa",
+        serve_fingerprint="bbbb",
+        n_shards=2,
+        finished=False,
+    )
+    base.update(overrides)
+    return ServeCursor(**base)
+
+
+def _write_checkpoint(tmp_path, cursor: ServeCursor) -> ServeCheckpoint:
+    checkpoint = ServeCheckpoint(tmp_path / "ckpt")
+    checkpoint.write_state(
+        cursor.commit_index,
+        [{"shard": i} for i in range(cursor.n_shards)],
+        {"customers": {}},
+    )
+    checkpoint.commit(cursor)
+    return checkpoint
+
+
+def _load(checkpoint: ServeCheckpoint, **overrides):
+    kwargs = dict(
+        stream_fingerprint="aaaa", serve_fingerprint="bbbb", n_shards=2
+    )
+    kwargs.update(overrides)
+    return checkpoint.load(**kwargs)
+
+
+class TestCursorCodec:
+    def test_round_trip(self):
+        cursor = _cursor()
+        assert ServeCursor.from_payload(cursor.to_payload()) == cursor
+
+    def test_version_drift_names_both_versions(self):
+        payload = _cursor().to_payload()
+        payload["version"] = CURSOR_VERSION + 1
+        with pytest.raises(
+            CursorInvalid,
+            match=(
+                f"found version {CURSOR_VERSION + 1}, "
+                f"expected version {CURSOR_VERSION}"
+            ),
+        ):
+            ServeCursor.from_payload(payload)
+
+    def test_foreign_schema_rejected(self):
+        payload = _cursor().to_payload()
+        payload["schema"] = "something-else"
+        with pytest.raises(CursorInvalid, match=CURSOR_SCHEMA):
+            ServeCursor.from_payload(payload)
+
+    def test_missing_field_rejected(self):
+        payload = _cursor().to_payload()
+        del payload["commit_index"]
+        with pytest.raises(CursorInvalid, match="missing or malformed"):
+            ServeCursor.from_payload(payload)
+
+
+class TestCommitProtocol:
+    def test_fresh_directory_loads_none(self, tmp_path):
+        assert _load(ServeCheckpoint(tmp_path / "nothing")) is None
+
+    def test_commit_then_load_round_trips(self, tmp_path):
+        cursor = _cursor()
+        checkpoint = _write_checkpoint(tmp_path, cursor)
+        loaded = _load(checkpoint)
+        assert loaded is not None
+        assert loaded.cursor == cursor
+        assert loaded.shard_payloads == [{"shard": 0}, {"shard": 1}]
+        assert loaded.scores == {"customers": {}}
+        assert not loaded.orphaned_state
+
+    def test_commit_prunes_superseded_state(self, tmp_path):
+        checkpoint = ServeCheckpoint(tmp_path / "ckpt")
+        for commit in (1, 2, 3):
+            checkpoint.write_state(commit, [{}], {})
+            checkpoint.commit(_cursor(commit_index=commit, n_shards=1))
+        remaining = sorted(
+            p.name for p in checkpoint.directory.glob("state-*")
+        )
+        assert remaining == ["state-000003"]
+
+    def test_orphaned_state_dir_is_reported(self, tmp_path):
+        cursor = _cursor()
+        checkpoint = _write_checkpoint(tmp_path, cursor)
+        # A crash after write_state but before commit leaves this behind.
+        checkpoint.write_state(
+            cursor.commit_index + 1, [{}, {}], {"customers": {}}
+        )
+        loaded = _load(checkpoint)
+        assert loaded is not None
+        assert loaded.orphaned_state
+
+    def test_counters_ride_inside_the_cursor(self, tmp_path):
+        cursor = _cursor()
+        loaded = _load(_write_checkpoint(tmp_path, cursor))
+        assert loaded is not None
+        assert loaded.cursor.counters["ingested"] == 100
+        assert loaded.cursor.counters["checkpointed"] == 3
+
+
+class TestInvalidCursors:
+    def test_torn_cursor(self, tmp_path):
+        checkpoint = _write_checkpoint(tmp_path, _cursor())
+        tear_file(checkpoint.cursor_path, keep_fraction=0.4)
+        with pytest.raises(CursorInvalid, match="torn or corrupt"):
+            _load(checkpoint)
+
+    def test_stream_mismatch(self, tmp_path):
+        checkpoint = _write_checkpoint(tmp_path, _cursor())
+        with pytest.raises(CursorInvalid, match="recorded over stream"):
+            _load(checkpoint, stream_fingerprint="zzzz")
+
+    def test_config_mismatch(self, tmp_path):
+        checkpoint = _write_checkpoint(tmp_path, _cursor())
+        with pytest.raises(CursorInvalid, match="serving config"):
+            _load(checkpoint, serve_fingerprint="zzzz")
+
+    def test_shard_count_mismatch(self, tmp_path):
+        checkpoint = _write_checkpoint(tmp_path, _cursor())
+        with pytest.raises(CursorInvalid, match="shard"):
+            _load(checkpoint, n_shards=3)
+
+    def test_missing_state_file(self, tmp_path):
+        checkpoint = _write_checkpoint(tmp_path, _cursor())
+        (checkpoint.state_dir(3) / "shard-0001.json").unlink()
+        with pytest.raises(CursorInvalid, match="missing or unreadable"):
+            _load(checkpoint)
+
+    def test_torn_state_file(self, tmp_path):
+        checkpoint = _write_checkpoint(tmp_path, _cursor())
+        tear_file(checkpoint.state_dir(3) / "shard-0000.json", 0.3)
+        with pytest.raises(CursorInvalid, match="torn"):
+            _load(checkpoint)
+
+    def test_non_object_cursor(self, tmp_path):
+        checkpoint = _write_checkpoint(tmp_path, _cursor())
+        checkpoint.cursor_path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(CursorInvalid, match="not a JSON object"):
+            _load(checkpoint)

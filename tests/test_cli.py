@@ -308,3 +308,83 @@ class TestTelemetry:
                     root.removeHandler(handler)
             root.setLevel(logging.NOTSET)
             capsys.readouterr()
+
+
+class TestRecordAndServe:
+    """The ``record`` and ``serve`` subcommands (repro.serve layer)."""
+
+    STREAM_ARGS = [
+        "--loyal", "8", "--churners", "8", "--seed", "2",
+    ]
+    RECORD = ["record", "--months", "10", "--onset-month", "6"]
+
+    @pytest.fixture()
+    def stream_file(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        assert main([*self.STREAM_ARGS, *self.RECORD, "--out", str(path)]) == 0
+        return path
+
+    def test_record_reports_fingerprint(self, tmp_path, capsys):
+        path = tmp_path / "stream.jsonl"
+        assert main([*self.STREAM_ARGS, *self.RECORD, "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        assert "fingerprint" in out
+        assert path.exists()
+
+    def test_serve_help_mentions_key_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in (
+            "--checkpoint-dir", "--batch-size", "--n-shards",
+            "--status-port", "--no-api", "--parity-check",
+        ):
+            assert flag in out
+
+    def test_serve_with_parity_check(self, stream_file, tmp_path, capsys):
+        assert main(
+            ["serve", str(stream_file),
+             "--checkpoint-dir", str(tmp_path / "ckpt"),
+             "--batch-size", "120", "--n-shards", "2",
+             "--no-api", "--parity-check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "parity OK" in out
+        assert "checkpointed" in out
+        assert "score fingerprint" in out
+
+    def test_serve_interrupted_exits_3_then_resumes(
+        self, stream_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        base = ["serve", str(stream_file), "--checkpoint-dir", str(ckpt),
+                "--batch-size", "120", "--no-api"]
+        assert main([*base, "--max-batches", "2"]) == 3
+        captured = capsys.readouterr()
+        assert "rerun with the same --checkpoint-dir" in captured.err
+        assert main([*base, "--parity-check"]) == 0
+        assert "[resumed]" in capsys.readouterr().out
+
+    def test_serve_missing_stream(self, tmp_path, capsys):
+        assert main(
+            ["serve", str(tmp_path / "nope.jsonl"),
+             "--checkpoint-dir", str(tmp_path / "ckpt"), "--no-api"]
+        ) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_serve_status_api_binds_ephemeral_port(
+        self, stream_file, tmp_path, capsys
+    ):
+        assert main(
+            ["serve", str(stream_file),
+             "--checkpoint-dir", str(tmp_path / "ckpt"),
+             "--batch-size", "120"]
+        ) == 0
+        assert "status API on http://127.0.0.1:" in capsys.readouterr().err
+
+    def test_serve_requires_checkpoint_dir(self, stream_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", str(stream_file)])
+        assert excinfo.value.code == 2
