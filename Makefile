@@ -1,7 +1,7 @@
 # Developer entry points. The offline environment lacks the `wheel`
 # package, so `install` uses the legacy setuptools path.
 
-.PHONY: install test test-faults lint typecheck trace-demo serve-demo bench bench-pytest bench-slab-smoke examples figures all clean
+.PHONY: install test test-faults lint typecheck trace-demo serve-demo soak-smoke bench bench-pytest bench-slab-smoke examples figures all clean
 
 install:
 	python setup.py develop
@@ -54,6 +54,25 @@ serve-demo:
 		--checkpoint-dir serve-demo/ckpt --batch-size 400 --n-shards 2 \
 		--no-api --parity-check
 	@echo "run manifest: serve-demo/ckpt/manifest.json"
+
+# Chaos soak smoke: record a 500-customer stream, replay it against the
+# serving layer for ~60s of wall clock while the smoke schedule injects
+# one fault per site (torn cursor, worker crash, slow shard, kill/resume,
+# checkpoint-I/O error, torn state), verify recovery + offline parity
+# after each, enforce the p99 latency SLO, and refresh the soak scenario
+# of BENCH_serve.json.  Exits non-zero on any violation.  See DESIGN.md
+# §11.
+soak-smoke:
+	mkdir -p soak-smoke
+	PYTHONPATH=src python -m repro.cli --loyal 250 --churners 250 \
+		record --out soak-smoke/stream.jsonl
+	PYTHONPATH=src python -m repro.cli -v \
+		--metrics-out soak-smoke/metrics.json \
+		soak soak-smoke/stream.jsonl --workdir soak-smoke/run \
+		--chaos smoke --duration 60 --batch-size 2000 \
+		--n-shards 2 --parallel --slow-seconds 1.0 \
+		--slo-p99-ms 30000 --min-throughput 50 \
+		--bench-out BENCH_serve.json
 
 bench:
 	PYTHONPATH=src python -m repro.cli bench --json BENCH_scaling.json

@@ -111,7 +111,13 @@ class NonAtomicWrite(Rule):
 
     def applies(self, ctx: FileContext) -> bool:
         return ctx.module.startswith(
-            ("repro.runtime", "repro.obs", "repro.data.slabs", "repro.serve")
+            (
+                "repro.runtime",
+                "repro.obs",
+                "repro.data.slabs",
+                "repro.serve",
+                "repro.soak",
+            )
         )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

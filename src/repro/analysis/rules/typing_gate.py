@@ -34,6 +34,7 @@ GATED_PREFIXES = (
     "repro.obs",
     "repro.analysis",
     "repro.serve",
+    "repro.soak",
 )
 
 

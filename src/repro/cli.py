@@ -13,6 +13,7 @@ Subcommands
 ``lint``       Statically check the determinism/atomicity invariants.
 ``record``     Record a synthetic scenario as a replayable basket stream.
 ``serve``      Serve a recorded stream: score, checkpoint, status API.
+``soak``       Chaos/soak the serving layer under fault schedules + SLOs.
 
 Global telemetry flags (before the subcommand): ``--trace-out`` writes
 the command's span trace as JSONL, ``--metrics-out`` writes the metrics
@@ -379,6 +380,101 @@ def build_parser() -> argparse.ArgumentParser:
             "fail (exit 1) unless the score tables are bit-identical"
         ),
     )
+
+    soak = sub.add_parser(
+        "soak",
+        help=(
+            "chaos/soak the serving layer: fault-scheduled load replay "
+            "with enforced latency SLOs"
+        ),
+    )
+    soak.add_argument(
+        "stream", type=Path, help="recorded stream file (see `record`)"
+    )
+    soak.add_argument(
+        "--workdir",
+        type=Path,
+        required=True,
+        help="scratch directory for per-loop checkpoint dirs",
+    )
+    soak.add_argument(
+        "--chaos",
+        choices=("none", "smoke"),
+        default="none",
+        help=(
+            "fault schedule: 'smoke' injects one fault per site "
+            "(torn cursor, worker crash, slow shard, kill/resume, "
+            "checkpoint I/O error, torn state) at batches 1..6; "
+            "'none' soaks fault-free"
+        ),
+    )
+    soak.add_argument(
+        "--loops",
+        type=int,
+        default=1,
+        help="full stream replays (ignored with --duration)",
+    )
+    soak.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="soak by wall clock instead of loop count",
+    )
+    soak.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="cap ingest at this many baskets/second (default unthrottled)",
+    )
+    soak.add_argument("--batch-size", type=int, default=256)
+    soak.add_argument("--n-shards", type=int, default=2)
+    soak.add_argument(
+        "--parallel",
+        action="store_true",
+        help="worker-process shards (required for crash/slow faults)",
+    )
+    soak.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="per-wave shard timeout in seconds (slow faults trip it)",
+    )
+    soak.add_argument(
+        "--slow-seconds",
+        type=float,
+        default=1.0,
+        help="injected slow-shard stall for the smoke schedule",
+    )
+    soak.add_argument("--slo-p50-ms", type=float, default=None)
+    soak.add_argument("--slo-p95-ms", type=float, default=None)
+    soak.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        help="fail the soak if p99 per-batch score latency exceeds this",
+    )
+    soak.add_argument(
+        "--min-throughput",
+        type=float,
+        default=None,
+        help="fail the soak below this many baskets/second overall",
+    )
+    soak.add_argument(
+        "--bench-out",
+        type=Path,
+        default=None,
+        help="merge the soak scenario into this BENCH_serve.json artifact",
+    )
+    soak.add_argument(
+        "--keep-checkpoints",
+        action="store_true",
+        help="keep per-loop checkpoint dirs instead of pruning them",
+    )
+    soak.add_argument("--window-months", type=int, default=2)
+    soak.add_argument("--alpha", type=float, default=2.0)
+    soak.add_argument("--beta", type=float, default=0.5)
+    soak.add_argument("--first-alarm-window", type=int, default=0)
 
     obs = sub.add_parser(
         "obs", help="inspect telemetry artifacts (traces, manifests)"
@@ -837,11 +933,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.soak import (
+        ChaosSchedule,
+        SoakPlan,
+        render_soak,
+        run_soak,
+        stream_shape,
+        write_bench,
+    )
+
+    if not args.stream.exists():
+        print(f"stream file not found: {args.stream}", file=sys.stderr)
+        return 1
+    config = ExperimentConfig(
+        window_months=args.window_months, alpha=args.alpha
+    )
+    try:
+        plan = SoakPlan(
+            mode="duration" if args.duration is not None else "loops",
+            loops=args.loops,
+            duration_s=args.duration if args.duration is not None else 0.0,
+            rate=args.rate,
+            batch_size=args.batch_size,
+            n_shards=args.n_shards,
+            parallel=args.parallel,
+            shard_timeout_s=args.shard_timeout,
+            slo_p50_ms=args.slo_p50_ms,
+            slo_p95_ms=args.slo_p95_ms,
+            slo_p99_ms=args.slo_p99_ms,
+            min_throughput=args.min_throughput,
+        )
+        chaos = None
+        if args.chaos == "smoke":
+            n_batches, _ = stream_shape(args.stream, plan.batch_size)
+            chaos = ChaosSchedule.smoke(
+                n_batches, slow_seconds=args.slow_seconds
+            )
+        report = run_soak(
+            args.stream,
+            args.workdir,
+            plan,
+            chaos,
+            config=config,
+            beta=args.beta,
+            first_alarm_window=args.first_alarm_window,
+            keep_checkpoints=args.keep_checkpoints,
+        )
+    except ConfigError as exc:
+        print(f"soak configuration error: {exc}", file=sys.stderr)
+        return 2
+    print(render_soak(report))
+    if args.bench_out is not None:
+        write_bench(report, args.bench_out)
+        print(f"wrote bench artifact to {args.bench_out}", file=sys.stderr)
+    return 0 if report.passed else 1
+
+
 _COMMANDS = {
     "bench": _cmd_bench,
     "lint": _cmd_lint,
     "record": _cmd_record,
     "serve": _cmd_serve,
+    "soak": _cmd_soak,
     "obs": _cmd_obs,
     "generate": _cmd_generate,
     "report": _cmd_report,

@@ -69,6 +69,13 @@ class ServeError(ReproError):
     being served."""
 
 
+class SoakError(ReproError):
+    """A chaos/soak run violated a robustness invariant it pins: a
+    fault's measured rework exceeded the bound, counters regressed,
+    score parity with the offline sweep broke, or a scheduled fault
+    could not be injected."""
+
+
 class SlabStoreError(DataError):
     """An on-disk slab store is torn, stale or from an incompatible
     version (missing/truncated column files, manifest mismatch); it will

@@ -62,6 +62,11 @@ __all__ = [
     "SERVE_CHECKPOINTED",
     "SERVE_BATCHES_REWORKED",
     "SERVE_CURSOR_INVALID",
+    "SERVE_CHECKPOINT_IO_RETRIES",
+    "SOAK_FAULTS_INJECTED",
+    "SOAK_LEGS",
+    "SOAK_LOOPS",
+    "SOAK_SLO_VIOLATIONS",
     # span taxonomy
     "SPAN_RUN_SHARDED",
     "SPAN_WAVE",
@@ -74,6 +79,8 @@ __all__ = [
     "SPAN_SERVE_RUN",
     "SPAN_SERVE_CHECKPOINT",
     "STAGE_SERVE_BATCH",
+    "SPAN_SOAK_RUN",
+    "STAGE_SOAK_LEG",
     # canonical name sets (consumed by repro.analysis rule OBS001)
     "CANONICAL_METRIC_NAMES",
     "CANONICAL_SPAN_NAMES",
@@ -118,6 +125,16 @@ SERVE_BATCHES_REWORKED = "serve.batches_reworked"
 #: Resumes that found an unusable cursor (torn file, stream/config
 #: mismatch) and fell back to restarting from the stream head.
 SERVE_CURSOR_INVALID = "serve.cursor_invalid"
+#: Checkpoint write/commit attempts that hit a transient OSError
+#: (ENOSPC, EACCES, ...) and were retried with backoff (DESIGN.md §11).
+SERVE_CHECKPOINT_IO_RETRIES = "serve.checkpoint_io_retries"
+#: Chaos/soak harness (DESIGN.md §11): faults actually injected this
+#: run, serving legs executed, stream loops completed, and SLO/invariant
+#: violations detected.
+SOAK_FAULTS_INJECTED = "soak.faults_injected"
+SOAK_LEGS = "soak.legs"
+SOAK_LOOPS = "soak.loops"
+SOAK_SLO_VIOLATIONS = "soak.slo_violations"
 
 # ----------------------------------------------------------------------
 # Span taxonomy: every tracer span name used across the stack.  New
@@ -148,6 +165,10 @@ SPAN_SERVE_RUN = "serve.run"
 SPAN_SERVE_CHECKPOINT = "serve.checkpoint"
 #: One ingest/score batch (span *and* histogram via timed_stage).
 STAGE_SERVE_BATCH = "serve.batch_s"
+#: One chaos/soak run over a recorded stream (children: legs).
+SPAN_SOAK_RUN = "soak.run"
+#: One serving leg inside a soak (span *and* histogram via timed_stage).
+STAGE_SOAK_LEG = "soak.leg_s"
 
 #: Every canonical counter/gauge/histogram name.
 CANONICAL_METRIC_NAMES: frozenset[str] = frozenset(
@@ -171,7 +192,13 @@ CANONICAL_METRIC_NAMES: frozenset[str] = frozenset(
         SERVE_CHECKPOINTED,
         SERVE_BATCHES_REWORKED,
         SERVE_CURSOR_INVALID,
+        SERVE_CHECKPOINT_IO_RETRIES,
+        SOAK_FAULTS_INJECTED,
+        SOAK_LEGS,
+        SOAK_LOOPS,
+        SOAK_SLO_VIOLATIONS,
         STAGE_SERVE_BATCH,
+        STAGE_SOAK_LEG,
     }
 )
 
@@ -190,10 +217,12 @@ CANONICAL_SPAN_NAMES: frozenset[str] = frozenset(
         SPAN_SLAB_OPEN,
         SPAN_SERVE_RUN,
         SPAN_SERVE_CHECKPOINT,
+        SPAN_SOAK_RUN,
         STAGE_CSR_BUILD,
         STAGE_SIGNIFICANCE,
         STAGE_NORMALIZE,
         STAGE_SERVE_BATCH,
+        STAGE_SOAK_LEG,
     }
 )
 
@@ -239,8 +268,28 @@ class Histogram:
     def observe(self, value: float) -> None:
         self.values.append(float(value))
 
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile of the observations (0.0 when empty).
+
+        ``q`` is a fraction in ``[0, 1]`` — ``quantile(0.99)`` is the
+        p99.  An empty histogram quantiles to 0.0 (matching
+        :meth:`summary`), and a single-sample histogram returns that
+        sample at every ``q``.
+
+        Raises
+        ------
+        ConfigError
+            If ``q`` is outside ``[0, 1]``.
+        """
+        from repro.errors import ConfigError
+        from repro.obs.trace import _percentile
+
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile q must be in [0, 1], got {q}")
+        return _percentile(sorted(self.values), q)
+
     def summary(self) -> dict:
-        """count / total / p50 / p95 / max of the observations."""
+        """count / total / p50 / p95 / p99 / max of the observations."""
         from repro.obs.trace import _percentile
 
         ordered = sorted(self.values)
@@ -249,6 +298,7 @@ class Histogram:
             "total": sum(ordered),
             "p50": _percentile(ordered, 0.50),
             "p95": _percentile(ordered, 0.95),
+            "p99": _percentile(ordered, 0.99),
             "max": ordered[-1] if ordered else 0.0,
         }
 
@@ -353,8 +403,18 @@ class _NullInstrument:
     def observe(self, value: float) -> None:
         pass
 
+    def quantile(self, q: float) -> float:
+        return 0.0
+
     def summary(self) -> dict:
-        return {"count": 0, "total": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+        return {
+            "count": 0,
+            "total": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
 
 
 _NULL_INSTRUMENT = _NullInstrument()

@@ -80,9 +80,46 @@ class FaultPlan:
         )
         if any(sec < 0 for _, _, sec in self.slow):
             raise ConfigError("slow-shard delays must be >= 0")
+        self._validate_cells()
+
+    def _validate_cells(self) -> None:
+        """Reject duplicate or conflicting cells at construction.
+
+        A fault plan is a *deterministic* schedule: two faults claiming
+        the same ``(shard, attempt)`` cell would have to race (crash vs
+        error) or silently merge (summed sleeps), so either is a
+        configuration error naming the duplicate cell rather than a
+        last-wins surprise at injection time.  A ``slow`` cell *may*
+        coincide with a crash/error cell — :meth:`apply` sleeps first,
+        which models a worker that hangs and then dies.
+        """
+        for kind, cells in (
+            ("crashes", self.crashes),
+            ("errors", self.errors),
+            ("slow", tuple((s, a) for s, a, _ in self.slow)),
+        ):
+            seen: set[tuple[int, int]] = set()
+            for cell in cells:
+                if cell in seen:
+                    raise ConfigError(
+                        f"duplicate fault cell (shard {cell[0]}, attempt "
+                        f"{cell[1]}) in {kind}"
+                    )
+                seen.add(cell)
+        conflicting = set(self.crashes) & set(self.errors)
+        if conflicting:
+            cell = min(conflicting)
+            raise ConfigError(
+                f"conflicting fault cell (shard {cell[0]}, attempt "
+                f"{cell[1]}): listed in both crashes and errors"
+            )
 
     def delay_of(self, shard: int, attempt: int) -> float:
-        """Injected sleep for one cell (0 when none)."""
+        """Injected sleep for one cell (0 when none).
+
+        Cells are unique by construction, so at most one ``slow`` entry
+        matches.
+        """
         return sum(
             sec for s, a, sec in self.slow if s == shard and a == attempt
         )

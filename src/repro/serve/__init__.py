@@ -34,6 +34,7 @@ resumed (compare :meth:`ServeResult.fingerprint` with
 
 from repro.serve.api import StatusBoard, StatusServer
 from repro.serve.checkpoint import (
+    CheckpointIOExhausted,
     CursorInvalid,
     LoadedCheckpoint,
     ServeCheckpoint,
@@ -53,6 +54,7 @@ from repro.serve.pool import ShardedMonitorPool, merge_reports, shard_of
 __all__ = [
     "StatusBoard",
     "StatusServer",
+    "CheckpointIOExhausted",
     "CursorInvalid",
     "LoadedCheckpoint",
     "ServeCheckpoint",

@@ -165,14 +165,29 @@ class _BoardHandler(BaseHTTPRequestHandler):
     #: Bound per server instance (see :class:`StatusServer`).
     board: StatusBoard
 
+    #: Per-request socket timeout (seconds).  ``http.server`` applies
+    #: this to the connection in ``setup()``: a client that connects and
+    #: never sends a request line cannot pin a handler thread forever,
+    #: which is what lets :meth:`StatusServer.stop` return promptly
+    #: under load.  Overridden per server instance (see
+    #: :class:`StatusServer`'s ``request_timeout``).
+    timeout: float | None = 5.0
+
     def do_GET(self) -> None:  # noqa: N802 — http.server's naming contract
         code, payload = self.board.handle(self.path)
         body = json.dumps(payload, sort_keys=True, default=str).encode()
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except OSError as exc:
+            # The client hung up mid-response (common while the soak
+            # harness hammers /status during shutdown); a dead socket is
+            # the client's business, never the serving loop's.
+            self.close_connection = True
+            logger.debug("status api: client went away: %s", exc)
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         # Route http.server's stderr chatter into the library logger.
@@ -195,10 +210,19 @@ class StatusServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        request_timeout: float | None = 5.0,
     ) -> None:
-        handler = type("_BoundHandler", (_BoardHandler,), {"board": board})
+        handler = type(
+            "_BoundHandler",
+            (_BoardHandler,),
+            {"board": board, "timeout": request_timeout},
+        )
         self._server = ThreadingHTTPServer((host, port), handler)
         self._server.daemon_threads = True
+        # In-flight handler threads are daemons with a bounded request
+        # timeout; ``server_close`` must not block on joining them, or a
+        # slow client could hang a SIGTERM-initiated shutdown.
+        self._server.block_on_close = False
         self._thread: threading.Thread | None = None
 
     @property

@@ -28,12 +28,17 @@ logged) rather than resuming into the wrong data.
 from __future__ import annotations
 
 import json
+import logging
 import shutil
+import time
+from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.atomicio import atomic_write_json
-from repro.errors import ServeError
+from repro.errors import ConfigError, ServeError
+from repro.obs import get_metrics
+from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "CURSOR_NAME",
@@ -41,10 +46,18 @@ __all__ = [
     "CURSOR_VERSION",
     "SCORES_NAME",
     "CursorInvalid",
+    "CheckpointIOExhausted",
     "ServeCursor",
     "LoadedCheckpoint",
     "ServeCheckpoint",
 ]
+
+logger = logging.getLogger(__name__)
+
+#: Hook type for transient-I/O fault injection: called before every
+#: write attempt as ``(operation, commit_index, attempt)`` and may raise
+#: :class:`OSError` to simulate ENOSPC/EACCES on the checkpoint volume.
+IOFaultHook = Callable[[str, int, int], None]
 
 CURSOR_NAME = "cursor.json"
 CURSOR_SCHEMA = "repro.serve-cursor"
@@ -60,6 +73,14 @@ class CursorInvalid(ServeError):
     """The checkpoint cannot be resumed from: torn cursor, foreign
     schema/version, or a stream/config/shard mismatch.  The serving loop
     treats this as "restart from the stream head", never as fatal."""
+
+
+class CheckpointIOExhausted(ServeError):
+    """A checkpoint write kept failing with :class:`OSError` after every
+    bounded retry — the volume is genuinely unhealthy (persistent
+    ENOSPC/EACCES), not transiently flaky, so the run must stop.  The
+    committed cursor is untouched: a later resume reworks at most one
+    batch, exactly as after a crash."""
 
 
 @dataclass(frozen=True)
@@ -152,10 +173,44 @@ class LoadedCheckpoint:
 
 
 class ServeCheckpoint:
-    """One serving run's checkpoint directory (see module docstring)."""
+    """One serving run's checkpoint directory (see module docstring).
 
-    def __init__(self, directory: str | Path) -> None:
+    Parameters
+    ----------
+    directory:
+        The durable run directory (cursor + state dirs + manifest).
+    io_retries:
+        Transient-:class:`OSError` budget per write operation: a state
+        or cursor write that raises (ENOSPC, EACCES, a flaky NFS mount)
+        is retried up to this many times with exponential backoff before
+        :class:`CheckpointIOExhausted` stops the run.  ``0`` disables
+        the retry path (first failure is final).
+    io_backoff_s:
+        Base backoff before the first retry; doubles per attempt.
+    io_fault:
+        Test/chaos hook called before every write attempt as
+        ``(operation, commit_index, attempt)``; raising :class:`OSError`
+        from it simulates a transient checkpoint-volume failure.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        io_retries: int = 2,
+        io_backoff_s: float = 0.05,
+        io_fault: IOFaultHook | None = None,
+    ) -> None:
+        if io_retries < 0:
+            raise ConfigError(f"io_retries must be >= 0, got {io_retries}")
+        if io_backoff_s < 0:
+            raise ConfigError(
+                f"io_backoff_s must be >= 0, got {io_backoff_s}"
+            )
         self.directory = Path(directory)
+        self.io_retries = int(io_retries)
+        self.io_backoff_s = float(io_backoff_s)
+        self.io_fault = io_fault
 
     @property
     def cursor_path(self) -> Path:
@@ -168,6 +223,48 @@ class ServeCheckpoint:
     # ------------------------------------------------------------------
     # Write protocol: state first, cursor second (the commit point).
     # ------------------------------------------------------------------
+    def _with_io_retry(
+        self,
+        operation: str,
+        commit_index: int,
+        write: Callable[[], Path],
+    ) -> Path:
+        """Run one durable write under the bounded retry-with-backoff.
+
+        Each failed attempt counts ``serve.checkpoint_io_retries`` and
+        sleeps ``io_backoff_s * 2**attempt`` before the next try; when
+        the budget is spent the last :class:`OSError` is re-raised
+        wrapped in :class:`CheckpointIOExhausted`.
+        """
+        registry = get_metrics()
+        last: OSError | None = None
+        for attempt in range(self.io_retries + 1):
+            try:
+                if self.io_fault is not None:
+                    self.io_fault(operation, commit_index, attempt)
+                return write()
+            except OSError as exc:
+                last = exc
+                if attempt >= self.io_retries:
+                    break
+                registry.counter(
+                    obs_metrics.SERVE_CHECKPOINT_IO_RETRIES
+                ).inc()
+                logger.warning(
+                    "checkpoint %s of commit %d failed (attempt %d/%d), "
+                    "retrying: %s",
+                    operation,
+                    commit_index,
+                    attempt + 1,
+                    self.io_retries + 1,
+                    exc,
+                )
+                time.sleep(self.io_backoff_s * (2**attempt))
+        raise CheckpointIOExhausted(
+            f"checkpoint {operation} of commit {commit_index} still "
+            f"failing after {self.io_retries + 1} attempt(s): {last}"
+        ) from last
+
     def write_state(
         self,
         commit_index: int,
@@ -176,16 +273,33 @@ class ServeCheckpoint:
     ) -> Path:
         """Write one commit's shard snapshots + score table (atomically
         per file, into a directory the current cursor does not reference
-        yet — so a crash mid-write cannot tear the committed state)."""
-        directory = self.state_dir(commit_index)
-        for shard, payload in enumerate(shard_payloads):
-            atomic_write_json(directory / f"shard-{shard:04d}.json", payload)
-        atomic_write_json(directory / SCORES_NAME, scores)
-        return directory
+        yet — so a crash mid-write cannot tear the committed state).
+        Transient :class:`OSError` is retried with backoff (see
+        :meth:`_with_io_retry`); a re-attempt rewrites the whole state
+        directory, which is safe because nothing references it yet."""
+
+        def write() -> Path:
+            directory = self.state_dir(commit_index)
+            for shard, payload in enumerate(shard_payloads):
+                atomic_write_json(
+                    directory / f"shard-{shard:04d}.json", payload
+                )
+            atomic_write_json(directory / SCORES_NAME, scores)
+            return directory
+
+        return self._with_io_retry("write_state", commit_index, write)
 
     def commit(self, cursor: ServeCursor) -> Path:
-        """Atomically advance the cursor, then prune superseded state."""
-        path = atomic_write_json(self.cursor_path, cursor.to_payload())
+        """Atomically advance the cursor, then prune superseded state.
+
+        The cursor replace is the commit point; it rides the same
+        bounded I/O retry as the state write (re-attempting an atomic
+        replace is idempotent)."""
+
+        def write() -> Path:
+            return atomic_write_json(self.cursor_path, cursor.to_payload())
+
+        path = self._with_io_retry("commit", cursor.commit_index, write)
         self._prune(keep=cursor.commit_index)
         return path
 

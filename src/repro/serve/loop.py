@@ -356,6 +356,10 @@ def serve_stream(
     max_batches: int | None = None,
     should_stop: Callable[[], bool] | None = None,
     on_state_written: Callable[[int], None] | None = None,
+    on_batch_start: Callable[[int], FaultPlan | None] | None = None,
+    checkpoint_io_retries: int = 2,
+    checkpoint_io_backoff_s: float = 0.05,
+    checkpoint_io_fault: Callable[[str, int, int], None] | None = None,
 ) -> ServeResult:
     """Serve a recorded stream with per-batch durable checkpoints.
 
@@ -389,6 +393,20 @@ def serve_stream(
         Test hook invoked *between* a batch's state write and its
         cursor commit — raising from it simulates the worst-case crash
         point for the rework-bound tests.
+    on_batch_start:
+        Chaos hook called with the commit index a batch is about to
+        commit as, *before* the batch is processed.  Returning a
+        :class:`~repro.runtime.faults.FaultPlan` installs it on the
+        shard pool for exactly that batch (the base ``fault_plan`` is
+        restored afterwards); returning ``None`` leaves the base plan.
+        The soak harness keys its per-batch worker-crash and slow-shard
+        injections (and its rate pacing) on this hook.
+    checkpoint_io_retries, checkpoint_io_backoff_s, checkpoint_io_fault:
+        Transient checkpoint-I/O budget; see
+        :class:`~repro.serve.checkpoint.ServeCheckpoint`.  A write that
+        stays broken past the budget raises
+        :class:`~repro.serve.checkpoint.CheckpointIOExhausted` —
+        resumable, rework <= 1 batch, like any crash.
 
     Raises
     ------
@@ -416,7 +434,12 @@ def serve_stream(
             "n_shards": n_shards,
         }
     )
-    checkpoint = ServeCheckpoint(checkpoint_dir)
+    checkpoint = ServeCheckpoint(
+        checkpoint_dir,
+        io_retries=checkpoint_io_retries,
+        io_backoff_s=checkpoint_io_backoff_s,
+        io_fault=checkpoint_io_fault,
+    )
     registry = get_metrics()
     tracer = get_tracer()
 
@@ -574,6 +597,11 @@ def serve_stream(
     def process_batch(group: list[DayBatch]) -> None:
         nonlocal commit_index, day_batches_consumed
         n_baskets = sum(b.n_baskets for b in group)
+        if on_batch_start is not None:
+            batch_plan = on_batch_start(commit_index + 1)
+            active_pool.set_fault_plan(
+                batch_plan if batch_plan is not None else fault_plan
+            )
         if status is not None:
             status.set_phase("serving")
         with timed_stage(

@@ -251,6 +251,16 @@ class ShardedMonitorPool:
             fault_plan=fault_plan,
         )
 
+    def set_fault_plan(self, fault_plan: FaultPlan | None) -> None:
+        """Swap the injected fault plan for subsequent batches.
+
+        The plan is read at each :meth:`process_batch` call, so the
+        chaos harness can schedule a fault for exactly one batch by
+        installing a plan before it and restoring the base plan after
+        (the serving loop's ``on_batch_start`` hook does exactly this).
+        """
+        self.fault_plan = fault_plan
+
     def snapshot_shards(self) -> list[dict]:
         """One versioned snapshot payload per shard, in shard order."""
         return [snapshot_monitor(monitor) for monitor in self.monitors]

@@ -1,0 +1,75 @@
+"""Pinning soak results: the ``BENCH_serve.json`` artifact.
+
+The soak harness's measurements (latency quantiles, throughput, fault
+ledger, SLO verdicts) are pinned the same way the scaling benches pin
+theirs: a JSON artifact refreshed key-by-key through
+:func:`repro.eval.benchmarking.merge_scaling_json`, so the ``soak``
+scenario can be regenerated without discarding whatever other scenarios
+later benches add to the same file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.eval.benchmarking import merge_scaling_json
+from repro.soak.harness import SoakReport
+
+__all__ = ["BENCH_SERVE_NAME", "write_bench", "render_soak"]
+
+#: Canonical artifact name (committed at the repo root, refreshed by
+#: ``make soak-smoke`` and uploaded by the CI ``soak-smoke`` job).
+BENCH_SERVE_NAME = "BENCH_serve.json"
+
+
+def write_bench(report: SoakReport, path: str | Path) -> dict:
+    """Merge the report's ``soak`` scenario into the bench artifact.
+
+    Returns the full merged payload (other top-level scenarios, if any,
+    are preserved).
+    """
+    return merge_scaling_json(Path(path), {"soak": report.to_payload()})
+
+
+def render_soak(report: SoakReport) -> str:
+    """Human-readable one-screen summary of a soak report."""
+    lines = [
+        f"soak: {'PASSED' if report.passed else 'FAILED'}",
+        f"  stream: {report.stream} ({report.stream_fingerprint})",
+        f"  loops: {len(report.loops)} x {report.n_batches_per_loop} "
+        f"batch(es) ({report.baskets_per_loop} baskets/loop), "
+        f"{report.legs} leg(s)",
+        f"  faults injected: {report.faults_injected}",
+    ]
+    for loop in report.loops:
+        for fault in loop.faults:
+            lines.append(
+                f"    loop {loop.loop_index} batch {fault.batch} "
+                f"{fault.site}: "
+                f"{'injected' if fault.injected else 'MISSED'}, "
+                f"rework={fault.rework_batches} — {fault.detail}"
+            )
+    lines.append(
+        f"  latency ms: p50={report.latency_ms['p50']:.1f} "
+        f"p95={report.latency_ms['p95']:.1f} "
+        f"p99={report.latency_ms['p99']:.1f} "
+        f"max={report.latency_ms['max']:.1f} "
+        f"(n={int(report.latency_ms['count'])})"
+    )
+    lines.append(
+        f"  throughput: {report.throughput_baskets_s:.1f} baskets/s "
+        f"over {report.elapsed_s:.1f}s"
+    )
+    for name, verdict in report.slo.items():
+        lines.append(
+            f"  SLO {name}: {'ok' if verdict['ok'] else 'VIOLATED'} "
+            f"({verdict})"
+        )
+    parity = all(loop.parity_ok for loop in report.loops)
+    lines.append(
+        f"  parity vs offline sweep: {'ok' if parity else 'BROKEN'} "
+        f"({report.reference_fingerprint})"
+    )
+    for violation in report.violations:
+        lines.append(f"  violation: {violation}")
+    return "\n".join(lines)

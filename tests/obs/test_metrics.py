@@ -122,3 +122,60 @@ class TestActiveRegistry:
             get_metrics().counter("scoped").inc()
         assert get_metrics() is NULL_METRICS
         assert registry.counter_value("scoped") == 1
+
+
+class TestHistogramQuantiles:
+    """Satellite of the soak harness: the SLO math it relies on."""
+
+    def _hist(self, *values):
+        registry = MetricsRegistry()
+        for value in values:
+            registry.histogram("stage_s").observe(value)
+        return registry.histogram("stage_s")
+
+    def test_empty_histogram_quantiles_to_zero(self):
+        hist = self._hist()
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == 0.0
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 0.0
+
+    def test_single_sample_returned_at_every_quantile(self):
+        hist = self._hist(0.42)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(0.42)
+        assert hist.summary()["p99"] == pytest.approx(0.42)
+
+    def test_nearest_rank_on_known_distribution(self):
+        hist = self._hist(*(float(v) for v in range(101)))
+        assert hist.quantile(0.50) == pytest.approx(50.0)
+        assert hist.quantile(0.95) == pytest.approx(95.0)
+        assert hist.quantile(0.99) == pytest.approx(99.0)
+        assert hist.quantile(0.0) == pytest.approx(0.0)
+        assert hist.quantile(1.0) == pytest.approx(100.0)
+
+    def test_quantile_ignores_observation_order(self):
+        increasing = self._hist(0.1, 0.2, 0.9)
+        shuffled = self._hist(0.9, 0.1, 0.2)
+        for q in (0.5, 0.95, 0.99):
+            assert increasing.quantile(q) == shuffled.quantile(q)
+
+    def test_out_of_range_q_rejected(self):
+        from repro.errors import ConfigError
+
+        hist = self._hist(1.0)
+        with pytest.raises(ConfigError, match="quantile q"):
+            hist.quantile(1.5)
+        with pytest.raises(ConfigError, match="quantile q"):
+            hist.quantile(-0.01)
+
+    def test_summary_quantiles_match_quantile_method(self):
+        hist = self._hist(0.3, 0.1, 0.2, 0.8, 0.5)
+        summary = hist.summary()
+        assert summary["p50"] == pytest.approx(hist.quantile(0.50))
+        assert summary["p95"] == pytest.approx(hist.quantile(0.95))
+        assert summary["p99"] == pytest.approx(hist.quantile(0.99))
+
+    def test_null_histogram_quantile_is_zero(self):
+        assert NULL_METRICS.histogram("stage_s").quantile(0.99) == 0.0

@@ -24,11 +24,39 @@ def test_negative_delay_rejected():
         FaultPlan(slow=((0, 0, -1.0),))
 
 
-def test_delay_of_sums_matching_cells():
-    plan = FaultPlan(slow=((0, 0, 0.2), (0, 0, 0.3), (1, 0, 9.0)))
-    assert plan.delay_of(0, 0) == pytest.approx(0.5)
-    assert plan.delay_of(0, 1) == 0.0
+def test_delay_of_matches_exactly_one_cell():
+    plan = FaultPlan(slow=((0, 0, 0.2), (0, 1, 0.3), (1, 0, 9.0)))
+    assert plan.delay_of(0, 0) == pytest.approx(0.2)
+    assert plan.delay_of(0, 1) == pytest.approx(0.3)
     assert plan.delay_of(2, 0) == 0.0
+
+
+def test_duplicate_crash_cell_rejected():
+    with pytest.raises(ConfigError, match=r"\(shard 0, attempt 1\) in crashes"):
+        FaultPlan(crashes=((0, 1), (0, 1)))
+
+
+def test_duplicate_error_cell_rejected():
+    with pytest.raises(ConfigError, match=r"\(shard 2, attempt 0\) in errors"):
+        FaultPlan(errors=((2, 0), (1, 0), (2, 0)))
+
+
+def test_duplicate_slow_cell_rejected():
+    # Duplicate sleeps on one cell would silently merge (summed delay)
+    # — now a construction-time error naming the cell.
+    with pytest.raises(ConfigError, match=r"\(shard 0, attempt 0\) in slow"):
+        FaultPlan(slow=((0, 0, 0.2), (0, 0, 0.3)))
+
+
+def test_crash_and_error_on_same_cell_conflict():
+    with pytest.raises(ConfigError, match=r"conflicting fault cell \(shard 1, attempt 0\)"):
+        FaultPlan(crashes=((1, 0),), errors=((1, 0),))
+
+
+def test_slow_may_coincide_with_crash_cell():
+    # A worker that hangs and then dies is a meaningful composite fault.
+    plan = FaultPlan(crashes=((0, 0),), slow=((0, 0, 0.1),))
+    assert plan.delay_of(0, 0) == pytest.approx(0.1)
 
 
 def test_apply_raises_injected_fault_only_at_its_cell():

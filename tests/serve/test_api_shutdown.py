@@ -1,0 +1,109 @@
+"""StatusServer under hostile load: shutdown while being hammered.
+
+Satellite of the soak harness: the status API must come down cleanly
+mid-soak — ``stop()`` returns promptly even with requests in flight or
+half-open connections, and leaves no live server thread behind.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.serve import StatusBoard, StatusServer
+
+
+def _live_server_threads() -> list[threading.Thread]:
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.name.startswith("repro-serve-status") and thread.is_alive()
+    ]
+
+
+class TestShutdownUnderLoad:
+    def test_stop_returns_promptly_while_status_is_hammered(self):
+        board = StatusBoard()
+        board.set_phase("serving")
+        server = StatusServer(board, port=0)
+        base = f"http://127.0.0.1:{server.start()}"
+        stop_hammering = threading.Event()
+        served = {"ok": 0, "refused": 0}
+
+        def hammer() -> None:
+            while not stop_hammering.is_set():
+                try:
+                    with urllib.request.urlopen(
+                        base + "/status", timeout=1.0
+                    ) as response:
+                        json.load(response)
+                    served["ok"] += 1
+                except (urllib.error.URLError, OSError):
+                    # Connections racing the shutdown are refused/reset;
+                    # that is the expected losing side of the race.
+                    served["refused"] += 1
+
+        hammerers = [
+            threading.Thread(target=hammer, daemon=True) for _ in range(4)
+        ]
+        for thread in hammerers:
+            thread.start()
+        # Let the hammer actually land before pulling the plug.
+        deadline = time.perf_counter() + 2.0
+        while served["ok"] < 20 and time.perf_counter() < deadline:
+            time.sleep(0.01)
+        assert served["ok"] > 0
+
+        started = time.perf_counter()
+        server.stop()
+        stop_seconds = time.perf_counter() - started
+        stop_hammering.set()
+        for thread in hammerers:
+            thread.join(timeout=2.0)
+
+        # SIGTERM-grade promptness: nowhere near the request timeout.
+        assert stop_seconds < 3.0
+        assert _live_server_threads() == []
+
+    def test_stop_is_not_pinned_by_a_half_open_connection(self):
+        """A client that connects and never sends a request line must not
+        hang the shutdown (the per-request socket timeout bounds it)."""
+        server = StatusServer(
+            StatusBoard(), port=0, request_timeout=0.5
+        )
+        port = server.start()
+        lurker = socket.create_connection(("127.0.0.1", port))
+        try:
+            time.sleep(0.1)  # let the handler thread pick the socket up
+            started = time.perf_counter()
+            server.stop()
+            assert time.perf_counter() - started < 3.0
+            assert _live_server_threads() == []
+        finally:
+            lurker.close()
+
+    def test_requests_after_stop_are_refused(self):
+        board = StatusBoard()
+        server = StatusServer(board, port=0)
+        base = f"http://127.0.0.1:{server.start()}"
+        with urllib.request.urlopen(base + "/status", timeout=1.0) as resp:
+            assert resp.status == 200
+        server.stop()
+        try:
+            urllib.request.urlopen(base + "/status", timeout=1.0)
+        except (urllib.error.URLError, OSError):
+            pass
+        else:  # pragma: no cover - would mean the socket outlived stop()
+            raise AssertionError("server still accepting after stop()")
+
+    def test_request_timeout_is_bound_per_server(self):
+        server = StatusServer(StatusBoard(), port=0, request_timeout=1.25)
+        try:
+            handler = server._server.RequestHandlerClass
+            assert handler.timeout == 1.25
+        finally:
+            server.stop()

@@ -142,3 +142,73 @@ class TestRejection:
             sink.write('{"day": 6, "baskets": [[1,')
         with pytest.raises(SchemaError, match=":3: corrupt or truncated"):
             list(replay_stream(path))
+
+
+class TestSkipDaysEdges:
+    """The resume path's skip semantics, edge by edge (soak satellite)."""
+
+    def test_skip_zero_is_the_full_replay(self, stream_path):
+        full = list(replay_stream(stream_path))
+        skipped = list(replay_stream(stream_path, skip_days=0))
+        assert [b.day for b in skipped] == [b.day for b in full]
+        assert sum(b.n_baskets for b in skipped) == sum(
+            b.n_baskets for b in full
+        )
+
+    def test_skip_past_end_yields_nothing(self, stream_path):
+        n_days = sum(1 for _ in replay_stream(stream_path))
+        assert list(replay_stream(stream_path, skip_days=n_days + 5)) == []
+
+    def test_skip_exactly_to_final_batch(self, stream_path):
+        full = list(replay_stream(stream_path))
+        tail = list(replay_stream(stream_path, skip_days=len(full) - 1))
+        assert len(tail) == 1
+        last = tail[0]
+        assert last.day == full[-1].day
+        assert [b.customer_id for b in last.baskets] == [
+            b.customer_id for b in full[-1].baskets
+        ]
+
+    def test_fingerprint_mismatch_after_partial_skip_falls_back(
+        self, stream_path, serve_config, tmp_path
+    ):
+        """A cursor must never skip into a *different* stream.
+
+        Serve a few batches of stream A, then swap the file contents for
+        stream B: the committed cursor's stream fingerprint no longer
+        matches the header being replayed, so the resume must restart
+        from the head of B (counting ``serve.cursor_invalid``) instead
+        of silently applying A's skip count to B.
+        """
+        from repro.obs import MetricsRegistry, use_metrics
+        from repro.obs import metrics as obs_metrics
+        from repro.serve import offline_sweep_stream, serve_stream
+        from repro.synth import ScenarioConfig, generate_dataset
+
+        working = tmp_path / "stream.jsonl"
+        working.write_bytes(stream_path.read_bytes())
+        ckpt = tmp_path / "ckpt"
+        partial = serve_stream(
+            working, ckpt, batch_size=120, config=serve_config, max_batches=2
+        )
+        assert not partial.finished
+        assert partial.day_batches_consumed > 0
+
+        other = generate_dataset(
+            ScenarioConfig(
+                n_loyal=6, n_churners=6, seed=11, n_months=6, onset_month=4
+            )
+        )
+        record_stream(
+            sorted(other.log, key=lambda b: (b.day, b.customer_id)),
+            working,
+            calendar=other.calendar,
+        )
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            resumed = serve_stream(working, ckpt, batch_size=120)
+        assert registry.counter_value(obs_metrics.SERVE_CURSOR_INVALID) == 1
+        assert not resumed.resumed  # restarted from the head of B
+        assert resumed.finished
+        reference = offline_sweep_stream(working)
+        assert resumed.fingerprint() == reference.fingerprint()

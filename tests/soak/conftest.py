@@ -1,0 +1,35 @@
+"""Shared soak fixtures: a small recorded stream (fast chaos loops)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.synth import ScenarioConfig, generate_dataset
+from repro.synth.stream import record_stream
+
+
+@pytest.fixture(scope="session")
+def soak_dataset():
+    """A short study so full chaos loops stay in CI budget."""
+    return generate_dataset(
+        ScenarioConfig(
+            n_loyal=12, n_churners=12, seed=3, n_months=10, onset_month=6
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def soak_stream(soak_dataset, tmp_path_factory) -> Path:
+    path = tmp_path_factory.mktemp("soak-stream") / "stream.jsonl"
+    baskets = sorted(
+        soak_dataset.log, key=lambda b: (b.day, b.customer_id)
+    )
+    return record_stream(baskets, path, calendar=soak_dataset.calendar)
+
+
+@pytest.fixture(scope="session")
+def soak_config() -> ExperimentConfig:
+    return ExperimentConfig()

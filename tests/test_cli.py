@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -388,3 +390,87 @@ class TestRecordAndServe:
         with pytest.raises(SystemExit) as excinfo:
             main(["serve", str(stream_file)])
         assert excinfo.value.code == 2
+
+
+class TestSoak:
+    """The ``soak`` subcommand (repro.soak chaos harness)."""
+
+    STREAM_ARGS = ["--loyal", "8", "--churners", "8", "--seed", "2"]
+    RECORD = ["record", "--months", "10", "--onset-month", "6"]
+
+    @pytest.fixture()
+    def stream_file(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        assert main([*self.STREAM_ARGS, *self.RECORD, "--out", str(path)]) == 0
+        return path
+
+    def test_soak_help_mentions_key_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["soak", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in (
+            "--chaos", "--duration", "--rate", "--slo-p99-ms",
+            "--workdir", "--bench-out", "--min-throughput",
+        ):
+            assert flag in out
+
+    def test_fault_free_soak_passes_and_writes_bench(
+        self, stream_file, tmp_path, capsys
+    ):
+        bench = tmp_path / "BENCH_serve.json"
+        assert main(
+            ["soak", str(stream_file), "--workdir", str(tmp_path / "run"),
+             "--batch-size", "120", "--n-shards", "1",
+             "--slo-p99-ms", "60000", "--bench-out", str(bench)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "soak: PASSED" in captured.out
+        assert "parity vs offline sweep: ok" in captured.out
+        payload = json.loads(bench.read_text())
+        assert payload["soak"]["passed"] is True
+        assert payload["soak"]["slo"]["p99"]["ok"] is True
+
+    def test_chaos_smoke_injects_every_site(
+        self, stream_file, tmp_path, capsys
+    ):
+        bench = tmp_path / "BENCH_serve.json"
+        assert main(
+            ["soak", str(stream_file), "--workdir", str(tmp_path / "run"),
+             "--chaos", "smoke", "--batch-size", "120",
+             "--n-shards", "2", "--parallel", "--slow-seconds", "0.3",
+             "--slo-p99-ms", "120000", "--bench-out", str(bench)]
+        ) == 0
+        out = capsys.readouterr().out
+        for site in (
+            "tear_cursor", "worker_crash", "slow_shard",
+            "kill_resume", "ckpt_io", "tear_state",
+        ):
+            assert site in out
+        payload = json.loads(bench.read_text())
+        assert payload["soak"]["faults_injected"] == 6
+
+    def test_chaos_smoke_without_parallel_is_config_error(
+        self, stream_file, tmp_path, capsys
+    ):
+        assert main(
+            ["soak", str(stream_file), "--workdir", str(tmp_path / "run"),
+             "--chaos", "smoke", "--batch-size", "120"]
+        ) == 2
+        assert "configuration error" in capsys.readouterr().err
+
+    def test_slo_violation_exits_1(self, stream_file, tmp_path, capsys):
+        assert main(
+            ["soak", str(stream_file), "--workdir", str(tmp_path / "run"),
+             "--batch-size", "120", "--slo-p99-ms", "0.000001"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "soak: FAILED" in out
+        assert "SLO" in out
+
+    def test_soak_missing_stream(self, tmp_path, capsys):
+        assert main(
+            ["soak", str(tmp_path / "nope.jsonl"),
+             "--workdir", str(tmp_path / "run")]
+        ) == 1
+        assert "not found" in capsys.readouterr().err
