@@ -72,7 +72,12 @@ soak-smoke:
 		--chaos smoke --duration 60 --batch-size 2000 \
 		--n-shards 2 --parallel --slow-seconds 1.0 \
 		--slo-p99-ms 30000 --min-throughput 50 \
+		--flight-dir soak-smoke/flight \
+		--metrics-stream-out soak-smoke/live.jsonl \
+		--pin-telemetry-overhead \
 		--bench-out BENCH_serve.json
+	@echo "live snapshots: soak-smoke/live.jsonl (view: repro-attrition obs tail)"
+	@echo "flight artifacts: soak-smoke/flight/"
 
 bench:
 	PYTHONPATH=src python -m repro.cli bench --json BENCH_scaling.json

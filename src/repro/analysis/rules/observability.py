@@ -4,12 +4,15 @@ The telemetry spine (PR 4) only stays queryable if every call site uses
 the instrument names declared in :mod:`repro.obs.metrics` — a typo'd
 ``"executor.shard_retrys"`` counter would record faithfully and be found
 by nobody.  OBS001 checks every literal name passed to
-``counter()`` / ``gauge()`` / ``histogram()`` / ``span()`` /
-``timed_stage()`` against ``CANONICAL_METRIC_NAMES`` /
-``CANONICAL_SPAN_NAMES``, and every ``obs_metrics.<CONSTANT>`` attribute
-reference against the module's actual exports.  The taxonomy is
-imported live from :mod:`repro.obs.metrics`, never copied here, so rule
-and registry cannot drift apart (a test pins this).
+``counter()`` / ``histogram()`` against ``CANONICAL_METRIC_NAMES``,
+``gauge()`` against ``CANONICAL_GAUGE_NAMES``, ``span()`` /
+``timed_stage()`` against ``CANONICAL_SPAN_NAMES``, the windowed-layer
+queries ``rate()`` / ``window_count()`` / ``window_summary()`` against
+``CANONICAL_WINDOWED_NAMES``, and every ``obs_metrics.<CONSTANT>``
+attribute reference against the module's actual exports.  The taxonomy
+is imported live from :mod:`repro.obs.metrics`, never copied here, so
+rule and registry cannot drift apart (a test pins this in both
+directions for each set).
 """
 
 from __future__ import annotations
@@ -22,12 +25,16 @@ from repro.analysis.findings import Finding
 
 __all__ = ["CanonicalInstrumentNames"]
 
-_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+_METRIC_METHODS = frozenset({"counter", "histogram"})
+_GAUGE_METHODS = frozenset({"gauge"})
 _SPAN_CALLABLES = frozenset({"span", "timed_stage"})
+_WINDOW_METHODS = frozenset({"rate", "window_count", "window_summary"})
 
 
-def _taxonomy() -> tuple[frozenset[str], frozenset[str], frozenset[str]]:
-    """(metric names, span names, constant attribute names) — live import."""
+def _taxonomy() -> tuple[
+    frozenset[str], frozenset[str], frozenset[str], frozenset[str], frozenset[str]
+]:
+    """(metric, gauge, span, windowed, constant) name sets — live import."""
     from repro.obs import metrics as obs_metrics
 
     constants = frozenset(
@@ -37,7 +44,9 @@ def _taxonomy() -> tuple[frozenset[str], frozenset[str], frozenset[str]]:
     )
     return (
         obs_metrics.CANONICAL_METRIC_NAMES,
+        obs_metrics.CANONICAL_GAUGE_NAMES,
         obs_metrics.CANONICAL_SPAN_NAMES,
+        obs_metrics.CANONICAL_WINDOWED_NAMES,
         constants,
     )
 
@@ -60,7 +69,13 @@ class CanonicalInstrumentNames(Rule):
         )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        metric_names, span_names, constant_names = _taxonomy()
+        (
+            metric_names,
+            gauge_names,
+            span_names,
+            windowed_names,
+            constant_names,
+        ) = _taxonomy()
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call) or not node.args:
                 continue
@@ -73,8 +88,12 @@ class CanonicalInstrumentNames(Rule):
                 continue
             if callee in _METRIC_METHODS:
                 kind, canonical = "instrument", metric_names
+            elif callee in _GAUGE_METHODS:
+                kind, canonical = "gauge", gauge_names
             elif callee in _SPAN_CALLABLES:
                 kind, canonical = "span", span_names
+            elif callee in _WINDOW_METHODS:
+                kind, canonical = "windowed series", windowed_names
             else:
                 continue
             name_arg = node.args[0]

@@ -22,7 +22,12 @@ from pathlib import Path
 from types import TracebackType
 from typing import BinaryIO
 
-__all__ = ["atomic_write_text", "atomic_write_json", "AtomicBinaryWriter"]
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_json",
+    "append_jsonl_line",
+    "AtomicBinaryWriter",
+]
 
 
 def atomic_write_text(path: str | Path, text: str) -> Path:
@@ -63,6 +68,28 @@ def atomic_write_json(
     """
     text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
     return atomic_write_text(path, text)
+
+
+def append_jsonl_line(path: str | Path, payload: object) -> Path:
+    """Append one JSON document as a line to a JSONL stream file.
+
+    This is the deliberate exception to the temp-then-rename rule:
+    streaming telemetry (the live metrics JSONL that `obs tail`
+    follows) wants each sample visible to readers *immediately*, and
+    rewriting the whole file per sample would turn an O(1) publish into
+    O(samples).  A single ``write`` of one ``\\n``-terminated line is
+    appended and flushed; a crash mid-write can tear at most the final
+    line, and every reader of these streams tolerates (skips) a torn
+    last line.  Durable artifacts — checkpoints, manifests, flight
+    recordings — must keep using :func:`atomic_write_text`.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(payload, sort_keys=True) + "\n"
+    with open(path, "a") as handle:
+        handle.write(line)
+        handle.flush()
+    return path
 
 
 class AtomicBinaryWriter:

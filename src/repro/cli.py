@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro.config import ExperimentConfig
@@ -380,6 +381,30 @@ def build_parser() -> argparse.ArgumentParser:
             "fail (exit 1) unless the score tables are bit-identical"
         ),
     )
+    serve.add_argument(
+        "--metrics-stream-out",
+        type=Path,
+        default=None,
+        help=(
+            "append live window snapshots (JSONL) here — the feed "
+            "`obs tail` follows"
+        ),
+    )
+    serve.add_argument(
+        "--flight-dir",
+        type=Path,
+        default=None,
+        help=(
+            "flight-recorder output directory: a cursor fallback flushes "
+            "the recent-telemetry ring to flight-<commit>.jsonl there"
+        ),
+    )
+    serve.add_argument(
+        "--publish-interval",
+        type=float,
+        default=2.0,
+        help="minimum seconds between live metrics publishes",
+    )
 
     soak = sub.add_parser(
         "soak",
@@ -475,6 +500,45 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--alpha", type=float, default=2.0)
     soak.add_argument("--beta", type=float, default=0.5)
     soak.add_argument("--first-alarm-window", type=int, default=0)
+    soak.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        help=(
+            "bind the status API (with /metrics) on this port for the "
+            "duration of the soak (0 = ephemeral; default: no API)"
+        ),
+    )
+    soak.add_argument(
+        "--flight-dir",
+        type=Path,
+        default=None,
+        help=(
+            "flight-recorder output directory (default: <workdir>/flight); "
+            "every injected fault and SLO violation flushes an artifact"
+        ),
+    )
+    soak.add_argument(
+        "--metrics-stream-out",
+        type=Path,
+        default=None,
+        help="append live window snapshots (JSONL) here for `obs tail`",
+    )
+    soak.add_argument(
+        "--publish-interval",
+        type=float,
+        default=1.0,
+        help="minimum seconds between live metrics publishes",
+    )
+    soak.add_argument(
+        "--pin-telemetry-overhead",
+        action="store_true",
+        help=(
+            "also measure the live plane's serve overhead (off vs on, "
+            "bit-identical scores required) and merge the verdict into "
+            "--bench-out under 'telemetry_plane'"
+        ),
+    )
 
     obs = sub.add_parser(
         "obs", help="inspect telemetry artifacts (traces, manifests)"
@@ -485,6 +549,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summarize.add_argument(
         "trace", type=Path, help="trace JSONL written via --trace-out"
+    )
+    tail = obs_sub.add_parser(
+        "tail",
+        help=(
+            "live terminal dashboard over a metrics snapshot stream "
+            "(see serve/soak --metrics-stream-out)"
+        ),
+    )
+    tail.add_argument(
+        "stream", type=Path, help="window-snapshot JSONL being appended"
+    )
+    tail.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep redrawing as new snapshots arrive (Ctrl-C to stop)",
+    )
+    tail.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between redraws in --follow mode",
+    )
+    tail.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="stop after this many rendered frames (tests/CI)",
     )
     return parser
 
@@ -727,13 +818,31 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         try:
             records = read_trace_jsonl(args.trace)
         except (OSError, SchemaError) as exc:
-            print(f"cannot read trace: {exc}", file=sys.stderr)
-            return 1
+            # Exit 2 = unusable input (missing/corrupt artifact), kept
+            # distinct from exit 1 (the command ran and found a problem)
+            # so scripts can tell the two apart.
+            print(f"obs summarize: cannot read trace: {exc}", file=sys.stderr)
+            return 2
         if not records:
             print(f"{args.trace}: trace is empty")
             return 0
         print(f"{args.trace}: {len(records)} span(s)")
         print(render_span_summary(summarize_spans(records)))
+    elif args.obs_command == "tail":
+        from repro.obs.tail import tail_stream
+
+        try:
+            frames = tail_stream(
+                args.stream,
+                sys.stdout,
+                follow=args.follow,
+                interval_s=args.interval,
+                max_frames=args.frames,
+            )
+        except SchemaError as exc:
+            print(f"obs tail: cannot read stream: {exc}", file=sys.stderr)
+            return 2
+        print(f"rendered {frames} frame(s)", file=sys.stderr)
     return 0
 
 
@@ -826,6 +935,13 @@ def _cmd_record(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
+    from repro.obs import (
+        FlightRecorder,
+        MetricsPublisher,
+        MetricsRegistry,
+        metrics_enabled,
+        use_metrics,
+    )
     from repro.serve import (
         StatusBoard,
         StatusServer,
@@ -856,6 +972,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     }
     board = StatusBoard()
     server: StatusServer | None = None
+    # The live telemetry plane rides along whenever it has a consumer:
+    # the status API (/metrics), a JSONL stream file, or a flight dir.
+    plane_on = (
+        not args.no_api
+        or args.metrics_stream_out is not None
+        or args.flight_dir is not None
+    )
+    publisher = None
+    if plane_on:
+        publisher = MetricsPublisher(
+            board=board,
+            flight=(
+                FlightRecorder(args.flight_dir)
+                if args.flight_dir is not None
+                else None
+            ),
+            stream_path=args.metrics_stream_out,
+            interval_s=args.publish_interval,
+        )
+    # The publisher samples the active registry; when no --metrics-out
+    # session installed one, give the plane its own private registry
+    # (scores stay bit-identical either way — pinned by the bench).
+    registry_cm = (
+        use_metrics(MetricsRegistry())
+        if plane_on and not metrics_enabled()
+        else nullcontext()
+    )
     try:
         if not args.no_api:
             server = StatusServer(board, port=args.status_port)
@@ -863,19 +1006,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"status API on http://127.0.0.1:{server.start()}/status",
                 file=sys.stderr,
             )
-        result = serve_stream(
-            args.stream,
-            args.checkpoint_dir,
-            batch_size=args.batch_size,
-            n_shards=args.n_shards,
-            parallel=args.parallel,
-            config=config,
-            beta=args.beta,
-            first_alarm_window=args.first_alarm_window,
-            status=board,
-            max_batches=args.max_batches,
-            should_stop=lambda: stop_requested["flag"],
-        )
+        with registry_cm:
+            result = serve_stream(
+                args.stream,
+                args.checkpoint_dir,
+                batch_size=args.batch_size,
+                n_shards=args.n_shards,
+                parallel=args.parallel,
+                config=config,
+                beta=args.beta,
+                first_alarm_window=args.first_alarm_window,
+                status=board,
+                publisher=publisher,
+                max_batches=args.max_batches,
+                should_stop=lambda: stop_requested["flag"],
+            )
     finally:
         if server is not None:
             server.stop()
@@ -935,9 +1080,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_soak(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError
+    from repro.eval.benchmarking import merge_scaling_json
+    from repro.obs import FlightRecorder, MetricsPublisher
+    from repro.serve import StatusBoard, StatusServer
     from repro.soak import (
         ChaosSchedule,
         SoakPlan,
+        live_plane_overhead,
         render_soak,
         run_soak,
         stream_shape,
@@ -949,6 +1098,17 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         return 1
     config = ExperimentConfig(
         window_months=args.window_months, alpha=args.alpha
+    )
+    board = StatusBoard()
+    server: StatusServer | None = None
+    flight_dir = (
+        args.flight_dir if args.flight_dir is not None else args.workdir / "flight"
+    )
+    publisher = MetricsPublisher(
+        board=board,
+        flight=FlightRecorder(flight_dir),
+        stream_path=args.metrics_stream_out,
+        interval_s=args.publish_interval,
     )
     try:
         plan = SoakPlan(
@@ -971,6 +1131,13 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             chaos = ChaosSchedule.smoke(
                 n_batches, slow_seconds=args.slow_seconds
             )
+        if args.status_port is not None:
+            server = StatusServer(board, port=args.status_port)
+            print(
+                f"status API on http://127.0.0.1:{server.start()}/status "
+                "(live exposition on /metrics)",
+                file=sys.stderr,
+            )
         report = run_soak(
             args.stream,
             args.workdir,
@@ -980,14 +1147,38 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             beta=args.beta,
             first_alarm_window=args.first_alarm_window,
             keep_checkpoints=args.keep_checkpoints,
+            status=board,
+            publisher=publisher,
         )
     except ConfigError as exc:
         print(f"soak configuration error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if server is not None:
+            server.stop()
     print(render_soak(report))
+    if publisher.flight is not None and publisher.flight.flushed:
+        print(
+            f"flight recorder: {len(publisher.flight.flushed)} artifact(s) "
+            f"in {flight_dir}",
+            file=sys.stderr,
+        )
     if args.bench_out is not None:
         write_bench(report, args.bench_out)
         print(f"wrote bench artifact to {args.bench_out}", file=sys.stderr)
+    if args.pin_telemetry_overhead:
+        verdict = live_plane_overhead(
+            args.stream, batch_size=args.batch_size
+        )
+        print(
+            f"live plane overhead: {verdict['overhead_pct']:.2f}% "
+            f"(budget {verdict['budget_pct']}%, "
+            f"{'ok' if verdict['ok'] else 'OVER BUDGET'}; scores bit-identical)"
+        )
+        if args.bench_out is not None:
+            merge_scaling_json(args.bench_out, {"telemetry_plane": verdict})
+        if not verdict["ok"]:
+            return 1
     return 0 if report.passed else 1
 
 

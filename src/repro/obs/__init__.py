@@ -14,7 +14,13 @@ making it slower or different:
   done / total, cells/sec, ETA, current cell key) over stdlib logging;
 * :mod:`repro.obs.manifest` — the :class:`~repro.obs.manifest.RunManifest`
   written atomically next to every checkpoint journal, so resumable runs
-  are self-describing.
+  are self-describing;
+* :mod:`repro.obs.windows`, :mod:`repro.obs.export`,
+  :mod:`repro.obs.flight`, :mod:`repro.obs.tail` — the live telemetry
+  plane (DESIGN.md §12): rolling-window rates/quantiles over the
+  registry, Prometheus/JSONL exposition via a periodic publisher, a
+  flight recorder flushed on faults and SLO violations, and the
+  ``obs tail`` terminal dashboard.
 
 The contract every instrumented call site relies on:
 
@@ -38,6 +44,12 @@ from pathlib import Path
 from types import TracebackType
 from typing import TYPE_CHECKING
 
+from repro.obs.export import (
+    MetricsPublisher,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.flight import FlightRecorder, read_flight_jsonl
 from repro.obs.manifest import (
     MANIFEST_NAME,
     RunManifest,
@@ -69,6 +81,7 @@ from repro.obs.trace import (
     use_tracer,
     write_trace_jsonl,
 )
+from repro.obs.windows import WindowedMetrics
 
 if TYPE_CHECKING:
     from repro.obs.trace import _NullSpan, _Span
@@ -103,6 +116,12 @@ __all__ = [
     "timed_stage",
     "telemetry_enabled",
     "TelemetrySession",
+    "WindowedMetrics",
+    "MetricsPublisher",
+    "FlightRecorder",
+    "read_flight_jsonl",
+    "render_prometheus",
+    "parse_prometheus",
 ]
 
 

@@ -1,0 +1,276 @@
+"""Metrics exposition + the periodic publisher (DESIGN.md §12).
+
+Two wire formats, both hand-rolled over the stdlib:
+
+* :func:`render_prometheus` turns a window snapshot into Prometheus
+  text exposition 0.0.4 — cumulative counters as ``counter`` series
+  (``_total`` suffix), gauges and rolling rates as ``gauge`` series,
+  per-window histogram summaries as ``summary`` series with
+  ``quantile`` labels plus ``_count``/``_sum``.  Canonical dotted
+  names are mangled ``serve.batch_s`` → ``repro_serve_batch_s``.
+* the JSONL stream: each published snapshot appended as one line via
+  :func:`repro.atomicio.append_jsonl_line`, the feed ``obs tail``
+  follows.
+
+:func:`parse_prometheus` is the matching reader — CI scrapes
+``/metrics`` mid-soak and asserts the exposition round-trips through
+it, so the format can't rot silently.
+
+:class:`MetricsPublisher` ties the plane together: on each
+:meth:`~MetricsPublisher.tick` (time-gated; callers invoke it freely
+per batch) it samples the registry into :class:`~repro.obs.windows.
+WindowedMetrics`, renders both formats, pushes them at the status
+board, appends the JSONL line, and files the snapshot into the flight
+recorder's ring.  Everything downstream of the registry dump happens at
+publish cadence, never per observation — the <3% overhead pin holds
+because the hot path's only new cost is a time comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from pathlib import Path
+from typing import TYPE_CHECKING, Protocol
+
+from repro.atomicio import append_jsonl_line
+from repro.errors import SchemaError
+from repro.obs.metrics import SOAK_SLO_BURN, MetricsRegistry, NullMetrics
+from repro.obs.windows import WindowedMetrics
+
+if TYPE_CHECKING:
+    from repro.obs.flight import FlightRecorder
+
+__all__ = [
+    "MetricsPublisher",
+    "render_prometheus",
+    "parse_prometheus",
+    "PROMETHEUS_CONTENT_TYPE",
+]
+
+#: The content type ``/metrics`` responses carry.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Prefix on every exported series name.
+_PREFIX = "repro_"
+
+#: quantile-summary keys → Prometheus ``quantile`` label values.
+_QUANTILE_LABELS: tuple[tuple[str, str], ...] = (
+    ("p50", "0.5"),
+    ("p95", "0.95"),
+    ("p99", "0.99"),
+)
+
+
+def _mangle(name: str) -> str:
+    """Canonical dotted instrument name → Prometheus metric name."""
+    safe = "".join(ch if ch.isalnum() else "_" for ch in name)
+    return _PREFIX + safe
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value; integers print without a trailing .0."""
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(snapshot: dict[str, object]) -> str:
+    """Render a window snapshot as Prometheus text exposition 0.0.4.
+
+    Series, in order: cumulative counters (``counter``), gauges and
+    per-second rolling rates (``gauge``), per-window histogram
+    summaries (``summary``).  Output is deterministic (sorted names)
+    so scrapes diff cleanly.
+    """
+    lines: list[str] = []
+
+    counters = snapshot.get("counters")
+    if isinstance(counters, dict):
+        for name in sorted(counters):
+            metric = _mangle(str(name)) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(float(counters[name]))}")
+
+    gauges = snapshot.get("gauges")
+    if isinstance(gauges, dict):
+        for name in sorted(gauges):
+            metric = _mangle(str(name))
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(float(gauges[name]))}")
+
+    rates = snapshot.get("rates")
+    if isinstance(rates, dict):
+        for name in sorted(rates):
+            metric = _mangle(str(name)) + "_rate"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(float(rates[name]))}")
+
+    windows = snapshot.get("windows")
+    if isinstance(windows, dict):
+        for name in sorted(windows):
+            summary = windows[name]
+            if not isinstance(summary, dict):
+                continue
+            metric = _mangle(str(name))
+            lines.append(f"# TYPE {metric} summary")
+            for key, label in _QUANTILE_LABELS:
+                value = float(summary.get(key, 0.0))
+                lines.append(
+                    f'{metric}{{quantile="{label}"}} {_format_value(value)}'
+                )
+            lines.append(
+                f"{metric}_count {_format_value(float(summary.get('count', 0.0)))}"
+            )
+            lines.append(
+                f"{metric}_sum {_format_value(float(summary.get('sum', 0.0)))}"
+            )
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse text exposition back to ``{series[{labels}]: value}``.
+
+    The inverse of :func:`render_prometheus` for self-verification
+    (CI scrapes ``/metrics`` and asserts required series are present).
+    Comment/TYPE lines are skipped; a malformed sample line raises
+    :class:`~repro.errors.SchemaError`.
+    """
+    samples: dict[str, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.rsplit(None, 1)
+        if len(parts) != 2:
+            raise SchemaError(f"malformed exposition line: {raw!r}")
+        series, value = parts
+        try:
+            samples[series] = float(value)
+        except ValueError as exc:
+            raise SchemaError(f"malformed exposition value: {raw!r}") from exc
+    return samples
+
+
+class BoardSink(Protocol):
+    """What the publisher needs from a status board (duck-typed so
+    ``repro.obs`` never imports ``repro.serve``)."""
+
+    def set_metrics_text(self, text: str) -> None: ...
+
+    def push_metrics_sample(self, snapshot: dict[str, object]) -> None: ...
+
+
+class MetricsPublisher:
+    """Periodic bridge from the registry to every live consumer.
+
+    Parameters
+    ----------
+    windowed:
+        The window layer to sample into (owned by the publisher; a
+        default 60s/5s window is built when omitted).
+    board:
+        Optional status board; receives the rendered exposition and
+        the raw snapshot on each publish.
+    flight:
+        Optional flight recorder; each published snapshot joins its
+        ring, and :meth:`trigger_flight` proxies trigger calls so
+        call sites need only hold the publisher.
+    stream_path:
+        Optional JSONL file each snapshot is appended to (the
+        ``obs tail`` feed).
+    interval_s:
+        Minimum seconds between publishes; :meth:`tick` calls inside
+        the interval return ``None`` without touching the registry.
+    slo_budgets_ms:
+        Optional ``{"p50"/"p95"/"p99": ms}`` budgets; when present,
+        each snapshot carries the burn map and the worst burn is
+        exported as the ``soak.slo_burn`` gauge.
+    """
+
+    def __init__(
+        self,
+        windowed: WindowedMetrics | None = None,
+        board: BoardSink | None = None,
+        flight: FlightRecorder | None = None,
+        stream_path: str | Path | None = None,
+        interval_s: float = 2.0,
+        slo_budgets_ms: dict[str, float] | None = None,
+    ) -> None:
+        self.windowed = windowed if windowed is not None else WindowedMetrics()
+        self.board = board
+        self.flight = flight
+        self.stream_path = Path(stream_path) if stream_path is not None else None
+        self.interval_s = float(interval_s)
+        self.slo_budgets_ms = dict(slo_budgets_ms) if slo_budgets_ms else None
+        self._last_publish: float | None = None
+        self.published = 0
+        #: Wall seconds spent inside :meth:`tick`, cumulative — the
+        #: plane's entire hot-path cost, which is what the
+        #: ``telemetry_plane`` overhead pin measures.
+        self.tick_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def tick(
+        self,
+        registry: MetricsRegistry | NullMetrics,
+        force: bool = False,
+        context: dict[str, object] | Callable[[], dict[str, object]] | None = None,
+    ) -> dict[str, object] | None:
+        """Publish if the interval elapsed (or ``force``); returns the
+        snapshot when one was published, else ``None``.
+
+        ``context`` may be a callable so expensive context (the
+        per-shard table) is only computed on ticks that actually
+        publish — the hot path's cost for a skipped tick is one clock
+        read and a comparison.
+        """
+        started = time.perf_counter()
+        now = time.monotonic()
+        if (
+            not force
+            and self._last_publish is not None
+            and now - self._last_publish < self.interval_s
+        ):
+            self.tick_seconds += time.perf_counter() - started
+            return None
+        self._last_publish = now
+        if callable(context):
+            context = context()
+        self.windowed.sample(registry, now)
+        if self.slo_budgets_ms:
+            burn = self.windowed.slo_burn(self.slo_budgets_ms)
+            if burn:
+                self.windowed.set_gauge(SOAK_SLO_BURN, max(burn.values()))
+        snapshot = self.windowed.snapshot(
+            now, context=context, budgets_ms=self.slo_budgets_ms
+        )
+        snapshot["wall_ts"] = time.time()
+        self._deliver(snapshot)
+        self.published += 1
+        self.tick_seconds += time.perf_counter() - started
+        return snapshot
+
+    def _deliver(self, snapshot: dict[str, object]) -> None:
+        if self.board is not None:
+            self.board.set_metrics_text(render_prometheus(snapshot))
+            self.board.push_metrics_sample(snapshot)
+        if self.stream_path is not None:
+            append_jsonl_line(self.stream_path, snapshot)
+        if self.flight is not None:
+            self.flight.record_metrics(snapshot)
+
+    # ------------------------------------------------------------------
+    def record_event(self, event: str, **details: object) -> None:
+        """File an event into the flight ring (no-op without a recorder)."""
+        if self.flight is not None:
+            self.flight.record_event(event, **details)
+
+    def trigger_flight(self, reason: str, commit_index: int = 0) -> Path | None:
+        """Flush the flight ring; returns the artifact path (or ``None``
+        when no recorder is attached)."""
+        if self.flight is None:
+            return None
+        return self.flight.trigger(reason, commit_index=commit_index)

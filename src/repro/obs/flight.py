@@ -1,0 +1,145 @@
+"""Flight recorder: a bounded ring of recent telemetry (DESIGN.md §12).
+
+A soak failure at hour three is useless to debug from end-of-run
+rollups; what matters is *what the system looked like just before the
+fault*.  :class:`FlightRecorder` keeps the last N telemetry records —
+published window snapshots, span records, free-form events — in a
+bounded in-memory ring, and on a trigger (a chaos fault fires, a cursor
+falls back to the stream head, an SLO violation is recorded) flushes
+the ring atomically to ``flight-<commit>.jsonl``: a self-contained
+post-mortem artifact naming the trigger and carrying the recent
+history that led up to it.
+
+Recording is O(1) per record (a deque append) and the ring is only
+serialised on a trigger, so steady-state cost is negligible; the flush
+itself routes through :func:`repro.atomicio.atomic_write_text` so a
+crash mid-flush can never leave a torn artifact.
+
+Trigger reasons are free-form strings with a small conventional
+vocabulary (see the DESIGN.md §12 trigger table):
+
+* ``fault:<site>`` — a chaos fault was injected at a schedule cell;
+* ``cursor_invalid`` — a resume rejected the cursor and restarted from
+  the stream head;
+* ``slo_violation:<detail>`` — a latency/invariant budget was blown.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+from repro.atomicio import atomic_write_text
+from repro.errors import SchemaError
+
+__all__ = ["FlightRecorder", "read_flight_jsonl", "FLIGHT_SCHEMA"]
+
+#: Schema tag on the header line of every flight artifact.
+FLIGHT_SCHEMA = "repro-flight"
+
+#: Flight artifact format version.
+FLIGHT_VERSION = 1
+
+
+class FlightRecorder:
+    """Bounded ring of telemetry records, flushed atomically on trigger.
+
+    Parameters
+    ----------
+    out_dir:
+        Directory flight artifacts land in (created on first flush).
+    capacity:
+        Ring size; the oldest records fall off once exceeded.
+    """
+
+    def __init__(self, out_dir: str | Path, capacity: int = 256) -> None:
+        if capacity <= 0:
+            from repro.errors import ConfigError
+
+            raise ConfigError(f"flight capacity must be positive, got {capacity}")
+        self.out_dir = Path(out_dir)
+        self.capacity = capacity
+        self._ring: deque[dict[str, object]] = deque(maxlen=capacity)
+        self._triggers = 0
+        #: Paths of every artifact flushed this run, in trigger order.
+        self.flushed: list[Path] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, kind: str, payload: dict[str, object]) -> None:
+        """File one record into the ring (O(1), no I/O)."""
+        self._ring.append({"kind": kind, **payload})
+
+    def record_event(self, event: str, **details: object) -> None:
+        """A free-form event record (batch committed, leg started, ...)."""
+        self.record("event", {"event": event, **details})
+
+    def record_metrics(self, snapshot: dict[str, object]) -> None:
+        """A published window snapshot (from the metrics publisher)."""
+        self.record("metrics", {"snapshot": snapshot})
+
+    def record_span(self, span: dict[str, object]) -> None:
+        """A completed span record (``SpanRecord.to_dict`` shape)."""
+        self.record("span", {"span": span})
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def trigger(self, reason: str, commit_index: int = 0) -> Path:
+        """Flush the ring to ``flight-<commit>.jsonl`` atomically.
+
+        The artifact's first line is a header naming the trigger reason
+        and commit index; the rest is the ring, oldest record first.
+        Repeat triggers at the same commit index get a ``-<n>`` suffix
+        so no artifact is ever overwritten.
+        """
+        name = f"flight-{commit_index:04d}.jsonl"
+        path = self.out_dir / name
+        if path.exists():
+            self._triggers += 1
+            path = self.out_dir / f"flight-{commit_index:04d}-{self._triggers}.jsonl"
+        header: dict[str, object] = {
+            "schema": FLIGHT_SCHEMA,
+            "version": FLIGHT_VERSION,
+            "reason": reason,
+            "commit_index": commit_index,
+            "records": len(self._ring),
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(json.dumps(record, sort_keys=True) for record in self._ring)
+        atomic_write_text(path, "\n".join(lines) + "\n")
+        self.flushed.append(path)
+        return path
+
+
+def read_flight_jsonl(path: str | Path) -> tuple[dict[str, object], list[dict[str, object]]]:
+    """Load a flight artifact: ``(header, records)``.
+
+    Raises
+    ------
+    SchemaError
+        If the file is missing, empty, not line-JSON, or the header is
+        not a flight header.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SchemaError(f"cannot read flight artifact {path}: {exc}") from exc
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise SchemaError(f"flight artifact {path} is empty")
+    try:
+        parsed = [json.loads(line) for line in lines]
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"flight artifact {path} has a corrupt line: {exc}") from exc
+    header = parsed[0]
+    if not isinstance(header, dict) or header.get("schema") != FLIGHT_SCHEMA:
+        raise SchemaError(f"{path} is not a flight artifact: {header!r}")
+    records = [r for r in parsed[1:] if isinstance(r, dict)]
+    return header, records

@@ -67,6 +67,11 @@ __all__ = [
     "SOAK_LEGS",
     "SOAK_LOOPS",
     "SOAK_SLO_VIOLATIONS",
+    # gauge taxonomy (live telemetry plane, DESIGN.md §12)
+    "SERVE_QUEUE_DEPTH",
+    "SERVE_LAG_DAYS",
+    "SERVE_COMMIT_INDEX",
+    "SOAK_SLO_BURN",
     # span taxonomy
     "SPAN_RUN_SHARDED",
     "SPAN_WAVE",
@@ -84,6 +89,8 @@ __all__ = [
     # canonical name sets (consumed by repro.analysis rule OBS001)
     "CANONICAL_METRIC_NAMES",
     "CANONICAL_SPAN_NAMES",
+    "CANONICAL_GAUGE_NAMES",
+    "CANONICAL_WINDOWED_NAMES",
 ]
 
 # ----------------------------------------------------------------------
@@ -135,6 +142,22 @@ SOAK_FAULTS_INJECTED = "soak.faults_injected"
 SOAK_LEGS = "soak.legs"
 SOAK_LOOPS = "soak.loops"
 SOAK_SLO_VIOLATIONS = "soak.slo_violations"
+
+# ----------------------------------------------------------------------
+# Gauge taxonomy (live telemetry plane, DESIGN.md §12): point-in-time
+# values the serving loop keeps current so a /metrics scrape or the
+# `obs tail` dashboard can see the run's position, not just its totals.
+# ----------------------------------------------------------------------
+#: Baskets in the batch currently being processed (in-flight work).
+SERVE_QUEUE_DEPTH = "serve.queue_depth"
+#: Stream days not yet consumed: calendar days minus the committed
+#: cursor position (how far behind the end of the stream the run is).
+SERVE_LAG_DAYS = "serve.lag_days"
+#: Last committed checkpoint commit index.
+SERVE_COMMIT_INDEX = "serve.commit_index"
+#: Worst SLO burn ratio over the rolling window (actual/budget; >1 is
+#: burning).  Set by the publisher only when budgets are configured.
+SOAK_SLO_BURN = "soak.slo_burn"
 
 # ----------------------------------------------------------------------
 # Span taxonomy: every tracer span name used across the stack.  New
@@ -221,6 +244,36 @@ CANONICAL_SPAN_NAMES: frozenset[str] = frozenset(
         STAGE_CSR_BUILD,
         STAGE_SIGNIFICANCE,
         STAGE_NORMALIZE,
+        STAGE_SERVE_BATCH,
+        STAGE_SOAK_LEG,
+    }
+)
+
+#: Every canonical gauge name (live telemetry plane).  Gauges are
+#: point-in-time and excluded from CANONICAL_METRIC_NAMES so OBS001 can
+#: check ``registry.gauge(...)`` call sites against exactly this set.
+CANONICAL_GAUGE_NAMES: frozenset[str] = frozenset(
+    {
+        SERVE_QUEUE_DEPTH,
+        SERVE_LAG_DAYS,
+        SERVE_COMMIT_INDEX,
+        SOAK_SLO_BURN,
+    }
+)
+
+#: Every series the windowed layer (repro.obs.windows) tracks per time
+#: bucket: counters whose rolling rates matter live, plus the stage
+#: histograms whose per-window quantiles feed the SLO burn computation.
+#: ``WindowedMetrics.rate`` / ``window_summary`` call sites are checked
+#: against this set by OBS001.
+CANONICAL_WINDOWED_NAMES: frozenset[str] = frozenset(
+    {
+        SERVE_INGESTED,
+        SERVE_SCORED,
+        SERVE_FLAGGED,
+        SERVE_CHECKPOINTED,
+        SOAK_FAULTS_INJECTED,
+        SOAK_SLO_VIOLATIONS,
         STAGE_SERVE_BATCH,
         STAGE_SOAK_LEG,
     }

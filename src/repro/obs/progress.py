@@ -25,6 +25,7 @@ single ``isEnabledFor`` check per sweep — not per cell.
 from __future__ import annotations
 
 import logging
+import math
 import time
 from collections.abc import Callable
 from types import TracebackType
@@ -32,6 +33,13 @@ from types import TracebackType
 __all__ = ["ProgressReporter", "NullProgress", "NULL_PROGRESS", "progress"]
 
 logger = logging.getLogger(__name__)
+
+#: Below this many seconds of elapsed time the observed rate is clock
+#: noise, not signal: the first heartbeat often lands within
+#: microseconds of construction, and ``done / elapsed`` would report
+#: billions of cells per second (and an ETA extrapolated from it).
+#: Such emissions report a rate of 0 and no ETA instead.
+_MIN_RATE_ELAPSED_S = 1e-3
 
 
 class ProgressReporter:
@@ -70,28 +78,41 @@ class ProgressReporter:
 
     def finish(self) -> None:
         """Log the closing line (total cells, wall time, overall rate)."""
-        elapsed = max(self._clock() - self._started, 1e-9)
+        elapsed = self._clock() - self._started
         self._log.info(
             "%s: finished %d cell(s) in %.2fs (%.1f cells/s)",
             self.label,
             self.done,
-            elapsed,
-            self.done / elapsed,
+            max(elapsed, 0.0),
+            self._rate(elapsed),
         )
 
     # ------------------------------------------------------------------
+    def _rate(self, elapsed: float) -> float:
+        """Cells/sec, or 0.0 when too little time has passed to measure."""
+        if elapsed < _MIN_RATE_ELAPSED_S:
+            return 0.0
+        return self.done / elapsed
+
     def _emit(self, now: float, key: str | None) -> None:
-        elapsed = max(now - self._started, 1e-9)
-        rate = self.done / elapsed
+        rate = self._rate(now - self._started)
         remaining = max(self.total - self.done, 0)
-        eta = remaining / rate if rate > 0 else float("inf")
+        # An unmeasurable or zero rate yields no ETA rather than "inf"
+        # seconds (or, worse, an ETA of ~0 extrapolated from the
+        # clock-noise rate of the first heartbeat).
+        if remaining == 0:
+            eta_text = "ETA 0.0s"
+        elif rate > 0.0 and math.isfinite(rate):
+            eta_text = f"ETA {remaining / rate:.1f}s"
+        else:
+            eta_text = "ETA --"
         self._log.info(
-            "%s: %d/%d cells (%.1f cells/s, ETA %.1fs)%s",
+            "%s: %d/%d cells (%.1f cells/s, %s)%s",
             self.label,
             self.done,
             self.total,
             rate,
-            eta,
+            eta_text,
             f" [{key}]" if key else "",
         )
 

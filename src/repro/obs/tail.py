@@ -1,0 +1,202 @@
+"""``repro-attrition obs tail``: a live terminal dashboard (stdlib only).
+
+Follows the JSONL snapshot stream the metrics publisher appends
+(``--metrics-stream-out`` on ``serve``/``soak``) and renders the latest
+window snapshot as a text dashboard: rolling rates, per-window latency
+quantiles, position gauges (lag, commit index, queue depth), SLO burn
+and the per-shard table.  One frame per publish; in ``--follow`` mode
+the screen is redrawn in place with ANSI clear until interrupted.
+
+The reader is torn-line tolerant by design: the stream file is appended
+with single flushed writes (:func:`repro.atomicio.append_jsonl_line`),
+so the only corruption a crash can produce is a truncated *final* line
+— that line is skipped, never fatal.  A corrupt line in the middle of
+the file means the file is not a snapshot stream at all and raises
+:class:`~repro.errors.SchemaError` (the CLI turns that into exit 2).
+
+This module owns every wall-clock read and sleep of the dashboard
+(rule DET002 confines time sources to ``repro.obs``); the CLI layer
+just parses flags and maps errors to exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO
+
+from repro.errors import SchemaError
+from repro.obs.windows import WINDOW_SNAPSHOT_SCHEMA
+
+__all__ = ["read_snapshot_stream", "render_dashboard", "tail_stream"]
+
+#: ANSI: clear screen + home — how follow mode redraws in place.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def read_snapshot_stream(path: str | Path) -> list[dict[str, object]]:
+    """All window snapshots in a JSONL stream file, oldest first.
+
+    Tolerates a torn final line (in-progress append); raises
+    :class:`~repro.errors.SchemaError` when the file is missing, holds
+    corrupt interior lines, or contains no snapshot records at all.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SchemaError(f"cannot read metrics stream {path}: {exc}") from exc
+    lines = text.splitlines()
+    snapshots: list[dict[str, object]] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if i == len(lines) - 1 and not text.endswith("\n"):
+                # A torn final line is an append in progress, not
+                # corruption — the writer flushes whole lines.
+                continue
+            raise SchemaError(
+                f"metrics stream {path} has a corrupt line {i + 1}: {exc}"
+            ) from exc
+        if isinstance(record, dict) and record.get("schema") == WINDOW_SNAPSHOT_SCHEMA:
+            snapshots.append(record)
+    if not snapshots:
+        raise SchemaError(f"{path} holds no metrics window snapshots")
+    return snapshots
+
+
+def _fmt(value: object, width: int = 10) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e12:
+            return f"{int(value):>{width}d}"
+        return f"{value:>{width}.3f}"
+    if isinstance(value, int):
+        return f"{value:>{width}d}"
+    return f"{value!s:>{width}}"
+
+
+def render_dashboard(snapshot: dict[str, object], frame: int = 0) -> str:
+    """One dashboard frame (plain text, fixed-ish 72-column layout)."""
+    lines: list[str] = []
+    span = snapshot.get("span_s", 0.0)
+    wall = snapshot.get("wall_ts")
+    stamp = (
+        time.strftime("%H:%M:%S", time.localtime(float(wall)))
+        if isinstance(wall, (int, float))
+        else "--:--:--"
+    )
+    lines.append(
+        f"repro live telemetry · frame {frame} · published {stamp} · "
+        f"window {span if isinstance(span, (int, float)) else 0:.0f}s"
+    )
+    lines.append("=" * 72)
+
+    gauges = snapshot.get("gauges")
+    if isinstance(gauges, dict) and gauges:
+        lines.append("gauges")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<28}{_fmt(gauges[name])}")
+
+    rates = snapshot.get("rates")
+    counters = snapshot.get("counters")
+    if isinstance(rates, dict) and rates:
+        lines.append("rates (per second, rolling)          total")
+        totals = counters if isinstance(counters, dict) else {}
+        for name in sorted(rates):
+            total = totals.get(name, "")
+            lines.append(
+                f"  {name:<28}{_fmt(rates[name])}  {_fmt(total)}"
+            )
+
+    windows = snapshot.get("windows")
+    if isinstance(windows, dict) and windows:
+        lines.append(
+            "latency (window)       count      p50        p95        p99"
+        )
+        for name in sorted(windows):
+            summary = windows[name]
+            if not isinstance(summary, dict):
+                continue
+            lines.append(
+                f"  {name:<18}"
+                f"{_fmt(summary.get('count', 0), 8)} "
+                f"{_fmt(summary.get('p50', 0.0))} "
+                f"{_fmt(summary.get('p95', 0.0))} "
+                f"{_fmt(summary.get('p99', 0.0))}"
+            )
+
+    burn = snapshot.get("burn")
+    if isinstance(burn, dict) and burn:
+        worst = max(burn.values())
+        state = "BURNING" if worst > 1.0 else "ok"
+        parts = "  ".join(f"{k}={burn[k]:.2f}" for k in sorted(burn))
+        lines.append(f"slo burn [{state}]  {parts}")
+
+    context = snapshot.get("context")
+    if isinstance(context, dict):
+        shards = context.get("shards")
+        if isinstance(shards, list) and shards:
+            lines.append("shard       customers")
+            for entry in shards:
+                if isinstance(entry, dict):
+                    lines.append(
+                        f"  {entry.get('shard', '?')!s:<10}"
+                        f"{_fmt(entry.get('customers', 0))}"
+                    )
+
+    lines.append("=" * 72)
+    return "\n".join(lines) + "\n"
+
+
+def tail_stream(
+    path: str | Path,
+    out: IO[str],
+    follow: bool = False,
+    interval_s: float = 1.0,
+    max_frames: int | None = None,
+) -> int:
+    """Render the stream's latest snapshot; optionally keep following.
+
+    Returns the number of frames rendered.  ``max_frames`` bounds
+    follow mode for tests and CI; without it, follow runs until
+    interrupted (KeyboardInterrupt is caught and treated as a clean
+    exit).  The first read raising :class:`~repro.errors.SchemaError`
+    propagates (the CLI maps it to exit 2); once at least one frame is
+    up, a transiently unreadable file just keeps the previous frame.
+    """
+    frames = 0
+    last_rendered: int = -1
+    snapshots = read_snapshot_stream(path)  # raises on a bad first read
+    try:
+        while True:
+            # With a frame budget (tests/CI) every cycle renders, so the
+            # loop always terminates even when the writer has stopped;
+            # unbounded follow only redraws on new data.
+            if (
+                len(snapshots) - 1 > last_rendered
+                or frames == 0
+                or max_frames is not None
+            ):
+                last_rendered = len(snapshots) - 1
+                frame_text = render_dashboard(snapshots[-1], frame=frames)
+                if follow:
+                    out.write(_CLEAR)
+                out.write(frame_text)
+                out.flush()
+                frames += 1
+            if not follow or (max_frames is not None and frames >= max_frames):
+                break
+            time.sleep(interval_s)
+            try:
+                snapshots = read_snapshot_stream(path)
+            except SchemaError:
+                # The file is mid-rotation or briefly unreadable; the
+                # previous frame stands until a good read.
+                continue
+    except KeyboardInterrupt:
+        pass
+    return frames

@@ -1,0 +1,276 @@
+"""Windowed metrics: rolling rates and per-window quantiles (DESIGN.md §12).
+
+The registry in :mod:`repro.obs.metrics` is cumulative — counters only
+grow, histograms keep every observation — which is exactly right for
+end-of-run artifacts and exactly wrong for a live dashboard: after an
+hour of soak, the p99 of ``serve.batch_s`` is dominated by history and a
+latency regression *now* is invisible.  :class:`WindowedMetrics` layers
+a fixed-width time-bucket ring over the registry without touching any
+hot path:
+
+* the serving loop keeps incrementing the same counters and histograms
+  it always has (zero new cost when the plane is off, one cheap
+  ``dump()`` per publish interval when on);
+* a periodic :meth:`sample` diffs the cumulative state against the
+  previous sample and files the *delta* (counter increments, new
+  histogram observations) into the bucket covering "now";
+* buckets older than the window fall off the ring, so :meth:`rate` and
+  :meth:`window_summary` answer "per second, lately" and "p99, lately"
+  instead of "since the beginning of time".
+
+This is the scrape model: the publisher drives sampling, the
+instrumented code never knows the window layer exists — which is how
+the bit-identical-with-telemetry-on guarantee extends to the live plane
+for free.
+
+All methods take explicit timestamps so tests drive a synthetic clock;
+only the publisher (:mod:`repro.obs.export`) reads the real one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.obs.metrics import (
+    STAGE_SERVE_BATCH,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.trace import _percentile
+
+__all__ = ["WindowedMetrics", "WINDOW_SNAPSHOT_SCHEMA"]
+
+#: Schema tag on every :meth:`WindowedMetrics.snapshot` payload.
+WINDOW_SNAPSHOT_SCHEMA = "repro-metrics-window"
+
+#: Snapshot format version.
+WINDOW_SNAPSHOT_VERSION = 1
+
+#: The quantile keys a window summary reports, shared with
+#: :meth:`repro.obs.metrics.Histogram.summary` so the two shapes match.
+_SUMMARY_QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+@dataclass
+class _Bucket:
+    """Deltas observed during one fixed-width time slice."""
+
+    index: int
+    counter_deltas: dict[str, int] = field(default_factory=dict)
+    histogram_values: dict[str, list[float]] = field(default_factory=dict)
+
+
+class WindowedMetrics:
+    """Fixed-width time-bucket ring over a cumulative registry.
+
+    Parameters
+    ----------
+    window_s:
+        Width of the rolling window answered by :meth:`rate` /
+        :meth:`window_summary`.
+    bucket_s:
+        Width of one ring slot.  Smaller buckets age history out more
+        smoothly at the cost of a longer ring; the ring length is
+        ``ceil(window_s / bucket_s)`` and both must be positive.
+    """
+
+    def __init__(self, window_s: float = 60.0, bucket_s: float = 5.0) -> None:
+        if window_s <= 0 or bucket_s <= 0:
+            raise ConfigError(
+                f"window_s and bucket_s must be positive, got {window_s}/{bucket_s}"
+            )
+        if bucket_s > window_s:
+            raise ConfigError(
+                f"bucket_s {bucket_s} wider than window_s {window_s}"
+            )
+        self.window_s = float(window_s)
+        self.bucket_s = float(bucket_s)
+        self.n_buckets = math.ceil(self.window_s / self.bucket_s)
+        self._buckets: list[_Bucket] = []
+        #: Cumulative counter values at the previous sample.
+        self._last_counters: dict[str, int] = {}
+        #: Histogram lengths at the previous sample (new values = tail).
+        self._last_hist_len: dict[str, int] = {}
+        #: Last-seen gauge values (point-in-time, no windowing).
+        self._gauges: dict[str, float] = {}
+        #: Cumulative counter totals as of the last sample.
+        self._totals: dict[str, int] = {}
+        self._last_ts: float | None = None
+        self._samples = 0
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def sample(self, registry: MetricsRegistry | NullMetrics, now: float) -> None:
+        """Diff the registry against the previous sample into a bucket.
+
+        Time must not run backwards across samples; a non-monotonic
+        ``now`` raises :class:`~repro.errors.ConfigError` rather than
+        silently filing deltas into the wrong bucket.
+        """
+        if self._last_ts is not None and now < self._last_ts:
+            raise ConfigError(
+                f"sample time went backwards: {now} < {self._last_ts}"
+            )
+        state = registry.dump()
+        index = int(now // self.bucket_s)
+        bucket = self._bucket_for(index)
+
+        counters = state["counters"]
+        for name, value in counters.items():
+            count = int(value)
+            delta = count - self._last_counters.get(name, 0)
+            self._last_counters[name] = count
+            self._totals[name] = count
+            if delta > 0:
+                bucket.counter_deltas[name] = (
+                    bucket.counter_deltas.get(name, 0) + delta
+                )
+
+        for name, values in state["histogram_values"].items():
+            seen = self._last_hist_len.get(name, 0)
+            fresh = values[seen:]
+            self._last_hist_len[name] = len(values)
+            if fresh:
+                bucket.histogram_values.setdefault(name, []).extend(
+                    float(v) for v in fresh
+                )
+
+        for name, value in state["gauges"].items():
+            if value is not None:
+                self._gauges[name] = float(value)
+
+        self._last_ts = now
+        self._samples += 1
+        self._evict(index)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record a gauge directly (publisher-computed values like burn)."""
+        self._gauges[name] = float(value)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def rate(self, name: str) -> float:
+        """Events per second for a counter over the covered window."""
+        span = self.span_s()
+        if span <= 0:
+            return 0.0
+        total = sum(b.counter_deltas.get(name, 0) for b in self._buckets)
+        return total / span
+
+    def window_count(self, name: str) -> int:
+        """Counter increments that landed inside the window."""
+        return sum(b.counter_deltas.get(name, 0) for b in self._buckets)
+
+    def window_summary(self, name: str) -> dict[str, float]:
+        """count/p50/p95/p99/max of a histogram's in-window observations."""
+        values: list[float] = []
+        for bucket in self._buckets:
+            values.extend(bucket.histogram_values.get(name, ()))
+        ordered = sorted(values)
+        summary: dict[str, float] = {
+            "count": float(len(ordered)),
+            "sum": sum(ordered),
+        }
+        for key, q in _SUMMARY_QUANTILES:
+            summary[key] = _percentile(ordered, q)
+        summary["max"] = ordered[-1] if ordered else 0.0
+        return summary
+
+    def gauges(self) -> dict[str, float]:
+        """Last-seen gauge values (sorted for stable serialisation)."""
+        return dict(sorted(self._gauges.items()))
+
+    def totals(self) -> dict[str, int]:
+        """Cumulative counter totals as of the last sample."""
+        return dict(sorted(self._totals.items()))
+
+    def span_s(self) -> float:
+        """Seconds of history the ring currently covers."""
+        if not self._buckets:
+            return 0.0
+        indices = [b.index for b in self._buckets]
+        return (max(indices) - min(indices) + 1) * self.bucket_s
+
+    def slo_burn(
+        self,
+        budgets_ms: dict[str, float],
+        series: str = STAGE_SERVE_BATCH,
+    ) -> dict[str, float]:
+        """Burn ratio per quantile budget over the rolling window.
+
+        ``budgets_ms`` maps quantile keys (``p50``/``p95``/``p99``) to
+        millisecond budgets, the shape of
+        :meth:`repro.soak.plan.SoakPlan.slo_budgets_ms`.  The burn for a
+        quantile is ``actual / budget`` — 1.0 is exactly on budget,
+        above 1.0 is burning.  Quantile keys without a positive budget
+        are skipped; an empty window burns 0.0 everywhere.
+        """
+        summary = self.window_summary(series)
+        burn: dict[str, float] = {}
+        for key, _q in _SUMMARY_QUANTILES:
+            budget = budgets_ms.get(key)
+            if budget is None or budget <= 0:
+                continue
+            actual_ms = summary[key] * 1000.0
+            burn[key] = actual_ms / budget
+        return burn
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        now: float,
+        context: dict[str, object] | None = None,
+        budgets_ms: dict[str, float] | None = None,
+    ) -> dict[str, object]:
+        """One JSON-safe sample for the JSONL stream / ``obs tail``.
+
+        Includes rolling rates for every counter with in-window
+        activity, window summaries for every histogram with in-window
+        observations, all gauges, cumulative counter totals, and — when
+        budgets are supplied — the SLO burn map.  ``context`` is merged
+        verbatim (shard table, stream id, ...).
+        """
+        counter_names: set[str] = set()
+        hist_names: set[str] = set()
+        for bucket in self._buckets:
+            counter_names.update(bucket.counter_deltas)
+            hist_names.update(bucket.histogram_values)
+        payload: dict[str, object] = {
+            "schema": WINDOW_SNAPSHOT_SCHEMA,
+            "version": WINDOW_SNAPSHOT_VERSION,
+            "ts": now,
+            "window_s": self.window_s,
+            "span_s": self.span_s(),
+            "samples": self._samples,
+            "rates": {n: self.rate(n) for n in sorted(counter_names)},
+            "windows": {n: self.window_summary(n) for n in sorted(hist_names)},
+            "gauges": self.gauges(),
+            "counters": self.totals(),
+        }
+        if budgets_ms is not None:
+            payload["burn"] = self.slo_burn(budgets_ms)
+        if context:
+            payload["context"] = dict(context)
+        return payload
+
+    # ------------------------------------------------------------------
+    def _bucket_for(self, index: int) -> _Bucket:
+        if self._buckets and self._buckets[-1].index == index:
+            return self._buckets[-1]
+        bucket = _Bucket(index=index)
+        self._buckets.append(bucket)
+        return bucket
+
+    def _evict(self, current_index: int) -> None:
+        horizon = current_index - self.n_buckets + 1
+        self._buckets = [b for b in self._buckets if b.index >= horizon]

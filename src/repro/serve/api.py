@@ -22,6 +22,13 @@ Routes
     One customer's current stability, flag and alarm windows.
 ``/manifest``
     The run manifest (404 until the loop has written one).
+``/metrics``
+    Prometheus text exposition 0.0.4 of the live telemetry plane
+    (DESIGN.md §12); 503 until the publisher's first publish.
+``/metrics.jsonl``
+    The recent window snapshots (newest last) as JSON Lines — the same
+    records the on-disk stream file carries, for `obs tail` pointed at
+    a port instead of a file.
 """
 
 from __future__ import annotations
@@ -30,8 +37,11 @@ import json
 import logging
 import math
 import threading
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from types import TracebackType
+
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE
 
 __all__ = ["StatusBoard", "StatusServer"]
 
@@ -60,6 +70,8 @@ class StatusBoard:
         self._customers: dict[int, dict[str, object]] = {}
         self._manifest: dict | None = None
         self._run: dict[str, object] = {}
+        self._metrics_text: str | None = None
+        self._metrics_samples: deque[dict[str, object]] = deque(maxlen=256)
 
     # ------------------------------------------------------------------
     # Writers (called by the serving loop)
@@ -110,6 +122,16 @@ class StatusBoard:
         with self._lock:
             self._manifest = dict(manifest)
 
+    def set_metrics_text(self, text: str) -> None:
+        """Install the latest Prometheus exposition (publisher-rendered)."""
+        with self._lock:
+            self._metrics_text = text
+
+    def push_metrics_sample(self, snapshot: dict[str, object]) -> None:
+        """Append one window snapshot to the bounded recent-samples ring."""
+        with self._lock:
+            self._metrics_samples.append(dict(snapshot))
+
     # ------------------------------------------------------------------
     # Readers
     # ------------------------------------------------------------------
@@ -134,14 +156,30 @@ class StatusBoard:
             record = self._customers.get(int(customer_id))
             return dict(record) if record is not None else None
 
-    def handle(self, path: str) -> tuple[int, dict]:
+    def handle(self, path: str) -> tuple[int, dict | str]:
         """Route one request path; returns ``(status_code, payload)``.
 
         This is the socket-free form of the API — the HTTP server is a
-        thin adapter over exactly this method.
+        thin adapter over exactly this method.  ``dict`` payloads are
+        JSON documents; ``str`` payloads are served as plain text (the
+        ``/metrics`` exposition and the ``/metrics.jsonl`` stream).
         """
         if path in ("/", "/status"):
             return 200, self.status()
+        if path == "/metrics":
+            with self._lock:
+                text = self._metrics_text
+            if text is None:
+                return 503, {"error": "no metrics published yet"}
+            return 200, text
+        if path == "/metrics.jsonl":
+            with self._lock:
+                samples = list(self._metrics_samples)
+            if not samples:
+                return 503, {"error": "no metrics published yet"}
+            return 200, "".join(
+                json.dumps(s, sort_keys=True, default=str) + "\n" for s in samples
+            )
         if path == "/manifest":
             with self._lock:
                 manifest = self._manifest
@@ -175,10 +213,19 @@ class _BoardHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 — http.server's naming contract
         code, payload = self.board.handle(self.path)
-        body = json.dumps(payload, sort_keys=True, default=str).encode()
+        if isinstance(payload, str):
+            body = payload.encode()
+            content_type = (
+                PROMETHEUS_CONTENT_TYPE
+                if self.path == "/metrics"
+                else "text/plain; charset=utf-8"
+            )
+        else:
+            body = json.dumps(payload, sort_keys=True, default=str).encode()
+            content_type = "application/json"
         try:
             self.send_response(code)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)

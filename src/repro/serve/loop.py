@@ -64,6 +64,7 @@ if TYPE_CHECKING:
     from repro.data.basket import Basket
     from repro.data.calendar import StudyCalendar
     from repro.data.streams import DayBatch
+    from repro.obs.export import MetricsPublisher
     from repro.runtime.faults import FaultPlan
     from repro.serve.api import StatusBoard
 
@@ -353,6 +354,7 @@ def serve_stream(
     timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
     status: StatusBoard | None = None,
+    publisher: MetricsPublisher | None = None,
     max_batches: int | None = None,
     should_stop: Callable[[], bool] | None = None,
     on_state_written: Callable[[int], None] | None = None,
@@ -383,6 +385,14 @@ def serve_stream(
     status:
         Optional :class:`~repro.serve.api.StatusBoard` kept current
         with phase/counters/cursor/scores.
+    publisher:
+        Optional :class:`~repro.obs.export.MetricsPublisher` (the live
+        telemetry plane, DESIGN.md §12).  The loop keeps the position
+        gauges (queue depth, lag in days, commit index) current and
+        ticks the publisher after every commit; the publisher decides
+        whether the interval warrants an actual publish.  A cursor
+        fallback triggers its flight recorder.  Scores are bit-
+        identical with and without a publisher attached.
     max_batches:
         Stop (resumable, ``finished=False``) after this many data
         batches this run — deterministic partial runs for tests/CI.
@@ -450,6 +460,7 @@ def serve_stream(
     reworked = 0
     commit_index = 0
     day_batches_consumed = 0
+    last_day_consumed = -1
     already_finished = False
 
     # ------------------------------------------------------------------
@@ -476,6 +487,11 @@ def serve_stream(
             "cursor invalid on resume, restarting from stream head: %s", exc
         )
         registry.counter(obs_metrics.SERVE_CURSOR_INVALID).inc()
+        if publisher is not None:
+            # A cursor fallback is a post-mortem-worthy surprise: flush
+            # the flight ring so the artifact records what preceded it.
+            publisher.record_event("cursor_invalid", detail=str(exc))
+            publisher.trigger_flight("cursor_invalid", commit_index=0)
         loaded = None
         pool = None
         table = {}
@@ -578,6 +594,18 @@ def serve_stream(
     interrupted = False
     active_pool = pool
 
+    def shard_context() -> dict[str, object]:
+        """Per-shard table for the live plane (computed at publish
+        cadence only — the publisher resolves this lazily)."""
+        return {
+            "stream": str(stream),
+            "n_shards": n_shards,
+            "shards": [
+                {"shard": i, "customers": len(monitor.customers())}
+                for i, monitor in enumerate(active_pool.monitors)
+            ],
+        }
+
     def commit_state(finished: bool) -> None:
         """State first, hook, then the cursor — the one commit point."""
         with tracer.span(
@@ -595,7 +623,7 @@ def serve_stream(
             checkpoint.commit(make_cursor(finished))
 
     def process_batch(group: list[DayBatch]) -> None:
-        nonlocal commit_index, day_batches_consumed
+        nonlocal commit_index, day_batches_consumed, last_day_consumed
         n_baskets = sum(b.n_baskets for b in group)
         if on_batch_start is not None:
             batch_plan = on_batch_start(commit_index + 1)
@@ -622,6 +650,7 @@ def serve_stream(
             counters.flagged - flagged_before
         )
         day_batches_consumed += len(group)
+        last_day_consumed = group[-1].day
         commit_index += 1
         counters.checkpointed += 1
         if status is not None:
@@ -635,6 +664,16 @@ def serve_stream(
                 day_batches_consumed=day_batches_consumed,
                 finished=False,
             )
+        if publisher is not None:
+            registry.gauge(obs_metrics.SERVE_QUEUE_DEPTH).set(n_baskets)
+            registry.gauge(obs_metrics.SERVE_COMMIT_INDEX).set(commit_index)
+            # Lag = calendar days not yet committed (days with no
+            # baskets are absent from the stream, so counting batches
+            # would never reach zero).
+            registry.gauge(obs_metrics.SERVE_LAG_DAYS).set(
+                max(calendar.n_days - 1 - last_day_consumed, 0)
+            )
+            publisher.tick(registry, context=shard_context)
 
     with tracer.span(
         obs_metrics.SPAN_SERVE_RUN,
@@ -693,6 +732,15 @@ def serve_stream(
     write_manifest(checkpoint.directory, manifest)
     if status is not None:
         status.set_manifest(manifest.to_dict())
+    if publisher is not None:
+        # Final forced publish so the last snapshot reflects the sealed
+        # run even when the interval had not elapsed.
+        registry.gauge(obs_metrics.SERVE_COMMIT_INDEX).set(commit_index)
+        # The sealed run has consumed every recorded day: lag is zero by
+        # definition, whatever the last day's index was.
+        registry.gauge(obs_metrics.SERVE_LAG_DAYS).set(0)
+        registry.gauge(obs_metrics.SERVE_QUEUE_DEPTH).set(0)
+        publisher.tick(registry, force=True, context=shard_context)
     logger.info(
         "served %d batch(es) this run (%d reworked): ingested=%d scored=%d "
         "flagged=%d checkpointed=%d%s",

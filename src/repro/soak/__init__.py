@@ -26,7 +26,13 @@ Layout
     ``BENCH_serve.json`` writer and the human-readable renderer.
 """
 
-from repro.soak.bench import BENCH_SERVE_NAME, render_soak, write_bench
+from repro.soak.bench import (
+    BENCH_SERVE_NAME,
+    TELEMETRY_OVERHEAD_BUDGET_PCT,
+    live_plane_overhead,
+    render_soak,
+    write_bench,
+)
 from repro.soak.harness import (
     FaultOutcome,
     LoopOutcome,
@@ -50,6 +56,8 @@ from repro.soak.plan import (
 
 __all__ = [
     "BENCH_SERVE_NAME",
+    "TELEMETRY_OVERHEAD_BUDGET_PCT",
+    "live_plane_overhead",
     "render_soak",
     "write_bench",
     "FaultOutcome",

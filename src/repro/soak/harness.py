@@ -69,6 +69,9 @@ from repro.synth.stream import replay_stream, stream_fingerprint
 if TYPE_CHECKING:
     from collections.abc import Callable
 
+    from repro.obs.export import MetricsPublisher
+    from repro.serve.api import StatusBoard
+
 __all__ = [
     "FaultOutcome",
     "LoopOutcome",
@@ -270,6 +273,8 @@ class _LoopRunner:
         registry: MetricsRegistry,
         reference_fingerprint: str,
         n_batches: int,
+        status: StatusBoard | None = None,
+        publisher: MetricsPublisher | None = None,
     ) -> None:
         self.loop_index = loop_index
         self.stream = stream
@@ -282,6 +287,8 @@ class _LoopRunner:
         self.registry = registry
         self.reference_fingerprint = reference_fingerprint
         self.n_batches = n_batches
+        self.status = status
+        self.publisher = publisher
         self.pacer = _Pacer(plan.rate, plan.batch_size)
         self.legs = 0
         self.leg_wall_s = 0.0
@@ -337,6 +344,8 @@ class _LoopRunner:
                     first_alarm_window=self.first_alarm_window,
                     retries=self.plan.retries,
                     timeout=self.plan.shard_timeout_s,
+                    status=self.status,
+                    publisher=self.publisher,
                     max_batches=max_batches,
                     on_batch_start=(
                         on_batch_start
@@ -383,6 +392,20 @@ class _LoopRunner:
     ) -> None:
         if injected:
             self.registry.counter(obs_metrics.SOAK_FAULTS_INJECTED).inc()
+            if self.publisher is not None:
+                # A fired fault is the flight recorder's headline
+                # trigger: flush the ring so the artifact names the
+                # schedule cell and carries the lead-up telemetry.
+                self.publisher.record_event(
+                    "fault_injected",
+                    site=cell.site,
+                    batch=cell.batch,
+                    loop=self.loop_index,
+                    detail=detail,
+                )
+                self.publisher.trigger_flight(
+                    f"fault:{cell.site}", commit_index=cell.batch
+                )
         else:
             self._violation(f"fault {cell.label()} did not inject")
         if rework > rework_bound:
@@ -624,6 +647,8 @@ def run_soak(
     beta: float = 0.5,
     first_alarm_window: int = 0,
     keep_checkpoints: bool = False,
+    status: StatusBoard | None = None,
+    publisher: MetricsPublisher | None = None,
 ) -> SoakReport:
     """Soak the serving layer with scheduled faults; verify and measure.
 
@@ -643,6 +668,17 @@ def run_soak(
     config, beta, first_alarm_window:
         Scoring configuration, shared with the offline reference so
         parity compares like with like.
+    status:
+        Optional :class:`~repro.serve.api.StatusBoard` the serving legs
+        keep current — the soak CLI binds it to a port so ``/metrics``
+        is scrapeable mid-run.
+    publisher:
+        Optional :class:`~repro.obs.export.MetricsPublisher` (the live
+        telemetry plane).  The harness fills its SLO budgets from the
+        plan when unset, the serving legs tick it per batch, every
+        injected fault and any end-of-run SLO violation triggers its
+        flight recorder, and a final forced publish captures the
+        closing state.
 
     Raises
     ------
@@ -689,6 +725,10 @@ def run_soak(
     reference_fp = reference.fingerprint()
     stream_fp = stream_fingerprint(stream)
     workdir.mkdir(parents=True, exist_ok=True)
+    if publisher is not None and publisher.slo_budgets_ms is None:
+        # Burn rate is defined against the plan's budgets unless the
+        # caller already configured its own.
+        publisher.slo_budgets_ms = plan.slo_budgets_ms()
 
     outer = get_metrics()
     registry = MetricsRegistry()
@@ -718,6 +758,8 @@ def run_soak(
                     registry=registry,
                     reference_fingerprint=reference_fp,
                     n_batches=n_batches,
+                    status=status,
+                    publisher=publisher,
                 )
                 outcome = runner.run()
                 loops.append(outcome)
@@ -773,6 +815,22 @@ def run_soak(
                 f"SLO: throughput {throughput:.1f} baskets/s below floor "
                 f"{plan.min_throughput:.1f}"
             )
+
+    slo_violations = [v for v in violations if v.startswith("SLO:")]
+    if publisher is not None:
+        if slo_violations:
+            publisher.record_event(
+                "slo_violation", violations=list(slo_violations)
+            )
+            publisher.trigger_flight(
+                f"slo_violation:{slo_violations[0]}",
+                commit_index=registry.counter_value(
+                    obs_metrics.SERVE_CHECKPOINTED
+                ),
+            )
+        # Close the stream with a forced publish so the last snapshot
+        # reflects end-of-soak counters and burn.
+        publisher.tick(registry, force=True)
 
     if getattr(outer, "enabled", False):
         # Fold the soak's private registry into whatever the session

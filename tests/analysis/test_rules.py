@@ -508,6 +508,87 @@ class TestOBS001CanonicalInstrumentNames:
         )
         assert findings == []
 
+    def test_unknown_gauge_literal_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                from repro.obs import metrics as obs_metrics
+
+                def record() -> None:
+                    obs_metrics.get_metrics().gauge("bogus.depth").set(1.0)
+                """
+            ),
+            module="repro.serve.loop",
+            rule="OBS001",
+        )
+        assert len(findings) == 1
+        assert "gauge" in findings[0].message
+        assert "'bogus.depth'" in findings[0].message
+
+    def test_canonical_gauge_is_silent(self, lint):
+        findings = lint(
+            _src(
+                """
+                from repro.obs import metrics as obs_metrics
+
+                def record() -> None:
+                    registry = obs_metrics.get_metrics()
+                    registry.gauge(obs_metrics.SERVE_QUEUE_DEPTH).set(3.0)
+                    registry.gauge("serve.lag_days").set(0.0)
+                """
+            ),
+            module="repro.serve.loop",
+            rule="OBS001",
+        )
+        assert findings == []
+
+    def test_unknown_windowed_series_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                def report(windowed) -> float:
+                    return windowed.rate("bogus.series")
+                """
+            ),
+            module="repro.serve.api",
+            rule="OBS001",
+        )
+        assert len(findings) == 1
+        assert "windowed series" in findings[0].message
+
+    def test_canonical_windowed_queries_are_silent(self, lint):
+        findings = lint(
+            _src(
+                """
+                def report(windowed) -> None:
+                    windowed.rate("serve.ingested")
+                    windowed.window_count("soak.faults_injected")
+                    windowed.window_summary("serve.batch_s")
+                """
+            ),
+            module="repro.serve.api",
+            rule="OBS001",
+        )
+        assert findings == []
+
+    def test_nonexistent_gauge_constant_fires(self, lint):
+        findings = lint(
+            _src(
+                """
+                from repro.obs import metrics as obs_metrics
+
+                def record() -> None:
+                    obs_metrics.get_metrics().gauge(
+                        obs_metrics.NO_SUCH_GAUGE
+                    ).set(1.0)
+                """
+            ),
+            module="repro.serve.loop",
+            rule="OBS001",
+        )
+        assert len(findings) == 1
+        assert "NO_SUCH_GAUGE" in findings[0].message
+
 
 class TestTYP001StrictAnnotations:
     def test_unannotated_def_in_gated_module_fires(self, lint):

@@ -41,6 +41,29 @@ def test_canonical_sets_contain_only_declared_constants():
     declared = set(_string_constants().values())
     assert obs_metrics.CANONICAL_METRIC_NAMES <= declared
     assert obs_metrics.CANONICAL_SPAN_NAMES <= declared
+    assert obs_metrics.CANONICAL_GAUGE_NAMES <= declared
+    assert obs_metrics.CANONICAL_WINDOWED_NAMES <= declared
+
+
+def test_every_gauge_constant_is_canonical():
+    """The position gauges (PR 9) follow the same two-way pin."""
+    constants = _string_constants()
+    gauge_names = {
+        v
+        for k, v in constants.items()
+        if k in ("SERVE_QUEUE_DEPTH", "SERVE_LAG_DAYS", "SERVE_COMMIT_INDEX",
+                 "SOAK_SLO_BURN")
+    }
+    assert gauge_names == obs_metrics.CANONICAL_GAUGE_NAMES
+
+
+def test_windowed_names_are_existing_counters_or_stages():
+    """The window layer diffs the cumulative registry, so every windowed
+    series must already be a canonical counter/histogram name."""
+    assert (
+        obs_metrics.CANONICAL_WINDOWED_NAMES
+        <= obs_metrics.CANONICAL_METRIC_NAMES
+    )
 
 
 def test_stage_names_are_valid_span_names_too():

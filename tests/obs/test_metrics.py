@@ -179,3 +179,26 @@ class TestHistogramQuantiles:
 
     def test_null_histogram_quantile_is_zero(self):
         assert NULL_METRICS.histogram("stage_s").quantile(0.99) == 0.0
+
+    def test_quantiles_after_worker_dump_merge(self):
+        # The parallel pool merges worker dumps into the parent registry;
+        # quantiles over the merged values must equal quantiles over the
+        # union as if observed in one process.
+        workers = [MetricsRegistry() for _ in range(3)]
+        union = []
+        for index, worker in enumerate(workers):
+            for value in range(index * 10, index * 10 + 10):
+                worker.histogram("stage_s").observe(float(value))
+                union.append(float(value))
+        parent = MetricsRegistry()
+        for worker in workers:
+            parent.merge(worker.dump())
+        merged = parent.histogram("stage_s")
+        reference = MetricsRegistry()
+        for value in union:
+            reference.histogram("stage_s").observe(value)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert merged.quantile(q) == pytest.approx(
+                reference.histogram("stage_s").quantile(q)
+            )
+        assert merged.summary()["count"] == 30

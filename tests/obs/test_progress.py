@@ -75,6 +75,42 @@ class TestProgressReporter:
         assert "finished 2 cell(s)" in closing
         assert "0.5 cells/s" in closing
 
+    def test_zero_elapsed_reports_no_rate_and_no_eta(self, caplog):
+        # The first heartbeat often lands microseconds after
+        # construction; done/elapsed would extrapolate a nonsense rate
+        # (billions of cells/s) and a near-zero ETA from clock noise.
+        reporter, _ = _reporter(100, caplog)  # clock frozen at 0.0
+        with caplog.at_level(logging.INFO, logger="test.progress"):
+            reporter.advance(key="first")
+        line = caplog.records[-1].getMessage()
+        assert "0.0 cells/s" in line
+        assert "ETA --" in line
+        assert "inf" not in line
+
+    def test_zero_rate_mid_sweep_reports_dashes_not_inf(self, caplog):
+        reporter, clock = _reporter(10, caplog, min_interval=0.0)
+        with caplog.at_level(logging.INFO, logger="test.progress"):
+            reporter.advance()
+            clock.now = 1e-4  # still below the measurable threshold
+            reporter.advance()
+        assert "ETA --" in caplog.records[-1].getMessage()
+        assert "inf" not in caplog.text
+
+    def test_final_cell_eta_is_zero_even_with_frozen_clock(self, caplog):
+        reporter, _ = _reporter(2, caplog, min_interval=0.0)
+        with caplog.at_level(logging.INFO, logger="test.progress"):
+            reporter.advance(n=2)
+        assert "ETA 0.0s" in caplog.records[-1].getMessage()
+
+    def test_finish_with_zero_elapsed_reports_zero_rate(self, caplog):
+        reporter, _ = _reporter(3, caplog)  # clock never advances
+        with caplog.at_level(logging.INFO, logger="test.progress"):
+            reporter.advance(n=3)
+            reporter.finish()
+        closing = caplog.records[-1].getMessage()
+        assert "0.0 cells/s" in closing
+        assert "inf" not in closing
+
     def test_context_manager_finishes_on_clean_exit_only(self, caplog):
         reporter, _ = _reporter(1, caplog)
         with (

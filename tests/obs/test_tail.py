@@ -1,0 +1,139 @@
+"""Tests for the `obs tail` dashboard: stream reader and renderer."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.obs.tail import read_snapshot_stream, render_dashboard, tail_stream
+from repro.obs.windows import WINDOW_SNAPSHOT_SCHEMA
+
+
+def _snapshot(ts: float = 1.0, **overrides: object) -> dict[str, object]:
+    payload: dict[str, object] = {
+        "schema": WINDOW_SNAPSHOT_SCHEMA,
+        "version": 1,
+        "ts": ts,
+        "wall_ts": 1700000000.0,
+        "window_s": 60.0,
+        "span_s": 5.0,
+        "samples": 3,
+        "rates": {"serve.ingested": 862.0},
+        "windows": {
+            "serve.batch_s": {
+                "count": 17.0,
+                "sum": 0.02,
+                "p50": 0.001,
+                "p95": 0.002,
+                "p99": 0.002,
+                "max": 0.002,
+            }
+        },
+        "gauges": {"serve.lag_days": 2.0, "serve.queue_depth": 0.0},
+        "counters": {"serve.ingested": 4310},
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _write_stream(path, snapshots) -> None:
+    path.write_text(
+        "".join(json.dumps(s, sort_keys=True) + "\n" for s in snapshots)
+    )
+
+
+class TestReadSnapshotStream:
+    def test_reads_snapshots_oldest_first(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        _write_stream(path, [_snapshot(ts=1.0), _snapshot(ts=2.0)])
+        snapshots = read_snapshot_stream(path)
+        assert [s["ts"] for s in snapshots] == [1.0, 2.0]
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        _write_stream(path, [_snapshot()])
+        with path.open("a") as handle:
+            handle.write('{"schema": "repro-metr')  # append in progress
+        assert len(read_snapshot_stream(path)) == 1
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{torn\n' + json.dumps(_snapshot()) + "\n")
+        with pytest.raises(SchemaError, match="corrupt line 1"):
+            read_snapshot_stream(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SchemaError, match="cannot read"):
+            read_snapshot_stream(tmp_path / "nope.jsonl")
+
+    def test_foreign_records_filtered_and_empty_rejected(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"schema": "other"}\n')
+        with pytest.raises(SchemaError, match="no metrics window snapshots"):
+            read_snapshot_stream(path)
+
+
+class TestRenderDashboard:
+    def test_frame_shows_rates_gauges_and_latency(self):
+        frame = render_dashboard(_snapshot(), frame=4)
+        assert "frame 4" in frame
+        assert "serve.lag_days" in frame
+        assert "serve.ingested" in frame
+        assert "serve.batch_s" in frame
+        assert "4310" in frame  # cumulative total alongside the rate
+
+    def test_burn_line_flags_burning_budgets(self):
+        frame = render_dashboard(_snapshot(burn={"p99": 2.5, "p50": 0.1}))
+        assert "BURNING" in frame
+        assert "p99=2.50" in frame
+        calm = render_dashboard(_snapshot(burn={"p99": 0.4}))
+        assert "[ok]" in calm
+
+    def test_shard_table_from_context(self):
+        frame = render_dashboard(
+            _snapshot(
+                context={
+                    "shards": [
+                        {"shard": 0, "customers": 20},
+                        {"shard": 1, "customers": 19},
+                    ]
+                }
+            )
+        )
+        assert "shard" in frame
+        assert "19" in frame
+
+    def test_minimal_snapshot_renders_without_crashing(self):
+        frame = render_dashboard({"schema": WINDOW_SNAPSHOT_SCHEMA})
+        assert "repro live telemetry" in frame
+        assert "--:--:--" in frame  # no wall_ts available
+
+
+class TestTailStream:
+    def test_single_frame_mode(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        _write_stream(path, [_snapshot(ts=1.0), _snapshot(ts=2.0)])
+        out = io.StringIO()
+        frames = tail_stream(path, out, follow=False)
+        assert frames == 1
+        assert "repro live telemetry" in out.getvalue()
+        # No ANSI clear outside follow mode.
+        assert "\x1b[2J" not in out.getvalue()
+
+    def test_follow_mode_bounded_by_max_frames(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        _write_stream(path, [_snapshot()])
+        out = io.StringIO()
+        frames = tail_stream(
+            path, out, follow=True, interval_s=0.0, max_frames=3
+        )
+        assert frames == 3
+        assert out.getvalue().count("\x1b[2J") == 3
+
+    def test_bad_stream_raises_on_first_read(self, tmp_path):
+        out = io.StringIO()
+        with pytest.raises(SchemaError):
+            tail_stream(tmp_path / "nope.jsonl", out)

@@ -1,0 +1,192 @@
+"""Tests for the windowed metrics layer (rolling rates, window quantiles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.windows import (
+    WINDOW_SNAPSHOT_SCHEMA,
+    WINDOW_SNAPSHOT_VERSION,
+    WindowedMetrics,
+)
+
+
+def _registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestConstruction:
+    def test_rejects_non_positive_widths(self):
+        with pytest.raises(ConfigError):
+            WindowedMetrics(window_s=0.0)
+        with pytest.raises(ConfigError):
+            WindowedMetrics(bucket_s=-1.0)
+
+    def test_rejects_bucket_wider_than_window(self):
+        with pytest.raises(ConfigError):
+            WindowedMetrics(window_s=5.0, bucket_s=10.0)
+
+    def test_ring_length_is_ceiling(self):
+        assert WindowedMetrics(window_s=60.0, bucket_s=5.0).n_buckets == 12
+        assert WindowedMetrics(window_s=7.0, bucket_s=2.0).n_buckets == 4
+
+
+class TestSampling:
+    def test_counter_deltas_not_totals_land_in_buckets(self):
+        windowed = WindowedMetrics(window_s=10.0, bucket_s=1.0)
+        registry = _registry()
+        registry.counter("serve.ingested").inc(100)
+        windowed.sample(registry, now=0.0)
+        registry.counter("serve.ingested").inc(50)
+        windowed.sample(registry, now=1.0)
+        # Window holds both deltas; totals track the cumulative value.
+        assert windowed.window_count("serve.ingested") == 150
+        assert windowed.totals()["serve.ingested"] == 150
+        registry.counter("serve.ingested").inc(25)
+        windowed.sample(registry, now=2.0)
+        assert windowed.window_count("serve.ingested") == 175
+
+    def test_rate_is_per_second_over_covered_span(self):
+        windowed = WindowedMetrics(window_s=60.0, bucket_s=1.0)
+        registry = _registry()
+        for second in range(5):
+            registry.counter("serve.scored").inc(10)
+            windowed.sample(registry, now=float(second))
+        # 50 events over a 5-bucket (5s) span.
+        assert windowed.rate("serve.scored") == pytest.approx(10.0)
+        assert windowed.span_s() == pytest.approx(5.0)
+
+    def test_old_buckets_fall_off_the_ring(self):
+        windowed = WindowedMetrics(window_s=4.0, bucket_s=1.0)
+        registry = _registry()
+        registry.counter("c").inc(100)
+        windowed.sample(registry, now=0.0)
+        assert windowed.window_count("c") == 100
+        # 10 seconds later the early bucket is far outside the window.
+        windowed.sample(registry, now=10.0)
+        assert windowed.window_count("c") == 0
+        assert windowed.rate("c") == 0.0
+        # Cumulative totals survive eviction.
+        assert windowed.totals()["c"] == 100
+
+    def test_histogram_tail_values_only_counted_once(self):
+        windowed = WindowedMetrics(window_s=60.0, bucket_s=1.0)
+        registry = _registry()
+        registry.histogram("serve.batch_s").observe(0.1)
+        registry.histogram("serve.batch_s").observe(0.2)
+        windowed.sample(registry, now=0.0)
+        registry.histogram("serve.batch_s").observe(0.9)
+        windowed.sample(registry, now=1.0)
+        summary = windowed.window_summary("serve.batch_s")
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(1.2)
+        # Re-sampling without new observations adds nothing.
+        windowed.sample(registry, now=2.0)
+        assert windowed.window_summary("serve.batch_s")["count"] == 3
+
+    def test_window_summary_quantiles_over_in_window_values(self):
+        windowed = WindowedMetrics(window_s=2.0, bucket_s=1.0)
+        registry = _registry()
+        registry.histogram("h").observe(100.0)  # will age out
+        windowed.sample(registry, now=0.0)
+        for value in (1.0, 2.0, 3.0):
+            registry.histogram("h").observe(value)
+        windowed.sample(registry, now=5.0)
+        summary = windowed.window_summary("h")
+        assert summary["count"] == 3
+        assert summary["max"] == pytest.approx(3.0)
+        assert summary["p50"] == pytest.approx(2.0)
+        # The aged-out 100.0 no longer dominates the quantiles.
+        assert summary["p99"] <= 3.0
+
+    def test_gauges_are_point_in_time(self):
+        windowed = WindowedMetrics()
+        registry = _registry()
+        registry.gauge("serve.queue_depth").set(7.0)
+        windowed.sample(registry, now=0.0)
+        registry.gauge("serve.queue_depth").set(3.0)
+        windowed.sample(registry, now=100.0)
+        assert windowed.gauges()["serve.queue_depth"] == 3.0
+
+    def test_set_gauge_records_publisher_computed_values(self):
+        windowed = WindowedMetrics()
+        windowed.set_gauge("soak.slo_burn", 1.25)
+        assert windowed.gauges()["soak.slo_burn"] == 1.25
+
+    def test_backwards_time_rejected(self):
+        windowed = WindowedMetrics()
+        windowed.sample(_registry(), now=10.0)
+        with pytest.raises(ConfigError, match="backwards"):
+            windowed.sample(_registry(), now=9.0)
+
+    def test_null_registry_samples_cleanly(self):
+        windowed = WindowedMetrics()
+        windowed.sample(NULL_METRICS, now=0.0)
+        assert windowed.totals() == {}
+        assert windowed.rate("anything") == 0.0
+
+
+class TestSloBurn:
+    def _windowed_with_latency(self, *values_s: float) -> WindowedMetrics:
+        windowed = WindowedMetrics(window_s=60.0, bucket_s=1.0)
+        registry = _registry()
+        for value in values_s:
+            registry.histogram("serve.batch_s").observe(value)
+        windowed.sample(registry, now=0.0)
+        return windowed
+
+    def test_burn_is_actual_over_budget(self):
+        windowed = self._windowed_with_latency(0.1)  # 100ms at every quantile
+        burn = windowed.slo_burn({"p50": 200.0, "p99": 50.0})
+        assert burn["p50"] == pytest.approx(0.5)
+        assert burn["p99"] == pytest.approx(2.0)
+
+    def test_quantiles_without_budget_are_skipped(self):
+        windowed = self._windowed_with_latency(0.1)
+        burn = windowed.slo_burn({"p95": 100.0, "p50": 0.0})
+        assert set(burn) == {"p95"}
+
+    def test_empty_window_burns_zero(self):
+        windowed = WindowedMetrics()
+        windowed.sample(_registry(), now=0.0)
+        burn = windowed.slo_burn({"p50": 100.0})
+        assert burn["p50"] == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_shape_and_determinism(self):
+        windowed = WindowedMetrics(window_s=10.0, bucket_s=1.0)
+        registry = _registry()
+        registry.counter("serve.ingested").inc(10)
+        registry.histogram("serve.batch_s").observe(0.05)
+        registry.gauge("serve.lag_days").set(3.0)
+        windowed.sample(registry, now=1.0)
+        snapshot = windowed.snapshot(now=1.0, context={"stream": "s.jsonl"})
+        assert snapshot["schema"] == WINDOW_SNAPSHOT_SCHEMA
+        assert snapshot["version"] == WINDOW_SNAPSHOT_VERSION
+        assert snapshot["rates"] == {"serve.ingested": pytest.approx(10.0)}
+        assert snapshot["counters"] == {"serve.ingested": 10}
+        assert snapshot["gauges"] == {"serve.lag_days": 3.0}
+        assert snapshot["windows"]["serve.batch_s"]["count"] == 1
+        assert snapshot["context"] == {"stream": "s.jsonl"}
+        assert "burn" not in snapshot  # no budgets supplied
+
+    def test_snapshot_carries_burn_when_budgeted(self):
+        windowed = WindowedMetrics(window_s=10.0, bucket_s=1.0)
+        registry = _registry()
+        registry.histogram("serve.batch_s").observe(0.2)
+        windowed.sample(registry, now=0.0)
+        snapshot = windowed.snapshot(now=0.0, budgets_ms={"p99": 100.0})
+        assert snapshot["burn"] == {"p99": pytest.approx(2.0)}
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        windowed = WindowedMetrics()
+        registry = _registry()
+        registry.counter("c").inc()
+        windowed.sample(registry, now=0.0)
+        round_tripped = json.loads(json.dumps(windowed.snapshot(now=0.0)))
+        assert round_tripped["counters"] == {"c": 1}

@@ -256,12 +256,53 @@ class TestTelemetry:
     def test_obs_summarize_corrupt_trace(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
         bad.write_text("{torn json\n")
-        assert main([*ARGS, "obs", "summarize", str(bad)]) == 1
-        assert "cannot read trace" in capsys.readouterr().err
+        assert main([*ARGS, "obs", "summarize", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("obs summarize: cannot read trace:")
+        assert err.count("\n") == 1  # one-line diagnostic
 
     def test_obs_summarize_missing_trace(self, tmp_path, capsys):
-        assert main([*ARGS, "obs", "summarize", str(tmp_path / "nope.jsonl")]) == 1
-        assert "cannot read trace" in capsys.readouterr().err
+        assert main([*ARGS, "obs", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("obs summarize: cannot read trace:")
+        assert err.count("\n") == 1  # one-line diagnostic
+
+    def test_obs_tail_renders_one_frame(self, tmp_path, capsys):
+        stream = tmp_path / "metrics-stream.jsonl"
+        stream.write_text(
+            json.dumps(
+                {
+                    "schema": "repro-metrics-window",
+                    "version": 1,
+                    "ts": 1.0,
+                    "window_s": 60.0,
+                    "span_s": 5.0,
+                    "samples": 1,
+                    "rates": {"serve.ingested": 10.0},
+                    "windows": {},
+                    "gauges": {"serve.lag_days": 2.0},
+                    "counters": {"serve.ingested": 50},
+                }
+            )
+            + "\n"
+        )
+        assert main([*ARGS, "obs", "tail", str(stream)]) == 0
+        captured = capsys.readouterr()
+        assert "repro live telemetry" in captured.out
+        assert "serve.lag_days" in captured.out
+        assert "rendered 1 frame(s)" in captured.err
+
+    def test_obs_tail_missing_stream_exits_2(self, tmp_path, capsys):
+        assert main([*ARGS, "obs", "tail", str(tmp_path / "nope.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("obs tail: cannot read stream:")
+        assert err.count("\n") == 1
+
+    def test_obs_tail_corrupt_stream_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{torn\n" + '{"schema": "repro-metrics-window"}\n')
+        assert main([*ARGS, "obs", "tail", str(bad)]) == 2
+        assert "cannot read stream" in capsys.readouterr().err
 
     def test_checkpointed_run_writes_a_manifest(self, tmp_path, capsys):
         from repro.obs import read_manifest
