@@ -11,8 +11,9 @@ test:
 
 # The repo's own AST lint: determinism, atomic I/O, exception
 # discipline, float equality, telemetry taxonomy, annotation coverage
-# (see DESIGN.md §8).  Exits non-zero on any finding not grandfathered
-# in lint-baseline.json.
+# (see DESIGN.md §8), plus the project-level interprocedural passes
+# (DUR/SEQ/FRK/RES, §8.8) which ride along automatically.  Exits
+# non-zero on any finding not grandfathered in lint-baseline.json.
 lint:
 	PYTHONPATH=src python -m repro.analysis
 

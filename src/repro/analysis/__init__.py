@@ -29,6 +29,7 @@ from repro.analysis.baseline import Baseline, BaselineEntry
 from repro.analysis.engine import (
     AnalysisReport,
     FileContext,
+    ProjectRule,
     Rule,
     all_rules,
     analyze_file,
@@ -37,6 +38,7 @@ from repro.analysis.engine import (
     iter_source_files,
     register_rule,
     run_analysis,
+    select_rules,
 )
 from repro.analysis.findings import Finding
 
@@ -46,6 +48,7 @@ __all__ = [
     "BaselineEntry",
     "FileContext",
     "Finding",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "analyze_file",
@@ -54,6 +57,7 @@ __all__ = [
     "iter_source_files",
     "register_rule",
     "run_analysis",
+    "select_rules",
 ]
 
 # Importing the rule pack registers every rule with the engine.

@@ -15,7 +15,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis.baseline import BASELINE_NAME, Baseline
-from repro.analysis.engine import all_rules, get_rule, run_analysis
+from repro.analysis.engine import all_rules, run_analysis, select_rules
 from repro.errors import ConfigError, SchemaError
 
 __all__ = ["add_lint_arguments", "run_lint", "main"]
@@ -57,7 +57,19 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--rules",
         default=None,
-        help="comma-separated rule ids to run (default: all registered)",
+        help=(
+            "comma-separated rule ids or family globs to run, e.g. "
+            "'SEQ001,DUR*' (default: all registered)"
+        ),
+    )
+    parser.add_argument(
+        "--graph-out",
+        type=Path,
+        default=None,
+        help=(
+            "write the project call-graph JSON (repro-callgraph schema) "
+            "to this file; CI archives it next to the findings"
+        ),
     )
     parser.add_argument(
         "--format",
@@ -83,15 +95,11 @@ def run_lint(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation; returns the exit code."""
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.rule_id}  {rule.summary}")
+            print(f"{rule.rule_id}  {rule.scope:<7}  {rule.summary}")
         return 0
     paths = [Path(p) for p in args.paths] or default_paths()
     try:
-        rules = (
-            None
-            if args.rules is None
-            else [get_rule(rule_id.strip()) for rule_id in args.rules.split(",")]
-        )
+        rules = None if args.rules is None else select_rules(args.rules)
         if args.no_baseline:
             baseline = Baseline(entries=())
         elif args.baseline is not None:
@@ -99,7 +107,11 @@ def run_lint(args: argparse.Namespace) -> int:
         else:
             baseline = Baseline.load_or_empty(Path.cwd() / BASELINE_NAME)
         report = run_analysis(
-            paths, baseline=baseline, root=Path.cwd(), rules=rules
+            paths,
+            baseline=baseline,
+            root=Path.cwd(),
+            rules=rules,
+            graph_out=args.graph_out,
         )
     except (ConfigError, SchemaError, OSError) as exc:
         print(f"lint: {exc}", file=sys.stderr)

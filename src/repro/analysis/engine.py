@@ -19,18 +19,24 @@ from __future__ import annotations
 
 import ast
 import contextlib
+import fnmatch
 import re
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.analysis.baseline import Baseline, BaselineEntry
 from repro.analysis.findings import Finding
 from repro.errors import ConfigError
 
+if TYPE_CHECKING:
+    from repro.analysis.project import ProjectContext
+
 __all__ = [
     "AnalysisReport",
     "FileContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "analyze_file",
@@ -39,6 +45,7 @@ __all__ = [
     "iter_source_files",
     "register_rule",
     "run_analysis",
+    "select_rules",
 ]
 
 #: ``# lint: allow[DET001]`` / ``# lint: allow[DET001,FLT001] why``.
@@ -111,6 +118,9 @@ class Rule:
     rule_id: str = ""
     #: One-line description of the protected contract.
     summary: str = ""
+    #: ``"file"`` rules see one file at a time; ``"project"`` rules run
+    #: once per sweep over the cross-module :class:`ProjectContext`.
+    scope: str = "file"
 
     def applies(self, ctx: FileContext) -> bool:
         """Whether this rule inspects ``ctx`` at all (default: yes)."""
@@ -126,6 +136,27 @@ class Rule:
     ) -> Finding:
         """Shorthand for :meth:`FileContext.finding` with this rule's id."""
         return ctx.finding(self.rule_id, node, message, suggestion)
+
+
+class ProjectRule(Rule):
+    """Base class for an interprocedural (project-scope) invariant.
+
+    Subclasses implement :meth:`check_project` against the cross-module
+    :class:`~repro.analysis.project.ProjectContext`.  Running one on a
+    single file (``analyze_file``, the fixture suites) still works:
+    :meth:`check` wraps the lone file in a one-file project.
+    """
+
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Yield one finding per violation anywhere in the project."""
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        from repro.analysis.project import ProjectContext
+
+        yield from self.check_project(ProjectContext.build([ctx]))
 
 
 _REGISTRY: dict[str, Rule] = {}
@@ -162,6 +193,44 @@ def get_rule(rule_id: str) -> Rule:
             f"unknown rule {rule_id!r}; registered: "
             f"{', '.join(sorted(_REGISTRY))}"
         ) from None
+
+
+def select_rules(spec: str) -> list[Rule]:
+    """Rules matching a comma-separated id/glob spec (``--rules``).
+
+    Each element is either an exact rule id (``SEQ001``) or an
+    ``fnmatch`` family glob (``DUR*``, ``?RK001``).  Order follows the
+    registry (sorted by id), duplicates collapse.
+
+    Raises
+    ------
+    ConfigError
+        On an unknown exact id, or a glob that matches nothing.
+    """
+    chosen: dict[str, Rule] = {}
+    for part in spec.split(","):
+        pattern = part.strip()
+        if not pattern:
+            continue
+        if not any(ch in pattern for ch in "*?["):
+            rule = get_rule(pattern)
+            chosen.setdefault(rule.rule_id, rule)
+            continue
+        matched = [
+            rule
+            for rule in all_rules()
+            if fnmatch.fnmatchcase(rule.rule_id, pattern)
+        ]
+        if not matched:
+            raise ConfigError(
+                f"rule glob {pattern!r} matches no registered rule; "
+                f"registered: {', '.join(sorted(_REGISTRY))}"
+            )
+        for rule in matched:
+            chosen.setdefault(rule.rule_id, rule)
+    if not chosen:
+        raise ConfigError(f"empty rule selection {spec!r}")
+    return sorted(chosen.values(), key=lambda rule: rule.rule_id)
 
 
 # ----------------------------------------------------------------------
@@ -206,6 +275,47 @@ def _relative(path: Path, root: Path | None) -> str:
 # ----------------------------------------------------------------------
 # Running
 # ----------------------------------------------------------------------
+def _parse_file(
+    path: Path, *, module: str | None, root: Path | None
+) -> FileContext | Finding:
+    """Parse one file into a :class:`FileContext`, or a ``SYN000``
+    finding when the file does not parse — one broken file must not
+    hide findings in the rest of a sweep."""
+    source = path.read_text()
+    rel = _relative(path, root)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            rule="SYN000",
+            path=rel,
+            line=exc.lineno or 1,
+            message=f"file does not parse: {exc.msg}",
+            suggestion="fix the syntax error so the invariants can be checked",
+        )
+    return FileContext(
+        path=path,
+        rel=rel,
+        module=module if module is not None else _module_name(path),
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+    )
+
+
+def _check_file(ctx: FileContext, rules: Iterable[Rule]) -> list[Finding]:
+    """Run file-scope checks (and any project rules passed explicitly,
+    via their single-file fallback) over one parsed file."""
+    found: list[Finding] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.allowed(finding.rule, finding.line):
+                found.append(finding)
+    return found
+
+
 def analyze_file(
     path: Path | str,
     *,
@@ -216,42 +326,13 @@ def analyze_file(
     """Run rules over one file; pragma-suppressed findings are dropped.
 
     ``module`` overrides the inferred dotted module name (tests use this
-    to place fixture files in a target package's scope).  A file that
-    does not parse yields a single ``SYN000`` finding rather than
-    raising, so one broken file cannot hide findings in the rest of a
-    sweep.
+    to place fixture files in a target package's scope).  Project-scope
+    rules see the file as a one-file project.
     """
-    path = Path(path)
-    source = path.read_text()
-    rel = _relative(path, root)
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule="SYN000",
-                path=rel,
-                line=exc.lineno or 1,
-                message=f"file does not parse: {exc.msg}",
-                suggestion="fix the syntax error so the invariants can be checked",
-            )
-        ]
-    ctx = FileContext(
-        path=path,
-        rel=rel,
-        module=module if module is not None else _module_name(path),
-        source=source,
-        tree=tree,
-        lines=tuple(source.splitlines()),
-    )
-    found: list[Finding] = []
-    for rule in rules if rules is not None else all_rules():
-        if not rule.applies(ctx):
-            continue
-        for finding in rule.check(ctx):
-            if not ctx.allowed(finding.rule, finding.line):
-                found.append(finding)
-    return found
+    parsed = _parse_file(Path(path), module=module, root=root)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    return _check_file(parsed, rules if rules is not None else all_rules())
 
 
 def analyze_paths(
@@ -263,16 +344,58 @@ def analyze_paths(
     """Run rules over every file under ``paths``.
 
     Returns ``(findings, n_files)`` with findings ordered by path then
-    line.
+    line.  File-scope rules run per file; project-scope rules run once
+    over the whole sweep's :class:`~repro.analysis.project.ProjectContext`.
+    """
+    findings, n_files, _ = _analyze_project(paths, root=root, rules=rules)
+    return findings, n_files
+
+
+def _analyze_project(
+    paths: Sequence[Path | str],
+    *,
+    root: Path | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> tuple[list[Finding], int, ProjectContext | None]:
+    """Full sweep: per-file pass, then one project pass.
+
+    Returns ``(findings, n_files, project)``; ``project`` is ``None``
+    when no project-scope rule was selected (the cross-module index is
+    only built when something will query it).
     """
     rules = tuple(rules) if rules is not None else all_rules()
+    file_rules = [rule for rule in rules if rule.scope != "project"]
+    project_rules = [rule for rule in rules if rule.scope == "project"]
     findings: list[Finding] = []
+    contexts: list[FileContext] = []
     n_files = 0
     for path in iter_source_files(paths):
         n_files += 1
-        findings.extend(analyze_file(path, root=root, rules=rules))
+        parsed = _parse_file(path, module=None, root=root)
+        if isinstance(parsed, Finding):
+            findings.append(parsed)
+            continue
+        contexts.append(parsed)
+        findings.extend(_check_file(parsed, file_rules))
+    project: ProjectContext | None = None
+    if project_rules:
+        from repro.obs import get_metrics
+        from repro.obs import metrics as obs_metrics
+
+        from repro.analysis.project import ProjectContext
+
+        project = ProjectContext.build(contexts)
+        n_project_findings = 0
+        for rule in project_rules:
+            for finding in rule.check_project(project):  # type: ignore[attr-defined]
+                if not project.allowed(finding):
+                    findings.append(finding)
+                    n_project_findings += 1
+        get_metrics().counter(
+            obs_metrics.ANALYSIS_PROJECT_FINDINGS
+        ).inc(n_project_findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return findings, n_files
+    return findings, n_files, project
 
 
 @dataclass(frozen=True)
@@ -322,9 +445,33 @@ def run_analysis(
     baseline: Baseline | None = None,
     root: Path | None = None,
     rules: Iterable[Rule] | None = None,
+    graph_out: Path | None = None,
 ) -> AnalysisReport:
-    """Lint ``paths`` and split the findings against ``baseline``."""
-    findings, n_files = analyze_paths(paths, root=root, rules=rules)
+    """Lint ``paths`` and split the findings against ``baseline``.
+
+    ``graph_out`` writes the sweep's call-graph JSON document
+    (``--graph-out``); when no project rule ran, the graph is built on
+    demand so the dump is always available for inspection.
+    """
+    findings, n_files, project = _analyze_project(
+        paths, root=root, rules=rules
+    )
+    if graph_out is not None:
+        if project is None:
+            from repro.analysis.project import ProjectContext
+
+            parsed = [
+                p
+                for p in (
+                    _parse_file(path, module=None, root=root)
+                    for path in iter_source_files(paths)
+                )
+                if isinstance(p, FileContext)
+            ]
+            project = ProjectContext.build(parsed)
+        from repro.atomicio import atomic_write_json
+
+        atomic_write_json(graph_out, project.graph.to_dict())
     if baseline is None:
         baseline = Baseline(entries=())
     new, baselined, unused = baseline.split(findings)

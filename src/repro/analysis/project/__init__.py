@@ -1,0 +1,102 @@
+"""Project-wide analysis context: symbols + call graph, built once.
+
+This package turns :mod:`repro.analysis` from a per-file linter into a
+multi-pass project verifier (DESIGN.md §8.8).  A
+:class:`ProjectContext` is built once per run over every parsed
+:class:`~repro.analysis.engine.FileContext` and handed to each
+registered project rule (``scope == "project"``): the cross-module
+symbol table (:mod:`.symbols`), the call graph with reachability
+queries and the ``--graph-out`` JSON form (:mod:`.callgraph`), and the
+per-function CFG ordering queries (:mod:`.cfg`).
+
+The build is itself observable: it runs under the
+``analysis.project_build`` span and reports file/function/edge counts
+through the ``analysis.project_*`` counters of the canonical taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.project.callgraph import (
+    GRAPH_SCHEMA,
+    GRAPH_VERSION,
+    CallGraph,
+    CallSite,
+    render_chain,
+)
+from repro.analysis.project.cfg import ControlFlowGraph, statement_calls
+from repro.analysis.project.symbols import FunctionInfo, SymbolTable
+
+if TYPE_CHECKING:
+    from collections.abc import Iterator, Sequence
+
+    from repro.analysis.engine import FileContext
+    from repro.analysis.findings import Finding
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ControlFlowGraph",
+    "FunctionInfo",
+    "GRAPH_SCHEMA",
+    "GRAPH_VERSION",
+    "ProjectContext",
+    "SymbolTable",
+    "render_chain",
+    "statement_calls",
+]
+
+
+@dataclass(frozen=True)
+class ProjectContext:
+    """Everything a project rule may query, built once per lint run."""
+
+    contexts: tuple[FileContext, ...]
+    symbols: SymbolTable
+    graph: CallGraph
+    _by_rel: dict[str, FileContext] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def build(cls, contexts: Sequence[FileContext]) -> ProjectContext:
+        """Index every parsed file and wire the call graph (traced)."""
+        from repro.obs import get_metrics, get_tracer
+        from repro.obs import metrics as obs_metrics
+
+        tracer = get_tracer()
+        registry = get_metrics()
+        with tracer.span(
+            obs_metrics.SPAN_ANALYSIS_PROJECT, files=len(contexts)
+        ):
+            symbols = SymbolTable.build(contexts)
+            graph = CallGraph.build(symbols)
+        registry.counter(obs_metrics.ANALYSIS_PROJECT_FILES).inc(
+            len(contexts)
+        )
+        registry.counter(obs_metrics.ANALYSIS_PROJECT_FUNCTIONS).inc(
+            len(symbols.functions)
+        )
+        registry.counter(obs_metrics.ANALYSIS_PROJECT_CALL_EDGES).inc(
+            graph.n_edges
+        )
+        return cls(
+            contexts=tuple(contexts),
+            symbols=symbols,
+            graph=graph,
+            _by_rel={ctx.rel: ctx for ctx in contexts},
+        )
+
+    def functions_in(self, prefixes: tuple[str, ...]) -> Iterator[FunctionInfo]:
+        """Functions defined in modules under any of the dotted prefixes."""
+        return self.symbols.in_modules(prefixes)
+
+    def cfg(self, info: FunctionInfo) -> ControlFlowGraph:
+        """The normal-path CFG of one function."""
+        return ControlFlowGraph(info.node)
+
+    def allowed(self, finding: Finding) -> bool:
+        """Whether an inline pragma in the owning file silences this
+        project-level finding (same contract as the per-file pass)."""
+        ctx = self._by_rel.get(finding.path)
+        return ctx is not None and ctx.allowed(finding.rule, finding.line)

@@ -1,0 +1,239 @@
+"""Project call graph over the symbol table, with reachability queries.
+
+Nodes are function quals from :class:`~repro.analysis.project.symbols.
+SymbolTable`; edges are call sites.  Resolution is deliberately
+conservative (DESIGN.md §8.8): a ``Name`` call resolves through the
+module's imports, ``self.method()`` / ``cls.method()`` through the
+enclosing class, dotted ``module.func()`` chains through the table, and
+a bare ``receiver.method()`` only when exactly one class in the project
+defines that method.  Anything ambiguous produces an *unresolved* call
+site — recorded (the JSON dump keeps it for inspection) but never an
+edge, so interprocedural rules act only on provable chains.
+
+:meth:`CallGraph.find_path` is the workhorse of rule DUR001: a BFS from
+a call site to any function satisfying a predicate, optionally refusing
+to traverse into sanctioned modules (``repro.atomicio``), returning the
+actual chain so a finding can name every hop.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.project.symbols import FunctionInfo, SymbolTable, _dotted
+
+if TYPE_CHECKING:
+    from collections.abc import Callable, Sequence
+
+    from repro.analysis.engine import FileContext
+
+__all__ = ["CallGraph", "CallSite", "GRAPH_SCHEMA", "GRAPH_VERSION"]
+
+GRAPH_SCHEMA = "repro-callgraph"
+GRAPH_VERSION = 1
+
+
+def _under(module: str, prefixes: tuple[str, ...]) -> bool:
+    """Whether ``module`` is one of ``prefixes`` or a submodule of one."""
+    return any(
+        module == p or module.startswith(f"{p}.") for p in prefixes
+    )
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside ``caller``.
+
+    ``callee`` is the resolved function qual or ``None``; ``label`` is
+    the source-level dotted name (kept for diagnostics and the JSON
+    dump even when resolution failed).
+    """
+
+    caller: str
+    callee: str | None
+    label: str
+    line: int
+
+
+def _call_label(func: ast.expr) -> tuple[str | None, str | None]:
+    """``(dotted chain, trailing attribute)`` of a call's func expr."""
+    if isinstance(func, ast.Name):
+        return func.id, None
+    if isinstance(func, ast.Attribute):
+        return _dotted(func), func.attr
+    return None, None
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Call expressions of one function body, excluding nested scopes."""
+
+    def __init__(self) -> None:
+        self.calls: list[ast.Call] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls.append(node)
+        self.generic_visit(node)
+
+    # Nested defs/lambdas are their own graph nodes; their calls must
+    # not be attributed to the enclosing function.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        del node
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        del node
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        del node
+
+
+def function_calls(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.Call]:
+    """Every call lexically inside ``node`` but not in a nested scope."""
+    collector = _CallCollector()
+    for stmt in node.body:
+        collector.visit(stmt)
+    return collector.calls
+
+
+@dataclass
+class CallGraph:
+    """Call sites per caller, resolved against a :class:`SymbolTable`."""
+
+    symbols: SymbolTable
+    #: Caller qual -> call sites (resolved and unresolved alike).
+    sites: dict[str, list[CallSite]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, symbols: SymbolTable) -> CallGraph:
+        graph = cls(symbols=symbols)
+        for info in symbols.iter_functions():
+            graph.sites[info.qual] = [
+                graph._resolve_site(info, call)
+                for call in function_calls(info.node)
+            ]
+        return graph
+
+    def _resolve_site(self, info: FunctionInfo, call: ast.Call) -> CallSite:
+        dotted, attr = _call_label(call.func)
+        label = dotted if dotted is not None else (attr or "<dynamic>")
+        callee: str | None = None
+        if dotted is not None:
+            head, _, rest = dotted.partition(".")
+            if head in ("self", "cls") and info.class_name is not None and rest:
+                class_qual = f"{info.module}.{info.class_name}"
+                callee = self.symbols.classes.get(class_qual, {}).get(rest)
+            if callee is None:
+                callee = self.symbols.resolve(info.module, dotted)
+        if callee is None and attr is not None:
+            callee = self.symbols.resolve_method(attr)
+        return CallSite(
+            caller=info.qual, callee=callee, label=label, line=call.lineno
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def callees(self, qual: str) -> list[CallSite]:
+        """Resolved outgoing call sites of one function."""
+        return [s for s in self.sites.get(qual, []) if s.callee is not None]
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(self.callees(qual)) for qual in self.sites)
+
+    def find_path(
+        self,
+        start: str,
+        target: Callable[[FunctionInfo], bool],
+        *,
+        skip_modules: tuple[str, ...] = (),
+    ) -> list[FunctionInfo] | None:
+        """Shortest chain of functions from ``start`` (inclusive) to one
+        satisfying ``target``, via resolved edges only.
+
+        Functions in modules under ``skip_modules`` (exact or dotted
+        prefix) terminate traversal without matching — a path *through*
+        a sanctioned module does not exist as far as the caller is
+        concerned.
+        """
+        info = self.symbols.functions.get(start)
+        if info is None or _under(info.module, skip_modules):
+            return None
+        queue: deque[list[FunctionInfo]] = deque([[info]])
+        visited = {start}
+        while queue:
+            path = queue.popleft()
+            current = path[-1]
+            if target(current):
+                return path
+            for site in self.callees(current.qual):
+                callee = site.callee
+                if callee is None or callee in visited:
+                    continue
+                visited.add(callee)
+                nxt = self.symbols.functions.get(callee)
+                if nxt is None or _under(nxt.module, skip_modules):
+                    continue
+                queue.append(path + [nxt])
+        return None
+
+    def reaches(
+        self,
+        start: str,
+        target: Callable[[FunctionInfo], bool],
+        *,
+        skip_modules: tuple[str, ...] = (),
+    ) -> bool:
+        return (
+            self.find_path(start, target, skip_modules=skip_modules)
+            is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Export (--graph-out)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """JSON document for ``--graph-out`` / the CI artifact."""
+        functions = [
+            {
+                "qual": info.qual,
+                "module": info.module,
+                "path": info.ctx.rel,
+                "line": info.line,
+                "class": info.class_name,
+            }
+            for info in self.symbols.iter_functions()
+        ]
+        edges = []
+        unresolved = 0
+        for caller in sorted(self.sites):
+            for site in self.sites[caller]:
+                if site.callee is None:
+                    unresolved += 1
+                    continue
+                edges.append(
+                    {
+                        "caller": site.caller,
+                        "callee": site.callee,
+                        "label": site.label,
+                        "line": site.line,
+                    }
+                )
+        return {
+            "schema": GRAPH_SCHEMA,
+            "version": GRAPH_VERSION,
+            "n_modules": len(self.symbols.modules),
+            "n_functions": len(functions),
+            "n_edges": len(edges),
+            "n_unresolved_calls": unresolved,
+            "functions": functions,
+            "edges": edges,
+        }
+
+
+def render_chain(path: Sequence[FunctionInfo]) -> str:
+    """``a → b → c`` diagnostic form of a call chain."""
+    return " -> ".join(info.qual for info in path)

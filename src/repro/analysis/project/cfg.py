@@ -1,0 +1,267 @@
+"""Intraprocedural control-flow graph with ordering queries.
+
+Rule SEQ001 needs a *static* answer to the question PR 7's kill-site
+tests probe dynamically: on every non-exceptional path through a
+function, does the shard-state write happen before the cursor seal?
+That is a happens-before query over a statement-level CFG, built here
+from the stdlib AST:
+
+* sequencing, ``if``/``else``, ``for``/``while`` (with ``break`` /
+  ``continue`` and ``else`` clauses), ``with`` and ``match`` are wired
+  as normal control flow;
+* ``return`` jumps to the exit node, ``raise`` to a distinct
+  *exceptional* exit;
+* ``try`` bodies flow into their ``finally`` (and ``else``) normally;
+  ``except`` handler bodies are **excluded** from the normal-path
+  graph — the invariants checked here are about non-exceptional
+  ordering, and an exception between two durable writes is exactly the
+  crash case the commit protocol already tolerates.
+
+The graph is statement-granular: each simple statement is one node and
+a predicate examines the statement's expression tree (minus nested
+``def``/``lambda`` bodies, which execute elsewhere).
+
+:meth:`ControlFlowGraph.unordered` is the verifier query: statements
+satisfying ``second`` that are reachable from the function entry
+without first executing a statement satisfying ``first``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from collections.abc import Callable, Iterator, Sequence
+
+__all__ = ["ControlFlowGraph", "statement_calls"]
+
+
+def _header_exprs(stmt: ast.stmt) -> list[ast.AST]:
+    """The expressions a *compound* statement evaluates itself (its
+    test/iter/items), as opposed to its body, which the CFG wires as
+    separate nodes.  Simple statements evaluate their whole tree."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(
+        stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return []
+    return [stmt]
+
+
+def statement_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Calls executed *by* this statement: the statement's own
+    expressions only (compound bodies are their own CFG nodes, nested
+    ``def``/``lambda`` bodies execute elsewhere)."""
+    todo: list[ast.AST] = list(_header_exprs(stmt))
+    while todo:
+        node = todo.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        todo.extend(ast.iter_child_nodes(node))
+
+
+@dataclass
+class _Node:
+    """One statement (or a synthetic entry/exit sentinel)."""
+
+    index: int
+    stmt: ast.stmt | None
+    succs: set[int] = field(default_factory=set)
+
+
+class ControlFlowGraph:
+    """Normal-path CFG of one function (see module docstring)."""
+
+    def __init__(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self.fn = fn
+        self.nodes: list[_Node] = []
+        self.entry = self._new(None)
+        self.exit = self._new(None)
+        self._loop_stack: list[tuple[int, int]] = []  # (head, after)
+        frontier = self._build_block(fn.body, {self.entry.index})
+        self._link(frontier, self.exit.index)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _new(self, stmt: ast.stmt | None) -> _Node:
+        node = _Node(index=len(self.nodes), stmt=stmt)
+        self.nodes.append(node)
+        return node
+
+    def _link(self, preds: set[int], succ: int) -> None:
+        for pred in preds:
+            self.nodes[pred].succs.add(succ)
+
+    def _build_block(
+        self, stmts: Sequence[ast.stmt], preds: set[int]
+    ) -> set[int]:
+        """Wire ``stmts`` after ``preds``; returns the new frontier (the
+        nodes whose successor is whatever follows the block).  An empty
+        frontier means the block never completes normally."""
+        frontier = preds
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable: everything above returned/raised
+            frontier = self._build_stmt(stmt, frontier)
+        return frontier
+
+    def _build_stmt(self, stmt: ast.stmt, preds: set[int]) -> set[int]:
+        node = self._new(stmt)
+        self._link(preds, node.index)
+        at = {node.index}
+        if isinstance(stmt, ast.Return):
+            self._link(at, self.exit.index)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            return set()  # exceptional exit: off the normal-path graph
+        if isinstance(stmt, ast.If):
+            then_out = self._build_block(stmt.body, at)
+            else_out = self._build_block(stmt.orelse, at) if stmt.orelse else at
+            return then_out | else_out
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            return self._build_loop(stmt, node, at)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_block(stmt.body, at)
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            return self._build_try(stmt, at)
+        if isinstance(stmt, ast.Match):
+            outs: set[int] = set()
+            exhaustive = False
+            for case in stmt.cases:
+                outs |= self._build_block(case.body, at)
+                if (
+                    isinstance(case.pattern, ast.MatchAs)
+                    and case.pattern.pattern is None
+                    and case.guard is None
+                ):
+                    exhaustive = True
+            return outs if exhaustive else outs | at
+        if isinstance(stmt, ast.Break):
+            if self._loop_stack:
+                self._link(at, self._loop_stack[-1][1])
+            return set()
+        if isinstance(stmt, ast.Continue):
+            if self._loop_stack:
+                self._link(at, self._loop_stack[-1][0])
+            return set()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return at  # a definition executes as one opaque statement
+        return at
+
+    def _build_loop(
+        self,
+        stmt: ast.For | ast.AsyncFor | ast.While,
+        head: _Node,
+        at: set[int],
+    ) -> set[int]:
+        # ``after`` is a synthetic join so break targets exist before
+        # the loop body is built.
+        after = self._new(None)
+        self._loop_stack.append((head.index, after.index))
+        body_out = self._build_block(stmt.body, at)
+        self._loop_stack.pop()
+        self._link(body_out, head.index)  # next iteration
+        # Zero-iteration / condition-false path, then the else clause.
+        else_out = self._build_block(stmt.orelse, at) if stmt.orelse else at
+        self._link(else_out, after.index)
+        return {after.index}
+
+    def _build_try(self, stmt: ast.Try, at: set[int]) -> set[int]:
+        body_out = self._build_block(stmt.body, at)
+        else_out = (
+            self._build_block(stmt.orelse, body_out)
+            if stmt.orelse
+            else body_out
+        )
+        # Handler bodies are exceptional paths: excluded by design.
+        if stmt.finalbody:
+            return self._build_block(stmt.finalbody, else_out)
+        return else_out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def unordered(
+        self,
+        first: Callable[[ast.stmt], bool],
+        second: Callable[[ast.stmt], bool],
+    ) -> list[ast.stmt]:
+        """Statements satisfying ``second`` reachable from the entry
+        without executing any statement satisfying ``first`` — i.e. the
+        witnesses that ``first`` does *not* happen-before ``second`` on
+        all non-exceptional paths.  Empty list == the ordering holds.
+        """
+        violations: list[ast.stmt] = []
+        seen: set[int] = set()
+        todo = [self.entry.index]
+        while todo:
+            index = todo.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            node = self.nodes[index]
+            if node.stmt is not None:
+                is_first = first(node.stmt)
+                if second(node.stmt) and not is_first:
+                    violations.append(node.stmt)
+                if is_first:
+                    # Every path through here has now executed `first`;
+                    # stop expanding this branch.
+                    continue
+            todo.extend(node.succs)
+        return violations
+
+    def reachable_without(
+        self,
+        target: Callable[[ast.stmt], bool],
+        barrier: Callable[[ast.stmt], bool],
+    ) -> bool:
+        """Whether some normal path reaches a ``target`` statement
+        without crossing a ``barrier`` statement first."""
+        return bool(self.unordered(barrier, target))
+
+    def reachable_from(
+        self,
+        source: Callable[[ast.stmt], bool],
+        target: Callable[[ast.stmt], bool],
+    ) -> list[ast.stmt]:
+        """Statements satisfying ``target`` that can execute strictly
+        *after* some statement satisfying ``source`` on a normal path —
+        the witnesses that ``source`` can happen-before ``target``.
+        Empty list == no such path exists."""
+        starts = [
+            node.index
+            for node in self.nodes
+            if node.stmt is not None and source(node.stmt)
+        ]
+        seen: set[int] = set()
+        todo: list[int] = []
+        for index in starts:
+            todo.extend(self.nodes[index].succs)
+        witnesses: list[ast.stmt] = []
+        while todo:
+            index = todo.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            node = self.nodes[index]
+            if node.stmt is not None and target(node.stmt):
+                witnesses.append(node.stmt)
+            todo.extend(node.succs)
+        return witnesses

@@ -1,0 +1,243 @@
+"""Cross-module symbol table: who defines what, and under which names.
+
+The per-file rules of :mod:`repro.analysis.rules` see one
+:class:`~repro.analysis.engine.FileContext` at a time, which is exactly
+why they miss *wrapped* violations — a persistence module calling a
+helper in another module that performs the raw write.  The project
+passes close that gap, and this module is their foundation: one pass
+over every parsed file collects
+
+* every function and method definition (including nested defs, which
+  carry worker closures in the fork-safety rule) as a
+  :class:`FunctionInfo` keyed by its dotted qualified name,
+* every import binding per module (``import a.b as c``,
+  ``from a import b as c``), so a name used at a call site can be
+  resolved back to the module that defines it,
+* module-level simple assignments (the fork-safety rule checks worker
+  functions against module-level handles and mutable state),
+* a method-name index used for conservative receiver-free resolution
+  (``checkpoint.write_state(...)`` resolves iff exactly one class in
+  the project defines ``write_state``).
+
+Resolution follows import chains and ``__init__`` re-exports
+(``repro.serve.StatusBoard`` → ``repro.serve.api.StatusBoard``) with a
+cycle guard, and answers ``None`` rather than guessing when a name
+cannot be pinned to a single definition — project rules only ever act
+on *provable* chains.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from collections.abc import Iterator, Sequence
+
+    from repro.analysis.engine import FileContext
+
+__all__ = ["FunctionInfo", "SymbolTable"]
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition, anywhere in the project.
+
+    ``qual`` is the dotted qualified name
+    (``repro.serve.checkpoint.ServeCheckpoint.commit``; nested defs
+    chain through their parent as ``module.outer.inner``).
+    """
+
+    qual: str
+    module: str
+    name: str
+    class_name: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: FileContext
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class SymbolTable:
+    """Project-wide definitions and import bindings (see module doc)."""
+
+    #: Qualified name -> definition.
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Module -> FileContext (parsed source).
+    modules: dict[str, FileContext] = field(default_factory=dict)
+    #: Module -> local binding name -> dotted import target.
+    imports: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: Module -> name -> assigned value expr (module level, simple
+    #: single-target assignments only).
+    module_assigns: dict[str, dict[str, ast.expr]] = field(
+        default_factory=dict
+    )
+    #: Method name -> quals of every class method with that name.
+    methods_by_name: dict[str, list[str]] = field(default_factory=dict)
+    #: Class qual (module.Class) -> method name -> function qual.
+    classes: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, contexts: Sequence[FileContext]) -> SymbolTable:
+        table = cls()
+        for ctx in contexts:
+            table._index_module(ctx)
+        return table
+
+    def _index_module(self, ctx: FileContext) -> None:
+        module = ctx.module
+        self.modules[module] = ctx
+        bindings = self.imports.setdefault(module, {})
+        assigns = self.module_assigns.setdefault(module, {})
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Import):
+                for item in stmt.names:
+                    # ``import a.b`` binds ``a``; ``import a.b as c``
+                    # binds ``c`` to the full dotted module.
+                    if item.asname is not None:
+                        bindings[item.asname] = item.name
+                    else:
+                        head = item.name.split(".")[0]
+                        bindings[head] = head
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.module is None or stmt.level:
+                    continue  # relative imports are not used in-tree
+                for item in stmt.names:
+                    if item.name == "*":
+                        continue
+                    bindings[item.asname or item.name] = (
+                        f"{stmt.module}.{item.name}"
+                    )
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    assigns[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    assigns[stmt.target.id] = stmt.value
+        self._index_defs(ctx, ctx.tree.body, prefix=module, class_name=None)
+
+    def _index_defs(
+        self,
+        ctx: FileContext,
+        body: Sequence[ast.stmt],
+        *,
+        prefix: str,
+        class_name: str | None,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{stmt.name}"
+                info = FunctionInfo(
+                    qual=qual,
+                    module=ctx.module,
+                    name=stmt.name,
+                    class_name=class_name,
+                    node=stmt,
+                    ctx=ctx,
+                )
+                self.functions[qual] = info
+                if class_name is not None:
+                    self.methods_by_name.setdefault(stmt.name, []).append(
+                        qual
+                    )
+                    self.classes.setdefault(
+                        f"{ctx.module}.{class_name}", {}
+                    )[stmt.name] = qual
+                # Nested defs (worker closures) are functions too.
+                self._index_defs(
+                    ctx, stmt.body, prefix=qual, class_name=None
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                self.classes.setdefault(f"{prefix}.{stmt.name}", {})
+                self._index_defs(
+                    ctx,
+                    stmt.body,
+                    prefix=f"{prefix}.{stmt.name}",
+                    class_name=stmt.name,
+                )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        """Every known function, in deterministic qual order."""
+        for qual in sorted(self.functions):
+            yield self.functions[qual]
+
+    def in_modules(self, prefixes: tuple[str, ...]) -> Iterator[FunctionInfo]:
+        """Functions whose module matches any dotted prefix exactly or
+        as a package prefix (``repro.serve`` covers ``repro.serve.loop``)."""
+        for info in self.iter_functions():
+            if info.module in prefixes or info.module.startswith(
+                tuple(f"{p}." for p in prefixes)
+            ):
+                yield info
+
+    def resolve(
+        self, module: str, dotted: str, *, _seen: frozenset[str] = frozenset()
+    ) -> str | None:
+        """Resolve a dotted name as referenced from ``module`` to a
+        function qual, chasing imports and re-exports; ``None`` when the
+        name cannot be pinned to one known definition."""
+        key = f"{module}:{dotted}"
+        if key in _seen:
+            return None  # import cycle / self re-export
+        seen = _seen | {key}
+        # Defined (possibly as Class.method) in this very module?
+        local = f"{module}.{dotted}"
+        if local in self.functions:
+            return local
+        head, _, rest = dotted.partition(".")
+        binding = self.imports.get(module, {}).get(head)
+        if binding is not None:
+            target = f"{binding}.{rest}" if rest else binding
+            return self._resolve_absolute(target, _seen=seen)
+        return None
+
+    def _resolve_absolute(
+        self, dotted: str, *, _seen: frozenset[str]
+    ) -> str | None:
+        if dotted in self.functions:
+            return dotted
+        # Longest known module prefix, then resolve the remainder
+        # through that module's own bindings (re-export chase).
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                rest = ".".join(parts[cut:])
+                return self.resolve(prefix, rest, _seen=_seen)
+        return None
+
+    def resolve_method(self, method: str) -> str | None:
+        """The unique project method with this name, or ``None``.
+
+        Receiver types are out of static reach, so ``obj.method(...)``
+        resolves only when exactly one class in the whole project
+        defines ``method`` — ambiguity yields no edge rather than a
+        guessed one.
+        """
+        quals = self.methods_by_name.get(method, ())
+        if len(quals) == 1:
+            return quals[0]
+        return None

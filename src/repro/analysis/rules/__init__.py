@@ -2,24 +2,34 @@
 
 Importing this package registers every rule with the engine registry in
 :mod:`repro.analysis.engine`.  Each module encodes one family of
-contracts the PR-1…PR-4 stack depends on; DESIGN.md §8 maps every rule
-id to the guarantee it protects.
+contracts the PR-1…PR-8 stack depends on; DESIGN.md §8 maps every rule
+id to the guarantee it protects.  The first six are per-file rules;
+``durability``, ``sequencing``, ``fork_safety`` and ``resources`` are
+the interprocedural project passes of DESIGN.md §8.8.
 """
 
 from repro.analysis.rules import (  # noqa: F401
     atomic_io,
     determinism,
+    durability,
     error_handling,
     float_equality,
+    fork_safety,
     observability,
+    resources,
+    sequencing,
     typing_gate,
 )
 
 __all__ = [
     "atomic_io",
     "determinism",
+    "durability",
     "error_handling",
     "float_equality",
+    "fork_safety",
     "observability",
+    "resources",
+    "sequencing",
     "typing_gate",
 ]

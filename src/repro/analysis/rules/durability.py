@@ -1,0 +1,134 @@
+"""DUR001 — wrapped write chains reach disk through ``repro.atomicio``.
+
+IO001 is per-file: it flags a raw write-mode ``open`` / ``write_text``
+/ ``json.dump`` *in* a persistence module.  It cannot see the wrapped
+variant — a persistence function calling a helper in another module
+that performs the raw write — because the sink lives outside the
+file (often outside IO001's module scope entirely).  DUR001 closes
+that gap with the project call graph (DESIGN.md §8.8): for every
+function in a persistence layer it asks whether any resolved call
+chain reaches a function that writes a file non-atomically, refusing
+to traverse into ``repro.atomicio`` (the sanctioned sink — chains
+ending there are exactly the durable-write discipline PR 4/7 rely on).
+
+Division of labour with IO001: a sink *inside* the persistence scope
+is IO001's finding at the sink itself; DUR001 reports only chains
+whose sink lies outside that scope, so every raw write is reported
+exactly once, at the most useful location.
+"""
+
+from __future__ import annotations
+
+import ast
+from types import SimpleNamespace
+from typing import TYPE_CHECKING
+
+from repro.analysis.engine import ProjectRule, register_rule
+from repro.analysis.project.callgraph import _under, function_calls, render_chain
+from repro.analysis.rules.atomic_io import _is_write_mode, _mode_argument
+
+if TYPE_CHECKING:
+    from collections.abc import Iterator
+
+    from repro.analysis.findings import Finding
+    from repro.analysis.project import ProjectContext
+    from repro.analysis.project.symbols import FunctionInfo
+
+__all__ = ["WrappedNonAtomicWrite"]
+
+#: Modules whose functions own durable artifacts (same scope as IO001).
+_PERSISTENCE = (
+    "repro.runtime",
+    "repro.obs",
+    "repro.data.slabs",
+    "repro.serve",
+    "repro.soak",
+)
+
+#: The sanctioned durable-write layer: chains into it are the goal, not
+#: a finding, so traversal never enters it.
+_SANCTIONED = ("repro.atomicio",)
+
+
+def raw_write_label(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    """How this function writes a file raw, or ``None``.
+
+    Mirrors IO001's sink set (write-mode ``open``/``Path.open``,
+    ``write_text``/``write_bytes``, ``json.dump``) and its escape hatch:
+    a function that calls ``os.replace`` itself *is* an inlined atomic
+    writer, not a raw sink.
+    """
+    label: str | None = None
+    for call in function_calls(node):
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            if _is_write_mode(_mode_argument(call, func)):
+                label = label or "open(..., 'w')"
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "open" and _is_write_mode(
+                _mode_argument(call, func)
+            ):
+                label = label or ".open(..., 'w')"
+            elif func.attr in ("write_text", "write_bytes"):
+                label = label or f".{func.attr}()"
+            elif func.attr == "dump" and (
+                isinstance(func.value, ast.Name) and func.value.id == "json"
+            ):
+                label = label or "json.dump()"
+            elif (
+                func.attr == "replace"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "os"
+            ):
+                return None  # inlined write-temp-then-rename
+    return label
+
+
+@register_rule
+class WrappedNonAtomicWrite(ProjectRule):
+    """DUR001: no call chain from a persistence layer ends in a raw write."""
+
+    rule_id = "DUR001"
+    summary = (
+        "call chains from persistence layers reach the filesystem only "
+        "through repro.atomicio; wrapped raw writes (helpers in other "
+        "modules) are torn-artifact bugs IO001 cannot see"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        def is_external_raw_sink(info: FunctionInfo) -> bool:
+            # Sinks inside the persistence scope are IO001 findings at
+            # the sink; DUR001 owns only the wrapped/external ones.
+            if _under(info.module, _PERSISTENCE):
+                return False
+            return raw_write_label(info.node) is not None
+
+        for info in project.functions_in(_PERSISTENCE):
+            path = project.graph.find_path(
+                info.qual, is_external_raw_sink, skip_modules=_SANCTIONED
+            )
+            if path is None or len(path) < 2:
+                continue
+            if any(
+                _under(hop.module, _PERSISTENCE) for hop in path[1:-1]
+            ):
+                # An intermediate persistence function gets its own,
+                # tighter finding — report each chain once, at the last
+                # persistence hop before the write leaves the scope.
+                continue
+            sink = path[-1]
+            label = raw_write_label(sink.node) or "a raw write"
+            line = info.line
+            for site in project.graph.sites.get(info.qual, ()):
+                if site.callee == path[1].qual:
+                    line = site.line
+                    break
+            yield info.ctx.finding(
+                self.rule_id,
+                SimpleNamespace(lineno=line),
+                f"write chain {render_chain(path)} ends in non-atomic "
+                f"{label} outside repro.atomicio — a kill mid-write "
+                "leaves a torn artifact under the final name",
+                "route the sink through repro.atomicio "
+                "(atomic_write_text/atomic_write_json/AtomicBinaryWriter)",
+            )

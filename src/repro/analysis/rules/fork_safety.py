@@ -1,0 +1,236 @@
+"""FRK001 — everything crossing a fork boundary is fork-safe.
+
+The resilient executor (:func:`repro.runtime.executor.run_sharded`)
+ships tasks to worker *processes*.  Its bit-identical-retry guarantee
+(DESIGN.md §5) assumes tasks are plain picklable values and workers
+rebuild their own handles: an mmap, open file, socket, thread lock or
+live HTTP server smuggled across the boundary either fails to pickle
+at dispatch time or — worse — arrives as a silently broken duplicate.
+
+FRK001 checks every dispatch site (a ``run_sharded(...)`` or
+``*.submit(...)`` call) statically:
+
+* an argument that *is* or is *bound to* an unsafe constructor call
+  (``open``, ``mmap.mmap``, ``numpy.memmap``, ``socket.socket``, the
+  ``threading`` lock family, ``StatusBoard`` / ``StatusServer`` /
+  ``ThreadingHTTPServer``) fires at the dispatch site;
+* a ``lambda`` or nested-``def`` argument fires when its body captures
+  such a binding from the enclosing function;
+* the worker function itself is resolved through the call graph and
+  every function it can reach is checked for module-level unsafe
+  handles it references and for ``global`` statements (worker-side
+  mutation of module state never propagates back to the parent).
+  Traversal skips :mod:`repro.obs` — worker-side telemetry install is
+  the sanctioned capture-and-merge protocol of DESIGN.md §7.
+"""
+
+from __future__ import annotations
+
+import ast
+from types import SimpleNamespace
+from typing import TYPE_CHECKING
+
+from repro.analysis.engine import ProjectRule, register_rule
+from repro.analysis.project.callgraph import render_chain
+
+if TYPE_CHECKING:
+    from collections.abc import Iterator
+
+    from repro.analysis.findings import Finding
+    from repro.analysis.project import ProjectContext
+    from repro.analysis.project.symbols import FunctionInfo
+
+__all__ = ["ForkSafety"]
+
+#: Constructor name (last dotted part) -> what crossing the boundary
+#: with it means.
+_UNSAFE = {
+    "open": "an open file handle",
+    "mmap": "an mmap handle",
+    "memmap": "a numpy memmap handle",
+    "socket": "a live socket",
+    "Lock": "a thread lock",
+    "RLock": "a thread lock",
+    "Condition": "a thread condition",
+    "Event": "a thread event",
+    "Semaphore": "a thread semaphore",
+    "BoundedSemaphore": "a thread semaphore",
+    "StatusBoard": "a live status board",
+    "StatusServer": "a live HTTP status server",
+    "ThreadingHTTPServer": "a live HTTP server",
+}
+
+#: Worker-side telemetry re-install (``use_metrics`` / ``use_tracer``
+#: swapping the module-active registry) is the sanctioned
+#: capture-and-merge protocol, not a fork-safety bug.
+_SANCTIONED = ("repro.obs",)
+
+
+def _constructor_name(expr: ast.expr) -> str | None:
+    """The trailing callee name of a Call, if it is one."""
+    if not isinstance(expr, ast.Call):
+        return None
+    func = expr.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _unsafe_reason(expr: ast.expr | None) -> str | None:
+    if expr is None:
+        return None
+    name = _constructor_name(expr)
+    return _UNSAFE.get(name) if name is not None else None
+
+
+def _local_bindings(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, ast.expr]:
+    """Simple single-target name assignments anywhere in the function."""
+    bindings: dict[str, ast.expr] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                bindings[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                bindings[node.target.id] = node.value
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    bindings[item.optional_vars.id] = item.context_expr
+    return bindings
+
+
+def _is_dispatch(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "run_sharded"
+    if isinstance(func, ast.Attribute):
+        return func.attr in ("run_sharded", "submit")
+    return False
+
+
+def _loaded_names(node: ast.AST) -> set[str]:
+    return {
+        sub.id
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+    }
+
+
+@register_rule
+class ForkSafety(ProjectRule):
+    """FRK001: values crossing run_sharded/submit are transitively fork-safe."""
+
+    rule_id = "FRK001"
+    summary = (
+        "arguments to run_sharded/submit and everything the worker "
+        "function reaches must be fork-safe: no mmap/file/socket/lock/"
+        "server handles, no worker-side module-state mutation"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for info in project.symbols.iter_functions():
+            for call in ast.walk(info.node):
+                if isinstance(call, ast.Call) and _is_dispatch(call):
+                    yield from self._check_dispatch(project, info, call)
+
+    # ------------------------------------------------------------------
+    def _check_dispatch(
+        self, project: ProjectContext, info: FunctionInfo, call: ast.Call
+    ) -> Iterator[Finding]:
+        locals_ = _local_bindings(info.node)
+        module_assigns = project.symbols.module_assigns.get(info.module, {})
+
+        def bound_reason(name: str) -> str | None:
+            reason = _unsafe_reason(locals_.get(name))
+            if reason is None:
+                reason = _unsafe_reason(module_assigns.get(name))
+            return reason
+
+        args: list[ast.expr] = list(call.args) + [
+            kw.value for kw in call.keywords if kw.value is not None
+        ]
+        for arg in args:
+            reason = _unsafe_reason(arg)
+            if reason is None and isinstance(arg, ast.Name):
+                reason = bound_reason(arg.id)
+            if reason is not None:
+                yield info.ctx.finding(
+                    self.rule_id,
+                    arg,
+                    f"{info.qual} passes {reason} across the fork "
+                    "boundary — it cannot be pickled into a worker "
+                    "process intact",
+                    "pass plain picklable values and let the worker "
+                    "rebuild its own handles",
+                )
+                continue
+            if isinstance(arg, ast.Lambda):
+                for name in sorted(_loaded_names(arg.body)):
+                    captured = bound_reason(name)
+                    if captured is not None:
+                        yield info.ctx.finding(
+                            self.rule_id,
+                            arg,
+                            f"{info.qual}: worker closure captures "
+                            f"{name!r}, {captured} — the handle does "
+                            "not survive the fork boundary",
+                            "pass the data needed to rebuild the "
+                            "resource inside the worker instead",
+                        )
+        # Interprocedural leg: everything the worker function reaches.
+        worker = call.args[0] if call.args else None
+        if isinstance(worker, ast.Name):
+            qual = project.symbols.resolve(info.module, worker.id)
+            if qual is not None:
+                yield from self._check_worker(project, info, call, qual)
+
+    def _check_worker(
+        self,
+        project: ProjectContext,
+        info: FunctionInfo,
+        call: ast.Call,
+        worker_qual: str,
+    ) -> Iterator[Finding]:
+        def is_unsafe(reached: FunctionInfo) -> bool:
+            if any(
+                isinstance(node, ast.Global)
+                for node in ast.walk(reached.node)
+            ):
+                return True
+            assigns = project.symbols.module_assigns.get(
+                reached.module, {}
+            )
+            return any(
+                _unsafe_reason(assigns.get(name)) is not None
+                for name in _loaded_names(reached.node)
+            )
+
+        path = project.graph.find_path(
+            worker_qual, is_unsafe, skip_modules=_SANCTIONED
+        )
+        if path is None:
+            return
+        bad = path[-1]
+        if any(isinstance(n, ast.Global) for n in ast.walk(bad.node)):
+            detail = (
+                "mutates module-level state via `global` — worker-side "
+                "mutation never propagates back to the parent process"
+            )
+        else:
+            detail = (
+                "references a module-level unsafe handle — it does not "
+                "survive the fork boundary"
+            )
+        yield info.ctx.finding(
+            self.rule_id,
+            SimpleNamespace(lineno=call.lineno),
+            f"{info.qual}: worker chain {render_chain(path)} {detail}",
+            "have the worker rebuild resources from plain values and "
+            "return results instead of mutating shared state",
+        )

@@ -35,6 +35,9 @@ GATED_PREFIXES = (
     "repro.analysis",
     "repro.serve",
     "repro.soak",
+    "repro.eval",
+    "repro.baselines",
+    "repro.synth",
 )
 
 
@@ -45,7 +48,8 @@ class StrictAnnotations(Rule):
     rule_id = "TYP001"
     summary = (
         "strict-typed packages (config/errors/atomicio/core/runtime/obs/"
-        "analysis) must annotate every parameter and return type"
+        "analysis/serve/eval/baselines/synth) must annotate every "
+        "parameter and return type"
     )
 
     def applies(self, ctx: FileContext) -> bool:

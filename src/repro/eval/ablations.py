@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 import logging
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -71,7 +71,7 @@ def _journaled_point(
     journal: CheckpointJournal | None,
     key: tuple[str, ...],
     label: str,
-    compute,
+    compute: Callable[[], float],
 ) -> AblationPoint:
     """One sweep cell: a journaled cell skips the model fit entirely."""
     if journal is None:

@@ -20,8 +20,9 @@ from repro.atomicio import atomic_write_json
 from repro.config import ExperimentConfig
 from repro.core.engines import available_engines
 from repro.core.model import StabilityModel
+from repro.data.validation import DatasetBundle
 from repro.errors import ConfigError
-from repro.synth import ScenarioConfig, generate_dataset
+from repro.synth import ScenarioConfig, SyntheticDataset, generate_dataset
 
 __all__ = [
     "time_fit",
@@ -37,7 +38,7 @@ __all__ = [
 
 
 def time_fit(
-    dataset,
+    dataset: SyntheticDataset,
     backend: str,
     repeat: int = 3,
     n_jobs: int = 1,
@@ -272,7 +273,12 @@ def _ru_maxrss_mb() -> float:
     return rss / 2**10 if sys.platform != "darwin" else rss / 2**20
 
 
-def _roc_sweep_legacy(bundle, config: ExperimentConfig, train, test) -> None:
+def _roc_sweep_legacy(
+    bundle: DatasetBundle,
+    config: ExperimentConfig,
+    train: Sequence[int],
+    test: Sequence[int],
+) -> None:
     """The pre-refactor sweep: per-customer incremental fit + per-customer
     RFM feature loops over the raw log at every evaluation window."""
     from repro.baselines.rfm import RFMModel
@@ -288,7 +294,12 @@ def _roc_sweep_legacy(bundle, config: ExperimentConfig, train, test) -> None:
     protocol.evaluate_window_scorer(rfm, "rfm", train, test)
 
 
-def _roc_sweep_frame(bundle, config: ExperimentConfig, train, test) -> None:
+def _roc_sweep_frame(
+    bundle: DatasetBundle,
+    config: ExperimentConfig,
+    train: Sequence[int],
+    test: Sequence[int],
+) -> None:
     """The refactored sweep: one PopulationFrame feeds the batch stability
     fit and every per-window RFM refit."""
     from repro.baselines.rfm import RFMModel

@@ -12,7 +12,7 @@ random).
 from __future__ import annotations
 
 import logging
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -27,7 +27,7 @@ from repro.core.model import StabilityModel
 from repro.core.windowing import WindowGrid
 from repro.data.validation import DatasetBundle
 from repro.errors import EvaluationError
-from repro.eval.protocol import EvaluationProtocol
+from repro.eval.protocol import EvaluationProtocol, WindowScorer
 from repro.ml.metrics import auroc, lift_at_fraction, precision_recall_f1
 from repro.obs import span
 from repro.obs.progress import progress
@@ -175,7 +175,9 @@ def compare_models(
         else ""
     )
 
-    def cell(name: str, month: int, compute) -> CampaignPoint:
+    def cell(
+        name: str, month: int, compute: Callable[[], CampaignPoint]
+    ) -> CampaignPoint:
         """One journaled campaign cell; a hit skips the scorer refit."""
         with span("eval.cell", scorer=name, month=month):
             if journal is None:
@@ -220,7 +222,9 @@ def compare_models(
         "random": RandomBaseline(seed=seed),
     }
 
-    def fit_and_measure(name: str, model, month: int, window: int) -> CampaignPoint:
+    def fit_and_measure(
+        name: str, model: WindowScorer, month: int, window: int
+    ) -> CampaignPoint:
         model.fit(bundle.log, bundle.cohorts, window, train)
         return _campaign_metrics(
             name, month, model.churn_scores(bundle.log, test, window), labels, budgets

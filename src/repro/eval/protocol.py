@@ -26,9 +26,10 @@ completed cells (including the per-window scorer refits they imply).
 from __future__ import annotations
 
 import logging
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Protocol
 
 import numpy as np
 
@@ -43,9 +44,61 @@ from repro.obs import span
 from repro.obs.progress import progress
 from repro.runtime.checkpoint import CheckpointJournal, ids_digest
 
-__all__ = ["MonthScore", "ScoreSeries", "EvaluationProtocol"]
+__all__ = [
+    "MonthScore",
+    "ScoreSeries",
+    "EvaluationProtocol",
+    "GridScorer",
+    "WindowScorer",
+    "StabilityScorer",
+    "RuleScorer",
+]
 
 logger = logging.getLogger(__name__)
+
+
+class GridScorer(Protocol):
+    """The window-grid duck type every evaluated scorer shares."""
+
+    @property
+    def n_windows(self) -> int: ...
+
+    def window_month(self, window_index: int) -> int: ...
+
+
+class WindowScorer(GridScorer, Protocol):
+    """A trainable per-window scorer (the RFM/behavioral family):
+    re-fitted per evaluation window on the train split, scored on test.
+    ``log`` is the raw transaction log or the shared frame, depending
+    on ``supports_frame``."""
+
+    def fit(
+        self,
+        log: object,
+        cohorts: CohortLabels,
+        window_index: int,
+        customers: Sequence[int],
+    ) -> object: ...
+
+    def churn_scores(
+        self, log: object, customers: Sequence[int], window_index: int
+    ) -> dict[int, float]: ...
+
+
+class StabilityScorer(GridScorer, Protocol):
+    """A fitted stability-style model: scores straight off its state."""
+
+    def churn_scores(
+        self, window_index: int, customers: Sequence[int]
+    ) -> dict[int, float]: ...
+
+
+class RuleScorer(Protocol):
+    """An untrained rule baseline (no fit, no grid of its own)."""
+
+    def churn_scores(
+        self, log: object, customers: Sequence[int], window_index: int
+    ) -> dict[int, float]: ...
 
 
 @dataclass(frozen=True, slots=True)
@@ -166,7 +219,9 @@ class EvaluationProtocol:
             f"m{c.first_month}-{c.last_month}_d{self.bundle.fingerprint()}"
         )
 
-    def _cell(self, name: str, month: int, split: str, compute) -> float:
+    def _cell(
+        self, name: str, month: int, split: str, compute: Callable[[], float]
+    ) -> float:
         """One journaled AUROC cell: load when finished, else compute
         and persist atomically before returning.
 
@@ -212,7 +267,7 @@ class EvaluationProtocol:
             self._frame = PopulationFrame.from_log(self.bundle.log, grid)
         return self._frame
 
-    def _scorer_source(self, scorer) -> PopulationFrame | object:
+    def _scorer_source(self, scorer: object) -> PopulationFrame | object:
         """What to feed a scorer: the shared frame when it understands
         frames, the raw log otherwise (legacy duck type)."""
         if getattr(scorer, "supports_frame", False):
@@ -220,7 +275,7 @@ class EvaluationProtocol:
         return self.bundle.log
 
     # ------------------------------------------------------------------
-    def evaluation_windows(self, scorer) -> list[tuple[int, int]]:
+    def evaluation_windows(self, scorer: GridScorer) -> list[tuple[int, int]]:
         """``(window_index, end_month)`` pairs inside the month range.
 
         ``scorer`` must expose ``n_windows`` and ``window_month`` (both
@@ -250,7 +305,7 @@ class EvaluationProtocol:
         return auroc(y_true, y_score)
 
     def evaluate_stability_model(
-        self, model, customers: Iterable[int] | None = None
+        self, model: StabilityScorer, customers: Iterable[int] | None = None
     ) -> ScoreSeries:
         """AUROC series of a fitted :class:`~repro.core.model.StabilityModel`."""
         ids = (
@@ -279,7 +334,7 @@ class EvaluationProtocol:
 
     def evaluate_window_scorer(
         self,
-        scorer,
+        scorer: WindowScorer,
         name: str,
         train_customers: Sequence[int],
         test_customers: Sequence[int],
@@ -318,7 +373,7 @@ class EvaluationProtocol:
         return ScoreSeries(name=name, points=tuple(points))
 
     def evaluate_rule(
-        self, rule, name: str, customers: Sequence[int] | None = None
+        self, rule: RuleScorer, name: str, customers: Sequence[int] | None = None
     ) -> ScoreSeries:
         """AUROC series of an untrained rule baseline.
 

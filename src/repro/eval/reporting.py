@@ -11,9 +11,13 @@ import math
 from collections.abc import Sequence
 
 from repro.eval.ablations import AblationPoint, ExplanationQuality
+from repro.eval.campaign import CampaignComparison
+from repro.eval.delay import DelayAnalysis
 from repro.eval.figure1 import Figure1Result
 from repro.eval.figure2 import Figure2Result
+from repro.eval.robustness import MechanismResult
 from repro.eval.tables import DatasetStats
+from repro.eval.variance import VarianceSummary
 from repro.viz.ascii import line_chart
 
 __all__ = [
@@ -114,7 +118,7 @@ def render_explanation_quality(quality: ExplanationQuality) -> str:
     )
 
 
-def render_delay(analysis) -> str:
+def render_delay(analysis: DelayAnalysis) -> str:
     """The A4 detection-delay summary (one operating point)."""
     rows = [
         ("calibrated beta", f"{analysis.beta:.3f}"),
@@ -127,7 +131,9 @@ def render_delay(analysis) -> str:
     return format_table(("metric", "value"), rows)
 
 
-def render_campaign(comparison, months: Sequence[int], budget: float = 0.1) -> str:
+def render_campaign(
+    comparison: CampaignComparison, months: Sequence[int], budget: float = 0.1
+) -> str:
     """The A5 model-comparison table (AUROC per month + lift at a budget)."""
     months = sorted(months)
     rows = []
@@ -141,7 +147,9 @@ def render_campaign(comparison, months: Sequence[int], budget: float = 0.1) -> s
     )
 
 
-def render_mechanisms(results, months: Sequence[int]) -> str:
+def render_mechanisms(
+    results: Sequence[MechanismResult], months: Sequence[int]
+) -> str:
     """The A7a mechanism-crossover table."""
     months = sorted(months)
     rows = []
@@ -156,6 +164,6 @@ def render_mechanisms(results, months: Sequence[int]) -> str:
     return format_table(("mechanism", "model", *(f"m{m}" for m in months)), rows)
 
 
-def render_variance(summary) -> str:
+def render_variance(summary: VarianceSummary) -> str:
     """The S3 seed-variance table (mean ± std per month)."""
     return format_table(("month", "stability", "rfm"), summary.rows())

@@ -67,6 +67,10 @@ __all__ = [
     "SOAK_LEGS",
     "SOAK_LOOPS",
     "SOAK_SLO_VIOLATIONS",
+    "ANALYSIS_PROJECT_FILES",
+    "ANALYSIS_PROJECT_FUNCTIONS",
+    "ANALYSIS_PROJECT_CALL_EDGES",
+    "ANALYSIS_PROJECT_FINDINGS",
     # gauge taxonomy (live telemetry plane, DESIGN.md §12)
     "SERVE_QUEUE_DEPTH",
     "SERVE_LAG_DAYS",
@@ -86,6 +90,7 @@ __all__ = [
     "STAGE_SERVE_BATCH",
     "SPAN_SOAK_RUN",
     "STAGE_SOAK_LEG",
+    "SPAN_ANALYSIS_PROJECT",
     # canonical name sets (consumed by repro.analysis rule OBS001)
     "CANONICAL_METRIC_NAMES",
     "CANONICAL_SPAN_NAMES",
@@ -142,6 +147,13 @@ SOAK_FAULTS_INJECTED = "soak.faults_injected"
 SOAK_LEGS = "soak.legs"
 SOAK_LOOPS = "soak.loops"
 SOAK_SLO_VIOLATIONS = "soak.slo_violations"
+#: Project-pass verifier (DESIGN.md §8.8): files indexed, functions in
+#: the symbol table, resolved call edges, and interprocedural findings
+#: emitted per lint sweep.
+ANALYSIS_PROJECT_FILES = "analysis.project_files"
+ANALYSIS_PROJECT_FUNCTIONS = "analysis.project_functions"
+ANALYSIS_PROJECT_CALL_EDGES = "analysis.project_call_edges"
+ANALYSIS_PROJECT_FINDINGS = "analysis.project_findings"
 
 # ----------------------------------------------------------------------
 # Gauge taxonomy (live telemetry plane, DESIGN.md §12): point-in-time
@@ -192,6 +204,9 @@ STAGE_SERVE_BATCH = "serve.batch_s"
 SPAN_SOAK_RUN = "soak.run"
 #: One serving leg inside a soak (span *and* histogram via timed_stage).
 STAGE_SOAK_LEG = "soak.leg_s"
+#: Building the cross-module symbol table + call graph for one lint
+#: sweep's project pass (DESIGN.md §8.8).
+SPAN_ANALYSIS_PROJECT = "analysis.project_build"
 
 #: Every canonical counter/gauge/histogram name.
 CANONICAL_METRIC_NAMES: frozenset[str] = frozenset(
@@ -222,6 +237,10 @@ CANONICAL_METRIC_NAMES: frozenset[str] = frozenset(
         SOAK_SLO_VIOLATIONS,
         STAGE_SERVE_BATCH,
         STAGE_SOAK_LEG,
+        ANALYSIS_PROJECT_FILES,
+        ANALYSIS_PROJECT_FUNCTIONS,
+        ANALYSIS_PROJECT_CALL_EDGES,
+        ANALYSIS_PROJECT_FINDINGS,
     }
 )
 
@@ -241,6 +260,7 @@ CANONICAL_SPAN_NAMES: frozenset[str] = frozenset(
         SPAN_SERVE_RUN,
         SPAN_SERVE_CHECKPOINT,
         SPAN_SOAK_RUN,
+        SPAN_ANALYSIS_PROJECT,
         STAGE_CSR_BUILD,
         STAGE_SIGNIFICANCE,
         STAGE_NORMALIZE,

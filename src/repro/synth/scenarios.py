@@ -58,7 +58,7 @@ def paper_scenario(
     n_loyal: int = 300,
     n_churners: int = 300,
     seed: int = 7,
-    **overrides,
+    **overrides: object,
 ) -> SyntheticDataset:
     """The Figure 1 population at a configurable scale.
 
@@ -78,7 +78,7 @@ def mechanism_scenario(
     n_loyal: int = 100,
     n_churners: int = 100,
     seed: int = 7,
-    **overrides,
+    **overrides: object,
 ) -> SyntheticDataset:
     """The paper scenario with churn restricted to one mechanism.
 

@@ -1,0 +1,9 @@
+"""Persistence-layer module whose write is wrapped in another module."""
+
+from repro.util.helpers import dump_payload
+
+
+def persist_snapshot(path, payload):
+    # DUR001: the chain persist_snapshot -> dump_payload ends in a raw
+    # open(..., "w") outside repro.atomicio.
+    dump_payload(path, payload)

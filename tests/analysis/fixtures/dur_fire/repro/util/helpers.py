@@ -1,0 +1,13 @@
+"""Helper module outside the persistence scope: the hidden raw sink."""
+
+import json
+
+
+def dump_payload(path, payload):
+    """Raw write IO001 cannot see from the caller's file."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def format_payload(payload):
+    return json.dumps(payload, sort_keys=True)

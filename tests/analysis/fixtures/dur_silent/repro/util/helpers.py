@@ -1,0 +1,16 @@
+"""Compliant helpers: atomic inline, or no write at all."""
+
+import json
+import os
+
+
+def dump_payload_atomic(path, payload):
+    """Inlined write-temp-then-rename: a sanctioned atomic writer."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+def format_payload(payload):
+    return json.dumps(payload, sort_keys=True)

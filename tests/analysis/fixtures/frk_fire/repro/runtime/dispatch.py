@@ -1,0 +1,30 @@
+"""Dispatch sites smuggling handles across the fork boundary."""
+
+from repro.runtime.workers import guarded_worker
+
+
+def run_sharded(fn, tasks, **kwargs):
+    del kwargs
+    return [fn(t) for t in tasks], None
+
+
+def dispatch_with_handle(tasks):
+    # FRK001: a live file handle as a task argument.
+    handle = open("state.bin", "rb")
+    results, report = run_sharded(guarded_worker, tasks, journal=handle)
+    handle.close()
+    return results, report
+
+
+def dispatch_with_capture(tasks):
+    # FRK001: the lambda captures a handle from the enclosing scope.
+    sink = open("sink.log", "a")
+    results, _ = run_sharded(lambda t: sink.write(str(t)), tasks)
+    sink.close()
+    return results
+
+
+def dispatch_unsafe_worker(tasks):
+    # FRK001: the worker chain reaches a module-level lock.
+    results, report = run_sharded(guarded_worker, tasks)
+    return results, report

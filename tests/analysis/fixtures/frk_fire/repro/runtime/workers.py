@@ -1,0 +1,13 @@
+"""Worker module that leans on a module-level handle: not fork-safe."""
+
+import threading
+
+_CACHE_LOCK = threading.Lock()
+
+
+def guarded_worker(task):
+    # FRK001 (interprocedural leg): reached from a dispatch site, this
+    # function references a module-level lock that does not survive the
+    # fork boundary.
+    with _CACHE_LOCK:
+        return task

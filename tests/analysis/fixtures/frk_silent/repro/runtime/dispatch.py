@@ -1,0 +1,18 @@
+"""Dispatch sites shipping only picklable wire values: fork-safe."""
+
+from repro.runtime.workers import shard_worker
+
+
+def run_sharded(fn, tasks, **kwargs):
+    del kwargs
+    return [fn(t) for t in tasks], None
+
+
+def dispatch_wire_tuples(rows, n_shards):
+    # Tasks are plain tuples; the worker is a module-level function
+    # whose only module state is an immutable constant: no finding.
+    tasks = [
+        (shard, tuple(rows[shard::n_shards])) for shard in range(n_shards)
+    ]
+    results, report = run_sharded(shard_worker, tasks, max_workers=n_shards)
+    return results, report

@@ -1,0 +1,11 @@
+"""Fork-safe worker: plain wire values in, plain values out."""
+
+_DEFAULT_ALPHA = 2.0
+
+
+def shard_worker(task):
+    # Rebuilds whatever it needs from the picklable task tuple and
+    # returns plain values; module-level state it reads is a constant.
+    shard_id, rows = task
+    total = sum(value * _DEFAULT_ALPHA for value in rows)
+    return shard_id, total

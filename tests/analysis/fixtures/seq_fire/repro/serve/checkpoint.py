@@ -1,0 +1,27 @@
+"""Commit-protocol module with the seal ordered before a state write."""
+
+
+class BrokenCheckpoint:
+    def write_state(self, commit_index, shards):
+        del commit_index, shards
+
+    def commit(self, cursor):
+        del cursor
+
+
+def commit_batch(checkpoint, shards, cursor):
+    # SEQ001: the cursor is sealed first; the shard writes after it can
+    # be lost while the sealed cursor already points past them.
+    checkpoint.commit(cursor)
+    for commit_index, shard in enumerate(shards):
+        checkpoint.write_state(commit_index, shard)
+
+
+def commit_branchy(checkpoint, shards, cursor, *, flush):
+    # SEQ001 via a branch: the else arm writes state after the seal.
+    if flush:
+        checkpoint.write_state(0, shards)
+        checkpoint.commit(cursor)
+    else:
+        checkpoint.commit(cursor)
+        checkpoint.write_state(0, shards)

@@ -1,0 +1,32 @@
+"""Commit-protocol module with the correct write-then-seal ordering."""
+
+
+class GoodCheckpoint:
+    def write_state(self, commit_index, shards):
+        del commit_index, shards
+
+    def commit(self, cursor):
+        del cursor
+
+
+def commit_batch(checkpoint, shards, cursor):
+    # All shard writes strictly precede the single seal: no finding.
+    for commit_index, shard in enumerate(shards):
+        checkpoint.write_state(commit_index, shard)
+    checkpoint.commit(cursor)
+
+
+def commit_with_hook(checkpoint, shards, cursor, on_state_written=None):
+    # Extra statements between write and seal are fine; so is a hook.
+    checkpoint.write_state(0, shards)
+    if on_state_written is not None:
+        on_state_written(0)
+    checkpoint.commit(cursor)
+
+
+def commit_guarded(checkpoint, shards, cursor, *, dry_run):
+    # The seal on one branch never precedes a write on any path.
+    checkpoint.write_state(0, shards)
+    if dry_run:
+        return
+    checkpoint.commit(cursor)

@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
 
 
 def _clean_tree(tmp_path):
@@ -47,6 +50,22 @@ class TestExitCodes:
         assert code == 2
         assert "lint:" in capsys.readouterr().err
 
+    def test_exit_contract_on_seeded_violation_fixture(self, capsys):
+        """The 0/1/2 contract over the committed fixture packages — the
+        same assertions CI's exit-contract step makes."""
+        # Seeded violation: findings -> 1.
+        assert main([str(FIXTURES / "seq_fire"), "--no-baseline"]) == 1
+        assert "SEQ001" in capsys.readouterr().out
+        # Sanctioned twin, same rule: clean -> 0.
+        code = main(
+            [str(FIXTURES / "seq_silent"), "--no-baseline", "--rules", "SEQ001"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        # Config error: unknown rule -> 2.
+        assert main([str(FIXTURES / "seq_fire"), "--rules", "NOPE*"]) == 2
+        assert "matches no registered rule" in capsys.readouterr().err
+
 
 class TestSelectionAndOutput:
     def test_rules_filter_limits_the_run(self, tmp_path, capsys):
@@ -58,11 +77,78 @@ class TestSelectionAndOutput:
         assert code == 0
         capsys.readouterr()
 
+    def test_rules_accepts_family_globs(self, capsys):
+        # A family glob plus an exact id: only those rules run, so the
+        # seeded SEQ001/DUR001 fixtures fire and nothing else does.
+        code = main(
+            [
+                str(FIXTURES / "dur_fire"),
+                str(FIXTURES / "seq_fire"),
+                "--no-baseline",
+                "--rules",
+                "DUR*,SEQ001",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DUR001" in out
+        assert "SEQ001" in out
+        assert "TYP001" not in out  # untyped fixtures, rule not selected
+
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         assert "DET001" in out
         assert "TYP001" in out
+
+    def test_list_rules_shows_scope_column(self, capsys):
+        assert main(["--list-rules"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        scopes = {
+            line.split()[0]: line.split()[1] for line in lines if line.strip()
+        }
+        assert scopes["DET001"] == "file"
+        for rule_id in ("DUR001", "SEQ001", "FRK001", "RES001"):
+            assert scopes[rule_id] == "project"
+
+    def test_graph_out_writes_callgraph_json(self, tmp_path, capsys):
+        graph = tmp_path / "callgraph.json"
+        code = main(
+            [
+                str(FIXTURES / "dur_fire"),
+                "--no-baseline",
+                "--rules",
+                "DUR001",
+                "--graph-out",
+                str(graph),
+            ]
+        )
+        assert code == 1
+        capsys.readouterr()
+        doc = json.loads(graph.read_text())
+        assert doc["schema"] == "repro-callgraph"
+        edges = {(e["caller"], e["callee"]) for e in doc["edges"]}
+        assert (
+            "repro.serve.writer.persist_snapshot",
+            "repro.util.helpers.dump_payload",
+        ) in edges
+
+    def test_graph_out_without_project_rules(self, tmp_path, capsys):
+        # The graph is built on demand even when only file rules ran.
+        graph = tmp_path / "callgraph.json"
+        code = main(
+            [
+                str(FIXTURES / "dur_silent"),
+                "--no-baseline",
+                "--rules",
+                "FLT001",
+                "--graph-out",
+                str(graph),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert json.loads(graph.read_text())["n_functions"] > 0
 
     def test_json_output_artifact(self, tmp_path, capsys):
         artifact = tmp_path / "findings.json"

@@ -1,0 +1,409 @@
+"""Unit tests for the project layer: symbols, call graph, CFG.
+
+These pin the resolution semantics the interprocedural rules stand on:
+import chasing through ``__init__`` re-exports, aliasing, cycle
+safety, conservative (resolve-or-``None``) behaviour, and the
+happens-before queries of the statement CFG.
+"""
+
+from __future__ import annotations
+
+import ast
+from textwrap import dedent
+
+from repro.analysis.engine import FileContext, _parse_file
+from repro.analysis.project import (
+    GRAPH_SCHEMA,
+    GRAPH_VERSION,
+    CallGraph,
+    ControlFlowGraph,
+    ProjectContext,
+    SymbolTable,
+    render_chain,
+    statement_calls,
+)
+
+
+def ctx_for(tmp_path, module: str, source: str) -> FileContext:
+    path = tmp_path / (module.replace(".", "/") + ".py")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dedent(source))
+    parsed = _parse_file(path, module=module, root=tmp_path)
+    assert isinstance(parsed, FileContext), parsed
+    return parsed
+
+
+def table_for(tmp_path, sources: dict[str, str]) -> SymbolTable:
+    return SymbolTable.build(
+        [ctx_for(tmp_path, module, src) for module, src in sources.items()]
+    )
+
+
+# ----------------------------------------------------------------------
+# Symbol table
+# ----------------------------------------------------------------------
+def test_symbols_index_functions_methods_and_nested_defs(tmp_path):
+    table = table_for(
+        tmp_path,
+        {
+            "repro.serve.loop": """
+                def outer():
+                    def inner():
+                        return 1
+                    return inner
+
+                class Pool:
+                    def advance(self):
+                        return None
+            """
+        },
+    )
+    quals = set(table.functions)
+    assert "repro.serve.loop.outer" in quals
+    assert "repro.serve.loop.outer.inner" in quals
+    assert "repro.serve.loop.Pool.advance" in quals
+    advance = table.functions["repro.serve.loop.Pool.advance"]
+    assert advance.class_name == "Pool"
+    assert table.classes["repro.serve.loop.Pool"] == {
+        "advance": "repro.serve.loop.Pool.advance"
+    }
+
+
+def test_resolve_direct_import_and_alias(tmp_path):
+    table = table_for(
+        tmp_path,
+        {
+            "repro.util.helpers": """
+                def dump(path):
+                    return path
+            """,
+            "repro.serve.writer": """
+                from repro.util.helpers import dump as dump_alias
+
+                def persist(path):
+                    return dump_alias(path)
+            """,
+        },
+    )
+    assert (
+        table.resolve("repro.serve.writer", "dump_alias")
+        == "repro.util.helpers.dump"
+    )
+    # Unknown names stay unresolved rather than guessed.
+    assert table.resolve("repro.serve.writer", "missing") is None
+
+
+def test_resolve_module_attribute_chain(tmp_path):
+    table = table_for(
+        tmp_path,
+        {
+            "repro.util.helpers": """
+                def dump(path):
+                    return path
+            """,
+            "repro.serve.writer": """
+                import repro.util.helpers
+
+                def persist(path):
+                    return repro.util.helpers.dump(path)
+            """,
+        },
+    )
+    assert (
+        table.resolve("repro.serve.writer", "repro.util.helpers.dump")
+        == "repro.util.helpers.dump"
+    )
+
+
+def test_resolve_chases_init_reexport(tmp_path):
+    """``from repro.serve import helper`` where serve/__init__ aliases
+    the symbol out of a private implementation module."""
+    table = table_for(
+        tmp_path,
+        {
+            "repro.serve.impl": """
+                def helper():
+                    return 1
+            """,
+            "repro.serve": """
+                from repro.serve.impl import helper as run_helper
+            """,
+            "repro.other": """
+                from repro.serve import run_helper
+
+                def caller():
+                    return run_helper()
+            """,
+        },
+    )
+    assert (
+        table.resolve("repro.other", "run_helper")
+        == "repro.serve.impl.helper"
+    )
+
+
+def test_resolve_survives_reexport_cycles(tmp_path):
+    table = table_for(
+        tmp_path,
+        {
+            "repro.a": "from repro.b import thing_b as thing_a\n",
+            "repro.b": "from repro.a import thing_a as thing_b\n",
+        },
+    )
+    # A re-export cycle with no definition terminates as unresolved.
+    assert table.resolve("repro.a", "thing_a") is None
+
+
+def test_resolve_method_requires_uniqueness(tmp_path):
+    table = table_for(
+        tmp_path,
+        {
+            "repro.x": """
+                class A:
+                    def only_here(self):
+                        return 1
+
+                    def shared(self):
+                        return 1
+            """,
+            "repro.y": """
+                class B:
+                    def shared(self):
+                        return 2
+            """,
+        },
+    )
+    assert table.resolve_method("only_here") == "repro.x.A.only_here"
+    assert table.resolve_method("shared") is None  # ambiguous
+    assert table.resolve_method("absent") is None
+
+
+# ----------------------------------------------------------------------
+# Call graph
+# ----------------------------------------------------------------------
+def test_callgraph_edges_and_self_method_resolution(tmp_path):
+    table = table_for(
+        tmp_path,
+        {
+            "repro.serve.ckpt": """
+                class Checkpoint:
+                    def write(self):
+                        return None
+
+                    def run(self):
+                        self.write()
+            """
+        },
+    )
+    graph = CallGraph.build(table)
+    callees = graph.callees("repro.serve.ckpt.Checkpoint.run")
+    assert [s.callee for s in callees] == [
+        "repro.serve.ckpt.Checkpoint.write"
+    ]
+
+
+def test_callgraph_find_path_and_cycles(tmp_path):
+    table = table_for(
+        tmp_path,
+        {
+            "repro.a": """
+                from repro.b import pong
+
+                def ping():
+                    return pong()
+            """,
+            "repro.b": """
+                import repro.a
+
+                def pong():
+                    return repro.a.ping()
+
+                def sink():
+                    return 1
+            """,
+        },
+    )
+    graph = CallGraph.build(table)
+    # Mutual recursion terminates and the target is simply not found.
+    assert (
+        graph.find_path("repro.a.ping", lambda f: f.name == "sink") is None
+    )
+    path = graph.find_path("repro.a.ping", lambda f: f.name == "pong")
+    assert path is not None
+    assert render_chain(path) == "repro.a.ping -> repro.b.pong"
+    assert graph.reaches("repro.a.ping", lambda f: f.name == "ping")
+
+
+def test_callgraph_skip_modules_blocks_traversal(tmp_path):
+    table = table_for(
+        tmp_path,
+        {
+            "repro.atomicio": """
+                def atomic_write_text(path):
+                    with open(path, "w") as fh:
+                        fh.write("x")
+            """,
+            "repro.serve.writer": """
+                from repro.atomicio import atomic_write_text
+
+                def persist(path):
+                    atomic_write_text(path)
+            """,
+        },
+    )
+    graph = CallGraph.build(table)
+
+    def writes_raw(info):
+        return info.name == "atomic_write_text"
+
+    assert graph.reaches("repro.serve.writer.persist", writes_raw)
+    assert not graph.reaches(
+        "repro.serve.writer.persist",
+        writes_raw,
+        skip_modules=("repro.atomicio",),
+    )
+
+
+def test_callgraph_json_dump_shape(tmp_path):
+    table = table_for(
+        tmp_path,
+        {
+            "repro.m": """
+                def f():
+                    return g() + unknown()
+
+                def g():
+                    return 1
+            """
+        },
+    )
+    doc = CallGraph.build(table).to_dict()
+    assert doc["schema"] == GRAPH_SCHEMA
+    assert doc["version"] == GRAPH_VERSION
+    assert doc["n_functions"] == 2
+    assert doc["n_edges"] == 1
+    assert doc["n_unresolved_calls"] == 1
+    (edge,) = doc["edges"]
+    assert edge["caller"] == "repro.m.f"
+    assert edge["callee"] == "repro.m.g"
+
+
+def test_project_context_build_and_pragma_filter(tmp_path):
+    ctx = ctx_for(
+        tmp_path,
+        "repro.serve.writer",
+        """
+        def persist(path):  # lint: allow[DUR001] fixture pragma
+            return path
+        """,
+    )
+    project = ProjectContext.build([ctx])
+    assert project.symbols.functions["repro.serve.writer.persist"]
+    finding = ctx.finding("DUR001", ctx.tree.body[0], "msg")
+    assert project.allowed(finding)
+    other = ctx.finding("SEQ001", ctx.tree.body[0], "msg")
+    assert not project.allowed(other)
+
+
+# ----------------------------------------------------------------------
+# Control-flow graph
+# ----------------------------------------------------------------------
+def fn_cfg(source: str) -> ControlFlowGraph:
+    tree = ast.parse(dedent(source))
+    fn = tree.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+    return ControlFlowGraph(fn)
+
+
+def calls_name(name: str):
+    def predicate(stmt: ast.stmt) -> bool:
+        return any(
+            isinstance(c.func, ast.Name) and c.func.id == name
+            for c in statement_calls(stmt)
+        )
+
+    return predicate
+
+
+def test_cfg_straight_line_ordering():
+    cfg = fn_cfg(
+        """
+        def f():
+            first()
+            second()
+        """
+    )
+    assert cfg.unordered(calls_name("first"), calls_name("second")) == []
+    assert cfg.reachable_from(calls_name("first"), calls_name("second"))
+    assert not cfg.reachable_from(calls_name("second"), calls_name("first"))
+
+
+def test_cfg_branch_breaks_ordering():
+    cfg = fn_cfg(
+        """
+        def f(flag):
+            if flag:
+                first()
+            second()
+        """
+    )
+    # The no-flag path reaches second() without first().
+    assert cfg.unordered(calls_name("first"), calls_name("second"))
+
+
+def test_cfg_both_branches_preserve_ordering():
+    cfg = fn_cfg(
+        """
+        def f(flag):
+            if flag:
+                first()
+            else:
+                first()
+            second()
+        """
+    )
+    assert cfg.unordered(calls_name("first"), calls_name("second")) == []
+
+
+def test_cfg_loop_back_edge_allows_after_path():
+    cfg = fn_cfg(
+        """
+        def f(items):
+            for item in items:
+                second()
+                first()
+        """
+    )
+    # Second iteration executes second() after first(): order violated.
+    assert cfg.reachable_from(calls_name("first"), calls_name("second"))
+
+
+def test_cfg_exception_paths_are_excluded():
+    cfg = fn_cfg(
+        """
+        def f():
+            try:
+                first()
+            except ValueError:
+                second()
+            finally:
+                cleanup()
+        """
+    )
+    # The handler body is off the normal-path graph by design.
+    assert not cfg.reachable_from(calls_name("first"), calls_name("second"))
+    assert cfg.reachable_from(calls_name("first"), calls_name("cleanup"))
+
+
+def test_cfg_return_cuts_flow():
+    cfg = fn_cfg(
+        """
+        def f(flag):
+            if flag:
+                return None
+            second()
+        """
+    )
+    # Only the fall-through arm reaches second(); a return does not.
+    witnesses = cfg.unordered(calls_name("first"), calls_name("second"))
+    assert len(witnesses) == 1

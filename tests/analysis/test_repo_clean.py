@@ -35,14 +35,21 @@ def test_baseline_is_small_and_justified(repo_root):
 
 
 def test_fixture_suite_and_live_rules_agree(repo_root):
-    """Every registered rule is exercised by the fixture suite."""
+    """Every registered rule is exercised by the fixture suite.
+
+    File-scope rules live in ``test_rules.py``; project-scope rules in
+    ``test_project_rules.py`` (backed by the multi-file packages under
+    ``fixtures/``).
+    """
     from pathlib import Path
 
     from repro.analysis import all_rules
 
-    fixtures = (
-        Path(__file__).parent / "test_rules.py"
-    ).read_text()
+    here = Path(__file__).parent
+    fixtures = "\n".join(
+        (here / name).read_text()
+        for name in ("test_rules.py", "test_project_rules.py")
+    )
     for rule in all_rules():
         assert rule.rule_id in fixtures, (
             f"{rule.rule_id} has no firing/silent fixture coverage"
